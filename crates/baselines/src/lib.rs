@@ -1,0 +1,103 @@
+//! Baseline QoS predictors (paper Section V-C comparison set).
+//!
+//! The paper compares AMF against four approaches, all reproduced here:
+//!
+//! * [`Upcc`] — user-based collaborative filtering: predicts from the
+//!   deviations of PCC-similar *users* (Zheng et al., "QoS-aware Web service
+//!   recommendation by collaborative filtering").
+//! * [`Ipcc`] — item-based collaborative filtering: same idea over *services*.
+//! * [`Uipcc`] — the confidence-weighted hybrid of the two.
+//! * [`Pmf`] — probabilistic matrix factorization (Salakhutdinov & Mnih):
+//!   batch-trained low-rank factors with a sigmoid link on normalized data.
+//!
+//! The [`means`] module adds the trivial global/user/item mean predictors used
+//! as fallbacks and sanity floors. All predictors implement [`QosPredictor`],
+//! which is what the evaluation harness consumes.
+//!
+//! As the paper notes, these baselines "cannot be directly used for runtime
+//! service adaptation in practice": they train offline on a frozen matrix and
+//! must be fully retrained to absorb new observations (the cost measured in
+//! Fig. 13). They are reproduced to measure exactly that contrast with AMF.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod means;
+pub mod neighborhood;
+pub mod nimf;
+pub mod pmf;
+pub mod svd_impute;
+pub mod uipcc;
+
+pub use means::{GlobalMean, ItemMean, UserMean};
+pub use neighborhood::{Ipcc, NeighborhoodConfig, Upcc};
+pub use nimf::{Nimf, NimfConfig};
+pub use pmf::{Pmf, PmfConfig, PmfLink, PmfTrainReport};
+pub use svd_impute::{SvdImpute, SvdImputeConfig};
+pub use uipcc::{Uipcc, UipccConfig};
+
+/// A trained QoS predictor: given a (user, service) pair, produce an estimate
+/// of the unobserved QoS value.
+///
+/// Implementations never fail on valid indices: when a model has no signal
+/// for a pair (cold user, no similar neighbors, ...) it falls back to
+/// coarser statistics (user mean → item mean → global mean), mirroring how
+/// the original WSRec implementations behave.
+pub trait QosPredictor {
+    /// Predicts the QoS value for `(user, service)`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `user`/`service` are outside the training matrix shape.
+    fn predict(&self, user: usize, service: usize) -> f64;
+
+    /// Short display name ("UPCC", "PMF", ...), as used in the paper tables.
+    fn name(&self) -> &'static str;
+
+    /// Predicts a batch of pairs. Default implementation maps
+    /// [`QosPredictor::predict`]; models may override with something faster.
+    fn predict_batch(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
+        pairs.iter().map(|&(u, s)| self.predict(u, s)).collect()
+    }
+}
+
+/// Error type for baseline training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The training matrix contained no observations.
+    EmptyTrainingData,
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::EmptyTrainingData => write!(f, "training matrix has no observations"),
+            BaselineError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(BaselineError::EmptyTrainingData
+            .to_string()
+            .contains("no observations"));
+        assert!(BaselineError::InvalidConfig("k".into())
+            .to_string()
+            .contains("invalid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BaselineError>();
+    }
+}

@@ -1,0 +1,162 @@
+//! Mean-based predictors: the floors every CF model must beat.
+
+use crate::{BaselineError, QosPredictor};
+use qos_linalg::SparseMatrix;
+
+/// Predicts the global mean of all observed values for every pair.
+#[derive(Debug, Clone)]
+pub struct GlobalMean {
+    mean: f64,
+}
+
+impl GlobalMean {
+    /// Trains on the observed matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::EmptyTrainingData`] for an empty matrix.
+    pub fn train(matrix: &SparseMatrix) -> Result<Self, BaselineError> {
+        Ok(Self {
+            mean: matrix.mean().ok_or(BaselineError::EmptyTrainingData)?,
+        })
+    }
+
+    /// The learned global mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl QosPredictor for GlobalMean {
+    fn predict(&self, _user: usize, _service: usize) -> f64 {
+        self.mean
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalMean"
+    }
+}
+
+/// Predicts each user's observed mean (global mean for cold users).
+#[derive(Debug, Clone)]
+pub struct UserMean {
+    user_means: Vec<Option<f64>>,
+    global: f64,
+}
+
+impl UserMean {
+    /// Trains on the observed matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::EmptyTrainingData`] for an empty matrix.
+    pub fn train(matrix: &SparseMatrix) -> Result<Self, BaselineError> {
+        let global = matrix.mean().ok_or(BaselineError::EmptyTrainingData)?;
+        Ok(Self {
+            user_means: (0..matrix.rows()).map(|i| matrix.row_mean(i)).collect(),
+            global,
+        })
+    }
+}
+
+impl QosPredictor for UserMean {
+    fn predict(&self, user: usize, _service: usize) -> f64 {
+        self.user_means
+            .get(user)
+            .copied()
+            .flatten()
+            .unwrap_or(self.global)
+    }
+
+    fn name(&self) -> &'static str {
+        "UserMean"
+    }
+}
+
+/// Predicts each service's observed mean (global mean for cold services).
+#[derive(Debug, Clone)]
+pub struct ItemMean {
+    item_means: Vec<Option<f64>>,
+    global: f64,
+}
+
+impl ItemMean {
+    /// Trains on the observed matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::EmptyTrainingData`] for an empty matrix.
+    pub fn train(matrix: &SparseMatrix) -> Result<Self, BaselineError> {
+        let global = matrix.mean().ok_or(BaselineError::EmptyTrainingData)?;
+        Ok(Self {
+            item_means: (0..matrix.cols()).map(|j| matrix.col_mean(j)).collect(),
+            global,
+        })
+    }
+}
+
+impl QosPredictor for ItemMean {
+    fn predict(&self, _user: usize, service: usize) -> f64 {
+        self.item_means
+            .get(service)
+            .copied()
+            .flatten()
+            .unwrap_or(self.global)
+    }
+
+    fn name(&self) -> &'static str {
+        "ItemMean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> SparseMatrix {
+        let mut m = SparseMatrix::new(3, 3);
+        m.insert(0, 0, 1.0);
+        m.insert(0, 1, 3.0);
+        m.insert(1, 0, 5.0);
+        m
+    }
+
+    #[test]
+    fn global_mean_value() {
+        let g = GlobalMean::train(&matrix()).unwrap();
+        assert_eq!(g.mean(), 3.0);
+        assert_eq!(g.predict(2, 2), 3.0);
+        assert_eq!(g.name(), "GlobalMean");
+    }
+
+    #[test]
+    fn user_mean_with_cold_fallback() {
+        let u = UserMean::train(&matrix()).unwrap();
+        assert_eq!(u.predict(0, 9), 2.0);
+        assert_eq!(u.predict(1, 0), 5.0);
+        assert_eq!(u.predict(2, 0), 3.0); // cold user -> global
+        assert_eq!(u.predict(99, 0), 3.0); // out of range -> global
+    }
+
+    #[test]
+    fn item_mean_with_cold_fallback() {
+        let m = ItemMean::train(&matrix()).unwrap();
+        assert_eq!(m.predict(9, 0), 3.0);
+        assert_eq!(m.predict(0, 1), 3.0);
+        assert_eq!(m.predict(0, 2), 3.0); // cold item -> global
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let empty = SparseMatrix::new(2, 2);
+        assert!(GlobalMean::train(&empty).is_err());
+        assert!(UserMean::train(&empty).is_err());
+        assert!(ItemMean::train(&empty).is_err());
+    }
+
+    #[test]
+    fn predict_batch_default_impl() {
+        let g = GlobalMean::train(&matrix()).unwrap();
+        assert_eq!(g.predict_batch(&[(0, 0), (1, 1)]), vec![3.0, 3.0]);
+    }
+}

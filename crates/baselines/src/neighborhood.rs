@@ -1,0 +1,545 @@
+//! Neighborhood-based collaborative filtering: UPCC and IPCC.
+//!
+//! Following Zheng et al. (WSRec), the similarity between two users (or two
+//! services) is the Pearson correlation over their co-observed entries,
+//! discounted by a significance weight when few co-observations exist. A
+//! prediction blends the deviations of the top-K most-similar positive
+//! neighbors around their own means:
+//!
+//! ```text
+//! r̂_uj = mean_u + Σ_{v ∈ N(u,j)} sim(u,v) · (r_vj − mean_v) / Σ |sim(u,v)|
+//! ```
+//!
+//! Entity profiles are stored as dense value arrays plus observation bitmaps,
+//! so a PCC between two entities is a linear pass over 64-bit mask words —
+//! this is what makes IPCC over 4,500 services tractable at paper scale.
+
+use crate::{BaselineError, QosPredictor};
+use qos_linalg::SparseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by UPCC and IPCC.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborhoodConfig {
+    /// Number of neighbors blended per prediction (paper-era CF default: 10).
+    pub top_k: usize,
+    /// Significance-weight cap: similarities from fewer than this many
+    /// co-observations are scaled down proportionally. 0 disables.
+    pub significance_cap: usize,
+    /// Neighbors with (weighted) similarity at or below this are ignored.
+    /// Standard practice keeps only positive correlations.
+    pub min_similarity: f64,
+}
+
+impl Default for NeighborhoodConfig {
+    fn default() -> Self {
+        Self {
+            top_k: 10,
+            significance_cap: 5,
+            min_similarity: 0.0,
+        }
+    }
+}
+
+impl NeighborhoodConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidConfig`] when `top_k` is zero or
+    /// `min_similarity` is not in `[-1, 1)`.
+    pub fn validate(&self) -> Result<(), BaselineError> {
+        if self.top_k == 0 {
+            return Err(BaselineError::InvalidConfig(
+                "top_k must be positive".into(),
+            ));
+        }
+        if !(-1.0..1.0).contains(&self.min_similarity) {
+            return Err(BaselineError::InvalidConfig(
+                "min_similarity must be in [-1, 1)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Dense profiles with observation bitmaps for one side of the matrix
+/// (rows = users, or columns = services).
+#[derive(Debug, Clone)]
+pub(crate) struct ProfileSet {
+    /// `entities x dim` values; unobserved cells are 0 and masked off.
+    values: Vec<Vec<f64>>,
+    /// Observation bitmaps, `dim` bits per entity.
+    masks: Vec<Vec<u64>>,
+    /// Mean of each entity's observed values (`None` when it has none).
+    means: Vec<Option<f64>>,
+    dim: usize,
+}
+
+impl ProfileSet {
+    pub(crate) fn from_rows(m: &SparseMatrix) -> Self {
+        let dim = m.cols();
+        let words = dim.div_ceil(64);
+        let mut values = vec![vec![0.0; dim]; m.rows()];
+        let mut masks = vec![vec![0u64; words]; m.rows()];
+        for e in m.iter() {
+            values[e.row][e.col] = e.value;
+            masks[e.row][e.col / 64] |= 1 << (e.col % 64);
+        }
+        let means = (0..m.rows()).map(|i| m.row_mean(i)).collect();
+        Self {
+            values,
+            masks,
+            means,
+            dim,
+        }
+    }
+
+    pub(crate) fn from_cols(m: &SparseMatrix) -> Self {
+        let dim = m.rows();
+        let words = dim.div_ceil(64);
+        let mut values = vec![vec![0.0; dim]; m.cols()];
+        let mut masks = vec![vec![0u64; words]; m.cols()];
+        for e in m.iter() {
+            values[e.col][e.row] = e.value;
+            masks[e.col][e.row / 64] |= 1 << (e.row % 64);
+        }
+        let means = (0..m.cols()).map(|j| m.col_mean(j)).collect();
+        Self {
+            values,
+            masks,
+            means,
+            dim,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub(crate) fn mean(&self, entity: usize) -> Option<f64> {
+        self.means.get(entity).copied().flatten()
+    }
+
+    /// Whether `entity` observed position `pos`.
+    #[inline]
+    pub(crate) fn observed(&self, entity: usize, pos: usize) -> bool {
+        (self.masks[entity][pos / 64] >> (pos % 64)) & 1 == 1
+    }
+
+    /// Observed value (unchecked: call only when [`ProfileSet::observed`]).
+    #[inline]
+    pub(crate) fn value(&self, entity: usize, pos: usize) -> f64 {
+        self.values[entity][pos]
+    }
+
+    /// PCC over the mask intersection plus the co-observation count.
+    /// `None` when fewer than 2 co-observations or zero variance.
+    pub(crate) fn pcc(&self, a: usize, b: usize) -> Option<(f64, usize)> {
+        let (ma, mb) = (&self.masks[a], &self.masks[b]);
+        let (va, vb) = (&self.values[a], &self.values[b]);
+        let mut n = 0usize;
+        let mut sx = 0.0;
+        let mut sy = 0.0;
+        let mut sxx = 0.0;
+        let mut syy = 0.0;
+        let mut sxy = 0.0;
+        for (w, (&wa, &wb)) in ma.iter().zip(mb).enumerate() {
+            let mut inter = wa & wb;
+            while inter != 0 {
+                let bit = inter.trailing_zeros() as usize;
+                inter &= inter - 1;
+                let pos = w * 64 + bit;
+                let x = va[pos];
+                let y = vb[pos];
+                n += 1;
+                sx += x;
+                sy += y;
+                sxx += x * x;
+                syy += y * y;
+                sxy += x * y;
+            }
+        }
+        if n < 2 {
+            return None;
+        }
+        let nf = n as f64;
+        let cov = sxy - sx * sy / nf;
+        let var_x = sxx - sx * sx / nf;
+        let var_y = syy - sy * sy / nf;
+        if var_x <= 0.0 || var_y <= 0.0 {
+            return None;
+        }
+        Some(((cov / (var_x * var_y).sqrt()).clamp(-1.0, 1.0), n))
+    }
+
+    /// Top-K positive-similarity neighbors of every entity, significance
+    /// weighted per `config`.
+    pub(crate) fn top_k_neighbors(&self, config: &NeighborhoodConfig) -> Vec<Vec<(usize, f64)>> {
+        let n = self.len();
+        let mut neighbors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if let Some((sim, co)) = self.pcc(a, b) {
+                    let weighted = qos_linalg::correlation::significance_weighted(
+                        sim,
+                        co,
+                        config.significance_cap,
+                    );
+                    if weighted > config.min_similarity {
+                        neighbors[a].push((b, weighted));
+                        neighbors[b].push((a, weighted));
+                    }
+                }
+            }
+        }
+        for list in neighbors.iter_mut() {
+            list.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("similarities are finite"));
+            list.truncate(config.top_k);
+        }
+        neighbors
+    }
+
+    /// Dimension of each profile vector.
+    pub(crate) fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// Shared prediction core: deviation-from-mean blend over neighbors that
+/// observed the target position.
+fn blend(
+    profiles: &ProfileSet,
+    neighbors: &[(usize, f64)],
+    entity: usize,
+    pos: usize,
+    fallback: f64,
+) -> f64 {
+    let own_mean = match profiles.mean(entity) {
+        Some(m) => m,
+        None => return fallback,
+    };
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for &(other, sim) in neighbors {
+        if profiles.observed(other, pos) {
+            let other_mean = profiles.mean(other).unwrap_or(own_mean);
+            num += sim * (profiles.value(other, pos) - other_mean);
+            den += sim.abs();
+        }
+    }
+    if den == 0.0 {
+        own_mean
+    } else {
+        num / den + own_mean
+    }
+}
+
+/// User-based PCC collaborative filtering (the paper's UPCC baseline).
+///
+/// # Examples
+///
+/// ```
+/// use qos_baselines::{NeighborhoodConfig, QosPredictor, Upcc};
+/// use qos_linalg::SparseMatrix;
+///
+/// let mut m = SparseMatrix::new(3, 3);
+/// // users 0 and 1 behave identically; user 1 observed service 2.
+/// for (u, s, v) in [(0, 0, 1.0), (0, 1, 2.0), (1, 0, 1.0), (1, 1, 2.0), (1, 2, 9.0), (2, 0, 5.0), (2, 1, 1.0)] {
+///     m.insert(u, s, v);
+/// }
+/// let upcc = Upcc::train(&m, NeighborhoodConfig::default())?;
+/// let pred = upcc.predict(0, 2);
+/// assert!(pred > 5.0, "user 0 should inherit user 1's high value, got {pred}");
+/// # Ok::<(), qos_baselines::BaselineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Upcc {
+    profiles: ProfileSet,
+    neighbors: Vec<Vec<(usize, f64)>>,
+    global_mean: f64,
+}
+
+impl Upcc {
+    /// Trains on the observed matrix: computes all user–user similarities and
+    /// keeps each user's top-K positive neighbors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::EmptyTrainingData`] for an empty matrix and
+    /// [`BaselineError::InvalidConfig`] for an invalid `config`.
+    pub fn train(matrix: &SparseMatrix, config: NeighborhoodConfig) -> Result<Self, BaselineError> {
+        config.validate()?;
+        let global_mean = matrix.mean().ok_or(BaselineError::EmptyTrainingData)?;
+        let profiles = ProfileSet::from_rows(matrix);
+        let neighbors = profiles.top_k_neighbors(&config);
+        Ok(Self {
+            profiles,
+            neighbors,
+            global_mean,
+        })
+    }
+
+    /// The similarity-ranked neighbors of `user` (index, weighted PCC).
+    pub fn neighbors(&self, user: usize) -> &[(usize, f64)] {
+        &self.neighbors[user]
+    }
+}
+
+impl QosPredictor for Upcc {
+    fn predict(&self, user: usize, service: usize) -> f64 {
+        assert!(user < self.profiles.len(), "user out of range");
+        assert!(service < self.profiles.dim(), "service out of range");
+        blend(
+            &self.profiles,
+            &self.neighbors[user],
+            user,
+            service,
+            self.global_mean,
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "UPCC"
+    }
+}
+
+/// Item-based PCC collaborative filtering (the paper's IPCC baseline).
+#[derive(Debug, Clone)]
+pub struct Ipcc {
+    profiles: ProfileSet,
+    neighbors: Vec<Vec<(usize, f64)>>,
+    global_mean: f64,
+}
+
+impl Ipcc {
+    /// Trains on the observed matrix: computes all service–service
+    /// similarities and keeps each service's top-K positive neighbors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::EmptyTrainingData`] for an empty matrix and
+    /// [`BaselineError::InvalidConfig`] for an invalid `config`.
+    pub fn train(matrix: &SparseMatrix, config: NeighborhoodConfig) -> Result<Self, BaselineError> {
+        config.validate()?;
+        let global_mean = matrix.mean().ok_or(BaselineError::EmptyTrainingData)?;
+        let profiles = ProfileSet::from_cols(matrix);
+        let neighbors = profiles.top_k_neighbors(&config);
+        Ok(Self {
+            profiles,
+            neighbors,
+            global_mean,
+        })
+    }
+
+    /// The similarity-ranked neighbors of `service` (index, weighted PCC).
+    pub fn neighbors(&self, service: usize) -> &[(usize, f64)] {
+        &self.neighbors[service]
+    }
+}
+
+impl QosPredictor for Ipcc {
+    fn predict(&self, user: usize, service: usize) -> f64 {
+        assert!(service < self.profiles.len(), "service out of range");
+        assert!(user < self.profiles.dim(), "user out of range");
+        blend(
+            &self.profiles,
+            &self.neighbors[service],
+            service,
+            user,
+            self.global_mean,
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        "IPCC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two blocks of users with opposite profiles over 6 services.
+    fn blocky_matrix() -> SparseMatrix {
+        let mut m = SparseMatrix::new(6, 6);
+        // block A (users 0-2): fast on services 0-2, slow on 3-5
+        // block B (users 3-5): the opposite
+        for u in 0..3 {
+            for s in 0..6 {
+                let v = if s < 3 { 1.0 } else { 5.0 };
+                // leave a hole to predict: user 0 never saw service 5
+                if !(u == 0 && s == 5) {
+                    m.insert(u, s, v + 0.1 * u as f64 + 0.05 * s as f64);
+                }
+            }
+        }
+        for u in 3..6 {
+            for s in 0..6 {
+                let v = if s < 3 { 5.0 } else { 1.0 };
+                m.insert(u, s, v + 0.1 * u as f64 + 0.05 * s as f64);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn profile_set_masks_and_values() {
+        let m = blocky_matrix();
+        let rows = ProfileSet::from_rows(&m);
+        assert_eq!(rows.len(), 6);
+        assert!(!rows.observed(0, 5));
+        assert!(rows.observed(0, 0));
+        assert_eq!(rows.value(1, 0), 1.1);
+        let cols = ProfileSet::from_cols(&m);
+        assert_eq!(cols.len(), 6);
+        assert!(!cols.observed(5, 0));
+        assert!(cols.observed(5, 1));
+    }
+
+    #[test]
+    fn pcc_matches_reference_implementation() {
+        let m = blocky_matrix();
+        let rows = ProfileSet::from_rows(&m);
+        let (a, b) = qos_linalg::correlation::co_observed_rows(&m, 0, 1);
+        let reference = qos_linalg::correlation::pearson(&a, &b).unwrap();
+        let (fast, n) = rows.pcc(0, 1).unwrap();
+        assert_eq!(n, a.len());
+        assert!((fast - reference).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upcc_uses_same_block_neighbors() {
+        let m = blocky_matrix();
+        let upcc = Upcc::train(&m, NeighborhoodConfig::default()).unwrap();
+        // user 0's strongest neighbors are users 1, 2 (same block)
+        let neighbor_ids: Vec<usize> = upcc.neighbors(0).iter().map(|&(v, _)| v).collect();
+        assert!(neighbor_ids.contains(&1) && neighbor_ids.contains(&2));
+        // predicted value for the hole: block A is slow (~5) on service 5
+        let pred = upcc.predict(0, 5);
+        assert!(pred > 3.0, "expected slow prediction, got {pred}");
+    }
+
+    #[test]
+    fn ipcc_predicts_from_similar_services() {
+        let m = blocky_matrix();
+        let ipcc = Ipcc::train(&m, NeighborhoodConfig::default()).unwrap();
+        let pred = ipcc.predict(0, 5);
+        // services 3,4 are similar to 5 and user 0 saw them as ~5
+        assert!(pred > 3.0, "expected slow prediction, got {pred}");
+        assert_eq!(ipcc.name(), "IPCC");
+    }
+
+    #[test]
+    fn cold_user_falls_back_to_mean() {
+        // user with no observations at all
+        let mut m2 = SparseMatrix::new(4, 3);
+        m2.insert(0, 0, 2.0);
+        m2.insert(0, 1, 4.0);
+        m2.insert(1, 0, 2.0);
+        m2.insert(1, 1, 4.0);
+        // rows 2,3 empty
+        let upcc = Upcc::train(&m2, NeighborhoodConfig::default()).unwrap();
+        let pred = upcc.predict(3, 2);
+        assert_eq!(pred, 3.0); // global mean
+    }
+
+    #[test]
+    fn no_matching_neighbor_falls_back_to_own_mean() {
+        // user 0 and 1 similar, but neighbor never observed target service
+        let mut m = SparseMatrix::new(2, 4);
+        m.insert(0, 0, 1.0);
+        m.insert(0, 1, 2.0);
+        m.insert(1, 0, 1.0);
+        m.insert(1, 1, 2.0);
+        let upcc = Upcc::train(&m, NeighborhoodConfig::default()).unwrap();
+        let pred = upcc.predict(0, 3);
+        assert!((pred - 1.5).abs() < 1e-12); // user 0's own mean
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let m = SparseMatrix::new(3, 3);
+        assert!(Upcc::train(&m, NeighborhoodConfig::default()).is_err());
+        assert!(Ipcc::train(&m, NeighborhoodConfig::default()).is_err());
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let m = blocky_matrix();
+        let bad = NeighborhoodConfig {
+            top_k: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Upcc::train(&m, bad),
+            Err(BaselineError::InvalidConfig(_))
+        ));
+        let bad = NeighborhoodConfig {
+            min_similarity: 1.5,
+            ..Default::default()
+        };
+        assert!(Ipcc::train(&m, bad).is_err());
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let m = blocky_matrix();
+        let config = NeighborhoodConfig {
+            top_k: 1,
+            ..Default::default()
+        };
+        let upcc = Upcc::train(&m, config).unwrap();
+        assert!(upcc.neighbors(0).len() <= 1);
+    }
+
+    #[test]
+    fn significance_weighting_discounts_thin_overlap() {
+        // Users 0/1 overlap on exactly 2 services with perfect correlation;
+        // users 0/2 overlap on 5 with perfect correlation. With a cap of 5,
+        // the 2-overlap neighbor must rank below the 5-overlap neighbor.
+        let mut m = SparseMatrix::new(3, 8);
+        for s in 0..5 {
+            m.insert(0, s, s as f64 + 1.0);
+            m.insert(2, s, 2.0 * (s as f64 + 1.0));
+        }
+        m.insert(1, 0, 1.0);
+        m.insert(1, 1, 2.0);
+        let config = NeighborhoodConfig {
+            top_k: 5,
+            significance_cap: 5,
+            min_similarity: 0.0,
+        };
+        let upcc = Upcc::train(&m, config).unwrap();
+        let neighbors = upcc.neighbors(0);
+        assert_eq!(neighbors[0].0, 2, "high-overlap neighbor should rank first");
+        assert!(neighbors[0].1 > neighbors[1].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "user out of range")]
+    fn predict_out_of_range_panics() {
+        let m = blocky_matrix();
+        let upcc = Upcc::train(&m, NeighborhoodConfig::default()).unwrap();
+        upcc.predict(99, 0);
+    }
+
+    #[test]
+    fn mask_boundary_above_64_entities() {
+        // Exercise multi-word bitmaps: 70 services so masks span 2 words.
+        let mut m = SparseMatrix::new(3, 70);
+        for s in 0..70 {
+            m.insert(0, s, (s % 7) as f64 + 1.0);
+            if s != 69 {
+                m.insert(1, s, (s % 7) as f64 + 1.0);
+            }
+        }
+        m.insert(2, 69, 3.0);
+        let rows = ProfileSet::from_rows(&m);
+        let (sim, n) = rows.pcc(0, 1).unwrap();
+        assert_eq!(n, 69);
+        assert!((sim - 1.0).abs() < 1e-9);
+        assert!(rows.observed(0, 69));
+        assert!(!rows.observed(1, 69));
+    }
+}

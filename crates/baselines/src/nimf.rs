@@ -1,0 +1,420 @@
+//! NIMF — Neighborhood-Integrated Matrix Factorization (extension).
+//!
+//! The paper cites Zheng et al., *"Collaborative Web service QoS prediction
+//! via neighborhood integrated matrix factorization"* (IEEE TSC 2013) as
+//! state of the art for offline QoS prediction; we include it as an
+//! extension baseline. NIMF blends a user's own latent prediction with those
+//! of its PCC-similar neighbors:
+//!
+//! ```text
+//! ẑ_ij = ρ · U_i^T S_j + (1 − ρ) · Σ_{k ∈ N(i)} w_ik · U_k^T S_j
+//! ```
+//!
+//! where `w_ik` are the user's normalized top-K similarity weights and `ρ`
+//! controls how much the model trusts the individual versus the
+//! neighborhood. Training minimizes squared error on z-scored values by SGD,
+//! like the linear PMF it generalizes (`ρ = 1` recovers PMF exactly).
+
+use crate::neighborhood::{NeighborhoodConfig, ProfileSet};
+use crate::{BaselineError, QosPredictor};
+use qos_linalg::random::{normal_vec, shuffle};
+use qos_linalg::{Entry, SparseMatrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// NIMF hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NimfConfig {
+    /// Latent dimensionality.
+    pub dimension: usize,
+    /// L2 regularization strength.
+    pub lambda: f64,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Per-epoch learning-rate decay.
+    pub learning_rate_decay: f64,
+    /// Maximum epochs.
+    pub max_epochs: usize,
+    /// Relative epoch-loss improvement below which training stops.
+    pub tolerance: f64,
+    /// Blend `ρ ∈ [0, 1]`: 1 = pure MF, 0 = pure neighborhood.
+    pub rho: f64,
+    /// Neighborhood selection (top-K PCC with significance weighting).
+    pub neighborhood: NeighborhoodConfig,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NimfConfig {
+    fn default() -> Self {
+        Self {
+            dimension: 10,
+            lambda: 0.02,
+            learning_rate: 0.02,
+            learning_rate_decay: 0.995,
+            max_epochs: 200,
+            tolerance: 1e-5,
+            rho: 0.6,
+            neighborhood: NeighborhoodConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl NimfConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidConfig`] for out-of-domain parameters.
+    pub fn validate(&self) -> Result<(), BaselineError> {
+        let bad = |msg: &str| Err(BaselineError::InvalidConfig(msg.to_string()));
+        if self.dimension == 0 {
+            return bad("dimension must be positive");
+        }
+        if self.lambda.is_nan() || self.lambda < 0.0 {
+            return bad("lambda must be non-negative");
+        }
+        if self.learning_rate.is_nan() || self.learning_rate <= 0.0 {
+            return bad("learning_rate must be positive");
+        }
+        if !(0.0 < self.learning_rate_decay && self.learning_rate_decay <= 1.0) {
+            return bad("learning_rate_decay must be in (0, 1]");
+        }
+        if self.max_epochs == 0 {
+            return bad("max_epochs must be positive");
+        }
+        if !(0.0..=1.0).contains(&self.rho) {
+            return bad("rho must be in [0, 1]");
+        }
+        self.neighborhood.validate()
+    }
+}
+
+/// A trained NIMF model.
+///
+/// # Examples
+///
+/// ```
+/// use qos_baselines::{Nimf, NimfConfig, QosPredictor};
+/// use qos_linalg::SparseMatrix;
+///
+/// let mut m = SparseMatrix::new(4, 5);
+/// for u in 0..4 {
+///     for s in 0..5 {
+///         if (u, s) != (0, 4) {
+///             m.insert(u, s, (u + 1) as f64 * (s + 1) as f64 * 0.3);
+///         }
+///     }
+/// }
+/// let (nimf, _) = Nimf::train(&m, NimfConfig::default())?;
+/// let pred = nimf.predict(0, 4);
+/// assert!(pred > 0.0);
+/// # Ok::<(), qos_baselines::BaselineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nimf {
+    user_factors: Vec<Vec<f64>>,
+    service_factors: Vec<Vec<f64>>,
+    /// Per-user normalized neighbor weights `(neighbor, w)`.
+    neighbor_weights: Vec<Vec<(usize, f64)>>,
+    rho: f64,
+    mean: f64,
+    std: f64,
+    bounds: (f64, f64),
+}
+
+impl Nimf {
+    /// Trains NIMF on the observed matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::EmptyTrainingData`] for an empty matrix and
+    /// [`BaselineError::InvalidConfig`] for an invalid `config`.
+    pub fn train(
+        matrix: &SparseMatrix,
+        config: NimfConfig,
+    ) -> Result<(Self, Duration), BaselineError> {
+        config.validate()?;
+        if matrix.nnz() == 0 {
+            return Err(BaselineError::EmptyTrainingData);
+        }
+        let start = Instant::now();
+
+        // z-scoring, as in the linear PMF.
+        let observed = matrix.observed_values();
+        let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+        let var = observed
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / observed.len() as f64;
+        let std = var.sqrt().max(1e-9);
+        let bounds = (
+            observed.iter().cloned().fold(f64::INFINITY, f64::min),
+            observed.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+
+        // Top-K PCC neighbors, weights normalized to sum 1 per user.
+        let profiles = ProfileSet::from_rows(matrix);
+        let neighbor_weights: Vec<Vec<(usize, f64)>> = profiles
+            .top_k_neighbors(&config.neighborhood)
+            .into_iter()
+            .map(|list| {
+                let total: f64 = list.iter().map(|&(_, s)| s).sum();
+                if total <= 0.0 {
+                    Vec::new()
+                } else {
+                    list.into_iter().map(|(k, s)| (k, s / total)).collect()
+                }
+            })
+            .collect();
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let d = config.dimension;
+        let mut user_factors: Vec<Vec<f64>> = (0..matrix.rows())
+            .map(|_| normal_vec(&mut rng, d, 0.0, 0.1))
+            .collect();
+        let mut service_factors: Vec<Vec<f64>> = (0..matrix.cols())
+            .map(|_| normal_vec(&mut rng, d, 0.0, 0.1))
+            .collect();
+
+        let mut entries: Vec<Entry> = matrix.iter().copied().collect();
+        let mut eta = config.learning_rate;
+        let mut prev_loss = f64::INFINITY;
+        let rho = config.rho;
+
+        for _ in 0..config.max_epochs {
+            shuffle(&mut rng, &mut entries);
+            let mut sq_err_sum = 0.0;
+            for e in &entries {
+                let z = (e.value - mean) / std;
+                let neighbors = &neighbor_weights[e.row];
+                let s = &service_factors[e.col];
+
+                let own = qos_linalg::vector::dot(&user_factors[e.row], s);
+                let mut hood = 0.0;
+                for &(k, w) in neighbors {
+                    hood += w * qos_linalg::vector::dot(&user_factors[k], s);
+                }
+                // With no usable neighbors, fall back to pure MF for this
+                // sample (rho effectively 1).
+                let (rho_eff, blended) = if neighbors.is_empty() {
+                    (1.0, own)
+                } else {
+                    (rho, rho * own + (1.0 - rho) * hood)
+                };
+                let err = (blended - z).clamp(-5.0, 5.0);
+                sq_err_sum += err * err;
+
+                // Gradient for S_j uses the blended user direction.
+                let mut user_dir = vec![0.0; d];
+                for k in 0..d {
+                    user_dir[k] = rho_eff * user_factors[e.row][k];
+                }
+                for &(n, w) in neighbors {
+                    for k in 0..d {
+                        user_dir[k] += (1.0 - rho_eff) * w * user_factors[n][k];
+                    }
+                }
+
+                // Update the owning user.
+                for k in 0..d {
+                    let uk = user_factors[e.row][k];
+                    user_factors[e.row][k] = uk - eta * (err * rho_eff * s[k] + config.lambda * uk);
+                }
+                // Update the contributing neighbors (small steps).
+                for &(n, w) in neighbors {
+                    for k in 0..d {
+                        let nk = user_factors[n][k];
+                        user_factors[n][k] =
+                            nk - eta * (err * (1.0 - rho_eff) * w * s[k] + config.lambda * nk);
+                    }
+                }
+                // Update the service.
+                for k in 0..d {
+                    let sk = service_factors[e.col][k];
+                    service_factors[e.col][k] = sk - eta * (err * user_dir[k] + config.lambda * sk);
+                }
+            }
+            let loss = sq_err_sum / entries.len() as f64;
+            if prev_loss.is_finite() {
+                let improvement = (prev_loss - loss) / prev_loss.max(f64::MIN_POSITIVE);
+                if improvement.abs() < config.tolerance {
+                    break;
+                }
+            }
+            prev_loss = loss;
+            eta *= config.learning_rate_decay;
+        }
+
+        Ok((
+            Self {
+                user_factors,
+                service_factors,
+                neighbor_weights,
+                rho,
+                mean,
+                std,
+                bounds,
+            },
+            start.elapsed(),
+        ))
+    }
+
+    /// The normalized neighbor weights of a user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn neighbors(&self, user: usize) -> &[(usize, f64)] {
+        &self.neighbor_weights[user]
+    }
+}
+
+impl QosPredictor for Nimf {
+    fn predict(&self, user: usize, service: usize) -> f64 {
+        assert!(user < self.user_factors.len(), "user out of range");
+        assert!(service < self.service_factors.len(), "service out of range");
+        let s = &self.service_factors[service];
+        let own = qos_linalg::vector::dot(&self.user_factors[user], s);
+        let neighbors = &self.neighbor_weights[user];
+        let z = if neighbors.is_empty() {
+            own
+        } else {
+            let mut hood = 0.0;
+            for &(k, w) in neighbors {
+                hood += w * qos_linalg::vector::dot(&self.user_factors[k], s);
+            }
+            self.rho * own + (1.0 - self.rho) * hood
+        };
+        (self.mean + self.std * z).clamp(self.bounds.0, self.bounds.1)
+    }
+
+    fn name(&self) -> &'static str {
+        "NIMF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn structured_matrix() -> (SparseMatrix, Vec<(usize, usize, f64)>) {
+        // Two user groups with shared structure; NIMF's neighborhood term
+        // should help group members cover each other's holes.
+        let mut m = SparseMatrix::new(8, 10);
+        let mut held_out = Vec::new();
+        for u in 0..8 {
+            let group_base = if u < 4 { 1.0 } else { 3.0 };
+            for s in 0..10 {
+                let v = group_base * (1.0 + 0.3 * s as f64) + 0.05 * u as f64;
+                if (u * 10 + s) % 9 == 0 {
+                    held_out.push((u, s, v));
+                } else {
+                    m.insert(u, s, v);
+                }
+            }
+        }
+        (m, held_out)
+    }
+
+    #[test]
+    fn learns_structured_data() {
+        let (m, held_out) = structured_matrix();
+        let (nimf, elapsed) = Nimf::train(&m, NimfConfig::default()).unwrap();
+        assert!(elapsed.as_nanos() > 0);
+        // Squared-loss models are judged on the absolute scale; additionally
+        // require relative accuracy away from the extrapolation corners.
+        for (u, s, actual) in held_out {
+            let pred = nimf.predict(u, s);
+            let abs = (pred - actual).abs();
+            assert!(abs < 1.6, "({u},{s}): predicted {pred}, actual {actual}");
+            if actual > 2.0 {
+                assert!(
+                    abs / actual < 0.5,
+                    "({u},{s}): predicted {pred}, actual {actual}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rho_one_matches_pure_mf_family() {
+        // With rho = 1 the neighborhood term vanishes; predictions must be
+        // finite and within bounds like PMF's.
+        let (m, _) = structured_matrix();
+        let config = NimfConfig {
+            rho: 1.0,
+            ..Default::default()
+        };
+        let (nimf, _) = Nimf::train(&m, config).unwrap();
+        let (lo, hi) = (nimf.bounds.0, nimf.bounds.1);
+        for u in 0..8 {
+            for s in 0..10 {
+                let p = nimf.predict(u, s);
+                assert!((lo..=hi).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_weights_normalized() {
+        let (m, _) = structured_matrix();
+        let (nimf, _) = Nimf::train(&m, NimfConfig::default()).unwrap();
+        for u in 0..8 {
+            let total: f64 = nimf.neighbors(u).iter().map(|&(_, w)| w).sum();
+            assert!(
+                nimf.neighbors(u).is_empty() || (total - 1.0).abs() < 1e-9,
+                "user {u}: weights sum to {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn same_group_users_are_neighbors() {
+        let (m, _) = structured_matrix();
+        let (nimf, _) = Nimf::train(&m, NimfConfig::default()).unwrap();
+        // User 0's strongest neighbor should come from its own group (users
+        // 1-3): group members are nearly perfectly correlated.
+        if let Some(&(best, _)) = nimf.neighbors(0).first() {
+            assert!((1..=3).contains(&best), "user 0's top neighbor is {best}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (m, _) = structured_matrix();
+        let (a, _) = Nimf::train(&m, NimfConfig::default()).unwrap();
+        let (b, _) = Nimf::train(&m, NimfConfig::default()).unwrap();
+        assert_eq!(a.predict(0, 0), b.predict(0, 0));
+    }
+
+    #[test]
+    fn rejects_invalid_config_and_empty_data() {
+        let (m, _) = structured_matrix();
+        let bad = NimfConfig {
+            rho: 1.5,
+            ..Default::default()
+        };
+        assert!(Nimf::train(&m, bad).is_err());
+        let bad = NimfConfig {
+            dimension: 0,
+            ..Default::default()
+        };
+        assert!(Nimf::train(&m, bad).is_err());
+        assert!(matches!(
+            Nimf::train(&SparseMatrix::new(2, 2), NimfConfig::default()),
+            Err(BaselineError::EmptyTrainingData)
+        ));
+    }
+
+    #[test]
+    fn name_is_nimf() {
+        let (m, _) = structured_matrix();
+        let (nimf, _) = Nimf::train(&m, NimfConfig::default()).unwrap();
+        assert_eq!(nimf.name(), "NIMF");
+    }
+}

@@ -1,0 +1,565 @@
+//! Probabilistic Matrix Factorization (the paper's PMF baseline).
+//!
+//! Follows Salakhutdinov & Mnih (NIPS'07) as the paper uses it
+//! (Section IV-B): the QoS matrix is fitted directly by latent inner
+//! products, `R̂_ij = U_i^T S_j` (a linear-Gaussian model), minimizing squared
+//! error with L2 regularization. Observed values are z-scored for numerical
+//! conditioning (an affine map, so the model stays linear); a
+//! sigmoid-constrained variant ([`PmfLink::Sigmoid`]) is provided for
+//! comparison with the logistic formulation some implementations use.
+//!
+//! Training is batch-style: repeated epochs over the *whole* observed matrix
+//! until convergence — exactly the property that makes PMF unsuitable for
+//! online use (it must retrain per time slice; the cost the paper measures
+//! in Fig. 13).
+
+use crate::{BaselineError, QosPredictor};
+use qos_linalg::random::{normal_vec, shuffle};
+use qos_linalg::{Entry, SparseMatrix};
+use qos_transform::{sigmoid, sigmoid_derivative, Range};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Output link of the factorization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PmfLink {
+    /// `R̂ = μ + σ·(U^T S)` on z-scored data — the paper's `R ≈ U^T S`
+    /// formulation (default).
+    Linear,
+    /// `R̂ = denormalize(g(U^T S))` with min–max normalization — the
+    /// logistic-constrained variant.
+    Sigmoid,
+}
+
+/// PMF hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PmfConfig {
+    /// Latent dimensionality (paper: `d = 10`).
+    pub dimension: usize,
+    /// L2 regularization strength for both factor matrices.
+    pub lambda: f64,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Per-epoch multiplicative learning-rate decay.
+    pub learning_rate_decay: f64,
+    /// Maximum training epochs.
+    pub max_epochs: usize,
+    /// Convergence: stop when the relative epoch-loss improvement drops below
+    /// this threshold.
+    pub tolerance: f64,
+    /// Output link (linear per the paper; sigmoid for comparison).
+    pub link: PmfLink,
+    /// RNG seed for initialization and epoch shuffling.
+    pub seed: u64,
+}
+
+impl Default for PmfConfig {
+    fn default() -> Self {
+        Self {
+            dimension: 10,
+            lambda: 0.02,
+            learning_rate: 0.02,
+            learning_rate_decay: 0.995,
+            max_epochs: 300,
+            tolerance: 1e-5,
+            link: PmfLink::Linear,
+            seed: 42,
+        }
+    }
+}
+
+impl PmfConfig {
+    /// The sigmoid-constrained configuration (tuned step size for the
+    /// `[0, 1]` domain).
+    pub fn sigmoid() -> Self {
+        Self {
+            link: PmfLink::Sigmoid,
+            learning_rate: 0.8,
+            learning_rate_decay: 0.98,
+            lambda: 0.001,
+            ..Self::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidConfig`] when a parameter is outside
+    /// its valid domain.
+    pub fn validate(&self) -> Result<(), BaselineError> {
+        let bad = |msg: &str| Err(BaselineError::InvalidConfig(msg.to_string()));
+        if self.dimension == 0 {
+            return bad("dimension must be positive");
+        }
+        if self.lambda.is_nan() || self.lambda < 0.0 {
+            return bad("lambda must be non-negative");
+        }
+        if self.learning_rate.is_nan() || self.learning_rate <= 0.0 {
+            return bad("learning_rate must be positive");
+        }
+        if !(0.0 < self.learning_rate_decay && self.learning_rate_decay <= 1.0) {
+            return bad("learning_rate_decay must be in (0, 1]");
+        }
+        if self.max_epochs == 0 {
+            return bad("max_epochs must be positive");
+        }
+        if self.tolerance.is_nan() || self.tolerance < 0.0 {
+            return bad("tolerance must be non-negative");
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a PMF training run (for the Fig. 13 efficiency comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PmfTrainReport {
+    /// Number of epochs executed.
+    pub epochs: usize,
+    /// Final mean squared training loss (normalized domain).
+    pub final_loss: f64,
+    /// Wall-clock training time.
+    pub elapsed: Duration,
+    /// Whether the tolerance criterion was met before `max_epochs`.
+    pub converged: bool,
+}
+
+/// How raw values map into the training domain and back.
+#[derive(Debug, Clone, Copy)]
+enum Scaling {
+    /// z-scoring for the linear link: `z = (R − mean) / std`.
+    ZScore { mean: f64, std: f64 },
+    /// Min–max (padded) for the sigmoid link.
+    MinMax(Range),
+}
+
+/// A trained PMF model.
+///
+/// # Examples
+///
+/// ```
+/// use qos_baselines::{Pmf, PmfConfig, QosPredictor};
+/// use qos_linalg::SparseMatrix;
+///
+/// let mut m = SparseMatrix::new(4, 4);
+/// for u in 0..4 {
+///     for s in 0..4 {
+///         if (u, s) != (3, 3) {
+///             m.insert(u, s, 1.0 + ((u * s) % 3) as f64);
+///         }
+///     }
+/// }
+/// let (pmf, report) = Pmf::train(&m, PmfConfig::default())?;
+/// let pred = pmf.predict(3, 3);
+/// assert!(pred >= 1.0 && pred <= 3.0);
+/// assert!(report.epochs > 0);
+/// # Ok::<(), qos_baselines::BaselineError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pmf {
+    user_factors: Vec<Vec<f64>>,
+    service_factors: Vec<Vec<f64>>,
+    scaling: Scaling,
+    /// Observed-value bounds; predictions are clamped into them.
+    bounds: (f64, f64),
+    link: PmfLink,
+}
+
+impl Pmf {
+    /// Trains PMF on the observed matrix, returning the model and a training
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::EmptyTrainingData`] for an empty matrix and
+    /// [`BaselineError::InvalidConfig`] for an invalid `config`.
+    pub fn train(
+        matrix: &SparseMatrix,
+        config: PmfConfig,
+    ) -> Result<(Self, PmfTrainReport), BaselineError> {
+        config.validate()?;
+        if matrix.nnz() == 0 {
+            return Err(BaselineError::EmptyTrainingData);
+        }
+        let start = Instant::now();
+
+        let observed = matrix.observed_values();
+        let obs_min = observed.iter().cloned().fold(f64::INFINITY, f64::min);
+        let obs_max = observed.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+        let scaling = match config.link {
+            PmfLink::Linear => {
+                let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+                let var = observed
+                    .iter()
+                    .map(|v| (v - mean) * (v - mean))
+                    .sum::<f64>()
+                    / observed.len() as f64;
+                Scaling::ZScore {
+                    mean,
+                    // Constant matrices have zero variance; any positive std
+                    // keeps the map defined (the factors then fit 0).
+                    std: var.sqrt().max(1e-9),
+                }
+            }
+            PmfLink::Sigmoid => {
+                // Pad the range: the sigmoid link only reaches the open
+                // interval (0, 1), so data extremes must be interior points.
+                let range = match Range::from_data(&observed) {
+                    Ok(tight) => {
+                        let pad = 0.1 * tight.width();
+                        Range::new(tight.min() - pad, tight.max() + pad)
+                            .expect("padded range is valid")
+                    }
+                    Err(_) => {
+                        let v = observed[0];
+                        Range::new(v - 0.5, v + 0.5).expect("widened range is valid")
+                    }
+                };
+                Scaling::MinMax(range)
+            }
+        };
+        let to_target = |raw: f64| -> f64 {
+            match scaling {
+                Scaling::ZScore { mean, std } => (raw - mean) / std,
+                Scaling::MinMax(range) => range.normalize(raw),
+            }
+        };
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let d = config.dimension;
+        let init_sigma = 0.1;
+        let mut user_factors: Vec<Vec<f64>> = (0..matrix.rows())
+            .map(|_| normal_vec(&mut rng, d, 0.0, init_sigma))
+            .collect();
+        let mut service_factors: Vec<Vec<f64>> = (0..matrix.cols())
+            .map(|_| normal_vec(&mut rng, d, 0.0, init_sigma))
+            .collect();
+
+        let mut entries: Vec<Entry> = matrix.iter().copied().collect();
+        let mut eta = config.learning_rate;
+        let mut prev_loss = f64::INFINITY;
+        let mut epochs = 0;
+        let mut converged = false;
+        let mut loss = f64::INFINITY;
+
+        for epoch in 0..config.max_epochs {
+            epochs = epoch + 1;
+            shuffle(&mut rng, &mut entries);
+            let mut sq_err_sum = 0.0;
+            for e in &entries {
+                let target = to_target(e.value);
+                let u = &user_factors[e.row];
+                let s = &service_factors[e.col];
+                let x = qos_linalg::vector::dot(u, s);
+                let (err, gradient_scale) = match config.link {
+                    PmfLink::Linear => (x - target, 1.0),
+                    PmfLink::Sigmoid => (sigmoid(x) - target, sigmoid_derivative(x)),
+                };
+                sq_err_sum += err * err;
+                // Clip the per-sample gradient coefficient: extreme z-scores
+                // in heavy-tailed data can otherwise blow the factors up
+                // (divergence shows as NaN predictions).
+                let coef = (err * gradient_scale).clamp(-5.0, 5.0);
+                // Simultaneous update of U_i and S_j (Eq. 2 with Eq. 1's loss).
+                for k in 0..d {
+                    let (uk, sk) = (user_factors[e.row][k], service_factors[e.col][k]);
+                    user_factors[e.row][k] = uk - eta * (coef * sk + config.lambda * uk);
+                    service_factors[e.col][k] = sk - eta * (coef * uk + config.lambda * sk);
+                }
+            }
+            loss = sq_err_sum / entries.len() as f64;
+            if prev_loss.is_finite() {
+                let improvement = (prev_loss - loss) / prev_loss.max(f64::MIN_POSITIVE);
+                if improvement.abs() < config.tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+            prev_loss = loss;
+            eta *= config.learning_rate_decay;
+        }
+
+        Ok((
+            Self {
+                user_factors,
+                service_factors,
+                scaling,
+                bounds: (obs_min, obs_max),
+                link: config.link,
+            },
+            PmfTrainReport {
+                epochs,
+                final_loss: loss,
+                elapsed: start.elapsed(),
+                converged,
+            },
+        ))
+    }
+
+    /// Latent vector of a user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn user_factor(&self, user: usize) -> &[f64] {
+        &self.user_factors[user]
+    }
+
+    /// Latent vector of a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` is out of range.
+    pub fn service_factor(&self, service: usize) -> &[f64] {
+        &self.service_factors[service]
+    }
+
+    /// The output link this model was trained with.
+    pub fn link(&self) -> PmfLink {
+        self.link
+    }
+
+    /// Observed-value bounds used to clamp predictions.
+    pub fn bounds(&self) -> (f64, f64) {
+        self.bounds
+    }
+}
+
+impl QosPredictor for Pmf {
+    fn predict(&self, user: usize, service: usize) -> f64 {
+        assert!(user < self.user_factors.len(), "user out of range");
+        assert!(service < self.service_factors.len(), "service out of range");
+        let x = qos_linalg::vector::dot(&self.user_factors[user], &self.service_factors[service]);
+        let raw = match self.scaling {
+            Scaling::ZScore { mean, std } => mean + std * x,
+            Scaling::MinMax(range) => range.denormalize(sigmoid(x)),
+        };
+        raw.clamp(self.bounds.0, self.bounds.1)
+    }
+
+    fn name(&self) -> &'static str {
+        "PMF"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rank-1 ground truth with a few holes.
+    fn rank_one_matrix() -> (SparseMatrix, Vec<(usize, usize, f64)>) {
+        let users = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let services = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
+        let mut m = SparseMatrix::new(5, 6);
+        let mut held_out = Vec::new();
+        for (i, &u) in users.iter().enumerate() {
+            for (j, &s) in services.iter().enumerate() {
+                let v = u * s;
+                if (i + 2 * j) % 7 == 0 {
+                    held_out.push((i, j, v));
+                } else {
+                    m.insert(i, j, v);
+                }
+            }
+        }
+        (m, held_out)
+    }
+
+    #[test]
+    fn linear_link_learns_rank_one_structure() {
+        let (m, held_out) = rank_one_matrix();
+        let (pmf, report) = Pmf::train(&m, PmfConfig::default()).unwrap();
+        assert!(report.final_loss < 0.02, "loss {}", report.final_loss);
+        // PMF optimizes absolute error; judge held-out cells on that scale
+        // (corner cells are pure extrapolation), plus relative accuracy on
+        // the large values where it is meaningful.
+        let (lo, hi) = pmf.bounds();
+        let width = hi - lo;
+        for (u, s, actual) in held_out {
+            let pred = pmf.predict(u, s);
+            let abs = (pred - actual).abs();
+            assert!(
+                abs < 0.25 * width,
+                "({u},{s}): predicted {pred}, actual {actual}, width {width}"
+            );
+            if actual > 5.0 {
+                assert!(
+                    abs / actual < 0.4,
+                    "large value ({u},{s}): rel {}",
+                    abs / actual
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_link_learns_absolute_structure() {
+        let (m, held_out) = rank_one_matrix();
+        let (pmf, _) = Pmf::train(&m, PmfConfig::sigmoid()).unwrap();
+        let (lo, hi) = pmf.bounds();
+        let width = hi - lo;
+        for (u, s, actual) in held_out {
+            let abs = (pmf.predict(u, s) - actual).abs();
+            assert!(abs < 0.3 * width, "({u},{s}): |err| {abs} vs width {width}");
+        }
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let (m, _) = rank_one_matrix();
+        let quick = PmfConfig {
+            max_epochs: 2,
+            tolerance: 0.0,
+            ..Default::default()
+        };
+        let (_, short) = Pmf::train(&m, quick).unwrap();
+        let long_config = PmfConfig {
+            max_epochs: 100,
+            tolerance: 0.0,
+            ..Default::default()
+        };
+        let (_, long) = Pmf::train(&m, long_config).unwrap();
+        assert!(long.final_loss < short.final_loss);
+    }
+
+    #[test]
+    fn converges_before_max_epochs() {
+        // A looser tolerance makes the flat-loss criterion reachable well
+        // before the epoch cap on this tiny problem.
+        let (m, _) = rank_one_matrix();
+        let config = PmfConfig {
+            tolerance: 1e-3,
+            ..Default::default()
+        };
+        let (_, report) = Pmf::train(&m, config).unwrap();
+        assert!(report.converged);
+        assert!(report.epochs < config.max_epochs);
+        assert!(report.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (m, _) = rank_one_matrix();
+        let (a, _) = Pmf::train(&m, PmfConfig::default()).unwrap();
+        let (b, _) = Pmf::train(&m, PmfConfig::default()).unwrap();
+        assert_eq!(a.predict(0, 0), b.predict(0, 0));
+        let seeded = PmfConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        let (c, _) = Pmf::train(&m, seeded).unwrap();
+        assert_ne!(a.predict(0, 0), c.predict(0, 0));
+    }
+
+    #[test]
+    fn predictions_clamped_to_observed_bounds() {
+        let (m, _) = rank_one_matrix();
+        for config in [PmfConfig::default(), PmfConfig::sigmoid()] {
+            let (pmf, _) = Pmf::train(&m, config).unwrap();
+            let (lo, hi) = pmf.bounds();
+            for u in 0..5 {
+                for s in 0..6 {
+                    let p = pmf.predict(u, s);
+                    assert!(
+                        (lo..=hi).contains(&p),
+                        "prediction {p} outside [{lo}, {hi}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constant_matrix_trains_without_panic() {
+        let mut m = SparseMatrix::new(3, 3);
+        for u in 0..3 {
+            for s in 0..3 {
+                m.insert(u, s, 5.0);
+            }
+        }
+        for config in [PmfConfig::default(), PmfConfig::sigmoid()] {
+            let (pmf, _) = Pmf::train(&m, config).unwrap();
+            let p = pmf.predict(0, 0);
+            assert!((4.5..=5.5).contains(&p), "prediction {p}");
+        }
+    }
+
+    #[test]
+    fn handles_skewed_heavy_tailed_data() {
+        // The throughput regime: most values tiny, a few huge. Linear PMF
+        // must keep absolute error moderate (this is where the sigmoid
+        // variant collapses).
+        let mut m = SparseMatrix::new(8, 12);
+        let mut held_out = Vec::new();
+        for u in 0..8 {
+            for s in 0..12 {
+                let v = if (u + s) % 11 == 0 {
+                    2000.0 + 100.0 * u as f64
+                } else {
+                    2.0 + (u * s % 7) as f64
+                };
+                if (u * 12 + s) % 9 == 0 {
+                    held_out.push((u, s, v));
+                } else {
+                    m.insert(u, s, v);
+                }
+            }
+        }
+        let (pmf, _) = Pmf::train(&m, PmfConfig::default()).unwrap();
+        let mae: f64 = held_out
+            .iter()
+            .map(|&(u, s, v)| (pmf.predict(u, s) - v).abs())
+            .sum::<f64>()
+            / held_out.len() as f64;
+        // Global mean would incur MAE ~300 on the small values; the model
+        // should do clearly better than that.
+        assert!(mae < 500.0, "MAE {mae} unreasonable for this data");
+    }
+
+    #[test]
+    fn rejects_empty_and_invalid() {
+        assert!(matches!(
+            Pmf::train(&SparseMatrix::new(2, 2), PmfConfig::default()),
+            Err(BaselineError::EmptyTrainingData)
+        ));
+        let (m, _) = rank_one_matrix();
+        let bad = PmfConfig {
+            dimension: 0,
+            ..Default::default()
+        };
+        assert!(Pmf::train(&m, bad).is_err());
+        let bad = PmfConfig {
+            learning_rate: -1.0,
+            ..Default::default()
+        };
+        assert!(Pmf::train(&m, bad).is_err());
+        let bad = PmfConfig {
+            learning_rate_decay: 0.0,
+            ..Default::default()
+        };
+        assert!(Pmf::train(&m, bad).is_err());
+        let bad = PmfConfig {
+            max_epochs: 0,
+            ..Default::default()
+        };
+        assert!(Pmf::train(&m, bad).is_err());
+        let bad = PmfConfig {
+            lambda: f64::NAN,
+            ..Default::default()
+        };
+        assert!(Pmf::train(&m, bad).is_err());
+    }
+
+    #[test]
+    fn factor_accessors() {
+        let (m, _) = rank_one_matrix();
+        let (pmf, _) = Pmf::train(&m, PmfConfig::default()).unwrap();
+        assert_eq!(pmf.user_factor(0).len(), 10);
+        assert_eq!(pmf.service_factor(0).len(), 10);
+        assert_eq!(pmf.name(), "PMF");
+        assert_eq!(pmf.link(), PmfLink::Linear);
+    }
+}

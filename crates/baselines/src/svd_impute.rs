@@ -1,0 +1,319 @@
+//! SVD imputation — the classic low-rank matrix-completion baseline
+//! (extension).
+//!
+//! Iterative hard-impute: fill the missing cells with column (service)
+//! means, compute a rank-`k` truncated SVD, replace the missing cells with
+//! the low-rank reconstruction, and repeat until the imputed values stop
+//! moving. A useful reference point because it exploits exactly the same
+//! low-rank structure as PMF/AMF but through a direct spectral method with
+//! no learning-rate tuning — and, like the other offline baselines, it must
+//! recompute from scratch whenever the matrix changes.
+
+use crate::{BaselineError, QosPredictor};
+use qos_linalg::svd::truncated;
+use qos_linalg::{DenseMatrix, SparseMatrix};
+use serde::{Deserialize, Serialize};
+
+/// SVD-imputation hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SvdImputeConfig {
+    /// Truncation rank `k`.
+    pub rank: usize,
+    /// Maximum impute–decompose iterations.
+    pub max_iterations: usize,
+    /// RNG seed for the SVD's subspace initialization.
+    pub seed: u64,
+}
+
+impl Default for SvdImputeConfig {
+    fn default() -> Self {
+        Self {
+            rank: 10,
+            max_iterations: 60,
+            seed: 42,
+        }
+    }
+}
+
+impl SvdImputeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidConfig`] when `rank` or
+    /// `max_iterations` is zero.
+    pub fn validate(&self) -> Result<(), BaselineError> {
+        if self.rank == 0 {
+            return Err(BaselineError::InvalidConfig("rank must be positive".into()));
+        }
+        if self.max_iterations == 0 {
+            return Err(BaselineError::InvalidConfig(
+                "max_iterations must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A fitted SVD-imputation model: the completed matrix.
+#[derive(Debug, Clone)]
+pub struct SvdImpute {
+    completed: DenseMatrix,
+    bounds: (f64, f64),
+}
+
+impl SvdImpute {
+    /// Fits the model on the observed matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::EmptyTrainingData`] for an empty matrix and
+    /// [`BaselineError::InvalidConfig`] for invalid hyperparameters (a rank
+    /// above `min(rows, cols)` is clamped rather than rejected).
+    pub fn train(matrix: &SparseMatrix, config: SvdImputeConfig) -> Result<Self, BaselineError> {
+        config.validate()?;
+        if matrix.nnz() == 0 {
+            return Err(BaselineError::EmptyTrainingData);
+        }
+        let (rows, cols) = matrix.shape();
+        let rank = config.rank.min(rows.min(cols));
+
+        let observed = matrix.observed_values();
+        let global_mean = observed.iter().sum::<f64>() / observed.len() as f64;
+        let bounds = (
+            observed.iter().cloned().fold(f64::INFINITY, f64::min),
+            observed.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+
+        // Initial fill: column (service) means, then global mean.
+        let mut working = DenseMatrix::from_fn(rows, cols, |i, j| {
+            matrix
+                .get(i, j)
+                .or_else(|| matrix.col_mean(j))
+                .unwrap_or(global_mean)
+        });
+
+        for _ in 0..config.max_iterations {
+            let svd = truncated(&working, rank, config.seed)
+                .map_err(|e| BaselineError::InvalidConfig(format!("svd failed: {e}")))?;
+            let approx = svd.reconstruct();
+            // Re-impose the observed entries; only missing cells move.
+            let mut change = 0.0;
+            let mut next = approx;
+            for e in matrix.iter() {
+                next.set(e.row, e.col, e.value);
+            }
+            for i in 0..rows {
+                for j in 0..cols {
+                    if !matrix.contains(i, j) {
+                        change += (next.get(i, j) - working.get(i, j)).abs();
+                    }
+                }
+            }
+            working = next;
+            let denom = ((rows * cols) - matrix.nnz()).max(1) as f64;
+            if change / denom < 1e-5 {
+                break;
+            }
+        }
+
+        Ok(Self {
+            completed: working,
+            bounds,
+        })
+    }
+
+    /// The completed (imputed) matrix.
+    pub fn completed(&self) -> &DenseMatrix {
+        &self.completed
+    }
+}
+
+impl QosPredictor for SvdImpute {
+    fn predict(&self, user: usize, service: usize) -> f64 {
+        self.completed
+            .get(user, service)
+            .clamp(self.bounds.0, self.bounds.1)
+    }
+
+    fn name(&self) -> &'static str {
+        "SVD-impute"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exactly low-rank ground truth with scattered holes (one per row, no
+    /// two in the same column — the benign missingness regime).
+    fn low_rank_case() -> (SparseMatrix, Vec<(usize, usize, f64)>) {
+        let u = [1.0, 2.0, 3.0, 1.5, 2.5, 0.5];
+        let w = [2.0, 1.0, 3.0, 1.5, 2.5, 0.8, 1.2];
+        let holes = [(0usize, 1usize), (1, 4), (2, 6), (3, 2), (4, 0), (5, 3)];
+        let mut m = SparseMatrix::new(6, 7);
+        let mut held_out = Vec::new();
+        for (i, &ui) in u.iter().enumerate() {
+            for (j, &wj) in w.iter().enumerate() {
+                let v = ui * wj + 1.0;
+                if holes.contains(&(i, j)) {
+                    held_out.push((i, j, v));
+                } else {
+                    m.insert(i, j, v);
+                }
+            }
+        }
+        (m, held_out)
+    }
+
+    #[test]
+    fn completes_low_rank_matrix() {
+        let (m, held_out) = low_rank_case();
+        let model = SvdImpute::train(
+            &m,
+            SvdImputeConfig {
+                rank: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for (i, j, actual) in held_out {
+            let pred = model.predict(i, j);
+            assert!(
+                (pred - actual).abs() / actual < 0.25,
+                "({i},{j}): predicted {pred}, actual {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversarial_missingness_still_beats_initial_fill_on_aggregate() {
+        // A held-out diagonal has an invariant perturbation component under
+        // hard-impute (the rank-k projection preserves part of the initial
+        // fill error), so per-cell recovery is NOT guaranteed — but the
+        // aggregate must still improve on the column-mean fill.
+        let u = [1.0, 2.0, 3.0, 1.5, 2.5, 0.5];
+        let w = [2.0, 1.0, 3.0, 1.5, 2.5, 0.8, 1.2];
+        let mut m = SparseMatrix::new(6, 7);
+        let mut held_out = Vec::new();
+        for (i, &ui) in u.iter().enumerate() {
+            for (j, &wj) in w.iter().enumerate() {
+                let v = ui * wj + 1.0;
+                if i == j {
+                    held_out.push((i, j, v));
+                } else {
+                    m.insert(i, j, v);
+                }
+            }
+        }
+        let model = SvdImpute::train(
+            &m,
+            SvdImputeConfig {
+                rank: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mae = |f: &dyn Fn(usize, usize) -> f64| {
+            held_out
+                .iter()
+                .map(|&(i, j, v)| (f(i, j) - v).abs())
+                .sum::<f64>()
+                / held_out.len() as f64
+        };
+        let model_mae = mae(&|i, j| model.predict(i, j));
+        let fill_mae = mae(&|_, j| m.col_mean(j).unwrap());
+        assert!(
+            model_mae <= fill_mae,
+            "imputation MAE {model_mae} vs fill {fill_mae}"
+        );
+    }
+
+    #[test]
+    fn observed_entries_preserved_exactly() {
+        let (m, _) = low_rank_case();
+        let model = SvdImpute::train(&m, SvdImputeConfig::default()).unwrap();
+        for e in m.iter() {
+            assert!(
+                (model.completed().get(e.row, e.col) - e.value).abs() < 1e-12,
+                "observed cell moved"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_clamped_to_matrix_size() {
+        let (m, _) = low_rank_case();
+        let model = SvdImpute::train(
+            &m,
+            SvdImputeConfig {
+                rank: 100,
+                ..Default::default()
+            },
+        );
+        assert!(model.is_ok());
+    }
+
+    #[test]
+    fn predictions_within_observed_bounds() {
+        let (m, _) = low_rank_case();
+        let model = SvdImpute::train(&m, SvdImputeConfig::default()).unwrap();
+        let lo = m
+            .observed_values()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let hi = m
+            .observed_values()
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        for i in 0..6 {
+            for j in 0..7 {
+                let p = model.predict(i, j);
+                assert!((lo..=hi).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (m, _) = low_rank_case();
+        let a = SvdImpute::train(&m, SvdImputeConfig::default()).unwrap();
+        let b = SvdImpute::train(&m, SvdImputeConfig::default()).unwrap();
+        assert_eq!(a.predict(0, 0), b.predict(0, 0));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (m, _) = low_rank_case();
+        assert!(SvdImpute::train(
+            &m,
+            SvdImputeConfig {
+                rank: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(SvdImpute::train(
+            &m,
+            SvdImputeConfig {
+                max_iterations: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(matches!(
+            SvdImpute::train(&SparseMatrix::new(3, 3), SvdImputeConfig::default()),
+            Err(BaselineError::EmptyTrainingData)
+        ));
+    }
+
+    #[test]
+    fn name_and_accessors() {
+        let (m, _) = low_rank_case();
+        let model = SvdImpute::train(&m, SvdImputeConfig::default()).unwrap();
+        assert_eq!(model.name(), "SVD-impute");
+        assert_eq!(model.completed().shape(), (6, 7));
+    }
+}

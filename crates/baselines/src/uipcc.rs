@@ -1,0 +1,225 @@
+//! UIPCC: the confidence-weighted hybrid of UPCC and IPCC.
+//!
+//! Following Zheng et al. (WSRec), the user-based and item-based predictions
+//! are blended with weights that combine a tunable parameter `λ` with
+//! per-prediction *confidence* — how strongly the contributing neighbors
+//! agree:
+//!
+//! ```text
+//! con_u = Σ_v (sim(u,v) / Σ sim) · sim(u,v)        (same for con_i)
+//! w_u   = con_u · λ / (con_u · λ + con_i · (1 − λ))
+//! r̂    = w_u · r̂_UPCC + (1 − w_u) · r̂_IPCC
+//! ```
+
+use crate::neighborhood::{Ipcc, NeighborhoodConfig, Upcc};
+use crate::{BaselineError, QosPredictor};
+use qos_linalg::SparseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// UIPCC configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UipccConfig {
+    /// Shared neighborhood parameters for both component models.
+    pub neighborhood: NeighborhoodConfig,
+    /// Blend parameter `λ ∈ [0, 1]`: 1 = pure UPCC, 0 = pure IPCC.
+    pub lambda: f64,
+}
+
+impl Default for UipccConfig {
+    fn default() -> Self {
+        Self {
+            neighborhood: NeighborhoodConfig::default(),
+            lambda: 0.5,
+        }
+    }
+}
+
+impl UipccConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::InvalidConfig`] when `lambda` is outside
+    /// `[0, 1]` or the neighborhood config is invalid.
+    pub fn validate(&self) -> Result<(), BaselineError> {
+        self.neighborhood.validate()?;
+        if !(0.0..=1.0).contains(&self.lambda) {
+            return Err(BaselineError::InvalidConfig(
+                "lambda must be in [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The hybrid UPCC + IPCC predictor (the paper's UIPCC baseline).
+#[derive(Debug, Clone)]
+pub struct Uipcc {
+    upcc: Upcc,
+    ipcc: Ipcc,
+    lambda: f64,
+}
+
+impl Uipcc {
+    /// Trains both component models on the observed matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BaselineError::EmptyTrainingData`] for an empty matrix and
+    /// [`BaselineError::InvalidConfig`] for an invalid `config`.
+    pub fn train(matrix: &SparseMatrix, config: UipccConfig) -> Result<Self, BaselineError> {
+        config.validate()?;
+        Ok(Self {
+            upcc: Upcc::train(matrix, config.neighborhood)?,
+            ipcc: Ipcc::train(matrix, config.neighborhood)?,
+            lambda: config.lambda,
+        })
+    }
+
+    /// Confidence of a neighbor list: similarity-weighted mean similarity.
+    fn confidence(neighbors: &[(usize, f64)]) -> f64 {
+        let total: f64 = neighbors.iter().map(|&(_, s)| s).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        neighbors.iter().map(|&(_, s)| (s / total) * s).sum()
+    }
+
+    /// The user-side blend weight for a prediction at `(user, service)`.
+    pub fn user_weight(&self, user: usize, service: usize) -> f64 {
+        let con_u = Self::confidence(self.upcc.neighbors(user));
+        let con_i = Self::confidence(self.ipcc.neighbors(service));
+        let num = con_u * self.lambda;
+        let den = num + con_i * (1.0 - self.lambda);
+        if den == 0.0 {
+            // No confidence on either side: fall back to the raw lambda.
+            self.lambda
+        } else {
+            num / den
+        }
+    }
+
+    /// The component UPCC model.
+    pub fn upcc(&self) -> &Upcc {
+        &self.upcc
+    }
+
+    /// The component IPCC model.
+    pub fn ipcc(&self) -> &Ipcc {
+        &self.ipcc
+    }
+}
+
+impl QosPredictor for Uipcc {
+    fn predict(&self, user: usize, service: usize) -> f64 {
+        let w = self.user_weight(user, service);
+        w * self.upcc.predict(user, service) + (1.0 - w) * self.ipcc.predict(user, service)
+    }
+
+    fn name(&self) -> &'static str {
+        "UIPCC"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> SparseMatrix {
+        let mut m = SparseMatrix::new(6, 6);
+        for u in 0..6 {
+            for s in 0..6 {
+                if (u + s) % 7 != 0 {
+                    let base = if (u < 3) == (s < 3) { 1.0 } else { 5.0 };
+                    m.insert(u, s, base + 0.1 * u as f64 + 0.07 * s as f64);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn prediction_between_components() {
+        let m = matrix();
+        let uipcc = Uipcc::train(&m, UipccConfig::default()).unwrap();
+        for (u, s) in [(0usize, 0usize), (2, 5), (4, 1)] {
+            let hybrid = uipcc.predict(u, s);
+            let up = uipcc.upcc().predict(u, s);
+            let ip = uipcc.ipcc().predict(u, s);
+            let (lo, hi) = if up <= ip { (up, ip) } else { (ip, up) };
+            assert!(
+                (lo - 1e-9..=hi + 1e-9).contains(&hybrid),
+                "hybrid {hybrid} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn lambda_one_is_pure_upcc() {
+        let m = matrix();
+        let config = UipccConfig {
+            lambda: 1.0,
+            ..Default::default()
+        };
+        let uipcc = Uipcc::train(&m, config).unwrap();
+        for (u, s) in [(0usize, 1usize), (3, 4)] {
+            assert_eq!(uipcc.predict(u, s), uipcc.upcc().predict(u, s));
+        }
+    }
+
+    #[test]
+    fn lambda_zero_is_pure_ipcc() {
+        let m = matrix();
+        let config = UipccConfig {
+            lambda: 0.0,
+            ..Default::default()
+        };
+        let uipcc = Uipcc::train(&m, config).unwrap();
+        for (u, s) in [(1usize, 0usize), (5, 2)] {
+            assert_eq!(uipcc.predict(u, s), uipcc.ipcc().predict(u, s));
+        }
+    }
+
+    #[test]
+    fn weight_in_unit_interval() {
+        let m = matrix();
+        let uipcc = Uipcc::train(&m, UipccConfig::default()).unwrap();
+        for u in 0..6 {
+            for s in 0..6 {
+                let w = uipcc.user_weight(u, s);
+                assert!((0.0..=1.0).contains(&w), "weight {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_lambda_rejected() {
+        let m = matrix();
+        let config = UipccConfig {
+            lambda: 1.5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            Uipcc::train(&m, config),
+            Err(BaselineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        assert!(Uipcc::train(&SparseMatrix::new(2, 2), UipccConfig::default()).is_err());
+    }
+
+    #[test]
+    fn confidence_of_empty_is_zero() {
+        assert_eq!(Uipcc::confidence(&[]), 0.0);
+        assert!(Uipcc::confidence(&[(1, 0.8), (2, 0.4)]) > 0.0);
+    }
+
+    #[test]
+    fn name_is_uipcc() {
+        let m = matrix();
+        let uipcc = Uipcc::train(&m, UipccConfig::default()).unwrap();
+        assert_eq!(uipcc.name(), "UIPCC");
+    }
+}

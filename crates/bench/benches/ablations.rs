@@ -1,0 +1,58 @@
+//! Regenerates the **ablation artifacts** (E-ABL1 adaptive weights, E-ABL2
+//! loss function — DESIGN.md extensions beyond the paper's Fig. 11) and
+//! times the update kernel across the ablated configurations.
+
+use amf_bench::{emit, scale};
+use amf_core::{AmfConfig, AmfModel, LossKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qos_eval::experiments::ablation;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    emit(
+        "ablation_adaptive_weights.txt",
+        &ablation::run_weights(&scale()).render(),
+    );
+    emit("ablation_loss.txt", &ablation::run_loss(&scale()).render());
+    emit(
+        "ablation_alpha.txt",
+        &ablation::run_alpha(&scale()).render(),
+    );
+    emit(
+        "ablation_sampling.txt",
+        &ablation::run_sampling(&scale()).render(),
+    );
+
+    let mut group = c.benchmark_group("ablation/online_update_variant");
+    let variants = [
+        ("paper", AmfConfig::response_time()),
+        (
+            "fixed_weights",
+            AmfConfig {
+                adaptive_weights: false,
+                ..AmfConfig::response_time()
+            },
+        ),
+        (
+            "squared_loss",
+            AmfConfig {
+                loss: LossKind::Squared,
+                ..AmfConfig::response_time()
+            },
+        ),
+    ];
+    for (label, config) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            let mut model = AmfModel::new(*config).expect("valid config");
+            let mut k = 0usize;
+            b.iter(|| {
+                k = k.wrapping_add(3);
+                black_box(model.observe(k % 60, k % 150, 0.2 + (k % 11) as f64 * 0.5))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Regenerates **E-SIM** (the Section III end-to-end adaptation loop) and
+//! times one policy-decision step of the execution middleware.
+
+use amf_bench::{emit, scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_eval::experiments::adaptation;
+use qos_service::policy::{AdaptationPolicy, PolicyContext, ThresholdPolicy};
+use std::hint::black_box;
+
+fn bench_adaptation(c: &mut Criterion) {
+    emit("sim_adaptation.txt", &adaptation::run(&scale()).render());
+
+    let policy = ThresholdPolicy::new(2.0);
+    let predictions: Vec<Option<f64>> = (0..8).map(|k| Some(0.5 + 0.3 * k as f64)).collect();
+    c.bench_function("adaptation/policy_decision_8_candidates", |b| {
+        b.iter(|| {
+            let ctx = PolicyContext {
+                observed_current: Some(3.0),
+                predicted: &predictions,
+                bound: 3,
+            };
+            black_box(policy.decide(&ctx))
+        })
+    });
+}
+
+criterion_group!(benches, bench_adaptation);
+criterion_main!(benches);

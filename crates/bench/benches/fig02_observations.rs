@@ -1,0 +1,32 @@
+//! Regenerates **Fig. 2** (QoS dynamics and user-specificity) and times the
+//! dataset generator's random-access and slice paths.
+
+use amf_bench::{emit, scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_dataset::{Attribute, QosDataset};
+use qos_eval::experiments::fig2;
+use std::hint::black_box;
+
+fn bench_dataset_access(c: &mut Criterion) {
+    emit("fig02_observations.txt", &fig2::run(&scale()).render());
+
+    let dataset = QosDataset::generate(&scale().dataset_config());
+    c.bench_function("fig02/value_random_access", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = k.wrapping_add(101);
+            black_box(dataset.value(
+                Attribute::ResponseTime,
+                k % dataset.users(),
+                (k / 7) % dataset.services(),
+                k % dataset.time_slices(),
+            ))
+        })
+    });
+    c.bench_function("fig02/pair_series", |b| {
+        b.iter(|| black_box(dataset.pair_series(Attribute::ResponseTime, 1, 2)))
+    });
+}
+
+criterion_group!(benches, bench_dataset_access);
+criterion_main!(benches);

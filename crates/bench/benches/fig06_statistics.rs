@@ -1,0 +1,23 @@
+//! Regenerates **Fig. 6** (dataset statistics table) and times the
+//! statistics computation over one slice.
+
+use amf_bench::{emit, scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_dataset::{DatasetStatistics, QosDataset};
+use qos_eval::experiments::fig6;
+use std::hint::black_box;
+
+fn bench_statistics(c: &mut Criterion) {
+    emit("fig06_statistics.txt", &fig6::run(&scale()).to_table());
+
+    let dataset = QosDataset::generate(&scale().dataset_config());
+    let mut group = c.benchmark_group("fig06");
+    group.sample_size(10);
+    group.bench_function("dataset_statistics_1_slice", |b| {
+        b.iter(|| black_box(DatasetStatistics::compute(&dataset, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_statistics);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Regenerates **Figs. 7/8** (raw vs transformed QoS distributions) and
+//! times the Box–Cox pipeline's forward and backward maps.
+
+use amf_bench::{emit, scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_eval::experiments::fig7_8;
+use qos_transform::QosTransform;
+use std::hint::black_box;
+
+fn bench_transform(c: &mut Criterion) {
+    emit(
+        "fig07_08_distributions.txt",
+        &fig7_8::run(&scale()).render(),
+    );
+
+    let transform = QosTransform::new(-0.007, 0.0, 20.0).expect("paper transform");
+    let values: Vec<f64> = (0..4096).map(|k| 0.01 + (k % 2000) as f64 * 0.01).collect();
+
+    c.bench_function("fig07/boxcox_forward_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &v in &values {
+                acc += transform.to_normalized(v);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("fig08/boxcox_backward_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..4096 {
+                acc += transform.from_normalized((k % 1000) as f64 / 1000.0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_transform);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates **Fig. 9** (sorted normalized singular values) and times the
+//! Jacobi-based singular-value computation.
+
+use amf_bench::{emit, scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_dataset::{Attribute, QosDataset};
+use qos_eval::experiments::fig9;
+use qos_linalg::svd::singular_values;
+use std::hint::black_box;
+
+fn bench_svd(c: &mut Criterion) {
+    emit("fig09_singular_values.txt", &fig9::run(&scale()).render());
+
+    let dataset = QosDataset::generate(&scale().dataset_config());
+    let matrix = dataset.slice_matrix(Attribute::ResponseTime, 0);
+    let mut group = c.benchmark_group("fig09");
+    group.sample_size(10);
+    group.bench_function(format!("svd_{}x{}", matrix.rows(), matrix.cols()), |b| {
+        b.iter(|| black_box(singular_values(&matrix).expect("svd converges")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd);
+criterion_main!(benches);

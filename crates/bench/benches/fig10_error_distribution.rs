@@ -1,0 +1,29 @@
+//! Regenerates **Fig. 10** (prediction-error distributions of UIPCC, PMF
+//! and AMF) and times the error-distribution evaluation itself.
+
+use amf_bench::{emit, scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_eval::experiments::fig10;
+use qos_metrics::ErrorDistribution;
+use std::hint::black_box;
+
+fn bench_error_distribution(c: &mut Criterion) {
+    emit(
+        "fig10_error_distribution.txt",
+        &fig10::run(&scale()).render(),
+    );
+
+    let actual: Vec<f64> = (0..10_000).map(|k| 0.1 + (k % 700) as f64 * 0.01).collect();
+    let predicted: Vec<f64> = actual.iter().map(|v| v * 1.1 - 0.05).collect();
+    c.bench_function("fig10/error_distribution_10k", |b| {
+        b.iter(|| {
+            black_box(
+                ErrorDistribution::evaluate(&actual, &predicted, 3.0, 60, 0.5)
+                    .expect("valid inputs"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_error_distribution);
+criterion_main!(benches);

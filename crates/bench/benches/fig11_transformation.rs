@@ -1,0 +1,34 @@
+//! Regenerates **Fig. 11** (PMF vs AMF(α=1) vs AMF across densities) and
+//! times the AMF online-update kernel with and without the Box–Cox stage.
+
+use amf_bench::{emit, scale};
+use amf_core::{AmfConfig, AmfModel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qos_eval::experiments::fig11;
+use std::hint::black_box;
+
+fn bench_transformation(c: &mut Criterion) {
+    emit("fig11_transformation.txt", &fig11::run(&scale()).render());
+
+    let mut group = c.benchmark_group("fig11/online_update");
+    for (label, config) in [
+        ("alpha=-0.007", AmfConfig::response_time()),
+        (
+            "alpha=1",
+            AmfConfig::response_time().with_linear_transform(),
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            let mut model = AmfModel::new(*config).expect("valid config");
+            let mut k = 0usize;
+            b.iter(|| {
+                k = k.wrapping_add(1);
+                black_box(model.observe(k % 50, k % 200, 0.1 + (k % 17) as f64 * 0.3))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transformation);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Regenerates **Fig. 12** (AMF error vs matrix density, 5%–50%) and times
+//! the split/sparsification machinery the sweep is built on.
+
+use amf_bench::{emit, scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qos_dataset::sampling::split_matrix;
+use qos_dataset::{Attribute, QosDataset};
+use qos_eval::experiments::fig12;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_density(c: &mut Criterion) {
+    emit("fig12_density.txt", &fig12::run(&scale()).render());
+
+    let dataset = QosDataset::generate(&scale().dataset_config());
+    let matrix = dataset.slice_matrix(Attribute::ResponseTime, 0);
+    let mut group = c.benchmark_group("fig12/split_matrix");
+    group.sample_size(10);
+    for density in [0.05, 0.25, 0.50] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{:.0}%", density * 100.0)),
+            &density,
+            |b, &density| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(split_matrix(&matrix, density, &mut rng)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_density);
+criterion_main!(benches);

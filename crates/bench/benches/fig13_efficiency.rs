@@ -1,0 +1,37 @@
+//! Regenerates **Fig. 13** (convergence time per time slice: UIPCC and PMF
+//! retraining vs AMF's incremental updates — this artifact *is* a timing
+//! experiment) and additionally times the individual AMF online-update and
+//! prediction kernels, the per-sample costs behind the figure.
+
+use amf_bench::{emit, scale};
+use amf_core::{AmfConfig, AmfModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_eval::experiments::fig13;
+use std::hint::black_box;
+
+fn bench_efficiency(c: &mut Criterion) {
+    emit("fig13_efficiency.txt", &fig13::run(&scale()).render());
+
+    let mut model = AmfModel::new(AmfConfig::response_time()).expect("valid config");
+    for k in 0..5_000 {
+        model.observe(k % 100, k % 400, 0.1 + (k % 13) as f64 * 0.4);
+    }
+
+    c.bench_function("fig13/amf_single_online_update", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = k.wrapping_add(7);
+            black_box(model.observe(k % 100, k % 400, 0.1 + (k % 13) as f64 * 0.4))
+        })
+    });
+    c.bench_function("fig13/amf_single_prediction", |b| {
+        let mut k = 0usize;
+        b.iter(|| {
+            k = k.wrapping_add(11);
+            black_box(model.predict(k % 100, k % 400))
+        })
+    });
+}
+
+criterion_group!(benches, bench_efficiency);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates **Fig. 14** (scalability under churn: 80% existing entities,
+//! 20% joining mid-run) and times the cold-start registration path for new
+//! users and services.
+
+use amf_bench::{emit, scale};
+use amf_core::{AmfConfig, AmfModel};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_eval::experiments::fig14;
+use std::hint::black_box;
+
+fn bench_scalability(c: &mut Criterion) {
+    emit("fig14_scalability.txt", &fig14::run(&scale()).render());
+
+    c.bench_function("fig14/register_new_user", |b| {
+        b.iter_with_setup(
+            || AmfModel::new(AmfConfig::response_time()).expect("valid config"),
+            |mut model| {
+                black_box(model.add_user());
+                model
+            },
+        )
+    });
+    c.bench_function("fig14/first_observation_of_new_pair", |b| {
+        let mut model = AmfModel::new(AmfConfig::response_time()).expect("valid config");
+        let mut k = 0usize;
+        b.iter(|| {
+            k += 1;
+            // Every iteration touches a brand-new user and service id.
+            black_box(model.observe(k, k, 1.0))
+        })
+    });
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

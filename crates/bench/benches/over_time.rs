@@ -1,0 +1,35 @@
+//! Regenerates **E-SUPP** (accuracy over all time slices — the paper's
+//! supplementary-report experiment) and times one warm-started AMF slice
+//! ingest.
+
+use amf_bench::{emit, scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qos_eval::experiments::over_time;
+use std::hint::black_box;
+
+fn bench_over_time(c: &mut Criterion) {
+    emit("supp_over_time.txt", &over_time::run(&scale()).render());
+
+    let mut group = c.benchmark_group("over_time");
+    group.sample_size(10);
+    group.bench_function("amf_two_slice_track_small", |b| {
+        b.iter(|| {
+            let r = over_time::run_with(
+                &amf_bench::Scale {
+                    users: 30,
+                    services: 60,
+                    time_slices: 2,
+                    repetitions: 1,
+                    seed: 1,
+                },
+                0.2,
+                2,
+            );
+            black_box(r.mean_mres())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_over_time);
+criterion_main!(benches);

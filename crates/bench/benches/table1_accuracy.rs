@@ -1,0 +1,46 @@
+//! Regenerates **Table I** (accuracy comparison across densities) and times
+//! each approach's train+predict cycle at density 10%.
+
+use amf_bench::{emit, scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qos_dataset::sampling::split_matrix;
+use qos_dataset::{Attribute, QosDataset};
+use qos_eval::experiments::table1;
+use qos_eval::methods::Approach;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn regenerate() {
+    let result = table1::run(&scale());
+    emit("table1_accuracy.txt", &result.render());
+}
+
+fn bench_approaches(c: &mut Criterion) {
+    regenerate();
+
+    let s = scale();
+    let dataset = QosDataset::generate(&s.dataset_config());
+    let matrix = dataset.slice_matrix(Attribute::ResponseTime, 0);
+    let mut rng = StdRng::seed_from_u64(s.seed);
+    let split = split_matrix(&matrix, 0.10, &mut rng);
+
+    let mut group = c.benchmark_group("table1/train_predict@10%");
+    group.sample_size(10);
+    for approach in Approach::PAPER_SET {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(approach.name()),
+            &approach,
+            |b, &approach| {
+                b.iter(|| {
+                    let trained = approach.train(&split, Attribute::ResponseTime, 1, 0, 900);
+                    black_box(trained.predict_split(&split))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_approaches);
+criterion_main!(benches);

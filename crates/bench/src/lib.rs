@@ -1,0 +1,26 @@
+//! Shared helpers for the paper-artifact benches.
+//!
+//! Every bench in this crate does two things:
+//!
+//! 1. **Regenerates its paper artifact** (table or figure data) at the scale
+//!    selected by `AMF_SCALE` (`small` default / `medium` / `full`) and
+//!    writes it under `target/reports/`;
+//! 2. **Times the hot kernels** behind that artifact with Criterion.
+//!
+//! Run everything with `cargo bench`, or a single artifact with e.g.
+//! `cargo bench --bench table1_accuracy`.
+
+pub use qos_eval::Scale;
+
+/// The benchmark scale from `AMF_SCALE` (defaults to `small`).
+pub fn scale() -> Scale {
+    Scale::from_env()
+}
+
+/// Writes a regenerated artifact and prints where it went.
+pub fn emit(name: &str, content: &str) {
+    match qos_eval::report::write_report(name, content) {
+        Ok(path) => println!("[artifact] wrote {}", path.display()),
+        Err(e) => eprintln!("[artifact] failed to write {name}: {e}"),
+    }
+}

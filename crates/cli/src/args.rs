@@ -1,0 +1,161 @@
+//! Minimal flag parser: `--name value` pairs plus positional arguments.
+//!
+//! The approved dependency set has no argument-parsing crate, and the CLI's
+//! needs are simple, so this module implements exactly what the subcommands
+//! use: string/number/flag lookups with defaults and typed errors.
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand, its positional arguments, and flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Argument-parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl std::fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+impl Args {
+    /// Parses raw arguments (excluding the program name). `--name value`
+    /// becomes a flag; `--name` followed by another `--flag` or end-of-input
+    /// becomes a boolean switch; everything else is positional.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgsError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(token) = iter.next() {
+            if let Some(name) = token.strip_prefix("--") {
+                if name.is_empty() {
+                    return Err(ArgsError("empty flag name '--'".into()));
+                }
+                match iter.peek() {
+                    Some(next) if !next.starts_with("--") => {
+                        let value = iter.next().expect("peeked");
+                        args.flags.insert(name.to_string(), value);
+                    }
+                    _ => args.switches.push(name.to_string()),
+                }
+            } else {
+                args.positional.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional argument by index.
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positional.get(index).map(String::as_str)
+    }
+
+    /// Number of positional arguments.
+    #[allow(dead_code)] // exercised by tests; kept for subcommand symmetry
+    pub fn positional_len(&self) -> usize {
+        self.positional.len()
+    }
+
+    /// String flag, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// String flag with a default.
+    pub fn get_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.get(name).unwrap_or(default)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, ArgsError> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| ArgsError(format!("missing required flag --{name}")))
+    }
+
+    /// Typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] when the value does not parse as `T`.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgsError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgsError(format!("flag --{name}: cannot parse '{raw}'"))),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    #[allow(dead_code)] // exercised by tests; kept for subcommand symmetry
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let a = parse(&["train", "--data", "file.txt", "--seed", "7"]);
+        assert_eq!(a.positional(0), Some("train"));
+        assert_eq!(a.positional_len(), 1);
+        assert_eq!(a.require("data").unwrap(), "file.txt");
+        assert_eq!(a.parse_or("seed", 0u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["x"]);
+        assert_eq!(a.get_or("attr", "rt"), "rt");
+        assert_eq!(a.parse_or("density", 0.1f64).unwrap(), 0.1);
+    }
+
+    #[test]
+    fn switches_without_values() {
+        let a = parse(&["run", "--verbose", "--out", "f", "--quiet"]);
+        assert!(a.switch("verbose"));
+        assert!(a.switch("quiet"));
+        assert!(!a.switch("missing"));
+        assert_eq!(a.require("out").unwrap(), "f");
+    }
+
+    #[test]
+    fn negative_numbers_are_values() {
+        let a = parse(&["train", "--alpha", "-0.007"]);
+        assert_eq!(a.parse_or("alpha", 0.0f64).unwrap(), -0.007);
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let a = parse(&["train"]);
+        let err = a.require("data").unwrap_err();
+        assert!(err.to_string().contains("--data"));
+    }
+
+    #[test]
+    fn unparsable_value_errors() {
+        let a = parse(&["x", "--seed", "banana"]);
+        assert!(a.parse_or("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn empty_flag_rejected() {
+        assert!(Args::parse(vec!["--".to_string()]).is_err());
+    }
+}

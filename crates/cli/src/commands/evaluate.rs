@@ -1,0 +1,92 @@
+//! `amf-qos evaluate` — the Table I accuracy protocol on synthetic data.
+
+use super::{parse_attribute, parse_scale, CliError};
+use crate::args::Args;
+use qos_eval::experiments::table1;
+use qos_eval::methods::Approach;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "amf-qos evaluate [--scale small|medium|full] [--attr rt|tp] \
+[--density D] [--approaches upcc,ipcc,uipcc,pmf,nimf,amf]";
+
+fn parse_approaches(raw: &str) -> Result<Vec<Approach>, CliError> {
+    raw.split(',')
+        .map(|name| match name.trim().to_ascii_lowercase().as_str() {
+            "upcc" => Ok(Approach::Upcc),
+            "ipcc" => Ok(Approach::Ipcc),
+            "uipcc" => Ok(Approach::Uipcc),
+            "pmf" => Ok(Approach::Pmf),
+            "nimf" => Ok(Approach::Nimf),
+            "svd" | "svd-impute" => Ok(Approach::SvdImpute),
+            "amf" => Ok(Approach::Amf),
+            "amf-linear" => Ok(Approach::AmfLinear),
+            other => Err(CliError(format!("unknown approach '{other}'"))),
+        })
+        .collect()
+}
+
+/// Runs the subcommand. Without `--density` runs the paper's full grid;
+/// with it, a single density.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for invalid flags.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let scale = parse_scale(args)?;
+    let attr = parse_attribute(args)?;
+    let approaches = parse_approaches(args.get_or("approaches", "upcc,ipcc,uipcc,pmf,amf"))?;
+    if approaches.is_empty() {
+        return Err(CliError("no approaches selected".into()));
+    }
+
+    let densities: Vec<f64> = match args.get("density") {
+        Some(raw) => {
+            let d: f64 = raw
+                .parse()
+                .map_err(|_| CliError(format!("bad density '{raw}'")))?;
+            if !(0.0 < d && d < 1.0) {
+                return Err(CliError(format!("density must be in (0, 1), got {d}")));
+            }
+            vec![d]
+        }
+        None => qos_eval::experiments::TABLE1_DENSITIES.to_vec(),
+    };
+
+    let result = table1::run_with(&scale, &densities, &approaches, &[attr]);
+    Ok(result.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn single_density_subset_runs() {
+        let out = run(&args(&["--density", "0.2", "--approaches", "upcc,amf"])).unwrap();
+        assert!(out.contains("UPCC"));
+        assert!(out.contains("AMF"));
+        assert!(out.contains("MRE@20%"));
+        assert!(!out.contains("PMF"));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(run(&args(&["--density", "1.5"])).is_err());
+        assert!(run(&args(&["--density", "x"])).is_err());
+        assert!(run(&args(&["--approaches", "oracle"])).is_err());
+        assert!(run(&args(&["--scale", "galactic"])).is_err());
+    }
+
+    #[test]
+    fn approach_list_parsing() {
+        let list = parse_approaches("upcc, AMF,amf-linear").unwrap();
+        assert_eq!(
+            list,
+            vec![Approach::Upcc, Approach::Amf, Approach::AmfLinear]
+        );
+    }
+}

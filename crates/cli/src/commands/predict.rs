@@ -1,0 +1,152 @@
+//! `amf-qos predict` — load a saved model and predict QoS values.
+
+use super::CliError;
+use crate::args::Args;
+use amf_core::persistence;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "amf-qos predict --model MODEL (--user U --service S | --pairs FILE)";
+
+/// Runs the subcommand. With `--user`/`--service` prints one prediction;
+/// with `--pairs FILE` (lines of `user service`) prints one per line.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unreadable/corrupt models, unknown ids, or
+/// malformed pair files.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let model_path = args.require("model")?.to_string();
+    let model = persistence::load_file(&model_path)?;
+
+    if let Some(pairs_path) = args.get("pairs") {
+        let text = std::fs::read_to_string(pairs_path)?;
+        let mut out = String::new();
+        for (line_no, line) in text.lines().enumerate() {
+            let trimmed = line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let mut parts = trimmed.split_whitespace();
+            let (user, service) = match (parts.next(), parts.next()) {
+                (Some(u), Some(s)) => (
+                    u.parse::<usize>()
+                        .map_err(|_| CliError(format!("line {}: bad user id", line_no + 1)))?,
+                    s.parse::<usize>()
+                        .map_err(|_| CliError(format!("line {}: bad service id", line_no + 1)))?,
+                ),
+                _ => {
+                    return Err(CliError(format!(
+                        "line {}: expected 'user service'",
+                        line_no + 1
+                    )))
+                }
+            };
+            match model.predict(user, service) {
+                Some(v) => out.push_str(&format!("{user} {service} {v:.6}\n")),
+                None => out.push_str(&format!("{user} {service} unknown\n")),
+            }
+        }
+        return Ok(out);
+    }
+
+    let user: usize = args.parse_or("user", usize::MAX)?;
+    let service: usize = args.parse_or("service", usize::MAX)?;
+    if user == usize::MAX || service == usize::MAX {
+        return Err(CliError(format!(
+            "need --user and --service (or --pairs FILE)\nusage: {USAGE}"
+        )));
+    }
+    match model.predict(user, service) {
+        Some(v) => Ok(format!("{v:.6}")),
+        None => Err(CliError(format!(
+            "pair ({user}, {service}) unknown to this model \
+             ({} users, {} services registered)",
+            model.num_users(),
+            model.num_services()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amf_core::{AmfConfig, AmfModel};
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("amf_cli_predict_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn saved_model(name: &str) -> String {
+        let path = temp_path(name);
+        let mut model = AmfModel::new(AmfConfig::response_time()).unwrap();
+        for k in 0..100 {
+            model.observe(k % 3, k % 4, 1.0 + (k % 2) as f64);
+        }
+        persistence::save_file(&model, &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn single_pair_prediction() {
+        let model = saved_model("m1.amf");
+        let out = run(&args(&["--model", &model, "--user", "0", "--service", "1"])).unwrap();
+        let value: f64 = out.parse().unwrap();
+        assert!((0.0..=20.0).contains(&value));
+        std::fs::remove_file(model).unwrap();
+    }
+
+    #[test]
+    fn unknown_pair_is_an_error() {
+        let model = saved_model("m2.amf");
+        let err = run(&args(&[
+            "--model",
+            &model,
+            "--user",
+            "99",
+            "--service",
+            "0",
+        ]));
+        assert!(err.unwrap_err().to_string().contains("unknown"));
+        std::fs::remove_file(model).unwrap();
+    }
+
+    #[test]
+    fn pairs_file_batch() {
+        let model = saved_model("m3.amf");
+        let pairs = temp_path("pairs.txt");
+        std::fs::write(&pairs, "0 0\n1 2\n\n99 0\n").unwrap();
+        let out = run(&args(&["--model", &model, "--pairs", &pairs])).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("0 0 "));
+        assert!(lines[2].ends_with("unknown"));
+        std::fs::remove_file(model).unwrap();
+        std::fs::remove_file(pairs).unwrap();
+    }
+
+    #[test]
+    fn malformed_pairs_rejected() {
+        let model = saved_model("m4.amf");
+        let pairs = temp_path("bad_pairs.txt");
+        std::fs::write(&pairs, "0\n").unwrap();
+        assert!(run(&args(&["--model", &model, "--pairs", &pairs])).is_err());
+        std::fs::write(&pairs, "a b\n").unwrap();
+        assert!(run(&args(&["--model", &model, "--pairs", &pairs])).is_err());
+        std::fs::remove_file(model).unwrap();
+        std::fs::remove_file(pairs).unwrap();
+    }
+
+    #[test]
+    fn missing_selectors_explains_usage() {
+        let model = saved_model("m5.amf");
+        let err = run(&args(&["--model", &model])).unwrap_err();
+        assert!(err.to_string().contains("--user"));
+        std::fs::remove_file(model).unwrap();
+    }
+}

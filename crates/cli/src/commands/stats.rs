@@ -1,0 +1,86 @@
+//! `amf-qos stats` — dataset statistics (the Fig. 6 table) for a synthetic
+//! configuration or an imported WS-DREAM-format file.
+
+use super::CliError;
+use crate::args::Args;
+use qos_dataset::io;
+use qos_linalg::stats as lstats;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str =
+    "amf-qos stats [--scale small|medium|full] | amf-qos stats --data DENSE_FILE";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unreadable files or invalid flags.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    if let Some(path) = args.get("data") {
+        // Statistics of an imported matrix file.
+        let sparse = io::read_dense_as_sparse(std::fs::File::open(path)?)?;
+        let values = sparse.observed_values();
+        let summary = lstats::Summary::of(&values)
+            .ok_or_else(|| CliError(format!("{path}: no observed values")))?;
+        let skew = lstats::skewness(&values).unwrap_or(0.0);
+        return Ok(format!(
+            "file                  {path}\n\
+             shape                 {} x {}\n\
+             observed              {} ({:.1}% density)\n\
+             min / median / max    {:.4} / {:.4} / {:.4}\n\
+             mean / std            {:.4} / {:.4}\n\
+             skewness              {:.3}\n",
+            sparse.rows(),
+            sparse.cols(),
+            sparse.nnz(),
+            sparse.density() * 100.0,
+            summary.min,
+            summary.median,
+            summary.max,
+            summary.mean,
+            summary.std_dev,
+            skew,
+        ));
+    }
+
+    let scale = super::parse_scale(args)?;
+    Ok(qos_eval::experiments::fig6::run(&scale).to_table())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn synthetic_stats_table() {
+        let out = run(&args(&["stats"])).unwrap();
+        assert!(out.contains("#Users"));
+        assert!(out.contains("RT average"));
+    }
+
+    #[test]
+    fn file_stats() {
+        let dir = std::env::temp_dir().join("amf_cli_stats_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.txt");
+        std::fs::write(&path, "1.0 -1.0 3.0\n2.0 4.0 -1.0\n").unwrap();
+        let out = run(&args(&["stats", "--data", &path.to_string_lossy()])).unwrap();
+        assert!(out.contains("2 x 3"));
+        assert!(out.contains("66.7% density"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let dir = std::env::temp_dir().join("amf_cli_stats_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.txt");
+        std::fs::write(&path, "-1.0 -1.0\n").unwrap();
+        assert!(run(&args(&["stats", "--data", &path.to_string_lossy()])).is_err());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,142 @@
+//! `amf-qos train` — train an AMF model from a triplet file and save it.
+
+use super::{amf_config_from, parse_attribute, CliError};
+use crate::args::Args;
+use amf_core::{persistence, AmfTrainer};
+use qos_dataset::io;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "amf-qos train --data TRIPLETS --out MODEL [--attr rt|tp] \
+[--alpha A] [--lambda L] [--beta B] [--eta E] [--dim D] [--seed S] [--max-replays N]";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unreadable data, invalid flags, or save failures.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let data_path = args.require("data")?.to_string();
+    let out = args.require("out")?.to_string();
+    let attr = parse_attribute(args)?;
+    let config = amf_config_from(args, attr)?;
+    let max_replays: usize = args.parse_or("max-replays", 0usize)?;
+
+    let samples = io::read_triplets(std::fs::File::open(&data_path)?)?;
+    if samples.is_empty() {
+        return Err(CliError(format!("{data_path}: no samples")));
+    }
+
+    let mut trainer = AmfTrainer::new(config)?;
+    for s in &samples {
+        trainer.feed(s.user, s.service, s.timestamp, s.value);
+    }
+    let mut options = qos_eval::methods::replay_options_for(samples.len());
+    if max_replays > 0 {
+        options.max_iterations = max_replays;
+        options.min_iterations = options.min_iterations.min(max_replays);
+    }
+    let report = trainer.replay_until_converged(options);
+
+    persistence::save_file(trainer.model(), &out)?;
+    Ok(format!(
+        "trained on {} samples ({} users, {} services): {} replays in {:.2?} \
+         (converged: {}), model saved to {out}",
+        samples.len(),
+        trainer.model().num_users(),
+        trainer.model().num_services(),
+        report.iterations,
+        report.elapsed,
+        report.converged
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_dataset::stream::QosSample;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("amf_cli_train_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    fn write_samples(path: &str, n: usize) {
+        let samples: Vec<QosSample> = (0..n)
+            .map(|k| QosSample::new(k as u64 % 900, k % 5, k % 8, 0.5 + (k % 4) as f64))
+            .collect();
+        io::write_triplets(&samples, std::fs::File::create(path).unwrap()).unwrap();
+    }
+
+    #[test]
+    fn trains_and_saves_model() {
+        let data = temp_path("data.txt");
+        let model = temp_path("model.amf");
+        write_samples(&data, 60);
+        let summary = run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &model,
+            "--max-replays",
+            "5000",
+        ]))
+        .unwrap();
+        assert!(summary.contains("trained on 60 samples"));
+        assert!(summary.contains("5 users"));
+        let restored = persistence::load_file(&model).unwrap();
+        assert_eq!(restored.num_users(), 5);
+        assert_eq!(restored.num_services(), 8);
+        std::fs::remove_file(data).unwrap();
+        std::fs::remove_file(model).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_data_file() {
+        let err = run(&args(&[
+            "--data",
+            "/nonexistent/x.txt",
+            "--out",
+            "/tmp/y.amf",
+        ]));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_empty_data() {
+        let data = temp_path("empty.txt");
+        std::fs::write(&data, "").unwrap();
+        let model = temp_path("never.amf");
+        assert!(run(&args(&["--data", &data, "--out", &model])).is_err());
+        std::fs::remove_file(data).unwrap();
+    }
+
+    #[test]
+    fn hyperparameter_overrides_reach_model() {
+        let data = temp_path("data2.txt");
+        let model = temp_path("model2.amf");
+        write_samples(&data, 30);
+        run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &model,
+            "--alpha",
+            "0.5",
+            "--dim",
+            "4",
+            "--max-replays",
+            "1000",
+        ]))
+        .unwrap();
+        let restored = persistence::load_file(&model).unwrap();
+        assert_eq!(restored.config().alpha, 0.5);
+        assert_eq!(restored.config().dimension, 4);
+        std::fs::remove_file(data).unwrap();
+        std::fs::remove_file(model).unwrap();
+    }
+}

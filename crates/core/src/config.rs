@@ -1,0 +1,209 @@
+//! AMF hyperparameters (the paper's Section V-C settings as defaults).
+
+use crate::AmfError;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Which per-sample loss the SGD updates minimize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossKind {
+    /// The paper's relative loss `((r − g)/r)²` (Eq. 6) — errors on small QoS
+    /// values matter as much as errors on large ones.
+    Relative,
+    /// Plain squared loss `(r − g)²` (Eq. 5), kept for the loss ablation —
+    /// this is what conventional MF minimizes.
+    Squared,
+}
+
+/// All AMF hyperparameters.
+///
+/// Defaults follow the paper's experiment section: `d = 10`,
+/// `λ_u = λ_s = 0.001`, `β = 0.3`, `η = 0.8`, `α = −0.007` for response time
+/// (−0.05 for throughput), and a 15-minute expiry interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AmfConfig {
+    /// Latent dimensionality `d`.
+    pub dimension: usize,
+    /// Regularization `λ_u` for user feature vectors.
+    pub lambda_user: f64,
+    /// Regularization `λ_s` for service feature vectors.
+    pub lambda_service: f64,
+    /// EMA weight `β` for the error trackers (Eq. 13–14).
+    pub beta: f64,
+    /// Learning rate `η`.
+    pub learning_rate: f64,
+    /// Box–Cox parameter `α`.
+    pub alpha: f64,
+    /// Minimum raw QoS value `R_min`.
+    pub r_min: f64,
+    /// Maximum raw QoS value `R_max`.
+    pub r_max: f64,
+    /// Observations older than this are expired and dropped from replay
+    /// (Algorithm 1 line 12; paper uses 15 minutes).
+    pub expiry: Duration,
+    /// Std-dev of the random feature-vector initialization.
+    pub init_sigma: f64,
+    /// Whether adaptive weights (Eq. 12–17) are applied. Disabling reduces
+    /// AMF to plain online MF with a fixed step — the adaptive-weights
+    /// ablation.
+    pub adaptive_weights: bool,
+    /// Loss variant (relative per the paper, or squared for the ablation).
+    pub loss: LossKind,
+    /// RNG seed for feature initialization and replay sampling.
+    pub seed: u64,
+}
+
+impl AmfConfig {
+    /// The paper's response-time configuration (`α = −0.007`, RT ∈ [0, 20] s).
+    pub fn response_time() -> Self {
+        Self {
+            dimension: 10,
+            lambda_user: 0.001,
+            lambda_service: 0.001,
+            beta: 0.3,
+            learning_rate: 0.8,
+            alpha: -0.007,
+            r_min: 0.0,
+            r_max: 20.0,
+            expiry: Duration::from_secs(15 * 60),
+            init_sigma: 0.1,
+            adaptive_weights: true,
+            loss: LossKind::Relative,
+            seed: 42,
+        }
+    }
+
+    /// The paper's throughput configuration (`α = −0.05`, TP ∈ [0, 7000] kbps).
+    pub fn throughput() -> Self {
+        Self {
+            alpha: -0.05,
+            r_max: 7000.0,
+            ..Self::response_time()
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with `α = 1` — the "AMF(α=1)" configuration of Fig. 11
+    /// where the Box–Cox transform degenerates to linear normalization.
+    pub fn with_linear_transform(mut self) -> Self {
+        self.alpha = 1.0;
+        self
+    }
+
+    /// Validates all hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmfError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), AmfError> {
+        let bad = |msg: &str| Err(AmfError::InvalidConfig(msg.to_string()));
+        if self.dimension == 0 {
+            return bad("dimension must be positive");
+        }
+        if self.lambda_user.is_nan()
+            || self.lambda_user < 0.0
+            || self.lambda_service.is_nan()
+            || self.lambda_service < 0.0
+        {
+            return bad("regularization must be non-negative");
+        }
+        if !(0.0..=1.0).contains(&self.beta) {
+            return bad("beta must be in [0, 1]");
+        }
+        if self.learning_rate.is_nan() || self.learning_rate <= 0.0 {
+            return bad("learning_rate must be positive");
+        }
+        if !self.alpha.is_finite() {
+            return bad("alpha must be finite");
+        }
+        if self.r_min.is_nan()
+            || self.r_max.is_nan()
+            || self.r_min < 0.0
+            || self.r_min >= self.r_max
+        {
+            return bad("QoS range must satisfy 0 <= r_min < r_max");
+        }
+        if self.expiry.is_zero() {
+            return bad("expiry must be positive");
+        }
+        if self.init_sigma.is_nan() || self.init_sigma <= 0.0 {
+            return bad("init_sigma must be positive");
+        }
+        Ok(())
+    }
+}
+
+impl Default for AmfConfig {
+    /// The paper's response-time configuration.
+    fn default() -> Self {
+        Self::response_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = AmfConfig::response_time();
+        assert_eq!(c.dimension, 10);
+        assert_eq!(c.lambda_user, 0.001);
+        assert_eq!(c.beta, 0.3);
+        assert_eq!(c.learning_rate, 0.8);
+        assert_eq!(c.alpha, -0.007);
+        assert_eq!(c.expiry, Duration::from_secs(900));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn throughput_overrides() {
+        let c = AmfConfig::throughput();
+        assert_eq!(c.alpha, -0.05);
+        assert_eq!(c.r_max, 7000.0);
+        assert_eq!(c.dimension, 10);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn linear_transform_sets_alpha_one() {
+        let c = AmfConfig::response_time().with_linear_transform();
+        assert_eq!(c.alpha, 1.0);
+    }
+
+    #[test]
+    fn default_is_response_time() {
+        assert_eq!(AmfConfig::default(), AmfConfig::response_time());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        type Mutation = Box<dyn Fn(&mut AmfConfig)>;
+        let cases: Vec<Mutation> = vec![
+            Box::new(|c| c.dimension = 0),
+            Box::new(|c| c.lambda_user = -1.0),
+            Box::new(|c| c.lambda_service = f64::NAN),
+            Box::new(|c| c.beta = 1.5),
+            Box::new(|c| c.learning_rate = 0.0),
+            Box::new(|c| c.alpha = f64::INFINITY),
+            Box::new(|c| c.r_min = 25.0),
+            Box::new(|c| c.expiry = Duration::ZERO),
+            Box::new(|c| c.init_sigma = 0.0),
+        ];
+        for mutate in cases {
+            let mut c = AmfConfig::response_time();
+            mutate(&mut c);
+            assert!(c.validate().is_err(), "mutation should invalidate: {c:?}");
+        }
+    }
+
+    #[test]
+    fn with_seed() {
+        assert_eq!(AmfConfig::response_time().with_seed(7).seed, 7);
+    }
+}

@@ -1,0 +1,263 @@
+//! The live-observation store with expiry (Algorithm 1 lines 11–15).
+//!
+//! AMF keeps the most recent observation per `(user, service)` pair. Between
+//! arrivals of new data it *replays* randomly chosen live observations to
+//! keep refining the factors; an observation older than the expiry interval
+//! is obsolete (the QoS has likely drifted) and is discarded instead of
+//! replayed — "we check whether an existing QoS value has become expired,
+//! and if so, discard this value (set `I_ij = 0`)".
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use rand::Rng;
+
+/// A stored observation: the latest value and its timestamp for one pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StoredObservation {
+    /// User (row) id.
+    pub user: usize,
+    /// Service (column) id.
+    pub service: usize,
+    /// Observation timestamp (seconds since the simulation epoch).
+    pub timestamp: u64,
+    /// Observed raw QoS value.
+    pub value: f64,
+}
+
+/// Keyed store of the latest observation per pair, with O(1) insert, O(1)
+/// random sampling, and lazy expiry.
+#[derive(Debug, Clone, Default)]
+pub struct ObservationStore {
+    /// Pair -> index into `entries`.
+    index: HashMap<(usize, usize), usize>,
+    /// Dense entry list enabling O(1) uniform sampling (swap-remove on expiry).
+    entries: Vec<StoredObservation>,
+}
+
+impl ObservationStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored (not yet expired) observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts or refreshes the observation for `(user, service)`.
+    pub fn upsert(&mut self, user: usize, service: usize, timestamp: u64, value: f64) {
+        let obs = StoredObservation {
+            user,
+            service,
+            timestamp,
+            value,
+        };
+        match self.index.entry((user, service)) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                self.entries[*slot.get()] = obs;
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(self.entries.len());
+                self.entries.push(obs);
+            }
+        }
+    }
+
+    /// The current observation for a pair, if present.
+    pub fn get(&self, user: usize, service: usize) -> Option<&StoredObservation> {
+        self.index.get(&(user, service)).map(|&i| &self.entries[i])
+    }
+
+    fn swap_remove(&mut self, idx: usize) -> StoredObservation {
+        let removed = self.entries.swap_remove(idx);
+        self.index.remove(&(removed.user, removed.service));
+        if idx < self.entries.len() {
+            let moved = self.entries[idx];
+            self.index.insert((moved.user, moved.service), idx);
+        }
+        removed
+    }
+
+    /// Removes and returns the observation for a pair, if present.
+    pub fn remove(&mut self, user: usize, service: usize) -> Option<StoredObservation> {
+        let idx = self.index.get(&(user, service)).copied()?;
+        Some(self.swap_remove(idx))
+    }
+
+    /// Draws one uniformly random *live* observation: entries found expired
+    /// (older than `expiry` relative to `now`) are discarded on the way, as
+    /// in Algorithm 1 lines 11–15. Returns `None` when nothing live remains.
+    pub fn sample_live<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        now: u64,
+        expiry: Duration,
+    ) -> Option<StoredObservation> {
+        let horizon = expiry.as_secs();
+        while !self.entries.is_empty() {
+            let idx = rng.random_range(0..self.entries.len());
+            let obs = self.entries[idx];
+            if now.saturating_sub(obs.timestamp) < horizon {
+                return Some(obs);
+            }
+            // Obsolete: set I_ij <- 0 (drop it) and try another.
+            self.swap_remove(idx);
+        }
+        None
+    }
+
+    /// Eagerly removes every observation older than `expiry` relative to
+    /// `now`, returning how many were dropped.
+    pub fn purge_expired(&mut self, now: u64, expiry: Duration) -> usize {
+        let horizon = expiry.as_secs();
+        let mut removed = 0;
+        let mut idx = 0;
+        while idx < self.entries.len() {
+            if now.saturating_sub(self.entries[idx].timestamp) >= horizon {
+                self.swap_remove(idx);
+                removed += 1;
+            } else {
+                idx += 1;
+            }
+        }
+        removed
+    }
+
+    /// Iterator over all stored observations (live status not checked).
+    pub fn iter(&self) -> impl Iterator<Item = &StoredObservation> + '_ {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const EXPIRY: Duration = Duration::from_secs(900);
+
+    #[test]
+    fn upsert_and_get() {
+        let mut store = ObservationStore::new();
+        store.upsert(1, 2, 100, 1.5);
+        assert_eq!(store.len(), 1);
+        let obs = store.get(1, 2).unwrap();
+        assert_eq!(obs.value, 1.5);
+        assert_eq!(obs.timestamp, 100);
+        assert!(store.get(2, 1).is_none());
+    }
+
+    #[test]
+    fn upsert_refreshes_in_place() {
+        let mut store = ObservationStore::new();
+        store.upsert(1, 2, 100, 1.5);
+        store.upsert(1, 2, 200, 2.5);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(1, 2).unwrap().value, 2.5);
+    }
+
+    #[test]
+    fn remove_maintains_index() {
+        let mut store = ObservationStore::new();
+        store.upsert(0, 0, 1, 1.0);
+        store.upsert(1, 1, 2, 2.0);
+        store.upsert(2, 2, 3, 3.0);
+        let removed = store.remove(0, 0).unwrap();
+        assert_eq!(removed.value, 1.0);
+        assert_eq!(store.len(), 2);
+        // The swap-moved entry must still be findable.
+        assert_eq!(store.get(2, 2).unwrap().value, 3.0);
+        assert_eq!(store.get(1, 1).unwrap().value, 2.0);
+        assert!(store.remove(0, 0).is_none());
+    }
+
+    #[test]
+    fn sample_live_returns_fresh_entries() {
+        let mut store = ObservationStore::new();
+        store.upsert(0, 0, 1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = store.sample_live(&mut rng, 1100, EXPIRY).unwrap();
+        assert_eq!(obs.value, 1.0);
+        assert_eq!(store.len(), 1, "live entry must not be consumed");
+    }
+
+    #[test]
+    fn sample_live_discards_expired() {
+        let mut store = ObservationStore::new();
+        store.upsert(0, 0, 0, 1.0); // will be expired at t=900
+        store.upsert(1, 1, 950, 2.0); // live
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let obs = store.sample_live(&mut rng, 1000, EXPIRY).unwrap();
+            assert_eq!(obs.value, 2.0);
+        }
+        assert_eq!(store.len(), 1, "expired entry should have been dropped");
+    }
+
+    #[test]
+    fn sample_live_empty_when_all_expired() {
+        let mut store = ObservationStore::new();
+        store.upsert(0, 0, 0, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(store.sample_live(&mut rng, 10_000, EXPIRY).is_none());
+        assert!(store.is_empty());
+        assert!(store.sample_live(&mut rng, 10_000, EXPIRY).is_none());
+    }
+
+    #[test]
+    fn exact_expiry_boundary_is_expired() {
+        // age == expiry must count as expired ("tnow - tij < TimeInterval"
+        // is the liveness condition in Algorithm 1).
+        let mut store = ObservationStore::new();
+        store.upsert(0, 0, 100, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(store.sample_live(&mut rng, 1000, EXPIRY).is_none());
+    }
+
+    #[test]
+    fn purge_expired_counts() {
+        let mut store = ObservationStore::new();
+        store.upsert(0, 0, 0, 1.0);
+        store.upsert(1, 1, 100, 2.0);
+        store.upsert(2, 2, 950, 3.0);
+        let removed = store.purge_expired(1000, EXPIRY);
+        assert_eq!(removed, 2);
+        assert_eq!(store.len(), 1);
+        assert!(store.get(2, 2).is_some());
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let mut store = ObservationStore::new();
+        for i in 0..10 {
+            store.upsert(i, 0, 1000, i as f64);
+        }
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            let obs = store.sample_live(&mut rng, 1000, EXPIRY).unwrap();
+            counts[obs.user] += 1;
+        }
+        for &c in &counts {
+            assert!((700..=1300).contains(&c), "count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn iter_yields_everything() {
+        let mut store = ObservationStore::new();
+        store.upsert(0, 1, 10, 1.0);
+        store.upsert(2, 3, 20, 2.0);
+        let mut pairs: Vec<(usize, usize)> = store.iter().map(|o| (o.user, o.service)).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 1), (2, 3)]);
+    }
+}

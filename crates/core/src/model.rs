@@ -1,0 +1,485 @@
+//! The AMF model state: feature vectors, error trackers, and the data
+//! transform.
+
+use crate::config::AmfConfig;
+use crate::online::{sgd_step, UpdateOutcome};
+use crate::weights::ErrorTracker;
+use crate::AmfError;
+use qos_linalg::random::normal_vec;
+use qos_transform::QosTransform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One user's or service's state: its latent feature vector and its EMA
+/// error tracker.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EntityState {
+    pub(crate) factors: Vec<f64>,
+    pub(crate) tracker: ErrorTracker,
+}
+
+/// The online AMF model (paper Section IV-C).
+///
+/// Users and services are identified by dense indices and registered lazily:
+/// the first observation mentioning an id initializes its feature vector
+/// randomly and its error tracker at the maximum (Algorithm 1 lines 5–7) —
+/// this is how the model "scales to new users and services without
+/// retraining the whole model".
+///
+/// # Examples
+///
+/// ```
+/// use amf_core::{AmfConfig, AmfModel};
+///
+/// let mut model = AmfModel::new(AmfConfig::response_time())?;
+/// model.observe(0, 0, 1.4);
+/// model.observe(1, 0, 1.6);
+/// assert_eq!(model.num_users(), 2);
+/// assert_eq!(model.num_services(), 1);
+/// assert!(model.predict(0, 0).is_some());
+/// assert!(model.predict(5, 0).is_none()); // unknown user
+/// # Ok::<(), amf_core::AmfError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AmfModel {
+    config: AmfConfig,
+    transform: QosTransform,
+    users: Vec<EntityState>,
+    services: Vec<EntityState>,
+    rng: StdRng,
+    updates: u64,
+}
+
+impl AmfModel {
+    /// Creates an empty model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmfError::InvalidConfig`] for invalid hyperparameters or
+    /// [`AmfError::Transform`] when the transform cannot be built.
+    pub fn new(config: AmfConfig) -> Result<Self, AmfError> {
+        config.validate()?;
+        let transform = QosTransform::new(config.alpha, config.r_min, config.r_max)?;
+        Ok(Self {
+            transform,
+            users: Vec::new(),
+            services: Vec::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+            updates: 0,
+            config,
+        })
+    }
+
+    /// The model's hyperparameters.
+    pub fn config(&self) -> &AmfConfig {
+        &self.config
+    }
+
+    /// The data transform (forward/backward maps between raw QoS and the
+    /// normalized training domain).
+    pub fn transform(&self) -> &QosTransform {
+        &self.transform
+    }
+
+    /// Number of registered users.
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of registered services.
+    pub fn num_services(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Total number of online updates applied.
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    fn fresh_entity(rng: &mut StdRng, config: &AmfConfig) -> EntityState {
+        EntityState {
+            factors: normal_vec(rng, config.dimension, 0.0, config.init_sigma),
+            tracker: ErrorTracker::new(),
+        }
+    }
+
+    /// Registers users up to and including `user` (no-op when present).
+    pub fn ensure_user(&mut self, user: usize) {
+        while self.users.len() <= user {
+            let e = Self::fresh_entity(&mut self.rng, &self.config);
+            self.users.push(e);
+        }
+    }
+
+    /// Registers services up to and including `service` (no-op when present).
+    pub fn ensure_service(&mut self, service: usize) {
+        while self.services.len() <= service {
+            let e = Self::fresh_entity(&mut self.rng, &self.config);
+            self.services.push(e);
+        }
+    }
+
+    /// Registers a brand-new user and returns its id.
+    pub fn add_user(&mut self) -> usize {
+        let id = self.users.len();
+        self.ensure_user(id);
+        id
+    }
+
+    /// Registers a brand-new service and returns its id.
+    pub fn add_service(&mut self) -> usize {
+        let id = self.services.len();
+        self.ensure_service(id);
+        id
+    }
+
+    /// Whether `user` is registered.
+    pub fn has_user(&self, user: usize) -> bool {
+        user < self.users.len()
+    }
+
+    /// Whether `service` is registered.
+    pub fn has_service(&self, service: usize) -> bool {
+        service < self.services.len()
+    }
+
+    /// Applies one online update for the observed raw QoS value `raw` between
+    /// `user` and `service` (the `OnlineUpdate` function of Algorithm 1).
+    /// Unknown ids are registered first.
+    pub fn observe(&mut self, user: usize, service: usize, raw: f64) -> UpdateOutcome {
+        self.ensure_user(user);
+        self.ensure_service(service);
+        let r = self.transform.to_normalized(raw);
+
+        let e_user = self.users[user].tracker.error();
+        let e_service = self.services[service].tracker.error();
+        let outcome = sgd_step(
+            &self.config,
+            &mut self.users[user].factors,
+            &mut self.services[service].factors,
+            r,
+            e_user,
+            e_service,
+        );
+        // Algorithm 1 lines 22–23: update the trackers with this sample's
+        // error, weighted by each side's adaptive weight.
+        self.users[user]
+            .tracker
+            .update(outcome.sample_error, self.config.beta, outcome.w_user);
+        self.services[service].tracker.update(
+            outcome.sample_error,
+            self.config.beta,
+            outcome.w_service,
+        );
+        self.updates += 1;
+        outcome
+    }
+
+    /// Predicts the raw QoS value for `(user, service)`, or `None` when
+    /// either id has never been observed (the model has no feature vector
+    /// for it).
+    pub fn predict(&self, user: usize, service: usize) -> Option<f64> {
+        let u = self.users.get(user)?;
+        let s = self.services.get(service)?;
+        let x = qos_linalg::vector::dot(&u.factors, &s.factors);
+        Some(self.transform.prediction_to_raw(x))
+    }
+
+    /// Like [`AmfModel::predict`] but substituting `fallback` for unknown ids.
+    pub fn predict_or(&self, user: usize, service: usize, fallback: f64) -> f64 {
+        self.predict(user, service).unwrap_or(fallback)
+    }
+
+    /// Current relative error the model would incur on `(user, service,
+    /// raw)`, *without* updating anything — used for convergence monitoring.
+    pub fn evaluate_sample(&self, user: usize, service: usize, raw: f64) -> Option<f64> {
+        let u = self.users.get(user)?;
+        let s = self.services.get(service)?;
+        let r = self.transform.to_normalized(raw);
+        let g = qos_transform::sigmoid(qos_linalg::vector::dot(&u.factors, &s.factors));
+        Some(crate::weights::sample_relative_error(r, g))
+    }
+
+    /// EMA error of a user, or `None` when unregistered.
+    pub fn user_error(&self, user: usize) -> Option<f64> {
+        self.users.get(user).map(|e| e.tracker.error())
+    }
+
+    /// EMA error of a service, or `None` when unregistered.
+    pub fn service_error(&self, service: usize) -> Option<f64> {
+        self.services.get(service).map(|e| e.tracker.error())
+    }
+
+    /// A user's feature vector, or `None` when unregistered.
+    pub fn user_factors(&self, user: usize) -> Option<&[f64]> {
+        self.users.get(user).map(|e| e.factors.as_slice())
+    }
+
+    /// A service's feature vector, or `None` when unregistered.
+    pub fn service_factors(&self, service: usize) -> Option<&[f64]> {
+        self.services.get(service).map(|e| e.factors.as_slice())
+    }
+
+    /// Restores entity state from persisted data (see [`crate::persistence`]).
+    pub(crate) fn restore(
+        config: AmfConfig,
+        users: Vec<EntityState>,
+        services: Vec<EntityState>,
+        updates: u64,
+    ) -> Result<Self, AmfError> {
+        let mut model = Self::new(config)?;
+        // Re-seed the RNG past the restored registrations so new entities do
+        // not repeat the originals' initializations.
+        model.rng =
+            StdRng::seed_from_u64(config.seed ^ updates.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        model.users = users;
+        model.services = services;
+        model.updates = updates;
+        Ok(model)
+    }
+
+    pub(crate) fn entities(&self) -> (&[EntityState], &[EntityState]) {
+        (&self.users, &self.services)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AmfModel {
+        AmfModel::new(AmfConfig::response_time()).unwrap()
+    }
+
+    #[test]
+    fn starts_empty() {
+        let m = model();
+        assert_eq!(m.num_users(), 0);
+        assert_eq!(m.num_services(), 0);
+        assert_eq!(m.update_count(), 0);
+        assert_eq!(m.predict(0, 0), None);
+    }
+
+    #[test]
+    fn observe_registers_lazily() {
+        let mut m = model();
+        m.observe(3, 7, 1.5);
+        assert_eq!(m.num_users(), 4);
+        assert_eq!(m.num_services(), 8);
+        assert!(m.has_user(3));
+        assert!(!m.has_user(4));
+        assert_eq!(m.update_count(), 1);
+    }
+
+    #[test]
+    fn new_entities_start_maximally_uncertain() {
+        let mut m = model();
+        m.ensure_user(0);
+        assert_eq!(m.user_error(0), Some(1.0));
+        m.ensure_service(2);
+        assert_eq!(m.service_error(2), Some(1.0));
+        assert_eq!(m.user_error(99), None);
+    }
+
+    #[test]
+    fn repeated_observation_converges_to_value() {
+        let mut m = model();
+        for _ in 0..300 {
+            m.observe(0, 0, 2.5);
+        }
+        let pred = m.predict(0, 0).unwrap();
+        assert!(
+            (pred - 2.5).abs() / 2.5 < 0.1,
+            "predicted {pred}, expected ~2.5"
+        );
+        // Error tracker should have dropped far below its initial 1.0.
+        assert!(m.user_error(0).unwrap() < 0.1);
+    }
+
+    #[test]
+    fn learns_low_rank_structure_across_pairs() {
+        // Ground truth: rank-1 in the transformed domain. After training on
+        // most pairs, a held-out pair should be predicted reasonably.
+        let mut m = model();
+        let user_base = [0.5, 1.0, 2.0, 4.0];
+        let service_mult = [1.0, 1.5, 0.7, 2.0];
+        let truth = |u: usize, s: usize| user_base[u] * service_mult[s];
+        let mut rng_order: Vec<(usize, usize)> = (0..4)
+            .flat_map(|u| (0..4).map(move |s| (u, s)))
+            .filter(|&(u, s)| !(u == 3 && s == 3))
+            .collect();
+        for pass in 0..400 {
+            // cheap deterministic shuffle
+            rng_order.rotate_left(pass % 15);
+            for &(u, s) in &rng_order {
+                m.observe(u, s, truth(u, s));
+            }
+        }
+        let pred = m.predict(3, 3).unwrap();
+        let actual = truth(3, 3);
+        let rel = (pred - actual).abs() / actual;
+        assert!(rel < 0.5, "held-out prediction {pred} vs {actual}");
+    }
+
+    #[test]
+    fn predict_or_fallback() {
+        let m = model();
+        assert_eq!(m.predict_or(0, 0, 9.9), 9.9);
+    }
+
+    #[test]
+    fn evaluate_sample_does_not_mutate() {
+        let mut m = model();
+        m.observe(0, 0, 1.0);
+        let before = m.user_factors(0).unwrap().to_vec();
+        let err = m.evaluate_sample(0, 0, 1.0).unwrap();
+        assert!(err.is_finite());
+        assert_eq!(m.user_factors(0).unwrap(), before.as_slice());
+        assert_eq!(m.evaluate_sample(9, 0, 1.0), None);
+    }
+
+    #[test]
+    fn add_user_and_service_return_sequential_ids() {
+        let mut m = model();
+        assert_eq!(m.add_user(), 0);
+        assert_eq!(m.add_user(), 1);
+        assert_eq!(m.add_service(), 0);
+        assert_eq!(m.user_factors(1).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn initializations_are_random_but_seeded() {
+        let mut a = model();
+        let mut b = model();
+        a.ensure_user(1);
+        b.ensure_user(1);
+        assert_eq!(a.user_factors(0), b.user_factors(0));
+        assert_ne!(a.user_factors(0), a.user_factors(1));
+
+        let mut c = AmfModel::new(AmfConfig::response_time().with_seed(7)).unwrap();
+        c.ensure_user(0);
+        assert_ne!(a.user_factors(0), c.user_factors(0));
+    }
+
+    #[test]
+    fn predictions_stay_in_configured_range() {
+        let mut m = model();
+        for i in 0..50 {
+            m.observe(i % 3, i % 5, 0.1 + (i % 7) as f64);
+        }
+        for u in 0..3 {
+            for s in 0..5 {
+                let p = m.predict(u, s).unwrap();
+                assert!((0.0..=20.0).contains(&p), "prediction {p} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut bad = AmfConfig::response_time();
+        bad.dimension = 0;
+        assert!(matches!(
+            AmfModel::new(bad),
+            Err(AmfError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn throughput_config_works() {
+        let mut m = AmfModel::new(AmfConfig::throughput()).unwrap();
+        for _ in 0..200 {
+            m.observe(0, 0, 150.0);
+        }
+        let pred = m.predict(0, 0).unwrap();
+        assert!(
+            (pred - 150.0).abs() / 150.0 < 0.2,
+            "predicted {pred}, expected ~150"
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// No observation sequence — whatever its values, including ones
+            /// outside the configured range — can drive predictions outside
+            /// [R_min floor, R_max], produce non-finite factors, or push an
+            /// error tracker out of [0, ∞).
+            #[test]
+            fn model_invariants_hold_under_arbitrary_streams(
+                samples in proptest::collection::vec(
+                    (0usize..6, 0usize..8, -5.0..50.0f64),
+                    1..120
+                )
+            ) {
+                let mut m = AmfModel::new(AmfConfig::response_time()).unwrap();
+                for (u, s, v) in samples {
+                    let outcome = m.observe(u, s, v);
+                    prop_assert!(outcome.sample_error.is_finite());
+                    prop_assert!(outcome.sample_error >= 0.0);
+                    prop_assert!((0.0..=1.0).contains(&outcome.w_user));
+                    prop_assert!((outcome.w_user + outcome.w_service - 1.0).abs() < 1e-9);
+                }
+                for u in 0..m.num_users() {
+                    prop_assert!(m.user_error(u).unwrap() >= 0.0);
+                    prop_assert!(m.user_factors(u).unwrap().iter().all(|f| f.is_finite()));
+                    for s in 0..m.num_services() {
+                        let p = m.predict(u, s).unwrap();
+                        prop_assert!(
+                            (0.0..=20.0).contains(&p),
+                            "prediction {p} escaped the configured range"
+                        );
+                    }
+                }
+            }
+
+            /// Update count equals the number of observations, and entity
+            /// counts equal the largest ids seen plus one.
+            #[test]
+            fn bookkeeping_is_exact(
+                samples in proptest::collection::vec(
+                    (0usize..10, 0usize..10, 0.1..10.0f64),
+                    1..60
+                )
+            ) {
+                let mut m = AmfModel::new(AmfConfig::response_time()).unwrap();
+                let max_u = samples.iter().map(|s| s.0).max().unwrap();
+                let max_s = samples.iter().map(|s| s.1).max().unwrap();
+                let n = samples.len() as u64;
+                for (u, s, v) in samples {
+                    m.observe(u, s, v);
+                }
+                prop_assert_eq!(m.update_count(), n);
+                prop_assert_eq!(m.num_users(), max_u + 1);
+                prop_assert_eq!(m.num_services(), max_s + 1);
+            }
+
+            /// Persistence round-trips arbitrary trained models exactly.
+            #[test]
+            fn persistence_roundtrip_exact(
+                samples in proptest::collection::vec(
+                    (0usize..5, 0usize..5, 0.1..19.0f64),
+                    1..40
+                ),
+                seed in 0u64..1000
+            ) {
+                let mut m = AmfModel::new(AmfConfig::response_time().with_seed(seed)).unwrap();
+                for (u, s, v) in samples {
+                    m.observe(u, s, v);
+                }
+                let mut buffer = Vec::new();
+                crate::persistence::save(&m, &mut buffer).unwrap();
+                let restored = crate::persistence::load(&buffer[..]).unwrap();
+                for u in 0..m.num_users() {
+                    for s in 0..m.num_services() {
+                        let a = m.predict(u, s).unwrap();
+                        let b = restored.predict(u, s).unwrap();
+                        prop_assert!((a - b).abs() < 1e-9);
+                    }
+                }
+            }
+        }
+    }
+}

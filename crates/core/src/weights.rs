@@ -1,0 +1,186 @@
+//! Adaptive weights and EMA error trackers (paper Eq. 12–15).
+//!
+//! Every user and every service carries an exponential-moving-average of its
+//! recent relative prediction error. When a sample `(u, s)` arrives, the two
+//! trackers split one unit of step size between them:
+//!
+//! ```text
+//! w_u = e_u / (e_u + e_s),   w_s = e_s / (e_u + e_s)      (Eq. 12)
+//! ```
+//!
+//! so an inaccurate (new, unconverged) entity takes large steps while its
+//! accurate partner barely moves — "an accurate user should not move much
+//! according to an inaccurate service", which is what makes online AMF
+//! robust to churn.
+
+use serde::{Deserialize, Serialize};
+
+/// Initial error assigned to a brand-new user or service (Algorithm 1
+/// line 7): maximal, so the newcomer moves fast.
+pub const INITIAL_ERROR: f64 = 1.0;
+
+/// EMA tracker of one entity's relative prediction error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ErrorTracker {
+    error: f64,
+}
+
+impl ErrorTracker {
+    /// A fresh tracker at [`INITIAL_ERROR`].
+    pub fn new() -> Self {
+        Self {
+            error: INITIAL_ERROR,
+        }
+    }
+
+    /// Restores a tracker from a persisted error value (clamped to ≥ 0).
+    pub fn from_error(error: f64) -> Self {
+        Self {
+            error: error.max(0.0),
+        }
+    }
+
+    /// Current EMA error.
+    pub fn error(&self) -> f64 {
+        self.error
+    }
+
+    /// Applies the paper's EMA update (Eq. 13/14):
+    /// `e ← β·w·e_sample + (1 − β·w)·e`.
+    pub fn update(&mut self, sample_error: f64, beta: f64, weight: f64) {
+        let factor = beta * weight;
+        self.error = qos_linalg::stats::ema_step(sample_error, self.error, factor);
+    }
+}
+
+impl Default for ErrorTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The pairwise adaptive weights `(w_u, w_s)` of Eq. 12.
+///
+/// Degenerate case: when both errors are zero the credence is split evenly.
+pub fn adaptive_weights(e_user: f64, e_service: f64) -> (f64, f64) {
+    let total = e_user + e_service;
+    if total <= 0.0 {
+        (0.5, 0.5)
+    } else {
+        (e_user / total, e_service / total)
+    }
+}
+
+/// The per-sample relative error `e_ij = |r − g| / r` (Eq. 15), with `r`
+/// floored to avoid division blow-up at the normalized range's bottom edge.
+pub fn sample_relative_error(r: f64, g: f64) -> f64 {
+    (r - g).abs() / r.max(crate::online::NORMALIZED_FLOOR)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_tracker_is_maximally_uncertain() {
+        assert_eq!(ErrorTracker::new().error(), 1.0);
+        assert_eq!(ErrorTracker::default().error(), 1.0);
+    }
+
+    #[test]
+    fn from_error_clamps_negative() {
+        assert_eq!(ErrorTracker::from_error(-0.5).error(), 0.0);
+        assert_eq!(ErrorTracker::from_error(0.25).error(), 0.25);
+    }
+
+    #[test]
+    fn update_moves_towards_sample() {
+        let mut t = ErrorTracker::new();
+        t.update(0.0, 0.3, 1.0);
+        assert!((t.error() - 0.7).abs() < 1e-12);
+        t.update(0.0, 0.3, 1.0);
+        assert!((t.error() - 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_freezes_tracker() {
+        let mut t = ErrorTracker::from_error(0.4);
+        t.update(1.0, 0.3, 0.0);
+        assert_eq!(t.error(), 0.4);
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let (wu, ws) = adaptive_weights(0.8, 0.2);
+        assert!((wu + ws - 1.0).abs() < 1e-12);
+        assert!((wu - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inaccurate_side_gets_more_weight() {
+        // "an inaccurate user need to move a lot with respect to an accurate
+        // service" — high e_u -> high w_u -> big user step.
+        let (wu, ws) = adaptive_weights(1.0, 0.01);
+        assert!(wu > 0.9);
+        assert!(ws < 0.1);
+    }
+
+    #[test]
+    fn both_zero_splits_evenly() {
+        assert_eq!(adaptive_weights(0.0, 0.0), (0.5, 0.5));
+    }
+
+    #[test]
+    fn paper_example_ten_to_one() {
+        // Section IV-C.3: service s1 at 10% error, s2 at 1% — a user should
+        // move ~10x less towards s1's opinion than s2's... i.e. when paired
+        // with the *accurate* s2 the user absorbs more of the step.
+        let (w_with_s1, _) = adaptive_weights(0.05, 0.10);
+        let (w_with_s2, _) = adaptive_weights(0.05, 0.01);
+        assert!(w_with_s2 > w_with_s1);
+    }
+
+    #[test]
+    fn sample_error_basic() {
+        assert!((sample_relative_error(0.5, 0.4) - 0.2).abs() < 1e-12);
+        assert_eq!(sample_relative_error(0.5, 0.5), 0.0);
+    }
+
+    #[test]
+    fn sample_error_floored_near_zero() {
+        // r = 0 would divide by zero; the floor keeps it finite.
+        let e = sample_relative_error(0.0, 0.5);
+        assert!(e.is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn weights_are_probabilities(eu in 0.0..10.0f64, es in 0.0..10.0f64) {
+            let (wu, ws) = adaptive_weights(eu, es);
+            prop_assert!((0.0..=1.0).contains(&wu));
+            prop_assert!((0.0..=1.0).contains(&ws));
+            prop_assert!((wu + ws - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn tracker_stays_bounded(samples in proptest::collection::vec((0.0..1.0f64, 0.0..1.0f64), 1..50)) {
+            // With sample errors in [0,1] and weights in [0,1], the EMA can
+            // never leave [0, 1] starting from 1.
+            let mut t = ErrorTracker::new();
+            for (e, w) in samples {
+                t.update(e, 0.3, w);
+                prop_assert!((0.0..=1.0).contains(&t.error()));
+            }
+        }
+
+        #[test]
+        fn ema_converges_to_constant_signal(target in 0.0..1.0f64) {
+            let mut t = ErrorTracker::new();
+            for _ in 0..500 {
+                t.update(target, 0.3, 1.0);
+            }
+            prop_assert!((t.error() - target).abs() < 1e-6);
+        }
+    }
+}

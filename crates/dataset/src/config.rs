@@ -1,0 +1,304 @@
+//! Dataset generation parameters.
+
+use crate::DatasetError;
+use serde::{Deserialize, Serialize};
+
+/// Log-domain model of one QoS attribute's marginal distribution.
+///
+/// A QoS value is generated as
+/// `exp(log_mean + user + service + interaction + temporal)` clamped into
+/// `[min_value, max_value]`, where the four summands are zero-mean with the
+/// standard deviations configured here. Because the sum of the components is
+/// approximately normal, the raw values are approximately log-normal — the
+/// heavy-tailed shape of the paper's Fig. 7.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttributeModel {
+    /// Mean of the log-domain base value (`exp` of this is the median QoS).
+    pub log_mean: f64,
+    /// Std-dev of per-user (row) effects, including region structure.
+    pub user_sigma: f64,
+    /// Std-dev of per-service (column) effects, including region structure.
+    pub service_sigma: f64,
+    /// Std-dev of the user×service interaction (the low-rank inner product).
+    pub interaction_sigma: f64,
+    /// Std-dev of the multiplicative temporal fluctuation per slice.
+    pub temporal_sigma: f64,
+    /// Autocorrelation of temporal noise between consecutive slices (0..1).
+    pub temporal_rho: f64,
+    /// Probability that a (pair, slice) observation is a tail spike.
+    pub spike_probability: f64,
+    /// Log-domain magnitude added on a spike (e.g. `ln 4` quadruples the value).
+    pub spike_log_magnitude: f64,
+    /// Lower clamp for raw values.
+    pub min_value: f64,
+    /// Upper clamp for raw values (the paper's `R_max`).
+    pub max_value: f64,
+}
+
+impl AttributeModel {
+    /// Response-time model calibrated to the paper's RT statistics
+    /// (range 0–20 s, mean ≈ 1.33 s, strongly right-skewed).
+    pub fn response_time() -> Self {
+        Self {
+            // median ≈ 0.8 s; with total log-variance ≈ 0.77 the mean lands
+            // near exp(-0.22 + 0.77/2) ≈ 1.3 s.
+            log_mean: -0.22,
+            user_sigma: 0.50,
+            service_sigma: 0.50,
+            interaction_sigma: 0.40,
+            temporal_sigma: 0.25,
+            temporal_rho: 0.6,
+            spike_probability: 0.02,
+            spike_log_magnitude: 1.4, // ~4x slowdown spikes
+            min_value: 1e-3,
+            max_value: 20.0,
+        }
+    }
+
+    /// Throughput model calibrated to the paper's TP statistics
+    /// (range 0–7000 kbps, mean ≈ 11.35 kbps, extremely right-skewed).
+    pub fn throughput() -> Self {
+        Self {
+            // median ≈ 3 kbps; total log-variance ≈ 2.65 (σ ≈ 1.63) drives
+            // the mean to exp(1.1 + 2.65/2) ≈ 11.4 kbps — an order of
+            // magnitude above the median, as in the paper — with a tail
+            // reaching the multi-thousand-kbps range.
+            log_mean: 1.10,
+            user_sigma: 1.00,
+            service_sigma: 1.00,
+            interaction_sigma: 0.70,
+            temporal_sigma: 0.40,
+            temporal_rho: 0.6,
+            spike_probability: 0.02,
+            spike_log_magnitude: 2.0,
+            min_value: 1e-3,
+            max_value: 7000.0,
+        }
+    }
+
+    /// Validates the model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] when any sigma is negative,
+    /// `temporal_rho` or `spike_probability` is outside `[0, 1]`, or the
+    /// value range is degenerate.
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        let bad = |msg: &str| Err(DatasetError::InvalidConfig(msg.to_string()));
+        if !self.log_mean.is_finite() {
+            return bad("log_mean must be finite");
+        }
+        for (name, v) in [
+            ("user_sigma", self.user_sigma),
+            ("service_sigma", self.service_sigma),
+            ("interaction_sigma", self.interaction_sigma),
+            ("temporal_sigma", self.temporal_sigma),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(DatasetError::InvalidConfig(format!(
+                    "{name} must be finite and non-negative, got {v}"
+                )));
+            }
+        }
+        if !(0.0..=1.0).contains(&self.temporal_rho) {
+            return bad("temporal_rho must be in [0, 1]");
+        }
+        if !(0.0..=1.0).contains(&self.spike_probability) {
+            return bad("spike_probability must be in [0, 1]");
+        }
+        if self.spike_log_magnitude.is_nan() || self.spike_log_magnitude < 0.0 {
+            return bad("spike_log_magnitude must be non-negative");
+        }
+        if self.min_value.is_nan()
+            || self.max_value.is_nan()
+            || self.min_value < 0.0
+            || self.min_value >= self.max_value
+        {
+            return bad("value range must satisfy 0 <= min_value < max_value");
+        }
+        Ok(())
+    }
+}
+
+/// Full dataset generation configuration.
+///
+/// Defaults ([`DatasetConfig::paper_scale`]) match the paper's Fig. 6
+/// statistics table: 142 users, 4,500 services, 64 slices at 15-minute
+/// intervals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Number of users (rows). Paper: 142 PlanetLab nodes.
+    pub users: usize,
+    /// Number of services (columns). Paper: 4,500 Web services.
+    pub services: usize,
+    /// Number of time slices. Paper: 64.
+    pub time_slices: usize,
+    /// Seconds per time slice. Paper: 900 (15 minutes).
+    pub slice_interval_secs: u64,
+    /// Number of user regions ("22 countries" in the paper); users in the
+    /// same region share part of their latent vector and bias, producing the
+    /// row correlation the low-rank assumption relies on.
+    pub user_regions: usize,
+    /// Number of service regions ("57 countries" in the paper).
+    pub service_regions: usize,
+    /// Ground-truth latent dimensionality (the log-domain matrix has rank at
+    /// most `true_rank + 2`).
+    pub true_rank: usize,
+    /// How much of a user's/service's latent vector comes from its region
+    /// (0 = fully individual, 1 = fully regional).
+    pub region_weight: f64,
+    /// Response-time marginal model.
+    pub response_time: AttributeModel,
+    /// Throughput marginal model.
+    pub throughput: AttributeModel,
+    /// Master RNG seed; everything is deterministic given this.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// The paper's full scale: 142 × 4500 × 64.
+    pub fn paper_scale() -> Self {
+        Self {
+            users: 142,
+            services: 4500,
+            time_slices: 64,
+            slice_interval_secs: 900,
+            user_regions: 22,
+            service_regions: 57,
+            true_rank: 8,
+            region_weight: 0.5,
+            response_time: AttributeModel::response_time(),
+            throughput: AttributeModel::throughput(),
+            seed: 2014,
+        }
+    }
+
+    /// A reduced configuration for unit tests and doc examples
+    /// (20 users × 60 services × 8 slices).
+    pub fn small() -> Self {
+        Self {
+            users: 20,
+            services: 60,
+            time_slices: 8,
+            user_regions: 4,
+            service_regions: 6,
+            ..Self::paper_scale()
+        }
+    }
+
+    /// Returns a copy with a different seed (for the paper's "20 times with
+    /// different random seeds" protocol).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] when any dimension is zero,
+    /// `region_weight` is outside `[0, 1]`, or an attribute model is invalid.
+    pub fn validate(&self) -> Result<(), DatasetError> {
+        let bad = |msg: &str| Err(DatasetError::InvalidConfig(msg.to_string()));
+        if self.users == 0 || self.services == 0 || self.time_slices == 0 {
+            return bad("users, services, and time_slices must be positive");
+        }
+        if self.user_regions == 0 || self.service_regions == 0 {
+            return bad("region counts must be positive");
+        }
+        if self.true_rank == 0 {
+            return bad("true_rank must be positive");
+        }
+        if self.slice_interval_secs == 0 {
+            return bad("slice_interval_secs must be positive");
+        }
+        if !(0.0..=1.0).contains(&self.region_weight) {
+            return bad("region_weight must be in [0, 1]");
+        }
+        self.response_time.validate()?;
+        self.throughput.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self::paper_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_fig6() {
+        let c = DatasetConfig::paper_scale();
+        assert_eq!(c.users, 142);
+        assert_eq!(c.services, 4500);
+        assert_eq!(c.time_slices, 64);
+        assert_eq!(c.slice_interval_secs, 900);
+        assert_eq!(c.response_time.max_value, 20.0);
+        assert_eq!(c.throughput.max_value, 7000.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        DatasetConfig::small().validate().unwrap();
+    }
+
+    #[test]
+    fn default_is_paper_scale() {
+        assert_eq!(DatasetConfig::default(), DatasetConfig::paper_scale());
+    }
+
+    #[test]
+    fn with_seed_changes_only_seed() {
+        let a = DatasetConfig::small();
+        let b = a.clone().with_seed(99);
+        assert_eq!(b.seed, 99);
+        assert_eq!(a.users, b.users);
+    }
+
+    #[test]
+    fn validation_catches_zero_dims() {
+        let mut c = DatasetConfig::small();
+        c.users = 0;
+        assert!(c.validate().is_err());
+        let mut c = DatasetConfig::small();
+        c.true_rank = 0;
+        assert!(c.validate().is_err());
+        let mut c = DatasetConfig::small();
+        c.region_weight = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = DatasetConfig::small();
+        c.slice_interval_secs = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn attribute_validation() {
+        let mut m = AttributeModel::response_time();
+        m.validate().unwrap();
+        m.user_sigma = -1.0;
+        assert!(m.validate().is_err());
+
+        let mut m = AttributeModel::throughput();
+        m.temporal_rho = 2.0;
+        assert!(m.validate().is_err());
+
+        let mut m = AttributeModel::response_time();
+        m.min_value = 30.0; // above max
+        assert!(m.validate().is_err());
+
+        let mut m = AttributeModel::response_time();
+        m.spike_probability = -0.1;
+        assert!(m.validate().is_err());
+
+        let mut m = AttributeModel::response_time();
+        m.log_mean = f64::NAN;
+        assert!(m.validate().is_err());
+    }
+}

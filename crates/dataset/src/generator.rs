@@ -1,0 +1,408 @@
+//! The synthetic QoS dataset: latent model + temporal dynamics.
+
+use crate::config::DatasetConfig;
+use crate::latent::LatentModel;
+use crate::temporal::TemporalModel;
+use crate::DatasetError;
+use qos_linalg::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Which QoS attribute to generate — the paper evaluates both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Attribute {
+    /// Response time in seconds (paper: 0–20 s, mean 1.33 s).
+    ResponseTime,
+    /// Throughput in kbps (paper: 0–7000 kbps, mean 11.35 kbps).
+    Throughput,
+}
+
+impl Attribute {
+    /// Both attributes, in the paper's table order.
+    pub const ALL: [Attribute; 2] = [Attribute::ResponseTime, Attribute::Throughput];
+
+    /// Short name used in reports ("RT" / "TP", as in Table I).
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            Attribute::ResponseTime => "RT",
+            Attribute::Throughput => "TP",
+        }
+    }
+
+    /// Unit string for display.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            Attribute::ResponseTime => "sec",
+            Attribute::Throughput => "kbps",
+        }
+    }
+}
+
+impl std::fmt::Display for Attribute {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A fully deterministic synthetic QoS dataset.
+///
+/// Any cell `(attribute, user, service, slice)` can be generated in O(d)
+/// without materializing the full tensor; full slices are produced on demand.
+///
+/// # Examples
+///
+/// ```
+/// use qos_dataset::{Attribute, DatasetConfig, QosDataset};
+///
+/// let ds = QosDataset::generate(&DatasetConfig::small());
+/// let v = ds.value(Attribute::ResponseTime, 0, 0, 0);
+/// assert!((0.0..=20.0).contains(&v));
+/// // Deterministic:
+/// assert_eq!(v, ds.value(Attribute::ResponseTime, 0, 0, 0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QosDataset {
+    config: DatasetConfig,
+    rt_latent: LatentModel,
+    tp_latent: LatentModel,
+    rt_temporal: TemporalModel,
+    tp_temporal: TemporalModel,
+}
+
+impl QosDataset {
+    /// Generates the dataset for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`QosDataset::try_generate`] for a checked variant.
+    pub fn generate(config: &DatasetConfig) -> Self {
+        Self::try_generate(config).expect("invalid dataset config")
+    }
+
+    /// Generates the dataset, validating the configuration first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidConfig`] when validation fails.
+    pub fn try_generate(config: &DatasetConfig) -> Result<Self, DatasetError> {
+        config.validate()?;
+        Ok(Self {
+            rt_latent: LatentModel::generate(config, &config.response_time, 0x52_54),
+            tp_latent: LatentModel::generate(config, &config.throughput, 0x54_50),
+            rt_temporal: TemporalModel::new(&config.response_time, config.seed ^ 0x52_54),
+            tp_temporal: TemporalModel::new(&config.throughput, config.seed ^ 0x54_50),
+            config: config.clone(),
+        })
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// Number of users (matrix rows).
+    pub fn users(&self) -> usize {
+        self.config.users
+    }
+
+    /// Number of services (matrix columns).
+    pub fn services(&self) -> usize {
+        self.config.services
+    }
+
+    /// Number of time slices.
+    pub fn time_slices(&self) -> usize {
+        self.config.time_slices
+    }
+
+    fn parts(&self, attr: Attribute) -> (&LatentModel, &TemporalModel, f64, f64) {
+        match attr {
+            Attribute::ResponseTime => (
+                &self.rt_latent,
+                &self.rt_temporal,
+                self.config.response_time.min_value,
+                self.config.response_time.max_value,
+            ),
+            Attribute::Throughput => (
+                &self.tp_latent,
+                &self.tp_temporal,
+                self.config.throughput.min_value,
+                self.config.throughput.max_value,
+            ),
+        }
+    }
+
+    /// Ground-truth QoS value for `(user, service)` at `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range; use [`QosDataset::try_value`] for
+    /// a checked variant.
+    pub fn value(&self, attr: Attribute, user: usize, service: usize, slice: usize) -> f64 {
+        assert!(slice < self.config.time_slices, "slice out of range");
+        let (latent, temporal, min, max) = self.parts(attr);
+        let log_value =
+            latent.base_log_value(user, service) + temporal.log_disturbance(user, service, slice);
+        log_value.exp().clamp(min, max)
+    }
+
+    /// Checked version of [`QosDataset::value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::OutOfRange`] when an index is out of range.
+    pub fn try_value(
+        &self,
+        attr: Attribute,
+        user: usize,
+        service: usize,
+        slice: usize,
+    ) -> Result<f64, DatasetError> {
+        if user >= self.users() {
+            return Err(DatasetError::OutOfRange {
+                what: "user",
+                index: user,
+                len: self.users(),
+            });
+        }
+        if service >= self.services() {
+            return Err(DatasetError::OutOfRange {
+                what: "service",
+                index: service,
+                len: self.services(),
+            });
+        }
+        if slice >= self.time_slices() {
+            return Err(DatasetError::OutOfRange {
+                what: "time slice",
+                index: slice,
+                len: self.time_slices(),
+            });
+        }
+        Ok(self.value(attr, user, service, slice))
+    }
+
+    /// The pair's time-averaged base value (what Fig. 2(a)'s curve fluctuates
+    /// around), without temporal disturbance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` or `service` is out of range.
+    pub fn base_value(&self, attr: Attribute, user: usize, service: usize) -> f64 {
+        let (latent, _, min, max) = self.parts(attr);
+        latent.base_log_value(user, service).exp().clamp(min, max)
+    }
+
+    /// Full ground-truth matrix for one time slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is out of range.
+    pub fn slice_matrix(&self, attr: Attribute, slice: usize) -> DenseMatrix {
+        DenseMatrix::from_fn(self.users(), self.services(), |i, j| {
+            self.value(attr, i, j, slice)
+        })
+    }
+
+    /// Time series of one `(user, service)` pair across all slices — the data
+    /// behind Fig. 2(a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` or `service` is out of range.
+    pub fn pair_series(&self, attr: Attribute, user: usize, service: usize) -> Vec<f64> {
+        (0..self.time_slices())
+            .map(|t| self.value(attr, user, service, t))
+            .collect()
+    }
+
+    /// QoS of every user on one service at one slice, sorted ascending — the
+    /// data behind Fig. 2(b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` or `slice` is out of range.
+    pub fn service_profile_sorted(
+        &self,
+        attr: Attribute,
+        service: usize,
+        slice: usize,
+    ) -> Vec<f64> {
+        let mut values: Vec<f64> = (0..self.users())
+            .map(|u| self.value(attr, u, service, slice))
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("QoS values are finite"));
+        values
+    }
+
+    /// Timestamp (seconds since epoch 0 of the simulation) at which `slice`
+    /// begins.
+    pub fn slice_start_time(&self, slice: usize) -> u64 {
+        slice as u64 * self.config.slice_interval_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_linalg::stats;
+
+    fn dataset() -> QosDataset {
+        QosDataset::generate(&DatasetConfig::small())
+    }
+
+    #[test]
+    fn attribute_names() {
+        assert_eq!(Attribute::ResponseTime.short_name(), "RT");
+        assert_eq!(Attribute::Throughput.to_string(), "TP");
+        assert_eq!(Attribute::ResponseTime.unit(), "sec");
+        assert_eq!(Attribute::ALL.len(), 2);
+    }
+
+    #[test]
+    fn values_respect_ranges() {
+        let ds = dataset();
+        for t in 0..ds.time_slices() {
+            for u in 0..ds.users() {
+                for s in (0..ds.services()).step_by(7) {
+                    let rt = ds.value(Attribute::ResponseTime, u, s, t);
+                    assert!((0.0..=20.0).contains(&rt), "rt {rt}");
+                    let tp = ds.value(Attribute::Throughput, u, s, t);
+                    assert!((0.0..=7000.0).contains(&tp), "tp {tp}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_value_checks_bounds() {
+        let ds = dataset();
+        assert!(ds.try_value(Attribute::ResponseTime, 0, 0, 0).is_ok());
+        assert!(matches!(
+            ds.try_value(Attribute::ResponseTime, 999, 0, 0),
+            Err(DatasetError::OutOfRange { what: "user", .. })
+        ));
+        assert!(matches!(
+            ds.try_value(Attribute::ResponseTime, 0, 999, 0),
+            Err(DatasetError::OutOfRange {
+                what: "service",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ds.try_value(Attribute::ResponseTime, 0, 0, 999),
+            Err(DatasetError::OutOfRange {
+                what: "time slice",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut c = DatasetConfig::small();
+        c.users = 0;
+        assert!(QosDataset::try_generate(&c).is_err());
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = dataset();
+        let b = dataset();
+        assert_eq!(
+            a.slice_matrix(Attribute::Throughput, 3),
+            b.slice_matrix(Attribute::Throughput, 3)
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_data() {
+        let a = QosDataset::generate(&DatasetConfig::small());
+        let b = QosDataset::generate(&DatasetConfig::small().with_seed(777));
+        assert_ne!(
+            a.value(Attribute::ResponseTime, 0, 0, 0),
+            b.value(Attribute::ResponseTime, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn pair_series_fluctuates_around_base() {
+        // Fig. 2(a): the series wanders around its average, it does not trend
+        // off to the clamps.
+        let ds = dataset();
+        let series = ds.pair_series(Attribute::ResponseTime, 1, 2);
+        assert_eq!(series.len(), ds.time_slices());
+        let base = ds.base_value(Attribute::ResponseTime, 1, 2);
+        let mean = stats::mean(&series).unwrap();
+        // Mean of the series within a factor ~2.5 of the base value.
+        assert!(
+            mean / base < 2.5 && base / mean < 2.5,
+            "mean {mean} vs base {base}"
+        );
+    }
+
+    #[test]
+    fn service_profile_is_sorted_and_varied() {
+        let ds = dataset();
+        let profile = ds.service_profile_sorted(Attribute::ResponseTime, 5, 0);
+        assert_eq!(profile.len(), ds.users());
+        assert!(profile.windows(2).all(|w| w[0] <= w[1]));
+        // Fig. 2(b): large cross-user variation.
+        assert!(
+            profile.last().unwrap() / profile.first().unwrap().max(1e-6) > 1.5,
+            "profile too flat"
+        );
+    }
+
+    #[test]
+    fn raw_values_are_right_skewed() {
+        // Fig. 7 shape: skewness clearly positive for both attributes.
+        let ds = QosDataset::generate(&DatasetConfig {
+            users: 40,
+            services: 120,
+            ..DatasetConfig::small()
+        });
+        for attr in Attribute::ALL {
+            let m = ds.slice_matrix(attr, 0);
+            let skew = stats::skewness(m.values()).unwrap();
+            assert!(skew > 1.0, "{attr} skewness {skew} not heavy-tailed");
+        }
+    }
+
+    #[test]
+    fn rt_mean_near_paper_value() {
+        // Paper Fig. 6: RT average 1.33 s. Accept a loose band — the shape
+        // matters, not the third digit.
+        let ds = QosDataset::generate(&DatasetConfig {
+            users: 60,
+            services: 200,
+            ..DatasetConfig::small()
+        });
+        let m = ds.slice_matrix(Attribute::ResponseTime, 0);
+        let mean = stats::mean(m.values()).unwrap();
+        assert!((0.6..=2.6).contains(&mean), "RT mean {mean} out of band");
+    }
+
+    #[test]
+    fn slice_start_time_uses_interval() {
+        let ds = dataset();
+        assert_eq!(ds.slice_start_time(0), 0);
+        assert_eq!(ds.slice_start_time(4), 4 * 900);
+    }
+
+    #[test]
+    fn raw_slice_is_approximately_low_rank() {
+        // Fig. 9 shape: normalized singular values decay fast.
+        let ds = QosDataset::generate(&DatasetConfig {
+            users: 30,
+            services: 90,
+            ..DatasetConfig::small()
+        });
+        let m = ds.slice_matrix(Attribute::ResponseTime, 0);
+        let sv = qos_linalg::svd::normalized_singular_values(&m).unwrap();
+        // Energy in the top true_rank+2 components dominates.
+        let top: f64 = sv.iter().take(10).map(|v| v * v).sum();
+        let total: f64 = sv.iter().map(|v| v * v).sum();
+        assert!(top / total > 0.85, "top-10 energy only {}", top / total);
+    }
+}

@@ -1,0 +1,262 @@
+//! Ground-truth latent model behind the synthetic QoS matrix.
+//!
+//! Each attribute's log-domain matrix is `log_mean + b_i + c_j + u_i · s_j`
+//! — a biased low-rank model. Users and services belong to regions (the
+//! paper's "142 users in 22 countries, 4,500 services in 57 countries"):
+//! both the bias and the latent vector of an entity blend a shared regional
+//! component with an individual component, which creates the correlated
+//! rows/columns that make the QoS matrix approximately low-rank (Fig. 9) and
+//! makes collaborative filtering work at all ("close users ... experience
+//! similar QoS on the same service").
+
+use crate::config::{AttributeModel, DatasetConfig};
+use qos_linalg::random::{normal, normal_vec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Latent state of all users and services for one QoS attribute.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatentModel {
+    /// Per-user latent vectors (`users x true_rank`).
+    user_factors: Vec<Vec<f64>>,
+    /// Per-service latent vectors (`services x true_rank`).
+    service_factors: Vec<Vec<f64>>,
+    /// Per-user log-domain bias.
+    user_bias: Vec<f64>,
+    /// Per-service log-domain bias.
+    service_bias: Vec<f64>,
+    /// Region id of each user.
+    user_region: Vec<usize>,
+    /// Region id of each service.
+    service_region: Vec<usize>,
+    log_mean: f64,
+}
+
+impl LatentModel {
+    /// Samples a latent model for `model` using a sub-seed of `config.seed`.
+    ///
+    /// `salt` decorrelates the two attributes (RT and TP get different latent
+    /// structure, as they would in reality).
+    pub fn generate(config: &DatasetConfig, model: &AttributeModel, salt: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let d = config.true_rank;
+
+        // Latent entry scale: var(u · s) = d * var(u_k) * var(s_k); choosing
+        // var(u_k) = var(s_k) = interaction_sigma / sqrt(d) gives
+        // var(u · s) = interaction_sigma^2.
+        let entry_sigma = (model.interaction_sigma / (d as f64).sqrt()).sqrt();
+        let w = config.region_weight;
+
+        // Regional components.
+        let user_region_vecs: Vec<Vec<f64>> = (0..config.user_regions)
+            .map(|_| normal_vec(&mut rng, d, 0.0, entry_sigma))
+            .collect();
+        let service_region_vecs: Vec<Vec<f64>> = (0..config.service_regions)
+            .map(|_| normal_vec(&mut rng, d, 0.0, entry_sigma))
+            .collect();
+        let user_region_bias: Vec<f64> = (0..config.user_regions)
+            .map(|_| normal(&mut rng, 0.0, model.user_sigma))
+            .collect();
+        let service_region_bias: Vec<f64> = (0..config.service_regions)
+            .map(|_| normal(&mut rng, 0.0, model.service_sigma))
+            .collect();
+
+        let mut user_factors = Vec::with_capacity(config.users);
+        let mut user_bias = Vec::with_capacity(config.users);
+        let mut user_region = Vec::with_capacity(config.users);
+        for _ in 0..config.users {
+            let region = rng.random_range(0..config.user_regions);
+            user_region.push(region);
+            let own = normal_vec(&mut rng, d, 0.0, entry_sigma);
+            let blended: Vec<f64> = own
+                .iter()
+                .zip(&user_region_vecs[region])
+                .map(|(o, r)| w.sqrt() * r + (1.0 - w).sqrt() * o)
+                .collect();
+            user_factors.push(blended);
+            user_bias.push(
+                w.sqrt() * user_region_bias[region]
+                    + (1.0 - w).sqrt() * normal(&mut rng, 0.0, model.user_sigma),
+            );
+        }
+
+        let mut service_factors = Vec::with_capacity(config.services);
+        let mut service_bias = Vec::with_capacity(config.services);
+        let mut service_region = Vec::with_capacity(config.services);
+        for _ in 0..config.services {
+            let region = rng.random_range(0..config.service_regions);
+            service_region.push(region);
+            let own = normal_vec(&mut rng, d, 0.0, entry_sigma);
+            let blended: Vec<f64> = own
+                .iter()
+                .zip(&service_region_vecs[region])
+                .map(|(o, r)| w.sqrt() * r + (1.0 - w).sqrt() * o)
+                .collect();
+            service_factors.push(blended);
+            service_bias.push(
+                w.sqrt() * service_region_bias[region]
+                    + (1.0 - w).sqrt() * normal(&mut rng, 0.0, model.service_sigma),
+            );
+        }
+
+        Self {
+            user_factors,
+            service_factors,
+            user_bias,
+            service_bias,
+            user_region,
+            service_region,
+            log_mean: model.log_mean,
+        }
+    }
+
+    /// Log-domain base value for the pair `(user, service)` — the quantity
+    /// the temporal model fluctuates around (Fig. 2a's "average QoS value").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` or `service` is out of range.
+    pub fn base_log_value(&self, user: usize, service: usize) -> f64 {
+        self.log_mean
+            + self.user_bias[user]
+            + self.service_bias[service]
+            + qos_linalg::vector::dot(&self.user_factors[user], &self.service_factors[service])
+    }
+
+    /// Number of users.
+    pub fn users(&self) -> usize {
+        self.user_factors.len()
+    }
+
+    /// Number of services.
+    pub fn services(&self) -> usize {
+        self.service_factors.len()
+    }
+
+    /// Region id of a user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user` is out of range.
+    pub fn user_region(&self, user: usize) -> usize {
+        self.user_region[user]
+    }
+
+    /// Region id of a service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` is out of range.
+    pub fn service_region(&self, service: usize) -> usize {
+        self.service_region[service]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_model() -> (DatasetConfig, LatentModel) {
+        let config = DatasetConfig::small();
+        let model = LatentModel::generate(&config, &config.response_time.clone(), 1);
+        (config, model)
+    }
+
+    #[test]
+    fn dimensions_match_config() {
+        let (config, model) = small_model();
+        assert_eq!(model.users(), config.users);
+        assert_eq!(model.services(), config.services);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = DatasetConfig::small();
+        let a = LatentModel::generate(&config, &config.response_time.clone(), 1);
+        let b = LatentModel::generate(&config, &config.response_time.clone(), 1);
+        assert_eq!(a.base_log_value(0, 0), b.base_log_value(0, 0));
+        assert_eq!(a.base_log_value(5, 17), b.base_log_value(5, 17));
+    }
+
+    #[test]
+    fn different_salts_decorrelate() {
+        let config = DatasetConfig::small();
+        let rt = LatentModel::generate(&config, &config.response_time.clone(), 1);
+        let tp = LatentModel::generate(&config, &config.throughput.clone(), 2);
+        assert_ne!(rt.base_log_value(0, 0), tp.base_log_value(0, 0));
+    }
+
+    #[test]
+    fn regions_in_range() {
+        let (config, model) = small_model();
+        for u in 0..config.users {
+            assert!(model.user_region(u) < config.user_regions);
+        }
+        for s in 0..config.services {
+            assert!(model.service_region(s) < config.service_regions);
+        }
+    }
+
+    #[test]
+    fn base_values_vary_across_users() {
+        // Fig. 2(b): different users see very different QoS on one service.
+        let (config, model) = small_model();
+        let values: Vec<f64> = (0..config.users)
+            .map(|u| model.base_log_value(u, 0))
+            .collect();
+        let spread = qos_linalg::stats::std_dev(&values).unwrap();
+        assert!(spread > 0.2, "user spread too small: {spread}");
+    }
+
+    #[test]
+    fn same_region_users_are_more_similar() {
+        // Collect pairwise |Δ base| for same-region vs cross-region user
+        // pairs over a few services; same-region pairs should be closer on
+        // average (this is the property UPCC exploits).
+        let config = DatasetConfig {
+            users: 60,
+            region_weight: 0.8,
+            ..DatasetConfig::small()
+        };
+        let model = LatentModel::generate(&config, &config.response_time.clone(), 1);
+        let mut same = Vec::new();
+        let mut cross = Vec::new();
+        for a in 0..config.users {
+            for b in (a + 1)..config.users {
+                let mut diff = 0.0;
+                for s in 0..10 {
+                    diff += (model.base_log_value(a, s) - model.base_log_value(b, s)).abs();
+                }
+                if model.user_region(a) == model.user_region(b) {
+                    same.push(diff);
+                } else {
+                    cross.push(diff);
+                }
+            }
+        }
+        let same_mean = qos_linalg::stats::mean(&same).unwrap();
+        let cross_mean = qos_linalg::stats::mean(&cross).unwrap();
+        assert!(
+            same_mean < cross_mean,
+            "same-region {same_mean} should be below cross-region {cross_mean}"
+        );
+    }
+
+    #[test]
+    fn log_matrix_is_low_rank() {
+        // The log-domain matrix must have rank <= true_rank + 2 exactly.
+        let (config, model) = small_model();
+        let m = qos_linalg::DenseMatrix::from_fn(config.users, config.services, |i, j| {
+            model.base_log_value(i, j)
+        });
+        let sv = qos_linalg::svd::normalized_singular_values(&m).unwrap();
+        // Threshold well above the Jacobi solver's numerical noise floor.
+        let rank = sv.iter().filter(|&&v| v > 1e-6).count();
+        assert!(
+            rank <= config.true_rank + 2,
+            "rank {rank} exceeds {} + 2",
+            config.true_rank
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Synthetic WS-DREAM-like QoS dataset (substitute for paper Section V-A).
+//!
+//! The paper evaluates on a proprietary collection of real measurements: 142
+//! PlanetLab users invoking 4,500 public Web services over 64 consecutive
+//! 15-minute time slices, recording response time (RT, 0–20 s, mean 1.33 s)
+//! and throughput (TP, 0–7000 kbps, mean 11.35 kbps). That dataset is not
+//! available here, so this crate generates a synthetic equivalent that
+//! reproduces the statistical properties the paper's results depend on:
+//!
+//! 1. **Skewed, heavy-tailed marginals** (Fig. 7) — QoS values are log-normal
+//!    by construction: the generator works in the log domain and
+//!    exponentiates.
+//! 2. **Near-normal marginals after Box–Cox** (Fig. 8) — follows from (1).
+//! 3. **Approximate low rank** (Fig. 9) — the log-domain matrix is *exactly*
+//!    `rank ≤ d + 2` (a bias-plus-inner-product model), so the raw matrix is
+//!    approximately low-rank.
+//! 4. **Temporal fluctuation around a per-pair mean** (Fig. 2a) and **large
+//!    cross-user variation per service** (Fig. 2b) — multiplicative temporal
+//!    noise with autocorrelation and per-user biases with region structure.
+//!
+//! The crate also provides the experiment plumbing around the data:
+//! density-controlled sparsification ([`sampling`]), randomized QoS data
+//! streams ([`stream`]), dataset statistics (Fig. 6; [`stats`]), and
+//! WS-DREAM-style text I/O ([`io`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use qos_dataset::{DatasetConfig, QosDataset, Attribute};
+//!
+//! let config = DatasetConfig::small(); // reduced dims for tests/docs
+//! let dataset = QosDataset::generate(&config);
+//! let slice = dataset.slice_matrix(Attribute::ResponseTime, 0);
+//! assert_eq!(slice.shape(), (config.users, config.services));
+//! assert!(slice.values().iter().all(|&v| (0.0..=20.0).contains(&v)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod generator;
+pub mod io;
+pub mod latent;
+pub mod sampling;
+pub mod stats;
+pub mod stream;
+pub mod temporal;
+
+pub use config::{AttributeModel, DatasetConfig};
+pub use generator::{Attribute, QosDataset};
+pub use sampling::{split_matrix, MatrixSplit};
+pub use stats::DatasetStatistics;
+pub use stream::{QosSample, SliceStream};
+
+/// Error type for dataset construction and I/O.
+#[derive(Debug)]
+pub enum DatasetError {
+    /// Configuration failed validation.
+    InvalidConfig(String),
+    /// A requested slice/user/service index was out of range.
+    OutOfRange {
+        /// What was indexed (e.g. "time slice").
+        what: &'static str,
+        /// The requested index.
+        index: usize,
+        /// The number available.
+        len: usize,
+    },
+    /// An I/O operation failed.
+    Io(std::io::Error),
+    /// A data file could not be parsed.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::InvalidConfig(msg) => write!(f, "invalid dataset config: {msg}"),
+            DatasetError::OutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+            DatasetError::Io(e) => write!(f, "dataset io error: {e}"),
+            DatasetError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(DatasetError::InvalidConfig("x".into())
+            .to_string()
+            .contains("invalid"));
+        let e = DatasetError::OutOfRange {
+            what: "time slice",
+            index: 64,
+            len: 64,
+        };
+        assert!(e.to_string().contains("time slice"));
+        let e = DatasetError::Parse {
+            line: 3,
+            message: "bad float".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatasetError>();
+    }
+}

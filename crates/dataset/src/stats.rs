@@ -1,0 +1,171 @@
+//! Dataset statistics (the Fig. 6 table of the paper).
+
+use crate::generator::{Attribute, QosDataset};
+use qos_linalg::stats;
+use serde::{Deserialize, Serialize};
+
+/// Per-attribute statistics over a sample of the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttributeStatistics {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Mean value (the paper reports RT average 1.33 s, TP average 11.35 kbps).
+    pub mean: f64,
+    /// Median value.
+    pub median: f64,
+    /// Skewness of the raw distribution (not in the paper's table; quantifies
+    /// the Fig. 7 "highly skewed" claim).
+    pub skewness: f64,
+}
+
+/// The Fig. 6 statistics table: dimensions plus per-attribute summaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStatistics {
+    /// Number of users.
+    pub users: usize,
+    /// Number of services.
+    pub services: usize,
+    /// Number of time slices.
+    pub time_slices: usize,
+    /// Slice interval in seconds.
+    pub slice_interval_secs: u64,
+    /// Response-time summary.
+    pub response_time: AttributeStatistics,
+    /// Throughput summary.
+    pub throughput: AttributeStatistics,
+}
+
+impl DatasetStatistics {
+    /// Computes statistics over the first `sample_slices` slices (the full
+    /// tensor is large; a few slices are statistically sufficient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_slices` is zero or exceeds the dataset's slice count.
+    pub fn compute(dataset: &QosDataset, sample_slices: usize) -> Self {
+        assert!(
+            sample_slices > 0 && sample_slices <= dataset.time_slices(),
+            "sample_slices out of range"
+        );
+        let attr_stats = |attr: Attribute| {
+            let mut values =
+                Vec::with_capacity(dataset.users() * dataset.services() * sample_slices);
+            for t in 0..sample_slices {
+                values.extend_from_slice(dataset.slice_matrix(attr, t).values());
+            }
+            AttributeStatistics {
+                min: stats::min(&values).expect("non-empty dataset"),
+                max: stats::max(&values).expect("non-empty dataset"),
+                mean: stats::mean(&values).expect("non-empty dataset"),
+                median: stats::median(&values).expect("non-empty dataset"),
+                skewness: stats::skewness(&values).unwrap_or(0.0),
+            }
+        };
+        Self {
+            users: dataset.users(),
+            services: dataset.services(),
+            time_slices: dataset.time_slices(),
+            slice_interval_secs: dataset.config().slice_interval_secs,
+            response_time: attr_stats(Attribute::ResponseTime),
+            throughput: attr_stats(Attribute::Throughput),
+        }
+    }
+
+    /// Renders the table in the layout of the paper's Fig. 6.
+    pub fn to_table(&self) -> String {
+        format!(
+            "Statistics            Values\n\
+             #Users                {}\n\
+             #Services             {}\n\
+             #Time slices          {}\n\
+             #Time interval        {}min\n\
+             RT range              {:.3} ~ {:.2}s\n\
+             RT average            {:.2}s\n\
+             TP range              {:.3} ~ {:.2}kbps\n\
+             TP average            {:.2}kbps\n",
+            self.users,
+            self.services,
+            self.time_slices,
+            self.slice_interval_secs / 60,
+            self.response_time.min,
+            self.response_time.max,
+            self.response_time.mean,
+            self.throughput.min,
+            self.throughput.max,
+            self.throughput.mean,
+        )
+    }
+}
+
+impl std::fmt::Display for DatasetStatistics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+
+    fn statistics() -> DatasetStatistics {
+        let ds = QosDataset::generate(&DatasetConfig {
+            users: 40,
+            services: 150,
+            ..DatasetConfig::small()
+        });
+        DatasetStatistics::compute(&ds, 2)
+    }
+
+    #[test]
+    fn dimensions_copied_from_config() {
+        let s = statistics();
+        assert_eq!(s.users, 40);
+        assert_eq!(s.services, 150);
+        assert_eq!(s.time_slices, 8);
+        assert_eq!(s.slice_interval_secs, 900);
+    }
+
+    #[test]
+    fn ranges_within_clamps() {
+        let s = statistics();
+        assert!(s.response_time.min >= 0.0);
+        assert!(s.response_time.max <= 20.0);
+        assert!(s.throughput.min >= 0.0);
+        assert!(s.throughput.max <= 7000.0);
+    }
+
+    #[test]
+    fn both_attributes_right_skewed() {
+        let s = statistics();
+        assert!(s.response_time.skewness > 1.0);
+        assert!(s.throughput.skewness > 1.0);
+    }
+
+    #[test]
+    fn mean_exceeds_median_for_skewed_data() {
+        let s = statistics();
+        assert!(s.response_time.mean > s.response_time.median);
+        assert!(s.throughput.mean > s.throughput.median);
+    }
+
+    #[test]
+    fn table_contains_key_rows() {
+        let s = statistics();
+        let table = s.to_table();
+        assert!(table.contains("#Users"));
+        assert!(table.contains("#Services"));
+        assert!(table.contains("RT average"));
+        assert!(table.contains("15min"));
+        assert_eq!(table, s.to_string());
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_slices out of range")]
+    fn zero_sample_slices_rejected() {
+        let ds = QosDataset::generate(&DatasetConfig::small());
+        DatasetStatistics::compute(&ds, 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! QoS data streams: timestamped samples in arrival order.
+//!
+//! The AMF model consumes "sequentially observed QoS data samples
+//! `(t_ij, u_i, s_j, R_ij)`" (Algorithm 1). This module turns dataset slices
+//! into such streams: each observed entry of a slice becomes a sample with a
+//! timestamp inside the slice's interval, shuffled into a random arrival
+//! order, and multi-slice streams are concatenations in time order.
+
+use crate::generator::QosDataset;
+use crate::sampling::MatrixSplit;
+use qos_linalg::random::shuffle;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One observed QoS sample — the paper's `(t_ij, u_i, s_j, R_ij)` tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosSample {
+    /// Observation timestamp (seconds since simulation epoch).
+    pub timestamp: u64,
+    /// User (row) index.
+    pub user: usize,
+    /// Service (column) index.
+    pub service: usize,
+    /// Observed QoS value.
+    pub value: f64,
+}
+
+impl QosSample {
+    /// Creates a sample.
+    pub fn new(timestamp: u64, user: usize, service: usize, value: f64) -> Self {
+        Self {
+            timestamp,
+            user,
+            service,
+            value,
+        }
+    }
+}
+
+/// A stream of samples for one time slice.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SliceStream {
+    /// Slice index the samples belong to.
+    pub slice: usize,
+    /// Samples in arrival order.
+    pub samples: Vec<QosSample>,
+}
+
+impl SliceStream {
+    /// Builds a stream from a slice's observed (training) entries: arrival
+    /// order is randomized and timestamps are spread uniformly across the
+    /// slice interval in arrival order.
+    pub fn from_split<R: Rng + ?Sized>(
+        dataset: &QosDataset,
+        split: &MatrixSplit,
+        slice: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut entries: Vec<qos_linalg::Entry> = split.train.iter().copied().collect();
+        shuffle(rng, &mut entries);
+        let start = dataset.slice_start_time(slice);
+        let interval = dataset.config().slice_interval_secs;
+        let n = entries.len().max(1) as u64;
+        let samples = entries
+            .iter()
+            .enumerate()
+            .map(|(k, e)| QosSample::new(start + (k as u64 * interval) / n, e.row, e.col, e.value))
+            .collect();
+        Self { slice, samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterator over the samples in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &QosSample> + '_ {
+        self.samples.iter()
+    }
+}
+
+impl IntoIterator for SliceStream {
+    type Item = QosSample;
+    type IntoIter = std::vec::IntoIter<QosSample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.into_iter()
+    }
+}
+
+/// Concatenates per-slice streams in slice order into one long stream, as the
+/// online service would observe them across a day of operation.
+pub fn concat_streams(streams: impl IntoIterator<Item = SliceStream>) -> Vec<QosSample> {
+    let mut all: Vec<QosSample> = Vec::new();
+    let mut slices: Vec<SliceStream> = streams.into_iter().collect();
+    slices.sort_by_key(|s| s.slice);
+    for s in slices {
+        all.extend(s.samples);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+    use crate::generator::Attribute;
+    use crate::sampling::split_matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(slice: usize, density: f64, seed: u64) -> (QosDataset, MatrixSplit) {
+        let ds = QosDataset::generate(&DatasetConfig::small());
+        let m = ds.slice_matrix(Attribute::ResponseTime, slice);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let split = split_matrix(&m, density, &mut rng);
+        (ds, split)
+    }
+
+    #[test]
+    fn stream_covers_all_train_entries() {
+        let (ds, split) = setup(0, 0.2, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let stream = SliceStream::from_split(&ds, &split, 0, &mut rng);
+        assert_eq!(stream.len(), split.train.nnz());
+        for s in stream.iter() {
+            assert_eq!(split.train.get(s.user, s.service), Some(s.value));
+        }
+    }
+
+    #[test]
+    fn timestamps_within_slice_and_nondecreasing() {
+        let (ds, split) = setup(2, 0.3, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let stream = SliceStream::from_split(&ds, &split, 2, &mut rng);
+        let start = ds.slice_start_time(2);
+        let end = ds.slice_start_time(3);
+        let mut last = 0;
+        for s in stream.iter() {
+            assert!(s.timestamp >= start && s.timestamp < end);
+            assert!(s.timestamp >= last);
+            last = s.timestamp;
+        }
+    }
+
+    #[test]
+    fn arrival_order_is_randomized() {
+        let (ds, split) = setup(0, 0.5, 5);
+        let a = SliceStream::from_split(&ds, &split, 0, &mut StdRng::seed_from_u64(6));
+        let b = SliceStream::from_split(&ds, &split, 0, &mut StdRng::seed_from_u64(7));
+        let order_a: Vec<(usize, usize)> = a.iter().map(|s| (s.user, s.service)).collect();
+        let order_b: Vec<(usize, usize)> = b.iter().map(|s| (s.user, s.service)).collect();
+        assert_ne!(order_a, order_b);
+    }
+
+    #[test]
+    fn concat_orders_by_slice() {
+        let (ds, split0) = setup(0, 0.1, 8);
+        let m1 = ds.slice_matrix(Attribute::ResponseTime, 1);
+        let mut rng = StdRng::seed_from_u64(9);
+        let split1 = split_matrix(&m1, 0.1, &mut rng);
+        let s1 = SliceStream::from_split(&ds, &split1, 1, &mut rng);
+        let s0 = SliceStream::from_split(&ds, &split0, 0, &mut rng);
+        // Pass out of order; concat must sort by slice.
+        let all = concat_streams([s1.clone(), s0.clone()]);
+        assert_eq!(all.len(), s0.len() + s1.len());
+        assert!(all.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn into_iterator_yields_samples() {
+        let (ds, split) = setup(0, 0.1, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let stream = SliceStream::from_split(&ds, &split, 0, &mut rng);
+        let n = stream.len();
+        assert!(!stream.is_empty());
+        let collected: Vec<QosSample> = stream.into_iter().collect();
+        assert_eq!(collected.len(), n);
+    }
+}

@@ -1,0 +1,227 @@
+//! Temporal dynamics: deterministic, hash-indexed fluctuation.
+//!
+//! Fig. 2(a) of the paper shows a user-perceived response time fluctuating
+//! around a per-pair average across 64 slices. We reproduce that with a
+//! multiplicative log-domain disturbance per `(user, service, slice)`:
+//!
+//! * a **global slice factor** shared by all pairs in a slice (diurnal-style
+//!   load wave plus slice-level noise — "varying server workload");
+//! * a **pair-level autocorrelated noise** built from counter-based hashing,
+//!   so any `(i, j, t)` cell can be generated independently in O(1) without
+//!   materializing the full 142 × 4500 × 64 tensor;
+//! * occasional **tail spikes** ("dynamic network conditions") with
+//!   configurable probability and magnitude.
+//!
+//! Counter-based generation (SplitMix64 over a mixed key) keeps the dataset
+//! fully deterministic given the master seed while allowing random access.
+
+use crate::config::AttributeModel;
+use serde::{Deserialize, Serialize};
+
+/// SplitMix64 finalizer: a fast, well-mixed 64-bit hash.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform f64 in `[0, 1)`.
+#[inline]
+fn to_unit(h: u64) -> f64 {
+    // 53 high bits -> [0, 1)
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Maps two hashes to one standard-normal sample (Box–Muller).
+#[inline]
+fn to_gaussian(h1: u64, h2: u64) -> f64 {
+    let u1 = (to_unit(h1)).max(f64::MIN_POSITIVE);
+    let u2 = to_unit(h2);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Deterministic temporal disturbance generator for one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TemporalModel {
+    seed: u64,
+    sigma: f64,
+    rho: f64,
+    spike_probability: f64,
+    spike_log_magnitude: f64,
+    /// Amplitude of the global diurnal-style wave (log domain).
+    wave_amplitude: f64,
+    /// Wave period in slices (96 slices = 24 h at 15-minute intervals).
+    wave_period: f64,
+}
+
+impl TemporalModel {
+    /// Creates a temporal model from an attribute's noise parameters.
+    pub fn new(model: &AttributeModel, seed: u64) -> Self {
+        Self {
+            seed,
+            sigma: model.temporal_sigma,
+            rho: model.temporal_rho,
+            spike_probability: model.spike_probability,
+            spike_log_magnitude: model.spike_log_magnitude,
+            wave_amplitude: 0.5 * model.temporal_sigma,
+            wave_period: 96.0,
+        }
+    }
+
+    /// Raw i.i.d. unit-normal noise for cell `(user, service, slice)`,
+    /// independent across cells.
+    #[inline]
+    fn cell_noise(&self, user: u64, service: u64, slice: i64) -> f64 {
+        let key = self
+            .seed
+            .wrapping_mul(0x9E37)
+            .wrapping_add(user.wrapping_mul(0x0001_0003))
+            .wrapping_add(service.wrapping_mul(0x0005_DEEC_E66D))
+            .wrapping_add(slice as u64);
+        to_gaussian(splitmix64(key), splitmix64(key ^ 0xDEAD_BEEF_CAFE_F00D))
+    }
+
+    /// Autocorrelated pair-level noise at `slice` (unit variance, lag-1
+    /// correlation ≈ `rho`): an MA(1)-style blend of this slice's and the
+    /// previous slice's independent noise.
+    #[inline]
+    fn pair_noise(&self, user: usize, service: usize, slice: usize) -> f64 {
+        let n_now = self.cell_noise(user as u64, service as u64, slice as i64);
+        let n_prev = self.cell_noise(user as u64, service as u64, slice as i64 - 1);
+        let a = self.rho.sqrt();
+        let b = (1.0 - self.rho).sqrt();
+        a * n_prev + b * n_now
+    }
+
+    /// Global log-domain factor shared by every pair in `slice` (server-side
+    /// load wave plus slice-level shock).
+    pub fn global_log_factor(&self, slice: usize) -> f64 {
+        let wave = self.wave_amplitude
+            * (2.0 * std::f64::consts::PI * slice as f64 / self.wave_period).sin();
+        let shock_hash = splitmix64(self.seed ^ (slice as u64).wrapping_mul(0x517C_C1B7));
+        let shock = 0.3 * self.sigma * to_gaussian(shock_hash, splitmix64(shock_hash ^ 0xABCD));
+        wave + shock
+    }
+
+    /// Whether cell `(user, service, slice)` is a tail spike.
+    pub fn is_spike(&self, user: usize, service: usize, slice: usize) -> bool {
+        let key = self
+            .seed
+            .wrapping_mul(0xC0FFEE)
+            .wrapping_add((user as u64).wrapping_mul(0x1_0000_001B))
+            .wrapping_add((service as u64).wrapping_mul(0x9E1))
+            .wrapping_add(slice as u64);
+        to_unit(splitmix64(key)) < self.spike_probability
+    }
+
+    /// Full log-domain disturbance applied to the pair's base value at
+    /// `slice` — the sum of the global factor, pair-level autocorrelated
+    /// noise scaled by `sigma`, and any spike.
+    pub fn log_disturbance(&self, user: usize, service: usize, slice: usize) -> f64 {
+        let mut d =
+            self.global_log_factor(slice) + self.sigma * self.pair_noise(user, service, slice);
+        if self.is_spike(user, service, slice) {
+            d += self.spike_log_magnitude;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AttributeModel;
+
+    fn model() -> TemporalModel {
+        TemporalModel::new(&AttributeModel::response_time(), 7)
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = model();
+        assert_eq!(m.log_disturbance(3, 5, 7), m.log_disturbance(3, 5, 7));
+        assert_eq!(m.global_log_factor(10), m.global_log_factor(10));
+    }
+
+    #[test]
+    fn distinct_cells_differ() {
+        let m = model();
+        let a = m.log_disturbance(1, 1, 1);
+        assert_ne!(a, m.log_disturbance(1, 1, 2));
+        assert_ne!(a, m.log_disturbance(1, 2, 1));
+        assert_ne!(a, m.log_disturbance(2, 1, 1));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = TemporalModel::new(&AttributeModel::response_time(), 1);
+        let b = TemporalModel::new(&AttributeModel::response_time(), 2);
+        assert_ne!(a.log_disturbance(0, 0, 0), b.log_disturbance(0, 0, 0));
+    }
+
+    #[test]
+    fn pair_noise_is_roughly_unit_variance() {
+        let m = model();
+        let samples: Vec<f64> = (0..200)
+            .flat_map(|u| (0..50).map(move |s| (u, s)))
+            .map(|(u, s)| m.pair_noise(u, s, 3))
+            .collect();
+        let sd = qos_linalg::stats::std_dev(&samples).unwrap();
+        assert!((sd - 1.0).abs() < 0.1, "std {sd}");
+        let mean = qos_linalg::stats::mean(&samples).unwrap();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn consecutive_slices_are_correlated() {
+        // lag-1 correlation should be near rho, lag-5 near zero.
+        let m = model();
+        let pairs: Vec<(usize, usize)> = (0..300)
+            .flat_map(|u| (0..20).map(move |s| (u, s)))
+            .collect();
+        let corr = |lag: usize| {
+            let a: Vec<f64> = pairs.iter().map(|&(u, s)| m.pair_noise(u, s, 10)).collect();
+            let b: Vec<f64> = pairs
+                .iter()
+                .map(|&(u, s)| m.pair_noise(u, s, 10 + lag))
+                .collect();
+            qos_linalg::correlation::pearson(&a, &b).unwrap()
+        };
+        let lag1 = corr(1);
+        let lag5 = corr(5);
+        assert!(lag1 > 0.3, "lag-1 correlation too small: {lag1}");
+        assert!(lag5.abs() < 0.1, "lag-5 correlation too large: {lag5}");
+    }
+
+    #[test]
+    fn spike_rate_matches_probability() {
+        let m = model(); // p = 0.02
+        let n = 100_000;
+        let spikes = (0..n)
+            .filter(|&k| m.is_spike(k % 142, (k / 142) % 450, k % 64))
+            .count();
+        let rate = spikes as f64 / n as f64;
+        assert!((rate - 0.02).abs() < 0.005, "spike rate {rate}");
+    }
+
+    #[test]
+    fn zero_sigma_removes_pair_noise() {
+        let mut attr = AttributeModel::response_time();
+        attr.temporal_sigma = 0.0;
+        attr.spike_probability = 0.0;
+        let m = TemporalModel::new(&attr, 3);
+        // Only the (zero-amplitude) wave and zero-scaled shock remain.
+        assert_eq!(m.log_disturbance(1, 2, 3), 0.0);
+    }
+
+    #[test]
+    fn global_factor_oscillates() {
+        let m = model();
+        let values: Vec<f64> = (0..96).map(|t| m.global_log_factor(t)).collect();
+        let max = qos_linalg::stats::max(&values).unwrap();
+        let min = qos_linalg::stats::min(&values).unwrap();
+        assert!(max > 0.0 && min < 0.0, "wave should cross zero");
+    }
+}

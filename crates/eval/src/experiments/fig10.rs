@@ -1,0 +1,170 @@
+//! Fig. 10 — distribution of prediction errors for UIPCC, PMF and AMF.
+//!
+//! "AMF achieves denser distribution around the center 0, while UIPCC and
+//! PMF have flat error distributions."
+
+use crate::methods::Approach;
+use crate::Scale;
+use qos_dataset::sampling::split_matrix;
+use qos_dataset::Attribute;
+use qos_metrics::ErrorDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One approach's signed-error distribution.
+#[derive(Debug, Clone)]
+pub struct ApproachDistribution {
+    /// The approach.
+    pub approach: Approach,
+    /// Error distribution over the plotted interval.
+    pub distribution: ErrorDistribution,
+}
+
+/// Fig. 10 result for one attribute.
+#[derive(Debug, Clone)]
+pub struct Fig10Result {
+    /// Attribute short name.
+    pub attribute: String,
+    /// Density used (the paper plots the 10% setting).
+    pub density: f64,
+    /// UIPCC, PMF, AMF distributions in paper legend order.
+    pub distributions: Vec<ApproachDistribution>,
+}
+
+/// The paper plots errors within roughly ±3 s for RT.
+pub const ERROR_LIMIT: f64 = 3.0;
+/// Band used for the central-mass comparison.
+pub const CENTER_BAND: f64 = 0.5;
+
+/// Runs the experiment at density 10% on the slice-1 RT matrix.
+pub fn run(scale: &Scale) -> Fig10Result {
+    run_with(scale, Attribute::ResponseTime, 0.10)
+}
+
+/// Parameterized variant.
+pub fn run_with(scale: &Scale, attr: Attribute, density: f64) -> Fig10Result {
+    let dataset = super::dataset_for(scale);
+    let interval = dataset.config().slice_interval_secs;
+    let matrix = dataset.slice_matrix(attr, 0);
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+    let split = split_matrix(&matrix, density, &mut rng);
+    let actual = split.test_actuals();
+
+    let distributions = [Approach::Uipcc, Approach::Pmf, Approach::Amf]
+        .into_iter()
+        .map(|approach| {
+            let trained = approach.train(&split, attr, scale.seed, 0, interval);
+            let predicted = trained.predict_split(&split);
+            let distribution =
+                ErrorDistribution::evaluate(&actual, &predicted, ERROR_LIMIT, 60, CENTER_BAND)
+                    .expect("non-empty test set");
+            ApproachDistribution {
+                approach,
+                distribution,
+            }
+        })
+        .collect();
+
+    Fig10Result {
+        attribute: attr.short_name().to_string(),
+        density,
+        distributions,
+    }
+}
+
+impl Fig10Result {
+    /// Central mass (fraction of errors within ±[`CENTER_BAND`]) per
+    /// approach, in legend order.
+    pub fn central_masses(&self) -> Vec<(Approach, f64)> {
+        self.distributions
+            .iter()
+            .map(|d| (d.approach, d.distribution.central_mass()))
+            .collect()
+    }
+
+    /// Renders the three distributions as a multi-column series.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# Fig 10 ({}, density {:.0}%): prediction-error distributions\n",
+            self.attribute,
+            self.density * 100.0
+        );
+        for d in &self.distributions {
+            out.push_str(&format!(
+                "# {} central mass (|err| <= {CENTER_BAND}): {:.3}, bias {:.3}\n",
+                d.approach.name(),
+                d.distribution.central_mass(),
+                d.distribution.mean()
+            ));
+        }
+        let x: Vec<f64> = self.distributions[0]
+            .distribution
+            .series()
+            .iter()
+            .map(|&(x, _)| x)
+            .collect();
+        let series: Vec<(&str, Vec<f64>)> = self
+            .distributions
+            .iter()
+            .map(|d| {
+                (
+                    d.approach.name(),
+                    d.distribution.series().iter().map(|&(_, y)| y).collect(),
+                )
+            })
+            .collect();
+        out.push_str(&crate::report::render_multi_series("error", &x, &series));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig10Result {
+        run(&Scale {
+            users: 24,
+            services: 80,
+            time_slices: 2,
+            repetitions: 1,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn three_approaches_in_order() {
+        let r = result();
+        let names: Vec<&str> = r.distributions.iter().map(|d| d.approach.name()).collect();
+        assert_eq!(names, vec!["UIPCC", "PMF", "AMF"]);
+    }
+
+    #[test]
+    fn amf_has_densest_center() {
+        // The paper's visual claim, quantified: AMF's central mass is at
+        // least as large as both baselines'.
+        let r = result();
+        let masses = r.central_masses();
+        let amf = masses[2].1;
+        assert!(
+            amf >= masses[0].1 * 0.95,
+            "AMF {} vs UIPCC {}",
+            amf,
+            masses[0].1
+        );
+        assert!(
+            amf >= masses[1].1 * 0.95,
+            "AMF {} vs PMF {}",
+            amf,
+            masses[1].1
+        );
+    }
+
+    #[test]
+    fn render_mentions_every_approach() {
+        let text = result().render();
+        for needle in ["UIPCC", "PMF", "AMF", "central mass"] {
+            assert!(text.contains(needle));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Fig. 11 — impact of the data transformation: PMF vs AMF(α=1) vs AMF,
+//! MRE across densities.
+//!
+//! Separates the two accuracy ingredients: AMF(α=1) keeps the relative loss
+//! but disables Box–Cox (linear normalization only); full AMF adds the
+//! tuned α. The paper finds both steps matter.
+
+use crate::methods::Approach;
+use crate::report::render_multi_series;
+use crate::Scale;
+use qos_dataset::Attribute;
+
+/// Fig. 11 result for both attributes.
+#[derive(Debug, Clone)]
+pub struct Fig11Result {
+    /// Densities (x-axis).
+    pub densities: Vec<f64>,
+    /// Per attribute: `(attribute name, MRE per approach per density)` where
+    /// approaches are `[PMF, AMF(α=1), AMF]`.
+    pub curves: Vec<(String, Vec<Vec<f64>>)>,
+}
+
+/// The compared approaches, in the paper's legend order.
+pub const APPROACHES: [Approach; 3] = [Approach::Pmf, Approach::AmfLinear, Approach::Amf];
+
+/// Runs the transformation ablation over the Table I density grid.
+pub fn run(scale: &Scale) -> Fig11Result {
+    run_with(scale, &super::TABLE1_DENSITIES)
+}
+
+/// Parameterized variant (reduced density grids for quick checks).
+pub fn run_with(scale: &Scale, densities: &[f64]) -> Fig11Result {
+    let mut curves = Vec::new();
+    for attr in [Attribute::ResponseTime, Attribute::Throughput] {
+        let result = super::table1::run_with(scale, densities, &APPROACHES, &[attr]);
+        let table = &result.tables[0];
+        let mres: Vec<Vec<f64>> = table
+            .summaries
+            .iter()
+            .map(|col| col.iter().map(|s| s.mre).collect())
+            .collect();
+        curves.push((attr.short_name().to_string(), mres));
+    }
+    Fig11Result {
+        densities: densities.to_vec(),
+        curves,
+    }
+}
+
+impl Fig11Result {
+    /// Renders one multi-series block per attribute.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (attr, mres) in &self.curves {
+            out.push_str(&format!("# Fig 11 ({attr}): MRE vs matrix density\n"));
+            let series: Vec<(&str, Vec<f64>)> = APPROACHES
+                .iter()
+                .zip(mres)
+                .map(|(a, ys)| (a.name(), ys.clone()))
+                .collect();
+            out.push_str(&render_multi_series("density", &self.densities, &series));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig11Result {
+        run_with(
+            &Scale {
+                users: 60,
+                services: 150,
+                time_slices: 2,
+                repetitions: 1,
+                seed: 3,
+            },
+            &[0.15, 0.35],
+        )
+    }
+
+    #[test]
+    fn shapes() {
+        let r = result();
+        assert_eq!(r.densities.len(), 2);
+        assert_eq!(r.curves.len(), 2);
+        for (_, mres) in &r.curves {
+            assert_eq!(mres.len(), 3);
+            assert_eq!(mres[0].len(), 2);
+        }
+    }
+
+    #[test]
+    fn full_amf_beats_pmf_on_mre() {
+        // The figure's core ordering: AMF <= PMF on MRE at every density.
+        let r = result();
+        for (attr, mres) in &r.curves {
+            for (d_idx, &density) in r.densities.iter().enumerate() {
+                let pmf = mres[0][d_idx];
+                let amf = mres[2][d_idx];
+                assert!(
+                    amf <= pmf * 1.05,
+                    "{attr} density {density}: AMF MRE {amf} vs PMF {pmf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boxcox_helps_over_linear() {
+        // AMF with tuned alpha should generally beat AMF(α=1); allow slack
+        // at this small scale but require it on average.
+        let r = result();
+        for (attr, mres) in &r.curves {
+            let linear_mean: f64 = mres[1].iter().sum::<f64>() / mres[1].len() as f64;
+            let full_mean: f64 = mres[2].iter().sum::<f64>() / mres[2].len() as f64;
+            assert!(
+                full_mean <= linear_mean * 1.02,
+                "{attr}: AMF mean MRE {full_mean} vs AMF(a=1) {linear_mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_legend() {
+        let text = result().render();
+        assert!(text.contains("PMF"));
+        assert!(text.contains("AMF(a=1)"));
+        assert!(text.contains("Fig 11 (RT)"));
+        assert!(text.contains("Fig 11 (TP)"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig. 12 — impact of matrix density on AMF accuracy (5%–50%, step 5%).
+//!
+//! "The error decreases dramatically with the increase of matrix density
+//! when the QoS matrix is excessively sparse" — the overfitting-to-sparsity
+//! effect.
+
+use crate::methods::Approach;
+use crate::report::render_multi_series;
+use crate::Scale;
+use qos_dataset::Attribute;
+use qos_metrics::AccuracySummary;
+
+/// Fig. 12 result.
+#[derive(Debug, Clone)]
+pub struct Fig12Result {
+    /// Densities (x-axis).
+    pub densities: Vec<f64>,
+    /// Per attribute: AMF summary per density.
+    pub curves: Vec<(String, Vec<AccuracySummary>)>,
+}
+
+/// Runs AMF across the Fig. 12 density grid for both attributes.
+pub fn run(scale: &Scale) -> Fig12Result {
+    run_with(
+        scale,
+        &super::FIG12_DENSITIES,
+        &[Attribute::ResponseTime, Attribute::Throughput],
+    )
+}
+
+/// Parameterized variant.
+pub fn run_with(scale: &Scale, densities: &[f64], attributes: &[Attribute]) -> Fig12Result {
+    let mut curves = Vec::new();
+    for &attr in attributes {
+        let result = super::table1::run_with(scale, densities, &[Approach::Amf], &[attr]);
+        curves.push((
+            attr.short_name().to_string(),
+            result.tables[0].summaries[0].clone(),
+        ));
+    }
+    Fig12Result {
+        densities: densities.to_vec(),
+        curves,
+    }
+}
+
+impl Fig12Result {
+    /// Renders MAE/MRE/NPRE series per attribute.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (attr, summaries) in &self.curves {
+            out.push_str(&format!("# Fig 12 ({attr}): AMF error vs matrix density\n"));
+            let series = vec![
+                ("MAE", summaries.iter().map(|s| s.mae).collect::<Vec<_>>()),
+                ("MRE", summaries.iter().map(|s| s.mre).collect()),
+                ("NPRE", summaries.iter().map(|s| s.npre).collect()),
+            ];
+            let named: Vec<(&str, Vec<f64>)> = series;
+            out.push_str(&render_multi_series("density", &self.densities, &named));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig12Result {
+        run_with(
+            &Scale {
+                users: 60,
+                services: 150,
+                time_slices: 2,
+                repetitions: 1,
+                seed: 9,
+            },
+            &[0.05, 0.25, 0.50],
+            &[Attribute::ResponseTime],
+        )
+    }
+
+    #[test]
+    fn grid_shape() {
+        let r = result();
+        assert_eq!(r.densities.len(), 3);
+        assert_eq!(r.curves.len(), 1);
+        assert_eq!(r.curves[0].1.len(), 3);
+    }
+
+    #[test]
+    fn sparse_end_is_worse_than_dense_end() {
+        // The figure's shape: error at 5% clearly above error at 50%.
+        let r = result();
+        for (attr, summaries) in &r.curves {
+            let sparse = summaries.first().unwrap().mre;
+            let dense = summaries.last().unwrap().mre;
+            assert!(
+                sparse > dense,
+                "{attr}: MRE at 5% ({sparse}) should exceed MRE at 50% ({dense})"
+            );
+        }
+    }
+
+    #[test]
+    fn npre_dominates_mre_everywhere() {
+        let r = result();
+        for (_, summaries) in &r.curves {
+            for s in summaries {
+                assert!(s.npre >= s.mre);
+            }
+        }
+    }
+
+    #[test]
+    fn render_has_three_metrics() {
+        let text = result().render();
+        for needle in ["MAE", "MRE", "NPRE", "density"] {
+            assert!(text.contains(needle));
+        }
+    }
+}

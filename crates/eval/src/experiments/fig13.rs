@@ -1,0 +1,175 @@
+//! Fig. 13 — efficiency: convergence time per time slice for UIPCC, PMF and
+//! AMF.
+//!
+//! UIPCC and PMF retrain from scratch every slice; AMF warm-starts from the
+//! previous slice's model and only needs incremental updates — "despite the
+//! long convergence time for the first time slice, our AMF approach becomes
+//! quite fast in the following time slices".
+
+use crate::methods::{replay_options_for, train_amf_on_split, Approach};
+use crate::report::render_multi_series;
+use crate::Scale;
+use amf_core::{AmfConfig, AmfTrainer};
+use qos_dataset::sampling::split_matrix;
+use qos_dataset::Attribute;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Per-slice timing of the three approaches.
+#[derive(Debug, Clone)]
+pub struct Fig13Result {
+    /// UIPCC full-retrain time per slice.
+    pub uipcc: Vec<Duration>,
+    /// PMF full-retrain time per slice.
+    pub pmf: Vec<Duration>,
+    /// AMF incremental-update time per slice.
+    pub amf: Vec<Duration>,
+    /// AMF replay iterations per slice (a hardware-independent proxy for the
+    /// same shape).
+    pub amf_iterations: Vec<usize>,
+    /// Density used.
+    pub density: f64,
+}
+
+/// Runs the timing comparison at density 10% over the scale's slices.
+pub fn run(scale: &Scale) -> Fig13Result {
+    run_with(scale, 0.10, scale.time_slices)
+}
+
+/// Parameterized variant.
+pub fn run_with(scale: &Scale, density: f64, slices: usize) -> Fig13Result {
+    let dataset = super::dataset_for(scale);
+    let interval = dataset.config().slice_interval_secs;
+    let slices = slices.min(dataset.time_slices());
+    let attr = Attribute::ResponseTime;
+
+    let mut uipcc = Vec::with_capacity(slices);
+    let mut pmf = Vec::with_capacity(slices);
+    let mut amf = Vec::with_capacity(slices);
+    let mut amf_iterations = Vec::with_capacity(slices);
+
+    // One persistent AMF trainer across slices — the online model.
+    let mut trainer = AmfTrainer::new(AmfConfig::response_time().with_seed(scale.seed))
+        .expect("paper config is valid");
+
+    for slice in 0..slices {
+        let matrix = dataset.slice_matrix(attr, slice);
+        let mut rng = StdRng::seed_from_u64(scale.seed.wrapping_add(slice as u64));
+        let split = split_matrix(&matrix, density, &mut rng);
+        let slice_start = dataset.slice_start_time(slice);
+
+        // Offline baselines: full retrain per slice.
+        let trained = Approach::Uipcc.train(&split, attr, scale.seed, slice_start, interval);
+        uipcc.push(trained.train_time());
+        let trained = Approach::Pmf.train(&split, attr, scale.seed, slice_start, interval);
+        pmf.push(trained.train_time());
+
+        // AMF: incremental update of the persistent model.
+        let start = std::time::Instant::now();
+        let report = train_amf_on_split(&mut trainer, &split, slice_start, interval, scale.seed);
+        amf.push(start.elapsed());
+        amf_iterations.push(report.iterations);
+        let _ = replay_options_for(split.train.nnz()); // documented linkage
+    }
+
+    Fig13Result {
+        uipcc,
+        pmf,
+        amf,
+        amf_iterations,
+        density,
+    }
+}
+
+impl Fig13Result {
+    /// Mean AMF time over slices after the first (the "steady online" cost).
+    pub fn amf_steady_mean(&self) -> Duration {
+        if self.amf.len() <= 1 {
+            return self.amf.first().copied().unwrap_or_default();
+        }
+        let total: Duration = self.amf[1..].iter().sum();
+        total / (self.amf.len() - 1) as u32
+    }
+
+    /// Renders the three timing curves (seconds) plus AMF iterations.
+    pub fn render(&self) -> String {
+        let x: Vec<f64> = (0..self.uipcc.len()).map(|t| t as f64).collect();
+        let secs = |v: &[Duration]| -> Vec<f64> { v.iter().map(Duration::as_secs_f64).collect() };
+        let mut out = format!(
+            "# Fig 13 (density {:.0}%): convergence time per time slice (seconds)\n",
+            self.density * 100.0
+        );
+        out.push_str(&render_multi_series(
+            "time_slice",
+            &x,
+            &[
+                ("UIPCC", secs(&self.uipcc)),
+                ("PMF", secs(&self.pmf)),
+                ("AMF", secs(&self.amf)),
+                (
+                    "AMF_iterations",
+                    self.amf_iterations.iter().map(|&i| i as f64).collect(),
+                ),
+            ],
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig13Result {
+        run_with(
+            &Scale {
+                users: 60,
+                services: 150,
+                time_slices: 4,
+                repetitions: 1,
+                seed: 11,
+            },
+            0.15,
+            4,
+        )
+    }
+
+    #[test]
+    fn one_measurement_per_slice() {
+        let r = result();
+        assert_eq!(r.uipcc.len(), 4);
+        assert_eq!(r.pmf.len(), 4);
+        assert_eq!(r.amf.len(), 4);
+        assert_eq!(r.amf_iterations.len(), 4);
+        assert!(r.uipcc.iter().all(|d| *d > Duration::ZERO));
+        assert!(r.pmf.iter().all(|d| *d > Duration::ZERO));
+    }
+
+    #[test]
+    fn amf_warm_start_needs_fewer_iterations() {
+        // Hardware-independent shape check: later slices replay less than
+        // the cold-start slice.
+        let r = result();
+        let first = r.amf_iterations[0];
+        let later_max = *r.amf_iterations[1..].iter().max().unwrap();
+        assert!(
+            later_max <= first,
+            "warm-start iterations {later_max} exceed cold start {first}"
+        );
+    }
+
+    #[test]
+    fn render_has_all_curves() {
+        let text = result().render();
+        for needle in ["UIPCC", "PMF", "AMF", "time_slice"] {
+            assert!(text.contains(needle));
+        }
+    }
+
+    #[test]
+    fn steady_mean_defined() {
+        let r = result();
+        assert!(r.amf_steady_mean() > Duration::ZERO);
+    }
+}

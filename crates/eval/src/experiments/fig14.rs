@@ -1,0 +1,314 @@
+//! Fig. 14 — scalability under churn: 80% of users/services train first;
+//! the remaining 20% join mid-run.
+//!
+//! The paper's claims, reproduced as measurable series: (1) the MRE of the
+//! *new* users/services drops rapidly after they join; (2) the MRE of the
+//! *existing* users/services stays stable through the churn (robustness,
+//! thanks to adaptive weights).
+
+use crate::methods::replay_options_for;
+use crate::Scale;
+use amf_core::{AmfConfig, AmfTrainer};
+use qos_dataset::sampling::split_matrix;
+use qos_dataset::Attribute;
+use qos_linalg::random::{sample_indices, shuffle};
+use qos_linalg::Entry;
+use qos_metrics::AccuracySummary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// One measurement point along the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnPoint {
+    /// Cumulative replay iterations when measured (the x-axis; the paper
+    /// uses wall-clock seconds, iterations are the hardware-independent
+    /// equivalent).
+    pub iterations: usize,
+    /// Cumulative wall-clock seconds when measured.
+    pub seconds: f64,
+    /// MRE over held-out pairs among existing users × existing services.
+    pub mre_existing: f64,
+    /// MRE over held-out pairs involving a new user or service (`None`
+    /// before the join).
+    pub mre_new: Option<f64>,
+}
+
+/// Fig. 14 result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig14Result {
+    /// Measurement series in time order.
+    pub points: Vec<ChurnPoint>,
+    /// Index into `points` of the first post-join measurement.
+    pub join_index: usize,
+    /// Fraction of entities that were existing (the paper uses 80%).
+    pub existing_fraction: f64,
+}
+
+/// Configuration knobs for the churn run (exposed for the ablation).
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnOptions {
+    /// AMF configuration (the ablation flips `adaptive_weights`).
+    pub amf: AmfConfig,
+    /// Observed-matrix density.
+    pub density: f64,
+    /// Fraction of users/services in the initial (existing) population.
+    pub existing_fraction: f64,
+    /// Replay chunks before and after the join.
+    pub chunks_per_phase: usize,
+}
+
+impl Default for ChurnOptions {
+    fn default() -> Self {
+        Self {
+            amf: AmfConfig::response_time(),
+            density: 0.10,
+            existing_fraction: 0.8,
+            chunks_per_phase: 12,
+        }
+    }
+}
+
+/// Runs the churn protocol at the paper's settings.
+pub fn run(scale: &Scale) -> Fig14Result {
+    run_with(
+        scale,
+        ChurnOptions {
+            amf: AmfConfig::response_time().with_seed(scale.seed),
+            ..Default::default()
+        },
+    )
+}
+
+/// Parameterized churn run.
+pub fn run_with(scale: &Scale, options: ChurnOptions) -> Fig14Result {
+    let dataset = super::dataset_for(scale);
+    let attr = Attribute::ResponseTime;
+    let matrix = dataset.slice_matrix(attr, 0);
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xC0_14);
+
+    // Partition entities 80/20.
+    let n_users = dataset.users();
+    let n_services = dataset.services();
+    let existing_users_count = ((n_users as f64) * options.existing_fraction).round() as usize;
+    let existing_services_count =
+        ((n_services as f64) * options.existing_fraction).round() as usize;
+    let mut user_perm = sample_indices(&mut rng, n_users, n_users);
+    let mut service_perm = sample_indices(&mut rng, n_services, n_services);
+    let existing_users: std::collections::HashSet<usize> =
+        user_perm.drain(..existing_users_count).collect();
+    let existing_services: std::collections::HashSet<usize> =
+        service_perm.drain(..existing_services_count).collect();
+
+    // Observed/held-out split of the full matrix.
+    let split = split_matrix(&matrix, options.density, &mut rng);
+    let is_existing_pair =
+        |e: &Entry| existing_users.contains(&e.row) && existing_services.contains(&e.col);
+
+    let mut train_existing: Vec<Entry> = Vec::new();
+    let mut train_new: Vec<Entry> = Vec::new();
+    for e in split.train.iter() {
+        if is_existing_pair(e) {
+            train_existing.push(*e);
+        } else {
+            train_new.push(*e);
+        }
+    }
+    let test_existing: Vec<Entry> = split
+        .test
+        .iter()
+        .filter(|e| is_existing_pair(e))
+        .copied()
+        .collect();
+    let test_new: Vec<Entry> = split
+        .test
+        .iter()
+        .filter(|e| !is_existing_pair(e))
+        .copied()
+        .collect();
+
+    let mut trainer = AmfTrainer::new(options.amf).expect("valid churn config");
+    shuffle(&mut rng, &mut train_existing);
+    shuffle(&mut rng, &mut train_new);
+
+    let started = std::time::Instant::now();
+    let mut total_iterations = 0usize;
+
+    let mre_over = |trainer: &AmfTrainer, entries: &[Entry]| -> f64 {
+        let fallback = 1.0;
+        let actual: Vec<f64> = entries.iter().map(|e| e.value).collect();
+        let predicted: Vec<f64> = entries
+            .iter()
+            .map(|e| trainer.model().predict_or(e.row, e.col, fallback))
+            .collect();
+        AccuracySummary::evaluate(&actual, &predicted)
+            .map(|s| s.mre)
+            .unwrap_or(f64::NAN)
+    };
+
+    let mut points = Vec::new();
+
+    // Phase 1: feed existing entries, then replay in chunks.
+    for e in &train_existing {
+        trainer.feed(e.row, e.col, 0, e.value);
+    }
+    let replay = replay_options_for(train_existing.len());
+    let chunk = (replay.window).max(1);
+    for _ in 0..options.chunks_per_phase {
+        for _ in 0..chunk {
+            if trainer.replay_one().is_none() {
+                break;
+            }
+            total_iterations += 1;
+        }
+        points.push(ChurnPoint {
+            iterations: total_iterations,
+            seconds: started.elapsed().as_secs_f64(),
+            mre_existing: mre_over(&trainer, &test_existing),
+            mre_new: None,
+        });
+    }
+
+    // Join: the remaining 20% arrive with their observations.
+    let join_index = points.len();
+    for e in &train_new {
+        trainer.feed(e.row, e.col, 0, e.value);
+    }
+
+    // Phase 2: continue replaying over the full live set.
+    for _ in 0..options.chunks_per_phase {
+        for _ in 0..chunk {
+            if trainer.replay_one().is_none() {
+                break;
+            }
+            total_iterations += 1;
+        }
+        points.push(ChurnPoint {
+            iterations: total_iterations,
+            seconds: started.elapsed().as_secs_f64(),
+            mre_existing: mre_over(&trainer, &test_existing),
+            mre_new: Some(mre_over(&trainer, &test_new)),
+        });
+    }
+
+    Fig14Result {
+        points,
+        join_index,
+        existing_fraction: options.existing_fraction,
+    }
+}
+
+impl Fig14Result {
+    /// MRE of existing pairs just before the join.
+    pub fn existing_before_join(&self) -> f64 {
+        self.points[self.join_index - 1].mre_existing
+    }
+
+    /// Worst MRE of existing pairs after the join (churn disturbance).
+    pub fn existing_worst_after_join(&self) -> f64 {
+        self.points[self.join_index..]
+            .iter()
+            .map(|p| p.mre_existing)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// First and last new-entity MRE after the join.
+    pub fn new_first_and_last(&self) -> (f64, f64) {
+        let first = self.points[self.join_index]
+            .mre_new
+            .expect("post-join points have new MRE");
+        let last = self
+            .points
+            .last()
+            .and_then(|p| p.mre_new)
+            .expect("post-join points have new MRE");
+        (first, last)
+    }
+
+    /// Renders the paper's series (x in iterations and seconds).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# Fig 14: churn scalability ({}% existing, join at point {})\n",
+            (self.existing_fraction * 100.0).round(),
+            self.join_index
+        );
+        let mut table = crate::report::TextTable::new(vec![
+            "iterations".into(),
+            "seconds".into(),
+            "mre_existing".into(),
+            "mre_new".into(),
+        ]);
+        for p in &self.points {
+            table.row(vec![
+                p.iterations.to_string(),
+                format!("{:.3}", p.seconds),
+                format!("{:.4}", p.mre_existing),
+                p.mre_new.map_or("-".into(), |v| format!("{v:.4}")),
+            ]);
+        }
+        out.push_str(&table.render());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig14Result {
+        run(&Scale {
+            users: 30,
+            services: 100,
+            time_slices: 2,
+            repetitions: 1,
+            seed: 13,
+        })
+    }
+
+    #[test]
+    fn two_phases_of_points() {
+        let r = result();
+        assert_eq!(r.points.len(), 24);
+        assert_eq!(r.join_index, 12);
+        assert!(r.points[..12].iter().all(|p| p.mre_new.is_none()));
+        assert!(r.points[12..].iter().all(|p| p.mre_new.is_some()));
+        // Iterations strictly increase.
+        assert!(r
+            .points
+            .windows(2)
+            .all(|w| w[0].iterations <= w[1].iterations));
+    }
+
+    #[test]
+    fn new_entities_converge_after_join() {
+        // The paper: "the MRE for the new users and services rapidly
+        // decreases after their joining".
+        let r = result();
+        let (first, last) = r.new_first_and_last();
+        assert!(
+            last < first,
+            "new-entity MRE should fall: first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn existing_entities_stay_stable() {
+        // The paper: "the MRE for existing users and services still keep
+        // stable".
+        let r = result();
+        let before = r.existing_before_join();
+        let worst_after = r.existing_worst_after_join();
+        assert!(
+            worst_after < before * 2.0,
+            "existing MRE disturbed too much: {before} -> {worst_after}"
+        );
+    }
+
+    #[test]
+    fn render_has_series_columns() {
+        let text = result().render();
+        for needle in ["iterations", "mre_existing", "mre_new", "join at point"] {
+            assert!(text.contains(needle));
+        }
+    }
+}

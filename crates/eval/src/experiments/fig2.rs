@@ -1,0 +1,150 @@
+//! Fig. 2 — real-world QoS observations: (a) response time of one
+//! user–service pair across time slices; (b) sorted response times of many
+//! users on one service.
+//!
+//! These are the two phenomena motivating the whole problem: QoS is
+//! *dynamic* (2a) and *user-specific* (2b).
+
+use crate::report::render_series;
+use crate::Scale;
+use qos_dataset::{Attribute, QosDataset};
+use serde::{Deserialize, Serialize};
+
+/// Fig. 2 data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Result {
+    /// (a): RT of the chosen pair per time slice.
+    pub pair_series: Vec<f64>,
+    /// (b): RT of sampled users on the chosen service, sorted ascending.
+    pub sorted_user_profile: Vec<f64>,
+    /// The pair behind (a).
+    pub pair: (usize, usize),
+    /// The service behind (b).
+    pub profiled_service: usize,
+}
+
+/// Runs the experiment: picks a representative pair (near-median base RT, so
+/// the curve is neither clamped at 0 nor at 20 s) and samples up to 100 users
+/// for the profile, as the paper does.
+pub fn run(scale: &Scale) -> Fig2Result {
+    let dataset = super::dataset_for(scale);
+    let (user, service) = representative_pair(&dataset);
+    let pair_series = dataset.pair_series(Attribute::ResponseTime, user, service);
+
+    let profiled_service = service;
+    let mut profile = dataset.service_profile_sorted(Attribute::ResponseTime, profiled_service, 0);
+    profile.truncate(100);
+
+    Fig2Result {
+        pair_series,
+        sorted_user_profile: profile,
+        pair: (user, service),
+        profiled_service,
+    }
+}
+
+/// Finds the pair whose base RT is closest to the median base RT of a sample
+/// of pairs — a "typical" invocation like the Pittsburgh→Iran example.
+fn representative_pair(dataset: &QosDataset) -> (usize, usize) {
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for u in 0..dataset.users().min(30) {
+        for s in (0..dataset.services()).step_by((dataset.services() / 30).max(1)) {
+            pairs.push((u, s, dataset.base_value(Attribute::ResponseTime, u, s)));
+        }
+    }
+    let mut values: Vec<f64> = pairs.iter().map(|p| p.2).collect();
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = values[values.len() / 2];
+    let (u, s, _) = pairs
+        .into_iter()
+        .min_by(|a, b| {
+            (a.2 - median)
+                .abs()
+                .partial_cmp(&(b.2 - median).abs())
+                .expect("finite")
+        })
+        .expect("non-empty pair sample");
+    (u, s)
+}
+
+impl Fig2Result {
+    /// Renders both panels as labelled series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# Fig 2(a): RT vs time slice for user {} on service {}\n",
+            self.pair.0, self.pair.1
+        ));
+        let series_a: Vec<(f64, f64)> = self
+            .pair_series
+            .iter()
+            .enumerate()
+            .map(|(t, &v)| (t as f64, v))
+            .collect();
+        out.push_str(&render_series("time_slice", "rt_sec", &series_a));
+        out.push_str(&format!(
+            "\n# Fig 2(b): sorted RT of {} users on service {}\n",
+            self.sorted_user_profile.len(),
+            self.profiled_service
+        ));
+        let series_b: Vec<(f64, f64)> = self
+            .sorted_user_profile
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64, v))
+            .collect();
+        out.push_str(&render_series("user_rank", "rt_sec", &series_b));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig2Result {
+        run(&Scale::small())
+    }
+
+    #[test]
+    fn pair_series_spans_all_slices() {
+        let r = result();
+        assert_eq!(r.pair_series.len(), Scale::small().time_slices);
+        assert!(r.pair_series.iter().all(|&v| (0.0..=20.0).contains(&v)));
+    }
+
+    #[test]
+    fn series_fluctuates_but_does_not_explode() {
+        // Fig. 2(a) shape: variation around an average, not monotone drift.
+        let r = result();
+        let mean = qos_linalg::stats::mean(&r.pair_series).unwrap();
+        let max = qos_linalg::stats::max(&r.pair_series).unwrap();
+        let min = qos_linalg::stats::min(&r.pair_series).unwrap();
+        assert!(max > mean && min < mean);
+        assert!(max / min.max(1e-6) < 100.0, "series unreasonably volatile");
+    }
+
+    #[test]
+    fn profile_sorted_with_large_spread() {
+        // Fig. 2(b) shape: ascending curve with a wide range.
+        let r = result();
+        assert!(r.sorted_user_profile.windows(2).all(|w| w[0] <= w[1]));
+        let first = r.sorted_user_profile.first().unwrap();
+        let last = r.sorted_user_profile.last().unwrap();
+        assert!(last / first.max(1e-6) > 1.5, "user spread too small");
+    }
+
+    #[test]
+    fn render_contains_both_panels() {
+        let text = result().render();
+        assert!(text.contains("Fig 2(a)"));
+        assert!(text.contains("Fig 2(b)"));
+        assert!(text.contains("time_slice"));
+        assert!(text.contains("user_rank"));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(run(&Scale::small()), run(&Scale::small()));
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 6 — the dataset statistics table.
+
+use crate::Scale;
+use qos_dataset::DatasetStatistics;
+
+/// Runs the experiment: generates the dataset and computes the statistics
+/// table over a couple of slices.
+pub fn run(scale: &Scale) -> DatasetStatistics {
+    let dataset = super::dataset_for(scale);
+    let sample_slices = scale.time_slices.min(2);
+    DatasetStatistics::compute(&dataset, sample_slices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics_reflect_scale() {
+        let stats = run(&Scale::small());
+        assert_eq!(stats.users, Scale::small().users);
+        assert_eq!(stats.services, Scale::small().services);
+        assert_eq!(stats.slice_interval_secs, 900);
+    }
+
+    #[test]
+    fn table_renders_paper_rows() {
+        let table = run(&Scale::small()).to_table();
+        for needle in [
+            "#Users",
+            "#Services",
+            "#Time slices",
+            "RT range",
+            "TP average",
+        ] {
+            assert!(table.contains(needle), "missing row {needle}");
+        }
+    }
+
+    #[test]
+    fn rt_and_tp_within_paper_ranges() {
+        let stats = run(&Scale::small());
+        assert!(stats.response_time.max <= 20.0);
+        assert!(stats.throughput.max <= 7000.0);
+        assert!(stats.response_time.mean > 0.0);
+    }
+}

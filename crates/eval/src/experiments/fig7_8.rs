@@ -1,0 +1,167 @@
+//! Figs. 7 and 8 — QoS value distributions before and after the data
+//! transformation.
+//!
+//! Fig. 7 plots the raw response-time and throughput densities (cut off at
+//! 10 s / 150 kbps for visualization) and shows them "highly skewed"; Fig. 8
+//! plots the same data after Box–Cox + normalization and shows them
+//! near-normal. The skewness numbers quantify the visual claim.
+
+use crate::report::render_series;
+use crate::Scale;
+use qos_dataset::Attribute;
+use qos_linalg::{stats, Histogram};
+use qos_transform::QosTransform;
+use serde::{Deserialize, Serialize};
+
+/// Distribution data for one attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributeDistributions {
+    /// Attribute short name ("RT"/"TP").
+    pub attribute: String,
+    /// Raw-value histogram (paper's visualization cutoff applied).
+    pub raw: Histogram,
+    /// Transformed-value histogram over `[0, 1]`.
+    pub transformed: Histogram,
+    /// Skewness of the raw sample.
+    pub raw_skewness: f64,
+    /// Skewness of the transformed sample.
+    pub transformed_skewness: f64,
+}
+
+/// Fig. 7 + Fig. 8 result: distributions for both attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig78Result {
+    /// Response time distributions.
+    pub rt: AttributeDistributions,
+    /// Throughput distributions.
+    pub tp: AttributeDistributions,
+}
+
+/// The paper's visualization cutoffs: "we cut off the response time beyond
+/// 10s and the throughput more than 150kbps".
+pub const RT_CUTOFF: f64 = 10.0;
+/// See [`RT_CUTOFF`].
+pub const TP_CUTOFF: f64 = 150.0;
+
+const BINS: usize = 50;
+
+fn distributions_for(
+    dataset: &qos_dataset::QosDataset,
+    attr: Attribute,
+    cutoff: f64,
+    transform: &QosTransform,
+) -> AttributeDistributions {
+    let values = dataset.slice_matrix(attr, 0).into_vec();
+
+    let mut raw = Histogram::new(0.0, cutoff, BINS).expect("valid histogram bounds");
+    raw.extend(values.iter().copied());
+
+    let transformed_values: Vec<f64> = values.iter().map(|&v| transform.to_normalized(v)).collect();
+    let mut transformed = Histogram::new(0.0, 1.0 + 1e-9, BINS).expect("valid histogram bounds");
+    transformed.extend(transformed_values.iter().copied());
+
+    AttributeDistributions {
+        attribute: attr.short_name().to_string(),
+        raw,
+        transformed,
+        raw_skewness: stats::skewness(&values).unwrap_or(0.0),
+        transformed_skewness: stats::skewness(&transformed_values).unwrap_or(0.0),
+    }
+}
+
+/// Runs the experiment with the paper's transforms (α = −0.007 RT /
+/// −0.05 TP).
+pub fn run(scale: &Scale) -> Fig78Result {
+    let dataset = super::dataset_for(scale);
+    let rt_transform = QosTransform::new(-0.007, 0.0, 20.0).expect("paper RT transform is valid");
+    let tp_transform = QosTransform::new(-0.05, 0.0, 7000.0).expect("paper TP transform is valid");
+    Fig78Result {
+        rt: distributions_for(&dataset, Attribute::ResponseTime, RT_CUTOFF, &rt_transform),
+        tp: distributions_for(&dataset, Attribute::Throughput, TP_CUTOFF, &tp_transform),
+    }
+}
+
+impl Fig78Result {
+    /// Renders all four panels (Fig. 7 RT/TP, Fig. 8 RT/TP).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (dist, fig) in [(&self.rt, "7/8 RT"), (&self.tp, "7/8 TP")] {
+            out.push_str(&format!(
+                "# Fig {fig}: raw skewness {:.3} -> transformed skewness {:.3}\n",
+                dist.raw_skewness, dist.transformed_skewness
+            ));
+            out.push_str("## raw density\n");
+            let pts: Vec<(f64, f64)> = dist.raw.points().collect();
+            out.push_str(&render_series("value", "density", &pts));
+            out.push_str("## transformed density\n");
+            let pts: Vec<(f64, f64)> = dist.transformed.points().collect();
+            out.push_str(&render_series("value", "density", &pts));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig78Result {
+        run(&Scale::small())
+    }
+
+    #[test]
+    fn raw_distributions_are_skewed() {
+        let r = result();
+        assert!(r.rt.raw_skewness > 1.0, "RT skew {}", r.rt.raw_skewness);
+        assert!(r.tp.raw_skewness > 1.0, "TP skew {}", r.tp.raw_skewness);
+    }
+
+    #[test]
+    fn transform_reduces_skewness() {
+        // The Fig. 7 -> Fig. 8 improvement.
+        let r = result();
+        assert!(
+            r.rt.transformed_skewness.abs() < r.rt.raw_skewness.abs() / 2.0,
+            "RT: {} -> {}",
+            r.rt.raw_skewness,
+            r.rt.transformed_skewness
+        );
+        assert!(
+            r.tp.transformed_skewness.abs() < r.tp.raw_skewness.abs() / 2.0,
+            "TP: {} -> {}",
+            r.tp.raw_skewness,
+            r.tp.transformed_skewness
+        );
+    }
+
+    #[test]
+    fn raw_histogram_peaks_low() {
+        // Right-skewed data: the mode bin sits in the lower half of the range.
+        let r = result();
+        let mode = r.rt.raw.mode_bin().unwrap();
+        assert!(
+            mode < r.rt.raw.bins() / 2,
+            "mode bin {mode} not in lower half"
+        );
+    }
+
+    #[test]
+    fn transformed_histogram_peaks_interior() {
+        // Near-normal data: the mode is away from both edges.
+        let r = result();
+        let mode = r.rt.transformed.mode_bin().unwrap();
+        assert!(
+            mode > 2 && mode < r.rt.transformed.bins() - 3,
+            "mode bin {mode}"
+        );
+    }
+
+    #[test]
+    fn render_mentions_all_panels() {
+        let text = result().render();
+        assert!(text.contains("Fig 7/8 RT"));
+        assert!(text.contains("Fig 7/8 TP"));
+        assert!(text.contains("raw density"));
+        assert!(text.contains("transformed density"));
+    }
+}

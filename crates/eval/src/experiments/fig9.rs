@@ -1,0 +1,118 @@
+//! Fig. 9 — sorted normalized singular values of the user–service matrices.
+//!
+//! "Except the first few largest singular values, most of them are close
+//! to 0" — the low-rank evidence justifying matrix factorization.
+
+use crate::report::render_multi_series;
+use crate::Scale;
+use qos_dataset::Attribute;
+use qos_linalg::svd::normalized_singular_values;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 9 data: normalized singular values per attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Result {
+    /// Normalized singular values of the RT matrix (descending; largest = 1).
+    pub response_time: Vec<f64>,
+    /// Normalized singular values of the TP matrix.
+    pub throughput: Vec<f64>,
+    /// How many values are plotted (the paper shows the top 50).
+    pub shown: usize,
+}
+
+/// Runs the experiment on the slice-1 matrices, keeping the top 50 values as
+/// the paper plots.
+pub fn run(scale: &Scale) -> Fig9Result {
+    let dataset = super::dataset_for(scale);
+    let mut rt = normalized_singular_values(&dataset.slice_matrix(Attribute::ResponseTime, 0))
+        .expect("non-degenerate RT matrix");
+    let mut tp = normalized_singular_values(&dataset.slice_matrix(Attribute::Throughput, 0))
+        .expect("non-degenerate TP matrix");
+    let shown = 50.min(rt.len()).min(tp.len());
+    rt.truncate(shown);
+    tp.truncate(shown);
+    Fig9Result {
+        response_time: rt,
+        throughput: tp,
+        shown,
+    }
+}
+
+impl Fig9Result {
+    /// Fraction of squared "energy" captured by the top `k` singular values
+    /// of the RT matrix — a scalar summary of Fig. 9's message.
+    pub fn rt_energy_top(&self, k: usize) -> f64 {
+        let total: f64 = self.response_time.iter().map(|v| v * v).sum();
+        let top: f64 = self.response_time.iter().take(k).map(|v| v * v).sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            top / total
+        }
+    }
+
+    /// Renders the two curves in the paper's axes.
+    pub fn render(&self) -> String {
+        let x: Vec<f64> = (1..=self.shown).map(|i| i as f64).collect();
+        let mut out = String::from("# Fig 9: sorted normalized singular values\n");
+        out.push_str(&render_multi_series(
+            "singular_value_id",
+            &x,
+            &[
+                ("response_time", self.response_time.clone()),
+                ("throughput", self.throughput.clone()),
+            ],
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig9Result {
+        run(&Scale::small())
+    }
+
+    #[test]
+    fn values_normalized_and_descending() {
+        let r = result();
+        for sv in [&r.response_time, &r.throughput] {
+            assert!((sv[0] - 1.0).abs() < 1e-9, "largest must be 1");
+            assert!(sv.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+            assert!(sv.iter().all(|&v| (0.0..=1.0 + 1e-9).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn tail_is_near_zero() {
+        // The paper's observation: beyond the first few, values are close
+        // to 0.
+        let r = result();
+        let tail_start = 15.min(r.response_time.len() - 1);
+        assert!(
+            r.response_time[tail_start] < 0.2,
+            "RT singular value {} at rank {tail_start} too large",
+            r.response_time[tail_start]
+        );
+        assert!(r.throughput[tail_start] < 0.2);
+    }
+
+    #[test]
+    fn top_energy_dominates() {
+        let r = result();
+        assert!(
+            r.rt_energy_top(10) > 0.85,
+            "top-10 energy only {}",
+            r.rt_energy_top(10)
+        );
+    }
+
+    #[test]
+    fn render_has_both_series() {
+        let text = result().render();
+        assert!(text.contains("response_time"));
+        assert!(text.contains("throughput"));
+    }
+}

@@ -1,0 +1,55 @@
+//! One module per paper artifact (table/figure), plus ablations.
+//!
+//! Every experiment is a pure function of a [`crate::Scale`]: it generates
+//! the synthetic dataset at that scale, runs the paper's protocol, and
+//! returns a typed result whose `render()` reproduces the table/figure data
+//! as text. Benches write these artifacts under `target/reports/`.
+
+pub mod ablation;
+pub mod adaptation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig2;
+pub mod fig6;
+pub mod fig7_8;
+pub mod fig9;
+pub mod over_time;
+pub mod table1;
+
+use crate::Scale;
+use qos_dataset::QosDataset;
+
+/// Generates the dataset for a scale (shared by all experiments).
+pub fn dataset_for(scale: &Scale) -> QosDataset {
+    QosDataset::generate(&scale.dataset_config())
+}
+
+/// The paper's Table I density grid (10%–50% step 10%).
+pub const TABLE1_DENSITIES: [f64; 5] = [0.10, 0.20, 0.30, 0.40, 0.50];
+
+/// The paper's Fig. 12 density grid (5%–50% step 5%).
+pub const FIG12_DENSITIES: [f64; 10] = [0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_for_matches_scale() {
+        let scale = Scale::small();
+        let ds = dataset_for(&scale);
+        assert_eq!(ds.users(), scale.users);
+        assert_eq!(ds.services(), scale.services);
+    }
+
+    #[test]
+    fn density_grids_match_paper() {
+        assert_eq!(TABLE1_DENSITIES.len(), 5);
+        assert_eq!(FIG12_DENSITIES.len(), 10);
+        assert!((FIG12_DENSITIES[0] - 0.05).abs() < 1e-12);
+        assert!((TABLE1_DENSITIES[4] - 0.5).abs() < 1e-12);
+    }
+}

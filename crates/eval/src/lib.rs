@@ -1,0 +1,46 @@
+//! Experiment harness regenerating every table and figure of the AMF paper
+//! (ICDCS 2014, Section V).
+//!
+//! Each experiment lives in [`experiments`] as a pure function from a
+//! [`Scale`] (dataset dimensions + repetition counts) to a typed result with
+//! a `render()` method producing the paper-style text artifact. The mapping
+//! to the paper:
+//!
+//! | id | paper artifact | function |
+//! |----|----------------|----------|
+//! | Fig. 2 | RT vs time slice / RT vs user | [`experiments::fig2::run`] |
+//! | Fig. 6 | dataset statistics table | [`experiments::fig6::run`] |
+//! | Fig. 7/8 | raw & transformed distributions | [`experiments::fig7_8::run`] |
+//! | Fig. 9 | sorted singular values | [`experiments::fig9::run`] |
+//! | Table I | accuracy comparison | [`experiments::table1::run`] |
+//! | Fig. 10 | prediction-error distributions | [`experiments::fig10::run`] |
+//! | Fig. 11 | impact of data transformation | [`experiments::fig11::run`] |
+//! | Fig. 12 | impact of matrix density | [`experiments::fig12::run`] |
+//! | Fig. 13 | efficiency (convergence time/slice) | [`experiments::fig13::run`] |
+//! | Fig. 14 | scalability under churn | [`experiments::fig14::run`] |
+//! | — | ablations (adaptive weights, loss) | [`experiments::ablation`] |
+//!
+//! Scale control: experiments accept any [`Scale`]; [`Scale::from_env`] reads
+//! `AMF_SCALE` (`full` = the paper's 142×4500, `small` = CI-sized) so the
+//! same code drives quick checks and full reproductions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod methods;
+pub mod report;
+pub mod scale;
+
+pub use methods::{Approach, TrainedPredictor};
+pub use scale::Scale;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scale_env_roundtrip() {
+        // Covered in scale.rs; this asserts the re-export path compiles.
+        let s = crate::Scale::small();
+        assert!(s.users > 0);
+    }
+}

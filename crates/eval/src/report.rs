@@ -1,0 +1,218 @@
+//! Plain-text report rendering: aligned tables and series dumps that mirror
+//! the paper's tables and figure data.
+
+/// A simple left-padded text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use qos_eval::report::TextTable;
+///
+/// let mut t = TextTable::new(vec!["Approach".into(), "MRE".into()]);
+/// t.row(vec!["AMF".into(), "0.478".into()]);
+/// let text = t.render();
+/// assert!(text.contains("Approach"));
+/// assert!(text.contains("AMF"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Self {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (short rows are padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let format_row = |row: &[String]| -> String {
+            (0..cols)
+                .map(|i| {
+                    let cell = row.get(i).map(String::as_str).unwrap_or("");
+                    format!("{cell:<width$}", width = widths[i])
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&format_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders an `(x, y)` series as two aligned columns — the figure-data dump
+/// format used by the benches (one file per paper figure).
+pub fn render_series(x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let mut t = TextTable::new(vec![x_label.to_string(), y_label.to_string()]);
+    for &(x, y) in points {
+        t.row(vec![format!("{x:.4}"), format!("{y:.6}")]);
+    }
+    t.render()
+}
+
+/// Renders a multi-series figure: one x column and one y column per series.
+///
+/// # Panics
+///
+/// Panics if the series have different lengths.
+pub fn render_multi_series(x_label: &str, x: &[f64], series: &[(&str, Vec<f64>)]) -> String {
+    let mut header = vec![x_label.to_string()];
+    for (name, ys) in series {
+        assert_eq!(ys.len(), x.len(), "series {name} length mismatch");
+        header.push((*name).to_string());
+    }
+    let mut t = TextTable::new(header);
+    for (i, &xv) in x.iter().enumerate() {
+        let mut row = vec![format!("{xv:.4}")];
+        for (_, ys) in series {
+            row.push(format!("{:.6}", ys[i]));
+        }
+        t.row(row);
+    }
+    t.render()
+}
+
+/// Writes a report to `<workspace>/target/reports/<name>` (creating
+/// directories), returning the path. Used by benches so every regenerated
+/// artifact lands in a predictable place regardless of the invoking
+/// package's working directory (Criterion runs benches with the package dir
+/// as CWD).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_report(name: &str, content: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = workspace_root().join("target").join("reports");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Walks up from the current directory to the outermost directory whose
+/// `Cargo.toml` declares `[workspace]`; falls back to the current directory.
+fn workspace_root() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let mut found = None;
+    let mut dir: &std::path::Path = &cwd;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(content) = std::fs::read_to_string(&manifest) {
+            if content.contains("[workspace]") {
+                found = Some(dir.to_path_buf());
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => break,
+        }
+    }
+    found.unwrap_or(cwd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["a".into(), "long-header".into()]);
+        t.row(vec!["wide-cell".into(), "x".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // Columns align: "long-header" starts at the same offset in both rows.
+        let header_offset = lines[0].find("long-header").unwrap();
+        let cell_offset = lines[2].find('x').unwrap();
+        assert_eq!(header_offset, cell_offset);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["1".into()]);
+        let text = t.render();
+        assert!(text.contains('1'));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn series_rendering() {
+        let text = render_series("x", "y", &[(1.0, 2.0), (3.0, 4.0)]);
+        assert!(text.contains("1.0000"));
+        assert!(text.contains("4.000000"));
+    }
+
+    #[test]
+    fn multi_series_rendering() {
+        let x = vec![0.1, 0.2];
+        let text = render_multi_series(
+            "density",
+            &x,
+            &[("PMF", vec![0.5, 0.4]), ("AMF", vec![0.3, 0.2])],
+        );
+        assert!(text.contains("PMF"));
+        assert!(text.contains("AMF"));
+        assert!(text.contains("0.2000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn multi_series_rejects_ragged() {
+        render_multi_series("x", &[1.0], &[("s", vec![1.0, 2.0])]);
+    }
+
+    #[test]
+    fn write_report_creates_file() {
+        let path = write_report("test_report.txt", "hello").unwrap();
+        assert!(path.exists());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "hello");
+        std::fs::remove_file(path).unwrap();
+    }
+}

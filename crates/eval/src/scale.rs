@@ -1,0 +1,129 @@
+//! Experiment scaling: paper-scale vs CI-scale runs of the same code.
+
+use qos_dataset::DatasetConfig;
+use serde::{Deserialize, Serialize};
+
+/// Dimensions and repetition counts for one experiment campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Number of users in the generated dataset.
+    pub users: usize,
+    /// Number of services.
+    pub services: usize,
+    /// Number of time slices.
+    pub time_slices: usize,
+    /// Repetitions per configuration (the paper runs 20 with different
+    /// seeds).
+    pub repetitions: usize,
+    /// Base RNG seed; repetition `k` uses `seed + k`.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The paper's full scale: 142 × 4500 × 64, 20 repetitions.
+    pub fn full() -> Self {
+        Self {
+            users: 142,
+            services: 4500,
+            time_slices: 64,
+            repetitions: 20,
+            seed: 2014,
+        }
+    }
+
+    /// A medium scale: full user count, reduced services/slices/reps.
+    /// Regenerates every paper shape in minutes rather than hours.
+    pub fn medium() -> Self {
+        Self {
+            users: 142,
+            services: 800,
+            time_slices: 16,
+            repetitions: 3,
+            seed: 2014,
+        }
+    }
+
+    /// CI scale: seconds per experiment.
+    pub fn small() -> Self {
+        Self {
+            users: 30,
+            services: 100,
+            time_slices: 8,
+            repetitions: 2,
+            seed: 2014,
+        }
+    }
+
+    /// Reads `AMF_SCALE` from the environment (`full` | `medium` | `small`),
+    /// defaulting to [`Scale::small`].
+    pub fn from_env() -> Self {
+        match std::env::var("AMF_SCALE").as_deref() {
+            Ok("full") => Self::full(),
+            Ok("medium") => Self::medium(),
+            _ => Self::small(),
+        }
+    }
+
+    /// Dataset configuration at this scale (paper-calibrated attribute
+    /// models, region counts capped by entity counts).
+    pub fn dataset_config(&self) -> DatasetConfig {
+        let base = DatasetConfig::paper_scale();
+        DatasetConfig {
+            users: self.users,
+            services: self.services,
+            time_slices: self.time_slices,
+            user_regions: base.user_regions.min(self.users),
+            service_regions: base.service_regions.min(self.services),
+            seed: self.seed,
+            ..base
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper() {
+        let s = Scale::full();
+        assert_eq!((s.users, s.services, s.time_slices), (142, 4500, 64));
+        assert_eq!(s.repetitions, 20);
+    }
+
+    #[test]
+    fn dataset_config_caps_regions() {
+        let s = Scale {
+            users: 5,
+            services: 10,
+            time_slices: 2,
+            repetitions: 1,
+            seed: 1,
+        };
+        let c = s.dataset_config();
+        assert!(c.user_regions <= 5);
+        assert!(c.service_regions <= 10);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn small_and_medium_are_valid() {
+        Scale::small().dataset_config().validate().unwrap();
+        Scale::medium().dataset_config().validate().unwrap();
+    }
+
+    #[test]
+    fn from_env_defaults_to_small() {
+        // Cannot mutate the environment safely in parallel tests; just check
+        // the default path when the var is unset or unrecognized.
+        if std::env::var("AMF_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::small());
+        }
+    }
+}

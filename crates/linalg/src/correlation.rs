@@ -1,0 +1,231 @@
+//! Pearson correlation coefficient (PCC) over co-observed entries.
+//!
+//! The UPCC/IPCC/UIPCC baselines (paper Section V-C, following Zheng et al.,
+//! "QoS-aware Web service recommendation by collaborative filtering") measure
+//! user–user and service–service similarity with PCC computed only on the
+//! entries both parties observed. A *significance weight* discounts
+//! similarities backed by few common observations.
+
+use crate::sparse::SparseMatrix;
+
+/// Pearson correlation of two paired samples.
+///
+/// Returns `None` when fewer than two pairs are given or when either sample
+/// has zero variance (the correlation is undefined).
+///
+/// # Examples
+///
+/// ```
+/// let a = [1.0, 2.0, 3.0];
+/// let b = [2.0, 4.0, 6.0];
+/// assert!((qos_linalg::correlation::pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices differ in length.
+pub fn pearson(a: &[f64], b: &[f64]) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    // Clamp against floating-point drift just past ±1.
+    Some((cov / (va.sqrt() * vb.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Collects the values two rows of a sparse matrix share (co-observed columns).
+///
+/// Returns `(values_of_row_a, values_of_row_b)` over the intersection of the
+/// two rows' observed columns.
+pub fn co_observed_rows(m: &SparseMatrix, row_a: usize, row_b: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    // Index the smaller row for the lookup.
+    let lookup: std::collections::HashMap<usize, f64> = m.row_iter(row_b).collect();
+    for (col, va) in m.row_iter(row_a) {
+        if let Some(&vb) = lookup.get(&col) {
+            a.push(va);
+            b.push(vb);
+        }
+    }
+    (a, b)
+}
+
+/// Collects the values two columns of a sparse matrix share (co-observed rows).
+pub fn co_observed_cols(m: &SparseMatrix, col_a: usize, col_b: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    let lookup: std::collections::HashMap<usize, f64> = m.col_iter(col_b).collect();
+    for (row, va) in m.col_iter(col_a) {
+        if let Some(&vb) = lookup.get(&row) {
+            a.push(va);
+            b.push(vb);
+        }
+    }
+    (a, b)
+}
+
+/// PCC between two users (rows) of an observed QoS matrix, or `None` when the
+/// correlation is undefined (fewer than 2 co-observed services, or zero
+/// variance).
+pub fn user_similarity(m: &SparseMatrix, user_a: usize, user_b: usize) -> Option<f64> {
+    let (a, b) = co_observed_rows(m, user_a, user_b);
+    pearson(&a, &b)
+}
+
+/// PCC between two services (columns) of an observed QoS matrix.
+pub fn item_similarity(m: &SparseMatrix, item_a: usize, item_b: usize) -> Option<f64> {
+    let (a, b) = co_observed_cols(m, item_a, item_b);
+    pearson(&a, &b)
+}
+
+/// Applies the significance weight `min(n, cap) / cap` to a raw similarity,
+/// discounting similarities estimated from few co-observations.
+///
+/// With `cap = 0` the weight is 1 (no discounting).
+pub fn significance_weighted(sim: f64, co_observed: usize, cap: usize) -> f64 {
+    if cap == 0 {
+        sim
+    } else {
+        sim * (co_observed.min(cap) as f64 / cap as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undefined_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+        assert_eq!(pearson(&[], &[]), None);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None); // zero variance in a
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&a, &b).unwrap().abs() < 0.5);
+    }
+
+    fn example() -> SparseMatrix {
+        let mut m = SparseMatrix::new(3, 4);
+        // user 0 and user 1 agree on cols 0,1; user 2 is inverted
+        m.insert(0, 0, 1.0);
+        m.insert(0, 1, 2.0);
+        m.insert(0, 2, 3.0);
+        m.insert(1, 0, 2.0);
+        m.insert(1, 1, 4.0);
+        m.insert(1, 3, 9.0);
+        m.insert(2, 0, 3.0);
+        m.insert(2, 1, 1.0);
+        m
+    }
+
+    #[test]
+    fn co_observed_rows_intersects() {
+        let m = example();
+        let (a, b) = co_observed_rows(&m, 0, 1);
+        assert_eq!(a, vec![1.0, 2.0]);
+        assert_eq!(b, vec![2.0, 4.0]);
+        let (a, _) = co_observed_rows(&m, 0, 2);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn user_similarity_signs() {
+        let m = example();
+        assert!((user_similarity(&m, 0, 1).unwrap() - 1.0).abs() < 1e-12);
+        assert!((user_similarity(&m, 0, 2).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn item_similarity_on_transposed_pattern() {
+        let mut m = SparseMatrix::new(4, 2);
+        m.insert(0, 0, 1.0);
+        m.insert(0, 1, 2.0);
+        m.insert(1, 0, 2.0);
+        m.insert(1, 1, 4.0);
+        m.insert(2, 0, 3.0);
+        m.insert(2, 1, 6.0);
+        assert!((item_similarity(&m, 0, 1).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_none_when_no_overlap() {
+        let mut m = SparseMatrix::new(2, 4);
+        m.insert(0, 0, 1.0);
+        m.insert(0, 1, 2.0);
+        m.insert(1, 2, 3.0);
+        m.insert(1, 3, 4.0);
+        assert_eq!(user_similarity(&m, 0, 1), None);
+    }
+
+    #[test]
+    fn significance_weighting() {
+        assert_eq!(significance_weighted(0.8, 10, 0), 0.8);
+        assert!((significance_weighted(0.8, 5, 10) - 0.4).abs() < 1e-12);
+        assert_eq!(significance_weighted(0.8, 50, 10), 0.8);
+    }
+
+    proptest! {
+        #[test]
+        fn pearson_is_symmetric(pairs in proptest::collection::vec((-1e2..1e2f64, -1e2..1e2f64), 2..32)) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            match (pearson(&a, &b), pearson(&b, &a)) {
+                (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+                (None, None) => {}
+                _ => prop_assert!(false, "asymmetric definedness"),
+            }
+        }
+
+        #[test]
+        fn pearson_bounded(pairs in proptest::collection::vec((-1e2..1e2f64, -1e2..1e2f64), 2..32)) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Some(r) = pearson(&a, &b) {
+                prop_assert!((-1.0..=1.0).contains(&r));
+            }
+        }
+
+        #[test]
+        fn pearson_invariant_to_affine(pairs in proptest::collection::vec((-1e2..1e2f64, -1e2..1e2f64), 3..16), scale in 0.1..10.0f64, shift in -5.0..5.0f64) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let a2: Vec<f64> = a.iter().map(|x| x * scale + shift).collect();
+            match (pearson(&a, &b), pearson(&a2, &b)) {
+                (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-6),
+                (None, None) => {}
+                _ => prop_assert!(false, "affine transform changed definedness"),
+            }
+        }
+    }
+}

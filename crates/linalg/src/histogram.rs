@@ -1,0 +1,269 @@
+//! Fixed-width density histograms.
+//!
+//! Used to regenerate the distribution figures of the paper: Fig. 7 (raw
+//! response-time / throughput densities, with the long tails cut off for
+//! visualization), Fig. 8 (Box–Cox-transformed distributions), and Fig. 10
+//! (prediction-error distributions around zero).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over `[lo, hi)` with values outside the range
+/// discarded (the paper "cuts off" RT > 10 s and TP > 150 kbps in Fig. 7).
+///
+/// # Examples
+///
+/// ```
+/// use qos_linalg::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.extend([0.5, 1.5, 1.7, 9.9, 42.0]); // 42.0 is out of range and dropped
+/// assert_eq!(h.count(0), 3); // bin [0, 2) holds 0.5, 1.5, 1.7
+/// assert_eq!(h.count(4), 1);
+/// assert_eq!(h.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    discarded: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when `bins == 0`, when `lo >= hi`, or when either bound
+    /// is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return None;
+        }
+        Some(Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            discarded: 0,
+        })
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Lower bound of the histogram range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the histogram range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Adds one observation; values outside `[lo, hi)` or NaN are discarded
+    /// (counted in [`Histogram::discarded`]).
+    pub fn add(&mut self, value: f64) {
+        if value.is_nan() || value < self.lo || value >= self.hi {
+            self.discarded += 1;
+            return;
+        }
+        let idx = ((value - self.lo) / self.bin_width()) as usize;
+        // Guard against value == hi - epsilon rounding to bins().
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw count of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of observations inside the range.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of observations discarded for being out of range or NaN.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of bounds");
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Fraction of in-range observations in bin `i` (sums to 1 over bins).
+    ///
+    /// This matches the y-axis of the paper's Figs. 7, 8 and 10, which plot
+    /// probability mass per bin rather than a continuous density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    pub fn fraction(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// Probability density of bin `i` (integrates to 1 over the range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= bins()`.
+    pub fn density(&self, i: usize) -> f64 {
+        self.fraction(i) / self.bin_width()
+    }
+
+    /// Iterator over `(bin_center, fraction)` pairs — one point per plotted bar.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        (0..self.bins()).map(move |i| (self.bin_center(i), self.fraction(i)))
+    }
+
+    /// Index of the most populated bin, or `None` when empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+    }
+}
+
+impl Extend<f64> for Histogram {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_rejects_degenerate() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(1.0, 1.0, 4).is_none());
+        assert!(Histogram::new(2.0, 1.0, 4).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+        assert!(Histogram::new(0.0, f64::INFINITY, 4).is_none());
+    }
+
+    #[test]
+    fn add_routes_to_correct_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add(0.0);
+        h.add(0.999);
+        h.add(5.0);
+        h.add(9.999);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(5), 1);
+        assert_eq!(h.count(9), 1);
+    }
+
+    #[test]
+    fn out_of_range_discarded() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-0.1);
+        h.add(1.0); // hi is exclusive
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.discarded(), 3);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.extend([0.5, 1.5, 2.5, 3.5, 0.1]);
+        let sum: f64 = (0..4).map(|i| h.fraction(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut h = Histogram::new(0.0, 8.0, 16).unwrap();
+        h.extend((0..100).map(|i| (i % 8) as f64 + 0.25));
+        let integral: f64 = (0..16).map(|i| h.density(i) * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3).unwrap();
+        h.extend([0.5, 1.5, 1.6, 1.7, 2.5]);
+        assert_eq!(h.mode_bin(), Some(1));
+        assert_eq!(Histogram::new(0.0, 1.0, 2).unwrap().mode_bin(), None);
+    }
+
+    #[test]
+    fn points_iterates_all_bins() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        h.extend([0.5, 1.5, 1.6]);
+        let pts: Vec<(f64, f64)> = h.points().collect();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].0 - 0.5).abs() < 1e-12);
+        assert!((pts[1].1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn total_plus_discarded_equals_inserted(values in proptest::collection::vec(-5.0..15.0f64, 0..100)) {
+            let mut h = Histogram::new(0.0, 10.0, 7).unwrap();
+            let n = values.len() as u64;
+            h.extend(values);
+            prop_assert_eq!(h.total() + h.discarded(), n);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), h.total());
+        }
+
+        #[test]
+        fn every_in_range_value_lands_in_its_bin(v in 0.0..10.0f64, bins in 1usize..32) {
+            let mut h = Histogram::new(0.0, 10.0, bins).unwrap();
+            h.add(v);
+            let idx = h.counts().iter().position(|&c| c == 1).unwrap();
+            let lo = h.lo() + idx as f64 * h.bin_width();
+            let hi = lo + h.bin_width();
+            prop_assert!(v >= lo - 1e-9 && v < hi + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Row-major dense matrix.
+//!
+//! A full user–service QoS slice (142 × 4500 in the paper's dataset) is a
+//! [`DenseMatrix`]; sparse *observed* views of it live in
+//! [`crate::sparse::SparseMatrix`].
+
+use crate::LinalgError;
+use serde::{Deserialize, Serialize};
+
+/// A row-major dense matrix of `f64`.
+///
+/// # Examples
+///
+/// ```
+/// use qos_linalg::DenseMatrix;
+///
+/// let mut m = DenseMatrix::zeros(2, 2);
+/// m.set(0, 1, 3.5);
+/// assert_eq!(m.get(0, 1), 3.5);
+/// assert_eq!(m.shape(), (2, 2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows x cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` for every cell.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qos_linalg::DenseMatrix;
+    /// let ident = DenseMatrix::from_fn(3, 3, |i, j| if i == j { 1.0 } else { 0.0 });
+    /// assert_eq!(ident.get(2, 2), 1.0);
+    /// ```
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, LinalgError> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::DimensionMismatch {
+                left: (rows, cols),
+                right: (data.len(), 1),
+            });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the rows are ragged, and
+    /// [`LinalgError::EmptyInput`] if no rows are given.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, LinalgError> {
+        let first = rows.first().ok_or(LinalgError::EmptyInput)?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(LinalgError::DimensionMismatch {
+                    left: (1, cols),
+                    right: (1, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Value at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Checked access; `None` when out of bounds.
+    #[inline]
+    pub fn try_get(&self, i: usize, j: usize) -> Option<f64> {
+        if i < self.rows && j < self.cols {
+            Some(self.data[i * self.cols + j])
+        } else {
+            None
+        }
+    }
+
+    /// Sets the value at `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows` or `j >= cols`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Borrow of row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Column `j` copied into a new `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// All values in row-major order.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace<F: FnMut(f64) -> f64>(&mut self, mut f: F) {
+        for v in self.data.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// Returns a new matrix with `f` applied to every element.
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Transposed copy of the matrix.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &DenseMatrix) -> Result<DenseMatrix, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    out.data[i * other.cols + j] += a * other.get(k, j);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `self * self^T` (square, `rows x rows`).
+    ///
+    /// Used by the singular-value computation for Fig. 9: the eigenvalues of
+    /// the Gram matrix are the squared singular values of `self`.
+    pub fn gram(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.rows);
+        for i in 0..self.rows {
+            for j in i..self.rows {
+                let v = crate::vector::dot(self.row(i), self.row(j));
+                out.set(i, j, v);
+                out.set(j, i, v);
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| crate::vector::dot(self.row(i), x))
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += xi * a;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm `||A||_F`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Consumes the matrix and returns the row-major data vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_has_right_shape_and_values() {
+        let m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_rejects_bad_length() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let ragged = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(DenseMatrix::from_rows(&ragged).is_err());
+        assert_eq!(
+            DenseMatrix::from_rows(&[]).unwrap_err(),
+            LinalgError::EmptyInput
+        );
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        m.set(1, 2, 7.5);
+        assert_eq!(m.get(1, 2), 7.5);
+        assert_eq!(m.try_get(1, 2), Some(7.5));
+        assert_eq!(m.try_get(2, 0), None);
+        assert_eq!(m.try_get(0, 3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn get_out_of_bounds_panics() {
+        DenseMatrix::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn row_and_col_access() {
+        let m = DenseMatrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0]);
+        assert_eq!(m.col(2), vec![2.0, 12.0]);
+    }
+
+    #[test]
+    fn transpose_involutive() {
+        let m = DenseMatrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = DenseMatrix::from_fn(2, 2, |i, j| (i * 2 + j + 1) as f64);
+        let ident = DenseMatrix::from_fn(2, 2, |i, j| if i == j { 1.0 } else { 0.0 });
+        assert_eq!(m.matmul(&ident).unwrap(), m);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = DenseMatrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.values(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = DenseMatrix::from_fn(3, 4, |i, j| ((i + 1) * (j + 2)) as f64);
+        let explicit = a.matmul(&a.transpose()).unwrap();
+        let gram = a.gram();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((gram.get(i, j) - explicit.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_known_value() {
+        let m = DenseMatrix::from_vec(1, 2, vec![3.0, 4.0]).unwrap();
+        assert_eq!(m.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    fn map_preserves_shape() {
+        let m = DenseMatrix::filled(2, 2, 2.0);
+        let doubled = m.map(|v| v * 2.0);
+        assert_eq!(doubled.values(), &[4.0; 4]);
+        let mut m2 = m.clone();
+        m2.map_inplace(|v| v + 1.0);
+        assert_eq!(m2.values(), &[3.0; 4]);
+    }
+
+    proptest! {
+        #[test]
+        fn from_fn_get_agree(rows in 1usize..8, cols in 1usize..8) {
+            let m = DenseMatrix::from_fn(rows, cols, |i, j| (i * 100 + j) as f64);
+            for i in 0..rows {
+                for j in 0..cols {
+                    prop_assert_eq!(m.get(i, j), (i * 100 + j) as f64);
+                }
+            }
+        }
+
+        #[test]
+        fn transpose_swaps_entries(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+            let m = DenseMatrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 17 + seed as usize) % 97) as f64);
+            let t = m.transpose();
+            prop_assert_eq!(t.shape(), (cols, rows));
+            for i in 0..rows {
+                for j in 0..cols {
+                    prop_assert_eq!(m.get(i, j), t.get(j, i));
+                }
+            }
+        }
+
+        #[test]
+        fn matmul_associative(n in 1usize..4) {
+            let a = DenseMatrix::from_fn(n, n, |i, j| (i + 2 * j + 1) as f64);
+            let b = DenseMatrix::from_fn(n, n, |i, j| (2 * i + j + 1) as f64);
+            let c = DenseMatrix::from_fn(n, n, |i, j| ((i * j) % 5 + 1) as f64);
+            let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+            let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+            for i in 0..n {
+                for j in 0..n {
+                    prop_assert!((left.get(i, j) - right.get(i, j)).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

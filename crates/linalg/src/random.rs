@@ -1,0 +1,190 @@
+//! Seeded random sampling helpers on top of `rand`.
+//!
+//! The approved dependency set does not include `rand_distr`, so the Gaussian
+//! sampling needed by the dataset generator and by latent-factor
+//! initialization is implemented here with the Box–Muller transform.
+
+use rand::Rng;
+
+/// Draws one standard-normal sample (mean 0, variance 1) via Box–Muller.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = qos_linalg::random::gaussian(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws one normal sample with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+    mean + std_dev * gaussian(rng)
+}
+
+/// Fills a vector of length `n` with i.i.d. normal samples.
+pub fn normal_vec<R: Rng + ?Sized>(rng: &mut R, n: usize, mean: f64, std_dev: f64) -> Vec<f64> {
+    (0..n).map(|_| normal(rng, mean, std_dev)).collect()
+}
+
+/// Draws one log-normal sample: `exp(N(mu, sigma))`.
+///
+/// Heavy-tailed QoS quantities (response time, throughput) are modelled as
+/// log-normal in the synthetic dataset, matching the skew of the paper's
+/// Fig. 7.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Draws one exponential sample with the given rate parameter.
+///
+/// # Panics
+///
+/// Panics if `rate` is not positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = 1.0 - rng.random::<f64>();
+    -u.ln() / rate
+}
+
+/// Reservoir-free sampling of `k` distinct indices from `0..n` (partial
+/// Fisher–Yates). Returned indices are in random order.
+///
+/// Used to "randomly remove entries from the data matrix" when simulating the
+/// paper's sparse matrices at a chosen density.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_indices<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} items from {n}");
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+/// Shuffles a slice in place (Fisher–Yates).
+pub fn shuffle<R: Rng + ?Sized, T>(rng: &mut R, items: &mut [T]) {
+    let n = items.len();
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut r = rng(42);
+        let samples: Vec<f64> = (0..20_000).map(|_| gaussian(&mut r)).collect();
+        let mean = crate::stats::mean(&samples).unwrap();
+        let sd = crate::stats::std_dev(&samples).unwrap();
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((sd - 1.0).abs() < 0.05, "std {sd}");
+    }
+
+    #[test]
+    fn normal_respects_parameters() {
+        let mut r = rng(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        assert!((crate::stats::mean(&samples).unwrap() - 5.0).abs() < 0.1);
+        assert!((crate::stats::std_dev(&samples).unwrap() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn normal_rejects_negative_std() {
+        normal(&mut rng(0), 0.0, -1.0);
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_skewed() {
+        let mut r = rng(9);
+        let samples: Vec<f64> = (0..10_000).map(|_| log_normal(&mut r, 0.0, 1.0)).collect();
+        assert!(samples.iter().all(|&v| v > 0.0));
+        // Log-normal is right-skewed.
+        assert!(crate::stats::skewness(&samples).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut r = rng(5);
+        let samples: Vec<f64> = (0..20_000).map(|_| exponential(&mut r, 2.0)).collect();
+        assert!((crate::stats::mean(&samples).unwrap() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = rng(3);
+        let sample = sample_indices(&mut r, 100, 30);
+        assert_eq!(sample.len(), 30);
+        let set: std::collections::HashSet<usize> = sample.iter().copied().collect();
+        assert_eq!(set.len(), 30);
+        assert!(sample.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_full_population() {
+        let mut r = rng(3);
+        let mut sample = sample_indices(&mut r, 10, 10);
+        sample.sort_unstable();
+        assert_eq!(sample, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_rejects_oversample() {
+        sample_indices(&mut rng(0), 3, 4);
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut r = rng(8);
+        let mut v: Vec<u32> = (0..50).collect();
+        shuffle(&mut r, &mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a: Vec<f64> = {
+            let mut r = rng(77);
+            (0..10).map(|_| gaussian(&mut r)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut r = rng(77);
+            (0..10).map(|_| gaussian(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

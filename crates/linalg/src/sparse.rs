@@ -1,0 +1,414 @@
+//! Coordinate-format sparse matrix of observed QoS entries.
+//!
+//! In the paper the observed user–service QoS matrix is very sparse ("each
+//! user usually only invokes a handful of services"), and both the baselines
+//! and AMF train on exactly the observed entries (`I_ij = 1` in Eq. 1). A
+//! [`SparseMatrix`] stores those entries plus a row/column index for the
+//! neighborhood baselines that need fast row and column scans.
+
+use crate::{DenseMatrix, LinalgError};
+use serde::{Deserialize, Serialize};
+
+/// A single observed entry `(row, col, value)` — one user–service QoS sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Row (user) index.
+    pub row: usize,
+    /// Column (service) index.
+    pub col: usize,
+    /// Observed value (e.g. response time in seconds).
+    pub value: f64,
+}
+
+impl Entry {
+    /// Creates an entry.
+    pub fn new(row: usize, col: usize, value: f64) -> Self {
+        Self { row, col, value }
+    }
+}
+
+/// Sparse matrix in coordinate format with per-row and per-column adjacency.
+///
+/// Duplicate `(row, col)` inserts overwrite the previous value, mirroring how
+/// a QoS matrix cell is refreshed by a newer observation.
+///
+/// # Examples
+///
+/// ```
+/// use qos_linalg::SparseMatrix;
+///
+/// let mut m = SparseMatrix::new(4, 5);
+/// m.insert(0, 0, 1.4);
+/// m.insert(0, 2, 1.1);
+/// assert_eq!(m.get(0, 0), Some(1.4));
+/// assert_eq!(m.get(0, 1), None);
+/// assert_eq!(m.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    /// Entry storage; `row_index`/`col_index` point into this vector.
+    entries: Vec<Entry>,
+    /// For each row, indices into `entries`.
+    row_index: Vec<Vec<usize>>,
+    /// For each column, indices into `entries`.
+    col_index: Vec<Vec<usize>>,
+}
+
+impl SparseMatrix {
+    /// Creates an empty `rows x cols` sparse matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+            row_index: vec![Vec::new(); rows],
+            col_index: vec![Vec::new(); cols],
+        }
+    }
+
+    /// Number of rows (users).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (services).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (observed) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Fraction of cells that are observed — the paper's "matrix density".
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows * self.cols) as f64
+        }
+    }
+
+    /// Inserts or overwrites the value at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::IndexOutOfBounds`] when outside the shape.
+    pub fn try_insert(&mut self, row: usize, col: usize, value: f64) -> Result<(), LinalgError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(LinalgError::IndexOutOfBounds {
+                index: (row, col),
+                shape: self.shape(),
+            });
+        }
+        if let Some(&idx) = self.row_index[row]
+            .iter()
+            .find(|&&i| self.entries[i].col == col)
+        {
+            self.entries[idx].value = value;
+            return Ok(());
+        }
+        let idx = self.entries.len();
+        self.entries.push(Entry::new(row, col, value));
+        self.row_index[row].push(idx);
+        self.col_index[col].push(idx);
+        Ok(())
+    }
+
+    /// Inserts or overwrites the value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `(row, col)` is outside the shape; use
+    /// [`SparseMatrix::try_insert`] for a checked variant.
+    pub fn insert(&mut self, row: usize, col: usize, value: f64) {
+        self.try_insert(row, col, value)
+            .expect("insert out of bounds");
+    }
+
+    /// Observed value at `(row, col)`, or `None` if the cell is unobserved.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        if row >= self.rows || col >= self.cols {
+            return None;
+        }
+        self.row_index[row]
+            .iter()
+            .find(|&&i| self.entries[i].col == col)
+            .map(|&i| self.entries[i].value)
+    }
+
+    /// Whether `(row, col)` is observed (the indicator `I_ij` of Eq. 1).
+    pub fn contains(&self, row: usize, col: usize) -> bool {
+        self.get(row, col).is_some()
+    }
+
+    /// Iterator over all observed entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> + '_ {
+        self.entries.iter()
+    }
+
+    /// Iterator over `(col, value)` pairs observed in row `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows`.
+    pub fn row_iter(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.rows, "row index out of bounds");
+        self.row_index[row]
+            .iter()
+            .map(move |&i| (self.entries[i].col, self.entries[i].value))
+    }
+
+    /// Iterator over `(row, value)` pairs observed in column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= cols`.
+    pub fn col_iter(&self, col: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(col < self.cols, "column index out of bounds");
+        self.col_index[col]
+            .iter()
+            .map(move |&i| (self.entries[i].row, self.entries[i].value))
+    }
+
+    /// Number of observed entries in row `row`.
+    pub fn row_nnz(&self, row: usize) -> usize {
+        self.row_index.get(row).map_or(0, Vec::len)
+    }
+
+    /// Number of observed entries in column `col`.
+    pub fn col_nnz(&self, col: usize) -> usize {
+        self.col_index.get(col).map_or(0, Vec::len)
+    }
+
+    /// Mean of the observed values in row `row`, or `None` if the row is empty.
+    pub fn row_mean(&self, row: usize) -> Option<f64> {
+        let n = self.row_nnz(row);
+        if n == 0 {
+            return None;
+        }
+        Some(self.row_iter(row).map(|(_, v)| v).sum::<f64>() / n as f64)
+    }
+
+    /// Mean of the observed values in column `col`, or `None` if empty.
+    pub fn col_mean(&self, col: usize) -> Option<f64> {
+        let n = self.col_nnz(col);
+        if n == 0 {
+            return None;
+        }
+        Some(self.col_iter(col).map(|(_, v)| v).sum::<f64>() / n as f64)
+    }
+
+    /// Mean over all observed values, or `None` if the matrix is empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        Some(self.entries.iter().map(|e| e.value).sum::<f64>() / self.entries.len() as f64)
+    }
+
+    /// Densifies into a [`DenseMatrix`], filling unobserved cells with `fill`.
+    pub fn to_dense(&self, fill: f64) -> DenseMatrix {
+        let mut m = DenseMatrix::filled(self.rows, self.cols, fill);
+        for e in &self.entries {
+            m.set(e.row, e.col, e.value);
+        }
+        m
+    }
+
+    /// Returns a new sparse matrix with `f` applied to every stored value.
+    pub fn map_values<F: FnMut(f64) -> f64>(&self, mut f: F) -> Self {
+        let mut out = self.clone();
+        for e in out.entries.iter_mut() {
+            e.value = f(e.value);
+        }
+        out
+    }
+
+    /// Collects all observed values into a vector (row-insertion order).
+    pub fn observed_values(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.value).collect()
+    }
+}
+
+impl FromIterator<Entry> for SparseMatrix {
+    /// Builds a sparse matrix sized to fit the maximum indices seen.
+    fn from_iter<I: IntoIterator<Item = Entry>>(iter: I) -> Self {
+        let entries: Vec<Entry> = iter.into_iter().collect();
+        let rows = entries.iter().map(|e| e.row + 1).max().unwrap_or(0);
+        let cols = entries.iter().map(|e| e.col + 1).max().unwrap_or(0);
+        let mut m = SparseMatrix::new(rows, cols);
+        for e in entries {
+            m.insert(e.row, e.col, e.value);
+        }
+        m
+    }
+}
+
+impl Extend<Entry> for SparseMatrix {
+    /// Inserts entries, ignoring those outside the matrix shape.
+    fn extend<I: IntoIterator<Item = Entry>>(&mut self, iter: I) {
+        for e in iter {
+            let _ = self.try_insert(e.row, e.col, e.value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn example() -> SparseMatrix {
+        // The observed matrix of paper Fig. 4(b).
+        let mut m = SparseMatrix::new(4, 5);
+        for &(i, j, v) in &[
+            (0usize, 0usize, 1.4),
+            (0, 2, 1.1),
+            (0, 3, 0.7),
+            (1, 1, 0.3),
+            (1, 3, 0.7),
+            (1, 4, 0.5),
+            (2, 0, 0.4),
+            (2, 1, 0.3),
+            (2, 4, 0.3),
+            (3, 0, 1.4),
+            (3, 2, 1.2),
+            (3, 4, 0.8),
+        ] {
+            m.insert(i, j, v);
+        }
+        m
+    }
+
+    #[test]
+    fn fig4_matrix_shape_and_density() {
+        let m = example();
+        assert_eq!(m.shape(), (4, 5));
+        assert_eq!(m.nnz(), 12);
+        assert!((m.density() - 12.0 / 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_and_contains() {
+        let m = example();
+        assert_eq!(m.get(0, 0), Some(1.4));
+        assert_eq!(m.get(0, 1), None);
+        assert!(m.contains(3, 4));
+        assert!(!m.contains(3, 3));
+        assert_eq!(m.get(10, 10), None);
+    }
+
+    #[test]
+    fn insert_overwrites() {
+        let mut m = example();
+        m.insert(0, 0, 9.9);
+        assert_eq!(m.get(0, 0), Some(9.9));
+        assert_eq!(m.nnz(), 12);
+    }
+
+    #[test]
+    fn try_insert_rejects_out_of_bounds() {
+        let mut m = SparseMatrix::new(2, 2);
+        assert!(matches!(
+            m.try_insert(2, 0, 1.0),
+            Err(LinalgError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn row_and_col_iter() {
+        let m = example();
+        let row0: Vec<(usize, f64)> = m.row_iter(0).collect();
+        assert_eq!(row0, vec![(0, 1.4), (2, 1.1), (3, 0.7)]);
+        let col0: Vec<(usize, f64)> = m.col_iter(0).collect();
+        assert_eq!(col0, vec![(0, 1.4), (2, 0.4), (3, 1.4)]);
+    }
+
+    #[test]
+    fn means() {
+        let m = example();
+        assert!((m.row_mean(0).unwrap() - (1.4 + 1.1 + 0.7) / 3.0).abs() < 1e-12);
+        assert!((m.col_mean(1).unwrap() - 0.3).abs() < 1e-12);
+        let empty = SparseMatrix::new(2, 2);
+        assert_eq!(empty.row_mean(0), None);
+        assert_eq!(empty.mean(), None);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let m = example();
+        let d = m.to_dense(f64::NAN);
+        assert_eq!(d.get(0, 0), 1.4);
+        assert!(d.get(0, 1).is_nan());
+    }
+
+    #[test]
+    fn map_values_applies() {
+        let m = example().map_values(|v| v * 10.0);
+        assert_eq!(m.get(0, 0), Some(14.0));
+        assert_eq!(m.nnz(), 12);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_fit() {
+        let m: SparseMatrix = vec![Entry::new(1, 2, 5.0), Entry::new(3, 0, 7.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(m.shape(), (4, 3));
+        assert_eq!(m.get(3, 0), Some(7.0));
+    }
+
+    #[test]
+    fn extend_ignores_out_of_bounds() {
+        let mut m = SparseMatrix::new(2, 2);
+        m.extend(vec![Entry::new(0, 0, 1.0), Entry::new(5, 5, 2.0)]);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_matrix_density_is_zero() {
+        assert_eq!(SparseMatrix::new(0, 0).density(), 0.0);
+        assert_eq!(SparseMatrix::new(3, 3).density(), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn insert_then_get(entries in proptest::collection::vec((0usize..10, 0usize..10, -100.0..100.0f64), 0..40)) {
+            let mut m = SparseMatrix::new(10, 10);
+            let mut reference = std::collections::HashMap::new();
+            for (i, j, v) in entries {
+                m.insert(i, j, v);
+                reference.insert((i, j), v);
+            }
+            prop_assert_eq!(m.nnz(), reference.len());
+            for ((i, j), v) in reference {
+                prop_assert_eq!(m.get(i, j), Some(v));
+            }
+        }
+
+        #[test]
+        fn row_nnz_sums_to_nnz(entries in proptest::collection::vec((0usize..8, 0usize..8, 0.0..10.0f64), 0..30)) {
+            let mut m = SparseMatrix::new(8, 8);
+            for (i, j, v) in entries {
+                m.insert(i, j, v);
+            }
+            let by_rows: usize = (0..8).map(|r| m.row_nnz(r)).sum();
+            let by_cols: usize = (0..8).map(|c| m.col_nnz(c)).sum();
+            prop_assert_eq!(by_rows, m.nnz());
+            prop_assert_eq!(by_cols, m.nnz());
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Scalar statistics: means, variances, medians, percentiles.
+//!
+//! The paper's headline metrics are order statistics of the relative-error
+//! distribution — MRE is a median and NPRE is a 90th percentile — so the
+//! percentile implementation here is the foundation of `qos-metrics`.
+
+/// Arithmetic mean, or `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(qos_linalg::stats::mean(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(qos_linalg::stats::mean(&[]), None);
+/// ```
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Population variance, or `None` for an empty slice.
+pub fn variance(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    Some(values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64)
+}
+
+/// Population standard deviation, or `None` for an empty slice.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    variance(values).map(f64::sqrt)
+}
+
+/// Minimum value, ignoring NaNs; `None` when no finite value exists.
+pub fn min(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+}
+
+/// Maximum value, ignoring NaNs; `None` when no finite value exists.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+}
+
+/// `p`-th percentile (0.0 ..= 100.0) with linear interpolation between ranks,
+/// matching the common "exclusive of NaN, inclusive of endpoints" definition.
+///
+/// Returns `None` for empty input. Input need not be sorted.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(qos_linalg::stats::percentile(&xs, 0.0), Some(1.0));
+/// assert_eq!(qos_linalg::stats::percentile(&xs, 100.0), Some(4.0));
+/// assert_eq!(qos_linalg::stats::percentile(&xs, 50.0), Some(2.5));
+/// ```
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered"));
+    Some(percentile_of_sorted(&sorted, p))
+}
+
+/// `p`-th percentile of a pre-sorted, NaN-free, non-empty slice.
+///
+/// Useful when multiple percentiles are needed from the same data (e.g. MRE
+/// and NPRE of one error vector): sort once, query many times.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or if `p` is outside `[0, 100]`.
+pub fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty input");
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (50th percentile), or `None` for empty input.
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Exponential moving average step: `new = factor * sample + (1 - factor) * old`.
+///
+/// This is the update the paper applies to the per-user and per-service error
+/// trackers `e_u`, `e_s` (Eq. 13–14), with `factor = beta * w`.
+///
+/// # Examples
+///
+/// ```
+/// let e = qos_linalg::stats::ema_step(1.0, 0.0, 0.3);
+/// assert!((e - 0.3).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn ema_step(sample: f64, old: f64, factor: f64) -> f64 {
+    factor * sample + (1.0 - factor) * old
+}
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of (non-NaN) samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary, or `None` when no finite samples exist.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        let clean: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if clean.is_empty() {
+            return None;
+        }
+        Some(Self {
+            count: clean.len(),
+            mean: mean(&clean)?,
+            std_dev: std_dev(&clean)?,
+            min: min(&clean)?,
+            median: median(&clean)?,
+            max: max(&clean)?,
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} median={:.4} max={:.4}",
+            self.count, self.mean, self.std_dev, self.min, self.median, self.max
+        )
+    }
+}
+
+/// Skewness (third standardized moment) of a sample; `None` if fewer than two
+/// distinct values. Positive skew indicates a long right tail — the paper's
+/// raw QoS distributions (Fig. 7) are strongly right-skewed, and the Box–Cox
+/// transform is judged by how much it shrinks this quantity (Fig. 8).
+pub fn skewness(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let sd = std_dev(values)?;
+    if sd == 0.0 {
+        return None;
+    }
+    let n = values.len() as f64;
+    Some(values.iter().map(|v| ((v - m) / sd).powi(3)).sum::<f64>() / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[4.0; 10]), Some(0.0));
+    }
+
+    #[test]
+    fn std_dev_known() {
+        // population std of [2, 4, 4, 4, 5, 5, 7, 9] is 2
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((std_dev(&xs).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let xs = [f64::NAN, 3.0, -1.0, f64::NAN];
+        assert_eq!(min(&xs), Some(-1.0));
+        assert_eq!(max(&xs), Some(3.0));
+        assert_eq!(min(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn percentile_endpoints_and_median() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+        assert_eq!(median(&xs), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0];
+        assert_eq!(percentile(&xs, 25.0), Some(12.5));
+        assert_eq!(percentile(&xs, 90.0), Some(19.0));
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 90.0), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn percentile_rejects_out_of_range() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn ninety_percentile_matches_paper_usage() {
+        // 10 equally likely relative errors; NPRE is the 90th percentile.
+        let errs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let npre = percentile(&errs, 90.0).unwrap();
+        assert!((npre - 9.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ema_step_moves_towards_sample() {
+        let old = 1.0;
+        let updated = ema_step(0.0, old, 0.3);
+        assert!(updated < old && updated > 0.0);
+        assert_eq!(ema_step(5.0, 1.0, 1.0), 5.0);
+        assert_eq!(ema_step(5.0, 1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn summary_display_and_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.median, 2.0);
+        assert!(s.to_string().contains("n=3"));
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn skewness_signs() {
+        // right-skewed: long right tail
+        let right = [1.0, 1.0, 1.0, 1.0, 10.0];
+        assert!(skewness(&right).unwrap() > 0.0);
+        let left = [10.0, 10.0, 10.0, 10.0, 1.0];
+        assert!(skewness(&left).unwrap() < 0.0);
+        let sym = [1.0, 2.0, 3.0];
+        assert!(skewness(&sym).unwrap().abs() < 1e-12);
+        assert_eq!(skewness(&[2.0, 2.0]), None);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_is_monotone(xs in proptest::collection::vec(-1e3..1e3f64, 1..64), p1 in 0.0..100.0f64, p2 in 0.0..100.0f64) {
+            let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+            let a = percentile(&xs, lo).unwrap();
+            let b = percentile(&xs, hi).unwrap();
+            prop_assert!(a <= b + 1e-9);
+        }
+
+        #[test]
+        fn percentile_within_minmax(xs in proptest::collection::vec(-1e3..1e3f64, 1..64), p in 0.0..100.0f64) {
+            let v = percentile(&xs, p).unwrap();
+            prop_assert!(v >= min(&xs).unwrap() - 1e-9);
+            prop_assert!(v <= max(&xs).unwrap() + 1e-9);
+        }
+
+        #[test]
+        fn mean_within_minmax(xs in proptest::collection::vec(-1e3..1e3f64, 1..64)) {
+            let m = mean(&xs).unwrap();
+            prop_assert!(m >= min(&xs).unwrap() - 1e-9 && m <= max(&xs).unwrap() + 1e-9);
+        }
+
+        #[test]
+        fn ema_stays_within_bounds(sample in 0.0..10.0f64, old in 0.0..10.0f64, factor in 0.0..1.0f64) {
+            let v = ema_step(sample, old, factor);
+            let lo = sample.min(old);
+            let hi = sample.max(old);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! Singular values via a symmetric Jacobi eigensolver on the Gram matrix.
+//!
+//! Fig. 9 of the paper sorts the normalized singular values of the 142 × 4500
+//! user–service QoS matrices to show they are approximately low-rank. For a
+//! matrix `A` with `rows ≤ cols` the eigenvalues of the Gram matrix
+//! `G = A Aᵀ` (only `rows × rows`) are the squared singular values of `A`,
+//! so we diagonalize `G` with the classical cyclic Jacobi method — simple,
+//! numerically robust for symmetric matrices, and entirely dependency-free.
+
+use crate::{DenseMatrix, LinalgError};
+
+/// Default maximum number of Jacobi sweeps.
+pub const DEFAULT_MAX_SWEEPS: usize = 64;
+
+/// Computes all singular values of `a`, sorted in descending order.
+///
+/// Cost is `O(min(m, n)^3)` plus one `O(m n min(m, n))` Gram product, which is
+/// ideal for the paper's short-and-wide QoS matrices.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::EmptyInput`] for an empty matrix and
+/// [`LinalgError::NoConvergence`] if the Jacobi sweeps fail to drive the
+/// off-diagonal mass below tolerance (practically unreachable for finite
+/// input).
+///
+/// # Examples
+///
+/// ```
+/// use qos_linalg::{DenseMatrix, svd::singular_values};
+///
+/// // A rank-1 matrix has exactly one non-zero singular value.
+/// let a = DenseMatrix::from_fn(3, 4, |i, j| ((i + 1) * (j + 1)) as f64);
+/// let sv = singular_values(&a).unwrap();
+/// assert!(sv[0] > 1.0);
+/// assert!(sv[1] < 1e-9);
+/// ```
+pub fn singular_values(a: &DenseMatrix) -> Result<Vec<f64>, LinalgError> {
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+    // Work on the smaller Gram matrix.
+    let gram = if a.rows() <= a.cols() {
+        a.gram()
+    } else {
+        a.transpose().gram()
+    };
+    let mut eig = symmetric_eigenvalues(&gram, DEFAULT_MAX_SWEEPS)?;
+    // Numerical noise can push tiny eigenvalues slightly negative.
+    for v in eig.iter_mut() {
+        *v = v.max(0.0).sqrt();
+    }
+    eig.sort_by(|x, y| y.partial_cmp(x).expect("finite singular values"));
+    Ok(eig)
+}
+
+/// Singular values normalized so the largest equals 1, sorted descending —
+/// exactly the y-axis of the paper's Fig. 9.
+///
+/// # Errors
+///
+/// Propagates the errors of [`singular_values`]; additionally returns
+/// [`LinalgError::EmptyInput`] if all singular values are zero.
+pub fn normalized_singular_values(a: &DenseMatrix) -> Result<Vec<f64>, LinalgError> {
+    let sv = singular_values(a)?;
+    let largest = sv[0];
+    if largest == 0.0 {
+        return Err(LinalgError::EmptyInput);
+    }
+    Ok(sv.into_iter().map(|v| v / largest).collect())
+}
+
+/// Effective rank: the number of normalized singular values above `threshold`.
+///
+/// The paper observes that "except the first few largest singular values, most
+/// of them are close to 0"; this helper quantifies that claim.
+///
+/// # Errors
+///
+/// Propagates the errors of [`normalized_singular_values`].
+pub fn effective_rank(a: &DenseMatrix, threshold: f64) -> Result<usize, LinalgError> {
+    Ok(normalized_singular_values(a)?
+        .into_iter()
+        .filter(|&v| v > threshold)
+        .count())
+}
+
+/// Eigenvalues of a symmetric matrix via cyclic Jacobi rotations.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if the matrix is not square,
+/// [`LinalgError::EmptyInput`] if it is empty, and
+/// [`LinalgError::NoConvergence`] if `max_sweeps` is exhausted.
+pub fn symmetric_eigenvalues(m: &DenseMatrix, max_sweeps: usize) -> Result<Vec<f64>, LinalgError> {
+    if m.rows() != m.cols() {
+        return Err(LinalgError::DimensionMismatch {
+            left: m.shape(),
+            right: (m.cols(), m.rows()),
+        });
+    }
+    let n = m.rows();
+    if n == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+    if n == 1 {
+        return Ok(vec![m.get(0, 0)]);
+    }
+
+    let mut a = m.clone();
+    // Tolerance scales with the matrix magnitude.
+    let scale = a.frobenius_norm().max(f64::MIN_POSITIVE);
+    let tol = 1e-14 * scale;
+
+    for sweep in 0..max_sweeps {
+        let off = off_diagonal_norm(&a);
+        if off <= tol {
+            let _ = sweep;
+            return Ok((0..n).map(|i| a.get(i, i)).collect());
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = a.get(p, q);
+                if apq.abs() <= tol / (n * n) as f64 {
+                    continue;
+                }
+                let app = a.get(p, p);
+                let aqq = a.get(q, q);
+                // Classic Jacobi rotation computation.
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    1.0 / (theta - (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply rotation to rows/cols p and q.
+                for k in 0..n {
+                    let akp = a.get(k, p);
+                    let akq = a.get(k, q);
+                    a.set(k, p, c * akp - s * akq);
+                    a.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = a.get(p, k);
+                    let aqk = a.get(q, k);
+                    a.set(p, k, c * apk - s * aqk);
+                    a.set(q, k, s * apk + c * aqk);
+                }
+            }
+        }
+    }
+    if off_diagonal_norm(&a) <= tol {
+        Ok((0..n).map(|i| a.get(i, i)).collect())
+    } else {
+        Err(LinalgError::NoConvergence {
+            iterations: max_sweeps,
+        })
+    }
+}
+
+/// A rank-`k` truncated singular value decomposition `A ≈ U·diag(σ)·Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct TruncatedSvd {
+    /// Left singular vectors, `rows × k` (columns orthonormal to the
+    /// iteration tolerance, ~1e-6).
+    pub u: DenseMatrix,
+    /// Singular values in descending order (length `k`).
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors, `cols × k` (columns are orthonormal).
+    pub v: DenseMatrix,
+}
+
+impl TruncatedSvd {
+    /// Reconstructs the rank-`k` approximation `U·diag(σ)·Vᵀ`.
+    pub fn reconstruct(&self) -> DenseMatrix {
+        let k = self.singular_values.len();
+        DenseMatrix::from_fn(self.u.rows(), self.v.rows(), |i, j| {
+            (0..k)
+                .map(|r| self.u.get(i, r) * self.singular_values[r] * self.v.get(j, r))
+                .sum()
+        })
+    }
+}
+
+/// Computes the top-`k` singular triplets of `a` by subspace (orthogonal)
+/// iteration on `AᵀA`, touching `A` only through matrix–vector products.
+///
+/// Deterministic given `seed`. The extension beyond Fig. 9's needs: singular
+/// *vectors* enable low-rank reconstruction (SVD imputation) and subspace
+/// analysis of the QoS matrix.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::EmptyInput`] for an empty matrix or `k = 0`, and
+/// [`LinalgError::DimensionMismatch`] when `k > min(rows, cols)`.
+pub fn truncated(a: &DenseMatrix, k: usize, seed: u64) -> Result<TruncatedSvd, LinalgError> {
+    let (n, m) = a.shape();
+    if n == 0 || m == 0 || k == 0 {
+        return Err(LinalgError::EmptyInput);
+    }
+    if k > n.min(m) {
+        return Err(LinalgError::DimensionMismatch {
+            left: (k, k),
+            right: (n.min(m), n.min(m)),
+        });
+    }
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Random start, orthonormalized: V is m × k stored as k column vectors.
+    let mut v: Vec<Vec<f64>> = (0..k)
+        .map(|_| crate::random::normal_vec(&mut rng, m, 0.0, 1.0))
+        .collect();
+    gram_schmidt(&mut v);
+
+    let sweeps = 100;
+    let tol = 1e-12;
+    let mut prev_sigmas = vec![0.0; k];
+    for _ in 0..sweeps {
+        // W = Aᵀ (A V), column by column.
+        let mut w: Vec<Vec<f64>> = v.iter().map(|col| a.matvec_t(&a.matvec(col))).collect();
+        gram_schmidt(&mut w);
+        v = w;
+
+        // Rayleigh estimates of the singular values.
+        let sigmas: Vec<f64> = v
+            .iter()
+            .map(|col| crate::vector::norm2(&a.matvec(col)))
+            .collect();
+        let moved = sigmas
+            .iter()
+            .zip(&prev_sigmas)
+            .map(|(s, p)| (s - p).abs())
+            .fold(0.0, f64::max);
+        prev_sigmas = sigmas;
+        if moved < tol * (1.0 + prev_sigmas[0]) {
+            break;
+        }
+    }
+
+    // Assemble U, sigma, V sorted by descending sigma.
+    let mut triplets: Vec<(f64, Vec<f64>, Vec<f64>)> = v
+        .into_iter()
+        .map(|col| {
+            let av = a.matvec(&col);
+            let sigma = crate::vector::norm2(&av);
+            let u = if sigma > 0.0 {
+                av.iter().map(|x| x / sigma).collect()
+            } else {
+                vec![0.0; n]
+            };
+            (sigma, u, col)
+        })
+        .collect();
+    triplets.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("finite singular values"));
+
+    let singular_values: Vec<f64> = triplets.iter().map(|t| t.0).collect();
+    let u = DenseMatrix::from_fn(n, k, |i, j| triplets[j].1[i]);
+    let v = DenseMatrix::from_fn(m, k, |i, j| triplets[j].2[i]);
+    Ok(TruncatedSvd {
+        u,
+        singular_values,
+        v,
+    })
+}
+
+/// In-place modified Gram–Schmidt orthonormalization of column vectors.
+/// Degenerate (near-zero) columns are replaced by zero vectors.
+fn gram_schmidt(columns: &mut [Vec<f64>]) {
+    for i in 0..columns.len() {
+        for j in 0..i {
+            let proj = crate::vector::dot(&columns[i], &columns[j]);
+            let other = columns[j].clone();
+            crate::vector::axpy(-proj, &other, &mut columns[i]);
+        }
+        let norm = crate::vector::norm2(&columns[i]);
+        if norm > 1e-12 {
+            crate::vector::scale(1.0 / norm, &mut columns[i]);
+        } else {
+            for x in columns[i].iter_mut() {
+                *x = 0.0;
+            }
+        }
+    }
+}
+
+fn off_diagonal_norm(a: &DenseMatrix) -> f64 {
+    let n = a.rows();
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                sum += a.get(i, j) * a.get(i, j);
+            }
+        }
+    }
+    sum.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::gaussian;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eigenvalues_of_diagonal() {
+        let m = DenseMatrix::from_fn(3, 3, |i, j| if i == j { (i + 1) as f64 } else { 0.0 });
+        let mut eig = symmetric_eigenvalues(&m, 8).unwrap();
+        eig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((eig[0] - 1.0).abs() < 1e-10);
+        assert!((eig[1] - 2.0).abs() < 1e-10);
+        assert!((eig[2] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_of_known_2x2() {
+        // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+        let m = DenseMatrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let mut eig = symmetric_eigenvalues(&m, 8).unwrap();
+        eig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((eig[0] - 1.0).abs() < 1e-12);
+        assert!((eig[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigen_rejects_non_square() {
+        let m = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            symmetric_eigenvalues(&m, 8),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn singular_values_of_identity() {
+        let id = DenseMatrix::from_fn(4, 4, |i, j| if i == j { 1.0 } else { 0.0 });
+        let sv = singular_values(&id).unwrap();
+        for v in sv {
+            assert!((v - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_values_of_rank_one() {
+        let a = DenseMatrix::from_fn(3, 5, |i, j| ((i + 1) * (j + 1)) as f64);
+        let sv = singular_values(&a).unwrap();
+        assert_eq!(sv.len(), 3);
+        assert!(sv[0] > 1.0);
+        assert!(sv[1].abs() < 1e-8);
+        assert!(sv[2].abs() < 1e-8);
+    }
+
+    #[test]
+    fn singular_values_match_frobenius() {
+        // sum of squared singular values == squared Frobenius norm
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = DenseMatrix::from_fn(6, 9, |_, _| gaussian(&mut rng));
+        let sv = singular_values(&a).unwrap();
+        let sum_sq: f64 = sv.iter().map(|v| v * v).sum();
+        let fro_sq = a.frobenius_norm().powi(2);
+        assert!((sum_sq - fro_sq).abs() / fro_sq < 1e-9);
+    }
+
+    #[test]
+    fn singular_values_invariant_to_transpose() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = DenseMatrix::from_fn(4, 7, |_, _| gaussian(&mut rng));
+        let sv1 = singular_values(&a).unwrap();
+        let sv2 = singular_values(&a.transpose()).unwrap();
+        for (x, y) in sv1.iter().zip(&sv2) {
+            assert!((x - y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn normalized_largest_is_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = DenseMatrix::from_fn(5, 8, |_, _| gaussian(&mut rng) + 1.0);
+        let sv = normalized_singular_values(&a).unwrap();
+        assert!((sv[0] - 1.0).abs() < 1e-12);
+        assert!(sv.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn normalized_rejects_zero_matrix() {
+        let z = DenseMatrix::zeros(3, 3);
+        assert!(normalized_singular_values(&z).is_err());
+    }
+
+    #[test]
+    fn effective_rank_of_low_rank_matrix() {
+        // rank-2 matrix: sum of two outer products
+        let u1 = [1.0, 2.0, 3.0, 4.0];
+        let u2 = [1.0, -1.0, 1.0, -1.0];
+        let v1 = [2.0, 0.5, 1.0, 3.0, 1.5];
+        let v2 = [1.0, 2.0, -1.0, 0.5, 2.5];
+        let a = DenseMatrix::from_fn(4, 5, |i, j| u1[i] * v1[j] + u2[i] * v2[j]);
+        assert_eq!(effective_rank(&a, 1e-8).unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_matrix_rejected() {
+        let a = DenseMatrix::zeros(0, 5);
+        assert_eq!(singular_values(&a).unwrap_err(), LinalgError::EmptyInput);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = DenseMatrix::from_vec(1, 1, vec![-4.0]).unwrap();
+        let sv = singular_values(&a).unwrap();
+        assert!((sv[0] - 4.0).abs() < 1e-12);
+    }
+
+    mod truncated_svd {
+        use super::super::*;
+        use crate::random::gaussian;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        /// Low-rank-plus-noise test matrix.
+        fn low_rank_matrix(n: usize, m: usize, rank: usize, noise: f64) -> DenseMatrix {
+            let mut rng = StdRng::seed_from_u64(17);
+            let u = DenseMatrix::from_fn(n, rank, |_, _| gaussian(&mut rng));
+            let v = DenseMatrix::from_fn(m, rank, |_, _| gaussian(&mut rng));
+            let mut a = DenseMatrix::from_fn(n, m, |i, j| {
+                (0..rank)
+                    .map(|r| u.get(i, r) * (rank - r) as f64 * v.get(j, r))
+                    .sum()
+            });
+            if noise > 0.0 {
+                a.map_inplace(|x| x + noise * gaussian(&mut rng));
+            }
+            a
+        }
+
+        #[test]
+        fn matches_jacobi_singular_values() {
+            let a = low_rank_matrix(12, 20, 4, 0.01);
+            let full = singular_values(&a).unwrap();
+            let trunc = truncated(&a, 4, 1).unwrap();
+            for (j, t) in full.iter().zip(&trunc.singular_values) {
+                assert!(
+                    (j - t).abs() / j.max(1e-9) < 1e-6,
+                    "jacobi {j} vs truncated {t}"
+                );
+            }
+        }
+
+        #[test]
+        fn reconstructs_exact_low_rank() {
+            let a = low_rank_matrix(10, 14, 3, 0.0);
+            let svd = truncated(&a, 3, 2).unwrap();
+            let approx = svd.reconstruct();
+            for i in 0..10 {
+                for j in 0..14 {
+                    assert!(
+                        (approx.get(i, j) - a.get(i, j)).abs() < 1e-8,
+                        "({i},{j}): {} vs {}",
+                        approx.get(i, j),
+                        a.get(i, j)
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn singular_vectors_are_orthonormal() {
+            let a = low_rank_matrix(9, 15, 5, 0.05);
+            let svd = truncated(&a, 5, 3).unwrap();
+            for side in [&svd.u, &svd.v] {
+                for p in 0..5 {
+                    for q in 0..5 {
+                        let dot = crate::vector::dot(&side.col(p), &side.col(q));
+                        let expected = if p == q { 1.0 } else { 0.0 };
+                        // U is orthonormal only to the iteration tolerance.
+                        assert!((dot - expected).abs() < 1e-5, "columns {p},{q}: dot {dot}");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn values_descend() {
+            let a = low_rank_matrix(8, 8, 4, 0.1);
+            let svd = truncated(&a, 4, 4).unwrap();
+            assert!(svd.singular_values.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+        }
+
+        #[test]
+        fn deterministic_given_seed() {
+            let a = low_rank_matrix(8, 10, 3, 0.05);
+            let s1 = truncated(&a, 3, 7).unwrap();
+            let s2 = truncated(&a, 3, 7).unwrap();
+            assert_eq!(s1.singular_values, s2.singular_values);
+        }
+
+        #[test]
+        fn rejects_bad_inputs() {
+            let a = low_rank_matrix(4, 6, 2, 0.0);
+            assert!(truncated(&a, 0, 1).is_err());
+            assert!(truncated(&a, 5, 1).is_err());
+            assert!(truncated(&DenseMatrix::zeros(0, 3), 1, 1).is_err());
+        }
+    }
+}

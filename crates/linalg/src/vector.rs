@@ -1,0 +1,163 @@
+//! Free functions on `&[f64]` slices used throughout the workspace.
+//!
+//! The latent factor vectors of the MF/AMF models (`U_i`, `S_j` in the paper)
+//! are plain `Vec<f64>` of dimensionality `d` (the paper uses `d = 10`), so the
+//! hot inner loops of training are expressed with these slice helpers instead
+//! of a heavier vector type.
+
+/// Dot product of two equally sized slices.
+///
+/// The inner product `U_i^T S_j` is the model's raw prediction before the
+/// sigmoid link is applied (paper Eq. 5).
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices differ in length; in release builds
+/// the shorter length wins (standard `zip` semantics).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(qos_linalg::vector::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm of a slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(qos_linalg::vector::norm2(&[3.0, 4.0]), 5.0);
+/// ```
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean norm, used by the regularization terms `||U_i||_2^2`.
+#[inline]
+pub fn norm2_sq(a: &[f64]) -> f64 {
+    dot(a, a)
+}
+
+/// In-place `a += alpha * b` (the classic `axpy` kernel).
+///
+/// SGD updates of the form `U_i <- U_i - eta * grad` are expressed as
+/// `axpy(-eta, grad, &mut u)`.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices differ in length.
+#[inline]
+pub fn axpy(alpha: f64, b: &[f64], a: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len(), "axpy: length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// In-place scaling `a *= alpha`.
+#[inline]
+pub fn scale(alpha: f64, a: &mut [f64]) {
+    for x in a.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Elementwise difference `a - b` as a new vector.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices differ in length.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Squared Euclidean distance between two slices.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices differ in length.
+pub fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "distance_sq: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_of_orthogonal_vectors_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn dot_of_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm2_of_zero_vector_is_zero() {
+        assert_eq!(norm2(&[0.0; 8]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        axpy(2.0, &[10.0, 20.0, 30.0], &mut a);
+        assert_eq!(a, vec![21.0, 42.0, 63.0]);
+    }
+
+    #[test]
+    fn scale_by_zero_clears() {
+        let mut a = vec![5.0, -3.0];
+        scale(0.0, &mut a);
+        assert_eq!(a, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sub_elementwise() {
+        assert_eq!(sub(&[3.0, 5.0], &[1.0, 7.0]), vec![2.0, -2.0]);
+    }
+
+    #[test]
+    fn distance_sq_matches_norm_of_difference() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        assert_eq!(distance_sq(&a, &b), norm2_sq(&sub(&a, &b)));
+    }
+
+    proptest! {
+        #[test]
+        fn dot_is_commutative(a in proptest::collection::vec(-1e3..1e3f64, 0..32)) {
+            let b: Vec<f64> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+            prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cauchy_schwarz(a in proptest::collection::vec(-1e2..1e2f64, 1..16)) {
+            let b: Vec<f64> = a.iter().rev().cloned().collect();
+            prop_assert!(dot(&a, &b).abs() <= norm2(&a) * norm2(&b) + 1e-6);
+        }
+
+        #[test]
+        fn axpy_with_zero_alpha_is_identity(a in proptest::collection::vec(-1e3..1e3f64, 1..16)) {
+            let mut c = a.clone();
+            let b = vec![1.0; a.len()];
+            axpy(0.0, &b, &mut c);
+            prop_assert_eq!(c, a);
+        }
+
+        #[test]
+        fn norm_is_nonnegative(a in proptest::collection::vec(-1e3..1e3f64, 0..32)) {
+            prop_assert!(norm2(&a) >= 0.0);
+        }
+    }
+}

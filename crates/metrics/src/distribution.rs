@@ -1,0 +1,134 @@
+//! Prediction-error distributions (paper Fig. 10).
+//!
+//! Fig. 10 compares UIPCC, PMF and AMF by plotting the distribution of signed
+//! prediction errors `R̂ − R`: a better model has more mass concentrated
+//! around zero. [`ErrorDistribution`] wraps a histogram over a symmetric
+//! interval with the summary statistics used to compare peakedness.
+
+use crate::error::signed_errors;
+use crate::MetricsError;
+use qos_linalg::{stats, Histogram};
+use serde::{Deserialize, Serialize};
+
+/// Distribution of signed prediction errors over `[-limit, limit]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorDistribution {
+    histogram: Histogram,
+    mean: f64,
+    std_dev: f64,
+    /// Fraction of all errors that fall within ±`center_band`.
+    central_mass: f64,
+    center_band: f64,
+}
+
+impl ErrorDistribution {
+    /// Builds the distribution of `predicted − actual` over `[-limit, limit)`
+    /// with `bins` bins; `center_band` defines the "close to zero" band used
+    /// by [`ErrorDistribution::central_mass`] (the paper eyeballs ±0.5 s).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::LengthMismatch`] when slice lengths differ and
+    /// [`MetricsError::NoSamples`] when no valid pair remains or the
+    /// histogram parameters are degenerate.
+    pub fn evaluate(
+        actual: &[f64],
+        predicted: &[f64],
+        limit: f64,
+        bins: usize,
+        center_band: f64,
+    ) -> Result<Self, MetricsError> {
+        let errors = signed_errors(actual, predicted)?;
+        if errors.is_empty() {
+            return Err(MetricsError::NoSamples);
+        }
+        let mut histogram = Histogram::new(-limit, limit, bins).ok_or(MetricsError::NoSamples)?;
+        histogram.extend(errors.iter().copied());
+        let central = errors.iter().filter(|e| e.abs() <= center_band).count();
+        Ok(Self {
+            histogram,
+            mean: stats::mean(&errors).ok_or(MetricsError::NoSamples)?,
+            std_dev: stats::std_dev(&errors).ok_or(MetricsError::NoSamples)?,
+            central_mass: central as f64 / errors.len() as f64,
+            center_band,
+        })
+    }
+
+    /// The underlying histogram (x-axis: signed error; y: counts).
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// Mean signed error (bias).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the signed error.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Fraction of errors within the configured center band — the paper's
+    /// "denser distribution around the center 0" criterion, quantified.
+    pub fn central_mass(&self) -> f64 {
+        self.central_mass
+    }
+
+    /// Width of the center band used for [`ErrorDistribution::central_mass`].
+    pub fn center_band(&self) -> f64 {
+        self.center_band
+    }
+
+    /// `(bin_center, fraction)` series for plotting, mirroring Fig. 10 axes.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.histogram.points().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tight_predictions_have_high_central_mass() {
+        let actual: Vec<f64> = (1..=100).map(|i| i as f64 / 10.0).collect();
+        let tight: Vec<f64> = actual.iter().map(|v| v + 0.01).collect();
+        let loose: Vec<f64> = actual
+            .iter()
+            .enumerate()
+            .map(|(i, v)| v + if i % 2 == 0 { 2.0 } else { -2.0 })
+            .collect();
+        let d_tight = ErrorDistribution::evaluate(&actual, &tight, 3.0, 30, 0.5).unwrap();
+        let d_loose = ErrorDistribution::evaluate(&actual, &loose, 3.0, 30, 0.5).unwrap();
+        assert!(d_tight.central_mass() > d_loose.central_mass());
+        assert_eq!(d_tight.central_mass(), 1.0);
+        assert_eq!(d_loose.central_mass(), 0.0);
+    }
+
+    #[test]
+    fn bias_is_reported() {
+        let actual = [1.0, 2.0, 3.0];
+        let over: Vec<f64> = actual.iter().map(|v| v + 0.5).collect();
+        let d = ErrorDistribution::evaluate(&actual, &over, 2.0, 10, 0.1).unwrap();
+        assert!((d.mean() - 0.5).abs() < 1e-12);
+        assert!(d.std_dev() < 1e-12);
+    }
+
+    #[test]
+    fn series_length_matches_bins() {
+        let actual = [1.0, 2.0, 3.0, 4.0];
+        let predicted = [1.1, 2.2, 2.9, 3.5];
+        let d = ErrorDistribution::evaluate(&actual, &predicted, 1.0, 20, 0.25).unwrap();
+        assert_eq!(d.series().len(), 20);
+        assert_eq!(d.histogram().bins(), 20);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(ErrorDistribution::evaluate(&[], &[], 1.0, 10, 0.1).is_err());
+        assert!(ErrorDistribution::evaluate(&[1.0], &[1.0, 2.0], 1.0, 10, 0.1).is_err());
+        // zero bins is degenerate
+        assert!(ErrorDistribution::evaluate(&[1.0], &[1.0], 1.0, 0, 0.1).is_err());
+    }
+}

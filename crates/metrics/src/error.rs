@@ -1,0 +1,154 @@
+//! Per-sample error vectors.
+//!
+//! All three paper metrics are statistics of these vectors: MAE is the mean of
+//! [`absolute_errors`], MRE the median and NPRE the 90th percentile of
+//! [`relative_errors`]. Fig. 10 plots the distribution of [`signed_errors`].
+
+use crate::MetricsError;
+
+/// Validates that the two slices are the same length.
+fn check_lengths(actual: &[f64], predicted: &[f64]) -> Result<(), MetricsError> {
+    if actual.len() != predicted.len() {
+        return Err(MetricsError::LengthMismatch {
+            actual: actual.len(),
+            predicted: predicted.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Absolute errors `|R̂_ij − R_ij|` (the summand of MAE, Eq. 18).
+///
+/// NaN pairs are skipped.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::LengthMismatch`] if the slices differ in length.
+pub fn absolute_errors(actual: &[f64], predicted: &[f64]) -> Result<Vec<f64>, MetricsError> {
+    check_lengths(actual, predicted)?;
+    Ok(actual
+        .iter()
+        .zip(predicted)
+        .filter(|(a, p)| !a.is_nan() && !p.is_nan())
+        .map(|(a, p)| (p - a).abs())
+        .collect())
+}
+
+/// Relative errors `|R̂_ij − R_ij| / R_ij` (the summand of MRE/NPRE, Eq. 19).
+///
+/// Pairs where the actual value is zero, negative, or NaN are skipped — the
+/// relative error is undefined there. (QoS values are positive by
+/// construction; zeros only arise from degenerate synthetic configs.)
+///
+/// # Errors
+///
+/// Returns [`MetricsError::LengthMismatch`] if the slices differ in length.
+pub fn relative_errors(actual: &[f64], predicted: &[f64]) -> Result<Vec<f64>, MetricsError> {
+    check_lengths(actual, predicted)?;
+    Ok(actual
+        .iter()
+        .zip(predicted)
+        .filter(|(a, p)| **a > 0.0 && !p.is_nan())
+        .map(|(a, p)| (p - a).abs() / a)
+        .collect())
+}
+
+/// Signed errors `R̂_ij − R_ij`, the x-axis of the paper's Fig. 10.
+///
+/// NaN pairs are skipped.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::LengthMismatch`] if the slices differ in length.
+pub fn signed_errors(actual: &[f64], predicted: &[f64]) -> Result<Vec<f64>, MetricsError> {
+    check_lengths(actual, predicted)?;
+    Ok(actual
+        .iter()
+        .zip(predicted)
+        .filter(|(a, p)| !a.is_nan() && !p.is_nan())
+        .map(|(a, p)| p - a)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn absolute_basic() {
+        let e = absolute_errors(&[1.0, 2.0], &[1.5, 1.0]).unwrap();
+        assert_eq!(e, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn relative_basic() {
+        let e = relative_errors(&[2.0, 10.0], &[1.0, 11.0]).unwrap();
+        assert_eq!(e, vec![0.5, 0.1]);
+    }
+
+    #[test]
+    fn signed_keeps_direction() {
+        let e = signed_errors(&[2.0, 2.0], &[1.0, 3.0]).unwrap();
+        assert_eq!(e, vec![-1.0, 1.0]);
+    }
+
+    #[test]
+    fn relative_skips_nonpositive_actuals() {
+        let e = relative_errors(&[0.0, -1.0, 4.0], &[1.0, 1.0, 5.0]).unwrap();
+        assert_eq!(e, vec![0.25]);
+    }
+
+    #[test]
+    fn nan_pairs_skipped() {
+        let e = absolute_errors(&[f64::NAN, 2.0], &[1.0, f64::NAN]).unwrap();
+        assert!(e.is_empty());
+        let e = signed_errors(&[1.0, f64::NAN], &[2.0, 3.0]).unwrap();
+        assert_eq!(e, vec![1.0]);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(matches!(
+            absolute_errors(&[1.0], &[1.0, 2.0]),
+            Err(MetricsError::LengthMismatch { .. })
+        ));
+        assert!(relative_errors(&[1.0], &[]).is_err());
+        assert!(signed_errors(&[], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_give_empty_vectors() {
+        assert!(absolute_errors(&[], &[]).unwrap().is_empty());
+        assert!(relative_errors(&[], &[]).unwrap().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn absolute_errors_nonnegative(pairs in proptest::collection::vec((0.001..100.0f64, -100.0..100.0f64), 0..50)) {
+            let (a, p): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            prop_assert!(absolute_errors(&a, &p).unwrap().iter().all(|&e| e >= 0.0));
+            prop_assert!(relative_errors(&a, &p).unwrap().iter().all(|&e| e >= 0.0));
+        }
+
+        #[test]
+        fn perfect_prediction_zero_error(a in proptest::collection::vec(0.001..100.0f64, 1..50)) {
+            let abs = absolute_errors(&a, &a).unwrap();
+            let rel = relative_errors(&a, &a).unwrap();
+            prop_assert!(abs.iter().all(|&e| e == 0.0));
+            prop_assert!(rel.iter().all(|&e| e == 0.0));
+        }
+
+        #[test]
+        fn scaling_both_preserves_relative_error(pairs in proptest::collection::vec((0.001..100.0f64, 0.001..100.0f64), 1..30), k in 0.1..100.0f64) {
+            let (a, p): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            let a2: Vec<f64> = a.iter().map(|x| x * k).collect();
+            let p2: Vec<f64> = p.iter().map(|x| x * k).collect();
+            let r1 = relative_errors(&a, &p).unwrap();
+            let r2 = relative_errors(&a2, &p2).unwrap();
+            for (x, y) in r1.iter().zip(&r2) {
+                prop_assert!((x - y).abs() < 1e-9 * (1.0 + x.abs()));
+            }
+        }
+    }
+}

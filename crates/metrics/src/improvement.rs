@@ -1,0 +1,135 @@
+//! Improvement percentages (the "Improve.(%)" rows of paper Table I).
+
+use crate::AccuracySummary;
+
+/// Relative improvement of `ours` over `best_other`, in percent:
+/// `100 · (best_other − ours) / best_other`.
+///
+/// Positive means `ours` is better (smaller error); negative means worse —
+/// the paper's Table I contains one such negative cell (−0.2% MAE at RT
+/// density 40%).
+///
+/// Returns `None` when `best_other` is zero or either input is NaN.
+///
+/// # Examples
+///
+/// ```
+/// use qos_metrics::improvement_percent;
+/// let imp = improvement_percent(0.478, 0.593).unwrap();
+/// assert!((imp - 19.4).abs() < 0.1); // the paper's RT density-10% MRE row
+/// ```
+pub fn improvement_percent(ours: f64, best_other: f64) -> Option<f64> {
+    if best_other == 0.0 || ours.is_nan() || best_other.is_nan() {
+        return None;
+    }
+    Some(100.0 * (best_other - ours) / best_other)
+}
+
+/// Per-metric improvement of `ours` over the most competitive of `others`
+/// (the minimum per metric), exactly as the paper computes its table rows:
+/// "all improvements are computed as the percentage of how much AMF
+/// outperforms the other most competitive approach".
+///
+/// Returns `None` when `others` is empty.
+pub fn improvement_over_best(
+    ours: &AccuracySummary,
+    others: &[AccuracySummary],
+) -> Option<MetricImprovement> {
+    if others.is_empty() {
+        return None;
+    }
+    let best = |f: fn(&AccuracySummary) -> f64| others.iter().map(f).fold(f64::INFINITY, f64::min);
+    Some(MetricImprovement {
+        mae: improvement_percent(ours.mae, best(|s| s.mae))?,
+        mre: improvement_percent(ours.mre, best(|s| s.mre))?,
+        npre: improvement_percent(ours.npre, best(|s| s.npre))?,
+    })
+}
+
+/// Improvement percentages for the three paper metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricImprovement {
+    /// MAE improvement in percent.
+    pub mae: f64,
+    /// MRE improvement in percent.
+    pub mre: f64,
+    /// NPRE improvement in percent.
+    pub npre: f64,
+}
+
+impl std::fmt::Display for MetricImprovement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:+.1}% MAE, {:+.1}% MRE, {:+.1}% NPRE",
+            self.mae, self.mre, self.npre
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(mae: f64, mre: f64, npre: f64) -> AccuracySummary {
+        AccuracySummary {
+            mae,
+            mre,
+            npre,
+            rmse: mae * 1.5,
+            count: 100,
+        }
+    }
+
+    #[test]
+    fn improvement_signs() {
+        assert!(improvement_percent(0.5, 1.0).unwrap() > 0.0);
+        assert!(improvement_percent(2.0, 1.0).unwrap() < 0.0);
+        assert_eq!(improvement_percent(1.0, 1.0), Some(0.0));
+    }
+
+    #[test]
+    fn improvement_undefined_cases() {
+        assert_eq!(improvement_percent(1.0, 0.0), None);
+        assert_eq!(improvement_percent(f64::NAN, 1.0), None);
+    }
+
+    #[test]
+    fn table1_rt_density10_row() {
+        // Table I RT density 10%: AMF MRE 0.478 vs best-other PMF 0.593 -> 19.4%
+        let imp = improvement_percent(0.478, 0.593).unwrap();
+        assert!((imp - 19.4).abs() < 0.1);
+        // NPRE: AMF 1.765 vs best-other PMF 3.017 -> 41.5%
+        let imp = improvement_percent(1.765, 3.017).unwrap();
+        assert!((imp - 41.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn best_other_is_per_metric_minimum() {
+        let ours = summary(1.0, 0.3, 1.0);
+        // Different baselines are best on different metrics.
+        let a = summary(1.1, 0.9, 9.0); // best MAE
+        let b = summary(5.0, 0.6, 3.0); // best MRE and NPRE
+        let imp = improvement_over_best(&ours, &[a, b]).unwrap();
+        assert!((imp.mae - improvement_percent(1.0, 1.1).unwrap()).abs() < 1e-12);
+        assert!((imp.mre - improvement_percent(0.3, 0.6).unwrap()).abs() < 1e-12);
+        assert!((imp.npre - improvement_percent(1.0, 3.0).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_others_is_none() {
+        assert_eq!(improvement_over_best(&summary(1.0, 1.0, 1.0), &[]), None);
+    }
+
+    #[test]
+    fn display_has_signs() {
+        let imp = MetricImprovement {
+            mae: -0.2,
+            mre: 39.0,
+            npre: 71.8,
+        };
+        let text = imp.to_string();
+        assert!(text.contains("-0.2%"));
+        assert!(text.contains("+39.0%"));
+    }
+}

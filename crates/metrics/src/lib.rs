@@ -1,0 +1,89 @@
+//! Accuracy metrics for QoS prediction (paper Section V-B).
+//!
+//! The paper evaluates predictions with three metrics:
+//!
+//! * **MAE** (mean absolute error, Eq. 18) — included "for comparison purposes"
+//!   because most CF papers report it;
+//! * **MRE** (median relative error, Eq. 19) — the headline metric: the median
+//!   of `|R̂ − R| / R` over all test entries;
+//! * **NPRE** (ninety-percentile relative error) — the 90th percentile of the
+//!   same relative-error distribution, capturing tail quality.
+//!
+//! The paper argues relative metrics are the right ones for QoS data because
+//! value ranges are huge (its s₁/s₂ adaptation-threshold example in
+//! Section IV-C.1), so [`AccuracySummary`] always carries all three.
+//!
+//! # Examples
+//!
+//! ```
+//! use qos_metrics::AccuracySummary;
+//!
+//! let actual = [1.0, 2.0, 4.0, 10.0];
+//! let predicted = [1.1, 1.8, 4.4, 9.0];
+//! let acc = AccuracySummary::evaluate(&actual, &predicted)?;
+//! assert!(acc.mae > 0.0 && acc.mre > 0.0 && acc.npre >= acc.mre);
+//! # Ok::<(), qos_metrics::MetricsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod error;
+pub mod improvement;
+pub mod summary;
+
+pub use distribution::ErrorDistribution;
+pub use error::{absolute_errors, relative_errors, signed_errors};
+pub use improvement::improvement_percent;
+pub use summary::AccuracySummary;
+
+/// Error type for metric computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// `actual` and `predicted` had different lengths.
+    LengthMismatch {
+        /// Length of the actual-values slice.
+        actual: usize,
+        /// Length of the predicted-values slice.
+        predicted: usize,
+    },
+    /// No valid samples remained after filtering (empty input, or every
+    /// actual value was zero/NaN so no relative error is defined).
+    NoSamples,
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::LengthMismatch { actual, predicted } => write!(
+                f,
+                "length mismatch: {actual} actual values vs {predicted} predictions"
+            ),
+            MetricsError::NoSamples => write!(f, "no valid samples to evaluate"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = MetricsError::LengthMismatch {
+            actual: 3,
+            predicted: 5,
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(MetricsError::NoSamples.to_string().contains("no valid"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MetricsError>();
+    }
+}

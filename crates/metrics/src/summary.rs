@@ -1,0 +1,213 @@
+//! The MAE / MRE / NPRE accuracy summary (paper Table I columns).
+
+use crate::error::{absolute_errors, relative_errors};
+use crate::MetricsError;
+use qos_linalg::stats;
+use serde::{Deserialize, Serialize};
+
+/// The three paper metrics for one prediction run.
+///
+/// # Examples
+///
+/// ```
+/// use qos_metrics::AccuracySummary;
+///
+/// // A prediction 10% high on every sample has MRE = NPRE = 0.1.
+/// let actual = [1.0, 5.0, 20.0];
+/// let predicted = [1.1, 5.5, 22.0];
+/// let acc = AccuracySummary::evaluate(&actual, &predicted)?;
+/// assert!((acc.mre - 0.1).abs() < 1e-9);
+/// assert!((acc.npre - 0.1).abs() < 1e-9);
+/// # Ok::<(), qos_metrics::MetricsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracySummary {
+    /// Mean absolute error (Eq. 18).
+    pub mae: f64,
+    /// Median relative error (Eq. 19).
+    pub mre: f64,
+    /// Ninety-percentile relative error.
+    pub npre: f64,
+    /// Root-mean-square error (not in the paper's table; included because
+    /// PMF-style models optimize squared loss and it is useful in ablations).
+    pub rmse: f64,
+    /// Number of samples MAE/RMSE were computed over.
+    pub count: usize,
+}
+
+impl AccuracySummary {
+    /// Evaluates predictions against ground truth.
+    ///
+    /// MAE/RMSE use all non-NaN pairs; MRE/NPRE use the pairs with positive
+    /// actual values (relative error is undefined otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::LengthMismatch`] when slice lengths differ and
+    /// [`MetricsError::NoSamples`] when no valid pair remains.
+    pub fn evaluate(actual: &[f64], predicted: &[f64]) -> Result<Self, MetricsError> {
+        let abs = absolute_errors(actual, predicted)?;
+        let mut rel = relative_errors(actual, predicted)?;
+        if abs.is_empty() || rel.is_empty() {
+            return Err(MetricsError::NoSamples);
+        }
+        let mae = stats::mean(&abs).ok_or(MetricsError::NoSamples)?;
+        let rmse = (abs.iter().map(|e| e * e).sum::<f64>() / abs.len() as f64).sqrt();
+        rel.sort_by(|a, b| a.partial_cmp(b).expect("relative errors are finite"));
+        let mre = stats::percentile_of_sorted(&rel, 50.0);
+        let npre = stats::percentile_of_sorted(&rel, 90.0);
+        Ok(Self {
+            mae,
+            mre,
+            npre,
+            rmse,
+            count: abs.len(),
+        })
+    }
+
+    /// Averages several summaries (e.g. the paper's 20 repetitions per
+    /// density), weighting each run equally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::NoSamples`] for an empty input.
+    pub fn mean_of(runs: &[AccuracySummary]) -> Result<Self, MetricsError> {
+        if runs.is_empty() {
+            return Err(MetricsError::NoSamples);
+        }
+        let n = runs.len() as f64;
+        Ok(Self {
+            mae: runs.iter().map(|r| r.mae).sum::<f64>() / n,
+            mre: runs.iter().map(|r| r.mre).sum::<f64>() / n,
+            npre: runs.iter().map(|r| r.npre).sum::<f64>() / n,
+            rmse: runs.iter().map(|r| r.rmse).sum::<f64>() / n,
+            count: (runs.iter().map(|r| r.count).sum::<usize>() as f64 / n).round() as usize,
+        })
+    }
+}
+
+impl std::fmt::Display for AccuracySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MAE={:.3} MRE={:.3} NPRE={:.3} (RMSE={:.3}, n={})",
+            self.mae, self.mre, self.npre, self.rmse, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_prediction_is_all_zero() {
+        let a = [1.0, 2.0, 3.0];
+        let s = AccuracySummary::evaluate(&a, &a).unwrap();
+        assert_eq!(s.mae, 0.0);
+        assert_eq!(s.mre, 0.0);
+        assert_eq!(s.npre, 0.0);
+        assert_eq!(s.rmse, 0.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn known_values() {
+        let actual = [1.0, 2.0, 4.0, 8.0];
+        let predicted = [2.0, 2.0, 4.0, 8.0];
+        // abs errors: 1,0,0,0 -> MAE 0.25; rel errors: 1,0,0,0
+        let s = AccuracySummary::evaluate(&actual, &predicted).unwrap();
+        assert!((s.mae - 0.25).abs() < 1e-12);
+        assert_eq!(s.rmse, 0.5);
+        assert!(s.mre < 1e-12); // median of [0,0,0,1]
+        assert!(s.npre > 0.5); // 90th percentile near 1
+    }
+
+    #[test]
+    fn paper_motivating_example_prefers_relative_metrics() {
+        // Section IV-C.1: s1=1, s2=100; prediction (a)=(8, 99) has better MAE
+        // but worse relative error than (b)=(0.9, 92).
+        let actual = [1.0, 100.0];
+        let a = AccuracySummary::evaluate(&actual, &[8.0, 99.0]).unwrap();
+        let b = AccuracySummary::evaluate(&actual, &[0.9, 92.0]).unwrap();
+        assert!(a.mae < b.mae, "MAE misleadingly prefers (a)");
+        assert!(b.mre < a.mre, "MRE correctly prefers (b)");
+    }
+
+    #[test]
+    fn npre_at_least_mre() {
+        let actual = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let predicted = [1.2, 1.9, 3.5, 4.1, 4.0];
+        let s = AccuracySummary::evaluate(&actual, &predicted).unwrap();
+        assert!(s.npre >= s.mre);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(matches!(
+            AccuracySummary::evaluate(&[1.0], &[1.0, 2.0]),
+            Err(MetricsError::LengthMismatch { .. })
+        ));
+        assert_eq!(
+            AccuracySummary::evaluate(&[], &[]),
+            Err(MetricsError::NoSamples)
+        );
+        // All actuals zero: MAE defined but MRE not -> NoSamples
+        assert_eq!(
+            AccuracySummary::evaluate(&[0.0, 0.0], &[1.0, 1.0]),
+            Err(MetricsError::NoSamples)
+        );
+    }
+
+    #[test]
+    fn mean_of_averages_fields() {
+        let r1 = AccuracySummary {
+            mae: 1.0,
+            mre: 0.2,
+            npre: 1.0,
+            rmse: 2.0,
+            count: 10,
+        };
+        let r2 = AccuracySummary {
+            mae: 3.0,
+            mre: 0.4,
+            npre: 2.0,
+            rmse: 4.0,
+            count: 20,
+        };
+        let m = AccuracySummary::mean_of(&[r1, r2]).unwrap();
+        assert_eq!(m.mae, 2.0);
+        assert!((m.mre - 0.3).abs() < 1e-12);
+        assert_eq!(m.npre, 1.5);
+        assert_eq!(m.count, 15);
+        assert!(AccuracySummary::mean_of(&[]).is_err());
+    }
+
+    #[test]
+    fn display_contains_all_metrics() {
+        let s = AccuracySummary::evaluate(&[1.0, 2.0], &[1.5, 2.5]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("MAE") && text.contains("MRE") && text.contains("NPRE"));
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_nonnegative(pairs in proptest::collection::vec((0.01..100.0f64, 0.0..100.0f64), 1..50)) {
+            let (a, p): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+            let s = AccuracySummary::evaluate(&a, &p).unwrap();
+            prop_assert!(s.mae >= 0.0 && s.mre >= 0.0 && s.npre >= 0.0 && s.rmse >= 0.0);
+            prop_assert!(s.npre >= s.mre - 1e-12);
+            prop_assert!(s.rmse >= s.mae - 1e-12); // RMSE >= MAE always
+        }
+
+        #[test]
+        fn uniform_relative_offset(scale in 0.01..2.0f64, a in proptest::collection::vec(0.1..50.0f64, 1..40)) {
+            // predicted = actual * (1 + scale) everywhere -> MRE = NPRE = scale
+            let p: Vec<f64> = a.iter().map(|x| x * (1.0 + scale)).collect();
+            let s = AccuracySummary::evaluate(&a, &p).unwrap();
+            prop_assert!((s.mre - scale).abs() < 1e-9);
+            prop_assert!((s.npre - scale).abs() < 1e-9);
+        }
+    }
+}

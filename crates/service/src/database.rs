@@ -1,0 +1,213 @@
+//! The QoS database of the prediction service (paper Fig. 3: "The QoS
+//! database can be updated accordingly").
+//!
+//! Stores the raw observation history per `(user, service)` pair with a
+//! bounded per-pair history, independent of the model's own expiry-driven
+//! store — this is the audit/query side, used by operators and by the
+//! monitoring parts of the middleware ("QoS manager monitors the QoS values
+//! of service invocations").
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// One stored observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Timestamp (seconds since simulation epoch).
+    pub timestamp: u64,
+    /// Observed raw QoS value.
+    pub value: f64,
+}
+
+/// Thread-safe QoS observation history store.
+///
+/// # Examples
+///
+/// ```
+/// use qos_service::QosDatabase;
+///
+/// let db = QosDatabase::new(16);
+/// db.record(0, 0, 100, 1.4);
+/// db.record(0, 0, 200, 1.6);
+/// assert_eq!(db.latest(0, 0).unwrap().value, 1.6);
+/// assert_eq!(db.history(0, 0).len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct QosDatabase {
+    /// Per-pair ring of recent observations (oldest first).
+    records: RwLock<HashMap<(usize, usize), Vec<Observation>>>,
+    /// Maximum retained observations per pair.
+    history_cap: usize,
+}
+
+impl QosDatabase {
+    /// Creates a database retaining up to `history_cap` observations per
+    /// pair (at least 1).
+    pub fn new(history_cap: usize) -> Self {
+        Self {
+            records: RwLock::new(HashMap::new()),
+            history_cap: history_cap.max(1),
+        }
+    }
+
+    /// Records an observation.
+    pub fn record(&self, user: usize, service: usize, timestamp: u64, value: f64) {
+        let mut records = self.records.write();
+        let history = records.entry((user, service)).or_default();
+        history.push(Observation { timestamp, value });
+        if history.len() > self.history_cap {
+            let overflow = history.len() - self.history_cap;
+            history.drain(..overflow);
+        }
+    }
+
+    /// The most recent observation for a pair.
+    pub fn latest(&self, user: usize, service: usize) -> Option<Observation> {
+        self.records
+            .read()
+            .get(&(user, service))
+            .and_then(|h| h.last())
+            .copied()
+    }
+
+    /// Full retained history for a pair (oldest first).
+    pub fn history(&self, user: usize, service: usize) -> Vec<Observation> {
+        self.records
+            .read()
+            .get(&(user, service))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Number of pairs with at least one observation.
+    pub fn pair_count(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Total number of retained observations.
+    pub fn observation_count(&self) -> usize {
+        self.records.read().values().map(Vec::len).sum()
+    }
+
+    /// Mean of the retained values for one service across all users — the
+    /// kind of aggregate a monitoring dashboard would show.
+    pub fn service_mean(&self, service: usize) -> Option<f64> {
+        let records = self.records.read();
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for ((_, s), history) in records.iter() {
+            if *s == service {
+                for obs in history {
+                    sum += obs.value;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Removes all observations older than `cutoff`, returning how many were
+    /// dropped.
+    pub fn prune_before(&self, cutoff: u64) -> usize {
+        let mut records = self.records.write();
+        let mut removed = 0;
+        records.retain(|_, history| {
+            let before = history.len();
+            history.retain(|o| o.timestamp >= cutoff);
+            removed += before - history.len();
+            !history.is_empty()
+        });
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_latest() {
+        let db = QosDatabase::new(4);
+        assert!(db.latest(0, 0).is_none());
+        db.record(0, 0, 10, 1.0);
+        db.record(0, 0, 20, 2.0);
+        assert_eq!(db.latest(0, 0).unwrap().value, 2.0);
+        assert_eq!(db.latest(0, 0).unwrap().timestamp, 20);
+    }
+
+    #[test]
+    fn history_capped() {
+        let db = QosDatabase::new(3);
+        for k in 0..10 {
+            db.record(1, 1, k, k as f64);
+        }
+        let h = db.history(1, 1);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0].timestamp, 7, "oldest retained should be t=7");
+        assert_eq!(h[2].timestamp, 9);
+    }
+
+    #[test]
+    fn cap_of_zero_clamps_to_one() {
+        let db = QosDatabase::new(0);
+        db.record(0, 0, 1, 1.0);
+        db.record(0, 0, 2, 2.0);
+        assert_eq!(db.history(0, 0).len(), 1);
+    }
+
+    #[test]
+    fn counts() {
+        let db = QosDatabase::new(8);
+        db.record(0, 0, 1, 1.0);
+        db.record(0, 1, 2, 2.0);
+        db.record(0, 1, 3, 3.0);
+        assert_eq!(db.pair_count(), 2);
+        assert_eq!(db.observation_count(), 3);
+    }
+
+    #[test]
+    fn service_mean_aggregates_users() {
+        let db = QosDatabase::new(8);
+        db.record(0, 5, 1, 2.0);
+        db.record(1, 5, 1, 4.0);
+        db.record(0, 6, 1, 100.0);
+        assert_eq!(db.service_mean(5), Some(3.0));
+        assert_eq!(db.service_mean(7), None);
+    }
+
+    #[test]
+    fn prune_before_drops_old() {
+        let db = QosDatabase::new(8);
+        db.record(0, 0, 10, 1.0);
+        db.record(0, 0, 20, 2.0);
+        db.record(1, 1, 5, 3.0);
+        let removed = db.prune_before(15);
+        assert_eq!(removed, 2);
+        assert_eq!(db.observation_count(), 1);
+        assert_eq!(db.pair_count(), 1, "emptied pairs are removed");
+    }
+
+    #[test]
+    fn concurrent_access() {
+        use std::sync::Arc;
+        let db = Arc::new(QosDatabase::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for k in 0..100 {
+                        db.record(t, k % 10, k as u64, k as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.observation_count(), 400);
+    }
+}

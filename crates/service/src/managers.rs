@@ -1,0 +1,235 @@
+//! User and service managers (paper Section III: "a service manager is
+//! desired to provide utilities like service discovery and service
+//! management ... a user manager is set up to manage the joining or leaving
+//! activities of users").
+//!
+//! A [`Registry`] maps stable external identities (PlanetLab host names,
+//! WSDL URLs, ...) to the dense indices the AMF model uses, and tracks which
+//! entities are currently active. Indices are never reused: a departed
+//! entity's feature vector stays in the model (it may return), exactly the
+//! behaviour the paper's churn experiment relies on.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense model index of a registered entity.
+pub type EntityId = usize;
+
+/// Registration state of one entity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Registration {
+    id: EntityId,
+    active: bool,
+}
+
+/// An identity registry for one side (users, or services).
+///
+/// # Examples
+///
+/// ```
+/// use qos_service::Registry;
+///
+/// let mut users = Registry::new();
+/// let alice = users.join("planetlab1.cs.example.edu");
+/// assert_eq!(alice, 0);
+/// assert_eq!(users.join("planetlab1.cs.example.edu"), alice); // idempotent
+/// assert!(users.is_active(alice));
+/// users.leave("planetlab1.cs.example.edu");
+/// assert!(!users.is_active(alice));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Registry {
+    by_name: HashMap<String, Registration>,
+    names: Vec<String>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entities ever registered (dense index space size).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no entity was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Number of currently active entities.
+    pub fn active_count(&self) -> usize {
+        self.by_name.values().filter(|r| r.active).count()
+    }
+
+    /// Registers (or re-activates) an entity, returning its dense id.
+    /// Idempotent: an already-active entity keeps its id.
+    pub fn join(&mut self, name: &str) -> EntityId {
+        if let Some(reg) = self.by_name.get_mut(name) {
+            reg.active = true;
+            return reg.id;
+        }
+        let id = self.names.len();
+        self.names.push(name.to_string());
+        self.by_name
+            .insert(name.to_string(), Registration { id, active: true });
+        id
+    }
+
+    /// Marks an entity inactive. Returns its id if it was known.
+    pub fn leave(&mut self, name: &str) -> Option<EntityId> {
+        let reg = self.by_name.get_mut(name)?;
+        reg.active = false;
+        Some(reg.id)
+    }
+
+    /// Resolves an external name to its dense id (active or not).
+    pub fn resolve(&self, name: &str) -> Option<EntityId> {
+        self.by_name.get(name).map(|r| r.id)
+    }
+
+    /// External name of a dense id.
+    pub fn name(&self, id: EntityId) -> Option<&str> {
+        self.names.get(id).map(String::as_str)
+    }
+
+    /// Whether a dense id is currently active.
+    pub fn is_active(&self, id: EntityId) -> bool {
+        self.names
+            .get(id)
+            .and_then(|n| self.by_name.get(n))
+            .is_some_and(|r| r.active)
+    }
+
+    /// Iterator over `(id, name, active)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (EntityId, &str, bool)> + '_ {
+        self.names.iter().enumerate().map(move |(id, name)| {
+            let active = self.by_name.get(name).is_some_and(|r| r.active);
+            (id, name.as_str(), active)
+        })
+    }
+
+    /// Ids of all currently active entities.
+    pub fn active_ids(&self) -> Vec<EntityId> {
+        self.iter()
+            .filter(|&(_, _, active)| active)
+            .map(|(id, _, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_assigns_sequential_ids() {
+        let mut r = Registry::new();
+        assert_eq!(r.join("a"), 0);
+        assert_eq!(r.join("b"), 1);
+        assert_eq!(r.join("c"), 2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.active_count(), 3);
+    }
+
+    #[test]
+    fn join_is_idempotent() {
+        let mut r = Registry::new();
+        let a = r.join("a");
+        assert_eq!(r.join("a"), a);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn leave_deactivates_but_keeps_id() {
+        let mut r = Registry::new();
+        let a = r.join("a");
+        assert_eq!(r.leave("a"), Some(a));
+        assert!(!r.is_active(a));
+        assert_eq!(r.len(), 1, "id space must not shrink");
+        assert_eq!(r.resolve("a"), Some(a), "identity persists after leave");
+        assert_eq!(r.active_count(), 0);
+    }
+
+    #[test]
+    fn rejoin_reuses_id() {
+        let mut r = Registry::new();
+        let a = r.join("a");
+        r.leave("a");
+        assert_eq!(r.join("a"), a);
+        assert!(r.is_active(a));
+    }
+
+    #[test]
+    fn leave_unknown_is_none() {
+        let mut r = Registry::new();
+        assert_eq!(r.leave("ghost"), None);
+    }
+
+    #[test]
+    fn name_and_resolve_roundtrip() {
+        let mut r = Registry::new();
+        let id = r.join("svc-weather");
+        assert_eq!(r.name(id), Some("svc-weather"));
+        assert_eq!(r.resolve("svc-weather"), Some(id));
+        assert_eq!(r.name(99), None);
+        assert_eq!(r.resolve("nope"), None);
+    }
+
+    #[test]
+    fn iter_and_active_ids() {
+        let mut r = Registry::new();
+        r.join("a");
+        r.join("b");
+        r.join("c");
+        r.leave("b");
+        let all: Vec<(usize, &str, bool)> = r.iter().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[1], (1, "b", false));
+        assert_eq!(r.active_ids(), vec![0, 2]);
+    }
+
+    #[test]
+    fn is_active_out_of_range() {
+        let r = Registry::new();
+        assert!(!r.is_active(0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A random churn script: join/leave events over a small name pool.
+        fn script() -> impl Strategy<Value = Vec<(bool, u8)>> {
+            proptest::collection::vec((proptest::bool::ANY, 0u8..8), 0..60)
+        }
+
+        proptest! {
+            #[test]
+            fn identity_is_stable_under_any_churn(events in script()) {
+                let mut r = Registry::new();
+                let mut first_id: std::collections::HashMap<u8, usize> =
+                    std::collections::HashMap::new();
+                for (join, who) in events {
+                    let name = format!("n{who}");
+                    if join {
+                        let id = r.join(&name);
+                        let expected = *first_id.entry(who).or_insert(id);
+                        prop_assert_eq!(id, expected, "id changed across churn");
+                    } else {
+                        r.leave(&name);
+                    }
+                }
+                // Ids are dense 0..len and names resolve back.
+                for id in 0..r.len() {
+                    let name = r.name(id).unwrap().to_string();
+                    prop_assert_eq!(r.resolve(&name), Some(id));
+                }
+                prop_assert!(r.active_count() <= r.len());
+                prop_assert_eq!(r.active_ids().len(), r.active_count());
+            }
+        }
+    }
+}

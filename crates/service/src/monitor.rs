@@ -1,0 +1,265 @@
+//! Working-service QoS monitoring (the *other* half of adaptation triggers).
+//!
+//! The paper splits adaptation decisions in two: *when to trigger* comes
+//! from monitoring the **working** services a workflow currently invokes
+//! (Section II-C cites time-series approaches for this), while *which
+//! candidate to employ* comes from AMF's candidate prediction. This module
+//! provides the monitoring half: per-pair EMA/variance tracking with
+//! SLA-violation and deviation detection, feeding
+//! [`crate::policy::AdaptationPolicy`] contexts with smoothed observations
+//! instead of raw single samples.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Monitor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// EMA factor for the level estimate (0..1; higher = more reactive).
+    pub ema_factor: f64,
+    /// A sample this many standard deviations above the tracked level is
+    /// flagged as a deviation.
+    pub deviation_sigmas: f64,
+    /// Minimum samples before deviation detection activates.
+    pub warmup: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            ema_factor: 0.3,
+            deviation_sigmas: 3.0,
+            warmup: 5,
+        }
+    }
+}
+
+/// Tracked state for one (user, service) working pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairState {
+    /// EMA of the observed QoS level.
+    pub level: f64,
+    /// EMA of the squared deviation (variance estimate).
+    pub variance: f64,
+    /// Samples observed.
+    pub samples: usize,
+    /// Timestamp of the last observation.
+    pub last_seen: u64,
+}
+
+impl PairState {
+    /// Standard deviation estimate.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.max(0.0).sqrt()
+    }
+}
+
+/// What the monitor concluded about one observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Within normal behaviour.
+    Normal,
+    /// Still warming up; no judgement.
+    Warmup,
+    /// Statistically anomalous relative to the tracked level.
+    Deviation,
+}
+
+/// Per-pair QoS monitor for working services.
+///
+/// # Examples
+///
+/// ```
+/// use qos_service::monitor::{QosMonitor, MonitorConfig, Verdict};
+///
+/// let mut monitor = QosMonitor::new(MonitorConfig::default());
+/// // A stable service...
+/// for t in 0..20 {
+///     assert_ne!(monitor.observe(0, 7, t, 1.0 + 0.01 * (t % 3) as f64), Verdict::Deviation);
+/// }
+/// // ...suddenly degrades by an order of magnitude:
+/// assert_eq!(monitor.observe(0, 7, 20, 10.0), Verdict::Deviation);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QosMonitor {
+    config: MonitorConfig,
+    pairs: HashMap<(usize, usize), PairState>,
+}
+
+impl QosMonitor {
+    /// Creates a monitor.
+    pub fn new(config: MonitorConfig) -> Self {
+        Self {
+            config,
+            pairs: HashMap::new(),
+        }
+    }
+
+    /// Number of tracked pairs.
+    pub fn tracked_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Tracked state for a pair, if observed before.
+    pub fn state(&self, user: usize, service: usize) -> Option<&PairState> {
+        self.pairs.get(&(user, service))
+    }
+
+    /// Ingests one observation and returns the verdict for it.
+    pub fn observe(&mut self, user: usize, service: usize, timestamp: u64, value: f64) -> Verdict {
+        let a = self.config.ema_factor;
+        let entry = self.pairs.entry((user, service)).or_insert(PairState {
+            level: value,
+            variance: 0.0,
+            samples: 0,
+            last_seen: timestamp,
+        });
+
+        // Verdict against the *pre-update* state, so a spike is judged by
+        // the history, not by itself.
+        let verdict = if entry.samples < self.config.warmup {
+            Verdict::Warmup
+        } else {
+            let sd = entry.std_dev();
+            // Guard: a freshly flat series has sd ~ 0; use a fraction of the
+            // level as the minimum scale.
+            let scale = sd.max(0.05 * entry.level.abs()).max(1e-9);
+            if (value - entry.level).abs() > self.config.deviation_sigmas * scale {
+                Verdict::Deviation
+            } else {
+                Verdict::Normal
+            }
+        };
+
+        // EMA updates (deviating samples still update — a persistent shift
+        // becomes the new normal, as the paper's time-varying QoS requires).
+        let diff = value - entry.level;
+        entry.level += a * diff;
+        entry.variance = (1.0 - a) * (entry.variance + a * diff * diff);
+        entry.samples += 1;
+        entry.last_seen = timestamp;
+
+        verdict
+    }
+
+    /// The smoothed level for a pair (what policies should treat as "the
+    /// observed QoS"), if tracked.
+    pub fn smoothed(&self, user: usize, service: usize) -> Option<f64> {
+        self.state(user, service).map(|s| s.level)
+    }
+
+    /// Pairs whose smoothed level currently violates `threshold`
+    /// (lower-is-better semantics), as `(user, service, level)`.
+    pub fn violations(&self, threshold: f64) -> Vec<(usize, usize, f64)> {
+        let mut out: Vec<(usize, usize, f64)> = self
+            .pairs
+            .iter()
+            .filter(|(_, s)| s.level > threshold)
+            .map(|(&(u, svc), s)| (u, svc, s.level))
+            .collect();
+        out.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("levels are finite"));
+        out
+    }
+
+    /// Drops pairs not observed since `cutoff`, returning how many were
+    /// removed (working sets change as workflows rebind).
+    pub fn prune_stale(&mut self, cutoff: u64) -> usize {
+        let before = self.pairs.len();
+        self.pairs.retain(|_, s| s.last_seen >= cutoff);
+        before - self.pairs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor() -> QosMonitor {
+        QosMonitor::new(MonitorConfig::default())
+    }
+
+    #[test]
+    fn warmup_then_normal() {
+        let mut m = monitor();
+        for t in 0..5 {
+            assert_eq!(m.observe(0, 0, t, 1.0), Verdict::Warmup);
+        }
+        assert_eq!(m.observe(0, 0, 5, 1.0), Verdict::Normal);
+        assert_eq!(m.tracked_pairs(), 1);
+    }
+
+    #[test]
+    fn detects_spike_after_stable_history() {
+        let mut m = monitor();
+        for t in 0..20 {
+            m.observe(1, 2, t, 1.0 + 0.02 * (t % 2) as f64);
+        }
+        assert_eq!(m.observe(1, 2, 20, 8.0), Verdict::Deviation);
+        // A normal sample right after is still judged against the (slightly
+        // shifted) level.
+        assert_ne!(m.observe(1, 2, 21, 1.0), Verdict::Warmup);
+    }
+
+    #[test]
+    fn persistent_shift_becomes_new_normal() {
+        let mut m = monitor();
+        for t in 0..10 {
+            m.observe(0, 0, t, 1.0);
+        }
+        // Step change: first flagged...
+        assert_eq!(m.observe(0, 0, 10, 3.0), Verdict::Deviation);
+        // ...but after enough samples at the new level it is normal again.
+        for t in 11..30 {
+            m.observe(0, 0, t, 3.0);
+        }
+        assert_eq!(m.observe(0, 0, 30, 3.0), Verdict::Normal);
+        assert!((m.smoothed(0, 0).unwrap() - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn small_fluctuations_stay_normal() {
+        let mut m = monitor();
+        for t in 0..50 {
+            let v = 1.0 + 0.1 * ((t % 7) as f64 - 3.0) / 3.0;
+            let verdict = m.observe(0, 0, t, v);
+            assert_ne!(verdict, Verdict::Deviation, "t={t} value={v}");
+        }
+    }
+
+    #[test]
+    fn violations_sorted_by_severity() {
+        let mut m = monitor();
+        for t in 0..10 {
+            m.observe(0, 0, t, 0.5);
+            m.observe(0, 1, t, 3.0);
+            m.observe(0, 2, t, 5.0);
+        }
+        let v = m.violations(2.0);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].1, 2, "worst violator first");
+        assert_eq!(v[1].1, 1);
+    }
+
+    #[test]
+    fn prune_stale_removes_old_pairs() {
+        let mut m = monitor();
+        m.observe(0, 0, 100, 1.0);
+        m.observe(0, 1, 900, 1.0);
+        assert_eq!(m.prune_stale(500), 1);
+        assert!(m.state(0, 0).is_none());
+        assert!(m.state(0, 1).is_some());
+    }
+
+    #[test]
+    fn per_pair_isolation() {
+        let mut m = monitor();
+        for t in 0..20 {
+            m.observe(0, 0, t, 1.0);
+            m.observe(1, 0, t, 100.0);
+        }
+        // Each pair judged by its own history.
+        assert_eq!(m.observe(0, 0, 20, 1.0), Verdict::Normal);
+        assert_eq!(m.observe(1, 0, 20, 100.0), Verdict::Normal);
+        assert_eq!(m.observe(0, 0, 21, 100.0), Verdict::Deviation);
+    }
+}

@@ -1,0 +1,206 @@
+//! Adaptation policies ("various adaptation polices ... can be plugged in
+//! and executed automatically", paper Section III).
+//!
+//! A policy looks at the QoS situation of one abstract task — the observed
+//! QoS of its bound service and the *predicted* QoS of every candidate — and
+//! decides whether to rebind. The quality of these decisions is exactly what
+//! QoS prediction accuracy buys: a policy fed bad candidate predictions
+//! executes "improper adaptations" (the paper's motivating failure mode).
+
+use serde::{Deserialize, Serialize};
+
+/// Everything a policy may inspect for one task at one decision point.
+#[derive(Debug, Clone)]
+pub struct PolicyContext<'a> {
+    /// Most recent *observed* QoS of the bound service (e.g. response time in
+    /// seconds), if any observation exists.
+    pub observed_current: Option<f64>,
+    /// Predicted QoS per candidate (same order as the task's candidate list);
+    /// `None` where the predictor has no estimate.
+    pub predicted: &'a [Option<f64>],
+    /// Index (into the candidate list) of the currently bound candidate.
+    pub bound: usize,
+}
+
+/// A pluggable adaptation decision rule.
+///
+/// Returns `Some(candidate_index)` to rebind the task, `None` to keep the
+/// current binding. Implementations must be deterministic given the context.
+pub trait AdaptationPolicy {
+    /// Decides whether to rebind.
+    fn decide(&self, ctx: &PolicyContext<'_>) -> Option<usize>;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Rebinds only when the bound service violates a QoS threshold ("when to
+/// trigger an adaptation action"), switching to the candidate with the best
+/// predicted QoS ("which candidate services to employ").
+///
+/// Lower-is-better semantics (response time). For throughput-style metrics,
+/// negate values before feeding the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdPolicy {
+    /// Observed QoS above this triggers adaptation (e.g. an SLA bound).
+    pub threshold: f64,
+    /// The predicted best candidate must beat the observed value by this
+    /// relative margin to justify switching (hysteresis against churn).
+    pub min_improvement: f64,
+}
+
+impl ThresholdPolicy {
+    /// A policy with the given SLA threshold and a 10% improvement margin.
+    pub fn new(threshold: f64) -> Self {
+        Self {
+            threshold,
+            min_improvement: 0.1,
+        }
+    }
+}
+
+impl AdaptationPolicy for ThresholdPolicy {
+    fn decide(&self, ctx: &PolicyContext<'_>) -> Option<usize> {
+        let observed = ctx.observed_current?;
+        if observed <= self.threshold {
+            return None; // SLA holds; no trigger
+        }
+        let (best_idx, best_pred) = best_candidate(ctx.predicted)?;
+        if best_idx == ctx.bound {
+            return None;
+        }
+        if best_pred < observed * (1.0 - self.min_improvement) {
+            Some(best_idx)
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+}
+
+/// Always rebinds to the candidate with the best predicted QoS (greedy).
+/// An upper-bound-style policy: maximum adaptation aggressiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BestPredictedPolicy;
+
+impl AdaptationPolicy for BestPredictedPolicy {
+    fn decide(&self, ctx: &PolicyContext<'_>) -> Option<usize> {
+        let (best_idx, _) = best_candidate(ctx.predicted)?;
+        (best_idx != ctx.bound).then_some(best_idx)
+    }
+
+    fn name(&self) -> &'static str {
+        "best-predicted"
+    }
+}
+
+/// Never adapts — the static baseline a self-adaptive system is judged
+/// against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StaticPolicy;
+
+impl AdaptationPolicy for StaticPolicy {
+    fn decide(&self, _ctx: &PolicyContext<'_>) -> Option<usize> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Index and value of the smallest defined prediction.
+fn best_candidate(predicted: &[Option<f64>]) -> Option<(usize, f64)> {
+    predicted
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| p.map(|v| (i, v)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("predictions are finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx<'a>(
+        observed: Option<f64>,
+        predicted: &'a [Option<f64>],
+        bound: usize,
+    ) -> PolicyContext<'a> {
+        PolicyContext {
+            observed_current: observed,
+            predicted,
+            bound,
+        }
+    }
+
+    #[test]
+    fn threshold_does_not_trigger_below_sla() {
+        let p = ThresholdPolicy::new(2.0);
+        let preds = [Some(0.5), Some(1.0)];
+        assert_eq!(p.decide(&ctx(Some(1.5), &preds, 1)), None);
+    }
+
+    #[test]
+    fn threshold_switches_to_best_predicted() {
+        let p = ThresholdPolicy::new(2.0);
+        let preds = [Some(0.5), Some(3.0), Some(1.0)];
+        assert_eq!(p.decide(&ctx(Some(3.0), &preds, 1)), Some(0));
+    }
+
+    #[test]
+    fn threshold_requires_improvement_margin() {
+        let p = ThresholdPolicy::new(2.0);
+        // Best candidate (2.9) is not 10% better than observed 3.0.
+        let preds = [Some(2.9), Some(3.1)];
+        assert_eq!(p.decide(&ctx(Some(3.0), &preds, 1)), None);
+    }
+
+    #[test]
+    fn threshold_keeps_current_if_already_best() {
+        let p = ThresholdPolicy::new(2.0);
+        let preds = [Some(5.0), Some(0.5)];
+        assert_eq!(p.decide(&ctx(Some(3.0), &preds, 1)), None);
+    }
+
+    #[test]
+    fn threshold_no_observation_no_action() {
+        let p = ThresholdPolicy::new(2.0);
+        let preds = [Some(0.5)];
+        assert_eq!(p.decide(&ctx(None, &preds, 0)), None);
+    }
+
+    #[test]
+    fn threshold_ignores_unpredicted_candidates() {
+        let p = ThresholdPolicy::new(2.0);
+        let preds = [None, Some(1.0), None];
+        assert_eq!(p.decide(&ctx(Some(5.0), &preds, 0)), Some(1));
+        let no_preds = [None, None];
+        assert_eq!(p.decide(&ctx(Some(5.0), &no_preds, 0)), None);
+    }
+
+    #[test]
+    fn best_predicted_always_chases_minimum() {
+        let p = BestPredictedPolicy;
+        let preds = [Some(1.0), Some(0.2), Some(0.8)];
+        assert_eq!(p.decide(&ctx(None, &preds, 0)), Some(1));
+        assert_eq!(p.decide(&ctx(None, &preds, 1)), None); // already best
+    }
+
+    #[test]
+    fn static_policy_never_moves() {
+        let p = StaticPolicy;
+        let preds = [Some(0.1), Some(9.0)];
+        assert_eq!(p.decide(&ctx(Some(100.0), &preds, 1)), None);
+        assert_eq!(p.name(), "static");
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(ThresholdPolicy::new(1.0).name(), "threshold");
+        assert_eq!(BestPredictedPolicy.name(), "best-predicted");
+    }
+}

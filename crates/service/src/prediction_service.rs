@@ -1,0 +1,386 @@
+//! The QoS prediction service (paper Fig. 3, right panel).
+//!
+//! Ties together the three stages the paper names:
+//!
+//! 1. **Input handling** — observed QoS records arrive as a stream (here via
+//!    a `crossbeam` channel or direct calls), are resolved to dense ids by
+//!    the user/service managers, logged in the [`QosDatabase`], and fed to
+//!    the model;
+//! 2. **Online updating** — the embedded [`amf_core::AmfTrainer`] applies
+//!    each sample immediately and replays live samples during idle time;
+//! 3. **QoS prediction** — [`QosPredictionService::predict`] serves estimates
+//!    for *candidate* services the user never invoked.
+
+use crate::database::QosDatabase;
+use crate::managers::Registry;
+use crate::ServiceError;
+use amf_core::{AmfConfig, AmfTrainer};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+/// One observed QoS record as submitted by a user's QoS manager.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QosRecord {
+    /// External user identity.
+    pub user: String,
+    /// External service identity.
+    pub service: String,
+    /// Observation timestamp (seconds since simulation epoch).
+    pub timestamp: u64,
+    /// Observed raw QoS value.
+    pub value: f64,
+}
+
+/// Prediction-service configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// Hyperparameters of the embedded AMF model.
+    pub amf: AmfConfig,
+    /// Observations retained per pair in the QoS database.
+    pub history_cap: usize,
+    /// Replay stopping criteria used by [`QosPredictionService::idle`].
+    pub replay: amf_core::trainer::ReplayOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            amf: AmfConfig::response_time(),
+            history_cap: 16,
+            replay: amf_core::trainer::ReplayOptions::default(),
+        }
+    }
+}
+
+/// The QoS prediction service.
+///
+/// Thread-safe: records can be submitted from any thread (directly or through
+/// the channel returned by [`QosPredictionService::input_channel`]); the
+/// model is guarded by a mutex.
+///
+/// # Examples
+///
+/// ```
+/// use qos_service::{QosPredictionService, QosRecord, ServiceConfig};
+///
+/// let service = QosPredictionService::new(ServiceConfig::default());
+/// service.submit(QosRecord {
+///     user: "u-pittsburgh".into(),
+///     service: "ws-weather-1".into(),
+///     timestamp: 0,
+///     value: 1.4,
+/// });
+/// service.submit(QosRecord {
+///     user: "u-hongkong".into(),
+///     service: "ws-weather-1".into(),
+///     timestamp: 1,
+///     value: 0.6,
+/// });
+/// // Candidate prediction for a pair never invoked:
+/// let estimate = service.predict("u-pittsburgh", "ws-weather-1").unwrap();
+/// assert!(estimate > 0.0);
+/// ```
+pub struct QosPredictionService {
+    trainer: Mutex<AmfTrainer>,
+    users: Mutex<Registry>,
+    services: Mutex<Registry>,
+    database: QosDatabase,
+    config: ServiceConfig,
+    input_tx: Sender<QosRecord>,
+    input_rx: Receiver<QosRecord>,
+}
+
+impl QosPredictionService {
+    /// Creates the service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AMF configuration is invalid; use
+    /// [`QosPredictionService::try_new`] for a checked variant.
+    pub fn new(config: ServiceConfig) -> Self {
+        Self::try_new(config).expect("invalid service config")
+    }
+
+    /// Creates the service, validating the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Model`] when the AMF configuration is invalid.
+    pub fn try_new(config: ServiceConfig) -> Result<Self, ServiceError> {
+        let (input_tx, input_rx) = unbounded();
+        Ok(Self {
+            trainer: Mutex::new(AmfTrainer::new(config.amf)?),
+            users: Mutex::new(Registry::new()),
+            services: Mutex::new(Registry::new()),
+            database: QosDatabase::new(config.history_cap),
+            config,
+            input_tx,
+            input_rx,
+        })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The QoS database (read-side access for monitoring).
+    pub fn database(&self) -> &QosDatabase {
+        &self.database
+    }
+
+    /// A sender for the input-handling stream; cloneable and usable from any
+    /// thread. Queued records are applied by
+    /// [`QosPredictionService::drain_inputs`].
+    pub fn input_channel(&self) -> Sender<QosRecord> {
+        self.input_tx.clone()
+    }
+
+    /// Applies all queued channel records. Returns how many were processed.
+    pub fn drain_inputs(&self) -> usize {
+        let mut n = 0;
+        while let Ok(record) = self.input_rx.try_recv() {
+            self.submit(record);
+            n += 1;
+        }
+        n
+    }
+
+    /// Input handling + online updating for one record: registers identities,
+    /// stores the record, and applies one online model update.
+    /// Returns the `(user, service)` dense ids.
+    pub fn submit(&self, record: QosRecord) -> (usize, usize) {
+        let user = self.users.lock().join(&record.user);
+        let service = self.services.lock().join(&record.service);
+        self.database
+            .record(user, service, record.timestamp, record.value);
+        self.trainer
+            .lock()
+            .feed(user, service, record.timestamp, record.value);
+        (user, service)
+    }
+
+    /// Idle-time refinement: replays live samples until convergence
+    /// (Algorithm 1's "randomly pick an existing data sample" branch).
+    pub fn idle(&self) -> amf_core::TrainReport {
+        self.trainer
+            .lock()
+            .replay_until_converged(self.config.replay)
+    }
+
+    /// Advances the service's notion of time (drives sample expiry when no
+    /// new data arrives).
+    pub fn advance_clock(&self, now: u64) {
+        self.trainer.lock().advance_clock(now);
+    }
+
+    /// Predicts the QoS between a user and a (candidate) service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownEntity`] when either identity was never
+    /// registered.
+    pub fn predict(&self, user: &str, service: &str) -> Result<f64, ServiceError> {
+        let user_id =
+            self.users
+                .lock()
+                .resolve(user)
+                .ok_or_else(|| ServiceError::UnknownEntity {
+                    kind: "user",
+                    id: user.to_string(),
+                })?;
+        let service_id =
+            self.services
+                .lock()
+                .resolve(service)
+                .ok_or_else(|| ServiceError::UnknownEntity {
+                    kind: "service",
+                    id: service.to_string(),
+                })?;
+        self.predict_ids(user_id, service_id)
+            .ok_or_else(|| ServiceError::UnknownEntity {
+                kind: "service",
+                id: service.to_string(),
+            })
+    }
+
+    /// Prediction by dense ids (the hot path for the middleware).
+    pub fn predict_ids(&self, user: usize, service: usize) -> Option<f64> {
+        self.trainer.lock().model().predict(user, service)
+    }
+
+    /// Registers a user id without an observation (explicit join).
+    pub fn join_user(&self, name: &str) -> usize {
+        let id = self.users.lock().join(name);
+        self.trainer.lock().model_mut().ensure_user(id);
+        id
+    }
+
+    /// Registers a service id without an observation (service discovery).
+    pub fn join_service(&self, name: &str) -> usize {
+        let id = self.services.lock().join(name);
+        self.trainer.lock().model_mut().ensure_service(id);
+        id
+    }
+
+    /// Marks a user inactive.
+    pub fn leave_user(&self, name: &str) -> Option<usize> {
+        self.users.lock().leave(name)
+    }
+
+    /// Marks a service inactive (e.g. discontinued by its provider).
+    pub fn leave_service(&self, name: &str) -> Option<usize> {
+        self.services.lock().leave(name)
+    }
+
+    /// Snapshot of `(registered_users, registered_services, model_updates)`.
+    pub fn stats(&self) -> (usize, usize, u64) {
+        let trainer = self.trainer.lock();
+        (
+            self.users.lock().len(),
+            self.services.lock().len(),
+            trainer.model().update_count(),
+        )
+    }
+}
+
+impl std::fmt::Debug for QosPredictionService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (users, services, updates) = self.stats();
+        f.debug_struct("QosPredictionService")
+            .field("users", &users)
+            .field("services", &services)
+            .field("updates", &updates)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(user: &str, service: &str, t: u64, v: f64) -> QosRecord {
+        QosRecord {
+            user: user.into(),
+            service: service.into(),
+            timestamp: t,
+            value: v,
+        }
+    }
+
+    #[test]
+    fn submit_registers_and_updates() {
+        let svc = QosPredictionService::new(ServiceConfig::default());
+        let (u, s) = svc.submit(record("alice", "ws-1", 0, 1.2));
+        assert_eq!((u, s), (0, 0));
+        let (u2, s2) = svc.submit(record("bob", "ws-1", 1, 0.8));
+        assert_eq!((u2, s2), (1, 0));
+        let (users, services, updates) = svc.stats();
+        assert_eq!(users, 2);
+        assert_eq!(services, 1);
+        assert_eq!(updates, 2);
+        assert_eq!(svc.database().observation_count(), 2);
+    }
+
+    #[test]
+    fn predict_by_name_and_id() {
+        let svc = QosPredictionService::new(ServiceConfig::default());
+        for k in 0..50 {
+            svc.submit(record("alice", "ws-1", k, 1.5));
+        }
+        let by_name = svc.predict("alice", "ws-1").unwrap();
+        let by_id = svc.predict_ids(0, 0).unwrap();
+        assert_eq!(by_name, by_id);
+        assert!(by_name > 0.0);
+    }
+
+    #[test]
+    fn predict_unknown_entities() {
+        let svc = QosPredictionService::new(ServiceConfig::default());
+        svc.submit(record("alice", "ws-1", 0, 1.0));
+        assert!(matches!(
+            svc.predict("ghost", "ws-1"),
+            Err(ServiceError::UnknownEntity { kind: "user", .. })
+        ));
+        assert!(matches!(
+            svc.predict("alice", "ghost"),
+            Err(ServiceError::UnknownEntity {
+                kind: "service",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn channel_ingestion() {
+        let svc = QosPredictionService::new(ServiceConfig::default());
+        let tx = svc.input_channel();
+        tx.send(record("u1", "s1", 0, 1.0)).unwrap();
+        tx.send(record("u2", "s1", 1, 2.0)).unwrap();
+        assert_eq!(svc.drain_inputs(), 2);
+        assert_eq!(svc.stats().2, 2);
+        assert_eq!(svc.drain_inputs(), 0);
+    }
+
+    #[test]
+    fn channel_works_across_threads() {
+        use std::sync::Arc;
+        let svc = Arc::new(QosPredictionService::new(ServiceConfig::default()));
+        let tx = svc.input_channel();
+        let producer = std::thread::spawn(move || {
+            for k in 0..20 {
+                tx.send(record(&format!("u{}", k % 3), "s", k, 1.0))
+                    .unwrap();
+            }
+        });
+        producer.join().unwrap();
+        assert_eq!(svc.drain_inputs(), 20);
+    }
+
+    #[test]
+    fn idle_replays_and_improves() {
+        let svc = QosPredictionService::new(ServiceConfig {
+            replay: amf_core::trainer::ReplayOptions {
+                max_iterations: 20_000,
+                min_iterations: 2_000,
+                window: 200,
+                tolerance: 1e-3,
+                patience: 3,
+            },
+            ..Default::default()
+        });
+        for (u, s, v) in [
+            ("a", "x", 1.0),
+            ("a", "y", 2.0),
+            ("b", "x", 2.0),
+            ("b", "y", 4.0),
+        ] {
+            svc.submit(record(u, s, 0, v));
+        }
+        let report = svc.idle();
+        assert!(report.iterations > 0);
+        let p = svc.predict("a", "x").unwrap();
+        assert!((p - 1.0).abs() < 1.0, "prediction {p}");
+    }
+
+    #[test]
+    fn join_and_leave() {
+        let svc = QosPredictionService::new(ServiceConfig::default());
+        let u = svc.join_user("newcomer");
+        assert_eq!(u, 0);
+        let s = svc.join_service("new-service");
+        assert_eq!(s, 0);
+        // Joined entities are predictable immediately (random factors).
+        assert!(svc.predict("newcomer", "new-service").is_ok());
+        assert_eq!(svc.leave_user("newcomer"), Some(0));
+        assert_eq!(svc.leave_service("ghost"), None);
+    }
+
+    #[test]
+    fn debug_format_mentions_counts() {
+        let svc = QosPredictionService::new(ServiceConfig::default());
+        svc.submit(record("a", "b", 0, 1.0));
+        let text = format!("{svc:?}");
+        assert!(text.contains("users"));
+    }
+}

@@ -1,0 +1,387 @@
+//! End-to-end adaptation simulation: the system-level payoff of accurate
+//! candidate-QoS prediction.
+//!
+//! Drives a fleet of [`ExecutionMiddleware`] applications over the time
+//! slices of a synthetic [`QosDataset`]: each slice, every application
+//! executes once (observing ground-truth QoS of its bound services), all
+//! observations plus a sampled stream of background traffic feed the shared
+//! [`QosPredictionService`], and the adaptation policy rebinds tasks using
+//! the model's candidate predictions. Comparing an adaptive run against a
+//! static run quantifies what the paper's framework is *for*.
+
+use crate::middleware::ExecutionMiddleware;
+use crate::policy::AdaptationPolicy;
+use crate::prediction_service::{QosPredictionService, QosRecord, ServiceConfig};
+use crate::workflow::{AbstractTask, Workflow};
+use crate::ServiceError;
+use qos_dataset::{Attribute, QosDataset};
+use qos_linalg::random::sample_indices;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Number of applications (each owned by one dataset user).
+    pub applications: usize,
+    /// Abstract tasks per application workflow.
+    pub tasks_per_workflow: usize,
+    /// Candidate services per task.
+    pub candidates_per_task: usize,
+    /// Per-task SLA threshold on response time (seconds).
+    pub sla_threshold: f64,
+    /// Number of dataset time slices to simulate.
+    pub slices: usize,
+    /// Fraction of the full user–service matrix observed per slice as
+    /// background traffic feeding the predictor (the "user collaboration").
+    pub background_density: f64,
+    /// RNG seed for workflow construction and background sampling.
+    pub seed: u64,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        Self {
+            applications: 10,
+            tasks_per_workflow: 3,
+            candidates_per_task: 5,
+            sla_threshold: 2.0,
+            slices: 8,
+            background_density: 0.1,
+            seed: 7,
+        }
+    }
+}
+
+impl SimulationConfig {
+    /// Validates against a dataset's dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidConfig`] when the simulation needs more
+    /// users/services/slices than the dataset has.
+    pub fn validate(&self, dataset: &QosDataset) -> Result<(), ServiceError> {
+        let bad = |msg: String| Err(ServiceError::InvalidConfig(msg));
+        if self.applications == 0 || self.applications > dataset.users() {
+            return bad(format!("applications must be in 1..={}", dataset.users()));
+        }
+        if self.tasks_per_workflow == 0 || self.candidates_per_task == 0 {
+            return bad("workflow shape must be non-degenerate".into());
+        }
+        if self.tasks_per_workflow * self.candidates_per_task > dataset.services() {
+            return bad("not enough services for disjoint candidate sets".into());
+        }
+        if self.slices == 0 || self.slices > dataset.time_slices() {
+            return bad(format!("slices must be in 1..={}", dataset.time_slices()));
+        }
+        if !(0.0 < self.background_density && self.background_density <= 1.0) {
+            return bad("background_density must be in (0, 1]".into());
+        }
+        if self.sla_threshold.is_nan() || self.sla_threshold <= 0.0 {
+            return bad("sla_threshold must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Per-slice aggregate of one simulated policy run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceOutcome {
+    /// Slice index.
+    pub slice: usize,
+    /// Mean end-to-end RT across applications.
+    pub mean_end_to_end_rt: f64,
+    /// Total adaptation actions executed this slice.
+    pub adaptations: usize,
+    /// Total per-task SLA violations observed this slice.
+    pub violations: usize,
+}
+
+/// Full report of one policy run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// Policy display name.
+    pub policy: String,
+    /// Per-slice outcomes in slice order.
+    pub slices: Vec<SliceOutcome>,
+}
+
+impl SimulationReport {
+    /// Mean end-to-end RT over all slices.
+    pub fn mean_rt(&self) -> f64 {
+        if self.slices.is_empty() {
+            return f64::NAN;
+        }
+        self.slices
+            .iter()
+            .map(|s| s.mean_end_to_end_rt)
+            .sum::<f64>()
+            / self.slices.len() as f64
+    }
+
+    /// Mean RT over the trailing half of the run (after the model warms up).
+    pub fn steady_state_rt(&self) -> f64 {
+        let half = &self.slices[self.slices.len() / 2..];
+        if half.is_empty() {
+            return f64::NAN;
+        }
+        half.iter().map(|s| s.mean_end_to_end_rt).sum::<f64>() / half.len() as f64
+    }
+
+    /// Total adaptations over the run.
+    pub fn total_adaptations(&self) -> usize {
+        self.slices.iter().map(|s| s.adaptations).sum()
+    }
+
+    /// Total SLA violations over the run.
+    pub fn total_violations(&self) -> usize {
+        self.slices.iter().map(|s| s.violations).sum()
+    }
+}
+
+/// The simulation driver.
+pub struct AdaptationSimulation<'a> {
+    dataset: &'a QosDataset,
+    config: SimulationConfig,
+}
+
+impl<'a> AdaptationSimulation<'a> {
+    /// Creates a simulation over `dataset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidConfig`] when `config` does not fit the
+    /// dataset.
+    pub fn new(dataset: &'a QosDataset, config: SimulationConfig) -> Result<Self, ServiceError> {
+        config.validate(dataset)?;
+        Ok(Self { dataset, config })
+    }
+
+    /// Builds the application fleet: each application belongs to a distinct
+    /// dataset user and gets disjoint candidate sets drawn without
+    /// replacement from the dataset's services.
+    fn build_fleet(&self, rng: &mut StdRng) -> Vec<ExecutionMiddleware> {
+        let users = sample_indices(rng, self.dataset.users(), self.config.applications);
+        users
+            .into_iter()
+            .map(|user| {
+                let needed = self.config.tasks_per_workflow * self.config.candidates_per_task;
+                let services = sample_indices(rng, self.dataset.services(), needed);
+                let tasks: Vec<AbstractTask> = services
+                    .chunks(self.config.candidates_per_task)
+                    .enumerate()
+                    .map(|(k, chunk)| {
+                        AbstractTask::new(format!("task-{k}"), chunk.to_vec())
+                            .expect("chunk is non-empty")
+                    })
+                    .collect();
+                let workflow = Workflow::new(tasks).expect("tasks are non-empty");
+                ExecutionMiddleware::new(user, workflow, self.config.sla_threshold)
+            })
+            .collect()
+    }
+
+    /// Runs one policy over the configured slices, with predictions served by
+    /// an AMF-backed prediction service fed by background traffic.
+    pub fn run(&self, policy: &dyn AdaptationPolicy) -> SimulationReport {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut fleet = self.build_fleet(&mut rng);
+        let service = QosPredictionService::new(ServiceConfig {
+            amf: amf_core::AmfConfig::response_time().with_seed(self.config.seed),
+            replay: amf_core::trainer::ReplayOptions {
+                max_iterations: 100_000,
+                min_iterations: 5_000,
+                window: 1_000,
+                tolerance: 1e-3,
+                patience: 3,
+            },
+            ..Default::default()
+        });
+
+        let attr = Attribute::ResponseTime;
+        let total_cells = self.dataset.users() * self.dataset.services();
+        let background_per_slice =
+            ((total_cells as f64) * self.config.background_density).round() as usize;
+
+        let mut slices = Vec::with_capacity(self.config.slices);
+        for slice in 0..self.config.slices {
+            let now = self.dataset.slice_start_time(slice);
+            service.advance_clock(now);
+
+            // Background traffic: other users' observations this slice.
+            let cells = sample_indices(&mut rng, total_cells, background_per_slice);
+            for cell in cells {
+                let (u, s) = (
+                    cell / self.dataset.services(),
+                    cell % self.dataset.services(),
+                );
+                service.submit(QosRecord {
+                    user: format!("u{u}"),
+                    service: format!("s{s}"),
+                    timestamp: now,
+                    value: self.dataset.value(attr, u, s, slice),
+                });
+            }
+            // Idle-time convergence before decisions are made.
+            service.idle();
+
+            // Application executions.
+            let mut rt_sum = 0.0;
+            let mut adaptations = 0;
+            let mut violations = 0;
+            for app in fleet.iter_mut() {
+                let user = app.user();
+                let user_name = format!("u{user}");
+                let outcome = app.step(
+                    |svc| self.dataset.value(attr, user, svc, slice),
+                    |u, s| {
+                        let user_id = service.join_user(&format!("u{u}"));
+                        let service_id = service.join_service(&format!("s{s}"));
+                        service.predict_ids(user_id, service_id)
+                    },
+                    policy,
+                );
+                // Report this application's own observations too.
+                for (svc, value) in &outcome.observations {
+                    service.submit(QosRecord {
+                        user: user_name.clone(),
+                        service: format!("s{svc}"),
+                        timestamp: now,
+                        value: *value,
+                    });
+                }
+                rt_sum += outcome.end_to_end_rt;
+                adaptations += outcome.adaptations;
+                violations += outcome.violations;
+            }
+
+            slices.push(SliceOutcome {
+                slice,
+                mean_end_to_end_rt: rt_sum / fleet.len() as f64,
+                adaptations,
+                violations,
+            });
+        }
+
+        SimulationReport {
+            policy: policy.name().to_string(),
+            slices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BestPredictedPolicy, StaticPolicy};
+    use qos_dataset::DatasetConfig;
+
+    fn dataset() -> QosDataset {
+        QosDataset::generate(&DatasetConfig {
+            users: 20,
+            services: 40,
+            time_slices: 6,
+            ..DatasetConfig::small()
+        })
+    }
+
+    fn config() -> SimulationConfig {
+        SimulationConfig {
+            applications: 4,
+            tasks_per_workflow: 2,
+            candidates_per_task: 4,
+            slices: 6,
+            background_density: 0.15,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let ds = dataset();
+        config().validate(&ds).unwrap();
+        let mut bad = config();
+        bad.applications = 0;
+        assert!(bad.validate(&ds).is_err());
+        let mut bad = config();
+        bad.applications = 100;
+        assert!(bad.validate(&ds).is_err());
+        let mut bad = config();
+        bad.tasks_per_workflow = 10;
+        bad.candidates_per_task = 10;
+        assert!(bad.validate(&ds).is_err());
+        let mut bad = config();
+        bad.slices = 100;
+        assert!(bad.validate(&ds).is_err());
+        let mut bad = config();
+        bad.background_density = 0.0;
+        assert!(bad.validate(&ds).is_err());
+        let mut bad = config();
+        bad.sla_threshold = 0.0;
+        assert!(bad.validate(&ds).is_err());
+    }
+
+    #[test]
+    fn static_run_produces_full_report() {
+        let ds = dataset();
+        let sim = AdaptationSimulation::new(&ds, config()).unwrap();
+        let report = sim.run(&StaticPolicy);
+        assert_eq!(report.policy, "static");
+        assert_eq!(report.slices.len(), 6);
+        assert_eq!(report.total_adaptations(), 0);
+        assert!(report.mean_rt() > 0.0);
+        assert!(report.steady_state_rt() > 0.0);
+    }
+
+    #[test]
+    fn adaptive_beats_static_at_steady_state() {
+        let ds = dataset();
+        let sim = AdaptationSimulation::new(&ds, config()).unwrap();
+        let static_report = sim.run(&StaticPolicy);
+        let adaptive_report = sim.run(&BestPredictedPolicy);
+        assert!(adaptive_report.total_adaptations() > 0);
+        // Greedy adaptation with a trained predictor should not be worse at
+        // steady state than never adapting (both fleets start identically).
+        assert!(
+            adaptive_report.steady_state_rt() <= static_report.steady_state_rt() * 1.05,
+            "adaptive {} vs static {}",
+            adaptive_report.steady_state_rt(),
+            static_report.steady_state_rt()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let ds = dataset();
+        let sim = AdaptationSimulation::new(&ds, config()).unwrap();
+        let a = sim.run(&StaticPolicy);
+        let b = sim.run(&StaticPolicy);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = SimulationReport {
+            policy: "x".into(),
+            slices: vec![
+                SliceOutcome {
+                    slice: 0,
+                    mean_end_to_end_rt: 2.0,
+                    adaptations: 1,
+                    violations: 2,
+                },
+                SliceOutcome {
+                    slice: 1,
+                    mean_end_to_end_rt: 4.0,
+                    adaptations: 3,
+                    violations: 0,
+                },
+            ],
+        };
+        assert_eq!(report.mean_rt(), 3.0);
+        assert_eq!(report.steady_state_rt(), 4.0);
+        assert_eq!(report.total_adaptations(), 4);
+        assert_eq!(report.total_violations(), 2);
+    }
+}

@@ -1,0 +1,217 @@
+//! Workflows of abstract tasks bound to candidate services (paper Fig. 1).
+//!
+//! "The application logic is typically expressed as a workflow with a set of
+//! abstract tasks ... for each abstract task there are a set of
+//! functionally-equivalent candidate services." A [`Workflow`] here is a
+//! sequential composition (the common BPEL core); each [`AbstractTask`]
+//! carries its candidate set and its current binding, and rebinding a task is
+//! the paper's "adaptation action".
+
+use crate::ServiceError;
+use serde::{Deserialize, Serialize};
+
+/// One abstract task: a named step bound to one of several candidates.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbstractTask {
+    /// Task name (e.g. "A", "B" as in Fig. 1, or "fraud-detection").
+    pub name: String,
+    /// Dense service ids of the functionally-equivalent candidates.
+    pub candidates: Vec<usize>,
+    /// Index *into `candidates`* of the currently bound service.
+    pub bound: usize,
+}
+
+impl AbstractTask {
+    /// Creates a task bound to its first candidate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidWorkflow`] when `candidates` is empty.
+    pub fn new(name: impl Into<String>, candidates: Vec<usize>) -> Result<Self, ServiceError> {
+        if candidates.is_empty() {
+            return Err(ServiceError::InvalidWorkflow(
+                "task needs at least one candidate service".into(),
+            ));
+        }
+        Ok(Self {
+            name: name.into(),
+            candidates,
+            bound: 0,
+        })
+    }
+
+    /// Dense service id of the currently bound service.
+    pub fn bound_service(&self) -> usize {
+        self.candidates[self.bound]
+    }
+
+    /// Rebinds the task to candidate index `candidate` (an adaptation
+    /// action). Returns the previously bound service id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidWorkflow`] when the index is out of
+    /// range.
+    pub fn rebind(&mut self, candidate: usize) -> Result<usize, ServiceError> {
+        if candidate >= self.candidates.len() {
+            return Err(ServiceError::InvalidWorkflow(format!(
+                "candidate index {candidate} out of range for task {} ({} candidates)",
+                self.name,
+                self.candidates.len()
+            )));
+        }
+        let previous = self.bound_service();
+        self.bound = candidate;
+        Ok(previous)
+    }
+}
+
+/// A sequential workflow of abstract tasks.
+///
+/// # Examples
+///
+/// ```
+/// use qos_service::{AbstractTask, Workflow};
+///
+/// let workflow = Workflow::new(vec![
+///     AbstractTask::new("A", vec![0, 1])?,
+///     AbstractTask::new("B", vec![2, 3, 4])?,
+/// ])?;
+/// assert_eq!(workflow.bound_services(), vec![0, 2]);
+/// # Ok::<(), qos_service::ServiceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workflow {
+    tasks: Vec<AbstractTask>,
+}
+
+impl Workflow {
+    /// Creates a workflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidWorkflow`] when `tasks` is empty.
+    pub fn new(tasks: Vec<AbstractTask>) -> Result<Self, ServiceError> {
+        if tasks.is_empty() {
+            return Err(ServiceError::InvalidWorkflow(
+                "workflow needs at least one task".into(),
+            ));
+        }
+        Ok(Self { tasks })
+    }
+
+    /// The tasks in execution order.
+    pub fn tasks(&self) -> &[AbstractTask] {
+        &self.tasks
+    }
+
+    /// Mutable task access (for rebinding).
+    pub fn tasks_mut(&mut self) -> &mut [AbstractTask] {
+        &mut self.tasks
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the workflow has no tasks (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Currently bound service id per task, in order.
+    pub fn bound_services(&self) -> Vec<usize> {
+        self.tasks.iter().map(AbstractTask::bound_service).collect()
+    }
+
+    /// End-to-end response time of one execution: the sum over tasks of the
+    /// per-task values supplied by `qos_of` (sequential composition).
+    pub fn end_to_end_rt<F: FnMut(usize) -> f64>(&self, mut qos_of: F) -> f64 {
+        self.tasks.iter().map(|t| qos_of(t.bound_service())).sum()
+    }
+
+    /// All candidate service ids appearing anywhere in the workflow
+    /// (deduplicated, sorted).
+    pub fn all_candidates(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self
+            .tasks
+            .iter()
+            .flat_map(|t| t.candidates.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workflow() -> Workflow {
+        Workflow::new(vec![
+            AbstractTask::new("A", vec![0, 1]).unwrap(),
+            AbstractTask::new("B", vec![2, 3]).unwrap(),
+            AbstractTask::new("C", vec![4, 5, 0]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn new_task_binds_first_candidate() {
+        let t = AbstractTask::new("A", vec![7, 8]).unwrap();
+        assert_eq!(t.bound_service(), 7);
+        assert_eq!(t.name, "A");
+    }
+
+    #[test]
+    fn empty_candidates_rejected() {
+        assert!(matches!(
+            AbstractTask::new("A", vec![]),
+            Err(ServiceError::InvalidWorkflow(_))
+        ));
+    }
+
+    #[test]
+    fn rebind_switches_and_reports_previous() {
+        let mut t = AbstractTask::new("A", vec![7, 8]).unwrap();
+        assert_eq!(t.rebind(1).unwrap(), 7);
+        assert_eq!(t.bound_service(), 8);
+        assert!(t.rebind(5).is_err());
+    }
+
+    #[test]
+    fn empty_workflow_rejected() {
+        assert!(Workflow::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn bound_services_in_order() {
+        let w = workflow();
+        assert_eq!(w.bound_services(), vec![0, 2, 4]);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn end_to_end_rt_sums_tasks() {
+        let w = workflow();
+        // service id -> RT = id as f64
+        let rt = w.end_to_end_rt(|s| s as f64);
+        assert_eq!(rt, 0.0 + 2.0 + 4.0);
+    }
+
+    #[test]
+    fn rebind_through_workflow() {
+        let mut w = workflow();
+        w.tasks_mut()[1].rebind(1).unwrap();
+        assert_eq!(w.bound_services(), vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn all_candidates_deduplicated() {
+        let w = workflow();
+        assert_eq!(w.all_candidates(), vec![0, 1, 2, 3, 4, 5]);
+    }
+}

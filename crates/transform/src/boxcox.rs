@@ -1,0 +1,236 @@
+//! The Box–Cox power transform (paper Eq. 3).
+
+use crate::TransformError;
+use serde::{Deserialize, Serialize};
+
+/// Smallest raw value fed into the transform; inputs below it are clamped.
+///
+/// The paper sets `R_min = 0` for response time, but `boxcox` with `α ≤ 0`
+/// diverges at 0, and a real QoS measurement is never exactly zero (the
+/// dataset's smallest RT samples are on the order of milliseconds). Clamping
+/// to 1 ms keeps the transform total without affecting any realistic sample.
+pub const DEFAULT_FLOOR: f64 = 1e-3;
+
+/// The Box–Cox power transform with parameter `α`:
+///
+/// ```text
+/// boxcox(x) = (x^α − 1)/α   if α ≠ 0
+///             ln x          if α = 0
+/// ```
+///
+/// Monotonically non-decreasing in `x` for every `α`, hence rank-preserving —
+/// the property the paper relies on to carry min/max bounds through the
+/// transform (`R̃_max = boxcox(R_max)`).
+///
+/// # Examples
+///
+/// ```
+/// use qos_transform::BoxCox;
+///
+/// let bc = BoxCox::new(-0.007)?; // the paper's response-time α
+/// let y = bc.transform(1.33);
+/// assert!((bc.inverse(y) - 1.33).abs() < 1e-9);
+///
+/// // α = 1 is an affine map: the transform is "masked" (paper Section V-D).
+/// let linear = BoxCox::new(1.0)?;
+/// assert_eq!(linear.transform(3.0), 2.0);
+/// # Ok::<(), qos_transform::TransformError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxCox {
+    alpha: f64,
+    floor: f64,
+}
+
+impl BoxCox {
+    /// Creates a transform with the given `α` and the default input floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::NotFinite`] if `alpha` is NaN or infinite.
+    pub fn new(alpha: f64) -> Result<Self, TransformError> {
+        Self::with_floor(alpha, DEFAULT_FLOOR)
+    }
+
+    /// Creates a transform with an explicit input floor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::NotFinite`] if `alpha` or `floor` is not
+    /// finite or if `floor` is not positive.
+    pub fn with_floor(alpha: f64, floor: f64) -> Result<Self, TransformError> {
+        if !alpha.is_finite() {
+            return Err(TransformError::NotFinite {
+                name: "alpha",
+                value: alpha,
+            });
+        }
+        if !floor.is_finite() || floor <= 0.0 {
+            return Err(TransformError::NotFinite {
+                name: "floor",
+                value: floor,
+            });
+        }
+        Ok(Self { alpha, floor })
+    }
+
+    /// The transform parameter `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The input floor: values below it are clamped before transforming.
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Applies the transform. Inputs at or below the floor are clamped to it.
+    pub fn transform(&self, x: f64) -> f64 {
+        let x = x.max(self.floor);
+        if self.alpha == 0.0 {
+            x.ln()
+        } else {
+            (x.powf(self.alpha) - 1.0) / self.alpha
+        }
+    }
+
+    /// Inverts the transform. Outputs are floored at [`BoxCox::floor`], so
+    /// `inverse(transform(x)) == x` holds for all `x >= floor`.
+    pub fn inverse(&self, y: f64) -> f64 {
+        let x = if self.alpha == 0.0 {
+            y.exp()
+        } else {
+            let base = self.alpha * y + 1.0;
+            if base <= 0.0 {
+                // Out of the transform's image; the nearest valid input is the
+                // domain boundary.
+                return self.floor;
+            }
+            base.powf(1.0 / self.alpha)
+        };
+        x.max(self.floor)
+    }
+
+    /// Applies the transform to every element of a slice.
+    pub fn transform_all(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.transform(x)).collect()
+    }
+}
+
+impl Default for BoxCox {
+    /// The identity-like `α = 1` transform (pure affine shift).
+    fn default() -> Self {
+        Self {
+            alpha: 1.0,
+            floor: DEFAULT_FLOOR,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn alpha_zero_is_log() {
+        let bc = BoxCox::new(0.0).unwrap();
+        assert!((bc.transform(std::f64::consts::E) - 1.0).abs() < 1e-12);
+        assert!((bc.inverse(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_is_affine() {
+        let bc = BoxCox::new(1.0).unwrap();
+        assert_eq!(bc.transform(5.0), 4.0);
+        assert_eq!(bc.inverse(4.0), 5.0);
+    }
+
+    #[test]
+    fn paper_alphas_roundtrip() {
+        for &alpha in &[-0.007, -0.05] {
+            let bc = BoxCox::new(alpha).unwrap();
+            for &x in &[0.001, 0.1, 1.33, 11.35, 20.0, 7000.0] {
+                let y = bc.transform(x);
+                assert!(
+                    (bc.inverse(y) - x).abs() / x < 1e-9,
+                    "roundtrip failed for alpha={alpha}, x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_finite_alpha() {
+        assert!(BoxCox::new(f64::NAN).is_err());
+        assert!(BoxCox::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_floor() {
+        assert!(BoxCox::with_floor(1.0, 0.0).is_err());
+        assert!(BoxCox::with_floor(1.0, -1.0).is_err());
+        assert!(BoxCox::with_floor(1.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn clamps_below_floor() {
+        let bc = BoxCox::new(-0.007).unwrap();
+        assert_eq!(bc.transform(0.0), bc.transform(DEFAULT_FLOOR));
+        assert_eq!(bc.transform(-5.0), bc.transform(DEFAULT_FLOOR));
+    }
+
+    #[test]
+    fn inverse_of_out_of_image_value_is_floor() {
+        let bc = BoxCox::new(-0.5).unwrap();
+        // For negative alpha the image is bounded above by -1/alpha = 2.
+        assert_eq!(bc.inverse(10.0), bc.floor());
+    }
+
+    #[test]
+    fn negative_alpha_compresses_tail() {
+        let bc = BoxCox::new(-0.5).unwrap();
+        // Spacing between large values shrinks relative to small values.
+        let small_gap = bc.transform(2.0) - bc.transform(1.0);
+        let large_gap = bc.transform(101.0) - bc.transform(100.0);
+        assert!(large_gap < small_gap);
+    }
+
+    #[test]
+    fn default_is_alpha_one() {
+        assert_eq!(BoxCox::default().alpha(), 1.0);
+    }
+
+    #[test]
+    fn transform_all_matches_pointwise() {
+        let bc = BoxCox::new(0.5).unwrap();
+        let xs = [1.0, 4.0, 9.0];
+        let ys = bc.transform_all(&xs);
+        for (x, y) in xs.iter().zip(&ys) {
+            assert_eq!(bc.transform(*x), *y);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn monotone_nondecreasing(alpha in -2.0..2.0f64, a in 0.001..1e4f64, b in 0.001..1e4f64) {
+            let bc = BoxCox::new(alpha).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(bc.transform(lo) <= bc.transform(hi) + 1e-12);
+        }
+
+        #[test]
+        fn roundtrip_above_floor(alpha in -1.0..1.0f64, x in 0.01..1e3f64) {
+            let bc = BoxCox::new(alpha).unwrap();
+            let y = bc.transform(x);
+            prop_assert!((bc.inverse(y) - x).abs() / x < 1e-6);
+        }
+
+        #[test]
+        fn small_alpha_approximates_log(x in 0.1..100.0f64) {
+            // boxcox(x) -> ln x as alpha -> 0
+            let bc = BoxCox::new(1e-9).unwrap();
+            prop_assert!((bc.transform(x) - x.ln()).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Estimating the Box–Cox parameter `α` from data.
+//!
+//! The paper hand-tunes `α` (−0.007 for response time, −0.05 for throughput).
+//! This module adds two standard automatic estimators as an extension:
+//!
+//! * [`estimate_mle`] — maximizes the Box–Cox profile log-likelihood, the
+//!   classic criterion from Box & Cox (1964) / Sakia (1992), the survey the
+//!   paper cites.
+//! * [`estimate_min_skewness`] — picks the `α` whose transformed sample has
+//!   skewness closest to zero, a pragmatic proxy for "more normal
+//!   distribution-like" (the paper's stated goal for the transform).
+//!
+//! Both are grid searches: the objective is cheap, one-dimensional, and
+//! well-behaved, so a fine grid is simpler and more robust than a derivative
+//! method.
+
+use crate::boxcox::BoxCox;
+use crate::TransformError;
+
+/// Box–Cox profile log-likelihood of `alpha` for the (positive) sample `xs`:
+///
+/// ```text
+/// LL(α) = −n/2 · ln σ̂²(y(α)) + (α − 1) Σ ln x_i
+/// ```
+///
+/// where `y(α)` is the transformed sample.
+///
+/// # Errors
+///
+/// Returns [`TransformError::EmptyInput`] when `xs` has no positive values and
+/// [`TransformError::NotFinite`] when `alpha` is not finite.
+pub fn log_likelihood(xs: &[f64], alpha: f64) -> Result<f64, TransformError> {
+    let bc = BoxCox::new(alpha)?;
+    let positive: Vec<f64> = xs.iter().copied().filter(|&x| x > 0.0).collect();
+    if positive.is_empty() {
+        return Err(TransformError::EmptyInput);
+    }
+    let n = positive.len() as f64;
+    let transformed: Vec<f64> = positive.iter().map(|&x| bc.transform(x)).collect();
+    let mean = transformed.iter().sum::<f64>() / n;
+    let var = transformed
+        .iter()
+        .map(|y| (y - mean) * (y - mean))
+        .sum::<f64>()
+        / n;
+    if var <= 0.0 {
+        return Err(TransformError::EmptyInput);
+    }
+    let log_sum: f64 = positive.iter().map(|&x| x.ln()).sum();
+    Ok(-0.5 * n * var.ln() + (alpha - 1.0) * log_sum)
+}
+
+/// Grid-searches `alpha` in `[lo, hi]` maximizing the profile log-likelihood.
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidRange`] when `lo >= hi` or `steps < 2`,
+/// and propagates [`log_likelihood`] errors.
+pub fn estimate_mle(xs: &[f64], lo: f64, hi: f64, steps: usize) -> Result<f64, TransformError> {
+    grid_search(lo, hi, steps, |alpha| log_likelihood(xs, alpha))
+}
+
+/// Grid-searches `alpha` minimizing the absolute skewness of the transformed
+/// sample.
+///
+/// # Errors
+///
+/// Returns [`TransformError::InvalidRange`] when `lo >= hi` or `steps < 2`,
+/// and [`TransformError::EmptyInput`] when `xs` has no positive values.
+pub fn estimate_min_skewness(
+    xs: &[f64],
+    lo: f64,
+    hi: f64,
+    steps: usize,
+) -> Result<f64, TransformError> {
+    grid_search(lo, hi, steps, |alpha| {
+        let bc = BoxCox::new(alpha)?;
+        let positive: Vec<f64> = xs.iter().copied().filter(|&x| x > 0.0).collect();
+        if positive.is_empty() {
+            return Err(TransformError::EmptyInput);
+        }
+        let transformed: Vec<f64> = positive.iter().map(|&x| bc.transform(x)).collect();
+        let skew = skewness(&transformed).ok_or(TransformError::EmptyInput)?;
+        Ok(-skew.abs()) // maximize negative |skew| == minimize |skew|
+    })
+}
+
+fn grid_search<F>(lo: f64, hi: f64, steps: usize, mut objective: F) -> Result<f64, TransformError>
+where
+    F: FnMut(f64) -> Result<f64, TransformError>,
+{
+    if lo.is_nan() || hi.is_nan() || lo >= hi || steps < 2 {
+        return Err(TransformError::InvalidRange { min: lo, max: hi });
+    }
+    let mut best_alpha = lo;
+    let mut best_value = f64::NEG_INFINITY;
+    for k in 0..steps {
+        let alpha = lo + (hi - lo) * k as f64 / (steps - 1) as f64;
+        let value = objective(alpha)?;
+        if value > best_value {
+            best_value = value;
+            best_alpha = alpha;
+        }
+    }
+    Ok(best_alpha)
+}
+
+fn skewness(values: &[f64]) -> Option<f64> {
+    let n = values.len() as f64;
+    if values.len() < 2 {
+        return None;
+    }
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    if var == 0.0 {
+        return None;
+    }
+    let sd = var.sqrt();
+    Some(
+        values
+            .iter()
+            .map(|v| ((v - mean) / sd).powi(3))
+            .sum::<f64>()
+            / n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn lognormal_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u1: f64 = 1.0 - rng.random::<f64>();
+                let u2: f64 = rng.random::<f64>();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (0.5 * z).exp()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mle_recovers_log_for_lognormal_data() {
+        // For exactly log-normal data the MLE of alpha is ~0.
+        let xs = lognormal_sample(4000, 21);
+        let alpha = estimate_mle(&xs, -1.0, 1.0, 81).unwrap();
+        assert!(alpha.abs() < 0.15, "estimated alpha {alpha}");
+    }
+
+    #[test]
+    fn min_skewness_recovers_log_for_lognormal_data() {
+        let xs = lognormal_sample(4000, 22);
+        let alpha = estimate_min_skewness(&xs, -1.0, 1.0, 81).unwrap();
+        assert!(alpha.abs() < 0.15, "estimated alpha {alpha}");
+    }
+
+    #[test]
+    fn mle_prefers_identity_for_normal_data() {
+        // Already-normal positive data should prefer alpha near 1.
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..4000)
+            .map(|_| {
+                let u1: f64 = 1.0 - rng.random::<f64>();
+                let u2: f64 = rng.random::<f64>();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                10.0 + z // mean 10 so essentially all positive
+            })
+            .collect();
+        let alpha = estimate_mle(&xs, -2.0, 3.0, 101).unwrap();
+        assert!((alpha - 1.0).abs() < 0.6, "estimated alpha {alpha}");
+    }
+
+    #[test]
+    fn log_likelihood_errors() {
+        assert_eq!(
+            log_likelihood(&[], 0.5).unwrap_err(),
+            TransformError::EmptyInput
+        );
+        assert_eq!(
+            log_likelihood(&[-1.0, -2.0], 0.5).unwrap_err(),
+            TransformError::EmptyInput
+        );
+        assert!(log_likelihood(&[1.0, 2.0], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn grid_rejects_bad_bounds() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!(estimate_mle(&xs, 1.0, 0.0, 10).is_err());
+        assert!(estimate_mle(&xs, 0.0, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn estimators_are_deterministic() {
+        let xs = lognormal_sample(500, 3);
+        let a1 = estimate_mle(&xs, -1.0, 1.0, 41).unwrap();
+        let a2 = estimate_mle(&xs, -1.0, 1.0, 41).unwrap();
+        assert_eq!(a1, a2);
+    }
+}

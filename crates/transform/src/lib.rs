@@ -1,0 +1,110 @@
+//! Data transformation for skewed QoS values (paper Section IV-C.1).
+//!
+//! The AMF paper observes that raw QoS distributions are highly skewed with
+//! large variances (Fig. 7), which "mismatches with the probabilistic
+//! assumption for matrix factorization". Its fix — reproduced here — is a
+//! three-stage, invertible pipeline:
+//!
+//! 1. **Box–Cox power transform** (Eq. 3): `boxcox(x) = (x^α − 1)/α`, or
+//!    `ln x` when `α = 0`. Rank-preserving; `α` tunes how aggressively the
+//!    long right tail is compressed (the paper uses `α = −0.007` for response
+//!    time and `α = −0.05` for throughput).
+//! 2. **Linear normalization** (Eq. 4) mapping the transformed range onto
+//!    `[0, 1]`.
+//! 3. A **sigmoid link** `g(x) = 1/(1 + e^{-x})` mapping the model's inner
+//!    products `U_i^T S_j` into `[0, 1]` so they are comparable with the
+//!    normalized data.
+//!
+//! [`QosTransform`] packages stages 1–2 with their exact inverses, and
+//! [`mod@sigmoid`] provides stage 3 together with the derivative `g'` used by the
+//! SGD updates (Eq. 8–9). The [`estimate`] module adds an `α` estimator (a
+//! small extension: the paper hand-tunes `α`, we also support choosing it by
+//! maximum profile likelihood or by skewness minimization).
+//!
+//! # Examples
+//!
+//! ```
+//! use qos_transform::QosTransform;
+//!
+//! // Response-time pipeline from the paper: α = −0.007, RT ∈ [0, 20] s.
+//! let t = QosTransform::new(-0.007, 0.0, 20.0)?;
+//! let r = t.to_normalized(1.33); // average RT of the dataset
+//! assert!((0.0..=1.0).contains(&r));
+//! let back = t.from_normalized(r);
+//! assert!((back - 1.33).abs() < 1e-9);
+//! # Ok::<(), qos_transform::TransformError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boxcox;
+pub mod estimate;
+pub mod normalize;
+pub mod pipeline;
+pub mod sigmoid;
+
+pub use boxcox::BoxCox;
+pub use normalize::Range;
+pub use pipeline::QosTransform;
+pub use sigmoid::{sigmoid, sigmoid_derivative};
+
+/// Error type for invalid transform configuration or out-of-domain input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// The configured range was empty or inverted (`min >= max`).
+    InvalidRange {
+        /// Configured minimum.
+        min: f64,
+        /// Configured maximum.
+        max: f64,
+    },
+    /// A parameter was not finite.
+    NotFinite {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The value received.
+        value: f64,
+    },
+    /// The input sample set was empty or had no positive values.
+    EmptyInput,
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::InvalidRange { min, max } => {
+                write!(f, "invalid range: min {min} must be below max {max}")
+            }
+            TransformError::NotFinite { name, value } => {
+                write!(f, "parameter {name} must be finite, got {value}")
+            }
+            TransformError::EmptyInput => write!(f, "input sample set was empty"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = TransformError::InvalidRange { min: 5.0, max: 1.0 };
+        assert!(e.to_string().contains("min 5"));
+        let e = TransformError::NotFinite {
+            name: "alpha",
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(TransformError::EmptyInput.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TransformError>();
+    }
+}

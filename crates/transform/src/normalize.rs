@@ -1,0 +1,192 @@
+//! Linear normalization onto `[0, 1]` (paper Eq. 4).
+
+use crate::TransformError;
+use serde::{Deserialize, Serialize};
+
+/// An inclusive value range `[min, max]` with linear maps to and from `[0, 1]`:
+///
+/// ```text
+/// r = (x − min) / (max − min)        (Eq. 4)
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use qos_transform::Range;
+///
+/// let range = Range::new(0.0, 20.0)?;
+/// assert_eq!(range.normalize(5.0), 0.25);
+/// assert_eq!(range.denormalize(0.25), 5.0);
+/// # Ok::<(), qos_transform::TransformError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Range {
+    min: f64,
+    max: f64,
+}
+
+impl Range {
+    /// Creates a range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidRange`] when `min >= max` and
+    /// [`TransformError::NotFinite`] when either bound is not finite.
+    pub fn new(min: f64, max: f64) -> Result<Self, TransformError> {
+        if !min.is_finite() {
+            return Err(TransformError::NotFinite {
+                name: "min",
+                value: min,
+            });
+        }
+        if !max.is_finite() {
+            return Err(TransformError::NotFinite {
+                name: "max",
+                value: max,
+            });
+        }
+        if min >= max {
+            return Err(TransformError::InvalidRange { min, max });
+        }
+        Ok(Self { min, max })
+    }
+
+    /// Computes the range spanned by a sample (ignoring NaNs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::EmptyInput`] when no finite values exist and
+    /// [`TransformError::InvalidRange`] when all values are equal.
+    pub fn from_data(values: &[f64]) -> Result<Self, TransformError> {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            if v.is_nan() {
+                continue;
+            }
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if min == f64::INFINITY {
+            return Err(TransformError::EmptyInput);
+        }
+        Self::new(min, max)
+    }
+
+    /// Lower bound.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Width `max - min` (always positive).
+    pub fn width(&self) -> f64 {
+        self.max - self.min
+    }
+
+    /// Maps `x` linearly so that `min -> 0` and `max -> 1`. Values outside
+    /// the range extrapolate linearly (use [`Range::normalize_clamped`] to
+    /// clamp instead).
+    #[inline]
+    pub fn normalize(&self, x: f64) -> f64 {
+        (x - self.min) / self.width()
+    }
+
+    /// Like [`Range::normalize`] but clamps the result into `[0, 1]`.
+    #[inline]
+    pub fn normalize_clamped(&self, x: f64) -> f64 {
+        self.normalize(x).clamp(0.0, 1.0)
+    }
+
+    /// Inverse of [`Range::normalize`]: maps `0 -> min` and `1 -> max`.
+    #[inline]
+    pub fn denormalize(&self, r: f64) -> f64 {
+        self.min + r * self.width()
+    }
+
+    /// Whether `x` lies within `[min, max]`.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.min..=self.max).contains(&x)
+    }
+
+    /// Clamps `x` into `[min, max]`.
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn endpoints_map_to_unit_interval() {
+        let r = Range::new(2.0, 10.0).unwrap();
+        assert_eq!(r.normalize(2.0), 0.0);
+        assert_eq!(r.normalize(10.0), 1.0);
+        assert_eq!(r.denormalize(0.0), 2.0);
+        assert_eq!(r.denormalize(1.0), 10.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_ranges() {
+        assert!(matches!(
+            Range::new(1.0, 1.0),
+            Err(TransformError::InvalidRange { .. })
+        ));
+        assert!(Range::new(5.0, 1.0).is_err());
+        assert!(Range::new(f64::NAN, 1.0).is_err());
+        assert!(Range::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn from_data_spans_sample() {
+        let r = Range::from_data(&[3.0, f64::NAN, -1.0, 7.0]).unwrap();
+        assert_eq!(r.min(), -1.0);
+        assert_eq!(r.max(), 7.0);
+        assert_eq!(
+            Range::from_data(&[]).unwrap_err(),
+            TransformError::EmptyInput
+        );
+        assert!(Range::from_data(&[2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn normalize_extrapolates_clamped_does_not() {
+        let r = Range::new(0.0, 10.0).unwrap();
+        assert_eq!(r.normalize(20.0), 2.0);
+        assert_eq!(r.normalize_clamped(20.0), 1.0);
+        assert_eq!(r.normalize_clamped(-5.0), 0.0);
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let r = Range::new(0.0, 1.0).unwrap();
+        assert!(r.contains(0.5));
+        assert!(!r.contains(1.5));
+        assert_eq!(r.clamp(1.5), 1.0);
+        assert_eq!(r.clamp(-0.5), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(min in -1e3..1e3f64, width in 0.001..1e3f64, x in -1e3..1e3f64) {
+            let r = Range::new(min, min + width).unwrap();
+            let back = r.denormalize(r.normalize(x));
+            prop_assert!((back - x).abs() < 1e-6 * (1.0 + x.abs()));
+        }
+
+        #[test]
+        fn normalized_in_unit_interval_for_contained(min in -1e3..1e3f64, width in 0.001..1e3f64, frac in 0.0..1.0f64) {
+            let r = Range::new(min, min + width).unwrap();
+            let x = min + frac * width;
+            let n = r.normalize(x);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&n));
+        }
+    }
+}

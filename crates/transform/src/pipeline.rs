@@ -1,0 +1,272 @@
+//! The full forward/backward QoS transformation pipeline.
+//!
+//! Chains [`BoxCox`] (Eq. 3) and [`Range`] normalization (Eq. 4) with exact
+//! inverses. The model side of the pipeline — the sigmoid link — lives in
+//! [`mod@crate::sigmoid`] because it is applied to *inner products*, not data; the
+//! convenience method [`QosTransform::prediction_to_raw`] stitches all three
+//! stages together for producing final QoS predictions (the "backward data
+//! transformation" of Section IV-C.3).
+
+use crate::boxcox::BoxCox;
+use crate::normalize::Range;
+use crate::sigmoid::sigmoid;
+use crate::TransformError;
+use serde::{Deserialize, Serialize};
+
+/// Invertible map between raw QoS values and the normalized `[0, 1]` domain
+/// the AMF model is trained in.
+///
+/// Constructed from the Box–Cox parameter `α` and the raw QoS bounds
+/// `[R_min, R_max]` ("which can be specified by users, e.g. `R_max = 20 s`
+/// and `R_min = 0` for response time" — paper Section IV-C.1). The bounds are
+/// carried through the transform using its monotonicity:
+/// `R̃_max = boxcox(R_max)`.
+///
+/// # Examples
+///
+/// ```
+/// use qos_transform::QosTransform;
+///
+/// let rt = QosTransform::new(-0.007, 0.0, 20.0)?;
+/// // Normalized values live in [0, 1]:
+/// assert_eq!(rt.to_normalized(0.0), 0.0);
+/// assert!((rt.to_normalized(20.0) - 1.0).abs() < 1e-12);
+/// # Ok::<(), qos_transform::TransformError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosTransform {
+    boxcox: BoxCox,
+    /// Range in the *transformed* domain.
+    transformed: Range,
+    /// Raw QoS bounds as configured.
+    raw: Range,
+}
+
+impl QosTransform {
+    /// Creates a pipeline with Box–Cox parameter `alpha` over raw QoS values
+    /// in `[r_min, r_max]`.
+    ///
+    /// `r_min` below the Box–Cox floor (1 ms) is clamped to the floor, exactly
+    /// as raw samples are.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::NotFinite`] for a non-finite `alpha` and
+    /// [`TransformError::InvalidRange`] when `r_min >= r_max`.
+    pub fn new(alpha: f64, r_min: f64, r_max: f64) -> Result<Self, TransformError> {
+        let boxcox = BoxCox::new(alpha)?;
+        Self::with_boxcox(boxcox, r_min, r_max)
+    }
+
+    /// Creates a pipeline from an existing [`BoxCox`] transform and raw bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidRange`] when `r_min >= r_max` (after
+    /// flooring) or the transformed range is degenerate.
+    pub fn with_boxcox(boxcox: BoxCox, r_min: f64, r_max: f64) -> Result<Self, TransformError> {
+        let raw = Range::new(r_min.max(boxcox.floor()), r_max)?;
+        let transformed = Range::new(boxcox.transform(raw.min()), boxcox.transform(raw.max()))?;
+        Ok(Self {
+            boxcox,
+            transformed,
+            raw,
+        })
+    }
+
+    /// Identity-style pipeline (`α = 1`): pure linear normalization, the
+    /// "AMF(α = 1)" configuration of the paper's Fig. 11 ablation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransformError::InvalidRange`] when `r_min >= r_max`.
+    pub fn linear(r_min: f64, r_max: f64) -> Result<Self, TransformError> {
+        Self::new(1.0, r_min, r_max)
+    }
+
+    /// The Box–Cox stage.
+    pub fn boxcox(&self) -> &BoxCox {
+        &self.boxcox
+    }
+
+    /// The raw QoS bounds.
+    pub fn raw_range(&self) -> &Range {
+        &self.raw
+    }
+
+    /// The bounds in the Box–Cox-transformed domain.
+    pub fn transformed_range(&self) -> &Range {
+        &self.transformed
+    }
+
+    /// Forward map: raw QoS value → normalized `r ∈ [0, 1]` (Eq. 3 + Eq. 4).
+    ///
+    /// Raw values outside the configured bounds are clamped, so the result is
+    /// always in `[0, 1]`.
+    #[inline]
+    pub fn to_normalized(&self, raw: f64) -> f64 {
+        self.transformed
+            .normalize_clamped(self.boxcox.transform(self.raw.clamp(raw)))
+    }
+
+    /// Backward map: normalized `r` → raw QoS value.
+    ///
+    /// `r` is clamped into `[0, 1]` first and the result is clamped into the
+    /// raw bounds (the inverse Box–Cox roundtrip can otherwise overshoot
+    /// `R_max` by a few ulps).
+    #[inline]
+    pub fn from_normalized(&self, r: f64) -> f64 {
+        self.raw.clamp(
+            self.boxcox
+                .inverse(self.transformed.denormalize(r.clamp(0.0, 1.0))),
+        )
+    }
+
+    /// Full model-output map: latent inner product `U_i^T S_j` → predicted raw
+    /// QoS value, i.e. `inverse_transform(g(x))` (Section IV-C.3).
+    #[inline]
+    pub fn prediction_to_raw(&self, inner_product: f64) -> f64 {
+        self.from_normalized(sigmoid(inner_product))
+    }
+
+    /// Applies the forward map to every element.
+    pub fn to_normalized_all(&self, raws: &[f64]) -> Vec<f64> {
+        raws.iter().map(|&x| self.to_normalized(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rt_pipeline() -> QosTransform {
+        QosTransform::new(-0.007, 0.0, 20.0).unwrap()
+    }
+
+    fn tp_pipeline() -> QosTransform {
+        QosTransform::new(-0.05, 0.0, 7000.0).unwrap()
+    }
+
+    #[test]
+    fn endpoints_hit_zero_and_one() {
+        let t = rt_pipeline();
+        assert_eq!(t.to_normalized(0.0), 0.0);
+        assert!((t.to_normalized(20.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_interior_values() {
+        for t in [rt_pipeline(), tp_pipeline()] {
+            for frac in [0.001, 0.05, 0.25, 0.5, 0.9, 1.0] {
+                let raw = t.raw_range().min() + frac * t.raw_range().width();
+                let r = t.to_normalized(raw);
+                let back = t.from_normalized(r);
+                assert!(
+                    (back - raw).abs() / raw.max(1e-9) < 1e-6,
+                    "roundtrip {raw} -> {r} -> {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_inputs_clamp() {
+        let t = rt_pipeline();
+        assert_eq!(t.to_normalized(-5.0), 0.0);
+        assert!((t.to_normalized(100.0) - 1.0).abs() < 1e-12);
+        assert!(t.from_normalized(2.0) <= 20.0 + 1e-9);
+        assert!(t.from_normalized(-1.0) >= t.boxcox().floor() - 1e-12);
+    }
+
+    #[test]
+    fn linear_pipeline_is_plain_normalization() {
+        let t = QosTransform::linear(0.0, 10.0).unwrap();
+        // With alpha=1 the boxcox is x-1; normalization undoes the shift.
+        assert!((t.to_normalized(5.0) - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn prediction_to_raw_uses_sigmoid() {
+        let t = rt_pipeline();
+        // inner product 0 -> sigmoid 0.5 -> mid-range in transformed domain
+        let mid = t.prediction_to_raw(0.0);
+        assert!(mid > 0.0 && mid < 20.0);
+        // huge positive inner product saturates at the max
+        assert!((t.prediction_to_raw(100.0) - 20.0).abs() < 1e-6);
+        // huge negative saturates at the floor
+        assert!(t.prediction_to_raw(-100.0) <= t.boxcox().floor() + 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_configuration() {
+        assert!(QosTransform::new(f64::NAN, 0.0, 1.0).is_err());
+        assert!(QosTransform::new(-0.007, 5.0, 5.0).is_err());
+        assert!(QosTransform::new(-0.007, 5.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn negative_alpha_deskews_lognormal_data() {
+        // Log-normal samples are right-skewed; after the paper's transform the
+        // skewness should shrink substantially (Fig. 7 vs Fig. 8).
+        use qos_linalg_free::skewness;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        let raw: Vec<f64> = (0..5000)
+            .map(|_| {
+                // crude Box-Muller
+                let u1: f64 = 1.0 - rng.random::<f64>();
+                let u2: f64 = rng.random::<f64>();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (0.3 + 0.9 * z).exp().min(19.9)
+            })
+            .collect();
+        let t = QosTransform::new(0.0, 0.0, 20.0).unwrap(); // log transform
+        let transformed = t.to_normalized_all(&raw);
+        let raw_skew = skewness(&raw).abs();
+        let new_skew = skewness(&transformed).abs();
+        assert!(
+            new_skew < raw_skew / 2.0,
+            "transform should de-skew: {raw_skew} -> {new_skew}"
+        );
+    }
+
+    // Minimal local skewness to avoid a circular dev-dependency on qos-linalg.
+    mod qos_linalg_free {
+        pub fn skewness(values: &[f64]) -> f64 {
+            let n = values.len() as f64;
+            let mean = values.iter().sum::<f64>() / n;
+            let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            let sd = var.sqrt();
+            values
+                .iter()
+                .map(|v| ((v - mean) / sd).powi(3))
+                .sum::<f64>()
+                / n
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn forward_always_in_unit_interval(alpha in -1.0..1.0f64, raw in -10.0..30.0f64) {
+            let t = QosTransform::new(alpha, 0.0, 20.0).unwrap();
+            let r = t.to_normalized(raw);
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+
+        #[test]
+        fn backward_always_in_raw_range(alpha in -1.0..1.0f64, r in -0.5..1.5f64) {
+            let t = QosTransform::new(alpha, 0.0, 20.0).unwrap();
+            let raw = t.from_normalized(r);
+            prop_assert!(raw >= t.boxcox().floor() - 1e-9);
+            prop_assert!(raw <= 20.0 + 1e-9);
+        }
+
+        #[test]
+        fn forward_is_monotone(alpha in -1.0..1.0f64, a in 0.01..20.0f64, b in 0.01..20.0f64) {
+            let t = QosTransform::new(alpha, 0.0, 20.0).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(t.to_normalized(lo) <= t.to_normalized(hi) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The sigmoid link function and its derivative (paper Eq. 5, 8–9).
+
+/// Logistic sigmoid `g(x) = 1 / (1 + e^{-x})`.
+///
+/// Maps the model's raw inner products `U_i^T S_j` into `(0, 1)` so they are
+/// comparable with the normalized QoS data `r_ij` (paper Eq. 5). The
+/// implementation is numerically stable for large `|x|`.
+///
+/// # Examples
+///
+/// ```
+/// use qos_transform::sigmoid;
+/// assert_eq!(sigmoid(0.0), 0.5);
+/// assert!(sigmoid(40.0) > 0.999_999);
+/// assert!(sigmoid(-40.0) < 1e-6);
+/// ```
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of the sigmoid, `g'(x) = e^x / (e^x + 1)^2 = g(x)(1 − g(x))`.
+///
+/// Appears in every SGD update of the paper (Eq. 8–9, 16–17).
+///
+/// # Examples
+///
+/// ```
+/// use qos_transform::sigmoid_derivative;
+/// assert_eq!(sigmoid_derivative(0.0), 0.25);
+/// ```
+#[inline]
+pub fn sigmoid_derivative(x: f64) -> f64 {
+    let g = sigmoid(x);
+    g * (1.0 - g)
+}
+
+/// Inverse sigmoid (logit): `logit(p) = ln(p / (1 − p))`.
+///
+/// Returns `-inf` / `+inf` at the boundary values 0 and 1, and NaN outside
+/// `[0, 1]` — callers should clamp first if their input may stray.
+#[inline]
+pub fn logit(p: f64) -> f64 {
+    (p / (1.0 - p)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn midpoint_and_symmetry() {
+        assert_eq!(sigmoid(0.0), 0.5);
+        for &x in &[0.5, 1.0, 3.0, 10.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn saturates_without_overflow() {
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert_eq!(sigmoid(-1000.0), 0.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+    }
+
+    #[test]
+    fn derivative_peaks_at_zero() {
+        assert_eq!(sigmoid_derivative(0.0), 0.25);
+        assert!(sigmoid_derivative(1.0) < 0.25);
+        assert!(sigmoid_derivative(-1.0) < 0.25);
+        assert!((sigmoid_derivative(1.0) - sigmoid_derivative(-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for &x in &[-3.0, -1.0, 0.0, 0.7, 2.5] {
+            let fd = (sigmoid(x + h) - sigmoid(x - h)) / (2.0 * h);
+            assert!((sigmoid_derivative(x) - fd).abs() < 1e-8, "at x={x}");
+        }
+    }
+
+    #[test]
+    fn logit_inverts_sigmoid() {
+        for &x in &[-5.0, -0.3, 0.0, 1.7, 4.0] {
+            assert!((logit(sigmoid(x)) - x).abs() < 1e-9);
+        }
+        assert_eq!(logit(0.0), f64::NEG_INFINITY);
+        assert_eq!(logit(1.0), f64::INFINITY);
+    }
+
+    proptest! {
+        #[test]
+        fn output_in_unit_interval(x in -1e6..1e6f64) {
+            let g = sigmoid(x);
+            prop_assert!((0.0..=1.0).contains(&g));
+        }
+
+        #[test]
+        // Beyond |x| ≈ 36 the sigmoid saturates in f64, so strictness only
+        // holds in the representable region.
+        fn strictly_increasing(a in -30.0..20.0f64, delta in 0.001..10.0f64) {
+            prop_assert!(sigmoid(a + delta) > sigmoid(a));
+        }
+
+        #[test]
+        fn derivative_nonnegative(x in -1e3..1e3f64) {
+            prop_assert!(sigmoid_derivative(x) >= 0.0);
+            prop_assert!(sigmoid_derivative(x) <= 0.25 + 1e-12);
+        }
+    }
+}

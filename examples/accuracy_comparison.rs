@@ -1,0 +1,40 @@
+//! Reproduces the paper's Table I: UPCC / IPCC / UIPCC / PMF / AMF accuracy
+//! at matrix densities 10%–50% over MAE, MRE and NPRE.
+//!
+//! Run with: `cargo run --release --example accuracy_comparison`
+//! Scale with: `AMF_SCALE=medium cargo run --release --example accuracy_comparison`
+//! (`full` reproduces the paper's 142 x 4500 protocol; budget an hour.)
+
+use qos_eval::experiments::table1;
+use qos_eval::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!(
+        "running Table I protocol at {} users x {} services, {} repetition(s) per density",
+        scale.users, scale.services, scale.repetitions
+    );
+    println!("(set AMF_SCALE=medium or AMF_SCALE=full for larger runs)\n");
+
+    let result = table1::run(&scale);
+    print!("{}", result.render());
+
+    // Narrate the headline comparison the paper draws from this table.
+    for table in &result.tables {
+        let last = result.densities.len() - 1;
+        if let (Some(amf), Some(pmf)) = (
+            table.summary(qos_eval::Approach::Amf, last),
+            table.summary(qos_eval::Approach::Pmf, last),
+        ) {
+            println!(
+                "{}: at {:.0}% density AMF reaches MRE {:.3} / NPRE {:.3} vs PMF {:.3} / {:.3}",
+                table.attribute,
+                result.densities[last] * 100.0,
+                amf.mre,
+                amf.npre,
+                pmf.mre,
+                pmf.npre
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Scalability under churn (paper Fig. 14): 80% of users and services train
+//! first; the remaining 20% join mid-run.
+//!
+//! Watch two series: the new entities' MRE collapsing after they join, and
+//! the existing entities' MRE staying flat through the disturbance — the
+//! adaptive-weights mechanism at work. The second half runs the same churn
+//! without adaptive weights for contrast.
+//!
+//! Run with: `cargo run --release --example churn_scalability`
+
+use qos_eval::experiments::{ablation, fig14};
+use qos_eval::Scale;
+
+fn main() {
+    let scale = Scale {
+        users: 60,
+        services: 200,
+        time_slices: 4,
+        repetitions: 1,
+        seed: 2014,
+    };
+
+    println!("== churn run with adaptive weights (paper AMF) ==");
+    let result = fig14::run(&scale);
+    print!("{}", result.render());
+    let (first, last) = result.new_first_and_last();
+    println!("\nnew-entity MRE: {first:.3} right after joining -> {last:.3} at the end");
+    println!(
+        "existing-entity MRE: {:.3} before join, worst {:.3} after",
+        result.existing_before_join(),
+        result.existing_worst_after_join()
+    );
+
+    println!("\n== ablation: adaptive vs fixed weights ==");
+    let ab = ablation::run_weights(&scale);
+    let (adaptive, fixed) = ab.disturbance();
+    println!("churn disturbance ratio (worst-after / before, lower is better):");
+    println!("  adaptive weights: {adaptive:.3}");
+    println!("  fixed weights:    {fixed:.3}");
+    let (a_first, a_last) = ab.adaptive.new_first_and_last();
+    let (f_first, f_last) = ab.fixed.new_first_and_last();
+    println!("new-entity convergence (first -> last MRE after join):");
+    println!("  adaptive weights: {a_first:.3} -> {a_last:.3}");
+    println!("  fixed weights:    {f_first:.3} -> {f_last:.3}");
+}

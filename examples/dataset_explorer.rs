@@ -1,0 +1,80 @@
+//! Explore the synthetic WS-DREAM-like dataset: the statistics table
+//! (Fig. 6), the motivating observations (Fig. 2), the skewed-vs-transformed
+//! distributions (Figs. 7/8), and the low-rank evidence (Fig. 9).
+//!
+//! Also demonstrates exporting a slice in the WS-DREAM text format.
+//!
+//! Run with: `cargo run --release --example dataset_explorer`
+
+use qos_dataset::{io, Attribute, QosDataset};
+use qos_eval::experiments::{fig2, fig6, fig7_8, fig9};
+use qos_eval::Scale;
+
+fn main() {
+    let scale = Scale {
+        users: 60,
+        services: 200,
+        time_slices: 16,
+        repetitions: 1,
+        seed: 2014,
+    };
+
+    println!("== Fig 6: dataset statistics ==");
+    println!("{}", fig6::run(&scale));
+
+    println!("== Fig 2: why prediction is needed ==");
+    let f2 = fig2::run(&scale);
+    let series = &f2.pair_series;
+    println!(
+        "pair (user {}, service {}): RT fluctuates {:.2}s..{:.2}s across {} slices",
+        f2.pair.0,
+        f2.pair.1,
+        series.iter().cloned().fold(f64::INFINITY, f64::min),
+        series.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        series.len()
+    );
+    let profile = &f2.sorted_user_profile;
+    println!(
+        "service {}: users see {:.2}s (fastest) to {:.2}s (slowest) — QoS is user-specific\n",
+        f2.profiled_service,
+        profile.first().unwrap(),
+        profile.last().unwrap()
+    );
+
+    println!("== Figs 7/8: the Box-Cox transform de-skews QoS data ==");
+    let f78 = fig7_8::run(&scale);
+    println!(
+        "RT skewness: raw {:.2} -> transformed {:.2}",
+        f78.rt.raw_skewness, f78.rt.transformed_skewness
+    );
+    println!(
+        "TP skewness: raw {:.2} -> transformed {:.2}\n",
+        f78.tp.raw_skewness, f78.tp.transformed_skewness
+    );
+
+    println!("== Fig 9: the QoS matrix is approximately low-rank ==");
+    let f9 = fig9::run(&scale);
+    println!(
+        "top-10 singular values hold {:.1}% of the RT matrix's energy",
+        100.0 * f9.rt_energy_top(10)
+    );
+    let shown: Vec<String> = f9
+        .response_time
+        .iter()
+        .take(12)
+        .map(|v| format!("{v:.3}"))
+        .collect();
+    println!("first 12 normalized singular values: {}\n", shown.join(" "));
+
+    // WS-DREAM-format export of the first slice.
+    let dataset = QosDataset::generate(&scale.dataset_config());
+    let matrix = dataset.slice_matrix(Attribute::ResponseTime, 0);
+    let path = std::env::temp_dir().join("amf_example_rtmatrix.txt");
+    io::write_dense_file(&matrix, &path).expect("temp dir is writable");
+    println!(
+        "exported slice 0 ({} x {}) in WS-DREAM dense format to {}",
+        matrix.rows(),
+        matrix.cols(),
+        path.display()
+    );
+}

@@ -1,0 +1,78 @@
+//! Quickstart: online QoS prediction with AMF in five minutes.
+//!
+//! Builds an AMF model, streams QoS observations into it (as the paper's
+//! QoS prediction service would), and predicts the response time of
+//! *candidate* services a user has never invoked.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use amf_core::{AmfConfig, AmfTrainer};
+use qos_dataset::sampling::split_matrix;
+use qos_dataset::{Attribute, DatasetConfig, QosDataset};
+use qos_metrics::AccuracySummary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A synthetic WS-DREAM-like QoS world: users invoking Web services.
+    let dataset = QosDataset::generate(&DatasetConfig {
+        users: 60,
+        services: 200,
+        ..DatasetConfig::small()
+    });
+    println!(
+        "dataset: {} users x {} services",
+        dataset.users(),
+        dataset.services()
+    );
+
+    // 2. Only 15% of user-service pairs are ever observed (sparse reality).
+    let matrix = dataset.slice_matrix(Attribute::ResponseTime, 0);
+    let mut rng = StdRng::seed_from_u64(1);
+    let split = split_matrix(&matrix, 0.15, &mut rng);
+    println!(
+        "observed {} of {} cells ({:.0}% density)",
+        split.train.nnz(),
+        dataset.users() * dataset.services(),
+        split.train.density() * 100.0
+    );
+
+    // 3. Stream the observations into an online AMF model (paper defaults:
+    //    d=10, lambda=0.001, beta=0.3, eta=0.8, alpha=-0.007 for RT).
+    let mut trainer =
+        AmfTrainer::new(AmfConfig::response_time()).expect("paper configuration is valid");
+    for (k, entry) in split.train.iter().enumerate() {
+        trainer.feed(entry.row, entry.col, k as u64 % 900, entry.value);
+    }
+    // Idle-time refinement: replay live samples until converged.
+    let report = trainer.replay_until_converged(Default::default());
+    println!(
+        "trained online: {} replay iterations in {:.2?} (converged: {})",
+        report.iterations, report.elapsed, report.converged
+    );
+
+    // 4. Predict QoS for candidate services user 0 never invoked.
+    let model = trainer.model();
+    println!("\ncandidate predictions for user 0 (actual vs predicted):");
+    let mut shown = 0;
+    for entry in split.test.iter().filter(|e| e.row == 0).take(8) {
+        let predicted = model.predict(entry.row, entry.col).unwrap_or(f64::NAN);
+        println!(
+            "  service {:>4}: actual {:.3}s  predicted {:.3}s",
+            entry.col, entry.value, predicted
+        );
+        shown += 1;
+    }
+    assert!(shown > 0, "user 0 should have held-out services");
+
+    // 5. Overall accuracy on everything held out.
+    let actual = split.test_actuals();
+    let fallback = split.train.mean().unwrap_or(1.0);
+    let predicted: Vec<f64> = split
+        .test
+        .iter()
+        .map(|e| model.predict_or(e.row, e.col, fallback))
+        .collect();
+    let accuracy = AccuracySummary::evaluate(&actual, &predicted).expect("non-empty test set");
+    println!("\nheld-out accuracy: {accuracy}");
+}

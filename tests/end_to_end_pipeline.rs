@@ -1,0 +1,101 @@
+//! Integration: the full accuracy pipeline across crates — synthetic dataset
+//! (qos-dataset) → sparsification → baselines (qos-baselines) and AMF
+//! (amf-core) via the harness (qos-eval) → metrics (qos-metrics).
+
+use qos_dataset::sampling::split_matrix;
+use qos_dataset::{Attribute, QosDataset};
+use qos_eval::methods::Approach;
+use qos_eval::Scale;
+use qos_metrics::AccuracySummary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scale() -> Scale {
+    Scale {
+        users: 60,
+        services: 160,
+        time_slices: 2,
+        repetitions: 1,
+        seed: 99,
+    }
+}
+
+fn evaluate(approach: Approach, density: f64) -> AccuracySummary {
+    let dataset = QosDataset::generate(&scale().dataset_config());
+    let matrix = dataset.slice_matrix(Attribute::ResponseTime, 0);
+    let mut rng = StdRng::seed_from_u64(scale().seed);
+    let split = split_matrix(&matrix, density, &mut rng);
+    let trained = approach.train(&split, Attribute::ResponseTime, scale().seed, 0, 900);
+    let predicted = trained.predict_split(&split);
+    AccuracySummary::evaluate(&split.test_actuals(), &predicted).expect("non-empty test set")
+}
+
+#[test]
+fn every_approach_beats_random_noise() {
+    // Sanity floor: the global mean of RT data has MRE around 1-2; any real
+    // model should be under it at moderate density.
+    for approach in Approach::PAPER_SET {
+        let s = evaluate(approach, 0.20);
+        assert!(
+            s.mre < 1.5,
+            "{} MRE {} unreasonably high",
+            approach.name(),
+            s.mre
+        );
+        assert!(s.mae.is_finite() && s.npre.is_finite());
+    }
+}
+
+#[test]
+fn amf_has_best_relative_accuracy_end_to_end() {
+    // The paper's headline, via the complete cross-crate pipeline.
+    let amf = evaluate(Approach::Amf, 0.20);
+    for other in [
+        Approach::Upcc,
+        Approach::Ipcc,
+        Approach::Uipcc,
+        Approach::Pmf,
+    ] {
+        let o = evaluate(other, 0.20);
+        assert!(
+            amf.mre <= o.mre * 1.05,
+            "AMF MRE {} vs {} {}",
+            amf.mre,
+            other.name(),
+            o.mre
+        );
+        assert!(
+            amf.npre <= o.npre * 1.05,
+            "AMF NPRE {} vs {} {}",
+            amf.npre,
+            other.name(),
+            o.npre
+        );
+    }
+}
+
+#[test]
+fn throughput_pipeline_works_end_to_end() {
+    let dataset = QosDataset::generate(&scale().dataset_config());
+    let matrix = dataset.slice_matrix(Attribute::Throughput, 0);
+    let mut rng = StdRng::seed_from_u64(5);
+    let split = split_matrix(&matrix, 0.25, &mut rng);
+    let trained = Approach::Amf.train(&split, Attribute::Throughput, 5, 0, 900);
+    let predicted = trained.predict_split(&split);
+    let s = AccuracySummary::evaluate(&split.test_actuals(), &predicted).unwrap();
+    assert!(s.mre < 1.5, "TP MRE {}", s.mre);
+    // Predictions respect the TP range.
+    assert!(predicted.iter().all(|&p| (0.0..=7000.0).contains(&p)));
+}
+
+#[test]
+fn higher_density_does_not_hurt_amf() {
+    let sparse = evaluate(Approach::Amf, 0.10);
+    let dense = evaluate(Approach::Amf, 0.40);
+    assert!(
+        dense.mre <= sparse.mre * 1.1,
+        "MRE should improve with data: {} -> {}",
+        sparse.mre,
+        dense.mre
+    );
+}

@@ -1,0 +1,187 @@
+//! Integration: the online model lifecycle across time slices — streaming
+//! ingestion, warm-started convergence, expiry of stale data, churn, and
+//! checkpoint/restore mid-stream.
+
+use amf_core::{persistence, AmfConfig, AmfTrainer};
+use qos_dataset::sampling::split_matrix;
+use qos_dataset::stream::SliceStream;
+use qos_dataset::{Attribute, DatasetConfig, QosDataset};
+use qos_metrics::AccuracySummary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> QosDataset {
+    QosDataset::generate(&DatasetConfig {
+        users: 40,
+        services: 120,
+        time_slices: 6,
+        ..DatasetConfig::small()
+    })
+}
+
+fn mre_of(trainer: &AmfTrainer, split: &qos_dataset::MatrixSplit) -> f64 {
+    let fallback = split.train.mean().unwrap_or(1.0);
+    let predicted: Vec<f64> = split
+        .test
+        .iter()
+        .map(|e| trainer.model().predict_or(e.row, e.col, fallback))
+        .collect();
+    AccuracySummary::evaluate(&split.test_actuals(), &predicted)
+        .expect("non-empty test")
+        .mre
+}
+
+#[test]
+fn streaming_across_slices_stays_accurate() {
+    let ds = dataset();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut trainer = AmfTrainer::new(AmfConfig::response_time()).unwrap();
+    let mut mres = Vec::new();
+    for slice in 0..4 {
+        let matrix = ds.slice_matrix(Attribute::ResponseTime, slice);
+        let split = split_matrix(&matrix, 0.2, &mut rng);
+        let stream = SliceStream::from_split(&ds, &split, slice, &mut rng);
+        let samples = stream
+            .iter()
+            .map(|s| (s.user, s.service, s.timestamp, s.value));
+        trainer.train_slice(
+            samples.collect::<Vec<_>>(),
+            amf_core::trainer::ReplayOptions {
+                max_iterations: 120_000,
+                min_iterations: 10_000,
+                window: 2_000,
+                tolerance: 1e-3,
+                patience: 3,
+            },
+        );
+        mres.push(mre_of(&trainer, &split));
+    }
+    // Accuracy holds across slices (temporal drift absorbed online).
+    for (slice, &mre) in mres.iter().enumerate() {
+        assert!(mre < 1.0, "slice {slice}: MRE {mre}");
+    }
+    // Later slices benefit from the warm start: not worse than the first.
+    assert!(
+        mres[3] <= mres[0] * 1.25,
+        "warm-start accuracy regressed: {:?}",
+        mres
+    );
+}
+
+#[test]
+fn stale_data_expires_between_distant_slices() {
+    let ds = dataset();
+    let mut rng = StdRng::seed_from_u64(2);
+    let matrix = ds.slice_matrix(Attribute::ResponseTime, 0);
+    let split = split_matrix(&matrix, 0.1, &mut rng);
+    let mut trainer = AmfTrainer::new(AmfConfig::response_time()).unwrap();
+    for (k, e) in split.train.iter().enumerate() {
+        trainer.feed(e.row, e.col, k as u64 % 900, e.value);
+    }
+    assert!(!trainer.store().is_empty());
+    // Jump the clock far past the 15-minute expiry; everything becomes
+    // stale and replay drains the store.
+    trainer.advance_clock(10_000);
+    let report = trainer.replay_until_converged(Default::default());
+    assert_eq!(report.iterations, 0);
+    assert!(trainer.store().is_empty());
+    // New data revives training.
+    trainer.feed(0, 0, 10_001, 1.0);
+    assert!(trainer.replay_one().is_some());
+}
+
+#[test]
+fn checkpoint_restore_mid_stream_is_lossless() {
+    let ds = dataset();
+    let mut rng = StdRng::seed_from_u64(3);
+    let matrix = ds.slice_matrix(Attribute::ResponseTime, 0);
+    let split = split_matrix(&matrix, 0.2, &mut rng);
+
+    let mut trainer = AmfTrainer::new(AmfConfig::response_time()).unwrap();
+    let entries: Vec<_> = split.train.iter().copied().collect();
+    let half = entries.len() / 2;
+    for (k, e) in entries[..half].iter().enumerate() {
+        trainer.feed(e.row, e.col, k as u64 % 900, e.value);
+    }
+
+    // Checkpoint the model, restore, and continue with the second half.
+    let mut buffer = Vec::new();
+    persistence::save(trainer.model(), &mut buffer).unwrap();
+    let restored_model = persistence::load(&buffer[..]).unwrap();
+    assert_eq!(
+        restored_model.update_count(),
+        trainer.model().update_count()
+    );
+
+    let mut restored = AmfTrainer::new(*restored_model.config()).unwrap();
+    *restored.model_mut() = restored_model;
+    for (k, e) in entries[half..].iter().enumerate() {
+        restored.feed(e.row, e.col, k as u64 % 900, e.value);
+    }
+    restored.replay_until_converged(amf_core::trainer::ReplayOptions {
+        max_iterations: 60_000,
+        min_iterations: 6_000,
+        window: 2_000,
+        tolerance: 1e-3,
+        patience: 3,
+    });
+    let mre = mre_of(&restored, &split);
+    assert!(mre < 1.0, "restored-model MRE {mre}");
+}
+
+#[test]
+fn churning_users_join_without_disturbing_model() {
+    let ds = dataset();
+    let mut rng = StdRng::seed_from_u64(4);
+    let matrix = ds.slice_matrix(Attribute::ResponseTime, 0);
+    let split = split_matrix(&matrix, 0.25, &mut rng);
+    let mut trainer = AmfTrainer::new(AmfConfig::response_time()).unwrap();
+
+    // Train on users 0..30 only.
+    let old_entries: Vec<_> = split.train.iter().filter(|e| e.row < 30).copied().collect();
+    for (k, e) in old_entries.iter().enumerate() {
+        trainer.feed(e.row, e.col, k as u64 % 900, e.value);
+    }
+    trainer.replay_until_converged(amf_core::trainer::ReplayOptions {
+        max_iterations: 80_000,
+        min_iterations: 8_000,
+        window: 2_000,
+        tolerance: 1e-3,
+        patience: 3,
+    });
+    let old_test: Vec<_> = split.test.iter().filter(|e| e.row < 30).copied().collect();
+    let before: Vec<f64> = old_test
+        .iter()
+        .map(|e| trainer.model().predict_or(e.row, e.col, 1.0))
+        .collect();
+
+    // Users 30..40 join with their observations.
+    for (k, e) in split.train.iter().filter(|e| e.row >= 30).enumerate() {
+        trainer.feed(e.row, e.col, k as u64 % 900, e.value);
+    }
+    trainer.replay_until_converged(amf_core::trainer::ReplayOptions {
+        max_iterations: 40_000,
+        min_iterations: 4_000,
+        window: 2_000,
+        tolerance: 1e-3,
+        patience: 3,
+    });
+
+    // Existing users' predictions did not blow up.
+    let after: Vec<f64> = old_test
+        .iter()
+        .map(|e| trainer.model().predict_or(e.row, e.col, 1.0))
+        .collect();
+    let actual: Vec<f64> = old_test.iter().map(|e| e.value).collect();
+    let mre_before = AccuracySummary::evaluate(&actual, &before).unwrap().mre;
+    let mre_after = AccuracySummary::evaluate(&actual, &after).unwrap().mre;
+    assert!(
+        mre_after < mre_before * 1.5,
+        "existing users disturbed: {mre_before} -> {mre_after}"
+    );
+
+    // New users are now predictable.
+    let new_user = 35;
+    assert!(trainer.model().has_user(new_user));
+    assert!(trainer.model().predict(new_user, 0).is_some());
+}

@@ -1,0 +1,99 @@
+//! Integration: the paper's qualitative claims, checked end to end through
+//! the experiment harness at reduced scale. These are the "shape" assertions
+//! the full benches reproduce quantitatively.
+
+use qos_dataset::Attribute;
+use qos_eval::experiments::{ablation, fig10, fig11, fig12, fig14, fig7_8, fig9};
+use qos_eval::Scale;
+
+fn scale() -> Scale {
+    Scale {
+        users: 60,
+        services: 150,
+        time_slices: 2,
+        repetitions: 1,
+        seed: 2014,
+    }
+}
+
+#[test]
+fn claim_transform_normalizes_distributions() {
+    // Figs. 7 -> 8: Box-Cox collapses the skew.
+    let r = fig7_8::run(&scale());
+    assert!(r.rt.raw_skewness > 1.0);
+    assert!(r.rt.transformed_skewness.abs() < r.rt.raw_skewness / 2.0);
+    assert!(r.tp.raw_skewness > 1.0);
+    assert!(r.tp.transformed_skewness.abs() < r.tp.raw_skewness / 2.0);
+}
+
+#[test]
+fn claim_qos_matrices_are_low_rank() {
+    // Fig. 9: a handful of singular values carry the matrix.
+    let r = fig9::run(&scale());
+    assert!(r.rt_energy_top(10) > 0.85);
+    let tail = r.response_time.len() - 1;
+    assert!(r.response_time[tail] < 0.15);
+}
+
+#[test]
+fn claim_amf_concentrates_errors_near_zero() {
+    // Fig. 10: AMF's signed-error mass near zero is at least the baselines'.
+    let r = fig10::run_with(&scale(), Attribute::ResponseTime, 0.15);
+    let masses = r.central_masses();
+    let amf = masses[2].1;
+    assert!(
+        amf >= masses[0].1 * 0.95,
+        "AMF {} vs UIPCC {}",
+        amf,
+        masses[0].1
+    );
+    assert!(
+        amf >= masses[1].1 * 0.95,
+        "AMF {} vs PMF {}",
+        amf,
+        masses[1].1
+    );
+}
+
+#[test]
+fn claim_transformation_and_loss_both_matter() {
+    // Fig. 11 at two densities: AMF <= PMF on MRE; E-ABL2: relative loss
+    // beats squared loss on MRE.
+    let r = fig11::run_with(&scale(), &[0.15, 0.35]);
+    for (attr, mres) in &r.curves {
+        for (pmf, amf) in mres[0].iter().zip(&mres[2]) {
+            assert!(amf <= &(pmf * 1.05), "{attr}: AMF {amf} vs PMF {pmf}");
+        }
+    }
+    let loss = ablation::run_loss(&scale());
+    for attr in ["RT", "TP"] {
+        let rel = loss.cell(attr, "relative", "boxcox").unwrap().summary;
+        let sq = loss.cell(attr, "squared", "boxcox").unwrap().summary;
+        assert!(
+            rel.mre <= sq.mre * 1.15,
+            "{attr}: relative {} vs squared {}",
+            rel.mre,
+            sq.mre
+        );
+    }
+}
+
+#[test]
+fn claim_density_controls_overfitting() {
+    // Fig. 12 shape at three densities.
+    let r = fig12::run_with(&scale(), &[0.05, 0.25, 0.50], &[Attribute::ResponseTime]);
+    let summaries = &r.curves[0].1;
+    assert!(summaries[0].mre > summaries[2].mre);
+}
+
+#[test]
+fn claim_scalability_under_churn() {
+    // Fig. 14: new entities converge, existing ones stay stable.
+    let r = fig14::run(&scale());
+    let (first, last) = r.new_first_and_last();
+    assert!(
+        last < first,
+        "new-entity MRE should fall: {first} -> {last}"
+    );
+    assert!(r.existing_worst_after_join() < r.existing_before_join() * 2.0);
+}
