@@ -7,7 +7,8 @@ use qos_dataset::io;
 
 /// Usage text for the subcommand.
 pub const USAGE: &str = "amf-qos train --data TRIPLETS --out MODEL [--attr rt|tp] \
-[--alpha A] [--lambda L] [--beta B] [--eta E] [--dim D] [--seed S] [--max-replays N]";
+[--alpha A] [--lambda L] [--beta B] [--eta E] [--dim D] [--seed S] [--max-replays N] \
+[--shards K]";
 
 /// Runs the subcommand.
 ///
@@ -20,6 +21,10 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let attr = parse_attribute(args)?;
     let config = amf_config_from(args, attr)?;
     let max_replays: usize = args.parse_or("max-replays", 0usize)?;
+    let shards: usize = args.parse_or("shards", 1usize)?;
+    if shards == 0 {
+        return Err(CliError("--shards must be >= 1".into()));
+    }
 
     let samples = io::read_triplets(std::fs::File::open(&data_path)?)?;
     if samples.is_empty() {
@@ -27,8 +32,17 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     }
 
     let mut trainer = AmfTrainer::new(config)?;
-    for s in &samples {
-        trainer.feed(s.user, s.service, s.timestamp, s.value);
+    if shards > 1 {
+        // Concurrent ingestion: identical results (the engine preserves
+        // per-entity stream order), scaled across `shards` worker threads.
+        trainer.feed_batch_sharded(
+            samples.iter().map(|s| (s.user, s.service, s.timestamp, s.value)),
+            amf_core::EngineOptions::with_shards(shards),
+        )?;
+    } else {
+        for s in &samples {
+            trainer.feed(s.user, s.service, s.timestamp, s.value);
+        }
     }
     let mut options = qos_eval::methods::replay_options_for(samples.len());
     if max_replays > 0 {
@@ -93,6 +107,60 @@ mod tests {
         assert_eq!(restored.num_services(), 8);
         std::fs::remove_file(data).unwrap();
         std::fs::remove_file(model).unwrap();
+    }
+
+    #[test]
+    fn sharded_training_matches_sequential() {
+        let data = temp_path("data3.txt");
+        write_samples(&data, 80);
+        let seq_model = temp_path("seq.amf");
+        let shard_model = temp_path("shard.amf");
+        run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &seq_model,
+            "--max-replays",
+            "2000",
+        ]))
+        .unwrap();
+        let summary = run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &shard_model,
+            "--max-replays",
+            "2000",
+            "--shards",
+            "4",
+        ]))
+        .unwrap();
+        assert!(summary.contains("trained on 80 samples"));
+        // Same feed results (engine parity) + same replay stream => identical
+        // saved models.
+        assert_eq!(
+            std::fs::read(&seq_model).unwrap(),
+            std::fs::read(&shard_model).unwrap()
+        );
+        for p in [data, seq_model, shard_model] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_zero_shards() {
+        let data = temp_path("data4.txt");
+        write_samples(&data, 10);
+        let err = run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &temp_path("never2.amf"),
+            "--shards",
+            "0",
+        ]));
+        assert!(err.is_err());
+        std::fs::remove_file(data).unwrap();
     }
 
     #[test]

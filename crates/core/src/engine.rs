@@ -1,0 +1,731 @@
+//! Sharded concurrent online-update engine.
+//!
+//! [`crate::AmfTrainer::feed`] applies the QoS stream strictly sequentially,
+//! which caps ingestion at one core. This module scales the same per-sample
+//! update (Eq. 16–17 via [`crate::model::apply_observation`]) across threads
+//! while keeping the result *identical* to sequential execution:
+//!
+//! * The user and service factor matrices are partitioned into `K`
+//!   lock-striped shards (`entity id % K`); every shard's entities — feature
+//!   vector *and* EMA error tracker — are guarded by one per-shard mutex, so
+//!   a sample's SGD step and its two tracker updates (Algorithm 1 lines
+//!   21–23) commit atomically with respect to other samples.
+//! * Incoming samples are fanned out to `K` std-thread workers over bounded
+//!   channels (routing by user stripe), in chunks to amortize channel
+//!   overhead.
+//! * Per-entity ordering is enforced with tickets: the dispatcher stamps each
+//!   sample with its user's and service's next sequence numbers, and a worker
+//!   only applies a sample when both entities have reached those tickets,
+//!   yielding otherwise. Per-user order comes free (FIFO routing by user);
+//!   per-service order is what the tickets buy.
+//!
+//! **Why this gives exact parity.** One online update reads and writes only
+//! the two entities it touches, so updates on disjoint entities commute
+//! bit-for-bit. With per-entity order fixed to stream order, the inputs of
+//! every update are — by induction along each entity's update chain — the
+//! same values sequential execution produces, whatever the cross-entity
+//! interleaving. Entity initialization is order-independent too
+//! ([`crate::model`]'s per-entity seeding), so a drained engine's snapshot is
+//! bitwise equal to the sequential [`crate::AmfModel`] fed the same stream.
+//! The parity integration tests assert exactly that.
+//!
+//! # Examples
+//!
+//! ```
+//! use amf_core::engine::{EngineOptions, ShardedEngine};
+//! use amf_core::AmfConfig;
+//!
+//! let mut engine = ShardedEngine::new(
+//!     AmfConfig::response_time(),
+//!     EngineOptions { shards: 4, ..EngineOptions::default() },
+//! )?;
+//! engine.feed_batch([(0, 0, 1.4), (1, 0, 0.9), (0, 1, 2.3)]);
+//! engine.drain();
+//! let model = engine.snapshot();
+//! assert_eq!(model.update_count(), 3);
+//! assert!(model.predict(1, 1).is_some());
+//! # Ok::<(), amf_core::AmfError>(())
+//! ```
+
+use crate::config::AmfConfig;
+use crate::model::{apply_observation, AmfModel, EntityKind, EntityState};
+use crate::AmfError;
+use qos_transform::QosTransform;
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for [`ShardedEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Number of lock stripes *and* worker threads, `K ≥ 1`.
+    pub shards: usize,
+    /// Bounded per-worker channel depth, in chunks.
+    pub queue_capacity: usize,
+    /// Samples per dispatched chunk (amortizes channel overhead).
+    pub chunk_size: usize,
+    /// Record, per entity, the global stream indices of the samples applied
+    /// to it — the evidence the parity tests compare against stream order.
+    /// Costs one `Vec` push per entity per sample; off by default.
+    pub record_history: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            queue_capacity: 64,
+            chunk_size: 256,
+            record_history: false,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// Options for `K` shards, other knobs at their defaults.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+
+    /// Checks the options are usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmfError::InvalidConfig`] when any knob is zero.
+    pub fn validate(&self) -> Result<(), AmfError> {
+        if self.shards == 0 {
+            return Err(AmfError::InvalidConfig("shards must be >= 1".into()));
+        }
+        if self.chunk_size == 0 || self.queue_capacity == 0 {
+            return Err(AmfError::InvalidConfig(
+                "chunk_size and queue_capacity must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One queued observation with its ordering tickets.
+struct Job {
+    user: usize,
+    service: usize,
+    raw: f64,
+    /// This sample's position in the user's per-entity sequence.
+    user_ticket: u64,
+    /// This sample's position in the service's per-entity sequence.
+    service_ticket: u64,
+    /// Global stream index (history recording only).
+    index: u64,
+}
+
+/// One entity's sharded state.
+struct Slot {
+    state: EntityState,
+    /// Next per-entity sequence number this entity will accept.
+    next_ticket: u64,
+    /// Applied global stream indices (when history recording is on).
+    history: Vec<u64>,
+}
+
+/// One lock stripe: the entities whose `id % K` equals the stripe index.
+#[derive(Default)]
+struct Stripe {
+    slots: HashMap<usize, Slot>,
+}
+
+struct Shared {
+    config: AmfConfig,
+    transform: QosTransform,
+    users: Vec<Mutex<Stripe>>,
+    services: Vec<Mutex<Stripe>>,
+    record_history: bool,
+    /// Applied-sample count, paired with a condvar so [`ShardedEngine::drain`]
+    /// can sleep instead of spinning.
+    processed: Mutex<u64>,
+    drained: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // A panicking worker must not wedge every other worker on poison errors;
+    // per-sample updates keep the stripe consistent at every await point.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Shared {
+    fn slot<'a>(
+        &self,
+        stripe: &'a mut Stripe,
+        kind: EntityKind,
+        id: usize,
+    ) -> &'a mut Slot {
+        stripe.slots.entry(id).or_insert_with(|| Slot {
+            state: EntityState::fresh(&self.config, kind, id),
+            next_ticket: 0,
+            history: Vec::new(),
+        })
+    }
+
+    fn apply(&self, job: &Job) {
+        let (u_stripe, s_stripe) = (
+            job.user % self.users.len(),
+            job.service % self.services.len(),
+        );
+        loop {
+            // Lock order is always user stripe then service stripe; the two
+            // stripe arrays are disjoint, so this cannot deadlock.
+            let mut users = lock(&self.users[u_stripe]);
+            let user_ready =
+                self.slot(&mut users, EntityKind::User, job.user).next_ticket == job.user_ticket;
+            if user_ready {
+                let mut services = lock(&self.services[s_stripe]);
+                let service_ready = self
+                    .slot(&mut services, EntityKind::Service, job.service)
+                    .next_ticket
+                    == job.service_ticket;
+                if service_ready {
+                    let user_slot = users.slots.get_mut(&job.user).expect("just ensured");
+                    let service_slot =
+                        services.slots.get_mut(&job.service).expect("just ensured");
+                    apply_observation(
+                        &self.config,
+                        &self.transform,
+                        &mut user_slot.state,
+                        &mut service_slot.state,
+                        job.raw,
+                    );
+                    user_slot.next_ticket += 1;
+                    service_slot.next_ticket += 1;
+                    if self.record_history {
+                        user_slot.history.push(job.index);
+                        service_slot.history.push(job.index);
+                    }
+                    return;
+                }
+            }
+            // An earlier sample of one of the two entities is still in
+            // flight on another worker; it is queued and will run, so back
+            // off and retry.
+            drop(users);
+            std::thread::yield_now();
+        }
+    }
+
+    fn worker(&self, jobs: &Receiver<Vec<Job>>) {
+        while let Ok(chunk) = jobs.recv() {
+            let n = chunk.len() as u64;
+            for job in &chunk {
+                self.apply(job);
+            }
+            *lock(&self.processed) += n;
+            self.drained.notify_all();
+        }
+    }
+}
+
+/// Concurrent wrapper around the AMF model state: ingests a QoS stream with
+/// `K` worker threads while guaranteeing sequential-equivalent results.
+///
+/// The engine is a *dispatcher* handle: [`ShardedEngine::feed_batch`] stamps
+/// tickets and routes, workers own the hot loop. Reads go through
+/// [`ShardedEngine::snapshot`] (drains first), or [`ShardedEngine::into_model`]
+/// to finish ingestion and take the model out without cloning.
+pub struct ShardedEngine {
+    shared: Arc<Shared>,
+    senders: Vec<SyncSender<Vec<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+    /// Per-worker chunk under construction.
+    pending: Vec<Vec<Job>>,
+    /// Dispatcher-side per-entity ticket counters.
+    user_tickets: HashMap<usize, u64>,
+    service_tickets: HashMap<usize, u64>,
+    /// Entity-count watermarks (mirror the sequential model's dense
+    /// registration: ids up to the maximum seen exist after a snapshot).
+    num_users: usize,
+    num_services: usize,
+    submitted: u64,
+    /// Update count carried over from a pre-trained source model.
+    base_updates: u64,
+    options: EngineOptions,
+}
+
+impl ShardedEngine {
+    /// Creates an empty engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmfError::InvalidConfig`] for invalid hyperparameters or an
+    /// invalid `options.shards == 0`.
+    pub fn new(config: AmfConfig, options: EngineOptions) -> Result<Self, AmfError> {
+        Self::from_model(AmfModel::new(config)?, options)
+    }
+
+    /// Wraps an existing (possibly trained) model, taking ownership of its
+    /// entity state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmfError::InvalidConfig`] when `options.shards == 0` or the
+    /// chunk/queue sizes are zero.
+    pub fn from_model(model: AmfModel, options: EngineOptions) -> Result<Self, AmfError> {
+        options.validate()?;
+        let k = options.shards;
+        let config = *model.config();
+        let transform = *model.transform();
+        let base_updates = model.update_count();
+        let (users, services) = model.into_entities();
+        let (num_users, num_services) = (users.len(), services.len());
+
+        let mut user_stripes: Vec<Stripe> = (0..k).map(|_| Stripe::default()).collect();
+        let mut service_stripes: Vec<Stripe> = (0..k).map(|_| Stripe::default()).collect();
+        for (id, state) in users.into_iter().enumerate() {
+            user_stripes[id % k].slots.insert(
+                id,
+                Slot {
+                    state,
+                    next_ticket: 0,
+                    history: Vec::new(),
+                },
+            );
+        }
+        for (id, state) in services.into_iter().enumerate() {
+            service_stripes[id % k].slots.insert(
+                id,
+                Slot {
+                    state,
+                    next_ticket: 0,
+                    history: Vec::new(),
+                },
+            );
+        }
+
+        let shared = Arc::new(Shared {
+            config,
+            transform,
+            users: user_stripes.into_iter().map(Mutex::new).collect(),
+            services: service_stripes.into_iter().map(Mutex::new).collect(),
+            record_history: options.record_history,
+            processed: Mutex::new(0),
+            drained: Condvar::new(),
+        });
+
+        let mut senders = Vec::with_capacity(k);
+        let mut workers = Vec::with_capacity(k);
+        for w in 0..k {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<Job>>(options.queue_capacity);
+            let shared_w = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("amf-shard-{w}"))
+                    .spawn(move || shared_w.worker(&rx))
+                    .map_err(AmfError::Io)?,
+            );
+            senders.push(tx);
+        }
+
+        Ok(Self {
+            shared,
+            senders,
+            workers,
+            pending: (0..k).map(|_| Vec::new()).collect(),
+            user_tickets: HashMap::new(),
+            service_tickets: HashMap::new(),
+            num_users,
+            num_services,
+            submitted: 0,
+            base_updates,
+            options,
+        })
+    }
+
+    /// The engine's tuning options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// The model hyperparameters.
+    pub fn config(&self) -> &AmfConfig {
+        &self.shared.config
+    }
+
+    /// Number of samples accepted by [`ShardedEngine::feed_batch`] so far.
+    pub fn submitted(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Number of samples workers have fully applied so far.
+    pub fn processed(&self) -> u64 {
+        *lock(&self.shared.processed)
+    }
+
+    /// Queues one observation. Prefer [`ShardedEngine::feed_batch`] for
+    /// streams: single samples still flush a whole chunk dispatch.
+    pub fn feed(&mut self, user: usize, service: usize, raw: f64) {
+        self.feed_batch([(user, service, raw)]);
+    }
+
+    /// Queues a batch of `(user, service, raw QoS)` observations, fanning
+    /// them out to the shard workers. Returns once every sample is *queued*
+    /// (bounded queues apply backpressure); use [`ShardedEngine::drain`] to
+    /// wait for application.
+    pub fn feed_batch<I>(&mut self, samples: I)
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let k = self.options.shards;
+        for (user, service, raw) in samples {
+            let user_ticket = self.user_tickets.entry(user).or_insert(0);
+            let service_ticket = self.service_tickets.entry(service).or_insert(0);
+            let job = Job {
+                user,
+                service,
+                raw,
+                user_ticket: *user_ticket,
+                service_ticket: *service_ticket,
+                index: self.submitted,
+            };
+            *user_ticket += 1;
+            *service_ticket += 1;
+            self.submitted += 1;
+            self.num_users = self.num_users.max(user + 1);
+            self.num_services = self.num_services.max(service + 1);
+
+            let w = user % k;
+            self.pending[w].push(job);
+            if self.pending[w].len() >= self.options.chunk_size {
+                let chunk = std::mem::take(&mut self.pending[w]);
+                self.send(w, chunk);
+            }
+        }
+        self.flush();
+    }
+
+    /// Registers a user eagerly (id and factors exist before any sample).
+    /// Safe while workers are mid-stream: creation takes the stripe lock.
+    pub fn ensure_user(&mut self, user: usize) {
+        self.num_users = self.num_users.max(user + 1);
+        let stripe = user % self.options.shards;
+        let mut guard = lock(&self.shared.users[stripe]);
+        self.shared.slot(&mut guard, EntityKind::User, user);
+    }
+
+    /// Registers a service eagerly; see [`ShardedEngine::ensure_user`].
+    pub fn ensure_service(&mut self, service: usize) {
+        self.num_services = self.num_services.max(service + 1);
+        let stripe = service % self.options.shards;
+        let mut guard = lock(&self.shared.services[stripe]);
+        self.shared.slot(&mut guard, EntityKind::Service, service);
+    }
+
+    /// Blocks until every queued sample has been applied.
+    pub fn drain(&mut self) {
+        self.flush();
+        let target = self.submitted;
+        let mut processed = lock(&self.shared.processed);
+        while *processed < target {
+            processed = self
+                .shared
+                .drained
+                .wait(processed)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Drains, then assembles the current state into a standalone
+    /// [`AmfModel`] (cloning entity state; the engine keeps running).
+    ///
+    /// Ids never touched but below a touched id are materialized with their
+    /// deterministic initial state, matching the sequential model's dense
+    /// registration.
+    pub fn snapshot(&mut self) -> AmfModel {
+        self.drain();
+        let users = self.collect_entities(EntityKind::User, self.num_users);
+        let services = self.collect_entities(EntityKind::Service, self.num_services);
+        let updates = self.base_updates + self.submitted;
+        AmfModel::restore(self.shared.config, users, services, updates)
+            .expect("config was validated at engine construction")
+    }
+
+    /// Drains, stops the workers, and returns the final model without
+    /// cloning entity state.
+    pub fn into_model(mut self) -> AmfModel {
+        self.drain();
+        self.shutdown();
+        let users = self.take_entities(EntityKind::User, self.num_users);
+        let services = self.take_entities(EntityKind::Service, self.num_services);
+        let updates = self.base_updates + self.submitted;
+        AmfModel::restore(self.shared.config, users, services, updates)
+            .expect("config was validated at engine construction")
+    }
+
+    /// Global stream indices applied to `user`, in application order.
+    /// `None` unless [`EngineOptions::record_history`] is on and the user has
+    /// a slot. Call [`ShardedEngine::drain`] first for a complete log.
+    pub fn user_history(&self, user: usize) -> Option<Vec<u64>> {
+        if !self.options.record_history {
+            return None;
+        }
+        let guard = lock(&self.shared.users[user % self.options.shards]);
+        guard.slots.get(&user).map(|s| s.history.clone())
+    }
+
+    /// Global stream indices applied to `service`; see
+    /// [`ShardedEngine::user_history`].
+    pub fn service_history(&self, service: usize) -> Option<Vec<u64>> {
+        if !self.options.record_history {
+            return None;
+        }
+        let guard = lock(&self.shared.services[service % self.options.shards]);
+        guard.slots.get(&service).map(|s| s.history.clone())
+    }
+
+    fn send(&self, worker: usize, chunk: Vec<Job>) {
+        // The receiver outlives the senders by construction; a send error
+        // would mean a worker died, which only happens at shutdown.
+        self.senders[worker]
+            .send(chunk)
+            .expect("shard worker terminated before its sender");
+    }
+
+    fn flush(&mut self) {
+        for w in 0..self.pending.len() {
+            if !self.pending[w].is_empty() {
+                let chunk = std::mem::take(&mut self.pending[w]);
+                self.send(w, chunk);
+            }
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.senders.clear(); // closes every channel
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn collect_entities(&self, kind: EntityKind, count: usize) -> Vec<EntityState> {
+        let stripes = match kind {
+            EntityKind::User => &self.shared.users,
+            EntityKind::Service => &self.shared.services,
+        };
+        (0..count)
+            .map(|id| {
+                let guard = lock(&stripes[id % self.options.shards]);
+                guard
+                    .slots
+                    .get(&id)
+                    .map(|slot| slot.state.clone())
+                    .unwrap_or_else(|| EntityState::fresh(&self.shared.config, kind, id))
+            })
+            .collect()
+    }
+
+    fn take_entities(&mut self, kind: EntityKind, count: usize) -> Vec<EntityState> {
+        let stripes = match kind {
+            EntityKind::User => &self.shared.users,
+            EntityKind::Service => &self.shared.services,
+        };
+        (0..count)
+            .map(|id| {
+                let mut guard = lock(&stripes[id % self.options.shards]);
+                guard
+                    .slots
+                    .remove(&id)
+                    .map(|slot| slot.state)
+                    .unwrap_or_else(|| EntityState::fresh(&self.shared.config, kind, id))
+            })
+            .collect()
+    }
+}
+
+impl Drop for ShardedEngine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.options.shards)
+            .field("submitted", &self.submitted)
+            .field("users", &self.num_users)
+            .field("services", &self.num_services)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: usize, users: usize, services: usize) -> Vec<(usize, usize, f64)> {
+        // Small deterministic LCG stream; values in (0.1, 10.1).
+        let mut state = 0x1234_5678_u64;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let u = (state >> 33) as usize % users;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let s = (state >> 33) as usize % services;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let v = 0.1 + ((state >> 11) as f64 / (1u64 << 53) as f64) * 10.0;
+                (u, s, v)
+            })
+            .collect()
+    }
+
+    fn sequential(samples: &[(usize, usize, f64)]) -> AmfModel {
+        let mut model = AmfModel::new(AmfConfig::response_time()).unwrap();
+        for &(u, s, v) in samples {
+            model.observe(u, s, v);
+        }
+        model
+    }
+
+    fn factors_equal(a: &AmfModel, b: &AmfModel) -> bool {
+        a.num_users() == b.num_users()
+            && a.num_services() == b.num_services()
+            && (0..a.num_users()).all(|u| a.user_factors(u) == b.user_factors(u))
+            && (0..a.num_services()).all(|s| a.service_factors(s) == b.service_factors(s))
+    }
+
+    #[test]
+    fn single_shard_matches_sequential_bitwise() {
+        let samples = stream(2_000, 12, 30);
+        let expected = sequential(&samples);
+        let mut engine = ShardedEngine::new(
+            AmfConfig::response_time(),
+            EngineOptions {
+                shards: 1,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        engine.feed_batch(samples.iter().copied());
+        let got = engine.into_model();
+        assert!(factors_equal(&expected, &got));
+        assert_eq!(got.update_count(), 2_000);
+    }
+
+    #[test]
+    fn multi_shard_matches_sequential_bitwise() {
+        let samples = stream(5_000, 17, 41);
+        let expected = sequential(&samples);
+        for shards in [2, 3, 4] {
+            let mut engine = ShardedEngine::new(
+                AmfConfig::response_time(),
+                EngineOptions {
+                    shards,
+                    chunk_size: 32,
+                    ..EngineOptions::default()
+                },
+            )
+            .unwrap();
+            engine.feed_batch(samples.iter().copied());
+            let got = engine.into_model();
+            assert!(
+                factors_equal(&expected, &got),
+                "parity broke at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_is_reusable_mid_stream() {
+        let samples = stream(1_000, 8, 20);
+        let mut engine = ShardedEngine::new(
+            AmfConfig::response_time(),
+            EngineOptions::default(),
+        )
+        .unwrap();
+        engine.feed_batch(samples[..500].iter().copied());
+        let mid = engine.snapshot();
+        assert_eq!(mid.update_count(), 500);
+        engine.feed_batch(samples[500..].iter().copied());
+        let done = engine.into_model();
+        assert_eq!(done.update_count(), 1_000);
+        // The mid-stream snapshot equals a sequential run of the prefix.
+        assert!(factors_equal(&mid, &sequential(&samples[..500])));
+    }
+
+    #[test]
+    fn from_model_continues_training() {
+        let samples = stream(800, 6, 12);
+        let warm = sequential(&samples[..400]);
+        let mut engine = ShardedEngine::from_model(
+            warm,
+            EngineOptions {
+                shards: 2,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        engine.feed_batch(samples[400..].iter().copied());
+        let got = engine.into_model();
+        assert!(factors_equal(&got, &sequential(&samples)));
+        assert_eq!(got.update_count(), 800);
+    }
+
+    #[test]
+    fn history_matches_stream_order(){
+        let samples = stream(600, 5, 9);
+        let mut engine = ShardedEngine::new(
+            AmfConfig::response_time(),
+            EngineOptions {
+                shards: 3,
+                chunk_size: 16,
+                record_history: true,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        engine.feed_batch(samples.iter().copied());
+        engine.drain();
+        for u in 0..5 {
+            let expected: Vec<u64> = samples
+                .iter()
+                .enumerate()
+                .filter(|(_, &(user, _, _))| user == u)
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(engine.user_history(u).unwrap(), expected, "user {u}");
+        }
+        for s in 0..9 {
+            let expected: Vec<u64> = samples
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, service, _))| service == s)
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(engine.service_history(s).unwrap(), expected, "service {s}");
+        }
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(matches!(
+            ShardedEngine::new(
+                AmfConfig::response_time(),
+                EngineOptions {
+                    shards: 0,
+                    ..EngineOptions::default()
+                }
+            ),
+            Err(AmfError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn drain_on_empty_engine_is_immediate() {
+        let mut engine =
+            ShardedEngine::new(AmfConfig::response_time(), EngineOptions::default()).unwrap();
+        engine.drain();
+        assert_eq!(engine.processed(), 0);
+        let model = engine.into_model();
+        assert_eq!(model.num_users(), 0);
+    }
+}

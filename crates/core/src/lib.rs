@@ -47,6 +47,7 @@
 
 pub mod config;
 pub mod diagnostics;
+pub mod engine;
 pub mod expiry;
 pub mod model;
 pub mod online;
@@ -56,6 +57,7 @@ pub mod weights;
 
 pub use config::{AmfConfig, LossKind};
 pub use diagnostics::ModelDiagnostics;
+pub use engine::{EngineOptions, ShardedEngine};
 pub use expiry::ObservationStore;
 pub use model::AmfModel;
 pub use trainer::{AmfTrainer, TrainReport};

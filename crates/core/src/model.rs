@@ -18,6 +18,47 @@ pub(crate) struct EntityState {
     pub(crate) tracker: ErrorTracker,
 }
 
+/// Which side of the factorization an entity belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EntityKind {
+    /// A user (row of the QoS matrix).
+    User,
+    /// A service (column of the QoS matrix).
+    Service,
+}
+
+/// Seed for one entity's feature-vector initialization.
+///
+/// Derived from the model seed and the entity's `(kind, id)` alone — *not*
+/// from registration order — so that any two components that materialize the
+/// same entity (the sequential [`AmfModel`], a [`crate::engine::ShardedEngine`]
+/// worker, a restored checkpoint registering fresh ids) produce bit-identical
+/// factors. This is what makes sequential-vs-sharded parity well defined.
+pub(crate) fn entity_seed(model_seed: u64, kind: EntityKind, id: usize) -> u64 {
+    let tag: u64 = match kind {
+        EntityKind::User => 0x75,    // 'u'
+        EntityKind::Service => 0x73, // 's'
+    };
+    // SplitMix64-style finalizer over the packed inputs.
+    let mut z = model_seed
+        .wrapping_add(tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((id as u64).wrapping_mul(0xD134_2543_DE82_EF95));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl EntityState {
+    /// Deterministic fresh state for `(kind, id)` under `config`.
+    pub(crate) fn fresh(config: &AmfConfig, kind: EntityKind, id: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(entity_seed(config.seed, kind, id));
+        Self {
+            factors: normal_vec(&mut rng, config.dimension, 0.0, config.init_sigma),
+            tracker: ErrorTracker::new(),
+        }
+    }
+}
+
 /// The online AMF model (paper Section IV-C).
 ///
 /// Users and services are identified by dense indices and registered lazily:
@@ -46,7 +87,6 @@ pub struct AmfModel {
     transform: QosTransform,
     users: Vec<EntityState>,
     services: Vec<EntityState>,
-    rng: StdRng,
     updates: u64,
 }
 
@@ -64,7 +104,6 @@ impl AmfModel {
             transform,
             users: Vec::new(),
             services: Vec::new(),
-            rng: StdRng::seed_from_u64(config.seed),
             updates: 0,
             config,
         })
@@ -96,17 +135,10 @@ impl AmfModel {
         self.updates
     }
 
-    fn fresh_entity(rng: &mut StdRng, config: &AmfConfig) -> EntityState {
-        EntityState {
-            factors: normal_vec(rng, config.dimension, 0.0, config.init_sigma),
-            tracker: ErrorTracker::new(),
-        }
-    }
-
     /// Registers users up to and including `user` (no-op when present).
     pub fn ensure_user(&mut self, user: usize) {
         while self.users.len() <= user {
-            let e = Self::fresh_entity(&mut self.rng, &self.config);
+            let e = EntityState::fresh(&self.config, EntityKind::User, self.users.len());
             self.users.push(e);
         }
     }
@@ -114,7 +146,7 @@ impl AmfModel {
     /// Registers services up to and including `service` (no-op when present).
     pub fn ensure_service(&mut self, service: usize) {
         while self.services.len() <= service {
-            let e = Self::fresh_entity(&mut self.rng, &self.config);
+            let e = EntityState::fresh(&self.config, EntityKind::Service, self.services.len());
             self.services.push(e);
         }
     }
@@ -149,27 +181,12 @@ impl AmfModel {
     pub fn observe(&mut self, user: usize, service: usize, raw: f64) -> UpdateOutcome {
         self.ensure_user(user);
         self.ensure_service(service);
-        let r = self.transform.to_normalized(raw);
-
-        let e_user = self.users[user].tracker.error();
-        let e_service = self.services[service].tracker.error();
-        let outcome = sgd_step(
+        let outcome = apply_observation(
             &self.config,
-            &mut self.users[user].factors,
-            &mut self.services[service].factors,
-            r,
-            e_user,
-            e_service,
-        );
-        // Algorithm 1 lines 22–23: update the trackers with this sample's
-        // error, weighted by each side's adaptive weight.
-        self.users[user]
-            .tracker
-            .update(outcome.sample_error, self.config.beta, outcome.w_user);
-        self.services[service].tracker.update(
-            outcome.sample_error,
-            self.config.beta,
-            outcome.w_service,
+            &self.transform,
+            &mut self.users[user],
+            &mut self.services[service],
+            raw,
         );
         self.updates += 1;
         outcome
@@ -228,10 +245,6 @@ impl AmfModel {
         updates: u64,
     ) -> Result<Self, AmfError> {
         let mut model = Self::new(config)?;
-        // Re-seed the RNG past the restored registrations so new entities do
-        // not repeat the originals' initializations.
-        model.rng =
-            StdRng::seed_from_u64(config.seed ^ updates.wrapping_mul(0x2545_F491_4F6C_DD1D));
         model.users = users;
         model.services = services;
         model.updates = updates;
@@ -241,6 +254,45 @@ impl AmfModel {
     pub(crate) fn entities(&self) -> (&[EntityState], &[EntityState]) {
         (&self.users, &self.services)
     }
+
+    pub(crate) fn into_entities(self) -> (Vec<EntityState>, Vec<EntityState>) {
+        (self.users, self.services)
+    }
+}
+
+/// Applies one full online update — transform, SGD step (Eq. 16–17), and the
+/// two tracker EMA updates (Algorithm 1 lines 21–23) — to a user/service
+/// state pair.
+///
+/// This is the *only* per-sample mutation in the crate: [`AmfModel::observe`]
+/// and every [`crate::engine::ShardedEngine`] worker funnel through it, which
+/// is what makes sequential and sharded execution comparable update-for-update.
+pub(crate) fn apply_observation(
+    config: &AmfConfig,
+    transform: &QosTransform,
+    user: &mut EntityState,
+    service: &mut EntityState,
+    raw: f64,
+) -> UpdateOutcome {
+    let r = transform.to_normalized(raw);
+    let e_user = user.tracker.error();
+    let e_service = service.tracker.error();
+    let outcome = sgd_step(
+        config,
+        &mut user.factors,
+        &mut service.factors,
+        r,
+        e_user,
+        e_service,
+    );
+    // Algorithm 1 lines 22–23: update the trackers with this sample's error,
+    // weighted by each side's adaptive weight.
+    user.tracker
+        .update(outcome.sample_error, config.beta, outcome.w_user);
+    service
+        .tracker
+        .update(outcome.sample_error, config.beta, outcome.w_service);
+    outcome
 }
 
 #[cfg(test)]

@@ -255,4 +255,96 @@ mod tests {
         assert!(u.iter().all(|v| v.is_finite()));
         assert!(s.iter().all(|v| v.is_finite()));
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        fn random_factors(rng: &mut StdRng, dim: usize, magnitude: f64) -> Vec<f64> {
+            (0..dim)
+                .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * magnitude)
+                .collect()
+        }
+
+        proptest! {
+            #[test]
+            fn step_is_always_finite_and_bounded(
+                r in 0.0..1.0f64,
+                log_mag in -6.0..2.0f64,
+                e_user in 0.0..1.0f64,
+                e_service in 0.0..1.0f64,
+                seed in 0u64..1u64 << 32,
+            ) {
+                // Factor magnitudes up to 10² drive the inner product deep
+                // into sigmoid saturation (g' underflows); magnitudes near
+                // 10⁻⁶ exercise the regularization-only regime. In every
+                // case the clamps must keep the update finite and each
+                // component's move inside STEP_CLIP.
+                for loss in [LossKind::Relative, LossKind::Squared] {
+                    let mut cfg = config();
+                    cfg.loss = loss;
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let magnitude = 10f64.powf(log_mag);
+                    let mut u = random_factors(&mut rng, cfg.dimension, magnitude);
+                    let mut s = random_factors(&mut rng, cfg.dimension, magnitude);
+                    let (before_u, before_s) = (u.clone(), s.clone());
+                    let out = sgd_step(&cfg, &mut u, &mut s, r, e_user, e_service);
+                    prop_assert!(out.g.is_finite());
+                    prop_assert!(out.sample_error.is_finite());
+                    prop_assert!(out.sample_error >= 0.0);
+                    // Adaptive weights are a convex split of the step.
+                    prop_assert!(out.w_user >= 0.0 && out.w_service >= 0.0);
+                    prop_assert!((out.w_user + out.w_service - 1.0).abs() < 1e-12);
+                    for k in 0..cfg.dimension {
+                        prop_assert!(u[k].is_finite() && s[k].is_finite());
+                        prop_assert!((u[k] - before_u[k]).abs() <= STEP_CLIP + 1e-15);
+                        prop_assert!((s[k] - before_s[k]).abs() <= STEP_CLIP + 1e-15);
+                    }
+                }
+            }
+
+            #[test]
+            fn floor_region_never_blows_up(
+                r in 0.0..NORMALIZED_FLOOR,
+                seed in 0u64..1u64 << 32,
+            ) {
+                // Everything at or below NORMALIZED_FLOOR shares the floored
+                // denominator: the error is |r − g|/FLOOR exactly, never inf.
+                let cfg = config();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut u = random_factors(&mut rng, cfg.dimension, 0.3);
+                let mut s = random_factors(&mut rng, cfg.dimension, 0.3);
+                let out = sgd_step(&cfg, &mut u, &mut s, r, 1.0, 1.0);
+                prop_assert!(out.sample_error.is_finite());
+                prop_assert!(
+                    (out.sample_error - (r - out.g).abs() / NORMALIZED_FLOOR).abs() < 1e-12
+                );
+                prop_assert!(u.iter().chain(s.iter()).all(|v| v.is_finite()));
+            }
+
+            #[test]
+            fn saturated_sigmoid_still_updates_finitely(
+                sign in proptest::bool::ANY,
+                seed in 0u64..1u64 << 32,
+            ) {
+                // A pair frozen deep in saturation (|x| ≈ 400, g' == 0):
+                // the update degenerates to pure regularization and stays
+                // finite — no NaN from 0·inf, no runaway from 1/r².
+                let cfg = config();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let direction = if sign { 1.0 } else { -1.0 };
+                let mut u = vec![direction * 20.0; cfg.dimension];
+                let mut s: Vec<f64> =
+                    (0..cfg.dimension).map(|_| 2.0 + rng.random::<f64>()).collect();
+                let out = sgd_step(&cfg, &mut u, &mut s, 0.5, 1.0, 1.0);
+                // Fully saturated: within an ulp of 1, or a denormal-scale
+                // positive on the negative tail.
+                prop_assert!(out.g < 1e-100 || out.g > 1.0 - 1e-12);
+                prop_assert!(out.sample_error.is_finite());
+                prop_assert!(u.iter().chain(s.iter()).all(|v| v.is_finite()));
+            }
+        }
+    }
 }

@@ -138,6 +138,41 @@ impl AmfTrainer {
         self.model.observe(user, service, value);
     }
 
+    /// Batch variant of [`AmfTrainer::feed`] that applies the online updates
+    /// through a [`crate::engine::ShardedEngine`] with `options.shards`
+    /// worker threads. Results are identical to feeding the samples one by
+    /// one (the engine preserves per-entity stream order, which pins down
+    /// the execution bit-for-bit); only the wall-clock differs. Returns the
+    /// number of samples applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmfError::InvalidConfig`] when `options` are invalid; the
+    /// trainer is untouched in that case.
+    pub fn feed_batch_sharded<I>(
+        &mut self,
+        samples: I,
+        options: crate::engine::EngineOptions,
+    ) -> Result<usize, AmfError>
+    where
+        I: IntoIterator<Item = (usize, usize, u64, f64)>,
+    {
+        options.validate()?;
+        let samples: Vec<(usize, usize, u64, f64)> = samples.into_iter().collect();
+        for &(user, service, timestamp, value) in &samples {
+            self.advance_clock(timestamp);
+            self.store.upsert(user, service, timestamp, value);
+        }
+        // The placeholder is cheap (empty entity vectors) and is dropped as
+        // soon as the engine hands the trained model back.
+        let placeholder = AmfModel::new(*self.model.config())?;
+        let model = std::mem::replace(&mut self.model, placeholder);
+        let mut engine = crate::engine::ShardedEngine::from_model(model, options)?;
+        engine.feed_batch(samples.iter().map(|&(u, s, _, v)| (u, s, v)));
+        self.model = engine.into_model();
+        Ok(samples.len())
+    }
+
     /// Replays one random live sample (Algorithm 1 lines 11–15). Returns the
     /// sample's relative error, or `None` when no live sample remains.
     pub fn replay_one(&mut self) -> Option<f64> {
@@ -348,6 +383,54 @@ mod tests {
             second.iterations,
             first.iterations
         );
+    }
+
+    #[test]
+    fn sharded_batch_feed_matches_sequential() {
+        let samples: Vec<(usize, usize, u64, f64)> = (0..400u64)
+            .map(|k| {
+                (
+                    (k % 7) as usize,
+                    (k % 9) as usize,
+                    k,
+                    0.5 + (k % 5) as f64 * 0.3,
+                )
+            })
+            .collect();
+        let mut seq = AmfTrainer::new(AmfConfig::response_time()).unwrap();
+        for &(u, s, t, v) in &samples {
+            seq.feed(u, s, t, v);
+        }
+        let mut sharded = AmfTrainer::new(AmfConfig::response_time()).unwrap();
+        let n = sharded
+            .feed_batch_sharded(
+                samples.iter().copied(),
+                crate::engine::EngineOptions::with_shards(3),
+            )
+            .unwrap();
+        assert_eq!(n, samples.len());
+        assert_eq!(seq.now(), sharded.now());
+        assert_eq!(seq.store().len(), sharded.store().len());
+        assert_eq!(seq.model().update_count(), sharded.model().update_count());
+        for u in 0..7 {
+            for s in 0..9 {
+                assert_eq!(seq.model().predict(u, s), sharded.model().predict(u, s));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_batch_feed_rejects_bad_options_without_damage() {
+        let mut t = AmfTrainer::new(AmfConfig::response_time()).unwrap();
+        t.feed(0, 0, 0, 1.0);
+        let before = t.model().predict(0, 0);
+        let err = t.feed_batch_sharded(
+            vec![(1, 1, 1, 2.0)],
+            crate::engine::EngineOptions::with_shards(0),
+        );
+        assert!(err.is_err());
+        assert_eq!(t.model().predict(0, 0), before);
+        assert_eq!(t.store().len(), 1);
     }
 
     #[test]

@@ -123,9 +123,12 @@ mod tests {
     use super::*;
 
     fn result() -> Fig10Result {
+        // Large enough that AMF's accuracy advantage is not swamped by
+        // initialization noise — at e.g. 24x80 the central-mass ordering
+        // depends on the RNG stream.
         run(&Scale {
-            users: 24,
-            services: 80,
+            users: 60,
+            services: 160,
             time_slices: 2,
             repetitions: 1,
             seed: 5,

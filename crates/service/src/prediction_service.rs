@@ -40,6 +40,12 @@ pub struct ServiceConfig {
     pub history_cap: usize,
     /// Replay stopping criteria used by [`QosPredictionService::idle`].
     pub replay: amf_core::trainer::ReplayOptions,
+    /// Worker threads/lock stripes used by batched ingestion
+    /// ([`QosPredictionService::drain_inputs`] and
+    /// [`QosPredictionService::submit_batch`]). `1` keeps ingestion on the
+    /// calling thread; results are identical either way (the sharded engine
+    /// preserves per-entity stream order).
+    pub shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +54,7 @@ impl Default for ServiceConfig {
             amf: AmfConfig::response_time(),
             history_cap: 16,
             replay: amf_core::trainer::ReplayOptions::default(),
+            shards: 1,
         }
     }
 }
@@ -136,14 +143,55 @@ impl QosPredictionService {
         self.input_tx.clone()
     }
 
-    /// Applies all queued channel records. Returns how many were processed.
+    /// Applies all queued channel records — through the sharded engine when
+    /// `config.shards > 1`. Returns how many were processed.
     pub fn drain_inputs(&self) -> usize {
-        let mut n = 0;
+        let mut batch = Vec::new();
         while let Ok(record) = self.input_rx.try_recv() {
-            self.submit(record);
-            n += 1;
+            batch.push(record);
         }
-        n
+        self.submit_batch(batch)
+    }
+
+    /// Input handling + online updating for a whole batch of records.
+    ///
+    /// Identities are registered and the records logged exactly like
+    /// [`QosPredictionService::submit`]; the model updates are applied by a
+    /// [`amf_core::ShardedEngine`] with `config.shards` workers (sequentially
+    /// when `shards <= 1`). Per-entity stream order is preserved, so the
+    /// resulting model is identical to one-by-one submission. Returns the
+    /// number of records applied.
+    pub fn submit_batch(&self, records: Vec<QosRecord>) -> usize {
+        if records.is_empty() {
+            return 0;
+        }
+        let mut samples = Vec::with_capacity(records.len());
+        {
+            let mut users = self.users.lock();
+            let mut services = self.services.lock();
+            for record in &records {
+                let user = users.join(&record.user);
+                let service = services.join(&record.service);
+                self.database
+                    .record(user, service, record.timestamp, record.value);
+                samples.push((user, service, record.timestamp, record.value));
+            }
+        }
+        let n = samples.len();
+        let mut trainer = self.trainer.lock();
+        if self.config.shards > 1 {
+            trainer
+                .feed_batch_sharded(
+                    samples,
+                    amf_core::EngineOptions::with_shards(self.config.shards),
+                )
+                .expect("shards >= 2 is a valid engine option")
+        } else {
+            for (user, service, timestamp, value) in samples {
+                trainer.feed(user, service, timestamp, value);
+            }
+            n
+        }
     }
 
     /// Input handling + online updating for one record: registers identities,
@@ -335,6 +383,50 @@ mod tests {
         });
         producer.join().unwrap();
         assert_eq!(svc.drain_inputs(), 20);
+    }
+
+    #[test]
+    fn sharded_batch_ingestion_matches_sequential() {
+        let records: Vec<QosRecord> = (0..120u64)
+            .map(|k| {
+                record(
+                    &format!("u{}", k % 6),
+                    &format!("s{}", k % 8),
+                    k,
+                    0.4 + (k % 5) as f64 * 0.7,
+                )
+            })
+            .collect();
+        let seq = QosPredictionService::new(ServiceConfig::default());
+        for r in records.clone() {
+            seq.submit(r);
+        }
+        let sharded = QosPredictionService::new(ServiceConfig {
+            shards: 4,
+            ..Default::default()
+        });
+        assert_eq!(sharded.submit_batch(records), 120);
+        assert_eq!(seq.stats(), sharded.stats());
+        for u in 0..6 {
+            for s in 0..8 {
+                assert_eq!(seq.predict_ids(u, s), sharded.predict_ids(u, s));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_channel_drain() {
+        let svc = QosPredictionService::new(ServiceConfig {
+            shards: 2,
+            ..Default::default()
+        });
+        let tx = svc.input_channel();
+        for k in 0..40u64 {
+            tx.send(record(&format!("u{}", k % 4), "s", k, 1.0)).unwrap();
+        }
+        assert_eq!(svc.drain_inputs(), 40);
+        assert_eq!(svc.stats().2, 40);
+        assert_eq!(svc.database().observation_count(), 40);
     }
 
     #[test]

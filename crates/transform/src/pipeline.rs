@@ -268,5 +268,54 @@ mod tests {
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             prop_assert!(t.to_normalized(lo) <= t.to_normalized(hi) + 1e-12);
         }
+
+        #[test]
+        fn boxcox_normalize_roundtrips_within_1e9(
+            alpha in -1.0..1.0f64,
+            frac in 0.0..1.0f64,
+        ) {
+            // Box–Cox -> range-normalize -> inverse is an identity on the
+            // configured raw range, to 1e-9, for any α.
+            let t = QosTransform::new(alpha, 0.0, 20.0).unwrap();
+            let raw = t.raw_range().min() + frac * t.raw_range().width();
+            let back = t.from_normalized(t.to_normalized(raw));
+            prop_assert!(
+                (back - raw).abs() < 1e-9 * (1.0 + raw.abs()),
+                "alpha {} raw {} -> {}", alpha, raw, back
+            );
+        }
+
+        #[test]
+        fn sigmoid_link_inverse_roundtrips_within_1e9(
+            alpha in -1.0..1.0f64,
+            r in 0.001..0.999f64,
+        ) {
+            // prediction_to_raw(logit(r)) must agree with from_normalized(r):
+            // the sigmoid link composed with its inverse vanishes from the
+            // backward pipeline.
+            let t = QosTransform::new(alpha, 0.0, 20.0).unwrap();
+            let logit = (r / (1.0 - r)).ln();
+            let via_link = t.prediction_to_raw(logit);
+            let direct = t.from_normalized(r);
+            prop_assert!(
+                (via_link - direct).abs() < 1e-9 * (1.0 + direct.abs()),
+                "alpha {} r {}: {} vs {}", alpha, r, via_link, direct
+            );
+        }
+
+        #[test]
+        fn throughput_range_roundtrips_within_1e9(
+            alpha in -1.0..1.0f64,
+            frac in 0.0..1.0f64,
+        ) {
+            // Same identity on the throughput-style range (paper: R_max = 7000).
+            let t = QosTransform::new(alpha, 0.0, 7000.0).unwrap();
+            let raw = t.raw_range().min() + frac * t.raw_range().width();
+            let back = t.from_normalized(t.to_normalized(raw));
+            prop_assert!(
+                (back - raw).abs() < 1e-9 * (1.0 + raw.abs()),
+                "alpha {} raw {} -> {}", alpha, raw, back
+            );
+        }
     }
 }

@@ -1,0 +1,263 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! wall-clock measurement loop: a few warm-up iterations, then `sample_size`
+//! timed samples whose mean/min are printed to stdout. There is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported like criterion's.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-iteration measurement driver passed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Total time spent in measured iterations.
+    elapsed: Duration,
+    /// Number of measured iterations.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Times `routine` on a fresh input from `setup`, excluding setup time.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Criterion 0.5 name for [`Bencher::iter_with_setup`] (batched input
+    /// generation; the shim runs one input per sample).
+    pub fn iter_batched<I, O, S, F>(&mut self, setup: S, routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.iter_with_setup(setup, routine);
+    }
+}
+
+/// Batch sizing hint (accepted, ignored: one input per sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchSize {
+    /// Small inputs.
+    #[default]
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// Per-iteration inputs.
+    PerIteration,
+}
+
+/// Identifier for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like criterion renders it.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        Self {
+            name: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A bare parameter id (criterion's `from_parameter`).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+fn run_case(label: &str, sample_size: usize, mut routine: impl FnMut(&mut Bencher)) {
+    // Warm-up pass, then timed samples.
+    let mut warm = Bencher::default();
+    routine(&mut warm);
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let mut iters = 0u64;
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher::default();
+        routine(&mut b);
+        let per_iter = if b.iters > 0 {
+            b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX)
+        } else {
+            Duration::ZERO
+        };
+        best = best.min(per_iter);
+        total += b.elapsed;
+        iters += b.iters.max(1);
+    }
+    let mean = total / u32::try_from(iters.max(1)).unwrap_or(u32::MAX);
+    println!("bench: {label:<48} mean {mean:>12.3?}   best {best:>12.3?}");
+}
+
+/// Group of related benchmark cases sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples per case.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Overrides the target measurement time (accepted, ignored: this
+    /// harness is sample-count driven).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a named case.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: F) {
+        run_case(&format!("{}/{}", self.name, id), self.sample_size, f);
+    }
+
+    /// Benchmarks a case parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_case(&format!("{}/{}", self.name, id), self.sample_size, |b| {
+            f(b, input);
+        });
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Accepts command-line configuration (no-op in the shim).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Default number of timed samples per case.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a named case.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_case(name, self.effective_sample_size(), f);
+        self
+    }
+
+    /// Opens a named group of cases.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.effective_sample_size();
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Final analysis hook (no-op).
+    pub fn final_summary(&mut self) {}
+
+    fn effective_sample_size(&self) -> usize {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+}
+
+/// Declares a group function running each target against one [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("double", 21), &21u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("k", 4).to_string(), "k/4");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro over named-argument strategies, numeric range
+//! strategies, tuple strategies, [`collection::vec`], [`bool::ANY`], and the
+//! `prop_assert*` macros. Unlike real proptest there is no shrinking and no
+//! persisted failure seeds: each test runs a fixed number of cases from a
+//! generator seeded deterministically by the test's name, so failures
+//! reproduce exactly across runs and thread counts.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Number of cases each property runs (fixed; override per call site by
+/// looping in the test body if ever needed).
+pub const CASES: usize = 64;
+
+/// The RNG handed to strategies by the [`proptest!`] runner.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Deterministic runner for a named test.
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// A value generator, mirroring `proptest::strategy::Strategy`.
+///
+/// Only generation is supported (no shrinking), so `Value` is produced
+/// directly rather than through a value tree.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                use rand::Rng;
+                runner.rng().random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                use rand::Rng;
+                runner.rng().random_range(self.clone())
+            }
+        }
+    )+};
+}
+range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(runner),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRunner};
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lengths: core::ops::Range<usize>,
+    }
+
+    /// `vec(element, lengths)` generates vectors whose length is uniform in
+    /// `lengths` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, lengths: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, lengths }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let len = self.lengths.clone().generate(runner);
+            (0..len).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use super::{Strategy, TestRunner};
+
+    /// Strategy yielding fair coin flips.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// A fair boolean.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, runner: &mut TestRunner) -> bool {
+            use rand::Rng;
+            runner.rng().random()
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn property_name(x in 0.0..1.0f64, v in proptest::collection::vec(0u8..4, 0..16)) {
+///         prop_assert!(x < 1.0);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])+ fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])+
+            fn $name() {
+                let mut runner = $crate::TestRunner::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for _case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut runner);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// `assert_eq!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// `assert_ne!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let mut a = crate::TestRunner::from_name("x");
+        let mut b = crate::TestRunner::from_name("x");
+        let s = 0.0..1.0f64;
+        assert_eq!(s.generate(&mut a).to_bits(), s.generate(&mut b).to_bits());
+    }
+
+    proptest! {
+        #[test]
+        fn macro_generates_all_argument_kinds(
+            x in -5.0..5.0f64,
+            n in 0u8..4,
+            pair in (0.0..1.0f64, 1usize..3),
+            v in crate::collection::vec((crate::bool::ANY, 0u8..8), 0..20),
+        ) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!(n < 4);
+            prop_assert!(pair.0 < 1.0 && pair.1 >= 1);
+            prop_assert!(v.len() < 20);
+            for (_flag, k) in v {
+                prop_assert!(k < 8);
+            }
+        }
+    }
+}

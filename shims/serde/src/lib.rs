@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` to document
+//! intent — all actual persistence is the hand-rolled text format in
+//! `amf_core::persistence`, and no code calls serde's (de)serialization
+//! machinery. This shim therefore provides marker traits and a no-op derive
+//! so the annotations keep compiling without crates.io access.
+
+/// Marker counterpart of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

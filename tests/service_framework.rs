@@ -58,10 +58,12 @@ fn middleware_with_live_service_adapts_workflows() {
     let ds = dataset();
     let service = QosPredictionService::new(ServiceConfig::default());
 
-    // Seed the predictor with broad observations.
+    // Seed the predictor with broad observations. Half density: at 1/3 the
+    // model's ranking of user 0's candidates is at the mercy of the RNG
+    // stream, and the greedy policy can lock onto a mispredicted service.
     for user in 0..ds.users() {
         for svc in 0..ds.services() {
-            if (user + svc) % 3 == 0 {
+            if (user + svc) % 2 == 0 {
                 service.submit(QosRecord {
                     user: format!("u{user}"),
                     service: format!("s{svc}"),

@@ -1,0 +1,93 @@
+//! Shared test support for the engine integration suites: a fixed-seed QoS
+//! stream generator, so `engine_parity` and `engine_churn` drive the exact
+//! same workload shape, and model-comparison helpers.
+
+use amf_core::AmfModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape of a generated stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSpec {
+    /// User-id universe (`0..users`).
+    pub users: usize,
+    /// Service-id universe (`0..services`).
+    pub services: usize,
+    /// Number of samples.
+    pub samples: usize,
+    /// RNG seed; equal specs yield identical streams.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// The spec both engine suites default to.
+    #[allow(dead_code)] // each integration target compiles its own copy
+    pub fn default_parity() -> Self {
+        Self {
+            users: 25,
+            services: 70,
+            samples: 8_000,
+            seed: 0xA3F0_51DE,
+        }
+    }
+}
+
+/// Deterministic `(user, service, raw QoS)` stream: uniformly random pairs
+/// with response-time-like values in `(0.05, 18.0)` seconds.
+pub fn qos_stream(spec: StreamSpec) -> Vec<(usize, usize, f64)> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.samples)
+        .map(|_| {
+            let user = rng.random_range(0..spec.users);
+            let service = rng.random_range(0..spec.services);
+            let value = 0.05 + rng.random::<f64>() * 17.95;
+            (user, service, value)
+        })
+        .collect()
+}
+
+/// Feeds the stream to a fresh sequential model — the reference the sharded
+/// engine must match.
+#[allow(dead_code)] // each integration target compiles its own copy
+pub fn sequential_reference(
+    config: amf_core::AmfConfig,
+    stream: &[(usize, usize, f64)],
+) -> AmfModel {
+    let mut model = AmfModel::new(config).expect("valid config");
+    for &(u, s, v) in stream {
+        model.observe(u, s, v);
+    }
+    model
+}
+
+/// Bitwise equality of two models' entire entity state, through the public
+/// API. Returns a description of the first mismatch, if any.
+#[allow(dead_code)] // each integration target compiles its own copy
+pub fn factor_mismatch(a: &AmfModel, b: &AmfModel) -> Option<String> {
+    if a.num_users() != b.num_users() || a.num_services() != b.num_services() {
+        return Some(format!(
+            "shape: {}x{} vs {}x{}",
+            a.num_users(),
+            a.num_services(),
+            b.num_users(),
+            b.num_services()
+        ));
+    }
+    for u in 0..a.num_users() {
+        if a.user_factors(u) != b.user_factors(u) {
+            return Some(format!("user {u} factors differ"));
+        }
+        if a.user_error(u) != b.user_error(u) {
+            return Some(format!("user {u} tracker differs"));
+        }
+    }
+    for s in 0..a.num_services() {
+        if a.service_factors(s) != b.service_factors(s) {
+            return Some(format!("service {s} factors differ"));
+        }
+        if a.service_error(s) != b.service_error(s) {
+            return Some(format!("service {s} tracker differs"));
+        }
+    }
+    None
+}
