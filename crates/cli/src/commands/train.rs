@@ -2,15 +2,26 @@
 
 use super::{amf_config_from, parse_attribute, CliError};
 use crate::args::Args;
-use amf_core::{persistence, AmfTrainer};
+use amf_core::{
+    persistence, AmfTrainer, FaultPlan, GuardConfig, QuarantineDiagnostics, SampleGuard,
+};
 use qos_dataset::io;
+use std::sync::Arc;
 
 /// Usage text for the subcommand.
 pub const USAGE: &str = "amf-qos train --data TRIPLETS --out MODEL [--attr rt|tp] \
 [--alpha A] [--lambda L] [--beta B] [--eta E] [--dim D] [--seed S] [--max-replays N] \
-[--shards K]";
+[--shards K] [--guard] [--fault-plan SPEC]";
 
 /// Runs the subcommand.
+///
+/// `--guard` screens the stream through a [`SampleGuard`] (quarantining
+/// NaN/∞, non-positive, and out-of-range values) and reports the quarantine
+/// diagnostics. `--fault-plan` parses a deterministic fault script
+/// (`seed=N;kill=W@J[:mid];stall=W@J:MS;drop=P;dup=P;reorder=N`): the stream
+/// mutations (drop/duplicate/reorder) are applied to the input, and with
+/// `--shards >= 2` the kill/stall script is injected into the shard workers
+/// to exercise crash recovery — training must still complete.
 ///
 /// # Errors
 ///
@@ -25,26 +36,72 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     if shards == 0 {
         return Err(CliError("--shards must be >= 1".into()));
     }
+    let fault_plan = match args.get("fault-plan") {
+        Some(spec) => Some(Arc::new(
+            FaultPlan::parse(spec).map_err(|e| CliError(format!("--fault-plan: {e}")))?,
+        )),
+        None => None,
+    };
 
     let samples = io::read_triplets(std::fs::File::open(&data_path)?)?;
     if samples.is_empty() {
         return Err(CliError(format!("{data_path}: no samples")));
     }
 
+    let mut stream: Vec<(usize, usize, u64, f64)> = samples
+        .iter()
+        .map(|s| (s.user, s.service, s.timestamp, s.value))
+        .collect();
+    let mut notes = String::new();
+    if let Some(plan) = &fault_plan {
+        let before = stream.len();
+        stream = plan.mutate_stream(&stream);
+        notes.push_str(&format!(
+            "\nfault plan: stream mutated {before} -> {} samples",
+            stream.len()
+        ));
+    }
+    let mut quarantine: Option<QuarantineDiagnostics> = None;
+    if args.switch("guard") {
+        let mut guard = SampleGuard::new(GuardConfig::for_amf(&config));
+        stream.retain(|&(u, s, _, v)| guard.admit(u, s, v).is_ok());
+        quarantine = Some(QuarantineDiagnostics::of(&guard));
+    }
+    if stream.is_empty() {
+        return Err(CliError(format!(
+            "{data_path}: no samples survived screening/faults"
+        )));
+    }
+
     let mut trainer = AmfTrainer::new(config)?;
     if shards > 1 {
         // Concurrent ingestion: identical results (the engine preserves
         // per-entity stream order), scaled across `shards` worker threads.
-        trainer.feed_batch_sharded(
-            samples.iter().map(|s| (s.user, s.service, s.timestamp, s.value)),
+        // A fault plan's kill/stall script rides along to exercise crash
+        // containment: workers respawn and replay their journal.
+        let (_, faults) = trainer.feed_batch_sharded_with(
+            stream.iter().copied(),
             amf_core::EngineOptions::with_shards(shards),
+            fault_plan.clone(),
         )?;
+        if faults != amf_core::FaultStats::default() {
+            notes.push_str(&format!(
+                "\nfault recovery: {} worker panics ({} injected), {} respawns, \
+                 {} jobs replayed, {} samples lost, {} workers abandoned",
+                faults.worker_panics,
+                faults.injected_panics,
+                faults.respawns,
+                faults.jobs_replayed,
+                faults.samples_lost,
+                faults.abandoned_workers
+            ));
+        }
     } else {
-        for s in &samples {
-            trainer.feed(s.user, s.service, s.timestamp, s.value);
+        for &(u, s, t, v) in &stream {
+            trainer.feed(u, s, t, v);
         }
     }
-    let mut options = qos_eval::methods::replay_options_for(samples.len());
+    let mut options = qos_eval::methods::replay_options_for(stream.len());
     if max_replays > 0 {
         options.max_iterations = max_replays;
         options.min_iterations = options.min_iterations.min(max_replays);
@@ -52,10 +109,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let report = trainer.replay_until_converged(options);
 
     persistence::save_file(trainer.model(), &out)?;
+    if let Some(diag) = &quarantine {
+        notes.push_str(&format!("\n{diag}"));
+    }
     Ok(format!(
         "trained on {} samples ({} users, {} services): {} replays in {:.2?} \
-         (converged: {}), model saved to {out}",
-        samples.len(),
+         (converged: {}), model saved to {out}{notes}",
+        stream.len(),
         trainer.model().num_users(),
         trainer.model().num_services(),
         report.iterations,
@@ -180,6 +240,119 @@ mod tests {
         std::fs::write(&data, "").unwrap();
         let model = temp_path("never.amf");
         assert!(run(&args(&["--data", &data, "--out", &model])).is_err());
+        std::fs::remove_file(data).unwrap();
+    }
+
+    #[test]
+    fn guard_quarantines_garbage_and_reports() {
+        let data = temp_path("garbage.txt");
+        let model = temp_path("garbage.amf");
+        // Mix clean samples with out-of-range garbage (writable as triplets,
+        // unlike NaN).
+        let samples: Vec<QosSample> = (0..40)
+            .map(|k| {
+                let v = if k % 10 == 3 {
+                    -4.0
+                } else {
+                    1.0 + (k % 3) as f64
+                };
+                QosSample::new(k as u64, k % 4, k % 6, v)
+            })
+            .collect();
+        io::write_triplets(&samples, std::fs::File::create(&data).unwrap()).unwrap();
+        let summary = run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &model,
+            "--guard",
+            "--max-replays",
+            "500",
+        ]))
+        .unwrap();
+        assert!(summary.contains("trained on 36 samples"), "{summary}");
+        assert!(summary.contains("4 rejected"), "{summary}");
+        std::fs::remove_file(data).unwrap();
+        std::fs::remove_file(model).unwrap();
+    }
+
+    #[test]
+    fn fault_plan_kill_still_trains_to_parity() {
+        let data = temp_path("data5.txt");
+        write_samples(&data, 80);
+        let clean_model = temp_path("clean5.amf");
+        let faulted_model = temp_path("faulted5.amf");
+        run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &clean_model,
+            "--max-replays",
+            "1000",
+            "--shards",
+            "2",
+        ]))
+        .unwrap();
+        let summary = run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &faulted_model,
+            "--max-replays",
+            "1000",
+            "--shards",
+            "2",
+            "--fault-plan",
+            "seed=7;kill=0@0",
+        ]))
+        .unwrap();
+        assert!(summary.contains("fault recovery"), "{summary}");
+        assert!(summary.contains("1 respawns"), "{summary}");
+        // Recovery replays the journal: the crashed run converges to the
+        // byte-identical model.
+        assert_eq!(
+            std::fs::read(&clean_model).unwrap(),
+            std::fs::read(&faulted_model).unwrap()
+        );
+        for p in [data, clean_model, faulted_model] {
+            std::fs::remove_file(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn fault_plan_drop_shrinks_stream() {
+        let data = temp_path("data6.txt");
+        let model = temp_path("model6.amf");
+        write_samples(&data, 100);
+        let summary = run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &model,
+            "--max-replays",
+            "500",
+            "--fault-plan",
+            "seed=1;drop=0.5",
+        ]))
+        .unwrap();
+        assert!(summary.contains("stream mutated 100 ->"), "{summary}");
+        std::fs::remove_file(data).unwrap();
+        std::fs::remove_file(model).unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed_fault_plan() {
+        let data = temp_path("data7.txt");
+        write_samples(&data, 10);
+        let err = run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &temp_path("never3.amf"),
+            "--fault-plan",
+            "bogus=1",
+        ]));
+        assert!(err.is_err());
         std::fs::remove_file(data).unwrap();
     }
 

@@ -134,6 +134,104 @@ impl std::fmt::Display for ModelDiagnostics {
     }
 }
 
+/// Number of bins in the per-service reject-rate histogram.
+pub const QUARANTINE_HISTOGRAM_BINS: usize = 10;
+
+/// Ingestion-quarantine health snapshot, built from a
+/// [`SampleGuard`](crate::guard::SampleGuard) after (or during) a stream.
+///
+/// The reject-rate histogram answers the operator question the raw counters
+/// cannot: *is garbage spread thinly across the fleet, or concentrated on a
+/// few misbehaving services?* A healthy stream puts every service in the
+/// first bin; a spike in the last bins names services whose QoS feed is
+/// broken (and whose predictions should be treated with suspicion).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineDiagnostics {
+    /// The guard's aggregate admission counters.
+    pub stats: crate::guard::GuardStats,
+    /// Services that had at least one sample screened.
+    pub services_seen: usize,
+    /// Services with at least one reject.
+    pub services_with_rejects: usize,
+    /// Histogram of per-service reject rates over `[0, 1]`, in
+    /// [`QUARANTINE_HISTOGRAM_BINS`] equal bins (bin 0 = cleanest). One
+    /// count per service seen.
+    pub reject_rate_histogram: Vec<u64>,
+    /// The worst offenders: `(service, rejects, seen)` sorted by reject
+    /// count descending, capped at ten entries.
+    pub worst_services: Vec<(usize, u64, u64)>,
+    /// Samples currently retained in the bounded quarantine log.
+    pub quarantine_len: usize,
+}
+
+impl QuarantineDiagnostics {
+    /// Summarizes a guard's quarantine state.
+    pub fn of(guard: &crate::guard::SampleGuard) -> Self {
+        let seen = guard.per_service_seen();
+        let rejects = guard.per_service_rejects();
+        let mut histogram = qos_linalg::histogram::Histogram::new(
+            0.0,
+            1.0 + f64::EPSILON, // keep rate 1.0 inside the last bin
+            QUARANTINE_HISTOGRAM_BINS,
+        );
+        let mut worst: Vec<(usize, u64, u64)> = Vec::new();
+        for (&service, &count) in seen {
+            let rejected = rejects.get(&service).copied().unwrap_or(0);
+            if let Some(h) = histogram.as_mut() {
+                h.add(rejected as f64 / count.max(1) as f64);
+            }
+            if rejected > 0 {
+                worst.push((service, rejected, count));
+            }
+        }
+        let services_with_rejects = worst.len();
+        worst.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        worst.truncate(10);
+        Self {
+            stats: guard.stats(),
+            services_seen: seen.len(),
+            services_with_rejects,
+            reject_rate_histogram: histogram
+                .map(|h| h.counts().to_vec())
+                .unwrap_or_else(|| vec![0; QUARANTINE_HISTOGRAM_BINS]),
+            worst_services: worst,
+            quarantine_len: guard.quarantine_len(),
+        }
+    }
+}
+
+impl std::fmt::Display for QuarantineDiagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "screened: {} accepted, {} rejected ({:.2}% — {} not-finite, {} non-positive, \
+             {} out-of-range, {} outlier), quarantine holds {}",
+            self.stats.accepted,
+            self.stats.rejected(),
+            self.stats.reject_rate() * 100.0,
+            self.stats.not_finite,
+            self.stats.non_positive,
+            self.stats.out_of_range,
+            self.stats.outlier,
+            self.quarantine_len,
+        )?;
+        writeln!(
+            f,
+            "services: {} seen, {} with rejects",
+            self.services_seen, self.services_with_rejects
+        )?;
+        write!(f, "reject-rate histogram [0..1]:")?;
+        for count in &self.reject_rate_histogram {
+            write!(f, " {count}")?;
+        }
+        writeln!(f)?;
+        for &(service, rejected, seen) in &self.worst_services {
+            writeln!(f, "  service {service}: {rejected}/{seen} rejected")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +302,42 @@ mod tests {
         assert!(text.contains("users:"));
         assert!(text.contains("services:"));
         assert!(text.contains("converged"));
+    }
+
+    #[test]
+    fn quarantine_histogram_separates_clean_and_dirty_services() {
+        let mut guard = crate::guard::SampleGuard::new(crate::guard::GuardConfig::default());
+        // Service 0: all clean. Service 1: half garbage.
+        for _ in 0..20 {
+            let _ = guard.admit(0, 0, 1.0);
+        }
+        for k in 0..20 {
+            let v = if k % 2 == 0 { 1.0 } else { f64::NAN };
+            let _ = guard.admit(0, 1, v);
+        }
+        let d = QuarantineDiagnostics::of(&guard);
+        assert_eq!(d.services_seen, 2);
+        assert_eq!(d.services_with_rejects, 1);
+        assert_eq!(d.stats.accepted, 30);
+        assert_eq!(d.stats.not_finite, 10);
+        assert_eq!(d.reject_rate_histogram.iter().sum::<u64>(), 2);
+        // Clean service lands in bin 0; the 50%-garbage one in the middle
+        // (the epsilon-widened range puts rate 0.5 just under the 5th edge).
+        assert_eq!(d.reject_rate_histogram[0], 1);
+        assert_eq!(d.reject_rate_histogram[4], 1);
+        assert_eq!(d.worst_services, vec![(1, 10, 20)]);
+        let text = d.to_string();
+        assert!(text.contains("histogram"));
+        assert!(text.contains("service 1: 10/20"));
+    }
+
+    #[test]
+    fn quarantine_diagnostics_of_untouched_guard_is_empty() {
+        let guard = crate::guard::SampleGuard::new(crate::guard::GuardConfig::default());
+        let d = QuarantineDiagnostics::of(&guard);
+        assert_eq!(d.services_seen, 0);
+        assert_eq!(d.stats.seen(), 0);
+        assert_eq!(d.reject_rate_histogram.iter().sum::<u64>(), 0);
+        assert!(d.worst_services.is_empty());
     }
 }

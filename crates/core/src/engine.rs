@@ -1,4 +1,4 @@
-//! Sharded concurrent online-update engine.
+//! Sharded concurrent online-update engine with shard crash containment.
 //!
 //! [`crate::AmfTrainer::feed`] applies the QoS stream strictly sequentially,
 //! which caps ingestion at one core. This module scales the same per-sample
@@ -29,6 +29,43 @@
 //! bitwise equal to the sequential [`crate::AmfModel`] fed the same stream.
 //! The parity integration tests assert exactly that.
 //!
+//! # Crash containment and recovery
+//!
+//! A runtime-adaptation service cannot afford one panicking shard worker to
+//! wedge ingestion or lose accepted samples. The engine therefore treats a
+//! worker thread as *disposable*:
+//!
+//! * Every worker's loop runs under `catch_unwind`; a panic marks the worker
+//!   dead, logs a [`FaultEvent`], and wakes the dispatcher. Stripe mutexes
+//!   recover from poisoning everywhere.
+//! * The dispatcher keeps a **per-worker journal** of stamped jobs that are
+//!   dispatched but not yet confirmed applied (workers publish a per-worker
+//!   applied watermark after every job). On worker death the dispatcher
+//!   respawns the shard thread and **replays the journal** from the
+//!   watermark. Replay is idempotent: a job whose ordering tickets have
+//!   already committed is skipped, so each accepted sample is applied
+//!   exactly once and per-entity order is preserved — the result stays
+//!   bitwise equal to the sequential run.
+//! * For crashes *mid-update* (state mutated, tickets not yet committed),
+//!   workers can snapshot the two touched entities into an in-flight backup
+//!   before every SGD step ([`EngineOptions::inflight_backup`], forced on
+//!   when a [`FaultPlan`] is attached); recovery rolls the torn entities
+//!   back before replaying, restoring exactness even for the nastiest crash
+//!   point.
+//! * Respawns are budgeted ([`EngineOptions::max_respawns`] per worker); a
+//!   worker that keeps dying is abandoned, its unapplied samples counted in
+//!   [`FaultStats::samples_lost`] rather than hanging [`ShardedEngine::drain`]
+//!   forever.
+//!
+//! Deterministic fault injection for all of the above lives in
+//! [`crate::fault::FaultPlan`] (attach via
+//! [`ShardedEngine::from_model_with_plan`]).
+//!
+//! When losing throughput is preferable to blocking (the service's
+//! load-shedding path), [`ShardedEngine::feed_batch_shedding`] bounds how
+//! long admission may wait on a full queue and sheds the remainder with
+//! exact counts instead of blocking forever.
+//!
 //! # Examples
 //!
 //! ```
@@ -48,13 +85,17 @@
 //! ```
 
 use crate::config::AmfConfig;
+use crate::fault::{FaultPlan, InjectedCrash, KillPhase};
 use crate::model::{apply_observation, AmfModel, EntityKind, EntityState};
 use crate::AmfError;
 use qos_transform::QosTransform;
-use std::collections::HashMap;
-use std::sync::mpsc::{Receiver, SyncSender};
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Tuning knobs for [`ShardedEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +110,13 @@ pub struct EngineOptions {
     /// to it — the evidence the parity tests compare against stream order.
     /// Costs one `Vec` push per entity per sample; off by default.
     pub record_history: bool,
+    /// Snapshot the two touched entities before every SGD step so a crash
+    /// *mid-update* can be rolled back exactly. Costs two small state clones
+    /// per sample; off by default, forced on when a fault plan is attached.
+    pub inflight_backup: bool,
+    /// Respawn budget per worker before the shard is abandoned and its
+    /// unapplied samples are counted as lost instead of retried forever.
+    pub max_respawns: u32,
 }
 
 impl Default for EngineOptions {
@@ -78,6 +126,8 @@ impl Default for EngineOptions {
             queue_capacity: 64,
             chunk_size: 256,
             record_history: false,
+            inflight_backup: false,
+            max_respawns: 8,
         }
     }
 }
@@ -109,7 +159,68 @@ impl EngineOptions {
     }
 }
 
+/// Load-shedding policy for [`ShardedEngine::feed_batch_shedding`]: how hard
+/// admission tries before dropping a chunk on a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedPolicy {
+    /// Attempts per chunk before shedding (1 = a single `try_send`).
+    pub max_attempts: u32,
+    /// Sleep between attempts.
+    pub backoff: Duration,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 16,
+            backoff: Duration::from_micros(500),
+        }
+    }
+}
+
+/// Outcome of a shedding feed: every offered sample is either queued or shed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedOutcome {
+    /// Samples queued for application.
+    pub queued: u64,
+    /// Samples dropped because the target queue stayed full.
+    pub shed: u64,
+}
+
+/// One recorded worker death.
+#[derive(Debug, Clone)]
+pub struct FaultEvent {
+    /// Which worker died.
+    pub worker: usize,
+    /// The worker's applied-job watermark at death.
+    pub at_job: u64,
+    /// Whether the panic was a scripted [`FaultPlan`] kill.
+    pub injected: bool,
+    /// The panic message (or a description of the injected fault).
+    pub message: String,
+}
+
+/// Aggregate fault counters for the engine's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Worker panics caught (injected and genuine).
+    pub worker_panics: u64,
+    /// Of those, scripted [`FaultPlan`] kills.
+    pub injected_panics: u64,
+    /// Successful worker respawns.
+    pub respawns: u64,
+    /// Journal jobs replayed to respawned workers (includes already-applied
+    /// jobs that replay then skipped).
+    pub jobs_replayed: u64,
+    /// Accepted samples abandoned because a worker exhausted its respawn
+    /// budget (0 in any healthy run).
+    pub samples_lost: u64,
+    /// Workers currently abandoned.
+    pub abandoned_workers: u64,
+}
+
 /// One queued observation with its ordering tickets.
+#[derive(Clone)]
 struct Job {
     user: usize,
     service: usize,
@@ -120,6 +231,8 @@ struct Job {
     service_ticket: u64,
     /// Global stream index (history recording only).
     index: u64,
+    /// Per-worker dispatch sequence number (journal watermark key).
+    seq: u64,
 }
 
 /// One entity's sharded state.
@@ -137,31 +250,52 @@ struct Stripe {
     slots: HashMap<usize, Slot>,
 }
 
+/// Pre-update snapshot of the two entities an in-flight job touches.
+struct InflightBackup {
+    user: usize,
+    service: usize,
+    user_ticket: u64,
+    service_ticket: u64,
+    user_state: EntityState,
+    service_state: EntityState,
+}
+
+/// Shared per-worker health and progress cell.
+struct WorkerCell {
+    /// False once the worker's loop has panicked (until respawn).
+    alive: AtomicBool,
+    /// Jobs completed (applied, or skipped as already-applied on replay):
+    /// the journal GC and drain watermark.
+    applied: AtomicU64,
+    /// The job snapshot recovery rolls torn state back from.
+    inflight: Mutex<Option<InflightBackup>>,
+}
+
 struct Shared {
     config: AmfConfig,
     transform: QosTransform,
     users: Vec<Mutex<Stripe>>,
     services: Vec<Mutex<Stripe>>,
     record_history: bool,
-    /// Applied-sample count, paired with a condvar so [`ShardedEngine::drain`]
-    /// can sleep instead of spinning.
-    processed: Mutex<u64>,
+    backup_enabled: bool,
+    cells: Vec<WorkerCell>,
+    /// Caught worker panics, oldest first.
+    faults: Mutex<Vec<FaultEvent>>,
+    /// Sleep/wake pair for [`ShardedEngine::drain`]; all state it waits on
+    /// lives in the atomics above, so the mutex guards nothing but the wait.
+    progress: Mutex<()>,
     drained: Condvar,
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     // A panicking worker must not wedge every other worker on poison errors;
-    // per-sample updates keep the stripe consistent at every await point.
+    // recovery restores any state a panic could have torn mid-update.
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Shared {
-    fn slot<'a>(
-        &self,
-        stripe: &'a mut Stripe,
-        kind: EntityKind,
-        id: usize,
-    ) -> &'a mut Slot {
+    fn slot<'a>(&self, stripe: &'a mut Stripe, kind: EntityKind, id: usize) -> &'a mut Slot {
         stripe.slots.entry(id).or_insert_with(|| Slot {
             state: EntityState::fresh(&self.config, kind, id),
             next_ticket: 0,
@@ -169,7 +303,7 @@ impl Shared {
         })
     }
 
-    fn apply(&self, job: &Job) {
+    fn apply(&self, w: usize, job: &Job) {
         let (u_stripe, s_stripe) = (
             job.user % self.users.len(),
             job.service % self.services.len(),
@@ -178,18 +312,37 @@ impl Shared {
             // Lock order is always user stripe then service stripe; the two
             // stripe arrays are disjoint, so this cannot deadlock.
             let mut users = lock(&self.users[u_stripe]);
-            let user_ready =
-                self.slot(&mut users, EntityKind::User, job.user).next_ticket == job.user_ticket;
-            if user_ready {
+            let user_slot = self.slot(&mut users, EntityKind::User, job.user);
+            if user_slot.next_ticket > job.user_ticket {
+                // Already applied before a crash: this is a journal replay
+                // of a completed job — skipping keeps replay idempotent.
+                return;
+            }
+            if user_slot.next_ticket == job.user_ticket {
                 let mut services = lock(&self.services[s_stripe]);
-                let service_ready = self
-                    .slot(&mut services, EntityKind::Service, job.service)
-                    .next_ticket
-                    == job.service_ticket;
-                if service_ready {
-                    let user_slot = users.slots.get_mut(&job.user).expect("just ensured");
-                    let service_slot =
-                        services.slots.get_mut(&job.service).expect("just ensured");
+                let service_slot = self.slot(&mut services, EntityKind::Service, job.service);
+                if service_slot.next_ticket > job.service_ticket {
+                    // Tickets commit together, so this mirrors the user-side
+                    // skip; defensive (unreachable when the user ticket
+                    // still matches).
+                    return;
+                }
+                if service_slot.next_ticket == job.service_ticket {
+                    if let Some(plan) = &self.fault_plan {
+                        // Scripted clean worker death: fires before any
+                        // state is touched.
+                        plan.crash_point(w, job.seq, KillPhase::Before);
+                    }
+                    if self.backup_enabled {
+                        *lock(&self.cells[w].inflight) = Some(InflightBackup {
+                            user: job.user,
+                            service: job.service,
+                            user_ticket: job.user_ticket,
+                            service_ticket: job.service_ticket,
+                            user_state: user_slot.state.clone(),
+                            service_state: service_slot.state.clone(),
+                        });
+                    }
                     apply_observation(
                         &self.config,
                         &self.transform,
@@ -197,37 +350,121 @@ impl Shared {
                         &mut service_slot.state,
                         job.raw,
                     );
+                    if let Some(plan) = &self.fault_plan {
+                        // Scripted mid-update death: factors mutated, tickets
+                        // not yet committed — recovery must roll back.
+                        plan.crash_point(w, job.seq, KillPhase::Mid);
+                    }
                     user_slot.next_ticket += 1;
                     service_slot.next_ticket += 1;
                     if self.record_history {
                         user_slot.history.push(job.index);
                         service_slot.history.push(job.index);
                     }
+                    if self.backup_enabled {
+                        *lock(&self.cells[w].inflight) = None;
+                    }
                     return;
                 }
             }
             // An earlier sample of one of the two entities is still in
-            // flight on another worker; it is queued and will run, so back
-            // off and retry.
+            // flight on another worker; it is queued (or being replayed
+            // after a crash) and will run, so back off and retry.
             drop(users);
             std::thread::yield_now();
         }
     }
 
-    fn worker(&self, jobs: &Receiver<Vec<Job>>) {
-        while let Ok(chunk) = jobs.recv() {
-            let n = chunk.len() as u64;
-            for job in &chunk {
-                self.apply(job);
+    /// The worker loop: applies chunks and publishes the per-job watermark.
+    /// Any panic is contained here — recorded, health flag dropped, and the
+    /// dispatcher woken to respawn.
+    fn worker(&self, w: usize, jobs: &Receiver<Vec<Job>>) {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            while let Ok(chunk) = jobs.recv() {
+                for job in &chunk {
+                    self.apply(w, job);
+                    self.cells[w].applied.store(job.seq + 1, Ordering::Release);
+                }
+                self.drained.notify_all();
             }
-            *lock(&self.processed) += n;
+        }));
+        if let Err(payload) = caught {
+            let injected = payload.downcast_ref::<InjectedCrash>();
+            let message = if let Some(crash) = injected {
+                format!("injected {:?} kill at job {}", crash.phase, crash.at_job)
+            } else if let Some(text) = payload.downcast_ref::<&str>() {
+                (*text).to_string()
+            } else if let Some(text) = payload.downcast_ref::<String>() {
+                text.clone()
+            } else {
+                "worker panicked".to_string()
+            };
+            self.cells[w].alive.store(false, Ordering::Release);
+            lock(&self.faults).push(FaultEvent {
+                worker: w,
+                at_job: self.cells[w].applied.load(Ordering::Acquire),
+                injected: injected.is_some(),
+                message,
+            });
             self.drained.notify_all();
+        }
+    }
+
+    /// Attempts to cancel a lost job's ordering tickets (abandoned-worker
+    /// path): bumps each touched entity's ticket past the job *as if* it had
+    /// been applied, without touching factors, so live workers sharing a
+    /// service with the lost job stop waiting for it. Returns `false` while
+    /// a predecessor sample is still in flight — retry after other workers
+    /// make progress. Each side's bump is idempotent (equality-gated), so a
+    /// partially-cancelled job can be retried safely.
+    fn try_cancel(&self, job: &Job) -> bool {
+        {
+            let mut users = lock(&self.users[job.user % self.users.len()]);
+            let slot = self.slot(&mut users, EntityKind::User, job.user);
+            if slot.next_ticket < job.user_ticket {
+                return false;
+            }
+            if slot.next_ticket == job.user_ticket {
+                slot.next_ticket += 1;
+            }
+        }
+        let mut services = lock(&self.services[job.service % self.services.len()]);
+        let slot = self.slot(&mut services, EntityKind::Service, job.service);
+        if slot.next_ticket < job.service_ticket {
+            return false;
+        }
+        if slot.next_ticket == job.service_ticket {
+            slot.next_ticket += 1;
+        }
+        true
+    }
+
+    /// Rolls back the torn state of `w`'s in-flight job, if its tickets
+    /// never committed.
+    fn rollback_inflight(&self, w: usize) {
+        let Some(backup) = lock(&self.cells[w].inflight).take() else {
+            return;
+        };
+        let mut users = lock(&self.users[backup.user % self.users.len()]);
+        if let Some(slot) = users.slots.get_mut(&backup.user) {
+            if slot.next_ticket == backup.user_ticket {
+                slot.state = backup.user_state;
+            }
+        }
+        drop(users);
+        let mut services = lock(&self.services[backup.service % self.services.len()]);
+        if let Some(slot) = services.slots.get_mut(&backup.service) {
+            if slot.next_ticket == backup.service_ticket {
+                slot.state = backup.service_state;
+            }
         }
     }
 }
 
 /// Concurrent wrapper around the AMF model state: ingests a QoS stream with
-/// `K` worker threads while guaranteeing sequential-equivalent results.
+/// `K` worker threads while guaranteeing sequential-equivalent results, and
+/// survives worker crashes without losing accepted samples (see the module
+/// docs for the recovery protocol).
 ///
 /// The engine is a *dispatcher* handle: [`ShardedEngine::feed_batch`] stamps
 /// tickets and routes, workers own the hot loop. Reads go through
@@ -236,9 +473,26 @@ impl Shared {
 pub struct ShardedEngine {
     shared: Arc<Shared>,
     senders: Vec<SyncSender<Vec<Job>>>,
-    workers: Vec<JoinHandle<()>>,
-    /// Per-worker chunk under construction.
+    workers: Vec<Option<JoinHandle<()>>>,
+    /// Per-worker chunk under construction (exact/blocking path).
     pending: Vec<Vec<Job>>,
+    /// Per-worker chunks stamped but not yet accepted by the channel. The
+    /// dispatcher never blocks on a channel send — chunks wait here and
+    /// [`ShardedEngine::pump`] moves them with `try_send`, so recovery and
+    /// ticket cancellation keep making progress even when a queue is full.
+    outbox: Vec<VecDeque<Vec<Job>>>,
+    /// Stamped-but-unconfirmed jobs per worker, oldest first — the replay
+    /// source after a worker death (a superset of the outbox's jobs).
+    journal: Vec<VecDeque<Job>>,
+    /// Lost jobs (abandoned workers) whose ordering tickets still need
+    /// cancelling; retried in [`ShardedEngine::pump`] until empty.
+    cancel_backlog: Vec<Job>,
+    /// Per-worker dispatch sequence counters (`journal` watermark space).
+    dispatched: Vec<u64>,
+    /// Per-worker respawn budget consumed.
+    respawns: Vec<u32>,
+    /// Workers whose respawn budget ran out.
+    abandoned: Vec<bool>,
     /// Dispatcher-side per-entity ticket counters.
     user_tickets: HashMap<usize, u64>,
     service_tickets: HashMap<usize, u64>,
@@ -247,6 +501,9 @@ pub struct ShardedEngine {
     num_users: usize,
     num_services: usize,
     submitted: u64,
+    shed: u64,
+    replayed: u64,
+    lost: u64,
     /// Update count carried over from a pre-trained source model.
     base_updates: u64,
     options: EngineOptions,
@@ -271,7 +528,27 @@ impl ShardedEngine {
     /// Returns [`AmfError::InvalidConfig`] when `options.shards == 0` or the
     /// chunk/queue sizes are zero.
     pub fn from_model(model: AmfModel, options: EngineOptions) -> Result<Self, AmfError> {
+        Self::from_model_with_plan(model, options, None)
+    }
+
+    /// Like [`ShardedEngine::from_model`], with a deterministic fault script
+    /// attached: shard workers consult `plan` at every apply and crash or
+    /// stall where scripted. Attaching a plan forces
+    /// [`EngineOptions::inflight_backup`] on, so mid-update kills recover
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmfError::InvalidConfig`] for invalid options.
+    pub fn from_model_with_plan(
+        model: AmfModel,
+        mut options: EngineOptions,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> Result<Self, AmfError> {
         options.validate()?;
+        if plan.is_some() {
+            options.inflight_backup = true;
+        }
         let k = options.shards;
         let config = *model.config();
         let transform = *model.transform();
@@ -308,37 +585,67 @@ impl ShardedEngine {
             users: user_stripes.into_iter().map(Mutex::new).collect(),
             services: service_stripes.into_iter().map(Mutex::new).collect(),
             record_history: options.record_history,
-            processed: Mutex::new(0),
+            backup_enabled: options.inflight_backup,
+            cells: (0..k)
+                .map(|_| WorkerCell {
+                    alive: AtomicBool::new(true),
+                    applied: AtomicU64::new(0),
+                    inflight: Mutex::new(None),
+                })
+                .collect(),
+            faults: Mutex::new(Vec::new()),
+            progress: Mutex::new(()),
             drained: Condvar::new(),
+            fault_plan: plan,
         });
 
-        let mut senders = Vec::with_capacity(k);
-        let mut workers = Vec::with_capacity(k);
-        for w in 0..k {
-            let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<Job>>(options.queue_capacity);
-            let shared_w = Arc::clone(&shared);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("amf-shard-{w}"))
-                    .spawn(move || shared_w.worker(&rx))
-                    .map_err(AmfError::Io)?,
-            );
-            senders.push(tx);
-        }
-
-        Ok(Self {
+        let mut engine = Self {
             shared,
-            senders,
-            workers,
+            senders: Vec::with_capacity(k),
+            workers: (0..k).map(|_| None).collect(),
             pending: (0..k).map(|_| Vec::new()).collect(),
+            outbox: (0..k).map(|_| VecDeque::new()).collect(),
+            journal: (0..k).map(|_| VecDeque::new()).collect(),
+            cancel_backlog: Vec::new(),
+            dispatched: vec![0; k],
+            respawns: vec![0; k],
+            abandoned: vec![false; k],
             user_tickets: HashMap::new(),
             service_tickets: HashMap::new(),
             num_users,
             num_services,
             submitted: 0,
+            shed: 0,
+            replayed: 0,
+            lost: 0,
             base_updates,
             options,
-        })
+        };
+        for w in 0..k {
+            let (tx, handle) = engine.spawn_worker(w, 0)?;
+            engine.senders.push(tx);
+            engine.workers[w] = Some(handle);
+        }
+        Ok(engine)
+    }
+
+    fn spawn_worker(
+        &self,
+        w: usize,
+        generation: u32,
+    ) -> Result<(SyncSender<Vec<Job>>, JoinHandle<()>), AmfError> {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<Job>>(self.options.queue_capacity);
+        let shared = Arc::clone(&self.shared);
+        let name = if generation == 0 {
+            format!("amf-shard-{w}")
+        } else {
+            format!("amf-shard-{w}-r{generation}")
+        };
+        let handle = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || shared.worker(w, &rx))
+            .map_err(AmfError::Io)?;
+        Ok((tx, handle))
     }
 
     /// The engine's tuning options.
@@ -351,14 +658,48 @@ impl ShardedEngine {
         &self.shared.config
     }
 
-    /// Number of samples accepted by [`ShardedEngine::feed_batch`] so far.
+    /// Number of samples accepted by [`ShardedEngine::feed_batch`] /
+    /// queued by [`ShardedEngine::feed_batch_shedding`] so far.
     pub fn submitted(&self) -> u64 {
         self.submitted
     }
 
     /// Number of samples workers have fully applied so far.
     pub fn processed(&self) -> u64 {
-        *lock(&self.shared.processed)
+        self.shared
+            .cells
+            .iter()
+            .map(|c| c.applied.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Aggregate fault counters (all zero in a fault-free run).
+    pub fn fault_stats(&self) -> FaultStats {
+        let faults = lock(&self.shared.faults);
+        FaultStats {
+            worker_panics: faults.len() as u64,
+            injected_panics: faults.iter().filter(|f| f.injected).count() as u64,
+            respawns: self.respawns.iter().map(|&r| u64::from(r)).sum(),
+            jobs_replayed: self.replayed,
+            samples_lost: self.lost,
+            abandoned_workers: self.abandoned.iter().filter(|&&a| a).count() as u64,
+        }
+    }
+
+    /// The recorded worker deaths, oldest first.
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        lock(&self.shared.faults).clone()
+    }
+
+    /// Whether any shard is currently dead or abandoned — predictions served
+    /// meanwhile should be treated as degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.abandoned.iter().any(|&a| a)
+            || self
+                .shared
+                .cells
+                .iter()
+                .any(|c| !c.alive.load(Ordering::Acquire))
     }
 
     /// Queues one observation. Prefer [`ShardedEngine::feed_batch`] for
@@ -367,40 +708,147 @@ impl ShardedEngine {
         self.feed_batch([(user, service, raw)]);
     }
 
+    /// Stamps a sample with its ordering tickets and bookkeeping. Must be
+    /// called in global stream order — the tickets *are* the per-entity
+    /// stream order. The per-worker `seq` is assigned later, when the job
+    /// is actually committed for dispatch (shed jobs never consume seq
+    /// space, which is what keeps the applied watermark gapless).
+    fn stamp(&mut self, user: usize, service: usize, raw: f64) -> Job {
+        let user_ticket = self.user_tickets.entry(user).or_insert(0);
+        let service_ticket = self.service_tickets.entry(service).or_insert(0);
+        let job = Job {
+            user,
+            service,
+            raw,
+            user_ticket: *user_ticket,
+            service_ticket: *service_ticket,
+            index: self.submitted,
+            seq: 0,
+        };
+        *user_ticket += 1;
+        *service_ticket += 1;
+        self.submitted += 1;
+        self.num_users = self.num_users.max(user + 1);
+        self.num_services = self.num_services.max(service + 1);
+        job
+    }
+
     /// Queues a batch of `(user, service, raw QoS)` observations, fanning
     /// them out to the shard workers. Returns once every sample is *queued*
     /// (bounded queues apply backpressure); use [`ShardedEngine::drain`] to
-    /// wait for application.
+    /// wait for application. Worker deaths encountered while queuing are
+    /// recovered transparently.
     pub fn feed_batch<I>(&mut self, samples: I)
     where
         I: IntoIterator<Item = (usize, usize, f64)>,
     {
         let k = self.options.shards;
         for (user, service, raw) in samples {
-            let user_ticket = self.user_tickets.entry(user).or_insert(0);
-            let service_ticket = self.service_tickets.entry(service).or_insert(0);
-            let job = Job {
-                user,
-                service,
-                raw,
-                user_ticket: *user_ticket,
-                service_ticket: *service_ticket,
-                index: self.submitted,
-            };
-            *user_ticket += 1;
-            *service_ticket += 1;
-            self.submitted += 1;
-            self.num_users = self.num_users.max(user + 1);
-            self.num_services = self.num_services.max(service + 1);
-
             let w = user % k;
+            let job = self.stamp(user, service, raw);
             self.pending[w].push(job);
             if self.pending[w].len() >= self.options.chunk_size {
                 let chunk = std::mem::take(&mut self.pending[w]);
-                self.send(w, chunk);
+                self.dispatch(w, chunk);
             }
         }
         self.flush();
+    }
+
+    /// Load-shedding admission: like [`ShardedEngine::feed_batch`] but a
+    /// chunk that cannot be queued within `policy`'s attempt budget is
+    /// dropped (before its tickets commit) instead of blocking. Returns the
+    /// exact queued/shed split. Per-entity ordering of *queued* samples is
+    /// preserved; global parity with the unshed stream is, by construction,
+    /// not (samples are missing).
+    pub fn feed_batch_shedding<I>(&mut self, samples: I, policy: ShedPolicy) -> FeedOutcome
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let k = self.options.shards;
+        let mut outcome = FeedOutcome::default();
+        let mut buf: Vec<Vec<Job>> = (0..k).map(|_| Vec::new()).collect();
+        for (user, service, raw) in samples {
+            let w = user % k;
+            let job = self.stamp(user, service, raw);
+            buf[w].push(job);
+            if buf[w].len() >= self.options.chunk_size {
+                let chunk = std::mem::take(&mut buf[w]);
+                self.offer_chunk(w, chunk, policy, &mut outcome);
+            }
+        }
+        for (w, chunk) in buf.into_iter().enumerate() {
+            if !chunk.is_empty() {
+                self.offer_chunk(w, chunk, policy, &mut outcome);
+            }
+        }
+        outcome
+    }
+
+    /// Offers one stamped chunk with bounded retries, shedding on a
+    /// persistently full queue. A shed chunk's ordering tickets are
+    /// *cancelled* (bumped past, like an abandoned worker's lost jobs)
+    /// rather than rolled back — later samples of the same entities were
+    /// already stamped relative to them, so cancellation is what keeps the
+    /// admitted stream's per-entity order gapless.
+    fn offer_chunk(
+        &mut self,
+        w: usize,
+        mut chunk: Vec<Job>,
+        policy: ShedPolicy,
+        outcome: &mut FeedOutcome,
+    ) {
+        let n = chunk.len() as u64;
+        if self.abandoned[w] {
+            self.shed += n;
+            outcome.shed += n;
+            self.cancel_backlog.extend(chunk);
+            self.cancel_pass();
+            return;
+        }
+        // Seqs are provisional until the channel accepts the chunk; nothing
+        // else consumes this worker's seq space between attempts, so they
+        // stay stable across retries and shed chunks leave no seq gap.
+        for (i, job) in chunk.iter_mut().enumerate() {
+            job.seq = self.dispatched[w] + i as u64;
+        }
+        let mut attempts = 0u32;
+        loop {
+            // Keep recovery, replay, and cancellation moving while we wait.
+            self.pump();
+            if self.abandoned[w] {
+                self.shed += n;
+                outcome.shed += n;
+                self.cancel_backlog.extend(chunk);
+                self.cancel_pass();
+                return;
+            }
+            // Only send directly when no replay chunks are queued ahead of
+            // us — overtaking them would break per-worker seq order.
+            if self.outbox[w].is_empty() && self.shared.cells[w].alive.load(Ordering::Acquire) {
+                match self.senders[w].try_send(chunk.clone()) {
+                    Ok(()) => {
+                        self.dispatched[w] += n;
+                        for job in chunk {
+                            self.journal[w].push_back(job);
+                        }
+                        self.gc_journal(w);
+                        outcome.queued += n;
+                        return;
+                    }
+                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+                }
+            }
+            attempts += 1;
+            if attempts >= policy.max_attempts.max(1) {
+                self.shed += n;
+                outcome.shed += n;
+                self.cancel_backlog.extend(chunk);
+                self.cancel_pass();
+                return;
+            }
+            std::thread::sleep(policy.backoff);
+        }
     }
 
     /// Registers a user eagerly (id and factors exist before any sample).
@@ -420,17 +868,31 @@ impl ShardedEngine {
         self.shared.slot(&mut guard, EntityKind::Service, service);
     }
 
-    /// Blocks until every queued sample has been applied.
+    /// Blocks until every queued sample has been applied, respawning and
+    /// replaying any workers that die along the way. Returns early only if
+    /// a worker exhausts its respawn budget (see
+    /// [`FaultStats::samples_lost`]).
     pub fn drain(&mut self) {
         self.flush();
-        let target = self.submitted;
-        let mut processed = lock(&self.shared.processed);
-        while *processed < target {
-            processed = self
+        loop {
+            self.pump();
+            let done = self.cancel_backlog.is_empty()
+                && (0..self.options.shards).all(|w| {
+                    self.abandoned[w]
+                        || (self.outbox[w].is_empty()
+                            && self.shared.cells[w].applied.load(Ordering::Acquire)
+                                >= self.dispatched[w])
+                });
+            if done {
+                return;
+            }
+            let guard = lock(&self.shared.progress);
+            // Timed wait: worker death can race the notify, and the pump
+            // above must re-run regardless.
+            let _ = self
                 .shared
                 .drained
-                .wait(processed)
-                .unwrap_or_else(PoisonError::into_inner);
+                .wait_timeout(guard, Duration::from_millis(2));
         }
     }
 
@@ -444,21 +906,31 @@ impl ShardedEngine {
         self.drain();
         let users = self.collect_entities(EntityKind::User, self.num_users);
         let services = self.collect_entities(EntityKind::Service, self.num_services);
-        let updates = self.base_updates + self.submitted;
-        AmfModel::restore(self.shared.config, users, services, updates)
-            .expect("config was validated at engine construction")
+        let updates = self.base_updates + self.processed();
+        AmfModel::restore_parts(
+            self.shared.config,
+            self.shared.transform,
+            users,
+            services,
+            updates,
+        )
     }
 
     /// Drains, stops the workers, and returns the final model without
     /// cloning entity state.
     pub fn into_model(mut self) -> AmfModel {
         self.drain();
+        let updates = self.base_updates + self.processed();
         self.shutdown();
         let users = self.take_entities(EntityKind::User, self.num_users);
         let services = self.take_entities(EntityKind::Service, self.num_services);
-        let updates = self.base_updates + self.submitted;
-        AmfModel::restore(self.shared.config, users, services, updates)
-            .expect("config was validated at engine construction")
+        AmfModel::restore_parts(
+            self.shared.config,
+            self.shared.transform,
+            users,
+            services,
+            updates,
+        )
     }
 
     /// Global stream indices applied to `user`, in application order.
@@ -482,26 +954,163 @@ impl ShardedEngine {
         guard.slots.get(&service).map(|s| s.history.clone())
     }
 
-    fn send(&self, worker: usize, chunk: Vec<Job>) {
-        // The receiver outlives the senders by construction; a send error
-        // would mean a worker died, which only happens at shutdown.
-        self.senders[worker]
-            .send(chunk)
-            .expect("shard worker terminated before its sender");
+    /// Journals a stamped chunk and hands it to the pump. Never blocks: a
+    /// full channel leaves the chunk in the outbox, and the backpressure
+    /// loop keeps pumping (recovery, cancellation) while it waits for the
+    /// worker to catch up — so a worker stalled on a ticket the dispatcher
+    /// must cancel can never deadlock the dispatcher.
+    fn dispatch(&mut self, w: usize, mut chunk: Vec<Job>) {
+        if self.abandoned[w] {
+            // Routed to a dead shard: count as lost, and release the jobs'
+            // ordering tickets so co-routed services on live shards proceed.
+            self.lost += chunk.len() as u64;
+            self.cancel_backlog.extend(chunk);
+            self.cancel_pass();
+            return;
+        }
+        for job in &mut chunk {
+            job.seq = self.dispatched[w];
+            self.dispatched[w] += 1;
+            self.journal[w].push_back(job.clone());
+        }
+        self.outbox[w].push_back(chunk);
+        self.pump();
+        while self.outbox[w].len() > self.options.queue_capacity && !self.abandoned[w] {
+            std::thread::sleep(Duration::from_micros(50));
+            self.pump();
+        }
+    }
+
+    /// Drops journal entries the worker has confirmed applied.
+    fn gc_journal(&mut self, w: usize) {
+        let applied = self.shared.cells[w].applied.load(Ordering::Acquire);
+        while self.journal[w].front().is_some_and(|job| job.seq < applied) {
+            self.journal[w].pop_front();
+        }
+    }
+
+    /// Retries ticket cancellation for lost jobs; each pass is non-blocking
+    /// (a job whose predecessors are still in flight stays in the backlog).
+    fn cancel_pass(&mut self) {
+        if self.cancel_backlog.is_empty() {
+            return;
+        }
+        let shared = Arc::clone(&self.shared);
+        self.cancel_backlog.retain(|job| !shared.try_cancel(job));
+    }
+
+    /// One non-blocking maintenance sweep: cancel lost tickets, respawn (or
+    /// abandon) dead workers, and move outbox chunks into worker queues with
+    /// `try_send`. Every dispatcher-side wait loops over this, which is what
+    /// makes the recovery protocol deadlock-free — no step here can block on
+    /// a worker, and workers only ever wait on tickets that a future pump
+    /// releases (via apply, replay, or cancellation).
+    fn pump(&mut self) {
+        self.cancel_pass();
+        for w in 0..self.options.shards {
+            if self.abandoned[w] {
+                continue;
+            }
+            if !self.shared.cells[w].alive.load(Ordering::Acquire) {
+                self.respawn_or_abandon(w);
+                if self.abandoned[w] || !self.shared.cells[w].alive.load(Ordering::Acquire) {
+                    continue;
+                }
+            }
+            self.gc_journal(w);
+            while let Some(chunk) = self.outbox[w].pop_front() {
+                match self.senders[w].try_send(chunk) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(back)) => {
+                        self.outbox[w].push_front(back);
+                        break;
+                    }
+                    Err(TrySendError::Disconnected(back)) => {
+                        // Died between the health check and the send; the
+                        // next pump respawns and rebuilds the outbox.
+                        self.outbox[w].push_front(back);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recovers a dead worker: roll back torn in-flight state, respawn the
+    /// thread on a fresh channel, and stage the unapplied journal suffix
+    /// for replay. Once the respawn budget is exhausted the worker is
+    /// abandoned instead (unapplied jobs counted lost, tickets cancelled).
+    fn respawn_or_abandon(&mut self, w: usize) {
+        // A crash mid-update left the two touched entities torn; restore
+        // their pre-update snapshot (no-op if the job's tickets committed).
+        self.shared.rollback_inflight(w);
+        if self.respawns[w] >= self.options.max_respawns {
+            self.abandon_worker(w);
+            return;
+        }
+        self.respawns[w] += 1;
+        if let Some(handle) = self.workers[w].take() {
+            let _ = handle.join();
+        }
+        match self.spawn_worker(w, self.respawns[w]) {
+            Ok((tx, handle)) => {
+                self.senders[w] = tx;
+                self.workers[w] = Some(handle);
+                self.shared.cells[w].alive.store(true, Ordering::Release);
+                // Rebuild the outbox as the unapplied journal suffix. Jobs
+                // the dead incarnation applied without confirming are
+                // skipped by the ticket check on replay, so each accepted
+                // sample still applies exactly once.
+                self.gc_journal(w);
+                self.outbox[w].clear();
+                self.replayed += self.journal[w].len() as u64;
+                let chunk_size = self.options.chunk_size.max(1);
+                let mut chunk: Vec<Job> = Vec::new();
+                for job in &self.journal[w] {
+                    chunk.push(job.clone());
+                    if chunk.len() >= chunk_size {
+                        self.outbox[w].push_back(std::mem::take(&mut chunk));
+                    }
+                }
+                if !chunk.is_empty() {
+                    self.outbox[w].push_back(chunk);
+                }
+            }
+            Err(_) => {
+                // OS refused a thread; the worker stays dead and the next
+                // pump retries, bounded by the respawn budget.
+            }
+        }
+    }
+
+    /// Gives up on worker `w`: counts its unapplied jobs as lost, releases
+    /// their ordering tickets, and stops routing to it — so `drain`
+    /// completes (degraded) instead of hanging forever.
+    fn abandon_worker(&mut self, w: usize) {
+        if self.abandoned[w] {
+            return;
+        }
+        self.abandoned[w] = true;
+        self.gc_journal(w);
+        self.outbox[w].clear();
+        let lost = std::mem::take(&mut self.journal[w]);
+        self.lost += lost.len() as u64;
+        self.cancel_backlog.extend(lost);
+        self.cancel_pass();
     }
 
     fn flush(&mut self) {
         for w in 0..self.pending.len() {
             if !self.pending[w].is_empty() {
                 let chunk = std::mem::take(&mut self.pending[w]);
-                self.send(w, chunk);
+                self.dispatch(w, chunk);
             }
         }
     }
 
     fn shutdown(&mut self) {
         self.senders.clear(); // closes every channel
-        for handle in self.workers.drain(..) {
+        for handle in self.workers.iter_mut().filter_map(Option::take) {
             let _ = handle.join();
         }
     }
@@ -554,6 +1163,7 @@ impl std::fmt::Debug for ShardedEngine {
             .field("submitted", &self.submitted)
             .field("users", &self.num_users)
             .field("services", &self.num_services)
+            .field("degraded", &self.is_degraded())
             .finish()
     }
 }
@@ -567,11 +1177,17 @@ mod tests {
         let mut state = 0x1234_5678_u64;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let u = (state >> 33) as usize % users;
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let s = (state >> 33) as usize % services;
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let v = 0.1 + ((state >> 11) as f64 / (1u64 << 53) as f64) * 10.0;
                 (u, s, v)
             })
@@ -635,13 +1251,31 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_is_reusable_mid_stream() {
-        let samples = stream(1_000, 8, 20);
+    fn backup_mode_keeps_bitwise_parity() {
+        // The in-flight backup path must not perturb results when nothing
+        // crashes.
+        let samples = stream(3_000, 11, 23);
+        let expected = sequential(&samples);
         let mut engine = ShardedEngine::new(
             AmfConfig::response_time(),
-            EngineOptions::default(),
+            EngineOptions {
+                shards: 3,
+                chunk_size: 64,
+                inflight_backup: true,
+                ..EngineOptions::default()
+            },
         )
         .unwrap();
+        engine.feed_batch(samples.iter().copied());
+        let got = engine.into_model();
+        assert!(factors_equal(&expected, &got));
+    }
+
+    #[test]
+    fn snapshot_is_reusable_mid_stream() {
+        let samples = stream(1_000, 8, 20);
+        let mut engine =
+            ShardedEngine::new(AmfConfig::response_time(), EngineOptions::default()).unwrap();
         engine.feed_batch(samples[..500].iter().copied());
         let mid = engine.snapshot();
         assert_eq!(mid.update_count(), 500);
@@ -671,7 +1305,7 @@ mod tests {
     }
 
     #[test]
-    fn history_matches_stream_order(){
+    fn history_matches_stream_order() {
         let samples = stream(600, 5, 9);
         let mut engine = ShardedEngine::new(
             AmfConfig::response_time(),
@@ -725,7 +1359,147 @@ mod tests {
             ShardedEngine::new(AmfConfig::response_time(), EngineOptions::default()).unwrap();
         engine.drain();
         assert_eq!(engine.processed(), 0);
+        assert_eq!(engine.fault_stats(), FaultStats::default());
         let model = engine.into_model();
         assert_eq!(model.num_users(), 0);
+    }
+
+    #[test]
+    fn injected_kill_recovers_with_parity() {
+        let samples = stream(2_000, 9, 15);
+        let expected = sequential(&samples);
+        let plan = Arc::new(FaultPlan::new(0).kill_worker(1, 40, KillPhase::Before));
+        let mut engine = ShardedEngine::from_model_with_plan(
+            AmfModel::new(AmfConfig::response_time()).unwrap(),
+            EngineOptions {
+                shards: 3,
+                chunk_size: 16,
+                ..EngineOptions::default()
+            },
+            Some(plan),
+        )
+        .unwrap();
+        engine.feed_batch(samples.iter().copied());
+        engine.drain();
+        let stats = engine.fault_stats();
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.injected_panics, 1);
+        assert_eq!(stats.respawns, 1);
+        assert_eq!(stats.samples_lost, 0);
+        assert!(stats.jobs_replayed > 0);
+        let got = engine.into_model();
+        assert!(factors_equal(&expected, &got), "kill recovery broke parity");
+        assert_eq!(got.update_count(), samples.len() as u64);
+    }
+
+    #[test]
+    fn mid_update_kill_rolls_back_and_recovers() {
+        let samples = stream(1_500, 7, 13);
+        let expected = sequential(&samples);
+        let plan = Arc::new(FaultPlan::new(0).kill_worker(0, 25, KillPhase::Mid));
+        let mut engine = ShardedEngine::from_model_with_plan(
+            AmfModel::new(AmfConfig::response_time()).unwrap(),
+            EngineOptions {
+                shards: 2,
+                chunk_size: 8,
+                ..EngineOptions::default()
+            },
+            Some(plan),
+        )
+        .unwrap();
+        engine.feed_batch(samples.iter().copied());
+        let got = engine.into_model();
+        assert!(
+            factors_equal(&expected, &got),
+            "mid-update rollback broke parity"
+        );
+    }
+
+    #[test]
+    fn respawn_budget_abandons_instead_of_hanging() {
+        let mut plan = FaultPlan::new(0);
+        // Kill worker 0 on every respawn attempt at the same job.
+        for _ in 0..50 {
+            plan = plan.kill_worker(0, 10, KillPhase::Before);
+        }
+        // All kills share (worker, job, phase); each fires once, so each
+        // respawned incarnation dies again at job 10 until the budget runs
+        // out.
+        let plan = Arc::new(plan);
+        let samples = stream(400, 4, 6);
+        let mut engine = ShardedEngine::from_model_with_plan(
+            AmfModel::new(AmfConfig::response_time()).unwrap(),
+            EngineOptions {
+                shards: 2,
+                chunk_size: 8,
+                max_respawns: 3,
+                ..EngineOptions::default()
+            },
+            Some(plan),
+        )
+        .unwrap();
+        engine.feed_batch(samples.iter().copied());
+        engine.drain(); // must terminate
+        let stats = engine.fault_stats();
+        assert_eq!(stats.abandoned_workers, 1);
+        assert!(stats.samples_lost > 0);
+        assert!(engine.is_degraded());
+        // The surviving shard's work is intact and the model is usable.
+        let model = engine.into_model();
+        assert!(model.update_count() > 0);
+        assert!(model.update_count() < samples.len() as u64);
+    }
+
+    #[test]
+    fn shedding_on_stalled_worker_drops_with_exact_counts() {
+        // Stall worker 0 long enough that its 1-chunk queue stays full.
+        let plan = Arc::new(FaultPlan::new(0).stall_worker(0, 0, Duration::from_millis(150)));
+        let mut engine = ShardedEngine::from_model_with_plan(
+            AmfModel::new(AmfConfig::response_time()).unwrap(),
+            EngineOptions {
+                shards: 1,
+                chunk_size: 4,
+                queue_capacity: 1,
+                ..EngineOptions::default()
+            },
+            Some(plan),
+        )
+        .unwrap();
+        let samples = stream(200, 3, 5);
+        let outcome = engine.feed_batch_shedding(
+            samples.iter().copied(),
+            ShedPolicy {
+                max_attempts: 2,
+                backoff: Duration::from_micros(100),
+            },
+        );
+        assert_eq!(outcome.queued + outcome.shed, 200);
+        assert!(outcome.shed > 0, "stall should force shedding");
+        assert!(outcome.queued > 0, "first chunks fit the queue");
+        let model = engine.into_model();
+        assert_eq!(model.update_count(), outcome.queued);
+    }
+
+    #[test]
+    fn shedding_without_pressure_queues_everything() {
+        let samples = stream(1_000, 6, 9);
+        let expected = sequential(&samples);
+        let mut engine = ShardedEngine::new(
+            AmfConfig::response_time(),
+            EngineOptions {
+                shards: 2,
+                chunk_size: 32,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        let outcome = engine.feed_batch_shedding(samples.iter().copied(), ShedPolicy::default());
+        assert_eq!(outcome.shed, 0);
+        assert_eq!(outcome.queued, 1_000);
+        let got = engine.into_model();
+        assert!(
+            factors_equal(&expected, &got),
+            "unshed run must keep parity"
+        );
     }
 }

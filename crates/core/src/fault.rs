@@ -1,0 +1,452 @@
+//! Deterministic fault injection (`FaultPlan`) for the ingestion pipeline.
+//!
+//! The fault-tolerance claims of [`crate::engine::ShardedEngine`] — a killed
+//! shard worker loses no accepted samples, replay preserves per-entity
+//! order, mid-update crashes roll back — are only worth anything if they are
+//! *provable*. A [`FaultPlan`] is a seed-driven script of faults that tests
+//! (and `amf-qos train --fault-plan`) replay deterministically:
+//!
+//! * **Stream faults** ([`FaultPlan::mutate_stream`]) — drop, duplicate, and
+//!   locally reorder samples, simulating a lossy, janky transport between
+//!   QoS managers and the prediction service;
+//! * **Worker kills** ([`FaultPlan::crash_point`]) — panic shard worker `W`
+//!   when it is about to apply its `N`-th job, either *before* it touches
+//!   any state ([`KillPhase::Before`], a clean thread death) or *mid-update*
+//!   ([`KillPhase::Mid`], after the SGD step mutated factors but before the
+//!   ordering tickets committed — the nastiest crash point, which exercises
+//!   the engine's in-flight state rollback);
+//! * **Stalls** — put a worker to sleep at a given job, forcing queue
+//!   backpressure so load-shedding paths can be driven deterministically.
+//!
+//! Each kill/stall fires exactly once (consumed atomically), so a respawned
+//! worker replaying the same job does not die again — exactly like a real
+//! transient fault.
+//!
+//! Plans parse from a compact spec string (the CLI's `--fault-plan` flag):
+//!
+//! ```
+//! use amf_core::fault::FaultPlan;
+//!
+//! let plan = FaultPlan::parse("seed=7;kill=1@500;kill=0@900:mid;drop=0.02;dup=0.01;reorder=8")?;
+//! assert_eq!(plan.kill_count(), 2);
+//! # Ok::<(), String>(())
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Where in the apply path a planned kill fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillPhase {
+    /// Before the job touches any model state: a clean worker death.
+    Before,
+    /// After the SGD step mutated the two entities but before their ordering
+    /// tickets committed — simulates a crash mid-update, leaving torn state
+    /// for the engine's rollback to repair.
+    Mid,
+}
+
+#[derive(Debug)]
+struct Kill {
+    worker: usize,
+    /// Fires when the worker's applied-job count equals this.
+    at_job: u64,
+    phase: KillPhase,
+    fired: AtomicBool,
+}
+
+#[derive(Debug)]
+struct Stall {
+    worker: usize,
+    at_job: u64,
+    pause: Duration,
+    fired: AtomicBool,
+}
+
+/// Panic payload of an injected worker kill, so recovery code and panic
+/// hooks can tell scripted faults from genuine bugs.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedCrash {
+    /// The worker the plan killed.
+    pub worker: usize,
+    /// The per-worker job index the kill fired at.
+    pub at_job: u64,
+    /// The phase it fired in.
+    pub phase: KillPhase,
+}
+
+/// A deterministic, seed-driven fault script. See the module docs.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    kills: Vec<Kill>,
+    stalls: Vec<Stall>,
+    drop_rate: f64,
+    duplicate_rate: f64,
+    reorder_window: usize,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given stream-fault seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Schedules worker `worker` to panic when about to apply its
+    /// `at_job`-th job (0-based, counted per worker across respawns).
+    pub fn kill_worker(mut self, worker: usize, at_job: u64, phase: KillPhase) -> Self {
+        self.kills.push(Kill {
+            worker,
+            at_job,
+            phase,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Schedules worker `worker` to sleep `pause` before applying its
+    /// `at_job`-th job (drives queue backpressure deterministically).
+    pub fn stall_worker(mut self, worker: usize, at_job: u64, pause: Duration) -> Self {
+        self.stalls.push(Stall {
+            worker,
+            at_job,
+            pause,
+            fired: AtomicBool::new(false),
+        });
+        self
+    }
+
+    /// Sets the stream drop probability (each sample independently).
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        self.drop_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the stream duplication probability (each sample independently).
+    pub fn duplicate_rate(mut self, rate: f64) -> Self {
+        self.duplicate_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the local-reorder window: each surviving sample may be delayed
+    /// by up to this many positions.
+    pub fn reorder_window(mut self, window: usize) -> Self {
+        self.reorder_window = window;
+        self
+    }
+
+    /// Number of scheduled kills.
+    pub fn kill_count(&self) -> usize {
+        self.kills.len()
+    }
+
+    /// Number of kills that have fired so far.
+    pub fn kills_fired(&self) -> usize {
+        self.kills
+            .iter()
+            .filter(|k| k.fired.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Whether any stream-level fault (drop/duplicate/reorder) is configured.
+    pub fn mutates_stream(&self) -> bool {
+        self.drop_rate > 0.0 || self.duplicate_rate > 0.0 || self.reorder_window > 0
+    }
+
+    /// Engine hook: called by shard worker `worker` around its `job`-th
+    /// application. Sleeps on a scheduled stall; panics (with an
+    /// [`InjectedCrash`] payload) on a scheduled kill matching `phase`.
+    /// Each fault fires at most once.
+    pub fn crash_point(&self, worker: usize, job: u64, phase: KillPhase) {
+        if phase == KillPhase::Before {
+            for stall in &self.stalls {
+                if stall.worker == worker
+                    && stall.at_job == job
+                    && stall
+                        .fired
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                {
+                    std::thread::sleep(stall.pause);
+                }
+            }
+        }
+        for kill in &self.kills {
+            if kill.worker == worker
+                && kill.at_job == job
+                && kill.phase == phase
+                && kill
+                    .fired
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            {
+                std::panic::panic_any(InjectedCrash {
+                    worker,
+                    at_job: job,
+                    phase,
+                });
+            }
+        }
+    }
+
+    /// Applies the configured stream faults to `samples` deterministically
+    /// (same plan + same input → same output): drops, then duplicates, then
+    /// locally reorders within `reorder_window`.
+    pub fn mutate_stream<T: Clone>(&self, samples: &[T]) -> Vec<T> {
+        let mut rng = SplitMix64::new(self.seed ^ 0x6661_756C_7473); // "faults"
+        let mut out: Vec<T> = Vec::with_capacity(samples.len());
+        for sample in samples {
+            if self.drop_rate > 0.0 && rng.next_f64() < self.drop_rate {
+                continue;
+            }
+            out.push(sample.clone());
+            if self.duplicate_rate > 0.0 && rng.next_f64() < self.duplicate_rate {
+                out.push(sample.clone());
+            }
+        }
+        if self.reorder_window > 0 {
+            // Jitter sort: perturb each index by at most `reorder_window`
+            // and stably sort by the perturbed key. Any element `i` ends
+            // within `reorder_window` of its origin (every `j > i + window`
+            // has a strictly larger key; every `j < i - window` a strictly
+            // smaller one), so displacement is provably bounded.
+            let n = out.len();
+            let mut keyed: Vec<(usize, usize)> = (0..n)
+                .map(|i| (i + (rng.next_u64() as usize % (self.reorder_window + 1)), i))
+                .collect();
+            keyed.sort_by_key(|&(key, i)| (key, i));
+            let mut reordered = Vec::with_capacity(n);
+            for &(_, i) in &keyed {
+                reordered.push(out[i].clone());
+            }
+            out = reordered;
+        }
+        out
+    }
+
+    /// Parses a compact plan spec: `;`-separated `key=value` entries.
+    ///
+    /// | key | value | meaning |
+    /// |---|---|---|
+    /// | `seed` | integer | stream-fault RNG seed |
+    /// | `kill` | `W@N` or `W@N:mid` | kill worker `W` at its `N`-th job |
+    /// | `stall` | `W@N:MS` | stall worker `W` for `MS` ms at job `N` |
+    /// | `drop` | probability | per-sample drop rate |
+    /// | `dup` | probability | per-sample duplication rate |
+    /// | `reorder` | integer | local reorder window |
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message naming the offending entry.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault-plan entry '{entry}': expected key=value"))?;
+            match key.trim() {
+                "seed" => {
+                    plan.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("fault-plan seed '{value}': not an integer"))?;
+                }
+                "kill" => {
+                    let (worker, rest) = value
+                        .split_once('@')
+                        .ok_or_else(|| format!("fault-plan kill '{value}': expected W@N"))?;
+                    let (at, phase) = match rest.split_once(':') {
+                        Some((at, "mid")) => (at, KillPhase::Mid),
+                        Some((at, "before")) => (at, KillPhase::Before),
+                        Some((_, other)) => {
+                            return Err(format!(
+                                "fault-plan kill phase '{other}': expected before|mid"
+                            ))
+                        }
+                        None => (rest, KillPhase::Before),
+                    };
+                    plan = plan.kill_worker(
+                        worker
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("fault-plan kill worker '{worker}'"))?,
+                        at.trim()
+                            .parse()
+                            .map_err(|_| format!("fault-plan kill tick '{at}'"))?,
+                        phase,
+                    );
+                }
+                "stall" => {
+                    let parts: Vec<&str> = value.split(['@', ':']).collect();
+                    if parts.len() != 3 {
+                        return Err(format!("fault-plan stall '{value}': expected W@N:MS"));
+                    }
+                    let worker = parts[0]
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("fault-plan stall worker '{}'", parts[0]))?;
+                    let at = parts[1]
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("fault-plan stall tick '{}'", parts[1]))?;
+                    let ms: u64 = parts[2]
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("fault-plan stall ms '{}'", parts[2]))?;
+                    plan = plan.stall_worker(worker, at, Duration::from_millis(ms));
+                }
+                "drop" => {
+                    plan.drop_rate = parse_rate("drop", value)?;
+                }
+                "dup" => {
+                    plan.duplicate_rate = parse_rate("dup", value)?;
+                }
+                "reorder" => {
+                    plan.reorder_window = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("fault-plan reorder '{value}': not an integer"))?;
+                }
+                other => return Err(format!("fault-plan key '{other}': unknown")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn parse_rate(key: &str, value: &str) -> Result<f64, String> {
+    let rate: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("fault-plan {key} '{value}': not a number"))?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(format!("fault-plan {key} '{value}': must be in [0, 1]"));
+    }
+    Ok(rate)
+}
+
+/// Minimal deterministic RNG for stream mutation (no ordering dependence on
+/// the model's RNGs).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kills_fire_exactly_once() {
+        let plan = FaultPlan::new(0).kill_worker(1, 5, KillPhase::Before);
+        // Wrong worker / wrong job / wrong phase: no panic.
+        plan.crash_point(0, 5, KillPhase::Before);
+        plan.crash_point(1, 4, KillPhase::Before);
+        plan.crash_point(1, 5, KillPhase::Mid);
+        assert_eq!(plan.kills_fired(), 0);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            plan.crash_point(1, 5, KillPhase::Before)
+        }))
+        .unwrap_err();
+        let crash = err.downcast_ref::<InjectedCrash>().expect("typed payload");
+        assert_eq!(crash.worker, 1);
+        assert_eq!(plan.kills_fired(), 1);
+        // Replay of the same job after respawn: consumed, no second panic.
+        plan.crash_point(1, 5, KillPhase::Before);
+    }
+
+    #[test]
+    fn stream_mutation_is_deterministic() {
+        let samples: Vec<u32> = (0..500).collect();
+        let plan = FaultPlan::new(9)
+            .drop_rate(0.1)
+            .duplicate_rate(0.05)
+            .reorder_window(4);
+        let a = plan.mutate_stream(&samples);
+        let b = plan.mutate_stream(&samples);
+        assert_eq!(a, b);
+        assert_ne!(a, samples);
+        // Drops and duplicates roughly cancel; size stays in a sane band.
+        assert!(a.len() > 400 && a.len() < 520, "len {}", a.len());
+    }
+
+    #[test]
+    fn reorder_displacement_is_bounded() {
+        let samples: Vec<usize> = (0..200).collect();
+        let window = 6;
+        let out = FaultPlan::new(3)
+            .reorder_window(window)
+            .mutate_stream(&samples);
+        assert_eq!(out.len(), samples.len());
+        for (pos, &v) in out.iter().enumerate() {
+            assert!(
+                pos.abs_diff(v) <= 2 * window,
+                "sample {v} displaced to {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let samples: Vec<u32> = (0..50).collect();
+        let plan = FaultPlan::new(1);
+        assert!(!plan.mutates_stream());
+        assert_eq!(plan.mutate_stream(&samples), samples);
+    }
+
+    #[test]
+    fn parse_round_trips_the_readme_example() {
+        let plan =
+            FaultPlan::parse("seed=7; kill=1@500; kill=0@900:mid; drop=0.02; dup=0.01; reorder=8")
+                .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.kill_count(), 2);
+        assert_eq!(plan.kills[0].phase, KillPhase::Before);
+        assert_eq!(plan.kills[1].phase, KillPhase::Mid);
+        assert_eq!(plan.drop_rate, 0.02);
+        assert_eq!(plan.reorder_window, 8);
+        assert!(plan.mutates_stream());
+    }
+
+    #[test]
+    fn parse_stall() {
+        let plan = FaultPlan::parse("stall=2@100:250").unwrap();
+        assert_eq!(plan.stalls.len(), 1);
+        assert_eq!(plan.stalls[0].pause, Duration::from_millis(250));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in [
+            "kill=1",
+            "kill=x@5",
+            "kill=1@5:late",
+            "drop=2.0",
+            "drop=x",
+            "stall=1@2",
+            "warp=9",
+            "seed",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad}");
+        }
+        assert!(FaultPlan::parse("").unwrap().kills.is_empty());
+    }
+}

@@ -1,0 +1,554 @@
+//! Input validation and quarantine for the QoS stream (`SampleGuard`).
+//!
+//! The prediction service trains online on whatever the network delivers;
+//! "Outlier-Resilient Web Service QoS Prediction" (Ye et al.) shows that
+//! unfiltered garbage directly corrupts MF factors. This module is the
+//! admission gate in front of every online update:
+//!
+//! * **Hard validity rules** — NaN/inf, non-positive, and out-of-range
+//!   values are rejected outright (a response time of `-3 s` is a
+//!   measurement bug, not information);
+//! * **Online outlier gate** — per service, a rolling window of recently
+//!   *accepted* values maintains a median and a MAD (median absolute
+//!   deviation) estimate; a sample further than `outlier_sigmas` robust
+//!   standard deviations from the median is flagged. The gate only
+//!   activates after `outlier_warmup` accepted samples per service, so cold
+//!   services are never starved.
+//!
+//! Rejected samples never reach the model. They are routed to a *bounded*
+//! quarantine log (newest kept) with per-reason and per-service counters,
+//! so every reject is accounted for and an operator can see which services
+//! emit garbage — see [`crate::diagnostics::QuarantineDiagnostics`].
+//!
+//! # Examples
+//!
+//! ```
+//! use amf_core::guard::{GuardConfig, RejectReason, SampleGuard};
+//!
+//! let mut guard = SampleGuard::new(GuardConfig::default());
+//! assert!(guard.admit(0, 0, 1.4).is_ok());
+//! assert_eq!(guard.admit(0, 0, f64::NAN), Err(RejectReason::NotFinite));
+//! assert_eq!(guard.admit(0, 0, -2.0), Err(RejectReason::NonPositive));
+//! let stats = guard.stats();
+//! assert_eq!(stats.accepted, 1);
+//! assert_eq!(stats.rejected(), 2);
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// Scale factor turning a MAD into a robust standard-deviation estimate
+/// (exact for normal data).
+const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Admission-gate configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Values below this are rejected as out of range (exclusive lower
+    /// bound; non-positive values are rejected regardless).
+    pub r_min: f64,
+    /// Values above this are rejected as out of range.
+    pub r_max: f64,
+    /// Whether the rolling median/MAD outlier gate is active at all.
+    pub outlier_gate: bool,
+    /// Per-service rolling window length of accepted values the outlier
+    /// statistics are computed over.
+    pub outlier_window: usize,
+    /// Robust-sigma multiplier: a sample further than this many robust
+    /// standard deviations from the service's rolling median is an outlier.
+    pub outlier_sigmas: f64,
+    /// Accepted samples a service must accumulate before its outlier gate
+    /// activates (early windows are too noisy to judge by).
+    pub outlier_warmup: usize,
+    /// Maximum quarantined samples retained for inspection (newest kept;
+    /// counters are never truncated).
+    pub quarantine_cap: usize,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        Self {
+            r_min: 0.0,
+            r_max: 20.0,
+            outlier_gate: true,
+            outlier_window: 64,
+            outlier_sigmas: 6.0,
+            outlier_warmup: 16,
+            quarantine_cap: 256,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// A guard matching an AMF model's configured QoS range.
+    pub fn for_amf(config: &crate::AmfConfig) -> Self {
+        Self {
+            r_min: config.r_min,
+            r_max: config.r_max,
+            ..Self::default()
+        }
+    }
+
+    /// Checks the configuration is usable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::AmfError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), crate::AmfError> {
+        let bad = |msg: &str| Err(crate::AmfError::InvalidConfig(msg.to_string()));
+        if self.r_min.is_nan() || !self.r_max.is_finite() || self.r_min >= self.r_max {
+            return bad("guard range must satisfy r_min < r_max (finite)");
+        }
+        if self.outlier_gate {
+            if self.outlier_window < 2 {
+                return bad("outlier_window must be >= 2");
+            }
+            if self.outlier_sigmas.is_nan() || self.outlier_sigmas <= 0.0 {
+                return bad("outlier_sigmas must be positive");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a sample was quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// NaN or infinite.
+    NotFinite,
+    /// Zero or negative (QoS measurements are strictly positive).
+    NonPositive,
+    /// Outside the configured `[r_min, r_max]` range.
+    OutOfRange,
+    /// Statistical outlier relative to the service's rolling median/MAD.
+    Outlier,
+}
+
+impl RejectReason {
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::NotFinite => "not-finite",
+            RejectReason::NonPositive => "non-positive",
+            RejectReason::OutOfRange => "out-of-range",
+            RejectReason::Outlier => "outlier",
+        }
+    }
+}
+
+/// One quarantined sample, as retained in the bounded log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedSample {
+    /// Admission sequence number (position in the guarded stream).
+    pub seq: u64,
+    /// User id of the rejected observation.
+    pub user: usize,
+    /// Service id of the rejected observation.
+    pub service: usize,
+    /// The offending raw value (NaN survives the trip for inspection).
+    pub raw: f64,
+    /// Why it was rejected.
+    pub reason: RejectReason,
+}
+
+/// Monotonic admission counters. Every sample offered to the guard lands in
+/// exactly one bucket, so `accepted + rejected() == seen`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuardStats {
+    /// Samples admitted to training.
+    pub accepted: u64,
+    /// Rejected: NaN or infinite.
+    pub not_finite: u64,
+    /// Rejected: zero or negative.
+    pub non_positive: u64,
+    /// Rejected: outside the configured range.
+    pub out_of_range: u64,
+    /// Rejected: statistical outlier.
+    pub outlier: u64,
+}
+
+impl GuardStats {
+    /// Total rejects across all reasons.
+    pub fn rejected(&self) -> u64 {
+        self.not_finite + self.non_positive + self.out_of_range + self.outlier
+    }
+
+    /// Total samples offered.
+    pub fn seen(&self) -> u64 {
+        self.accepted + self.rejected()
+    }
+
+    /// Fraction of offered samples that were rejected (0 when none seen).
+    pub fn reject_rate(&self) -> f64 {
+        let seen = self.seen();
+        if seen == 0 {
+            0.0
+        } else {
+            self.rejected() as f64 / seen as f64
+        }
+    }
+
+    fn bump(&mut self, reason: RejectReason) {
+        match reason {
+            RejectReason::NotFinite => self.not_finite += 1,
+            RejectReason::NonPositive => self.non_positive += 1,
+            RejectReason::OutOfRange => self.out_of_range += 1,
+            RejectReason::Outlier => self.outlier += 1,
+        }
+    }
+}
+
+/// Rolling window of one service's accepted values with median/MAD queries.
+#[derive(Debug, Clone, Default)]
+struct ServiceWindow {
+    values: VecDeque<f64>,
+    /// Scratch buffer reused across median computations.
+    scratch: Vec<f64>,
+}
+
+impl ServiceWindow {
+    fn push(&mut self, value: f64, cap: usize) {
+        if self.values.len() >= cap {
+            self.values.pop_front();
+        }
+        self.values.push_back(value);
+    }
+
+    /// `(median, robust sigma)` of the window, or `None` when empty.
+    fn robust_stats(&mut self) -> Option<(f64, f64)> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.scratch.clear();
+        self.scratch.extend(self.values.iter().copied());
+        let median = median_in_place(&mut self.scratch);
+        for v in &mut self.scratch {
+            *v = (*v - median).abs();
+        }
+        let mad = median_in_place(&mut self.scratch);
+        Some((median, mad * MAD_TO_SIGMA))
+    }
+}
+
+/// Median of a scratch slice (sorts it). The slice is non-empty by contract
+/// of the single caller.
+fn median_in_place(values: &mut [f64]) -> f64 {
+    values.sort_by(f64::total_cmp);
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// The admission gate: validates and outlier-screens a QoS stream, routing
+/// rejects to a bounded quarantine with exact counters.
+///
+/// Not internally synchronized — wrap in a lock to share across threads
+/// (the prediction service keeps it next to its ingestion path).
+#[derive(Debug, Clone, Default)]
+pub struct SampleGuard {
+    config: GuardConfig,
+    windows: HashMap<usize, ServiceWindow>,
+    quarantine: VecDeque<QuarantinedSample>,
+    per_service_rejects: HashMap<usize, u64>,
+    per_service_seen: HashMap<usize, u64>,
+    stats: GuardStats,
+    seq: u64,
+}
+
+impl SampleGuard {
+    /// Creates a guard. Invalid configurations are clamped to usable values
+    /// rather than panicking (the guard must never take the pipeline down);
+    /// use [`GuardConfig::validate`] to surface configuration mistakes.
+    pub fn new(mut config: GuardConfig) -> Self {
+        if config.validate().is_err() {
+            let fallback = GuardConfig::default();
+            if config.r_min.is_nan() || !config.r_max.is_finite() || config.r_min >= config.r_max {
+                config.r_min = fallback.r_min;
+                config.r_max = fallback.r_max;
+            }
+            config.outlier_window = config.outlier_window.max(2);
+            if config.outlier_sigmas.is_nan() || config.outlier_sigmas <= 0.0 {
+                config.outlier_sigmas = fallback.outlier_sigmas;
+            }
+        }
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// The guard's configuration (post-clamping).
+    pub fn config(&self) -> &GuardConfig {
+        &self.config
+    }
+
+    /// Screens one observation. `Ok(())` admits it to training (and folds
+    /// the value into the service's rolling statistics); `Err` names the
+    /// reject reason, and the sample has been quarantined and counted.
+    pub fn admit(&mut self, user: usize, service: usize, raw: f64) -> Result<(), RejectReason> {
+        let seq = self.seq;
+        self.seq += 1;
+        *self.per_service_seen.entry(service).or_insert(0) += 1;
+        if let Err(reason) = self.screen(service, raw) {
+            self.stats.bump(reason);
+            *self.per_service_rejects.entry(service).or_insert(0) += 1;
+            if self.config.quarantine_cap > 0 {
+                if self.quarantine.len() >= self.config.quarantine_cap {
+                    self.quarantine.pop_front();
+                }
+                self.quarantine.push_back(QuarantinedSample {
+                    seq,
+                    user,
+                    service,
+                    raw,
+                    reason,
+                });
+            }
+            return Err(reason);
+        }
+        self.stats.accepted += 1;
+        if self.config.outlier_gate {
+            self.windows
+                .entry(service)
+                .or_default()
+                .push(raw, self.config.outlier_window);
+        }
+        Ok(())
+    }
+
+    fn screen(&mut self, service: usize, raw: f64) -> Result<(), RejectReason> {
+        if !raw.is_finite() {
+            return Err(RejectReason::NotFinite);
+        }
+        if raw <= 0.0 {
+            return Err(RejectReason::NonPositive);
+        }
+        if raw < self.config.r_min || raw > self.config.r_max {
+            return Err(RejectReason::OutOfRange);
+        }
+        if self.config.outlier_gate {
+            if let Some(window) = self.windows.get_mut(&service) {
+                if window.values.len() >= self.config.outlier_warmup {
+                    if let Some((median, sigma)) = window.robust_stats() {
+                        // Floor the scale so a perfectly flat window (MAD 0)
+                        // does not reject benign jitter.
+                        let scale = sigma.max(0.05 * median.abs()).max(1e-9);
+                        if (raw - median).abs() > self.config.outlier_sigmas * scale {
+                            return Err(RejectReason::Outlier);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The admission counters.
+    pub fn stats(&self) -> GuardStats {
+        self.stats
+    }
+
+    /// The retained quarantined samples, oldest first (bounded by
+    /// [`GuardConfig::quarantine_cap`]; counters cover the rest).
+    pub fn quarantined(&self) -> impl Iterator<Item = &QuarantinedSample> {
+        self.quarantine.iter()
+    }
+
+    /// Number of samples currently retained in the quarantine log.
+    pub fn quarantine_len(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Total rejects per service id (all reasons), for reject-rate reports.
+    pub fn per_service_rejects(&self) -> &HashMap<usize, u64> {
+        &self.per_service_rejects
+    }
+
+    /// Total samples screened per service id (accepted + rejected).
+    pub fn per_service_seen(&self) -> &HashMap<usize, u64> {
+        &self.per_service_seen
+    }
+
+    /// Rolling median of a service's accepted values, if it has any.
+    pub fn service_median(&mut self, service: usize) -> Option<f64> {
+        self.windows
+            .get_mut(&service)
+            .and_then(|w| w.robust_stats())
+            .map(|(median, _)| median)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> SampleGuard {
+        SampleGuard::new(GuardConfig::default())
+    }
+
+    #[test]
+    fn accepts_clean_values() {
+        let mut g = guard();
+        for k in 0..50 {
+            assert!(g.admit(0, 0, 1.0 + 0.01 * (k % 5) as f64).is_ok());
+        }
+        assert_eq!(g.stats().accepted, 50);
+        assert_eq!(g.stats().rejected(), 0);
+        assert_eq!(g.quarantine_len(), 0);
+    }
+
+    #[test]
+    fn hard_rules_fire_in_order() {
+        let mut g = guard();
+        assert_eq!(g.admit(0, 0, f64::NAN), Err(RejectReason::NotFinite));
+        assert_eq!(g.admit(0, 0, f64::INFINITY), Err(RejectReason::NotFinite));
+        assert_eq!(g.admit(0, 0, 0.0), Err(RejectReason::NonPositive));
+        assert_eq!(g.admit(0, 0, -1.5), Err(RejectReason::NonPositive));
+        assert_eq!(g.admit(0, 0, 25.0), Err(RejectReason::OutOfRange));
+        let s = g.stats();
+        assert_eq!(s.not_finite, 2);
+        assert_eq!(s.non_positive, 2);
+        assert_eq!(s.out_of_range, 1);
+        assert_eq!(s.seen(), 5);
+        assert!((s.reject_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outlier_gate_needs_warmup() {
+        let mut g = guard();
+        // First sample is wild but there is no history to judge by.
+        assert!(g.admit(0, 3, 18.0).is_ok());
+        let mut g = guard();
+        for k in 0..20 {
+            g.admit(0, 3, 1.0 + 0.02 * (k % 3) as f64).unwrap();
+        }
+        // 18 s against a ~1 s median is far past 6 robust sigmas.
+        assert_eq!(g.admit(0, 3, 18.0), Err(RejectReason::Outlier));
+        // ...and the reject did NOT pollute the window.
+        assert!(g.service_median(3).unwrap() < 1.2);
+        assert_eq!(g.admit(0, 3, 1.05), Ok(()));
+    }
+
+    #[test]
+    fn outlier_gate_is_per_service() {
+        let mut g = guard();
+        for k in 0..20 {
+            g.admit(0, 0, 1.0 + 0.01 * (k % 2) as f64).unwrap();
+        }
+        // Service 1 has no history; the same extreme value is admitted.
+        assert!(g.admit(0, 1, 15.0).is_ok());
+        assert_eq!(g.admit(0, 0, 15.0), Err(RejectReason::Outlier));
+    }
+
+    #[test]
+    fn level_shift_reopens_after_window_turnover() {
+        let mut g = SampleGuard::new(GuardConfig {
+            outlier_window: 8,
+            outlier_warmup: 4,
+            outlier_sigmas: 4.0,
+            ..GuardConfig::default()
+        });
+        for _ in 0..8 {
+            g.admit(0, 0, 1.0).unwrap();
+        }
+        // A genuine regime change: first samples rejected, but values just
+        // inside the gate keep refreshing the window until the new level is
+        // normal. (The gate bounds how fast "normal" can move — by design.)
+        assert!(g.admit(0, 0, 9.0).is_err());
+        for _ in 0..12 {
+            let _ = g.admit(0, 0, 1.18);
+        }
+        assert!(g.admit(0, 0, 1.2).is_ok());
+    }
+
+    #[test]
+    fn quarantine_is_bounded_counters_are_not() {
+        let mut g = SampleGuard::new(GuardConfig {
+            quarantine_cap: 4,
+            ..GuardConfig::default()
+        });
+        for k in 0..10 {
+            assert!(g.admit(k, 0, f64::NAN).is_err());
+        }
+        assert_eq!(g.quarantine_len(), 4);
+        assert_eq!(g.stats().not_finite, 10);
+        // Newest retained.
+        let seqs: Vec<u64> = g.quarantined().map(|q| q.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(g.per_service_rejects()[&0], 10);
+    }
+
+    #[test]
+    fn nan_survives_quarantine_for_inspection() {
+        let mut g = guard();
+        g.admit(2, 5, f64::NAN).unwrap_err();
+        let q: Vec<_> = g.quarantined().collect();
+        assert_eq!(q.len(), 1);
+        assert_eq!((q[0].user, q[0].service), (2, 5));
+        assert!(q[0].raw.is_nan());
+        assert_eq!(q[0].reason, RejectReason::NotFinite);
+    }
+
+    #[test]
+    fn invalid_config_is_clamped_not_fatal() {
+        let g = SampleGuard::new(GuardConfig {
+            r_min: f64::NAN,
+            r_max: f64::NAN,
+            outlier_window: 0,
+            outlier_sigmas: -1.0,
+            ..GuardConfig::default()
+        });
+        assert!(g.config().r_min < g.config().r_max);
+        assert!(g.config().outlier_window >= 2);
+        assert!(g.config().outlier_sigmas > 0.0);
+    }
+
+    #[test]
+    fn for_amf_matches_model_range() {
+        let c = GuardConfig::for_amf(&crate::AmfConfig::throughput());
+        assert_eq!(c.r_max, 7000.0);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        assert!(GuardConfig {
+            r_min: 5.0,
+            r_max: 1.0,
+            ..GuardConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(GuardConfig {
+            outlier_sigmas: 0.0,
+            ..GuardConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn five_percent_garbage_is_fully_accounted() {
+        let mut g = guard();
+        let mut accepted = 0u64;
+        for k in 0..2_000u64 {
+            let (service, value) = match k % 20 {
+                7 => (3, f64::NAN),
+                13 => (4, -0.5),
+                _ => ((k % 5) as usize, 0.8 + (k % 7) as f64 * 0.1),
+            };
+            if g.admit((k % 11) as usize, service, value).is_ok() {
+                accepted += 1;
+            }
+        }
+        let s = g.stats();
+        assert_eq!(s.seen(), 2_000);
+        assert_eq!(s.accepted, accepted);
+        assert_eq!(s.rejected(), 200);
+        assert_eq!(s.not_finite, 100);
+        assert_eq!(s.non_positive, 100);
+    }
+}

@@ -49,6 +49,8 @@ pub mod config;
 pub mod diagnostics;
 pub mod engine;
 pub mod expiry;
+pub mod fault;
+pub mod guard;
 pub mod model;
 pub mod online;
 pub mod persistence;
@@ -56,9 +58,11 @@ pub mod trainer;
 pub mod weights;
 
 pub use config::{AmfConfig, LossKind};
-pub use diagnostics::ModelDiagnostics;
-pub use engine::{EngineOptions, ShardedEngine};
+pub use diagnostics::{ModelDiagnostics, QuarantineDiagnostics};
+pub use engine::{EngineOptions, FaultEvent, FaultStats, FeedOutcome, ShardedEngine, ShedPolicy};
 pub use expiry::ObservationStore;
+pub use fault::{FaultPlan, KillPhase};
+pub use guard::{GuardConfig, GuardStats, QuarantinedSample, RejectReason, SampleGuard};
 pub use model::AmfModel;
 pub use trainer::{AmfTrainer, TrainReport};
 pub use weights::ErrorTracker;

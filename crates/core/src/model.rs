@@ -251,6 +251,25 @@ impl AmfModel {
         Ok(model)
     }
 
+    /// Reassembles a model from parts whose config/transform pair was already
+    /// validated together (the engine's snapshot path) — infallible, so
+    /// assembling a snapshot can never panic or error at runtime.
+    pub(crate) fn restore_parts(
+        config: AmfConfig,
+        transform: QosTransform,
+        users: Vec<EntityState>,
+        services: Vec<EntityState>,
+        updates: u64,
+    ) -> Self {
+        Self {
+            config,
+            transform,
+            users,
+            services,
+            updates,
+        }
+    }
+
     pub(crate) fn entities(&self) -> (&[EntityState], &[EntityState]) {
         (&self.users, &self.services)
     }

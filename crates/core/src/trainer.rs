@@ -157,6 +157,29 @@ impl AmfTrainer {
     where
         I: IntoIterator<Item = (usize, usize, u64, f64)>,
     {
+        self.feed_batch_sharded_with(samples, options, None)
+            .map(|(n, _)| n)
+    }
+
+    /// Like [`AmfTrainer::feed_batch_sharded`], with an optional
+    /// [`FaultPlan`](crate::fault::FaultPlan) attached to the engine so the
+    /// batch exercises worker kills, stalls, and recovery deterministically.
+    /// Also returns the engine's [`FaultStats`](crate::engine::FaultStats)
+    /// so callers can report what the run survived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmfError::InvalidConfig`] when `options` is invalid; the
+    /// trainer's model is untouched in that case.
+    pub fn feed_batch_sharded_with<I>(
+        &mut self,
+        samples: I,
+        options: crate::engine::EngineOptions,
+        plan: Option<std::sync::Arc<crate::fault::FaultPlan>>,
+    ) -> Result<(usize, crate::engine::FaultStats), AmfError>
+    where
+        I: IntoIterator<Item = (usize, usize, u64, f64)>,
+    {
         options.validate()?;
         let samples: Vec<(usize, usize, u64, f64)> = samples.into_iter().collect();
         for &(user, service, timestamp, value) in &samples {
@@ -167,10 +190,12 @@ impl AmfTrainer {
         // soon as the engine hands the trained model back.
         let placeholder = AmfModel::new(*self.model.config())?;
         let model = std::mem::replace(&mut self.model, placeholder);
-        let mut engine = crate::engine::ShardedEngine::from_model(model, options)?;
+        let mut engine = crate::engine::ShardedEngine::from_model_with_plan(model, options, plan)?;
         engine.feed_batch(samples.iter().map(|&(u, s, _, v)| (u, s, v)));
+        engine.drain();
+        let stats = engine.fault_stats();
         self.model = engine.into_model();
-        Ok(samples.len())
+        Ok((samples.len(), stats))
     }
 
     /// Replays one random live sample (Algorithm 1 lines 11–15). Returns the

@@ -110,6 +110,46 @@ impl QosDatabase {
         }
     }
 
+    /// Mean of the retained values one user observed across all services —
+    /// the first fallback rung when the model cannot price a pair.
+    pub fn user_mean(&self, user: usize) -> Option<f64> {
+        let records = self.records.read();
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for ((u, _), history) in records.iter() {
+            if *u == user {
+                for obs in history {
+                    sum += obs.value;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Mean of every retained observation — the last data-driven fallback
+    /// rung (degrades gracefully to "what does QoS look like on average").
+    pub fn global_mean(&self) -> Option<f64> {
+        let records = self.records.read();
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for history in records.values() {
+            for obs in history {
+                sum += obs.value;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
     /// Removes all observations older than `cutoff`, returning how many were
     /// dropped.
     pub fn prune_before(&self, cutoff: u64) -> usize {
@@ -177,6 +217,18 @@ mod tests {
         db.record(0, 6, 1, 100.0);
         assert_eq!(db.service_mean(5), Some(3.0));
         assert_eq!(db.service_mean(7), None);
+    }
+
+    #[test]
+    fn user_and_global_means() {
+        let db = QosDatabase::new(8);
+        db.record(0, 5, 1, 2.0);
+        db.record(0, 6, 1, 4.0);
+        db.record(1, 5, 1, 6.0);
+        assert_eq!(db.user_mean(0), Some(3.0));
+        assert_eq!(db.user_mean(9), None);
+        assert_eq!(db.global_mean(), Some(4.0));
+        assert_eq!(QosDatabase::new(4).global_mean(), None);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod database;
 pub mod managers;
@@ -39,7 +40,9 @@ pub use managers::{EntityId, Registry};
 pub use middleware::ExecutionMiddleware;
 pub use monitor::{MonitorConfig, QosMonitor};
 pub use policy::{AdaptationPolicy, BestPredictedPolicy, ThresholdPolicy};
-pub use prediction_service::{QosPredictionService, QosRecord, ServiceConfig};
+pub use prediction_service::{
+    Prediction, PredictionSource, QosPredictionService, QosRecord, ServiceConfig, ServiceStats,
+};
 pub use simulation::{AdaptationSimulation, SimulationConfig, SimulationReport};
 pub use workflow::{AbstractTask, Workflow};
 

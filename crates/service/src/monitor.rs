@@ -63,6 +63,9 @@ pub enum Verdict {
     Warmup,
     /// Statistically anomalous relative to the tracked level.
     Deviation,
+    /// The sample was not finite and was discarded without updating any
+    /// state (counted in [`QosMonitor::dropped`]).
+    Dropped,
 }
 
 /// Per-pair QoS monitor for working services.
@@ -84,6 +87,8 @@ pub enum Verdict {
 pub struct QosMonitor {
     config: MonitorConfig,
     pairs: HashMap<(usize, usize), PairState>,
+    /// Non-finite samples discarded instead of tracked.
+    dropped: u64,
 }
 
 impl QosMonitor {
@@ -92,7 +97,13 @@ impl QosMonitor {
         Self {
             config,
             pairs: HashMap::new(),
+            dropped: 0,
         }
+    }
+
+    /// Total non-finite samples discarded by [`QosMonitor::observe`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Number of tracked pairs.
@@ -107,6 +118,12 @@ impl QosMonitor {
 
     /// Ingests one observation and returns the verdict for it.
     pub fn observe(&mut self, user: usize, service: usize, timestamp: u64, value: f64) -> Verdict {
+        // A NaN/∞ sample would poison the EMA permanently; drop it and keep
+        // the count so operators can see the data-quality problem.
+        if !value.is_finite() {
+            self.dropped += 1;
+            return Verdict::Dropped;
+        }
         let a = self.config.ema_factor;
         let entry = self.pairs.entry((user, service)).or_insert(PairState {
             level: value,
@@ -157,7 +174,10 @@ impl QosMonitor {
             .filter(|(_, s)| s.level > threshold)
             .map(|(&(u, svc), s)| (u, svc, s.level))
             .collect();
-        out.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("levels are finite"));
+        // total_cmp keeps the sort well-defined even if a level is somehow
+        // NaN (panicking in a monitoring path would take down the loop the
+        // monitor exists to protect).
+        out.sort_by(|a, b| b.2.total_cmp(&a.2));
         out
     }
 
@@ -248,6 +268,20 @@ mod tests {
         assert_eq!(m.prune_stale(500), 1);
         assert!(m.state(0, 0).is_none());
         assert!(m.state(0, 1).is_some());
+    }
+
+    #[test]
+    fn non_finite_samples_are_dropped_not_tracked() {
+        let mut m = monitor();
+        for t in 0..10 {
+            m.observe(0, 0, t, 1.0);
+        }
+        let before = *m.state(0, 0).unwrap();
+        assert_eq!(m.observe(0, 0, 10, f64::NAN), Verdict::Dropped);
+        assert_eq!(m.observe(0, 0, 11, f64::INFINITY), Verdict::Dropped);
+        assert_eq!(m.dropped(), 2);
+        assert_eq!(*m.state(0, 0).unwrap(), before, "state untouched by drops");
+        assert_eq!(m.observe(0, 0, 12, 1.0), Verdict::Normal);
     }
 
     #[test]

@@ -117,8 +117,8 @@ fn best_candidate(predicted: &[Option<f64>]) -> Option<(usize, f64)> {
     predicted
         .iter()
         .enumerate()
-        .filter_map(|(i, p)| p.map(|v| (i, v)))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("predictions are finite"))
+        .filter_map(|(i, p)| p.filter(|v| v.is_finite()).map(|v| (i, v)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
 }
 
 #[cfg(test)]

@@ -3,20 +3,46 @@
 //! Ties together the three stages the paper names:
 //!
 //! 1. **Input handling** — observed QoS records arrive as a stream (here via
-//!    a `crossbeam` channel or direct calls), are resolved to dense ids by
+//!    a `crossbeam` channel or direct calls), are screened by a
+//!    [`SampleGuard`] (NaN/∞, non-positive, out-of-range, and statistical
+//!    outliers are quarantined, never trained on), resolved to dense ids by
 //!    the user/service managers, logged in the [`QosDatabase`], and fed to
 //!    the model;
 //! 2. **Online updating** — the embedded [`amf_core::AmfTrainer`] applies
 //!    each sample immediately and replays live samples during idle time;
 //! 3. **QoS prediction** — [`QosPredictionService::predict`] serves estimates
 //!    for *candidate* services the user never invoked.
+//!
+//! # Fault tolerance
+//!
+//! A runtime-adaptation loop keeps calling this service while parts of it
+//! are unhealthy, so every stage degrades instead of failing:
+//!
+//! * **Ingestion** — garbage records are quarantined with exact counters
+//!   ([`QosPredictionService::guard_stats`]); a bounded input queue sheds
+//!   load under backpressure ([`QosPredictionService::offer`]) rather than
+//!   blocking the reporting path, counting every dropped record; sharded
+//!   batch training survives worker crashes (respawn + journal replay in
+//!   [`amf_core::ShardedEngine`]) and falls back to sequential application
+//!   if the engine cannot be built at all.
+//! * **Prediction** — [`QosPredictionService::predict_degraded`] never
+//!   returns an error or a non-finite value: when the model cannot price a
+//!   pair (unknown or cold entities, mid-recovery), it walks a fallback
+//!   ladder — user mean → service mean → global mean → configured default —
+//!   and tags the answer with its [`PredictionSource`] so callers can weigh
+//!   it accordingly.
 
 use crate::database::QosDatabase;
 use crate::managers::Registry;
 use crate::ServiceError;
-use amf_core::{AmfConfig, AmfTrainer};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use amf_core::engine::FaultStats;
+use amf_core::fault::FaultPlan;
+use amf_core::guard::{GuardConfig, GuardStats, SampleGuard};
+use amf_core::{AmfConfig, AmfTrainer, QuarantineDiagnostics};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One observed QoS record as submitted by a user's QoS manager.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,17 +72,103 @@ pub struct ServiceConfig {
     /// calling thread; results are identical either way (the sharded engine
     /// preserves per-entity stream order).
     pub shards: usize,
+    /// Input screening. `Some` quarantines invalid samples before they reach
+    /// the database or the model; `None` disables screening entirely. The
+    /// default matches the model's QoS range with the statistical outlier
+    /// gate off (hard validation only) — enable
+    /// [`GuardConfig::outlier_gate`] for lossy transports.
+    pub guard: Option<GuardConfig>,
+    /// Capacity of the input channel ([`QosPredictionService::input_channel`]
+    /// / [`QosPredictionService::offer`]). `0` keeps the channel unbounded
+    /// (no shedding, unbounded memory under overload).
+    pub input_queue_capacity: usize,
+    /// EMA-error level at or above which an entity counts as *cold* for
+    /// [`QosPredictionService::predict_degraded`] (freshly registered
+    /// entities start at exactly `1.0`).
+    pub cold_error_threshold: f64,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
+        let amf = AmfConfig::response_time();
         Self {
-            amf: AmfConfig::response_time(),
+            amf,
             history_cap: 16,
             replay: amf_core::trainer::ReplayOptions::default(),
             shards: 1,
+            guard: Some(GuardConfig {
+                outlier_gate: false,
+                ..GuardConfig::for_amf(&amf)
+            }),
+            input_queue_capacity: 0,
+            cold_error_threshold: 1.0,
         }
     }
+}
+
+/// Where a degraded-mode prediction's value came from — ordered from most to
+/// least informed. Anything other than [`PredictionSource::Model`] means the
+/// AMF model could not price the pair and a coarser estimate was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PredictionSource {
+    /// The AMF model, both entities known and warm.
+    Model,
+    /// Mean of the user's retained observations across services.
+    UserMean,
+    /// Mean of the service's retained observations across users.
+    ServiceMean,
+    /// Mean of every retained observation.
+    GlobalMean,
+    /// No data at all: the configured default (midpoint of the QoS range).
+    Default,
+}
+
+impl PredictionSource {
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictionSource::Model => "model",
+            PredictionSource::UserMean => "user-mean",
+            PredictionSource::ServiceMean => "service-mean",
+            PredictionSource::GlobalMean => "global-mean",
+            PredictionSource::Default => "default",
+        }
+    }
+
+    /// Whether the value came from the AMF model itself.
+    pub fn is_model(self) -> bool {
+        self == PredictionSource::Model
+    }
+}
+
+/// A degraded-mode prediction: always a finite value, tagged with how far
+/// down the fallback ladder it came from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// The predicted QoS value (always finite).
+    pub value: f64,
+    /// Which rung of the fallback ladder produced it.
+    pub source: PredictionSource,
+}
+
+/// Operational counters of a [`QosPredictionService`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Registered users.
+    pub users: usize,
+    /// Registered services.
+    pub services: usize,
+    /// Online model updates applied.
+    pub updates: u64,
+    /// Records admitted to training (screened in, or screening disabled).
+    pub accepted: u64,
+    /// Records quarantined by the input guard.
+    pub rejected: u64,
+    /// Records dropped by input-queue load shedding.
+    pub dropped: u64,
+    /// Whether ingestion has lost samples to an unrecoverable shard worker
+    /// (predictions still flow, but the model may be missing updates).
+    pub degraded: bool,
 }
 
 /// The QoS prediction service.
@@ -86,15 +198,29 @@ impl Default for ServiceConfig {
 /// // Candidate prediction for a pair never invoked:
 /// let estimate = service.predict("u-pittsburgh", "ws-weather-1").unwrap();
 /// assert!(estimate > 0.0);
+/// // Garbage is quarantined, not trained on:
+/// service.submit(QosRecord {
+///     user: "u-hongkong".into(),
+///     service: "ws-weather-1".into(),
+///     timestamp: 2,
+///     value: f64::NAN,
+/// });
+/// assert_eq!(service.stats().rejected, 1);
 /// ```
 pub struct QosPredictionService {
     trainer: Mutex<AmfTrainer>,
     users: Mutex<Registry>,
     services: Mutex<Registry>,
+    guard: Option<Mutex<SampleGuard>>,
     database: QosDatabase,
     config: ServiceConfig,
     input_tx: Sender<QosRecord>,
     input_rx: Receiver<QosRecord>,
+    fault_plan: Mutex<Option<Arc<FaultPlan>>>,
+    fault_stats: Mutex<FaultStats>,
+    accepted: AtomicU64,
+    dropped: AtomicU64,
+    degraded: AtomicBool,
 }
 
 impl QosPredictionService {
@@ -114,15 +240,25 @@ impl QosPredictionService {
     ///
     /// Returns [`ServiceError::Model`] when the AMF configuration is invalid.
     pub fn try_new(config: ServiceConfig) -> Result<Self, ServiceError> {
-        let (input_tx, input_rx) = unbounded();
+        let (input_tx, input_rx) = if config.input_queue_capacity > 0 {
+            bounded(config.input_queue_capacity)
+        } else {
+            unbounded()
+        };
         Ok(Self {
             trainer: Mutex::new(AmfTrainer::new(config.amf)?),
             users: Mutex::new(Registry::new()),
             services: Mutex::new(Registry::new()),
+            guard: config.guard.map(|g| Mutex::new(SampleGuard::new(g))),
             database: QosDatabase::new(config.history_cap),
             config,
             input_tx,
             input_rx,
+            fault_plan: Mutex::new(None),
+            fault_stats: Mutex::new(FaultStats::default()),
+            accepted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
         })
     }
 
@@ -138,13 +274,41 @@ impl QosPredictionService {
 
     /// A sender for the input-handling stream; cloneable and usable from any
     /// thread. Queued records are applied by
-    /// [`QosPredictionService::drain_inputs`].
+    /// [`QosPredictionService::drain_inputs`]. When
+    /// [`ServiceConfig::input_queue_capacity`] is non-zero the channel is
+    /// bounded and `send` blocks when full — use
+    /// [`QosPredictionService::offer`] for the non-blocking, load-shedding
+    /// variant.
     pub fn input_channel(&self) -> Sender<QosRecord> {
         self.input_tx.clone()
     }
 
+    /// Non-blocking enqueue with bounded retry and load shedding: tries the
+    /// input queue a few times with a short backoff, then drops the record
+    /// and counts it in [`ServiceStats::dropped`]. Returns whether the
+    /// record was queued. On an unbounded queue this always succeeds.
+    pub fn offer(&self, record: QosRecord) -> bool {
+        const ATTEMPTS: u32 = 8;
+        const BACKOFF: std::time::Duration = std::time::Duration::from_micros(100);
+        let mut record = record;
+        for attempt in 0..ATTEMPTS {
+            match self.input_tx.try_send(record) {
+                Ok(()) => return true,
+                Err(TrySendError::Full(back)) => {
+                    record = back;
+                    if attempt + 1 < ATTEMPTS {
+                        std::thread::sleep(BACKOFF);
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            }
+        }
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        false
+    }
+
     /// Applies all queued channel records — through the sharded engine when
-    /// `config.shards > 1`. Returns how many were processed.
+    /// `config.shards > 1`. Returns how many were accepted for training.
     pub fn drain_inputs(&self) -> usize {
         let mut batch = Vec::new();
         while let Ok(record) = self.input_rx.try_recv() {
@@ -153,58 +317,82 @@ impl QosPredictionService {
         self.submit_batch(batch)
     }
 
+    /// Registers a record's identities and screens its value. Returns the
+    /// dense ids plus whether the record was admitted (admitted records are
+    /// logged in the database; rejects are only quarantined).
+    fn admit(&self, record: &QosRecord) -> (usize, usize, bool) {
+        let user = self.users.lock().join(&record.user);
+        let service = self.services.lock().join(&record.service);
+        let admitted = match &self.guard {
+            Some(guard) => guard.lock().admit(user, service, record.value).is_ok(),
+            None => true,
+        };
+        if admitted {
+            self.database
+                .record(user, service, record.timestamp, record.value);
+            self.accepted.fetch_add(1, Ordering::Relaxed);
+        }
+        (user, service, admitted)
+    }
+
     /// Input handling + online updating for a whole batch of records.
     ///
-    /// Identities are registered and the records logged exactly like
+    /// Identities are registered and admitted records logged exactly like
     /// [`QosPredictionService::submit`]; the model updates are applied by a
     /// [`amf_core::ShardedEngine`] with `config.shards` workers (sequentially
     /// when `shards <= 1`). Per-entity stream order is preserved, so the
     /// resulting model is identical to one-by-one submission. Returns the
-    /// number of records applied.
+    /// number of records accepted for training (quarantined records are
+    /// counted in [`ServiceStats::rejected`], not here).
     pub fn submit_batch(&self, records: Vec<QosRecord>) -> usize {
         if records.is_empty() {
             return 0;
         }
         let mut samples = Vec::with_capacity(records.len());
-        {
-            let mut users = self.users.lock();
-            let mut services = self.services.lock();
-            for record in &records {
-                let user = users.join(&record.user);
-                let service = services.join(&record.service);
-                self.database
-                    .record(user, service, record.timestamp, record.value);
+        for record in &records {
+            let (user, service, admitted) = self.admit(record);
+            if admitted {
                 samples.push((user, service, record.timestamp, record.value));
             }
         }
         let n = samples.len();
+        if n == 0 {
+            return 0;
+        }
         let mut trainer = self.trainer.lock();
         if self.config.shards > 1 {
-            trainer
-                .feed_batch_sharded(
-                    samples,
-                    amf_core::EngineOptions::with_shards(self.config.shards),
-                )
-                .expect("shards >= 2 is a valid engine option")
-        } else {
-            for (user, service, timestamp, value) in samples {
-                trainer.feed(user, service, timestamp, value);
+            let plan = self.fault_plan.lock().clone();
+            let options = amf_core::EngineOptions::with_shards(self.config.shards);
+            match trainer.feed_batch_sharded_with(samples.clone(), options, plan) {
+                Ok((fed, faults)) => {
+                    self.absorb_fault_stats(faults);
+                    return fed;
+                }
+                Err(_) => {
+                    // The engine could not be built (invalid options, thread
+                    // exhaustion): degrade to sequential application rather
+                    // than dropping the batch or panicking.
+                    self.degraded.store(true, Ordering::Relaxed);
+                }
             }
-            n
         }
+        for (user, service, timestamp, value) in samples {
+            trainer.feed(user, service, timestamp, value);
+        }
+        n
     }
 
     /// Input handling + online updating for one record: registers identities,
-    /// stores the record, and applies one online model update.
-    /// Returns the `(user, service)` dense ids.
+    /// screens the value, stores and applies admitted records.
+    /// Returns the `(user, service)` dense ids (assigned even for
+    /// quarantined records — identity and data quality are independent).
     pub fn submit(&self, record: QosRecord) -> (usize, usize) {
-        let user = self.users.lock().join(&record.user);
-        let service = self.services.lock().join(&record.service);
-        self.database
-            .record(user, service, record.timestamp, record.value);
-        self.trainer
-            .lock()
-            .feed(user, service, record.timestamp, record.value);
+        let (user, service, admitted) = self.admit(&record);
+        if admitted {
+            self.trainer
+                .lock()
+                .feed(user, service, record.timestamp, record.value);
+        }
         (user, service)
     }
 
@@ -227,7 +415,8 @@ impl QosPredictionService {
     /// # Errors
     ///
     /// Returns [`ServiceError::UnknownEntity`] when either identity was never
-    /// registered.
+    /// registered. For an infallible variant that degrades instead, see
+    /// [`QosPredictionService::predict_degraded`].
     pub fn predict(&self, user: &str, service: &str) -> Result<f64, ServiceError> {
         let user_id =
             self.users
@@ -257,6 +446,67 @@ impl QosPredictionService {
         self.trainer.lock().model().predict(user, service)
     }
 
+    /// Infallible prediction: never errors, never returns NaN. Serves the
+    /// model's estimate when both entities are known and *warm* (EMA error
+    /// below [`ServiceConfig::cold_error_threshold`]); otherwise walks the
+    /// fallback ladder — user mean, service mean, global mean, configured
+    /// default — and tags the result with its [`PredictionSource`]. This is
+    /// the adaptation loop's view of the service during recovery: degraded
+    /// answers beat no answers.
+    pub fn predict_degraded(&self, user: &str, service: &str) -> Prediction {
+        let user_id = self.users.lock().resolve(user);
+        let service_id = self.services.lock().resolve(service);
+        self.predict_degraded_ids(user_id, service_id)
+    }
+
+    /// [`QosPredictionService::predict_degraded`] by (optional) dense ids.
+    pub fn predict_degraded_ids(&self, user: Option<usize>, service: Option<usize>) -> Prediction {
+        if let (Some(u), Some(s)) = (user, service) {
+            let trainer = self.trainer.lock();
+            let model = trainer.model();
+            let warm =
+                |error: Option<f64>| error.is_some_and(|e| e < self.config.cold_error_threshold);
+            if warm(model.user_error(u)) && warm(model.service_error(s)) {
+                if let Some(value) = model.predict(u, s) {
+                    if value.is_finite() {
+                        return Prediction {
+                            value,
+                            source: PredictionSource::Model,
+                        };
+                    }
+                }
+            }
+        }
+        if let Some(value) = user.and_then(|u| self.database.user_mean(u)) {
+            if value.is_finite() {
+                return Prediction {
+                    value,
+                    source: PredictionSource::UserMean,
+                };
+            }
+        }
+        if let Some(value) = service.and_then(|s| self.database.service_mean(s)) {
+            if value.is_finite() {
+                return Prediction {
+                    value,
+                    source: PredictionSource::ServiceMean,
+                };
+            }
+        }
+        if let Some(value) = self.database.global_mean() {
+            if value.is_finite() {
+                return Prediction {
+                    value,
+                    source: PredictionSource::GlobalMean,
+                };
+            }
+        }
+        Prediction {
+            value: 0.5 * (self.config.amf.r_min + self.config.amf.r_max),
+            source: PredictionSource::Default,
+        }
+    }
+
     /// Registers a user id without an observation (explicit join).
     pub fn join_user(&self, name: &str) -> usize {
         let id = self.users.lock().join(name);
@@ -281,24 +531,82 @@ impl QosPredictionService {
         self.services.lock().leave(name)
     }
 
-    /// Snapshot of `(registered_users, registered_services, model_updates)`.
-    pub fn stats(&self) -> (usize, usize, u64) {
-        let trainer = self.trainer.lock();
-        (
-            self.users.lock().len(),
-            self.services.lock().len(),
-            trainer.model().update_count(),
-        )
+    /// Attaches a deterministic fault script to subsequent sharded batch
+    /// ingestion ([`QosPredictionService::submit_batch`] with
+    /// `config.shards > 1`) — the test/chaos hook proving recovery claims.
+    pub fn inject_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.fault_plan.lock() = Some(plan);
+    }
+
+    /// Detaches any fault script.
+    pub fn clear_fault_plan(&self) {
+        *self.fault_plan.lock() = None;
+    }
+
+    /// Cumulative fault counters across all sharded ingestion so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        *self.fault_stats.lock()
+    }
+
+    /// The input guard's admission counters (`None` when screening is
+    /// disabled).
+    pub fn guard_stats(&self) -> Option<GuardStats> {
+        self.guard.as_ref().map(|g| g.lock().stats())
+    }
+
+    /// A quarantine health report: per-service reject rates, histogram, and
+    /// worst offenders (`None` when screening is disabled).
+    pub fn quarantine_diagnostics(&self) -> Option<QuarantineDiagnostics> {
+        self.guard
+            .as_ref()
+            .map(|g| QuarantineDiagnostics::of(&g.lock()))
+    }
+
+    fn absorb_fault_stats(&self, faults: FaultStats) {
+        if faults == FaultStats::default() {
+            return;
+        }
+        let mut total = self.fault_stats.lock();
+        total.worker_panics += faults.worker_panics;
+        total.injected_panics += faults.injected_panics;
+        total.respawns += faults.respawns;
+        total.jobs_replayed += faults.jobs_replayed;
+        total.samples_lost += faults.samples_lost;
+        total.abandoned_workers += faults.abandoned_workers;
+        if faults.samples_lost > 0 || faults.abandoned_workers > 0 {
+            self.degraded.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Operational counters snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        let updates = self.trainer.lock().model().update_count();
+        ServiceStats {
+            users: self.users.lock().len(),
+            services: self.services.lock().len(),
+            updates,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self
+                .guard
+                .as_ref()
+                .map(|g| g.lock().stats().rejected())
+                .unwrap_or(0),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
     }
 }
 
 impl std::fmt::Debug for QosPredictionService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let (users, services, updates) = self.stats();
+        let stats = self.stats();
         f.debug_struct("QosPredictionService")
-            .field("users", &users)
-            .field("services", &services)
-            .field("updates", &updates)
+            .field("users", &stats.users)
+            .field("services", &stats.services)
+            .field("updates", &stats.updates)
+            .field("rejected", &stats.rejected)
+            .field("dropped", &stats.dropped)
+            .field("degraded", &stats.degraded)
             .finish()
     }
 }
@@ -323,10 +631,12 @@ mod tests {
         assert_eq!((u, s), (0, 0));
         let (u2, s2) = svc.submit(record("bob", "ws-1", 1, 0.8));
         assert_eq!((u2, s2), (1, 0));
-        let (users, services, updates) = svc.stats();
-        assert_eq!(users, 2);
-        assert_eq!(services, 1);
-        assert_eq!(updates, 2);
+        let stats = svc.stats();
+        assert_eq!(stats.users, 2);
+        assert_eq!(stats.services, 1);
+        assert_eq!(stats.updates, 2);
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.rejected, 0);
         assert_eq!(svc.database().observation_count(), 2);
     }
 
@@ -366,13 +676,12 @@ mod tests {
         tx.send(record("u1", "s1", 0, 1.0)).unwrap();
         tx.send(record("u2", "s1", 1, 2.0)).unwrap();
         assert_eq!(svc.drain_inputs(), 2);
-        assert_eq!(svc.stats().2, 2);
+        assert_eq!(svc.stats().updates, 2);
         assert_eq!(svc.drain_inputs(), 0);
     }
 
     #[test]
     fn channel_works_across_threads() {
-        use std::sync::Arc;
         let svc = Arc::new(QosPredictionService::new(ServiceConfig::default()));
         let tx = svc.input_channel();
         let producer = std::thread::spawn(move || {
@@ -422,10 +731,11 @@ mod tests {
         });
         let tx = svc.input_channel();
         for k in 0..40u64 {
-            tx.send(record(&format!("u{}", k % 4), "s", k, 1.0)).unwrap();
+            tx.send(record(&format!("u{}", k % 4), "s", k, 1.0))
+                .unwrap();
         }
         assert_eq!(svc.drain_inputs(), 40);
-        assert_eq!(svc.stats().2, 40);
+        assert_eq!(svc.stats().updates, 40);
         assert_eq!(svc.database().observation_count(), 40);
     }
 
@@ -474,5 +784,196 @@ mod tests {
         svc.submit(record("a", "b", 0, 1.0));
         let text = format!("{svc:?}");
         assert!(text.contains("users"));
+        assert!(text.contains("degraded"));
+    }
+
+    #[test]
+    fn garbage_is_quarantined_not_trained() {
+        let svc = QosPredictionService::new(ServiceConfig::default());
+        svc.submit(record("a", "s", 0, 1.0));
+        svc.submit(record("a", "s", 1, f64::NAN));
+        svc.submit(record("a", "s", 2, -3.0));
+        svc.submit(record("a", "s", 3, f64::INFINITY));
+        svc.submit(record("a", "s", 4, 1.2));
+        let stats = svc.stats();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.rejected, 3);
+        assert_eq!(stats.updates, 2, "rejects must not train");
+        assert_eq!(
+            svc.database().observation_count(),
+            2,
+            "rejects stay out of the db"
+        );
+        let g = svc.guard_stats().unwrap();
+        assert_eq!(g.not_finite, 2);
+        assert_eq!(g.non_positive, 1);
+        assert_eq!(g.seen(), 5);
+        let diag = svc.quarantine_diagnostics().unwrap();
+        assert_eq!(diag.services_with_rejects, 1);
+    }
+
+    #[test]
+    fn batch_return_counts_only_admitted() {
+        let svc = QosPredictionService::new(ServiceConfig {
+            shards: 2,
+            ..Default::default()
+        });
+        let batch = vec![
+            record("u1", "s1", 0, 1.0),
+            record("u2", "s1", 1, f64::NAN),
+            record("u1", "s2", 2, 2.0),
+            record("u2", "s2", 3, -1.0),
+        ];
+        assert_eq!(svc.submit_batch(batch), 2);
+        let stats = svc.stats();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.updates, 2);
+        // Identity registration is independent of data quality.
+        assert_eq!(stats.users, 2);
+        assert_eq!(stats.services, 2);
+    }
+
+    #[test]
+    fn guard_disabled_accepts_everything() {
+        let svc = QosPredictionService::new(ServiceConfig {
+            guard: None,
+            ..Default::default()
+        });
+        // Non-finite values would poison the transform; the point here is
+        // only that the *gate* is off, so use an odd-but-finite value.
+        svc.submit(record("a", "s", 0, 1e9));
+        assert_eq!(svc.stats().accepted, 1);
+        assert_eq!(svc.stats().rejected, 0);
+        assert!(svc.guard_stats().is_none());
+    }
+
+    #[test]
+    fn bounded_queue_offer_sheds_with_count() {
+        let svc = QosPredictionService::new(ServiceConfig {
+            input_queue_capacity: 4,
+            ..Default::default()
+        });
+        let mut queued = 0;
+        for k in 0..10u64 {
+            if svc.offer(record("u", "s", k, 1.0)) {
+                queued += 1;
+            }
+        }
+        assert_eq!(queued, 4, "queue holds exactly its capacity");
+        assert_eq!(svc.stats().dropped, 6);
+        assert_eq!(svc.drain_inputs(), 4);
+        // Space freed: offers succeed again.
+        assert!(svc.offer(record("u", "s", 10, 1.0)));
+        assert_eq!(svc.stats().dropped, 6);
+    }
+
+    #[test]
+    fn predict_degraded_walks_the_fallback_ladder() {
+        let svc = QosPredictionService::new(ServiceConfig::default());
+        // Rung 5: nothing known at all — finite default.
+        let p = svc.predict_degraded("ghost-user", "ghost-service");
+        assert_eq!(p.source, PredictionSource::Default);
+        assert!(p.value.is_finite());
+
+        // One observation: known user, unknown service -> user mean.
+        svc.submit(record("alice", "ws-1", 0, 2.0));
+        let p = svc.predict_degraded("alice", "ghost-service");
+        assert_eq!(p.source, PredictionSource::UserMean);
+        assert_eq!(p.value, 2.0);
+
+        // Unknown user, known service -> service mean.
+        let p = svc.predict_degraded("ghost-user", "ws-1");
+        assert_eq!(p.source, PredictionSource::ServiceMean);
+        assert_eq!(p.value, 2.0);
+
+        // Both known: whatever the rung (warmth depends on the first
+        // sample's error), the value is finite.
+        let p = svc.predict_degraded("alice", "ws-1");
+        assert!(p.value.is_finite());
+
+        // Joined-but-never-observed entities start with EMA error 1.0 —
+        // cold by definition, so the model is skipped in favour of data.
+        svc.join_user("cold-user");
+        svc.join_service("cold-service");
+        let p = svc.predict_degraded("cold-user", "cold-service");
+        assert_eq!(p.source, PredictionSource::GlobalMean);
+        assert_eq!(p.value, 2.0);
+
+        // Warm the pair up; the model takes over.
+        for k in 1..200 {
+            svc.submit(record("alice", "ws-1", k, 2.0));
+        }
+        let p = svc.predict_degraded("alice", "ws-1");
+        assert_eq!(p.source, PredictionSource::Model);
+        assert!(p.value.is_finite());
+        assert!((p.value - 2.0).abs() < 1.0, "warm prediction {}", p.value);
+    }
+
+    #[test]
+    fn predict_degraded_never_nan_under_garbage_stream() {
+        let svc = QosPredictionService::new(ServiceConfig::default());
+        for k in 0..100u64 {
+            let v = match k % 4 {
+                0 => 1.0 + (k % 7) as f64 * 0.3,
+                1 => f64::NAN,
+                2 => -5.0,
+                _ => 2.0,
+            };
+            svc.submit(record(&format!("u{}", k % 5), &format!("s{}", k % 3), k, v));
+        }
+        for u in 0..5 {
+            for s in 0..3 {
+                let p = svc.predict_degraded(&format!("u{u}"), &format!("s{s}"));
+                assert!(p.value.is_finite(), "u{u}/s{s} -> {:?}", p);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_ingestion_with_fault_plan_recovers() {
+        let svc = QosPredictionService::new(ServiceConfig {
+            shards: 3,
+            ..Default::default()
+        });
+        svc.inject_fault_plan(Arc::new(FaultPlan::new(11).kill_worker(
+            1,
+            5,
+            amf_core::KillPhase::Before,
+        )));
+        let records: Vec<QosRecord> = (0..300u64)
+            .map(|k| {
+                record(
+                    &format!("u{}", k % 9),
+                    &format!("s{}", k % 7),
+                    k,
+                    0.5 + (k % 4) as f64,
+                )
+            })
+            .collect();
+        assert_eq!(svc.submit_batch(records), 300);
+        let faults = svc.fault_stats();
+        assert_eq!(faults.worker_panics, 1);
+        assert_eq!(faults.respawns, 1);
+        assert_eq!(faults.samples_lost, 0);
+        let stats = svc.stats();
+        assert_eq!(stats.updates, 300, "no accepted sample may be lost");
+        assert!(!stats.degraded);
+        // Clean-run parity: the crashed-and-recovered model matches a
+        // sequential service fed the same records.
+        let clean = QosPredictionService::new(ServiceConfig::default());
+        for k in 0..300u64 {
+            clean.submit(record(
+                &format!("u{}", k % 9),
+                &format!("s{}", k % 7),
+                k,
+                0.5 + (k % 4) as f64,
+            ));
+        }
+        for u in 0..9 {
+            for s in 0..7 {
+                assert_eq!(clean.predict_ids(u, s), svc.predict_ids(u, s));
+            }
+        }
     }
 }

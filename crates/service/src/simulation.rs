@@ -165,19 +165,22 @@ impl<'a> AdaptationSimulation<'a> {
         let users = sample_indices(rng, self.dataset.users(), self.config.applications);
         users
             .into_iter()
-            .map(|user| {
+            .filter_map(|user| {
                 let needed = self.config.tasks_per_workflow * self.config.candidates_per_task;
                 let services = sample_indices(rng, self.dataset.services(), needed);
                 let tasks: Vec<AbstractTask> = services
                     .chunks(self.config.candidates_per_task)
                     .enumerate()
-                    .map(|(k, chunk)| {
-                        AbstractTask::new(format!("task-{k}"), chunk.to_vec())
-                            .expect("chunk is non-empty")
+                    .filter_map(|(k, chunk)| {
+                        AbstractTask::new(format!("task-{k}"), chunk.to_vec()).ok()
                     })
                     .collect();
-                let workflow = Workflow::new(tasks).expect("tasks are non-empty");
-                ExecutionMiddleware::new(user, workflow, self.config.sla_threshold)
+                // A degenerate configuration (zero candidates per task) yields
+                // an empty workflow; skip the application instead of aborting
+                // the whole simulation.
+                Workflow::new(tasks).ok().map(|workflow| {
+                    ExecutionMiddleware::new(user, workflow, self.config.sla_threshold)
+                })
             })
             .collect()
     }

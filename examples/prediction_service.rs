@@ -61,8 +61,11 @@ fn main() {
     service.leave_service("ws://provider/0");
     let new_user = service.join_user("planetlab-node-new");
     println!("\nnew user joined with dense id {new_user}");
-    let (users, services, updates) = service.stats();
-    println!("registry: {users} users, {services} services, {updates} model updates");
+    let stats = service.stats();
+    println!(
+        "registry: {} users, {} services, {} model updates ({} accepted, {} quarantined)",
+        stats.users, stats.services, stats.updates, stats.accepted, stats.rejected
+    );
 
     // Checkpoint the model; a restarted service restores it losslessly.
     let path = std::env::temp_dir().join("amf_service_checkpoint.amf");

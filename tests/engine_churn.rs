@@ -133,7 +133,12 @@ fn service_layer_churn_with_sharded_ingestion() {
         let batch: Vec<QosRecord> = (0..200u64)
             .map(|k| {
                 let t = wave * 200 + k;
-                record((k % 7) as usize, (k % 11) as usize, t, 0.3 + (k % 9) as f64 * 0.5)
+                record(
+                    (k % 7) as usize,
+                    (k % 11) as usize,
+                    t,
+                    0.3 + (k % 9) as f64 * 0.5,
+                )
             })
             .collect();
         total += batch.len() as u64;
@@ -146,9 +151,92 @@ fn service_layer_churn_with_sharded_ingestion() {
             .is_finite());
         assert_eq!(service.join_user(&format!("churn-{wave}")), joined);
     }
-    let (_, _, updates) = service.stats();
-    assert_eq!(updates, total, "updates lost during churn");
+    let stats = service.stats();
+    assert_eq!(stats.updates, total, "updates lost during churn");
+    assert_eq!(stats.accepted, total, "guard must admit every clean record");
+    assert_eq!(stats.rejected, 0);
     assert_eq!(service.database().observation_count() as u64, total);
+}
+
+#[test]
+fn churn_with_worker_kill_stays_in_mae_band() {
+    // The fault-injected churn variant: users join and services leave
+    // between waves while a shard worker is killed mid-stream. Recovery
+    // must lose nothing, so the faulted service's predictions stay within
+    // a tight MAE band of (here: bitwise equal to) an unfaulted twin.
+    use amf_core::{FaultPlan, KillPhase};
+    use std::sync::Arc;
+
+    let make = || {
+        QosPredictionService::new(ServiceConfig {
+            shards: 3,
+            ..Default::default()
+        })
+    };
+    let clean = make();
+    let faulted = make();
+    faulted.inject_fault_plan(Arc::new(FaultPlan::new(17).kill_worker(
+        1,
+        0,
+        KillPhase::Mid,
+    )));
+
+    let record = |u: usize, s: usize, t: u64, v: f64| QosRecord {
+        user: format!("u{u}"),
+        service: format!("s{s}"),
+        timestamp: t,
+        value: v,
+    };
+    let mut total = 0u64;
+    for wave in 0..5u64 {
+        for svc in [&clean, &faulted] {
+            svc.join_user(&format!("churn-{wave}"));
+        }
+        let batch: Vec<QosRecord> = (0..200u64)
+            .map(|k| {
+                let t = wave * 200 + k;
+                record(
+                    (k % 7) as usize,
+                    (k % 11) as usize,
+                    t,
+                    0.3 + (k % 9) as f64 * 0.5,
+                )
+            })
+            .collect();
+        total += batch.len() as u64;
+        assert_eq!(clean.submit_batch(batch.clone()), 200);
+        assert_eq!(faulted.submit_batch(batch), 200);
+        for svc in [&clean, &faulted] {
+            svc.leave_service(&format!("s{}", wave % 11));
+        }
+    }
+
+    let faults = faulted.fault_stats();
+    assert_eq!(faults.worker_panics, 1, "the scripted kill must fire");
+    assert_eq!(faults.samples_lost, 0);
+    let stats = faulted.stats();
+    assert_eq!(stats.updates, total, "recovery lost updates under churn");
+    assert!(!stats.degraded);
+
+    // MAE band: mean |faulted - clean| over the whole grid. Journal replay
+    // gives exact parity, so the band is tight; the assertion allows a hair
+    // of slack to stay meaningful if recovery semantics ever relax.
+    let mut diff = 0.0;
+    let mut n = 0usize;
+    for u in 0..7 {
+        for s in 0..11 {
+            let a = clean.predict_ids(u, s).unwrap();
+            let b = faulted.predict_ids(u, s).unwrap();
+            assert!(a.is_finite() && b.is_finite());
+            diff += (a - b).abs();
+            n += 1;
+        }
+    }
+    assert!(
+        diff / n as f64 <= 1e-9,
+        "MAE drift {} after recovery",
+        diff / n as f64
+    );
 }
 
 #[test]
@@ -163,9 +251,11 @@ fn many_engines_start_and_stop_cleanly() {
     });
     for shards in [1usize, 2, 8] {
         for _ in 0..3 {
-            let mut engine =
-                ShardedEngine::new(AmfConfig::response_time(), EngineOptions::with_shards(shards))
-                    .unwrap();
+            let mut engine = ShardedEngine::new(
+                AmfConfig::response_time(),
+                EngineOptions::with_shards(shards),
+            )
+            .unwrap();
             engine.feed_batch(stream.iter().copied());
             drop(engine); // no drain: Drop joins the workers
         }

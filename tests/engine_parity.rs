@@ -154,10 +154,7 @@ fn trainer_batch_path_preserves_replay_behaviour() {
 
     assert_eq!(sequential.store().len(), sharded.store().len());
     assert_eq!(sequential.now(), sharded.now());
-    assert_eq!(
-        factor_mismatch(sequential.model(), sharded.model()),
-        None
-    );
+    assert_eq!(factor_mismatch(sequential.model(), sharded.model()), None);
 
     // Replay draws from the same store with the same trainer RNG stream, so
     // even post-replay state stays identical.
@@ -170,8 +167,5 @@ fn trainer_batch_path_preserves_replay_behaviour() {
     };
     sequential.replay_until_converged(options);
     sharded.replay_until_converged(options);
-    assert_eq!(
-        factor_mismatch(sequential.model(), sharded.model()),
-        None
-    );
+    assert_eq!(factor_mismatch(sequential.model(), sharded.model()), None);
 }

@@ -60,6 +60,73 @@ pub fn sequential_reference(
     model
 }
 
+/// Deterministic *learnable* stream: the value of a pair is a fixed function
+/// of `(user, service)`, so a trained model's accuracy against
+/// [`planted_truth`] is measurable with [`model_mae`].
+#[allow(dead_code)] // each integration target compiles its own copy
+pub fn planted_stream(spec: StreamSpec) -> Vec<(usize, usize, f64)> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    (0..spec.samples)
+        .map(|_| {
+            let user = rng.random_range(0..spec.users);
+            let service = rng.random_range(0..spec.services);
+            (user, service, planted_truth(user, service))
+        })
+        .collect()
+}
+
+/// Ground-truth QoS of a pair in [`planted_stream`]: response-time-like
+/// values in roughly (0.4, 4.0) seconds.
+#[allow(dead_code)] // each integration target compiles its own copy
+pub fn planted_truth(user: usize, service: usize) -> f64 {
+    0.4 + ((user * 13 + service * 7) % 11) as f64 * 0.33
+}
+
+/// Mean absolute error of a model's predictions against [`planted_truth`]
+/// over the full `users x services` grid.
+#[allow(dead_code)] // each integration target compiles its own copy
+pub fn model_mae(model: &AmfModel, users: usize, services: usize) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for u in 0..users {
+        for s in 0..services {
+            if let Some(p) = model.predict(u, s) {
+                total += (p - planted_truth(u, s)).abs();
+                n += 1;
+            }
+        }
+    }
+    assert!(n > 0, "no predictable pairs");
+    total / n as f64
+}
+
+/// Splices garbage samples (NaN, negative, absurdly large) into a stream at
+/// a deterministic `rate`, returning the dirty stream and the number of
+/// garbage samples inserted. Clean samples keep their relative order.
+#[allow(dead_code)] // each integration target compiles its own copy
+pub fn inject_garbage(
+    stream: &[(usize, usize, f64)],
+    rate: f64,
+    seed: u64,
+) -> (Vec<(usize, usize, f64)>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dirty = Vec::with_capacity(stream.len());
+    let mut injected = 0usize;
+    for &(u, s, v) in stream {
+        if rng.random::<f64>() < rate {
+            let garbage = match injected % 3 {
+                0 => f64::NAN,
+                1 => -1.5,
+                _ => 1.0e7,
+            };
+            dirty.push((u, s, garbage));
+            injected += 1;
+        }
+        dirty.push((u, s, v));
+    }
+    (dirty, injected)
+}
+
 /// Bitwise equality of two models' entire entity state, through the public
 /// API. Returns a description of the first mismatch, if any.
 #[allow(dead_code)] // each integration target compiles its own copy
