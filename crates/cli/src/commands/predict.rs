@@ -5,10 +5,14 @@ use crate::args::Args;
 use amf_core::persistence;
 
 /// Usage text for the subcommand.
-pub const USAGE: &str = "amf-qos predict --model MODEL (--user U --service S | --pairs FILE)";
+pub const USAGE: &str =
+    "amf-qos predict --model MODEL (--user U --service S | --pairs FILE | --user U --rank K)";
 
 /// Runs the subcommand. With `--user`/`--service` prints one prediction;
-/// with `--pairs FILE` (lines of `user service`) prints one per line.
+/// with `--pairs FILE` (lines of `user service`) prints one per line; with
+/// `--user`/`--rank K` prints the user's top-K services by predicted QoS
+/// (ascending), one `service value` per line, using the batch ranking
+/// kernel instead of one predict call per service.
 ///
 /// # Errors
 ///
@@ -17,6 +21,30 @@ pub const USAGE: &str = "amf-qos predict --model MODEL (--user U --service S | -
 pub fn run(args: &Args) -> Result<String, CliError> {
     let model_path = args.require("model")?.to_string();
     let model = persistence::load_file(&model_path)?;
+
+    if let Some(k) = args.get("rank") {
+        let k: usize = k
+            .parse()
+            .map_err(|_| CliError("--rank expects a positive integer".into()))?;
+        let user: usize = args.parse_or("user", usize::MAX)?;
+        if user == usize::MAX {
+            return Err(CliError(format!("--rank needs --user\nusage: {USAGE}")));
+        }
+        let ranked = model.rank_candidates(user, k);
+        if ranked.is_empty() {
+            return Err(CliError(format!(
+                "nothing to rank: user {user} unknown, k is 0, or the model \
+                 has no services ({} users, {} services registered)",
+                model.num_users(),
+                model.num_services()
+            )));
+        }
+        let mut out = String::new();
+        for (service, value) in ranked {
+            out.push_str(&format!("{service} {value:.6}\n"));
+        }
+        return Ok(out);
+    }
 
     if let Some(pairs_path) = args.get("pairs") {
         let text = std::fs::read_to_string(pairs_path)?;
@@ -140,6 +168,46 @@ mod tests {
         assert!(run(&args(&["--model", &model, "--pairs", &pairs])).is_err());
         std::fs::remove_file(model).unwrap();
         std::fs::remove_file(pairs).unwrap();
+    }
+
+    #[test]
+    fn rank_mode_lists_top_k_ascending() {
+        let model = saved_model("m6.amf");
+        let out = run(&args(&["--model", &model, "--user", "0", "--rank", "3"])).unwrap();
+        let rows: Vec<(usize, f64)> = out
+            .lines()
+            .map(|l| {
+                let mut p = l.split_whitespace();
+                (
+                    p.next().unwrap().parse().unwrap(),
+                    p.next().unwrap().parse().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.windows(2).all(|w| w[0].1 <= w[1].1));
+        // Values agree with the single-pair path.
+        let single = run(&args(&[
+            "--model",
+            &model,
+            "--user",
+            "0",
+            "--service",
+            &rows[0].0.to_string(),
+        ]))
+        .unwrap();
+        assert_eq!(single, format!("{:.6}", rows[0].1));
+        std::fs::remove_file(model).unwrap();
+    }
+
+    #[test]
+    fn rank_mode_rejects_bad_input() {
+        let model = saved_model("m7.amf");
+        assert!(run(&args(&["--model", &model, "--rank", "3"])).is_err());
+        assert!(run(&args(&["--model", &model, "--user", "0", "--rank", "x"])).is_err());
+        let err = run(&args(&["--model", &model, "--user", "99", "--rank", "3"])).unwrap_err();
+        assert!(err.to_string().contains("unknown"));
+        std::fs::remove_file(model).unwrap();
     }
 
     #[test]

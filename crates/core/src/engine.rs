@@ -86,7 +86,8 @@
 
 use crate::config::AmfConfig;
 use crate::fault::{FaultPlan, InjectedCrash, KillPhase};
-use crate::model::{apply_observation, AmfModel, EntityKind, EntityState};
+use crate::model::{apply_observation, AmfModel, EntityKind, EntityState, FactorSlab};
+use crate::weights::ErrorTracker;
 use crate::AmfError;
 use qos_transform::QosTransform;
 use std::collections::{HashMap, VecDeque};
@@ -220,7 +221,10 @@ pub struct FaultStats {
 }
 
 /// One queued observation with its ordering tickets.
-#[derive(Clone)]
+///
+/// Plain `Copy` data — `(ids, raw value, tickets)` — so journaling a job is a
+/// 56-byte memcpy, never a heap clone.
+#[derive(Clone, Copy)]
 struct Job {
     user: usize,
     service: usize,
@@ -235,29 +239,91 @@ struct Job {
     seq: u64,
 }
 
-/// One entity's sharded state.
-struct Slot {
-    state: EntityState,
-    /// Next per-entity sequence number this entity will accept.
-    next_ticket: u64,
-    /// Applied global stream indices (when history recording is on).
-    history: Vec<u64>,
-}
-
-/// One lock stripe: the entities whose `id % K` equals the stripe index.
-#[derive(Default)]
+/// One lock stripe: the entities whose `id % K` equals the stripe index,
+/// stored as a contiguous mini-slab (same layout as the model's
+/// [`FactorSlab`]) plus an id → local-slot index. Per-slot metadata
+/// (tickets, history) lives in parallel vectors.
 struct Stripe {
-    slots: HashMap<usize, Slot>,
+    dim: usize,
+    index: HashMap<usize, usize>,
+    factors: Vec<f64>,
+    trackers: Vec<ErrorTracker>,
+    /// Next per-entity sequence number each slot will accept.
+    tickets: Vec<u64>,
+    /// Applied global stream indices per slot (filled only when history
+    /// recording is on; otherwise the inner vectors stay unallocated).
+    histories: Vec<Vec<u64>>,
 }
 
-/// Pre-update snapshot of the two entities an in-flight job touches.
-struct InflightBackup {
+impl Stripe {
+    fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            index: HashMap::new(),
+            factors: Vec::new(),
+            trackers: Vec::new(),
+            tickets: Vec::new(),
+            histories: Vec::new(),
+        }
+    }
+
+    /// Appends an entity, copying its factors into the stripe slab.
+    fn push_entity(&mut self, id: usize, factors: &[f64], tracker: ErrorTracker) -> usize {
+        debug_assert_eq!(factors.len(), self.dim);
+        let slot = self.trackers.len();
+        self.index.insert(id, slot);
+        self.factors.extend_from_slice(factors);
+        self.trackers.push(tracker);
+        self.tickets.push(0);
+        self.histories.push(Vec::new());
+        slot
+    }
+
+    fn factors_at(&self, slot: usize) -> &[f64] {
+        &self.factors[slot * self.dim..(slot + 1) * self.dim]
+    }
+
+    /// Simultaneous mutable access to one slot's factors and tracker
+    /// (distinct backing vectors, so the split borrow is free).
+    fn entity_mut(&mut self, slot: usize) -> (&mut [f64], &mut ErrorTracker) {
+        (
+            &mut self.factors[slot * self.dim..(slot + 1) * self.dim],
+            &mut self.trackers[slot],
+        )
+    }
+}
+
+/// Reusable pre-update snapshot of the two entities an in-flight job
+/// touches. The factor buffers are allocated once per worker at engine
+/// construction (fixed `d`); arming the backup is two `copy_from_slice`
+/// calls and two `Copy` tracker reads — no per-sample allocation.
+struct InflightScratch {
+    /// Whether the scratch currently holds a live (uncommitted) snapshot.
+    armed: bool,
     user: usize,
     service: usize,
     user_ticket: u64,
     service_ticket: u64,
-    user_state: EntityState,
-    service_state: EntityState,
+    user_factors: Vec<f64>,
+    service_factors: Vec<f64>,
+    user_tracker: ErrorTracker,
+    service_tracker: ErrorTracker,
+}
+
+impl InflightScratch {
+    fn new(dim: usize) -> Self {
+        Self {
+            armed: false,
+            user: 0,
+            service: 0,
+            user_ticket: 0,
+            service_ticket: 0,
+            user_factors: vec![0.0; dim],
+            service_factors: vec![0.0; dim],
+            user_tracker: ErrorTracker::new(),
+            service_tracker: ErrorTracker::new(),
+        }
+    }
 }
 
 /// Shared per-worker health and progress cell.
@@ -267,8 +333,8 @@ struct WorkerCell {
     /// Jobs completed (applied, or skipped as already-applied on replay):
     /// the journal GC and drain watermark.
     applied: AtomicU64,
-    /// The job snapshot recovery rolls torn state back from.
-    inflight: Mutex<Option<InflightBackup>>,
+    /// The reusable snapshot recovery rolls torn state back from.
+    inflight: Mutex<InflightScratch>,
 }
 
 struct Shared {
@@ -295,12 +361,14 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 }
 
 impl Shared {
-    fn slot<'a>(&self, stripe: &'a mut Stripe, kind: EntityKind, id: usize) -> &'a mut Slot {
-        stripe.slots.entry(id).or_insert_with(|| Slot {
-            state: EntityState::fresh(&self.config, kind, id),
-            next_ticket: 0,
-            history: Vec::new(),
-        })
+    /// Local slot of `id` in `stripe`, creating its deterministic fresh
+    /// state on first touch.
+    fn slot(&self, stripe: &mut Stripe, kind: EntityKind, id: usize) -> usize {
+        if let Some(&slot) = stripe.index.get(&id) {
+            return slot;
+        }
+        let fresh = EntityState::fresh(&self.config, kind, id);
+        stripe.push_entity(id, &fresh.factors, fresh.tracker)
     }
 
     fn apply(&self, w: usize, job: &Job) {
@@ -312,42 +380,50 @@ impl Shared {
             // Lock order is always user stripe then service stripe; the two
             // stripe arrays are disjoint, so this cannot deadlock.
             let mut users = lock(&self.users[u_stripe]);
-            let user_slot = self.slot(&mut users, EntityKind::User, job.user);
-            if user_slot.next_ticket > job.user_ticket {
+            let ui = self.slot(&mut users, EntityKind::User, job.user);
+            if users.tickets[ui] > job.user_ticket {
                 // Already applied before a crash: this is a journal replay
                 // of a completed job — skipping keeps replay idempotent.
                 return;
             }
-            if user_slot.next_ticket == job.user_ticket {
+            if users.tickets[ui] == job.user_ticket {
                 let mut services = lock(&self.services[s_stripe]);
-                let service_slot = self.slot(&mut services, EntityKind::Service, job.service);
-                if service_slot.next_ticket > job.service_ticket {
+                let si = self.slot(&mut services, EntityKind::Service, job.service);
+                if services.tickets[si] > job.service_ticket {
                     // Tickets commit together, so this mirrors the user-side
                     // skip; defensive (unreachable when the user ticket
                     // still matches).
                     return;
                 }
-                if service_slot.next_ticket == job.service_ticket {
+                if services.tickets[si] == job.service_ticket {
                     if let Some(plan) = &self.fault_plan {
                         // Scripted clean worker death: fires before any
                         // state is touched.
                         plan.crash_point(w, job.seq, KillPhase::Before);
                     }
                     if self.backup_enabled {
-                        *lock(&self.cells[w].inflight) = Some(InflightBackup {
-                            user: job.user,
-                            service: job.service,
-                            user_ticket: job.user_ticket,
-                            service_ticket: job.service_ticket,
-                            user_state: user_slot.state.clone(),
-                            service_state: service_slot.state.clone(),
-                        });
+                        let mut scratch = lock(&self.cells[w].inflight);
+                        scratch.user = job.user;
+                        scratch.service = job.service;
+                        scratch.user_ticket = job.user_ticket;
+                        scratch.service_ticket = job.service_ticket;
+                        scratch.user_factors.copy_from_slice(users.factors_at(ui));
+                        scratch
+                            .service_factors
+                            .copy_from_slice(services.factors_at(si));
+                        scratch.user_tracker = users.trackers[ui];
+                        scratch.service_tracker = services.trackers[si];
+                        scratch.armed = true;
                     }
+                    let (user_factors, user_tracker) = users.entity_mut(ui);
+                    let (service_factors, service_tracker) = services.entity_mut(si);
                     apply_observation(
                         &self.config,
                         &self.transform,
-                        &mut user_slot.state,
-                        &mut service_slot.state,
+                        user_factors,
+                        user_tracker,
+                        service_factors,
+                        service_tracker,
                         job.raw,
                     );
                     if let Some(plan) = &self.fault_plan {
@@ -355,14 +431,14 @@ impl Shared {
                         // not yet committed — recovery must roll back.
                         plan.crash_point(w, job.seq, KillPhase::Mid);
                     }
-                    user_slot.next_ticket += 1;
-                    service_slot.next_ticket += 1;
+                    users.tickets[ui] += 1;
+                    services.tickets[si] += 1;
                     if self.record_history {
-                        user_slot.history.push(job.index);
-                        service_slot.history.push(job.index);
+                        users.histories[ui].push(job.index);
+                        services.histories[si].push(job.index);
                     }
                     if self.backup_enabled {
-                        *lock(&self.cells[w].inflight) = None;
+                        lock(&self.cells[w].inflight).armed = false;
                     }
                     return;
                 }
@@ -421,41 +497,47 @@ impl Shared {
         {
             let mut users = lock(&self.users[job.user % self.users.len()]);
             let slot = self.slot(&mut users, EntityKind::User, job.user);
-            if slot.next_ticket < job.user_ticket {
+            if users.tickets[slot] < job.user_ticket {
                 return false;
             }
-            if slot.next_ticket == job.user_ticket {
-                slot.next_ticket += 1;
+            if users.tickets[slot] == job.user_ticket {
+                users.tickets[slot] += 1;
             }
         }
         let mut services = lock(&self.services[job.service % self.services.len()]);
         let slot = self.slot(&mut services, EntityKind::Service, job.service);
-        if slot.next_ticket < job.service_ticket {
+        if services.tickets[slot] < job.service_ticket {
             return false;
         }
-        if slot.next_ticket == job.service_ticket {
-            slot.next_ticket += 1;
+        if services.tickets[slot] == job.service_ticket {
+            services.tickets[slot] += 1;
         }
         true
     }
 
     /// Rolls back the torn state of `w`'s in-flight job, if its tickets
-    /// never committed.
+    /// never committed. Disarms the scratch either way.
     fn rollback_inflight(&self, w: usize) {
-        let Some(backup) = lock(&self.cells[w].inflight).take() else {
+        let mut scratch = lock(&self.cells[w].inflight);
+        if !scratch.armed {
             return;
-        };
-        let mut users = lock(&self.users[backup.user % self.users.len()]);
-        if let Some(slot) = users.slots.get_mut(&backup.user) {
-            if slot.next_ticket == backup.user_ticket {
-                slot.state = backup.user_state;
+        }
+        scratch.armed = false;
+        let mut users = lock(&self.users[scratch.user % self.users.len()]);
+        if let Some(&slot) = users.index.get(&scratch.user) {
+            if users.tickets[slot] == scratch.user_ticket {
+                let (factors, tracker) = users.entity_mut(slot);
+                factors.copy_from_slice(&scratch.user_factors);
+                *tracker = scratch.user_tracker;
             }
         }
         drop(users);
-        let mut services = lock(&self.services[backup.service % self.services.len()]);
-        if let Some(slot) = services.slots.get_mut(&backup.service) {
-            if slot.next_ticket == backup.service_ticket {
-                slot.state = backup.service_state;
+        let mut services = lock(&self.services[scratch.service % self.services.len()]);
+        if let Some(&slot) = services.index.get(&scratch.service) {
+            if services.tickets[slot] == scratch.service_ticket {
+                let (factors, tracker) = services.entity_mut(slot);
+                factors.copy_from_slice(&scratch.service_factors);
+                *tracker = scratch.service_tracker;
             }
         }
     }
@@ -553,30 +635,17 @@ impl ShardedEngine {
         let config = *model.config();
         let transform = *model.transform();
         let base_updates = model.update_count();
-        let (users, services) = model.into_entities();
+        let dim = config.dimension;
+        let (users, services) = model.into_slabs();
         let (num_users, num_services) = (users.len(), services.len());
 
-        let mut user_stripes: Vec<Stripe> = (0..k).map(|_| Stripe::default()).collect();
-        let mut service_stripes: Vec<Stripe> = (0..k).map(|_| Stripe::default()).collect();
-        for (id, state) in users.into_iter().enumerate() {
-            user_stripes[id % k].slots.insert(
-                id,
-                Slot {
-                    state,
-                    next_ticket: 0,
-                    history: Vec::new(),
-                },
-            );
+        let mut user_stripes: Vec<Stripe> = (0..k).map(|_| Stripe::new(dim)).collect();
+        let mut service_stripes: Vec<Stripe> = (0..k).map(|_| Stripe::new(dim)).collect();
+        for id in 0..num_users {
+            user_stripes[id % k].push_entity(id, users.factors(id), *users.tracker(id));
         }
-        for (id, state) in services.into_iter().enumerate() {
-            service_stripes[id % k].slots.insert(
-                id,
-                Slot {
-                    state,
-                    next_ticket: 0,
-                    history: Vec::new(),
-                },
-            );
+        for id in 0..num_services {
+            service_stripes[id % k].push_entity(id, services.factors(id), *services.tracker(id));
         }
 
         let shared = Arc::new(Shared {
@@ -590,7 +659,7 @@ impl ShardedEngine {
                 .map(|_| WorkerCell {
                     alive: AtomicBool::new(true),
                     applied: AtomicU64::new(0),
-                    inflight: Mutex::new(None),
+                    inflight: Mutex::new(InflightScratch::new(dim)),
                 })
                 .collect(),
             faults: Mutex::new(Vec::new()),
@@ -904,8 +973,8 @@ impl ShardedEngine {
     /// registration.
     pub fn snapshot(&mut self) -> AmfModel {
         self.drain();
-        let users = self.collect_entities(EntityKind::User, self.num_users);
-        let services = self.collect_entities(EntityKind::Service, self.num_services);
+        let users = self.collect_slab(EntityKind::User, self.num_users);
+        let services = self.collect_slab(EntityKind::Service, self.num_services);
         let updates = self.base_updates + self.processed();
         AmfModel::restore_parts(
             self.shared.config,
@@ -916,14 +985,15 @@ impl ShardedEngine {
         )
     }
 
-    /// Drains, stops the workers, and returns the final model without
-    /// cloning entity state.
+    /// Drains, stops the workers, and returns the final model (entity state
+    /// is copied out of the stripe slabs — a flat memcpy per stripe visit,
+    /// no per-entity heap traffic).
     pub fn into_model(mut self) -> AmfModel {
         self.drain();
         let updates = self.base_updates + self.processed();
         self.shutdown();
-        let users = self.take_entities(EntityKind::User, self.num_users);
-        let services = self.take_entities(EntityKind::Service, self.num_services);
+        let users = self.collect_slab(EntityKind::User, self.num_users);
+        let services = self.collect_slab(EntityKind::Service, self.num_services);
         AmfModel::restore_parts(
             self.shared.config,
             self.shared.transform,
@@ -933,25 +1003,54 @@ impl ShardedEngine {
         )
     }
 
-    /// Global stream indices applied to `user`, in application order.
-    /// `None` unless [`EngineOptions::record_history`] is on and the user has
-    /// a slot. Call [`ShardedEngine::drain`] first for a complete log.
-    pub fn user_history(&self, user: usize) -> Option<Vec<u64>> {
+    /// Copies the global stream indices applied to `user` (in application
+    /// order) into `out`, replacing its contents and reusing its capacity.
+    /// Returns `false` — with `out` cleared — unless
+    /// [`EngineOptions::record_history`] is on and the user has a slot.
+    /// Call [`ShardedEngine::drain`] first for a complete log.
+    pub fn user_history_into(&self, user: usize, out: &mut Vec<u64>) -> bool {
+        out.clear();
         if !self.options.record_history {
-            return None;
+            return false;
         }
         let guard = lock(&self.shared.users[user % self.options.shards]);
-        guard.slots.get(&user).map(|s| s.history.clone())
+        match guard.index.get(&user) {
+            Some(&slot) => {
+                out.extend_from_slice(&guard.histories[slot]);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Like [`ShardedEngine::user_history_into`] for a service.
+    pub fn service_history_into(&self, service: usize, out: &mut Vec<u64>) -> bool {
+        out.clear();
+        if !self.options.record_history {
+            return false;
+        }
+        let guard = lock(&self.shared.services[service % self.options.shards]);
+        match guard.index.get(&service) {
+            Some(&slot) => {
+                out.extend_from_slice(&guard.histories[slot]);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Global stream indices applied to `user`, as an owned vector; see
+    /// [`ShardedEngine::user_history_into`] for the allocation-free variant.
+    pub fn user_history(&self, user: usize) -> Option<Vec<u64>> {
+        let mut out = Vec::new();
+        self.user_history_into(user, &mut out).then_some(out)
     }
 
     /// Global stream indices applied to `service`; see
     /// [`ShardedEngine::user_history`].
     pub fn service_history(&self, service: usize) -> Option<Vec<u64>> {
-        if !self.options.record_history {
-            return None;
-        }
-        let guard = lock(&self.shared.services[service % self.options.shards]);
-        guard.slots.get(&service).map(|s| s.history.clone())
+        let mut out = Vec::new();
+        self.service_history_into(service, &mut out).then_some(out)
     }
 
     /// Journals a stamped chunk and hands it to the pump. Never blocks: a
@@ -971,7 +1070,7 @@ impl ShardedEngine {
         for job in &mut chunk {
             job.seq = self.dispatched[w];
             self.dispatched[w] += 1;
-            self.journal[w].push_back(job.clone());
+            self.journal[w].push_back(*job);
         }
         self.outbox[w].push_back(chunk);
         self.pump();
@@ -1067,7 +1166,7 @@ impl ShardedEngine {
                 let chunk_size = self.options.chunk_size.max(1);
                 let mut chunk: Vec<Job> = Vec::new();
                 for job in &self.journal[w] {
-                    chunk.push(job.clone());
+                    chunk.push(*job);
                     if chunk.len() >= chunk_size {
                         self.outbox[w].push_back(std::mem::take(&mut chunk));
                     }
@@ -1115,38 +1214,23 @@ impl ShardedEngine {
         }
     }
 
-    fn collect_entities(&self, kind: EntityKind, count: usize) -> Vec<EntityState> {
+    /// Assembles one side's state into a dense model slab, materializing
+    /// never-touched ids below the watermark with their deterministic fresh
+    /// state (matching the sequential model's dense registration).
+    fn collect_slab(&self, kind: EntityKind, count: usize) -> FactorSlab {
         let stripes = match kind {
             EntityKind::User => &self.shared.users,
             EntityKind::Service => &self.shared.services,
         };
-        (0..count)
-            .map(|id| {
-                let guard = lock(&stripes[id % self.options.shards]);
-                guard
-                    .slots
-                    .get(&id)
-                    .map(|slot| slot.state.clone())
-                    .unwrap_or_else(|| EntityState::fresh(&self.shared.config, kind, id))
-            })
-            .collect()
-    }
-
-    fn take_entities(&mut self, kind: EntityKind, count: usize) -> Vec<EntityState> {
-        let stripes = match kind {
-            EntityKind::User => &self.shared.users,
-            EntityKind::Service => &self.shared.services,
-        };
-        (0..count)
-            .map(|id| {
-                let mut guard = lock(&stripes[id % self.options.shards]);
-                guard
-                    .slots
-                    .remove(&id)
-                    .map(|slot| slot.state)
-                    .unwrap_or_else(|| EntityState::fresh(&self.shared.config, kind, id))
-            })
-            .collect()
+        let mut slab = FactorSlab::with_capacity(self.shared.config.dimension, count);
+        for id in 0..count {
+            let guard = lock(&stripes[id % self.options.shards]);
+            match guard.index.get(&id) {
+                Some(&slot) => slab.push_copied(guard.factors_at(slot), guard.trackers[slot]),
+                None => slab.push_fresh(&self.shared.config, kind, id),
+            }
+        }
+        slab
     }
 }
 

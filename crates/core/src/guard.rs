@@ -230,15 +230,30 @@ impl ServiceWindow {
     }
 }
 
-/// Median of a scratch slice (sorts it). The slice is non-empty by contract
-/// of the single caller.
+/// Median of a scratch slice via linear-time selection (reorders it). The
+/// slice is non-empty by contract of the single caller.
+///
+/// `select_nth_unstable_by` partitions around the nth element in O(n)
+/// instead of the O(n log n) full sort; the guard recomputes the median
+/// twice per accepted sample (median, then MAD), so this is on the
+/// ingestion hot path whenever outlier screening is enabled. For the even
+/// case the lower middle is the maximum of the left partition, which
+/// selection guarantees holds every element `<=` the nth. The window holds
+/// only positive finite values (and their absolute deviations), so
+/// `total_cmp` ordering agrees with `<=` and there are no NaN/-0.0 edge
+/// cases to distinguish from the sorting implementation.
 fn median_in_place(values: &mut [f64]) -> f64 {
-    values.sort_by(f64::total_cmp);
     let n = values.len();
+    let (left, mid, _) = values.select_nth_unstable_by(n / 2, f64::total_cmp);
     if n % 2 == 1 {
-        values[n / 2]
+        *mid
     } else {
-        (values[n / 2 - 1] + values[n / 2]) / 2.0
+        let lower = left
+            .iter()
+            .copied()
+            .max_by(f64::total_cmp)
+            .expect("even-length slice has a non-empty left partition");
+        (lower + *mid) / 2.0
     }
 }
 
@@ -441,6 +456,85 @@ mod tests {
         // Service 1 has no history; the same extreme value is admitted.
         assert!(g.admit(0, 1, 15.0).is_ok());
         assert_eq!(g.admit(0, 0, 15.0), Err(RejectReason::Outlier));
+    }
+
+    #[test]
+    fn selection_median_matches_sort_median() {
+        // Reference implementation: the full sort the guard used before
+        // switching to linear-time selection. Decisions must be identical.
+        fn sort_median(values: &mut [f64]) -> f64 {
+            values.sort_by(f64::total_cmp);
+            let n = values.len();
+            if n % 2 == 1 {
+                values[n / 2]
+            } else {
+                (values[n / 2 - 1] + values[n / 2]) / 2.0
+            }
+        }
+        let mut state = 0x9e37_79b9_7f4a_7c15_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Positive finite values in (0, 20] — the only shapes the window
+            // ever holds (plus their absolute deviations, also >= 0).
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 20.0 + 1e-9
+        };
+        for len in 1..=33 {
+            for _ in 0..8 {
+                let base: Vec<f64> = (0..len).map(|_| next()).collect();
+                let mut a = base.clone();
+                let mut b = base;
+                assert_eq!(
+                    median_in_place(&mut a).to_bits(),
+                    sort_median(&mut b).to_bits(),
+                    "median mismatch at window length {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_median_pins_guard_decisions_on_fixed_stream() {
+        // A deterministic stream with injected spikes; the exact admit /
+        // reject sequence is pinned so any change to the median kernel that
+        // alters a single gating decision fails loudly here.
+        let mut g = SampleGuard::new(GuardConfig {
+            outlier_window: 16,
+            outlier_warmup: 8,
+            outlier_sigmas: 4.0,
+            ..GuardConfig::default()
+        });
+        let mut state = 42_u64;
+        let mut decisions = Vec::new();
+        for k in 0..200_u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let noise = ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5;
+            let value = if k % 23 == 7 {
+                12.0 + noise // injected spike
+            } else {
+                1.0 + 0.2 * noise // steady regime
+            };
+            decisions.push(g.admit((k % 5) as usize, (k % 3) as usize, value).is_ok());
+        }
+        let rejected: Vec<usize> = decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, ok)| !**ok)
+            .map(|(i, _)| i)
+            .collect();
+        // Every spike after per-service warmup (samples land on 3 services,
+        // so warmup completes around global index 24) is rejected; nothing
+        // else is.
+        assert_eq!(
+            rejected,
+            vec![30, 53, 76, 99, 122, 145, 168, 191],
+            "gating decisions shifted"
+        );
+        assert_eq!(g.stats().outlier, 8);
+        assert_eq!(g.stats().accepted, 192);
     }
 
     #[test]

@@ -12,10 +12,107 @@ use rand::SeedableRng;
 
 /// One user's or service's state: its latent feature vector and its EMA
 /// error tracker.
+///
+/// This is the *interchange* representation (persistence load, entity
+/// initialization). Live storage is the contiguous [`FactorSlab`]; an
+/// `EntityState` is only materialized at the edges.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct EntityState {
     pub(crate) factors: Vec<f64>,
     pub(crate) tracker: ErrorTracker,
+}
+
+/// Contiguous arena for one side's entity state: entity `i`'s feature vector
+/// occupies `factors[i*dim..(i+1)*dim]` and its EMA tracker `trackers[i]`.
+///
+/// Replaces the former `Vec<EntityState>` (one heap `Vec<f64>` per entity):
+/// the per-sample hot path loses a dependent pointer chase per entity, and
+/// the batch ranking kernel can stream one user vector against the whole
+/// service side as a single flat slice. `dim` is fixed at construction —
+/// the model's dimension never changes after [`AmfModel::new`].
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FactorSlab {
+    dim: usize,
+    factors: Vec<f64>,
+    trackers: Vec<ErrorTracker>,
+}
+
+impl FactorSlab {
+    pub(crate) fn new(dim: usize) -> Self {
+        Self {
+            dim,
+            factors: Vec::new(),
+            trackers: Vec::new(),
+        }
+    }
+
+    pub(crate) fn with_capacity(dim: usize, entities: usize) -> Self {
+        Self {
+            dim,
+            factors: Vec::with_capacity(dim * entities),
+            trackers: Vec::with_capacity(entities),
+        }
+    }
+
+    /// Number of entities (not floats) stored.
+    pub(crate) fn len(&self) -> usize {
+        self.trackers.len()
+    }
+
+    /// The whole arena as one flat slice — the ranking kernel's input.
+    pub(crate) fn flat(&self) -> &[f64] {
+        &self.factors
+    }
+
+    pub(crate) fn factors(&self, i: usize) -> &[f64] {
+        &self.factors[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// `factors(i)` for a possibly-unregistered id.
+    pub(crate) fn try_factors(&self, i: usize) -> Option<&[f64]> {
+        if i < self.len() {
+            Some(self.factors(i))
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn tracker(&self, i: usize) -> &ErrorTracker {
+        &self.trackers[i]
+    }
+
+    /// Simultaneous mutable access to one entity's factors and tracker
+    /// (distinct backing vectors, so the split borrow is free).
+    pub(crate) fn entity_mut(&mut self, i: usize) -> (&mut [f64], &mut ErrorTracker) {
+        (
+            &mut self.factors[i * self.dim..(i + 1) * self.dim],
+            &mut self.trackers[i],
+        )
+    }
+
+    /// Appends an entity by copying a `dim`-length factor slice.
+    pub(crate) fn push_copied(&mut self, factors: &[f64], tracker: ErrorTracker) {
+        debug_assert_eq!(factors.len(), self.dim);
+        self.factors.extend_from_slice(factors);
+        self.trackers.push(tracker);
+    }
+
+    pub(crate) fn push_state(&mut self, state: EntityState) {
+        self.push_copied(&state.factors, state.tracker);
+    }
+
+    /// Appends the deterministic fresh state for `(kind, id)`.
+    pub(crate) fn push_fresh(&mut self, config: &AmfConfig, kind: EntityKind, id: usize) {
+        self.push_state(EntityState::fresh(config, kind, id));
+    }
+
+    pub(crate) fn from_states(dim: usize, states: Vec<EntityState>) -> Self {
+        let mut slab = Self::with_capacity(dim, states.len());
+        for state in states {
+            slab.push_state(state);
+        }
+        slab
+    }
 }
 
 /// Which side of the factorization an entity belongs to.
@@ -85,8 +182,8 @@ impl EntityState {
 pub struct AmfModel {
     config: AmfConfig,
     transform: QosTransform,
-    users: Vec<EntityState>,
-    services: Vec<EntityState>,
+    users: FactorSlab,
+    services: FactorSlab,
     updates: u64,
 }
 
@@ -102,8 +199,8 @@ impl AmfModel {
         let transform = QosTransform::new(config.alpha, config.r_min, config.r_max)?;
         Ok(Self {
             transform,
-            users: Vec::new(),
-            services: Vec::new(),
+            users: FactorSlab::new(config.dimension),
+            services: FactorSlab::new(config.dimension),
             updates: 0,
             config,
         })
@@ -138,16 +235,16 @@ impl AmfModel {
     /// Registers users up to and including `user` (no-op when present).
     pub fn ensure_user(&mut self, user: usize) {
         while self.users.len() <= user {
-            let e = EntityState::fresh(&self.config, EntityKind::User, self.users.len());
-            self.users.push(e);
+            self.users
+                .push_fresh(&self.config, EntityKind::User, self.users.len());
         }
     }
 
     /// Registers services up to and including `service` (no-op when present).
     pub fn ensure_service(&mut self, service: usize) {
         while self.services.len() <= service {
-            let e = EntityState::fresh(&self.config, EntityKind::Service, self.services.len());
-            self.services.push(e);
+            self.services
+                .push_fresh(&self.config, EntityKind::Service, self.services.len());
         }
     }
 
@@ -181,11 +278,15 @@ impl AmfModel {
     pub fn observe(&mut self, user: usize, service: usize, raw: f64) -> UpdateOutcome {
         self.ensure_user(user);
         self.ensure_service(service);
+        let (user_factors, user_tracker) = self.users.entity_mut(user);
+        let (service_factors, service_tracker) = self.services.entity_mut(service);
         let outcome = apply_observation(
             &self.config,
             &self.transform,
-            &mut self.users[user],
-            &mut self.services[service],
+            user_factors,
+            user_tracker,
+            service_factors,
+            service_tracker,
             raw,
         );
         self.updates += 1;
@@ -196,10 +297,60 @@ impl AmfModel {
     /// either id has never been observed (the model has no feature vector
     /// for it).
     pub fn predict(&self, user: usize, service: usize) -> Option<f64> {
-        let u = self.users.get(user)?;
-        let s = self.services.get(service)?;
-        let x = qos_linalg::vector::dot(&u.factors, &s.factors);
+        let u = self.users.try_factors(user)?;
+        let s = self.services.try_factors(service)?;
+        let x = qos_linalg::vector::dot(u, s);
         Some(self.transform.prediction_to_raw(x))
+    }
+
+    /// Batch prediction: the raw QoS values for one user against a list of
+    /// services, or `None` when the user or any listed service is
+    /// unregistered.
+    ///
+    /// Read-only fast path: uses the unrolled slab dot, which reassociates
+    /// additions relative to [`AmfModel::predict`]'s sequential dot — results
+    /// can differ in the last ulps (never feeds training state).
+    pub fn predict_row(&self, user: usize, services: &[usize]) -> Option<Vec<f64>> {
+        let query = self.users.try_factors(user)?;
+        let mut out = Vec::with_capacity(services.len());
+        for &service in services {
+            let row = self.services.try_factors(service)?;
+            let x = qos_linalg::slab::dot_unrolled4(query, row);
+            out.push(self.transform.prediction_to_raw(x));
+        }
+        Some(out)
+    }
+
+    /// The adaptation framework's candidate-selection query: the `k`
+    /// best-QoS services for `user`, as `(service id, predicted raw value)`
+    /// ascending — for lower-is-better metrics like response time the first
+    /// entry is the best candidate.
+    ///
+    /// Streams the user's vector against the contiguous service slab
+    /// (unrolled dot, one flat pass) and selects top-k with a bounded heap
+    /// on the *raw scores*: the transform chain `sigmoid` → inverse Box–Cox
+    /// is monotone increasing, so score order is prediction order, and the
+    /// expensive inverse transform (`powf`) runs only on the `k` winners.
+    /// Ties are broken by service id. Returns an empty vector for an
+    /// unregistered user or `k == 0`.
+    pub fn rank_candidates(&self, user: usize, k: usize) -> Vec<(usize, f64)> {
+        let Some(query) = self.users.try_factors(user) else {
+            return Vec::new();
+        };
+        if k == 0 || self.services.len() == 0 {
+            return Vec::new();
+        }
+        let mut scores = Vec::new();
+        qos_linalg::slab::scores_into(
+            query,
+            self.services.flat(),
+            self.config.dimension,
+            &mut scores,
+        );
+        qos_linalg::slab::top_k_ascending(&scores, k)
+            .into_iter()
+            .map(|(service, x)| (service, self.transform.prediction_to_raw(x)))
+            .collect()
     }
 
     /// Like [`AmfModel::predict`] but substituting `fallback` for unknown ids.
@@ -210,31 +361,31 @@ impl AmfModel {
     /// Current relative error the model would incur on `(user, service,
     /// raw)`, *without* updating anything — used for convergence monitoring.
     pub fn evaluate_sample(&self, user: usize, service: usize, raw: f64) -> Option<f64> {
-        let u = self.users.get(user)?;
-        let s = self.services.get(service)?;
+        let u = self.users.try_factors(user)?;
+        let s = self.services.try_factors(service)?;
         let r = self.transform.to_normalized(raw);
-        let g = qos_transform::sigmoid(qos_linalg::vector::dot(&u.factors, &s.factors));
+        let g = qos_transform::sigmoid(qos_linalg::vector::dot(u, s));
         Some(crate::weights::sample_relative_error(r, g))
     }
 
     /// EMA error of a user, or `None` when unregistered.
     pub fn user_error(&self, user: usize) -> Option<f64> {
-        self.users.get(user).map(|e| e.tracker.error())
+        (user < self.users.len()).then(|| self.users.tracker(user).error())
     }
 
     /// EMA error of a service, or `None` when unregistered.
     pub fn service_error(&self, service: usize) -> Option<f64> {
-        self.services.get(service).map(|e| e.tracker.error())
+        (service < self.services.len()).then(|| self.services.tracker(service).error())
     }
 
     /// A user's feature vector, or `None` when unregistered.
     pub fn user_factors(&self, user: usize) -> Option<&[f64]> {
-        self.users.get(user).map(|e| e.factors.as_slice())
+        self.users.try_factors(user)
     }
 
     /// A service's feature vector, or `None` when unregistered.
     pub fn service_factors(&self, service: usize) -> Option<&[f64]> {
-        self.services.get(service).map(|e| e.factors.as_slice())
+        self.services.try_factors(service)
     }
 
     /// Restores entity state from persisted data (see [`crate::persistence`]).
@@ -245,8 +396,8 @@ impl AmfModel {
         updates: u64,
     ) -> Result<Self, AmfError> {
         let mut model = Self::new(config)?;
-        model.users = users;
-        model.services = services;
+        model.users = FactorSlab::from_states(config.dimension, users);
+        model.services = FactorSlab::from_states(config.dimension, services);
         model.updates = updates;
         Ok(model)
     }
@@ -257,8 +408,8 @@ impl AmfModel {
     pub(crate) fn restore_parts(
         config: AmfConfig,
         transform: QosTransform,
-        users: Vec<EntityState>,
-        services: Vec<EntityState>,
+        users: FactorSlab,
+        services: FactorSlab,
         updates: u64,
     ) -> Self {
         Self {
@@ -270,47 +421,38 @@ impl AmfModel {
         }
     }
 
-    pub(crate) fn entities(&self) -> (&[EntityState], &[EntityState]) {
-        (&self.users, &self.services)
-    }
-
-    pub(crate) fn into_entities(self) -> (Vec<EntityState>, Vec<EntityState>) {
+    pub(crate) fn into_slabs(self) -> (FactorSlab, FactorSlab) {
         (self.users, self.services)
     }
 }
 
 /// Applies one full online update — transform, SGD step (Eq. 16–17), and the
 /// two tracker EMA updates (Algorithm 1 lines 21–23) — to a user/service
-/// state pair.
+/// state pair, given as disjoint slab borrows.
 ///
 /// This is the *only* per-sample mutation in the crate: [`AmfModel::observe`]
 /// and every [`crate::engine::ShardedEngine`] worker funnel through it, which
 /// is what makes sequential and sharded execution comparable update-for-update.
+/// No allocation happens here — the factors are in-place slab slices and the
+/// trackers are plain `Copy` cells.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_observation(
     config: &AmfConfig,
     transform: &QosTransform,
-    user: &mut EntityState,
-    service: &mut EntityState,
+    user_factors: &mut [f64],
+    user_tracker: &mut ErrorTracker,
+    service_factors: &mut [f64],
+    service_tracker: &mut ErrorTracker,
     raw: f64,
 ) -> UpdateOutcome {
     let r = transform.to_normalized(raw);
-    let e_user = user.tracker.error();
-    let e_service = service.tracker.error();
-    let outcome = sgd_step(
-        config,
-        &mut user.factors,
-        &mut service.factors,
-        r,
-        e_user,
-        e_service,
-    );
+    let e_user = user_tracker.error();
+    let e_service = service_tracker.error();
+    let outcome = sgd_step(config, user_factors, service_factors, r, e_user, e_service);
     // Algorithm 1 lines 22–23: update the trackers with this sample's error,
     // weighted by each side's adaptive weight.
-    user.tracker
-        .update(outcome.sample_error, config.beta, outcome.w_user);
-    service
-        .tracker
-        .update(outcome.sample_error, config.beta, outcome.w_service);
+    user_tracker.update(outcome.sample_error, config.beta, outcome.w_user);
+    service_tracker.update(outcome.sample_error, config.beta, outcome.w_service);
     outcome
 }
 
@@ -396,6 +538,87 @@ mod tests {
     fn predict_or_fallback() {
         let m = model();
         assert_eq!(m.predict_or(0, 0, 9.9), 9.9);
+    }
+
+    /// Trains a model over `users × services` with a deterministic stream.
+    fn trained(users: usize, services: usize, samples: usize) -> AmfModel {
+        let mut m = model();
+        let mut state = 0xDEAD_BEEF_u64;
+        for _ in 0..samples {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 33) as usize % users;
+            let s = (state >> 17) as usize % services;
+            let v = 0.2 + ((state >> 11) as f64 / (1u64 << 53) as f64) * 8.0;
+            m.observe(u, s, v);
+        }
+        m
+    }
+
+    #[test]
+    fn rank_candidates_agrees_with_naive_argsort_of_predict() {
+        let m = trained(12, 120, 6_000);
+        for user in 0..12 {
+            for k in [1usize, 3, 10, 120, 500] {
+                // The oracle: argsort every per-pair prediction, ties by id.
+                let mut naive: Vec<(usize, f64)> = (0..m.num_services())
+                    .map(|s| (s, m.predict(user, s).unwrap()))
+                    .collect();
+                naive.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                naive.truncate(k);
+
+                let ranked = m.rank_candidates(user, k);
+                assert_eq!(
+                    ranked.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+                    naive.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+                    "user {user}, k {k}"
+                );
+                // Values go through the unrolled dot, so allow ulp-level
+                // drift relative to the sequential per-pair path.
+                for (&(_, got), &(_, want)) in ranked.iter().zip(&naive) {
+                    assert!(
+                        (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                        "user {user}, k {k}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_candidates_degenerate_inputs() {
+        let m = trained(3, 8, 200);
+        assert_eq!(m.rank_candidates(99, 5), vec![]);
+        assert_eq!(m.rank_candidates(0, 0), vec![]);
+        assert_eq!(m.rank_candidates(0, 8).len(), 8);
+        assert_eq!(m.rank_candidates(0, 999).len(), 8);
+        let empty = model();
+        assert_eq!(empty.rank_candidates(0, 3), vec![]);
+    }
+
+    #[test]
+    fn rank_candidates_returns_ascending_predictions() {
+        let m = trained(5, 40, 2_000);
+        let ranked = m.rank_candidates(2, 10);
+        assert_eq!(ranked.len(), 10);
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "not ascending: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn predict_row_matches_predict() {
+        let m = trained(4, 30, 1_500);
+        let ids: Vec<usize> = (0..30).rev().collect();
+        let row = m.predict_row(1, &ids).unwrap();
+        for (&s, &got) in ids.iter().zip(&row) {
+            let want = m.predict(1, s).unwrap();
+            assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0));
+        }
+        assert_eq!(m.predict_row(99, &[0]), None);
+        assert_eq!(m.predict_row(1, &[999]), None);
+        assert_eq!(m.predict_row(1, &[]), Some(vec![]));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! specifies in Algorithm 1 line 24.
 
 use crate::config::{AmfConfig, LossKind};
-use qos_transform::{sigmoid, sigmoid_derivative};
+use qos_transform::sigmoid;
 
 /// Floor applied to normalized values `r` wherever they appear in a
 /// denominator (`1/r²` in the gradient, `1/r` in the error): the relative
@@ -69,11 +69,60 @@ pub fn sgd_step(
     e_service: f64,
 ) -> UpdateOutcome {
     debug_assert_eq!(user_factors.len(), service_factors.len());
+    // Specialize for the paper's operating dimension: with `d` known at
+    // compile time the dot chain and update loop fully unroll (no
+    // loop-carried branches, no slice-length checks). Unrolling preserves
+    // the per-element operation order exactly, so results stay bit-for-bit
+    // identical to the dynamic-length path — the bitwise property test
+    // below covers both.
+    if let (Ok(u), Ok(s)) = (
+        <&mut [f64; 10]>::try_from(&mut *user_factors),
+        <&mut [f64; 10]>::try_from(&mut *service_factors),
+    ) {
+        return sgd_step_fixed::<10>(config, u, s, r, e_user, e_service);
+    }
+    sgd_step_dyn(config, user_factors, service_factors, r, e_user, e_service)
+}
+
+fn sgd_step_fixed<const D: usize>(
+    config: &AmfConfig,
+    user_factors: &mut [f64; D],
+    service_factors: &mut [f64; D],
+    r: f64,
+    e_user: f64,
+    e_service: f64,
+) -> UpdateOutcome {
+    sgd_step_dyn(config, user_factors, service_factors, r, e_user, e_service)
+}
+
+#[inline(always)]
+fn sgd_step_dyn(
+    config: &AmfConfig,
+    user_factors: &mut [f64],
+    service_factors: &mut [f64],
+    r: f64,
+    e_user: f64,
+    e_service: f64,
+) -> UpdateOutcome {
     let r_safe = r.max(NORMALIZED_FLOOR);
 
-    let x = qos_linalg::vector::dot(user_factors, service_factors);
+    // Fused scalar path. Every floating-point operation below happens in the
+    // same order as the original two-kernel formulation (`vector::dot` then
+    // `sigmoid`/`sigmoid_derivative` then the update loop), which is what the
+    // bitwise sequential-vs-sharded parity suite pins down:
+    // * the dot accumulates left-to-right from 0.0, exactly like
+    //   `vector::dot`'s sequential fold;
+    // * `g · (1 − g)` is the identity `sigmoid_derivative` computes
+    //   internally, just without re-evaluating `exp` — same inputs, same
+    //   operations, one transcendental instead of two.
+    // The `#[cfg(test)] reference` module keeps the original formulation and
+    // a property test asserts bit-for-bit agreement.
+    let mut x = 0.0;
+    for (uk, sk) in user_factors.iter().zip(service_factors.iter()) {
+        x += uk * sk;
+    }
     let g = sigmoid(x);
-    let gp = sigmoid_derivative(x);
+    let gp = g * (1.0 - g);
     let sample_error = (r - g).abs() / r_safe;
 
     let (w_user, w_service) = if config.adaptive_weights {
@@ -93,14 +142,14 @@ pub fn sgd_step(
     .clamp(-GRADIENT_CLIP, GRADIENT_CLIP);
 
     let eta = config.learning_rate;
-    for k in 0..user_factors.len() {
-        let (uk, sk) = (user_factors[k], service_factors[k]);
-        let du =
-            (eta * w_user * (coef * sk + config.lambda_user * uk)).clamp(-STEP_CLIP, STEP_CLIP);
-        let ds = (eta * w_service * (coef * uk + config.lambda_service * sk))
-            .clamp(-STEP_CLIP, STEP_CLIP);
-        user_factors[k] = uk - du;
-        service_factors[k] = sk - ds;
+    let (eta_user, eta_service) = (eta * w_user, eta * w_service);
+    let (lam_user, lam_service) = (config.lambda_user, config.lambda_service);
+    for (u, s) in user_factors.iter_mut().zip(service_factors.iter_mut()) {
+        let (uk, sk) = (*u, *s);
+        let du = (eta_user * (coef * sk + lam_user * uk)).clamp(-STEP_CLIP, STEP_CLIP);
+        let ds = (eta_service * (coef * uk + lam_service * sk)).clamp(-STEP_CLIP, STEP_CLIP);
+        *u = uk - du;
+        *s = sk - ds;
     }
 
     UpdateOutcome {
@@ -111,10 +160,67 @@ pub fn sgd_step(
     }
 }
 
+/// The pre-fusion scalar formulation, kept verbatim as the bitwise oracle
+/// for the fused kernel (see the property tests below).
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+    use qos_transform::{sigmoid, sigmoid_derivative};
+
+    /// Original two-kernel `sgd_step`: library dot, separate
+    /// `sigmoid_derivative` evaluation, un-hoisted update loop.
+    pub(crate) fn sgd_step(
+        config: &AmfConfig,
+        user_factors: &mut [f64],
+        service_factors: &mut [f64],
+        r: f64,
+        e_user: f64,
+        e_service: f64,
+    ) -> UpdateOutcome {
+        let r_safe = r.max(NORMALIZED_FLOOR);
+
+        let x = qos_linalg::vector::dot(user_factors, service_factors);
+        let g = sigmoid(x);
+        let gp = sigmoid_derivative(x);
+        let sample_error = (r - g).abs() / r_safe;
+
+        let (w_user, w_service) = if config.adaptive_weights {
+            crate::weights::adaptive_weights(e_user, e_service)
+        } else {
+            (1.0, 1.0)
+        };
+
+        let coef = match config.loss {
+            LossKind::Relative => (g - r) * gp / (r_safe * r_safe),
+            LossKind::Squared => (g - r) * gp,
+        }
+        .clamp(-GRADIENT_CLIP, GRADIENT_CLIP);
+
+        let eta = config.learning_rate;
+        for k in 0..user_factors.len() {
+            let (uk, sk) = (user_factors[k], service_factors[k]);
+            let du =
+                (eta * w_user * (coef * sk + config.lambda_user * uk)).clamp(-STEP_CLIP, STEP_CLIP);
+            let ds = (eta * w_service * (coef * uk + config.lambda_service * sk))
+                .clamp(-STEP_CLIP, STEP_CLIP);
+            user_factors[k] = uk - du;
+            service_factors[k] = sk - ds;
+        }
+
+        UpdateOutcome {
+            g,
+            sample_error,
+            w_user,
+            w_service,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::AmfConfig;
+    use qos_transform::sigmoid_derivative;
 
     fn config() -> AmfConfig {
         AmfConfig::response_time()
@@ -301,6 +407,46 @@ mod tests {
                         prop_assert!(u[k].is_finite() && s[k].is_finite());
                         prop_assert!((u[k] - before_u[k]).abs() <= STEP_CLIP + 1e-15);
                         prop_assert!((s[k] - before_s[k]).abs() <= STEP_CLIP + 1e-15);
+                    }
+                }
+            }
+
+            #[test]
+            fn fused_step_is_bitwise_identical_to_reference(
+                samples in proptest::collection::vec(
+                    (0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64),
+                    1..40
+                ),
+                log_mag in -4.0..1.0f64,
+                seed in 0u64..1u64 << 32,
+            ) {
+                // Chains of updates on the same pair, so any drift between
+                // the fused kernel and the pre-fusion oracle compounds and
+                // cannot hide. Exercises both losses and both weight modes.
+                for (loss, adaptive) in [
+                    (LossKind::Relative, true),
+                    (LossKind::Relative, false),
+                    (LossKind::Squared, true),
+                ] {
+                    let mut cfg = config();
+                    cfg.loss = loss;
+                    cfg.adaptive_weights = adaptive;
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let magnitude = 10f64.powf(log_mag);
+                    let mut u = random_factors(&mut rng, cfg.dimension, magnitude);
+                    let mut s = random_factors(&mut rng, cfg.dimension, magnitude);
+                    let mut u_ref = u.clone();
+                    let mut s_ref = s.clone();
+                    for &(r, e_user, e_service) in &samples {
+                        let fused = sgd_step(&cfg, &mut u, &mut s, r, e_user, e_service);
+                        let oracle = reference::sgd_step(
+                            &cfg, &mut u_ref, &mut s_ref, r, e_user, e_service,
+                        );
+                        prop_assert_eq!(fused, oracle);
+                        for k in 0..cfg.dimension {
+                            prop_assert_eq!(u[k].to_bits(), u_ref[k].to_bits());
+                            prop_assert_eq!(s[k].to_bits(), s_ref[k].to_bits());
+                        }
                     }
                 }
             }

@@ -52,18 +52,30 @@ pub fn save<W: Write>(model: &AmfModel, writer: W) -> Result<(), AmfError> {
         },
         c.seed,
     )?;
-    let (users, services) = model.entities();
     writeln!(
         w,
         "counts {} {} {}",
-        users.len(),
-        services.len(),
+        model.num_users(),
+        model.num_services(),
         model.update_count()
     )?;
-    for (kind, list) in [("user", users), ("service", services)] {
-        for e in list {
-            write!(w, "{kind} {}", e.tracker.error())?;
-            for f in &e.factors {
+    type EntityRow = fn(&AmfModel, usize) -> Option<(f64, &[f64])>;
+    let rows: [(&str, usize, EntityRow); 2] = [
+        ("user", model.num_users(), |m, i| {
+            Some((m.user_error(i)?, m.user_factors(i)?))
+        }),
+        ("service", model.num_services(), |m, i| {
+            Some((m.service_error(i)?, m.service_factors(i)?))
+        }),
+    ];
+    for (kind, count, row) in rows {
+        for i in 0..count {
+            // Registered ids below the count always resolve.
+            let Some((error, factors)) = row(model, i) else {
+                continue;
+            };
+            write!(w, "{kind} {error}")?;
+            for f in factors {
                 write!(w, " {f}")?;
             }
             writeln!(w)?;

@@ -16,6 +16,9 @@
 //! * [`histogram`] — fixed-width density histograms for Figs. 7, 8 and 10.
 //! * [`random`] — seeded Gaussian sampling (Box–Muller) on top of `rand`,
 //!   avoiding any dependency beyond the approved set.
+//! * [`slab`] — read-only kernels over contiguous factor slabs: unrolled
+//!   dots, batch row scoring, and bounded-heap top-k selection for the
+//!   candidate-ranking query.
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@ pub mod correlation;
 pub mod histogram;
 pub mod matrix;
 pub mod random;
+pub mod slab;
 pub mod sparse;
 pub mod stats;
 pub mod svd;

@@ -507,6 +507,53 @@ impl QosPredictionService {
         }
     }
 
+    /// Ranks every registered service for `user` by predicted QoS and
+    /// returns the best `k` as `(service name, predicted value)` pairs,
+    /// ascending (for response time, lower is better).
+    ///
+    /// This is the runtime-adaptation query from the paper: when a component
+    /// fails, pick the replacement with the best *predicted* QoS for this
+    /// specific user. It runs on the model's batch ranking kernel — one
+    /// streaming pass over the contiguous service slab with a bounded top-k
+    /// heap — rather than `k` separate `predict` calls, so it stays cheap
+    /// even against thousands of candidates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::UnknownEntity`] when the user was never
+    /// registered.
+    pub fn rank_candidates(
+        &self,
+        user: &str,
+        k: usize,
+    ) -> Result<Vec<(String, f64)>, ServiceError> {
+        let user_id =
+            self.users
+                .lock()
+                .resolve(user)
+                .ok_or_else(|| ServiceError::UnknownEntity {
+                    kind: "user",
+                    id: user.to_string(),
+                })?;
+        let ranked = self.rank_candidates_ids(user_id, k);
+        let services = self.services.lock();
+        Ok(ranked
+            .into_iter()
+            .map(|(id, value)| {
+                let name = services
+                    .name(id)
+                    .map_or_else(|| format!("service-{id}"), str::to_string);
+                (name, value)
+            })
+            .collect())
+    }
+
+    /// [`QosPredictionService::rank_candidates`] by dense user id, returning
+    /// dense service ids (the hot path for the middleware's adaptation loop).
+    pub fn rank_candidates_ids(&self, user: usize, k: usize) -> Vec<(usize, f64)> {
+        self.trainer.lock().model().rank_candidates(user, k)
+    }
+
     /// Registers a user id without an observation (explicit join).
     pub fn join_user(&self, name: &str) -> usize {
         let id = self.users.lock().join(name);
@@ -666,6 +713,34 @@ mod tests {
                 kind: "service",
                 ..
             })
+        ));
+    }
+
+    #[test]
+    fn rank_candidates_orders_by_prediction() {
+        let svc = QosPredictionService::new(ServiceConfig::default());
+        // Train three services to clearly separated response-time levels.
+        for k in 0..400u64 {
+            svc.submit(record("alice", "ws-fast", k, 0.3));
+            svc.submit(record("alice", "ws-mid", k, 2.0));
+            svc.submit(record("alice", "ws-slow", k, 9.0));
+        }
+        let ranked = svc.rank_candidates("alice", 2).unwrap();
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].0, "ws-fast");
+        assert_eq!(ranked[1].0, "ws-mid");
+        assert!(ranked[0].1 < ranked[1].1);
+        // Names round-trip through the registry and values match predict.
+        let direct = svc.predict("alice", "ws-fast").unwrap();
+        assert!((ranked[0].1 - direct).abs() < 1e-12);
+        // Ids variant agrees.
+        let by_id = svc.rank_candidates_ids(0, 2);
+        assert_eq!(by_id.len(), 2);
+        assert_eq!(ranked[0].1.to_bits(), by_id[0].1.to_bits());
+        // Unknown user errors.
+        assert!(matches!(
+            svc.rank_candidates("ghost", 2),
+            Err(ServiceError::UnknownEntity { kind: "user", .. })
         ));
     }
 

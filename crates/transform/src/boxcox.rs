@@ -85,6 +85,7 @@ impl BoxCox {
     }
 
     /// Applies the transform. Inputs at or below the floor are clamped to it.
+    #[inline]
     pub fn transform(&self, x: f64) -> f64 {
         let x = x.max(self.floor);
         if self.alpha == 0.0 {
@@ -96,6 +97,7 @@ impl BoxCox {
 
     /// Inverts the transform. Outputs are floored at [`BoxCox::floor`], so
     /// `inverse(transform(x)) == x` holds for all `x >= floor`.
+    #[inline]
     pub fn inverse(&self, y: f64) -> f64 {
         let x = if self.alpha == 0.0 {
             y.exp()

@@ -114,6 +114,7 @@ impl Range {
     }
 
     /// Clamps `x` into `[min, max]`.
+    #[inline]
     pub fn clamp(&self, x: f64) -> f64 {
         x.clamp(self.min, self.max)
     }
