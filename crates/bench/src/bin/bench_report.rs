@@ -16,7 +16,12 @@
 //!
 //! Output is a JSON document (default `BENCH_CORE.json` in the working
 //! directory) with a stable schema (`amf-bench-core/v1`) so CI can check it
-//! with `jq` without gating on absolute numbers:
+//! with `jq` without gating on absolute numbers. The document embeds the
+//! run's own `amf-obs/v1` observability snapshot under `"obs"` — the timed
+//! sections exercise the real instrumented paths, so the snapshot carries a
+//! stage-level latency breakdown (sampled `model.observe_ns`, per-shard
+//! `engine.chunk_apply_ns`, `engine.drain_ns`) alongside the aggregate
+//! rates:
 //!
 //! ```text
 //! bench-report [--quick] [--out PATH] [--label NAME] [--merge-before PATH]
@@ -278,7 +283,17 @@ fn main() {
         w.services,
         AmfConfig::response_time().dimension
     );
-    let _ = write!(json, "  \"results\": {{\n{results}  }}");
+    let _ = write!(json, "  \"results\": {{\n{results}  }},");
+    // Observability snapshot of the run itself: the timed sections above
+    // executed real `observe`/engine/guard paths, so the global `amf-obs/v1`
+    // registry now carries their sampled latency histograms and counters.
+    // Embedding it gives every BENCH_CORE.json a stage-level latency
+    // breakdown alongside the aggregate rates.
+    let _ = write!(
+        json,
+        "\n  \"obs\": {}",
+        qos_obs::global().snapshot_json(false).to_string_compact()
+    );
     if let Some(path) = merge_before {
         match std::fs::read_to_string(&path) {
             Ok(before) => {

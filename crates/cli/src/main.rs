@@ -7,7 +7,8 @@
 //! amf-qos predict     predict QoS values from a saved model
 //! amf-qos evaluate    run the Table I accuracy protocol
 //! amf-qos experiment  regenerate any paper artifact by id
-//! amf-qos stats       dataset statistics (Fig. 6), synthetic or from file
+//! amf-qos stats       dataset statistics (Fig. 6), synthetic or from file;
+//!                     `--obs` emits an `amf-obs/v1` observability snapshot
 //! ```
 //!
 //! Run `amf-qos <subcommand> --help` conceptually via the usage lines each
@@ -26,7 +27,7 @@ train       train an AMF model from a triplet file\n  \
 predict     predict QoS values from a saved model\n  \
 evaluate    run the Table I accuracy protocol on synthetic data\n  \
 experiment  regenerate a paper artifact (fig2..fig14, table1, ablations)\n  \
-stats       dataset statistics (Fig. 6)\n  \
+stats       dataset statistics (Fig. 6); --obs for a runtime metrics snapshot\n  \
 diagnose    health snapshot of a saved model\n  \
 simulate    end-to-end runtime-adaptation simulation\n\
 \n\

@@ -455,12 +455,18 @@ impl Shared {
     /// Any panic is contained here — recorded, health flag dropped, and the
     /// dispatcher woken to respawn.
     fn worker(&self, w: usize, jobs: &Receiver<Vec<Job>>) {
+        // Per-shard chunk-apply latency; registered once per worker spawn
+        // (the format! and registry lock happen here, never per chunk).
+        let apply_ns =
+            qos_obs::global().histogram_labeled("engine.chunk_apply_ns", &format!("shard-{w}"));
         let caught = catch_unwind(AssertUnwindSafe(|| {
             while let Ok(chunk) = jobs.recv() {
+                let started = std::time::Instant::now();
                 for job in &chunk {
                     self.apply(w, job);
                     self.cells[w].applied.store(job.seq + 1, Ordering::Release);
                 }
+                apply_ns.record_duration(started.elapsed());
                 self.drained.notify_all();
             }
         }));
@@ -476,6 +482,10 @@ impl Shared {
                 "worker panicked".to_string()
             };
             self.cells[w].alive.store(false, Ordering::Release);
+            crate::obs::engine_metrics().worker_panics.inc();
+            qos_obs::global()
+                .trace()
+                .event("engine_worker_panic", message.clone());
             lock(&self.faults).push(FaultEvent {
                 worker: w,
                 at_job: self.cells[w].applied.load(Ordering::Acquire),
@@ -870,6 +880,7 @@ impl ShardedEngine {
         let n = chunk.len() as u64;
         if self.abandoned[w] {
             self.shed += n;
+            crate::obs::engine_metrics().samples_shed.add(n);
             outcome.shed += n;
             self.cancel_backlog.extend(chunk);
             self.cancel_pass();
@@ -887,6 +898,7 @@ impl ShardedEngine {
             self.pump();
             if self.abandoned[w] {
                 self.shed += n;
+                crate::obs::engine_metrics().samples_shed.add(n);
                 outcome.shed += n;
                 self.cancel_backlog.extend(chunk);
                 self.cancel_pass();
@@ -897,6 +909,9 @@ impl ShardedEngine {
             if self.outbox[w].is_empty() && self.shared.cells[w].alive.load(Ordering::Acquire) {
                 match self.senders[w].try_send(chunk.clone()) {
                     Ok(()) => {
+                        let metrics = crate::obs::engine_metrics();
+                        metrics.chunks_dispatched.inc();
+                        metrics.jobs_dispatched.add(n);
                         self.dispatched[w] += n;
                         for job in chunk {
                             self.journal[w].push_back(job);
@@ -905,12 +920,16 @@ impl ShardedEngine {
                         outcome.queued += n;
                         return;
                     }
-                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+                    Err(TrySendError::Full(_)) => {
+                        crate::obs::engine_metrics().queue_full.inc();
+                    }
+                    Err(TrySendError::Disconnected(_)) => {}
                 }
             }
             attempts += 1;
             if attempts >= policy.max_attempts.max(1) {
                 self.shed += n;
+                crate::obs::engine_metrics().samples_shed.add(n);
                 outcome.shed += n;
                 self.cancel_backlog.extend(chunk);
                 self.cancel_pass();
@@ -942,6 +961,11 @@ impl ShardedEngine {
     /// a worker exhausts its respawn budget (see
     /// [`FaultStats::samples_lost`]).
     pub fn drain(&mut self) {
+        let drain_ns = qos_obs::global().histogram("engine.drain_ns");
+        let _span = qos_obs::global()
+            .trace()
+            .span("engine_drain")
+            .with_histogram(&drain_ns);
         self.flush();
         loop {
             self.pump();
@@ -1063,10 +1087,16 @@ impl ShardedEngine {
             // Routed to a dead shard: count as lost, and release the jobs'
             // ordering tickets so co-routed services on live shards proceed.
             self.lost += chunk.len() as u64;
+            crate::obs::engine_metrics()
+                .samples_lost
+                .add(chunk.len() as u64);
             self.cancel_backlog.extend(chunk);
             self.cancel_pass();
             return;
         }
+        let metrics = crate::obs::engine_metrics();
+        metrics.chunks_dispatched.inc();
+        metrics.jobs_dispatched.add(chunk.len() as u64);
         for job in &mut chunk {
             job.seq = self.dispatched[w];
             self.dispatched[w] += 1;
@@ -1106,6 +1136,9 @@ impl ShardedEngine {
     /// releases (via apply, replay, or cancellation).
     fn pump(&mut self) {
         self.cancel_pass();
+        crate::obs::engine_metrics()
+            .outbox_depth
+            .set(self.outbox.iter().map(VecDeque::len).sum::<usize>() as f64);
         for w in 0..self.options.shards {
             if self.abandoned[w] {
                 continue;
@@ -1121,6 +1154,7 @@ impl ShardedEngine {
                 match self.senders[w].try_send(chunk) {
                     Ok(()) => {}
                     Err(TrySendError::Full(back)) => {
+                        crate::obs::engine_metrics().queue_full.inc();
                         self.outbox[w].push_front(back);
                         break;
                     }
@@ -1153,6 +1187,7 @@ impl ShardedEngine {
         }
         match self.spawn_worker(w, self.respawns[w]) {
             Ok((tx, handle)) => {
+                crate::obs::engine_metrics().respawns.inc();
                 self.senders[w] = tx;
                 self.workers[w] = Some(handle);
                 self.shared.cells[w].alive.store(true, Ordering::Release);
@@ -1163,6 +1198,13 @@ impl ShardedEngine {
                 self.gc_journal(w);
                 self.outbox[w].clear();
                 self.replayed += self.journal[w].len() as u64;
+                crate::obs::engine_metrics()
+                    .jobs_replayed
+                    .add(self.journal[w].len() as u64);
+                qos_obs::global().trace().event(
+                    "engine_respawn",
+                    format!("worker {w} replaying {} jobs", self.journal[w].len()),
+                );
                 let chunk_size = self.options.chunk_size.max(1);
                 let mut chunk: Vec<Job> = Vec::new();
                 for job in &self.journal[w] {
@@ -1193,6 +1235,13 @@ impl ShardedEngine {
         self.gc_journal(w);
         self.outbox[w].clear();
         let lost = std::mem::take(&mut self.journal[w]);
+        let metrics = crate::obs::engine_metrics();
+        metrics.workers_abandoned.inc();
+        metrics.samples_lost.add(lost.len() as u64);
+        qos_obs::global().trace().event(
+            "engine_abandon",
+            format!("worker {w} lost {} jobs", lost.len()),
+        );
         self.lost += lost.len() as u64;
         self.cancel_backlog.extend(lost);
         self.cancel_pass();

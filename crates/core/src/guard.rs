@@ -309,6 +309,7 @@ impl SampleGuard {
         *self.per_service_seen.entry(service).or_insert(0) += 1;
         if let Err(reason) = self.screen(service, raw) {
             self.stats.bump(reason);
+            crate::obs::guard_metrics().rejected(reason).inc();
             *self.per_service_rejects.entry(service).or_insert(0) += 1;
             if self.config.quarantine_cap > 0 {
                 if self.quarantine.len() >= self.config.quarantine_cap {
@@ -325,6 +326,7 @@ impl SampleGuard {
             return Err(reason);
         }
         self.stats.accepted += 1;
+        crate::obs::guard_metrics().admitted.inc();
         if self.config.outlier_gate {
             self.windows
                 .entry(service)

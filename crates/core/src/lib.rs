@@ -52,6 +52,7 @@ pub mod expiry;
 pub mod fault;
 pub mod guard;
 pub mod model;
+pub(crate) mod obs;
 pub mod online;
 pub mod persistence;
 pub mod trainer;

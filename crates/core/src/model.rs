@@ -276,6 +276,14 @@ impl AmfModel {
     /// `user` and `service` (the `OnlineUpdate` function of Algorithm 1).
     /// Unknown ids are registered first.
     pub fn observe(&mut self, user: usize, service: usize, raw: f64) -> UpdateOutcome {
+        // Sampled instrumentation: timing every call would cost two clock
+        // reads per ~70 ns update, so only one in 256 observes is measured
+        // (and the error-tracker gauges refreshed). The sampled branch's
+        // metric handles live behind a OnceLock whose one-time registration
+        // fires on the very first observe — inside the warm-up window of the
+        // zero-alloc hot-path test.
+        let timed = self.updates & crate::obs::OBSERVE_SAMPLE_MASK == 0;
+        let started = timed.then(std::time::Instant::now);
         self.ensure_user(user);
         self.ensure_service(service);
         let (user_factors, user_tracker) = self.users.entity_mut(user);
@@ -290,6 +298,13 @@ impl AmfModel {
             raw,
         );
         self.updates += 1;
+        if let Some(started) = started {
+            let metrics = crate::obs::model_metrics();
+            metrics.observe_ns.record_duration(started.elapsed());
+            metrics.observes_sampled.inc();
+            metrics.e_u.set(self.users.tracker(user).error());
+            metrics.e_s.set(self.services.tracker(service).error());
+        }
         outcome
     }
 
@@ -608,6 +623,37 @@ mod tests {
     }
 
     #[test]
+    fn rank_candidates_nan_free_under_degraded_entries() {
+        // A degraded slab: a handful of trained services driven to the
+        // extremes of the admissible range, plus a long tail of cold
+        // services that were registered but never observed (their factors
+        // are the fresh random init, their trackers at maximum error).
+        let mut m = model();
+        for i in 0..200 {
+            m.observe(0, i % 4, if i % 2 == 0 { 0.011 } else { 19.9 });
+        }
+        m.ensure_service(63);
+        m.ensure_user(2);
+
+        for user in 0..m.num_users() {
+            for k in [1usize, 5, 64, 1000] {
+                let ranked = m.rank_candidates(user, k);
+                assert_eq!(ranked.len(), k.min(64));
+                for &(service, value) in &ranked {
+                    assert!(
+                        value.is_finite(),
+                        "user {user}, k {k}, service {service}: {value}"
+                    );
+                    assert!(
+                        (0.0..=20.0).contains(&value),
+                        "user {user}, k {k}, service {service}: {value} escaped range"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn predict_row_matches_predict() {
         let m = trained(4, 30, 1_500);
         let ids: Vec<usize> = (0..30).rev().collect();
@@ -771,6 +817,47 @@ mod tests {
                         let a = m.predict(u, s).unwrap();
                         let b = restored.predict(u, s).unwrap();
                         prop_assert!((a - b).abs() < 1e-9);
+                    }
+                }
+            }
+
+            /// The batch ranking kernel selects the same services as a naive
+            /// argsort of per-pair `predict`, on arbitrary random slabs: any
+            /// training stream (including streams that leave most services
+            /// cold) and any `k` relative to the service count.
+            #[test]
+            fn rank_candidates_agrees_with_naive_on_random_slabs(
+                samples in proptest::collection::vec(
+                    (0usize..6, 0usize..40, 0.1..18.0f64),
+                    1..120
+                ),
+                seed in 0u64..1000,
+                k in 0usize..50
+            ) {
+                let mut m = AmfModel::new(
+                    AmfConfig::response_time().with_seed(seed)
+                ).unwrap();
+                for &(u, s, v) in &samples {
+                    m.observe(u, s, v);
+                }
+                // Cold tail: registered but never observed, so the slab
+                // mixes trained and fresh factor vectors.
+                m.ensure_service(m.num_services() + 3);
+                for user in 0..m.num_users() {
+                    let mut naive: Vec<(usize, f64)> = (0..m.num_services())
+                        .map(|s| (s, m.predict(user, s).unwrap()))
+                        .collect();
+                    naive.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                    naive.truncate(k);
+
+                    let ranked = m.rank_candidates(user, k);
+                    prop_assert_eq!(
+                        ranked.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+                        naive.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+                        "user {}, k {}", user, k
+                    );
+                    for &(_, value) in &ranked {
+                        prop_assert!(value.is_finite());
                     }
                 }
             }

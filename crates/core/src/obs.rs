@@ -1,0 +1,119 @@
+//! Cached handles into the process-global `qos-obs` registry for amf-core's
+//! static instrumentation (model, guard, engine).
+//!
+//! Each subsystem registers its metrics exactly once (first touch, behind a
+//! `OnceLock`) and records through the cached `Arc` handles afterwards —
+//! plain relaxed atomics, no locks, no allocation. The per-sample `observe`
+//! path additionally *samples* its timing (one in [`OBSERVE_SAMPLE_MASK`]+1
+//! calls) because two `Instant::now` reads per sample would cost more than
+//! the ~70 ns update they'd be measuring; see DESIGN.md §11 for the overhead
+//! accounting.
+
+use qos_obs::{Counter, Gauge, Histogram};
+use std::sync::{Arc, OnceLock};
+
+use crate::guard::RejectReason;
+
+/// `observe` timing fires when `updates & MASK == 0`: every 256th sample.
+/// Must stay ≤ the warm-up budget of `tests/alloc_free_hot_path.rs` (1000
+/// samples) so the one-time registration allocation lands in warm-up.
+pub(crate) const OBSERVE_SAMPLE_MASK: u64 = 0xFF;
+
+/// Model-side metrics (sequential `observe` path).
+pub(crate) struct ModelMetrics {
+    /// Latency of one sampled `observe` call, ns.
+    pub observe_ns: Arc<Histogram>,
+    /// How many observes were timing-sampled (total observes ≈ this × 256).
+    pub observes_sampled: Arc<Counter>,
+    /// EMA error tracker of the last sampled user (paper's `e_u`, Eq. 12).
+    pub e_u: Arc<Gauge>,
+    /// EMA error tracker of the last sampled service (`e_s`, Eq. 13).
+    pub e_s: Arc<Gauge>,
+}
+
+pub(crate) fn model_metrics() -> &'static ModelMetrics {
+    static METRICS: OnceLock<ModelMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = qos_obs::global();
+        ModelMetrics {
+            observe_ns: reg.histogram("model.observe_ns"),
+            observes_sampled: reg.counter("model.observes_sampled"),
+            e_u: reg.gauge("model.e_u"),
+            e_s: reg.gauge("model.e_s"),
+        }
+    })
+}
+
+/// Guard-side admission verdict counters (one per [`RejectReason`] plus
+/// accepted), mirroring `GuardStats` onto the global registry so a process
+/// snapshot sees admission health without reaching into a service instance.
+pub(crate) struct GuardMetrics {
+    pub admitted: Arc<Counter>,
+    not_finite: Arc<Counter>,
+    non_positive: Arc<Counter>,
+    out_of_range: Arc<Counter>,
+    outlier: Arc<Counter>,
+}
+
+impl GuardMetrics {
+    /// The counter for one reject verdict.
+    pub fn rejected(&self, reason: RejectReason) -> &Counter {
+        match reason {
+            RejectReason::NotFinite => &self.not_finite,
+            RejectReason::NonPositive => &self.non_positive,
+            RejectReason::OutOfRange => &self.out_of_range,
+            RejectReason::Outlier => &self.outlier,
+        }
+    }
+}
+
+pub(crate) fn guard_metrics() -> &'static GuardMetrics {
+    static METRICS: OnceLock<GuardMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = qos_obs::global();
+        GuardMetrics {
+            admitted: reg.counter("guard.admitted"),
+            not_finite: reg.counter_labeled("guard.rejected", RejectReason::NotFinite.label()),
+            non_positive: reg.counter_labeled("guard.rejected", RejectReason::NonPositive.label()),
+            out_of_range: reg.counter_labeled("guard.rejected", RejectReason::OutOfRange.label()),
+            outlier: reg.counter_labeled("guard.rejected", RejectReason::Outlier.label()),
+        }
+    })
+}
+
+/// Engine-side dispatcher/worker counters. Dispatch-side increments happen
+/// per *chunk* (already amortized); worker-side chunk timing costs two
+/// `Instant::now` reads per chunk of up to `chunk_size` samples.
+pub(crate) struct EngineMetrics {
+    pub chunks_dispatched: Arc<Counter>,
+    pub jobs_dispatched: Arc<Counter>,
+    pub queue_full: Arc<Counter>,
+    pub worker_panics: Arc<Counter>,
+    pub respawns: Arc<Counter>,
+    pub jobs_replayed: Arc<Counter>,
+    pub samples_shed: Arc<Counter>,
+    pub samples_lost: Arc<Counter>,
+    pub workers_abandoned: Arc<Counter>,
+    /// Chunks parked dispatcher-side waiting for worker queues (set each
+    /// pump — a live queue-depth signal).
+    pub outbox_depth: Arc<Gauge>,
+}
+
+pub(crate) fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = qos_obs::global();
+        EngineMetrics {
+            chunks_dispatched: reg.counter("engine.chunks_dispatched"),
+            jobs_dispatched: reg.counter("engine.jobs_dispatched"),
+            queue_full: reg.counter("engine.queue_full"),
+            worker_panics: reg.counter("engine.worker_panics"),
+            respawns: reg.counter("engine.respawns"),
+            jobs_replayed: reg.counter("engine.jobs_replayed"),
+            samples_shed: reg.counter("engine.samples_shed"),
+            samples_lost: reg.counter("engine.samples_lost"),
+            workers_abandoned: reg.counter("engine.workers_abandoned"),
+            outbox_depth: reg.gauge("engine.outbox_depth"),
+        }
+    })
+}

@@ -1,0 +1,37 @@
+//! Observability layer for the AMF QoS-prediction system.
+//!
+//! The paper's runtime-adaptation loop (Section III: per-time-slice
+//! re-prediction, Algorithm 1 per-sample updates) gives the serving stack a
+//! wall-clock budget; this crate makes where that budget goes visible
+//! without perturbing the paths being measured:
+//!
+//! - [`Counter`] / [`Gauge`] / [`Histogram`] — plain-atomic primitives;
+//!   recording is wait-free and allocation-free. Histograms are log-bucketed
+//!   (powers of two in nanoseconds) with all storage pre-allocated at
+//!   registration, which is what keeps the zero-alloc hot-path guarantee
+//!   intact with instrumentation enabled.
+//! - [`MetricsRegistry`] — named registration returning `Arc` handles;
+//!   locks are touched only at registration and snapshot time. A process
+//!   [`global`] registry backs amf-core's static instrumentation; subsystems
+//!   needing isolated counts (per-service-instance stats) own their own.
+//! - [`TraceRing`] / [`Span`] / [`span!`] — a bounded event ring with
+//!   drop-guard span timing for coarse lifecycle events.
+//! - [`Json`] + [`MetricsRegistry::snapshot_json`] — a versioned
+//!   (`amf-obs/v1`) snapshot with a writer *and* a strict parser, so the
+//!   serialize → parse → equal round trip is testable offline.
+//!
+//! Deliberately dependency-free (std only).
+
+#![deny(missing_docs)]
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod trace;
+
+pub use json::{Json, ParseError};
+pub use metrics::{bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, BUCKETS};
+pub use registry::{global, MetricsRegistry, DEFAULT_TRACE_CAPACITY, SCHEMA};
+pub use trace::{Span, TraceEvent, TraceRing};

@@ -1,0 +1,104 @@
+//! Property tests for the metrics layer (ISSUE 4 satellite): histogram
+//! bucket monotonicity, counter saturation instead of overflow, and
+//! snapshot JSON round-trip (serialize → parse → equal).
+
+use proptest::prelude::*;
+use qos_obs::{
+    bucket_index, bucket_upper_bound, Counter, Histogram, Json, MetricsRegistry, BUCKETS,
+};
+
+proptest! {
+    /// Bucket assignment is monotone: a larger sample can never land in a
+    /// smaller bucket. This is the invariant that makes the cumulative
+    /// bucket walk a valid CDF (and hence the percentile estimates valid).
+    #[test]
+    fn histogram_bucket_assignment_is_monotone(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(bucket_index(lo) <= bucket_index(hi));
+    }
+
+    /// Every value falls inside (or below, for the open-ended top bucket)
+    /// its bucket's upper bound, and bucket bounds themselves are strictly
+    /// increasing.
+    #[test]
+    fn histogram_bucket_bounds_contain_their_values(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        if i < BUCKETS - 1 {
+            prop_assert!(v <= bucket_upper_bound(i));
+        }
+        if i > 0 {
+            prop_assert!(v > bucket_upper_bound(i - 1));
+        }
+    }
+
+    /// Quantile estimates are monotone in q, bounded by the exact max, and
+    /// never below the exact minimum's bucket floor.
+    #[test]
+    fn histogram_quantiles_are_ordered_and_bounded(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let h = Histogram::new();
+        let mut max = 0u64;
+        for &v in &values {
+            h.record(v);
+            max = max.max(v);
+        }
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+        prop_assert!(h.quantile(hi) <= h.max());
+        prop_assert_eq!(h.max(), max);
+        prop_assert_eq!(h.count(), values.len() as u64);
+    }
+
+    /// Counters saturate at u64::MAX instead of wrapping, from any starting
+    /// point and increment size.
+    #[test]
+    fn counter_saturates_instead_of_overflowing(
+        start in 0u64..u64::MAX,
+        add in 0u64..u64::MAX,
+    ) {
+        let c = Counter::new();
+        c.set(start);
+        c.add(add);
+        prop_assert_eq!(c.get(), start.saturating_add(add));
+        c.set(u64::MAX);
+        c.add(add);
+        prop_assert_eq!(c.get(), u64::MAX);
+    }
+
+    /// A snapshot populated with arbitrary metric values survives
+    /// serialize → parse → equal, in both compact and pretty form.
+    #[test]
+    fn snapshot_json_round_trips(
+        counter_vals in proptest::collection::vec(0u64..u64::MAX, 1..8),
+        gauge_vals in proptest::collection::vec(-1.0e12f64..1.0e12, 1..8),
+        hist_vals in proptest::collection::vec(0u64..10_000_000_000, 1..64),
+        with_trace in proptest::bool::ANY,
+    ) {
+        let reg = MetricsRegistry::new();
+        for (i, &v) in counter_vals.iter().enumerate() {
+            let c = reg.counter_labeled("prop.counter", &format!("c{i}"));
+            c.set(v);
+        }
+        for (i, &v) in gauge_vals.iter().enumerate() {
+            reg.gauge_labeled("prop.gauge", &format!("g{i}")).set(v);
+        }
+        let h = reg.histogram("prop.hist");
+        for &v in &hist_vals {
+            h.record(v);
+        }
+        if with_trace {
+            reg.trace().event("prop", "detail with \"quotes\" and \\ slashes\n");
+        }
+        let snap = reg.snapshot_json(with_trace);
+        let compact = Json::parse(&snap.to_string_compact());
+        prop_assert!(compact.is_ok());
+        prop_assert_eq!(compact.ok(), Some(snap.clone()));
+        let pretty = Json::parse(&snap.to_string_pretty());
+        prop_assert!(pretty.is_ok());
+        prop_assert_eq!(pretty.ok(), Some(snap));
+    }
+}

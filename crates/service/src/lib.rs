@@ -42,6 +42,7 @@ pub use monitor::{MonitorConfig, QosMonitor};
 pub use policy::{AdaptationPolicy, BestPredictedPolicy, ThresholdPolicy};
 pub use prediction_service::{
     Prediction, PredictionSource, QosPredictionService, QosRecord, ServiceConfig, ServiceStats,
+    SourceCounts,
 };
 pub use simulation::{AdaptationSimulation, SimulationConfig, SimulationReport};
 pub use workflow::{AbstractTask, Workflow};

@@ -41,8 +41,10 @@ use amf_core::guard::{GuardConfig, GuardStats, SampleGuard};
 use amf_core::{AmfConfig, AmfTrainer, QuarantineDiagnostics};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use qos_obs::{Counter, Histogram, Json, MetricsRegistry};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// One observed QoS record as submitted by a user's QoS manager.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,6 +141,58 @@ impl PredictionSource {
     pub fn is_model(self) -> bool {
         self == PredictionSource::Model
     }
+
+    /// Every source, in ladder order (the order of [`SourceCounts`] fields).
+    pub const ALL: [PredictionSource; 5] = [
+        PredictionSource::Model,
+        PredictionSource::UserMean,
+        PredictionSource::ServiceMean,
+        PredictionSource::GlobalMean,
+        PredictionSource::Default,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            PredictionSource::Model => 0,
+            PredictionSource::UserMean => 1,
+            PredictionSource::ServiceMean => 2,
+            PredictionSource::GlobalMean => 3,
+            PredictionSource::Default => 4,
+        }
+    }
+}
+
+/// Per-rung tally of [`QosPredictionService::predict_degraded`] answers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SourceCounts {
+    /// Served by the AMF model.
+    pub model: u64,
+    /// Served from the user's observation mean.
+    pub user_mean: u64,
+    /// Served from the service's observation mean.
+    pub service_mean: u64,
+    /// Served from the global observation mean.
+    pub global_mean: u64,
+    /// Served as the configured default (no data at all).
+    pub default: u64,
+}
+
+impl SourceCounts {
+    fn from_counters(counters: &[Arc<Counter>; 5], take: bool) -> Self {
+        let read = |c: &Counter| if take { c.take() } else { c.get() };
+        Self {
+            model: read(&counters[0]),
+            user_mean: read(&counters[1]),
+            service_mean: read(&counters[2]),
+            global_mean: read(&counters[3]),
+            default: read(&counters[4]),
+        }
+    }
+
+    /// Sum over every rung.
+    pub fn total(&self) -> u64 {
+        self.model + self.user_mean + self.service_mean + self.global_mean + self.default
+    }
 }
 
 /// A degraded-mode prediction: always a finite value, tagged with how far
@@ -169,6 +223,13 @@ pub struct ServiceStats {
     /// Whether ingestion has lost samples to an unrecoverable shard worker
     /// (predictions still flow, but the model may be missing updates).
     pub degraded: bool,
+    /// Cumulative `predict_degraded` fallback-ladder tallies (never reset).
+    pub sources_total: SourceCounts,
+    /// Fallback-ladder tallies since the *previous* [`QosPredictionService::stats`]
+    /// call — taking a snapshot resets this window, so two successive
+    /// snapshots measure disjoint intervals (the rate view a monitoring loop
+    /// wants; use [`ServiceStats::sources_total`] for lifetime counts).
+    pub sources_interval: SourceCounts,
 }
 
 /// The QoS prediction service.
@@ -218,8 +279,16 @@ pub struct QosPredictionService {
     input_rx: Receiver<QosRecord>,
     fault_plan: Mutex<Option<Arc<FaultPlan>>>,
     fault_stats: Mutex<FaultStats>,
-    accepted: AtomicU64,
-    dropped: AtomicU64,
+    /// Per-instance metric registry: counters here are scoped to THIS
+    /// service (tests assert exact per-instance counts), unlike amf-core's
+    /// process-global instrumentation.
+    metrics: MetricsRegistry,
+    accepted: Arc<Counter>,
+    dropped: Arc<Counter>,
+    predictions: Arc<Counter>,
+    predict_ns: Arc<Histogram>,
+    source_total: [Arc<Counter>; 5],
+    source_interval: [Arc<Counter>; 5],
     degraded: AtomicBool,
 }
 
@@ -245,6 +314,15 @@ impl QosPredictionService {
         } else {
             unbounded()
         };
+        let metrics = MetricsRegistry::new();
+        let accepted = metrics.counter("service.accepted");
+        let dropped = metrics.counter("service.dropped");
+        let predictions = metrics.counter("service.predictions");
+        let predict_ns = metrics.histogram("service.predict_ns");
+        let source_total = PredictionSource::ALL
+            .map(|s| metrics.counter_labeled("service.predict_source", s.label()));
+        let source_interval = PredictionSource::ALL
+            .map(|s| metrics.counter_labeled("service.predict_source_interval", s.label()));
         Ok(Self {
             trainer: Mutex::new(AmfTrainer::new(config.amf)?),
             users: Mutex::new(Registry::new()),
@@ -256,8 +334,13 @@ impl QosPredictionService {
             input_rx,
             fault_plan: Mutex::new(None),
             fault_stats: Mutex::new(FaultStats::default()),
-            accepted: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
+            metrics,
+            accepted,
+            dropped,
+            predictions,
+            predict_ns,
+            source_total,
+            source_interval,
             degraded: AtomicBool::new(false),
         })
     }
@@ -303,7 +386,7 @@ impl QosPredictionService {
                 Err(TrySendError::Disconnected(_)) => break,
             }
         }
-        self.dropped.fetch_add(1, Ordering::Relaxed);
+        self.dropped.inc();
         false
     }
 
@@ -330,7 +413,7 @@ impl QosPredictionService {
         if admitted {
             self.database
                 .record(user, service, record.timestamp, record.value);
-            self.accepted.fetch_add(1, Ordering::Relaxed);
+            self.accepted.inc();
         }
         (user, service, admitted)
     }
@@ -443,7 +526,11 @@ impl QosPredictionService {
 
     /// Prediction by dense ids (the hot path for the middleware).
     pub fn predict_ids(&self, user: usize, service: usize) -> Option<f64> {
-        self.trainer.lock().model().predict(user, service)
+        let started = Instant::now();
+        let out = self.trainer.lock().model().predict(user, service);
+        self.predict_ns.record_duration(started.elapsed());
+        self.predictions.inc();
+        out
     }
 
     /// Infallible prediction: never errors, never returns NaN. Serves the
@@ -461,6 +548,17 @@ impl QosPredictionService {
 
     /// [`QosPredictionService::predict_degraded`] by (optional) dense ids.
     pub fn predict_degraded_ids(&self, user: Option<usize>, service: Option<usize>) -> Prediction {
+        let started = Instant::now();
+        let prediction = self.degraded_lookup(user, service);
+        self.predict_ns.record_duration(started.elapsed());
+        self.predictions.inc();
+        self.source_total[prediction.source.index()].inc();
+        self.source_interval[prediction.source.index()].inc();
+        prediction
+    }
+
+    /// The fallback-ladder walk itself (counter-free).
+    fn degraded_lookup(&self, user: Option<usize>, service: Option<usize>) -> Prediction {
         if let (Some(u), Some(s)) = (user, service) {
             let trainer = self.trainer.lock();
             let model = trainer.model();
@@ -626,21 +724,97 @@ impl QosPredictionService {
     }
 
     /// Operational counters snapshot.
+    ///
+    /// The fallback-ladder *interval* tallies
+    /// ([`ServiceStats::sources_interval`]) are take-and-reset: each call
+    /// returns the counts since the previous call and starts a new window.
+    /// Everything else (including [`ServiceStats::sources_total`]) is
+    /// cumulative.
     pub fn stats(&self) -> ServiceStats {
         let updates = self.trainer.lock().model().update_count();
         ServiceStats {
             users: self.users.lock().len(),
             services: self.services.lock().len(),
             updates,
-            accepted: self.accepted.load(Ordering::Relaxed),
+            accepted: self.accepted.get(),
             rejected: self
                 .guard
                 .as_ref()
                 .map(|g| g.lock().stats().rejected())
                 .unwrap_or(0),
-            dropped: self.dropped.load(Ordering::Relaxed),
+            dropped: self.dropped.get(),
             degraded: self.degraded.load(Ordering::Relaxed),
+            sources_total: SourceCounts::from_counters(&self.source_total, false),
+            sources_interval: SourceCounts::from_counters(&self.source_interval, true),
         }
+    }
+
+    /// A versioned (`amf-obs/v1`) JSON snapshot of every metric this process
+    /// holds: this instance's registry (`service.*` counters, prediction
+    /// latency, fallback-ladder tallies) merged with the process-global
+    /// registry's amf-core instrumentation (`engine.*`, `guard.*`,
+    /// `model.*`) plus the global trace ring. Reading a snapshot never
+    /// resets anything (unlike [`QosPredictionService::stats`]'s interval
+    /// view).
+    pub fn stats_snapshot(&self) -> Json {
+        // Service-level state that lives outside the registry is mirrored
+        // into it at snapshot time, so the JSON is self-contained.
+        self.metrics
+            .counter("service.users")
+            .set(self.users.lock().len() as u64);
+        self.metrics
+            .counter("service.services")
+            .set(self.services.lock().len() as u64);
+        self.metrics
+            .counter("service.updates")
+            .set(self.trainer.lock().model().update_count());
+        self.metrics
+            .counter("service.rejected")
+            .set(self.stats_rejected());
+        self.metrics
+            .gauge("service.degraded")
+            .set(if self.degraded.load(Ordering::Relaxed) {
+                1.0
+            } else {
+                0.0
+            });
+        {
+            let faults = self.fault_stats.lock();
+            for (name, value) in [
+                ("service.fault.worker_panics", faults.worker_panics),
+                ("service.fault.respawns", faults.respawns),
+                ("service.fault.jobs_replayed", faults.jobs_replayed),
+                ("service.fault.samples_lost", faults.samples_lost),
+                ("service.fault.abandoned_workers", faults.abandoned_workers),
+            ] {
+                self.metrics.counter(name).set(value);
+            }
+        }
+        let mut snapshot = qos_obs::global().snapshot_json(true);
+        let own = self.metrics.snapshot_json(false);
+        for section in ["counters", "gauges", "histograms"] {
+            let (Some(Json::Obj(own_map)), Some(Json::Obj(dest))) = (
+                match &own {
+                    Json::Obj(map) => map.get(section).cloned(),
+                    _ => None,
+                },
+                match &mut snapshot {
+                    Json::Obj(map) => map.get_mut(section),
+                    _ => None,
+                },
+            ) else {
+                continue;
+            };
+            dest.extend(own_map);
+        }
+        snapshot
+    }
+
+    fn stats_rejected(&self) -> u64 {
+        self.guard
+            .as_ref()
+            .map(|g| g.lock().stats().rejected())
+            .unwrap_or(0)
     }
 }
 
@@ -1003,6 +1177,98 @@ mod tests {
                 assert!(p.value.is_finite(), "u{u}/s{s} -> {:?}", p);
             }
         }
+    }
+
+    #[test]
+    fn fallback_source_counters_expose_total_and_interval_views() {
+        let svc = QosPredictionService::new(ServiceConfig::default());
+        // Three ladder walks with no data at all: all land on Default.
+        for _ in 0..3 {
+            let p = svc.predict_degraded("ghost", "ghost");
+            assert_eq!(p.source, PredictionSource::Default);
+        }
+        let first = svc.stats();
+        assert_eq!(first.sources_total.default, 3);
+        assert_eq!(first.sources_interval.default, 3);
+        assert_eq!(first.sources_total.total(), 3);
+
+        // A second snapshot with no predictions in between: the interval
+        // window is empty, the cumulative view unchanged. This is the
+        // regression pin for per-call tallies that were never reset between
+        // snapshots.
+        let second = svc.stats();
+        assert_eq!(second.sources_total.default, 3, "total view is cumulative");
+        assert_eq!(
+            second.sources_interval.total(),
+            0,
+            "interval view must reset at each snapshot"
+        );
+
+        // New activity lands in the next window only.
+        svc.submit(record("alice", "ws-1", 0, 2.0));
+        let p = svc.predict_degraded("alice", "ghost");
+        assert_eq!(p.source, PredictionSource::UserMean);
+        let third = svc.stats();
+        assert_eq!(third.sources_total.default, 3);
+        assert_eq!(third.sources_total.user_mean, 1);
+        assert_eq!(third.sources_interval.user_mean, 1);
+        assert_eq!(third.sources_interval.default, 0);
+    }
+
+    #[test]
+    fn stats_snapshot_emits_schema_valid_self_contained_json() {
+        let svc = QosPredictionService::new(ServiceConfig::default());
+        for k in 0..50u64 {
+            svc.submit(record(
+                &format!("u{}", k % 4),
+                &format!("s{}", k % 3),
+                k,
+                1.0,
+            ));
+        }
+        svc.submit(record("u0", "s0", 50, f64::NAN));
+        let _ = svc.predict_ids(0, 0);
+        let _ = svc.predict_degraded("u1", "s2");
+
+        let snapshot = svc.stats_snapshot();
+        // The document round-trips through the strict parser in both forms.
+        let compact = Json::parse(&snapshot.to_string_compact()).expect("compact parses");
+        assert_eq!(compact, snapshot);
+        assert_eq!(
+            snapshot.get("schema").and_then(Json::as_str),
+            Some(qos_obs::SCHEMA)
+        );
+        let counters = snapshot.get("counters").expect("counters section");
+        let counter = |name: &str| counters.get(name).and_then(Json::as_u64).unwrap_or(0);
+        assert_eq!(counter("service.accepted"), 50);
+        assert_eq!(counter("service.rejected"), 1);
+        assert_eq!(counter("service.updates"), 50);
+        assert!(counter("service.predictions") >= 2);
+        assert_eq!(
+            counter("service.predict_source.model")
+                + counter("service.predict_source.user-mean")
+                + counter("service.predict_source.service-mean")
+                + counter("service.predict_source.global-mean")
+                + counter("service.predict_source.default"),
+            1
+        );
+        // Global amf-core instrumentation rides along (sampled observe fires
+        // on the very first update).
+        assert!(counter("guard.admitted") >= 50);
+        assert!(counter("model.observes_sampled") >= 1);
+        let histograms = snapshot.get("histograms").expect("histograms section");
+        let predict = histograms.get("service.predict_ns").expect("predict hist");
+        assert!(predict.get("count").and_then(Json::as_u64).unwrap_or(0) >= 2);
+        assert!(predict.get("p95_ns").and_then(Json::as_u64).is_some());
+        // Snapshots are read-only: a second one reports the same counts.
+        let again = svc.stats_snapshot();
+        assert_eq!(
+            again
+                .get("counters")
+                .and_then(|c| c.get("service.accepted"))
+                .and_then(Json::as_u64),
+            Some(50)
+        );
     }
 
     #[test]
