@@ -7,6 +7,8 @@ pub mod evaluate;
 pub mod experiment;
 pub mod generate;
 pub mod predict;
+pub mod report;
+pub mod serve;
 pub mod simulate;
 pub mod stats;
 pub mod train;

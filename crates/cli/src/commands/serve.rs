@@ -1,0 +1,327 @@
+//! `amf-qos serve` — run the prediction service with a live metrics
+//! endpoint and an optional JSONL telemetry recorder.
+//!
+//! This is the CLI face of the continuous-telemetry pipeline: a seeded (or
+//! file-fed) QoS workload streams through the full prediction service while
+//! a [`qos_service::MetricsServer`] answers `GET /metrics` (Prometheus
+//! 0.0.4), `/healthz`, and `/snapshot.json`, and a
+//! [`qos_obs::SnapshotRecorder`] appends `amf-obs-ts/v1` interval snapshots
+//! to a size-rotated log that `amf-qos report` can summarize afterwards.
+
+use super::CliError;
+use crate::args::Args;
+use qos_dataset::io;
+use qos_obs::{RecorderConfig, SnapshotRecorder};
+use qos_service::{MetricsServer, QosPredictionService, QosRecord, ServiceConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "amf-qos serve [--metrics-addr HOST:PORT] [--addr-file PATH] \
+[--samples N] [--seed S] [--shards K] [--data TRIPLET_FILE] \
+[--telemetry-log PATH] [--interval-ms MS] [--max-log-bytes N] [--run-ms MS]";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bind failures, unreadable workload files, or
+/// invalid flags.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let samples: u64 = args.parse_or("samples", 20_000)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let shards: usize = args.parse_or("shards", 4)?;
+    let run_ms: u64 = args.parse_or("run-ms", 0)?;
+    let interval_ms: u64 = args.parse_or("interval-ms", 200)?;
+    let max_log_bytes: u64 = args.parse_or("max-log-bytes", 4 * 1024 * 1024)?;
+    let metrics_addr = args.get_or("metrics-addr", "127.0.0.1:0");
+    if shards == 0 {
+        return Err(CliError("--shards must be at least 1".into()));
+    }
+
+    let config = ServiceConfig {
+        shards,
+        ..ServiceConfig::default()
+    };
+    let service = Arc::new(
+        QosPredictionService::try_new(config).map_err(|e| CliError(format!("service: {e}")))?,
+    );
+
+    let snapshot_service = Arc::clone(&service);
+    let server = MetricsServer::start(metrics_addr, move || snapshot_service.stats_snapshot())
+        .map_err(|e| CliError(format!("--metrics-addr {metrics_addr}: {e}")))?;
+    let addr = server.local_addr();
+    if let Some(path) = args.get("addr-file") {
+        // Written post-bind so a supervisor (or the CI smoke job) can poll
+        // this file to discover the ephemeral port.
+        std::fs::write(path, format!("{addr}\n"))?;
+    }
+
+    let recorder = match args.get("telemetry-log") {
+        Some(path) => {
+            let recorder_service = Arc::clone(&service);
+            Some(
+                SnapshotRecorder::start(
+                    RecorderConfig {
+                        interval: Duration::from_millis(interval_ms.max(1)),
+                        path: Some(path.into()),
+                        max_bytes: max_log_bytes,
+                        ..RecorderConfig::default()
+                    },
+                    move || recorder_service.stats_snapshot(),
+                )
+                .map_err(|e| CliError(format!("--telemetry-log {path}: {e}")))?,
+            )
+        }
+        None => None,
+    };
+
+    let fed = feed_workload(&service, args, samples, seed)?;
+
+    // Exercise the prediction surface so latency histograms and the
+    // fallback-ladder counters carry data.
+    for u in 0..16 {
+        let _ = service.predict(&format!("user-{u}"), &format!("svc-{}", u % 32));
+        let _ = service.rank_candidates(&format!("user-{u}"), 5);
+    }
+
+    // Hold the endpoint open for scrapes; the workload above has already
+    // been absorbed, so this is pure serving time.
+    let deadline = Instant::now() + Duration::from_millis(run_ms);
+    while Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let (lines, rotations) = match recorder {
+        Some(recorder) => {
+            let rotations = recorder.rotations();
+            (recorder.stop(), rotations)
+        }
+        None => (0, 0),
+    };
+    let stats = service.stats();
+    let accuracy = {
+        // One final gauge publish so the printed MRE matches a last scrape.
+        let snapshot = service.stats_snapshot();
+        snapshot
+            .get("gauges")
+            .and_then(|g| g.get("model.mre_w"))
+            .and_then(qos_obs::Json::as_f64)
+    };
+    let requests = server.stop();
+    Ok(format!(
+        "serve: endpoint {addr} ({requests} requests)\n\
+         workload        {fed} samples fed, {} accepted, {} rejected\n\
+         model           {} users, {} services, {} updates\n\
+         windowed MRE    {}\n\
+         telemetry log   {lines} lines, {rotations} rotations",
+        stats.accepted,
+        stats.rejected,
+        stats.users,
+        stats.services,
+        stats.updates,
+        accuracy.map_or_else(|| "n/a".to_string(), |v| format!("{v:.4}")),
+    ))
+}
+
+/// Streams the workload into the service: `--data` replays a triplet file,
+/// otherwise a deterministic seeded stream over a small entity grid (the
+/// same generator as `amf-qos stats --obs`, including ~5% guard-exercising
+/// garbage).
+fn feed_workload(
+    service: &QosPredictionService,
+    args: &Args,
+    samples: u64,
+    seed: u64,
+) -> Result<u64, CliError> {
+    if let Some(path) = args.get("data") {
+        let triplets = io::read_triplets(std::fs::File::open(path)?)?;
+        if triplets.is_empty() {
+            return Err(CliError(format!("{path}: no samples")));
+        }
+        let mut fed = 0u64;
+        let mut batch = Vec::with_capacity(256);
+        // Cycle the file until `--samples` records have been fed, so a small
+        // fixture can still drive a long-running serve.
+        'outer: loop {
+            for s in &triplets {
+                if fed == samples {
+                    break 'outer;
+                }
+                batch.push(QosRecord {
+                    user: format!("user-{}", s.user),
+                    service: format!("svc-{}", s.service),
+                    timestamp: s.timestamp,
+                    value: s.value,
+                });
+                fed += 1;
+                if batch.len() == 256 {
+                    service.submit_batch(std::mem::take(&mut batch));
+                }
+            }
+            if triplets.is_empty() {
+                break;
+            }
+        }
+        service.submit_batch(batch);
+        return Ok(fed);
+    }
+
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        state >> 11
+    };
+    let mut batch = Vec::with_capacity(256);
+    for t in 0..samples {
+        let user = next() % 24;
+        let svc = next() % 32;
+        let roll = next() % 100;
+        let value = if roll < 2 {
+            f64::NAN
+        } else if roll < 4 {
+            -1.0
+        } else if roll < 5 {
+            1.0e9
+        } else {
+            0.05 + (next() % 19_000) as f64 / 1_000.0
+        };
+        batch.push(QosRecord {
+            user: format!("user-{user}"),
+            service: format!("svc-{svc}"),
+            timestamp: t,
+            value,
+        });
+        if batch.len() == 256 {
+            service.submit_batch(std::mem::take(&mut batch));
+        }
+    }
+    service.submit_batch(batch);
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn serve_feeds_writes_addr_and_telemetry() {
+        let dir = std::env::temp_dir().join("amf_cli_serve_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("addr.txt");
+        let log = dir.join("telemetry.jsonl");
+        let _ = std::fs::remove_file(&log);
+
+        let out = run(&args(&[
+            "serve",
+            "--samples",
+            "3000",
+            "--shards",
+            "2",
+            "--addr-file",
+            &addr_file.to_string_lossy(),
+            "--telemetry-log",
+            &log.to_string_lossy(),
+            "--interval-ms",
+            "20",
+            "--run-ms",
+            "80",
+        ]))
+        .unwrap();
+        assert!(out.contains("serve: endpoint"), "summary header: {out}");
+        assert!(out.contains("samples fed"));
+
+        let addr = std::fs::read_to_string(&addr_file).unwrap();
+        assert!(addr.trim().parse::<std::net::SocketAddr>().is_ok());
+
+        let telemetry = std::fs::read_to_string(&log).unwrap();
+        let first = telemetry.lines().next().expect("at least one line");
+        let parsed = qos_obs::Json::parse(first).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(qos_obs::Json::as_str),
+            Some(qos_obs::TS_SCHEMA)
+        );
+        std::fs::remove_file(addr_file).unwrap();
+        std::fs::remove_file(log).unwrap();
+    }
+
+    #[test]
+    fn serve_endpoint_answers_while_running() {
+        // Drive /metrics from a second thread while serve holds the port.
+        let dir = std::env::temp_dir().join("amf_cli_serve_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let addr_file = dir.join("live-addr.txt");
+        let _ = std::fs::remove_file(&addr_file);
+        let addr_path = addr_file.to_string_lossy().into_owned();
+
+        let probe_path = addr_path.clone();
+        let probe = std::thread::spawn(move || {
+            // Poll for the addr file, then scrape once.
+            for _ in 0..200 {
+                if let Ok(text) = std::fs::read_to_string(&probe_path) {
+                    if let Ok(addr) = text.trim().parse::<std::net::SocketAddr>() {
+                        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                        stream
+                            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                            .unwrap();
+                        let mut response = String::new();
+                        stream.read_to_string(&mut response).unwrap();
+                        return response;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            panic!("serve never published its address");
+        });
+
+        let out = run(&args(&[
+            "serve",
+            "--samples",
+            "500",
+            "--shards",
+            "2",
+            "--addr-file",
+            &addr_path,
+            "--run-ms",
+            "600",
+        ]))
+        .unwrap();
+        let response = probe.join().unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"));
+        assert!(response.contains("amf_service_accepted_total"));
+        assert!(out.contains("requests)"));
+        std::fs::remove_file(addr_file).unwrap();
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        assert!(run(&args(&["serve", "--shards", "0"])).is_err());
+    }
+
+    #[test]
+    fn file_fed_workload_cycles() {
+        let dir = std::env::temp_dir().join("amf_cli_serve_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data = dir.join("w.txt");
+        std::fs::write(&data, "0 0 0 1.5\n0 1 0 0.7\n1 0 1 2.2\n").unwrap();
+        let out = run(&args(&[
+            "serve",
+            "--data",
+            &data.to_string_lossy(),
+            "--samples",
+            "10",
+            "--shards",
+            "1",
+        ]))
+        .unwrap();
+        assert!(out.contains("10 samples fed"), "{out}");
+        std::fs::remove_file(data).unwrap();
+    }
+}

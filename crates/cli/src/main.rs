@@ -9,6 +9,9 @@
 //! amf-qos experiment  regenerate any paper artifact by id
 //! amf-qos stats       dataset statistics (Fig. 6), synthetic or from file;
 //!                     `--obs` emits an `amf-obs/v1` observability snapshot
+//! amf-qos serve       run the prediction service with a live /metrics
+//!                     endpoint and optional JSONL telemetry recording
+//! amf-qos report      summarize a recorded telemetry log
 //! ```
 //!
 //! Run `amf-qos <subcommand> --help` conceptually via the usage lines each
@@ -29,7 +32,9 @@ evaluate    run the Table I accuracy protocol on synthetic data\n  \
 experiment  regenerate a paper artifact (fig2..fig14, table1, ablations)\n  \
 stats       dataset statistics (Fig. 6); --obs for a runtime metrics snapshot\n  \
 diagnose    health snapshot of a saved model\n  \
-simulate    end-to-end runtime-adaptation simulation\n\
+simulate    end-to-end runtime-adaptation simulation\n  \
+serve       run the prediction service with a live /metrics endpoint\n  \
+report      summarize an amf-obs-ts/v1 telemetry JSONL log\n\
 \n\
 run a subcommand without flags to see its usage";
 
@@ -57,6 +62,12 @@ fn dispatch(args: &Args) -> Result<String, commands::CliError> {
         }
         Some("simulate") => {
             commands::simulate::run(args).map_err(|e| usage_hint(e, commands::simulate::USAGE))
+        }
+        Some("serve") => {
+            commands::serve::run(args).map_err(|e| usage_hint(e, commands::serve::USAGE))
+        }
+        Some("report") => {
+            commands::report::run(args).map_err(|e| usage_hint(e, commands::report::USAGE))
         }
         Some(other) => Err(commands::CliError(format!(
             "unknown subcommand '{other}'\n\n{USAGE}"

@@ -87,6 +87,7 @@
 use crate::config::AmfConfig;
 use crate::fault::{FaultPlan, InjectedCrash, KillPhase};
 use crate::model::{apply_observation, AmfModel, EntityKind, EntityState, FactorSlab};
+use crate::stream::{AccuracyWindow, DriftSentinel};
 use crate::weights::ErrorTracker;
 use crate::AmfError;
 use qos_transform::QosTransform;
@@ -335,6 +336,21 @@ struct WorkerCell {
     applied: AtomicU64,
     /// The reusable snapshot recovery rolls torn state back from.
     inflight: Mutex<InflightScratch>,
+    /// This worker's streaming-accuracy state. Only worker `w` pushes to
+    /// cell `w` (the dispatcher reads at merge time), so the lock is
+    /// uncontended on the apply path.
+    telemetry: Mutex<ShardTelemetry>,
+}
+
+/// Per-worker accuracy window and drift sentinel, folded into the model's
+/// base telemetry at [`ShardedEngine::snapshot`]/[`ShardedEngine::into_model`]
+/// in worker order (deterministic given the routing). Pushed only *after* a
+/// job's tickets commit, so replayed-and-skipped jobs are never counted
+/// twice; a crash between apply and push loses at most that one in-flight
+/// sample's telemetry (best-effort, the model state itself is exact).
+struct ShardTelemetry {
+    window: AccuracyWindow,
+    sentinel: DriftSentinel,
 }
 
 struct Shared {
@@ -371,7 +387,7 @@ impl Shared {
         stripe.push_entity(id, &fresh.factors, fresh.tracker)
     }
 
-    fn apply(&self, w: usize, job: &Job) {
+    fn apply(&self, w: usize, job: &Job, telemetry: &mut ShardTelemetry) {
         let (u_stripe, s_stripe) = (
             job.user % self.users.len(),
             job.service % self.services.len(),
@@ -417,7 +433,7 @@ impl Shared {
                     }
                     let (user_factors, user_tracker) = users.entity_mut(ui);
                     let (service_factors, service_tracker) = services.entity_mut(si);
-                    apply_observation(
+                    let outcome = apply_observation(
                         &self.config,
                         &self.transform,
                         user_factors,
@@ -436,6 +452,28 @@ impl Shared {
                     if self.record_history {
                         users.histories[ui].push(job.index);
                         services.histories[si].push(job.index);
+                    }
+                    // Post-commit: the job is now definitively applied, so
+                    // it is safe to count it exactly once (replay skips exit
+                    // above, before this point).
+                    let e_u = users.trackers[ui].error();
+                    let e_s = services.trackers[si].error();
+                    drop(services);
+                    drop(users);
+                    telemetry
+                        .window
+                        .push(outcome.r, outcome.g, outcome.sample_error);
+                    let verdict = telemetry.sentinel.observe(e_u, e_s);
+                    if verdict.any() {
+                        let metrics = crate::obs::model_metrics();
+                        if verdict.user_alarm {
+                            metrics.drift_alarms_user.inc();
+                        }
+                        if verdict.service_alarm {
+                            metrics.drift_alarms_service.inc();
+                        }
+                        metrics.drift_healthy.set(0.0);
+                        qos_obs::global().trace().event("drift_alarm", "");
                     }
                     if self.backup_enabled {
                         lock(&self.cells[w].inflight).armed = false;
@@ -462,10 +500,18 @@ impl Shared {
         let caught = catch_unwind(AssertUnwindSafe(|| {
             while let Ok(chunk) = jobs.recv() {
                 let started = std::time::Instant::now();
+                // One telemetry lock per chunk, not per sample: only worker
+                // `w` ever locks cell `w` on this path, but even an
+                // uncontended lock/unlock pair is measurable at per-sample
+                // frequency. Held across apply's stripe locks — safe, since
+                // no other thread takes this cell's lock while the worker is
+                // mid-chunk (the dispatcher merges only after a drain).
+                let mut telemetry = lock(&self.cells[w].telemetry);
                 for job in &chunk {
-                    self.apply(w, job);
+                    self.apply(w, job, &mut telemetry);
                     self.cells[w].applied.store(job.seq + 1, Ordering::Release);
                 }
+                drop(telemetry);
                 apply_ns.record_duration(started.elapsed());
                 self.drained.notify_all();
             }
@@ -598,6 +644,19 @@ pub struct ShardedEngine {
     lost: u64,
     /// Update count carried over from a pre-trained source model.
     base_updates: u64,
+    /// Accuracy window carried over from the source model; per-worker
+    /// windows fold into a clone of this at snapshot time, keeping windowed
+    /// MRE/NMAE continuous across sequential → sharded transitions.
+    base_accuracy: AccuracyWindow,
+    /// Drift sentinel carried over from the source model (alarm counts
+    /// accumulate across engine generations; detector state restarts per
+    /// worker stream).
+    base_sentinel: DriftSentinel,
+    /// Per-shard outbox backlog gauges, registered once at construction so
+    /// the pump never touches the registry lock.
+    backlog_gauges: Vec<Arc<qos_obs::Gauge>>,
+    /// Lifetime high-watermark of the summed outbox depth.
+    outbox_hwm: usize,
     options: EngineOptions,
 }
 
@@ -646,8 +705,9 @@ impl ShardedEngine {
         let transform = *model.transform();
         let base_updates = model.update_count();
         let dim = config.dimension;
-        let (users, services) = model.into_slabs();
+        let (users, services, base_accuracy, base_sentinel) = model.into_parts();
         let (num_users, num_services) = (users.len(), services.len());
+        let sentinel_config = *base_sentinel.config();
 
         let mut user_stripes: Vec<Stripe> = (0..k).map(|_| Stripe::new(dim)).collect();
         let mut service_stripes: Vec<Stripe> = (0..k).map(|_| Stripe::new(dim)).collect();
@@ -670,6 +730,10 @@ impl ShardedEngine {
                     alive: AtomicBool::new(true),
                     applied: AtomicU64::new(0),
                     inflight: Mutex::new(InflightScratch::new(dim)),
+                    telemetry: Mutex::new(ShardTelemetry {
+                        window: AccuracyWindow::default(),
+                        sentinel: DriftSentinel::new(sentinel_config),
+                    }),
                 })
                 .collect(),
             faults: Mutex::new(Vec::new()),
@@ -698,6 +762,14 @@ impl ShardedEngine {
             replayed: 0,
             lost: 0,
             base_updates,
+            base_accuracy,
+            base_sentinel,
+            backlog_gauges: (0..k)
+                .map(|w| {
+                    qos_obs::global().gauge_labeled("engine.shard_backlog", &format!("shard-{w}"))
+                })
+                .collect(),
+            outbox_hwm: 0,
             options,
         };
         for w in 0..k {
@@ -1000,13 +1072,31 @@ impl ShardedEngine {
         let users = self.collect_slab(EntityKind::User, self.num_users);
         let services = self.collect_slab(EntityKind::Service, self.num_services);
         let updates = self.base_updates + self.processed();
+        let (accuracy, sentinel) = self.merged_telemetry();
         AmfModel::restore_parts(
             self.shared.config,
             self.shared.transform,
             users,
             services,
             updates,
+            accuracy,
+            sentinel,
         )
+    }
+
+    /// Folds the per-worker accuracy windows and sentinel alarm counts into
+    /// clones of the carried-over base telemetry, in worker order 0..K —
+    /// deterministic given the stream's shard routing. Call after
+    /// [`ShardedEngine::drain`] for a complete view.
+    fn merged_telemetry(&self) -> (AccuracyWindow, DriftSentinel) {
+        let mut window = self.base_accuracy.clone();
+        let mut sentinel = self.base_sentinel.clone();
+        for cell in &self.shared.cells {
+            let telemetry = lock(&cell.telemetry);
+            window.absorb(&telemetry.window);
+            sentinel.merge_counts(&telemetry.sentinel);
+        }
+        (window, sentinel)
     }
 
     /// Drains, stops the workers, and returns the final model (entity state
@@ -1015,6 +1105,7 @@ impl ShardedEngine {
     pub fn into_model(mut self) -> AmfModel {
         self.drain();
         let updates = self.base_updates + self.processed();
+        let (accuracy, sentinel) = self.merged_telemetry();
         self.shutdown();
         let users = self.collect_slab(EntityKind::User, self.num_users);
         let services = self.collect_slab(EntityKind::Service, self.num_services);
@@ -1024,6 +1115,8 @@ impl ShardedEngine {
             users,
             services,
             updates,
+            accuracy,
+            sentinel,
         )
     }
 
@@ -1136,9 +1229,28 @@ impl ShardedEngine {
     /// releases (via apply, replay, or cancellation).
     fn pump(&mut self) {
         self.cancel_pass();
-        crate::obs::engine_metrics()
-            .outbox_depth
-            .set(self.outbox.iter().map(VecDeque::len).sum::<usize>() as f64);
+        let metrics = crate::obs::engine_metrics();
+        let depth = self.outbox.iter().map(VecDeque::len).sum::<usize>();
+        metrics.outbox_depth.set(depth as f64);
+        if depth > self.outbox_hwm {
+            self.outbox_hwm = depth;
+            metrics.outbox_depth_hwm.set(depth as f64);
+        }
+        // Per-shard backlog plus the load-imbalance ratio (max applied /
+        // mean applied): pre-registered gauge handles and relaxed atomic
+        // loads only — the pump runs in every dispatcher wait loop.
+        let mut max_applied = 0u64;
+        let mut sum_applied = 0u64;
+        for w in 0..self.options.shards {
+            self.backlog_gauges[w].set(self.outbox[w].len() as f64);
+            let applied = self.shared.cells[w].applied.load(Ordering::Acquire);
+            max_applied = max_applied.max(applied);
+            sum_applied += applied;
+        }
+        if sum_applied > 0 {
+            let mean = sum_applied as f64 / self.options.shards as f64;
+            metrics.shard_imbalance.set(max_applied as f64 / mean);
+        }
         for w in 0..self.options.shards {
             if self.abandoned[w] {
                 continue;

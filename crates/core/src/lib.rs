@@ -55,6 +55,7 @@ pub mod model;
 pub(crate) mod obs;
 pub mod online;
 pub mod persistence;
+pub mod stream;
 pub mod trainer;
 pub mod weights;
 
@@ -65,6 +66,10 @@ pub use expiry::ObservationStore;
 pub use fault::{FaultPlan, KillPhase};
 pub use guard::{GuardConfig, GuardStats, QuarantinedSample, RejectReason, SampleGuard};
 pub use model::AmfModel;
+pub use stream::{
+    AccuracyWindow, DriftConfig, DriftSentinel, DriftVerdict, PageHinkley, WindowedAccuracy,
+    ACCURACY_WINDOW,
+};
 pub use trainer::{AmfTrainer, TrainReport};
 pub use weights::ErrorTracker;
 

@@ -3,6 +3,7 @@
 
 use crate::config::AmfConfig;
 use crate::online::{sgd_step, UpdateOutcome};
+use crate::stream::{AccuracyWindow, DriftSentinel, WindowedAccuracy};
 use crate::weights::ErrorTracker;
 use crate::AmfError;
 use qos_linalg::random::normal_vec;
@@ -185,6 +186,10 @@ pub struct AmfModel {
     users: FactorSlab,
     services: FactorSlab,
     updates: u64,
+    /// Sliding window over recent per-sample errors (windowed MRE/NMAE).
+    accuracy: AccuracyWindow,
+    /// Page–Hinkley drift detector over the EMA error trackers.
+    sentinel: DriftSentinel,
 }
 
 impl AmfModel {
@@ -202,6 +207,8 @@ impl AmfModel {
             users: FactorSlab::new(config.dimension),
             services: FactorSlab::new(config.dimension),
             updates: 0,
+            accuracy: AccuracyWindow::default(),
+            sentinel: DriftSentinel::default(),
             config,
         })
     }
@@ -298,6 +305,29 @@ impl AmfModel {
             raw,
         );
         self.updates += 1;
+        // Streaming telemetry: three ring stores plus a strided sentinel
+        // tick, all into pre-allocated state — the zero-alloc observe
+        // guarantee (tests/alloc_free_hot_path.rs) covers this code.
+        self.accuracy
+            .push(outcome.r, outcome.g, outcome.sample_error);
+        let verdict = self.sentinel.observe(
+            self.users.tracker(user).error(),
+            self.services.tracker(service).error(),
+        );
+        if verdict.any() {
+            let metrics = crate::obs::model_metrics();
+            if verdict.user_alarm {
+                metrics.drift_alarms_user.inc();
+            }
+            if verdict.service_alarm {
+                metrics.drift_alarms_service.inc();
+            }
+            metrics.drift_healthy.set(0.0);
+            qos_obs::global().trace().event("drift_alarm", "");
+        }
+        if self.updates & crate::obs::ACCURACY_GAUGE_MASK == 0 {
+            self.publish_accuracy_gauges();
+        }
         if let Some(started) = started {
             let metrics = crate::obs::model_metrics();
             metrics.observe_ns.record_duration(started.elapsed());
@@ -383,6 +413,41 @@ impl AmfModel {
         Some(crate::weights::sample_relative_error(r, g))
     }
 
+    /// Point-in-time windowed accuracy: MRE and NMAE over the sliding
+    /// window of recent samples (the live analogue of the paper's Fig. 7
+    /// accuracy-over-time curves).
+    pub fn windowed_accuracy(&self) -> WindowedAccuracy {
+        WindowedAccuracy {
+            mre: self.accuracy.mre(),
+            nmae: self.accuracy.nmae(),
+            window_len: self.accuracy.len(),
+            samples: self.accuracy.total(),
+        }
+    }
+
+    /// The model's drift sentinel (alarm counts, health).
+    pub fn drift_sentinel(&self) -> &DriftSentinel {
+        &self.sentinel
+    }
+
+    /// Refreshes the windowed-accuracy and drift-health gauges on the
+    /// global registry from current state. Runs automatically every
+    /// `ACCURACY_GAUGE_MASK + 1` updates; serving-layer snapshot paths call
+    /// it directly so scrapes never read stale gauges. Allocation-free
+    /// (median select over the pre-allocated scratch).
+    pub fn publish_accuracy_gauges(&mut self) {
+        let metrics = crate::obs::model_metrics();
+        if let Some(mre) = self.accuracy.mre_refresh() {
+            metrics.mre_w.set(mre);
+        }
+        if let Some(nmae) = self.accuracy.nmae() {
+            metrics.nmae_w.set(nmae);
+        }
+        metrics
+            .drift_healthy
+            .set(if self.sentinel.healthy() { 1.0 } else { 0.0 });
+    }
+
     /// EMA error of a user, or `None` when unregistered.
     pub fn user_error(&self, user: usize) -> Option<f64> {
         (user < self.users.len()).then(|| self.users.tracker(user).error())
@@ -426,6 +491,8 @@ impl AmfModel {
         users: FactorSlab,
         services: FactorSlab,
         updates: u64,
+        accuracy: AccuracyWindow,
+        sentinel: DriftSentinel,
     ) -> Self {
         Self {
             config,
@@ -433,11 +500,17 @@ impl AmfModel {
             users,
             services,
             updates,
+            accuracy,
+            sentinel,
         }
     }
 
-    pub(crate) fn into_slabs(self) -> (FactorSlab, FactorSlab) {
-        (self.users, self.services)
+    /// Disassembles the model for the engine's sharded execution: factor
+    /// slabs plus the streaming-telemetry state, which the engine carries as
+    /// its merge base so windowed accuracy stays continuous across
+    /// sequential → sharded → sequential transitions.
+    pub(crate) fn into_parts(self) -> (FactorSlab, FactorSlab, AccuracyWindow, DriftSentinel) {
+        (self.users, self.services, self.accuracy, self.sentinel)
     }
 }
 

@@ -19,6 +19,13 @@ use crate::guard::RejectReason;
 /// samples) so the one-time registration allocation lands in warm-up.
 pub(crate) const OBSERVE_SAMPLE_MASK: u64 = 0xFF;
 
+/// Windowed-accuracy gauges refresh when `updates & MASK == 0`: every
+/// 4096th sample. The refresh runs a median select over the 512-sample
+/// window (~1.5 µs), so it must be rarer than the timing sample above to
+/// stay inside the hot path's 5% overhead budget; serving-layer snapshots
+/// refresh the gauges directly so scrapes never see stale values.
+pub(crate) const ACCURACY_GAUGE_MASK: u64 = 0xFFF;
+
 /// Model-side metrics (sequential `observe` path).
 pub(crate) struct ModelMetrics {
     /// Latency of one sampled `observe` call, ns.
@@ -29,6 +36,18 @@ pub(crate) struct ModelMetrics {
     pub e_u: Arc<Gauge>,
     /// EMA error tracker of the last sampled service (`e_s`, Eq. 13).
     pub e_s: Arc<Gauge>,
+    /// Windowed median relative error over the model's accuracy window
+    /// (refreshed every [`ACCURACY_GAUGE_MASK`]+1 updates and at snapshot).
+    pub mre_w: Arc<Gauge>,
+    /// Windowed NMAE over the same window, same refresh cadence.
+    pub nmae_w: Arc<Gauge>,
+    /// 1.0 while the drift sentinel considers the error distribution
+    /// stable, 0.0 after a recent alarm.
+    pub drift_healthy: Arc<Gauge>,
+    /// User-side Page–Hinkley alarms.
+    pub drift_alarms_user: Arc<Counter>,
+    /// Service-side Page–Hinkley alarms.
+    pub drift_alarms_service: Arc<Counter>,
 }
 
 pub(crate) fn model_metrics() -> &'static ModelMetrics {
@@ -40,6 +59,11 @@ pub(crate) fn model_metrics() -> &'static ModelMetrics {
             observes_sampled: reg.counter("model.observes_sampled"),
             e_u: reg.gauge("model.e_u"),
             e_s: reg.gauge("model.e_s"),
+            mre_w: reg.gauge("model.mre_w"),
+            nmae_w: reg.gauge("model.nmae_w"),
+            drift_healthy: reg.gauge("model.drift_healthy"),
+            drift_alarms_user: reg.counter_labeled("model.drift_alarms", "user"),
+            drift_alarms_service: reg.counter_labeled("model.drift_alarms", "service"),
         }
     })
 }
@@ -97,6 +121,11 @@ pub(crate) struct EngineMetrics {
     /// Chunks parked dispatcher-side waiting for worker queues (set each
     /// pump — a live queue-depth signal).
     pub outbox_depth: Arc<Gauge>,
+    /// High-watermark of `outbox_depth` over the engine's lifetime.
+    pub outbox_depth_hwm: Arc<Gauge>,
+    /// Load imbalance across shards: max per-shard applied jobs divided by
+    /// the mean (1.0 = perfectly balanced; refreshed each pump).
+    pub shard_imbalance: Arc<Gauge>,
 }
 
 pub(crate) fn engine_metrics() -> &'static EngineMetrics {
@@ -114,6 +143,8 @@ pub(crate) fn engine_metrics() -> &'static EngineMetrics {
             samples_lost: reg.counter("engine.samples_lost"),
             workers_abandoned: reg.counter("engine.workers_abandoned"),
             outbox_depth: reg.gauge("engine.outbox_depth"),
+            outbox_depth_hwm: reg.gauge("engine.outbox_depth_hwm"),
+            shard_imbalance: reg.gauge("engine.shard_imbalance"),
         }
     })
 }

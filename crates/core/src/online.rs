@@ -44,6 +44,8 @@ pub const STEP_CLIP: f64 = 0.05;
 /// Inputs/outputs of one online update, exposed for inspection and tests.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UpdateOutcome {
+    /// Normalized actual `r` the step was fed (after the Box–Cox transform).
+    pub r: f64,
     /// Model output `g(U_i^T S_j)` *before* the update.
     pub g: f64,
     /// Per-sample relative error `|r − g| / r` before the update (Eq. 15).
@@ -153,6 +155,7 @@ fn sgd_step_dyn(
     }
 
     UpdateOutcome {
+        r,
         g,
         sample_error,
         w_user,
@@ -208,6 +211,7 @@ pub(crate) mod reference {
         }
 
         UpdateOutcome {
+            r,
             g,
             sample_error,
             w_user,

@@ -135,14 +135,16 @@ impl Json {
     }
 
     /// Parses a JSON document. Strict: rejects trailing garbage, bad
-    /// escapes, and malformed numbers.
+    /// escapes, malformed numbers, and nesting deeper than
+    /// [`MAX_PARSE_DEPTH`] levels (a depth *error*, never a stack overflow —
+    /// the parser is recursive-descent, so hostile input must be bounded).
     pub fn parse(input: &str) -> Result<Json, ParseError> {
         let mut parser = Parser {
             bytes: input.as_bytes(),
             pos: 0,
         };
         parser.skip_ws();
-        let value = parser.value()?;
+        let value = parser.value(0)?;
         parser.skip_ws();
         if parser.pos != parser.bytes.len() {
             return Err(parser.err("trailing characters after value"));
@@ -217,6 +219,11 @@ fn write_seq(
     out.push(close);
 }
 
+/// Maximum container nesting the parser accepts. Every `amf-obs` document is
+/// at most ~5 levels deep; 64 leaves generous headroom while keeping the
+/// recursive-descent parser's stack use bounded on adversarial input.
+pub const MAX_PARSE_DEPTH: usize = 64;
+
 /// Parse failure: byte offset plus a static description.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -275,20 +282,23 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, ParseError> {
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("nesting deeper than MAX_PARSE_DEPTH"));
+        }
         match self.peek() {
             Some(b'n') => self.literal("null", Json::Null),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(self.err("expected a JSON value")),
         }
     }
 
-    fn array(&mut self) -> Result<Json, ParseError> {
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
         self.expect(b'[', "expected '['")?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -298,7 +308,7 @@ impl<'a> Parser<'a> {
         }
         loop {
             self.skip_ws();
-            items.push(self.value()?);
+            items.push(self.value(depth + 1)?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
@@ -311,7 +321,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn object(&mut self) -> Result<Json, ParseError> {
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
         self.expect(b'{', "expected '{'")?;
         let mut map = BTreeMap::new();
         self.skip_ws();
@@ -325,7 +335,7 @@ impl<'a> Parser<'a> {
             self.skip_ws();
             self.expect(b':', "expected ':' after object key")?;
             self.skip_ws();
-            let value = self.value()?;
+            let value = self.value(depth + 1)?;
             map.insert(key, value);
             self.skip_ws();
             match self.peek() {
@@ -507,5 +517,27 @@ mod tests {
     fn non_finite_floats_serialize_as_null() {
         assert_eq!(Json::Num(f64::NAN).to_string_compact(), "null");
         assert_eq!(Json::Num(f64::INFINITY).to_string_compact(), "null");
+    }
+
+    #[test]
+    fn nesting_at_the_depth_limit_parses() {
+        let deep = format!(
+            "{}1{}",
+            "[".repeat(MAX_PARSE_DEPTH),
+            "]".repeat(MAX_PARSE_DEPTH)
+        );
+        assert!(Json::parse(&deep).is_ok());
+    }
+
+    #[test]
+    fn pathological_nesting_is_rejected_not_overflowed() {
+        // 10k-deep input: without the depth guard this would recurse 10k
+        // frames and risk a stack overflow; with it, parsing must return a
+        // depth error almost immediately.
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let deep = format!("{}1{}", open.repeat(10_000), close.repeat(10_000));
+            let err = Json::parse(&deep).expect_err("depth must be rejected");
+            assert_eq!(err.message, "nesting deeper than MAX_PARSE_DEPTH");
+        }
     }
 }

@@ -19,6 +19,11 @@
 //! - [`Json`] + [`MetricsRegistry::snapshot_json`] — a versioned
 //!   (`amf-obs/v1`) snapshot with a writer *and* a strict parser, so the
 //!   serialize → parse → equal round trip is testable offline.
+//! - [`prom`] — Prometheus text-exposition (0.0.4) rendering of snapshots,
+//!   for a `GET /metrics` scrape endpoint.
+//! - [`SnapshotRecorder`] — a background interval scraper appending
+//!   `amf-obs-ts/v1` JSONL telemetry lines to a size-rotated log plus a
+//!   bounded in-memory ring.
 //!
 //! Deliberately dependency-free (std only).
 
@@ -28,10 +33,14 @@
 
 pub mod json;
 pub mod metrics;
+pub mod prom;
+pub mod recorder;
 pub mod registry;
 pub mod trace;
 
-pub use json::{Json, ParseError};
+pub use json::{Json, ParseError, MAX_PARSE_DEPTH};
 pub use metrics::{bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, BUCKETS};
+pub use prom::{is_valid_metric_name, parse_exposition, render_prometheus, CONTENT_TYPE};
+pub use recorder::{RecorderConfig, SnapshotRecorder, TS_SCHEMA};
 pub use registry::{global, MetricsRegistry, DEFAULT_TRACE_CAPACITY, SCHEMA};
 pub use trace::{Span, TraceEvent, TraceRing};

@@ -1,11 +1,33 @@
-//! Property tests for the metrics layer (ISSUE 4 satellite): histogram
-//! bucket monotonicity, counter saturation instead of overflow, and
-//! snapshot JSON round-trip (serialize → parse → equal).
+//! Property tests for the metrics layer: histogram bucket monotonicity,
+//! counter saturation instead of overflow, snapshot JSON round-trip
+//! (serialize → parse → equal), and Prometheus exposition round-trip
+//! (render → parse, names valid, values identical).
 
 use proptest::prelude::*;
 use qos_obs::{
-    bucket_index, bucket_upper_bound, Counter, Histogram, Json, MetricsRegistry, BUCKETS,
+    bucket_index, bucket_upper_bound, is_valid_metric_name, parse_exposition, render_prometheus,
+    Counter, Histogram, Json, MetricsRegistry, BUCKETS,
 };
+use std::collections::BTreeMap;
+
+/// Characters for arbitrary snapshot keys: ordinary name characters plus
+/// everything the sanitizer must neutralize (dots, dashes, spaces, slashes,
+/// quotes, backslashes, non-ASCII, a leading-digit risk).
+const KEY_CHARS: &[char] = &[
+    'a', 'q', 'Z', '0', '9', '_', '.', '-', ' ', '/', ':', '"', '\\', 'é', 'µ', '{', '}',
+];
+
+fn key_from(indices: &[usize], unique: usize) -> String {
+    let mut key: String = indices
+        .iter()
+        .map(|&i| KEY_CHARS[i % KEY_CHARS.len()])
+        .collect();
+    // A unique numeric suffix keeps the *snapshot* keys distinct so every
+    // entry renders exactly one sample (sanitizer collisions downstream are
+    // the renderer's job to disambiguate, and are covered by its unit tests).
+    key.push_str(&format!(".k{unique}"));
+    key
+}
 
 proptest! {
     /// Bucket assignment is monotone: a larger sample can never land in a
@@ -100,5 +122,53 @@ proptest! {
         let pretty = Json::parse(&snap.to_string_pretty());
         prop_assert!(pretty.is_ok());
         prop_assert_eq!(pretty.ok(), Some(snap));
+    }
+
+    /// Rendering an arbitrary snapshot to Prometheus text 0.0.4 and parsing
+    /// it back yields exactly one sample per counter/gauge entry, every
+    /// emitted name matches `[a-zA-Z_][a-zA-Z0-9_]*` (with the `amf_`
+    /// prefix), and every value survives bit-identically — counters because
+    /// they are capped below 2^53, gauges because the renderer emits the
+    /// shortest exact decimal form.
+    #[test]
+    fn prometheus_exposition_round_trips_values_and_names(
+        counters in proptest::collection::vec(
+            (proptest::collection::vec(0usize..64, 1..10), 0u64..(1u64 << 53)),
+            1..8,
+        ),
+        gauges in proptest::collection::vec(
+            (proptest::collection::vec(0usize..64, 1..10), -1.0e12f64..1.0e12),
+            0..8,
+        ),
+    ) {
+        let mut counter_map = BTreeMap::new();
+        for (i, (chars, v)) in counters.iter().enumerate() {
+            counter_map.insert(key_from(chars, i), Json::UInt(*v));
+        }
+        let mut gauge_map = BTreeMap::new();
+        for (i, (chars, v)) in gauges.iter().enumerate() {
+            gauge_map.insert(key_from(chars, i), Json::Num(*v));
+        }
+        let mut snapshot = BTreeMap::new();
+        snapshot.insert("counters".to_string(), Json::Obj(counter_map.clone()));
+        snapshot.insert("gauges".to_string(), Json::Obj(gauge_map.clone()));
+        let text = render_prometheus(&Json::Obj(snapshot));
+
+        let samples = parse_exposition(&text).expect("rendered exposition must parse");
+        prop_assert_eq!(samples.len(), counter_map.len() + gauge_map.len());
+        for (key, _) in &samples {
+            let name = &key[..key.find('{').unwrap_or(key.len())];
+            prop_assert!(is_valid_metric_name(name), "invalid name {:?}", name);
+            prop_assert!(name.starts_with("amf_"), "unprefixed name {:?}", name);
+        }
+        // Counters lead the document in snapshot (sorted-key) order, gauges
+        // follow; compare the full value sequence exactly.
+        let expected: Vec<f64> = counter_map
+            .values()
+            .map(|v| v.as_u64().unwrap_or(0) as f64)
+            .chain(gauge_map.values().map(|v| v.as_f64().unwrap_or(f64::NAN)))
+            .collect();
+        let got: Vec<f64> = samples.iter().map(|&(_, v)| v).collect();
+        prop_assert_eq!(got, expected);
     }
 }

@@ -33,6 +33,7 @@ pub mod monitor;
 pub mod policy;
 pub mod prediction_service;
 pub mod simulation;
+pub mod telemetry;
 pub mod workflow;
 
 pub use database::QosDatabase;
@@ -45,6 +46,7 @@ pub use prediction_service::{
     SourceCounts,
 };
 pub use simulation::{AdaptationSimulation, SimulationConfig, SimulationReport};
+pub use telemetry::{MetricsServer, HEALTH_SCHEMA};
 pub use workflow::{AbstractTask, Workflow};
 
 /// Error type for the service framework.

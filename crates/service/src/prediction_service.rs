@@ -758,7 +758,11 @@ impl QosPredictionService {
     /// view).
     pub fn stats_snapshot(&self) -> Json {
         // Service-level state that lives outside the registry is mirrored
-        // into it at snapshot time, so the JSON is self-contained.
+        // into it at snapshot time, so the JSON is self-contained. The
+        // model's windowed-accuracy gauges refresh on a sampled cadence in
+        // the hot path; republishing here means a scrape always reads
+        // current values.
+        self.trainer.lock().model_mut().publish_accuracy_gauges();
         self.metrics
             .counter("service.users")
             .set(self.users.lock().len() as u64);

@@ -9,21 +9,46 @@
 //! It lives in its own integration-test binary (own process) so the
 //! `#[global_allocator]` cannot interfere with any other suite, and runs all
 //! phases from a single `#[test]` so no concurrent test thread pollutes the
-//! counters. The counter is process-global and therefore *does* see worker
-//! threads — which is the point: engine-phase numbers include everything the
-//! shard workers do.
+//! counters. Two counters with different scopes:
+//!
+//! * The sequential phase uses a *thread-scoped* counter (a const-initialized
+//!   TLS flag gates it), because the property under test is "the measuring
+//!   thread performs zero allocations". A process-global counter is not
+//!   usable here: while the test thread runs, the libtest harness's main
+//!   thread blocks in `mpsc::Receiver::recv`, and std's mpmc channel lazily
+//!   allocates its per-thread parking `Context` the first time a thread
+//!   blocks — two allocations that land inside the measured window on some
+//!   runs and before it on others.
+//! * The engine phase uses a *process-global* counter on purpose: its
+//!   numbers must include everything the shard workers do.
 
 use amf_core::{AmfConfig, AmfModel, EngineOptions, ShardedEngine};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static THREAD_ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Set only on the measuring thread during the sequential phase. Const
+    /// initialization keeps the TLS access itself allocation-free, and
+    /// `try_with` keeps the allocator safe during thread teardown.
+    static COUNT_THIS_THREAD: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count(delta: u64) {
+    ALLOCATIONS.fetch_add(delta, Ordering::Relaxed);
+    if COUNT_THIS_THREAD.try_with(Cell::get).unwrap_or(false) {
+        THREAD_ALLOCATIONS.fetch_add(delta, Ordering::Relaxed);
+    }
+}
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count(1);
         unsafe { System.alloc(layout) }
     }
 
@@ -32,7 +57,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count(1);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -78,11 +103,13 @@ fn hot_paths_do_not_allocate_per_sample() {
         model.observe(u, s, r);
     }
 
-    let before = allocations();
+    COUNT_THIS_THREAD.with(|flag| flag.set(true));
+    let before = THREAD_ALLOCATIONS.load(Ordering::Relaxed);
     for &(u, s, r) in &data {
         model.observe(u, s, r);
     }
-    let sequential_allocs = allocations() - before;
+    let sequential_allocs = THREAD_ALLOCATIONS.load(Ordering::Relaxed) - before;
+    COUNT_THIS_THREAD.with(|flag| flag.set(false));
     assert_eq!(
         sequential_allocs, 0,
         "sequential observe allocated {sequential_allocs} times over {SAMPLES} samples; \

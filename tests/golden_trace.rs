@@ -125,6 +125,27 @@ fn render_trace() -> String {
         let e = model.service_error(service).expect("service is known");
         let _ = writeln!(out, "e_s {service} {e:.17e}");
     }
+    // Streaming-accuracy telemetry is part of the pinned surface: the
+    // windowed MRE/NMAE over the last ACCURACY_WINDOW admitted samples
+    // (merged deterministically from the per-shard windows), and the drift
+    // sentinel's alarm counts — which must stay at zero on this stationary
+    // stream (a nonzero count here is a false alarm by construction).
+    let accuracy = model.windowed_accuracy();
+    let _ = writeln!(
+        out,
+        "mre {:.17e}",
+        accuracy.mre.expect("window is non-empty")
+    );
+    let _ = writeln!(
+        out,
+        "nmae {:.17e}",
+        accuracy.nmae.expect("window is non-empty")
+    );
+    let (alarms_user, alarms_service) = model.drift_sentinel().alarms();
+    let _ = writeln!(
+        out,
+        "drift alarms user={alarms_user} service={alarms_service}"
+    );
     out
 }
 
@@ -135,7 +156,10 @@ fn parse(doc: &str) -> Vec<(String, Option<f64>)> {
         .map(|line| {
             let mut parts = line.rsplitn(2, ' ');
             let last = parts.next().unwrap_or("");
-            if matches!(line.split(' ').next(), Some("predict" | "e_u" | "e_s")) {
+            if matches!(
+                line.split(' ').next(),
+                Some("predict" | "e_u" | "e_s" | "mre" | "nmae")
+            ) {
                 let label = parts.next().unwrap_or("").to_string();
                 (label, last.parse::<f64>().ok())
             } else {
