@@ -1,5 +1,6 @@
 //! Online-update ingestion throughput: sequential [`amf_core::AmfModel`]
-//! versus the sharded concurrent engine at K ∈ {1, 2, 4, 8} shards.
+//! versus the sharded concurrent engine at K ∈ {1, 2, 4, 8} shards, in both
+//! parity (bitwise-exact) and relaxed (lock-free fast lane) consistency.
 //!
 //! Reports samples/sec per configuration (printed directly, since that is
 //! the quantity the scalability claim is about) and times one full
@@ -8,10 +9,11 @@
 //! The speedup is bounded by the physical core count: on a single-core host
 //! every K degenerates to sequential throughput minus coordination overhead;
 //! K=4 reaching ≥2× the K=1 rate requires ≥4 cores. The parity tests
-//! (`tests/engine_parity.rs`) guarantee the *results* are identical at every
-//! K, so this bench is purely about wall-clock.
+//! (`tests/engine_parity.rs`) guarantee parity-mode *results* are identical
+//! at every K, and `tests/relaxed_parity.rs` bounds the relaxed lane's
+//! accuracy gap, so this bench is purely about wall-clock.
 
-use amf_core::{AmfConfig, AmfModel, EngineOptions, ShardedEngine};
+use amf_core::{AmfConfig, AmfModel, Consistency, EngineOptions, ShardedEngine};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qos_dataset::{DatasetConfig, QosDataset};
 use std::hint::black_box;
@@ -37,11 +39,19 @@ fn workload() -> Vec<(usize, usize, f64)> {
 }
 
 fn run_sharded(samples: &[(usize, usize, f64)], shards: usize) -> AmfModel {
-    let mut engine = ShardedEngine::new(
-        AmfConfig::response_time(),
-        EngineOptions::with_shards(shards),
+    run_with(samples, EngineOptions::with_shards(shards))
+}
+
+fn run_relaxed(samples: &[(usize, usize, f64)], shards: usize) -> AmfModel {
+    run_with(
+        samples,
+        EngineOptions::with_consistency(shards, Consistency::Relaxed),
     )
-    .expect("valid engine options");
+}
+
+fn run_with(samples: &[(usize, usize, f64)], options: EngineOptions) -> AmfModel {
+    let mut engine =
+        ShardedEngine::new(AmfConfig::response_time(), options).expect("valid engine options");
     engine.feed_batch(samples.iter().copied());
     engine.into_model()
 }
@@ -82,6 +92,13 @@ fn bench_throughput(c: &mut Criterion) {
             r / base
         );
     }
+    for shards in [1usize, 2, 4, 8] {
+        let r = rate(&|| run_relaxed(&samples, shards));
+        println!(
+            "  relaxed K={shards:<2}    : {r:>12.0} samples/sec ({:.2}x)",
+            r / base
+        );
+    }
 
     let mut group = c.benchmark_group("throughput_sharded");
     group.sample_size(10);
@@ -91,6 +108,11 @@ fn bench_throughput(c: &mut Criterion) {
             BenchmarkId::new("sharded", shards),
             &shards,
             |b, &shards| b.iter(|| run_sharded(&samples, shards)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("relaxed", shards),
+            &shards,
+            |b, &shards| b.iter(|| run_relaxed(&samples, shards)),
         );
     }
     group.finish();

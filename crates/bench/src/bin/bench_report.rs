@@ -7,7 +7,8 @@
 //!
 //! 1. **Feed throughput** — online updates per second, sequential
 //!    (`AmfModel::observe`) and through the [`ShardedEngine`] at
-//!    K ∈ {1, 4, 8};
+//!    K ∈ {1, 4, 8} in both parity (bitwise-exact) and relaxed (lock-free
+//!    fast lane) consistency modes;
 //! 2. **Single-pair predict latency** — `AmfModel::predict` over a scan of
 //!    all pairs;
 //! 3. **Candidate ranking** — the adaptation framework's per-task query:
@@ -15,7 +16,7 @@
 //!    (`AmfModel::rank_candidates` vs. the naive per-pair `predict` scan).
 //!
 //! Output is a JSON document (default `BENCH_CORE.json` in the working
-//! directory) with a stable schema (`amf-bench-core/v1`) so CI can check it
+//! directory) with a stable schema (`amf-bench-core/v2`) so CI can check it
 //! with `jq` without gating on absolute numbers. The document embeds the
 //! run's own `amf-obs/v1` observability snapshot under `"obs"` — the timed
 //! sections exercise the real instrumented paths, so the snapshot carries a
@@ -31,7 +32,7 @@
 //! previously captured report under `"before"` so a single file carries the
 //! before/after trajectory of a change.
 
-use amf_core::{AmfConfig, AmfModel, EngineOptions, ShardedEngine};
+use amf_core::{AmfConfig, AmfModel, Consistency, EngineOptions, ShardedEngine};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
@@ -148,6 +149,32 @@ fn feed_sharded(w: &Workload, out: &mut String) {
         ));
     }
     let _ = writeln!(out, "    \"feed_sharded\": [{}],", entries.join(", "));
+}
+
+fn feed_relaxed(w: &Workload, out: &mut String) {
+    let stream = qos_stream(w.sharded_samples, w.users, w.services);
+    let mut entries = Vec::new();
+    for shards in [1usize, 4, 8] {
+        let mut engine = ShardedEngine::from_model(
+            warmed_model(w),
+            EngineOptions::with_consistency(shards, Consistency::Relaxed),
+        )
+        .expect("valid options");
+        let start = Instant::now();
+        engine.feed_batch(stream.iter().copied());
+        engine.drain();
+        let secs = start.elapsed().as_secs_f64();
+        let rate = w.sharded_samples as f64 / secs;
+        println!(
+            "feed_relaxed (K={shards})     {:>9} samples  {:>8.3} s  {:>12.0} samples/s",
+            w.sharded_samples, secs, rate
+        );
+        entries.push(format!(
+            "{{\"shards\": {shards}, \"samples\": {}, \"secs\": {:.6}, \"samples_per_sec\": {:.1}}}",
+            w.sharded_samples, secs, rate
+        ));
+    }
+    let _ = writeln!(out, "    \"feed_relaxed\": [{}],", entries.join(", "));
 }
 
 fn predict_and_rank(w: &Workload, out: &mut String) {
@@ -267,11 +294,12 @@ fn main() {
     let mut results = String::new();
     feed_sequential(&w, &mut results);
     feed_sharded(&w, &mut results);
+    feed_relaxed(&w, &mut results);
     predict_and_rank(&w, &mut results);
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"schema\": \"amf-bench-core/v1\",");
+    let _ = writeln!(json, "  \"schema\": \"amf-bench-core/v2\",");
     if !label.is_empty() {
         let _ = writeln!(json, "  \"label\": \"{label}\",");
     }

@@ -11,10 +11,13 @@ use std::sync::Arc;
 /// Usage text for the subcommand.
 pub const USAGE: &str = "amf-qos train --data TRIPLETS --out MODEL [--attr rt|tp] \
 [--alpha A] [--lambda L] [--beta B] [--eta E] [--dim D] [--seed S] [--max-replays N] \
-[--shards K] [--guard] [--fault-plan SPEC]";
+[--shards K] [--consistency parity|relaxed] [--guard] [--fault-plan SPEC]";
 
 /// Runs the subcommand.
 ///
+/// `--consistency relaxed` routes ingestion through the lock-free relaxed
+/// engine lane (statistically equivalent, not bitwise; see DESIGN.md §13) —
+/// useful with `--shards >= 2` where the parity engine pays an ordering tax.
 /// `--guard` screens the stream through a [`SampleGuard`] (quarantining
 /// NaN/∞, non-positive, and out-of-range values) and reports the quarantine
 /// diagnostics. `--fault-plan` parses a deterministic fault script
@@ -36,6 +39,12 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     if shards == 0 {
         return Err(CliError("--shards must be >= 1".into()));
     }
+    let consistency: amf_core::Consistency = match args.get("consistency") {
+        Some(text) => text
+            .parse()
+            .map_err(|e: String| CliError(format!("--consistency: {e}")))?,
+        None => amf_core::Consistency::Parity,
+    };
     let fault_plan = match args.get("fault-plan") {
         Some(spec) => Some(Arc::new(
             FaultPlan::parse(spec).map_err(|e| CliError(format!("--fault-plan: {e}")))?,
@@ -74,14 +83,17 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     }
 
     let mut trainer = AmfTrainer::new(config)?;
-    if shards > 1 {
-        // Concurrent ingestion: identical results (the engine preserves
-        // per-entity stream order), scaled across `shards` worker threads.
-        // A fault plan's kill/stall script rides along to exercise crash
-        // containment: workers respawn and replay their journal.
+    if shards > 1 || consistency == amf_core::Consistency::Relaxed {
+        // Concurrent ingestion. In parity mode results are identical to the
+        // sequential feed (the engine preserves per-entity stream order); in
+        // relaxed mode the lock-free lane trades bitwise equality for
+        // throughput with a statistically-bounded accuracy gap. A fault
+        // plan's kill/stall script rides along to exercise crash
+        // containment: parity workers respawn and replay their journal,
+        // relaxed workers resume at-least-once from progress watermarks.
         let (_, faults) = trainer.feed_batch_sharded_with(
             stream.iter().copied(),
-            amf_core::EngineOptions::with_shards(shards),
+            amf_core::EngineOptions::with_consistency(shards, consistency),
             fault_plan.clone(),
         )?;
         if faults != amf_core::FaultStats::default() {
@@ -205,6 +217,50 @@ mod tests {
         for p in [data, seq_model, shard_model] {
             std::fs::remove_file(p).unwrap();
         }
+    }
+
+    #[test]
+    fn relaxed_consistency_trains_and_saves() {
+        let data = temp_path("data8.txt");
+        let model = temp_path("model8.amf");
+        write_samples(&data, 80);
+        let summary = run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &model,
+            "--max-replays",
+            "500",
+            "--shards",
+            "4",
+            "--consistency",
+            "relaxed",
+        ]))
+        .unwrap();
+        assert!(summary.contains("trained on 80 samples"), "{summary}");
+        let restored = persistence::load_file(&model).unwrap();
+        assert_eq!(restored.num_users(), 5);
+        assert_eq!(restored.num_services(), 8);
+        assert_eq!(restored.update_count() > 0, true);
+        std::fs::remove_file(data).unwrap();
+        std::fs::remove_file(model).unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_consistency() {
+        let data = temp_path("data9.txt");
+        write_samples(&data, 10);
+        let err = run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &temp_path("never4.amf"),
+            "--consistency",
+            "eventual",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("consistency"), "{}", err.0);
+        std::fs::remove_file(data).unwrap();
     }
 
     #[test]

@@ -99,6 +99,51 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// The engine's consistency contract: what the parallel result is promised
+/// to equal (see DESIGN.md §13 for the full spectrum and the test harness
+/// that enforces each point on it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Consistency {
+    /// Bitwise sequential equivalence: tickets pin per-entity stream order,
+    /// a journal replays crashed workers, and the drained model is
+    /// bit-for-bit equal to feeding the stream to [`AmfModel`] one sample at
+    /// a time. The conformance oracle — and the default.
+    #[default]
+    Parity,
+    /// Hogwild-style statistically-bounded equivalence: workers claim
+    /// entities with atomic epoch flags and apply samples in whatever order
+    /// they arrive, so per-entity *ordering* (not per-entity atomicity) is
+    /// relaxed. Every accepted sample is still applied — the update count is
+    /// exact — but windowed accuracy is only guaranteed within the ε bound
+    /// that `tests/relaxed_parity.rs` enforces against the parity engine.
+    /// Crash recovery re-applies the in-flight sample (at-least-once)
+    /// instead of journal replay.
+    Relaxed,
+}
+
+impl std::str::FromStr for Consistency {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "parity" => Ok(Self::Parity),
+            "relaxed" => Ok(Self::Relaxed),
+            other => Err(format!(
+                "unknown consistency '{other}' (expected 'parity' or 'relaxed')"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Consistency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Parity => "parity",
+            Self::Relaxed => "relaxed",
+        })
+    }
+}
+
 /// Tuning knobs for [`ShardedEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOptions {
@@ -111,6 +156,8 @@ pub struct EngineOptions {
     /// Record, per entity, the global stream indices of the samples applied
     /// to it — the evidence the parity tests compare against stream order.
     /// Costs one `Vec` push per entity per sample; off by default.
+    /// Unsupported in [`Consistency::Relaxed`] mode (there is no global
+    /// application order to record).
     pub record_history: bool,
     /// Snapshot the two touched entities before every SGD step so a crash
     /// *mid-update* can be rolled back exactly. Costs two small state clones
@@ -119,6 +166,12 @@ pub struct EngineOptions {
     /// Respawn budget per worker before the shard is abandoned and its
     /// unapplied samples are counted as lost instead of retried forever.
     pub max_respawns: u32,
+    /// Which equivalence contract the engine runs under; see [`Consistency`].
+    pub consistency: Consistency,
+    /// Relaxed-mode micro-batch: samples buffered before one scoped
+    /// fan-out/fan-in pass over the worker threads. Larger batches amortize
+    /// thread startup; smaller ones bound snapshot staleness.
+    pub relaxed_batch: usize,
 }
 
 impl Default for EngineOptions {
@@ -130,6 +183,8 @@ impl Default for EngineOptions {
             record_history: false,
             inflight_backup: false,
             max_respawns: 8,
+            consistency: Consistency::Parity,
+            relaxed_batch: 8_192,
         }
     }
 }
@@ -143,11 +198,22 @@ impl EngineOptions {
         }
     }
 
+    /// Options for `K` shards under `consistency`, other knobs at defaults.
+    pub fn with_consistency(shards: usize, consistency: Consistency) -> Self {
+        Self {
+            shards,
+            consistency,
+            ..Self::default()
+        }
+    }
+
     /// Checks the options are usable.
     ///
     /// # Errors
     ///
-    /// Returns [`AmfError::InvalidConfig`] when any knob is zero.
+    /// Returns [`AmfError::InvalidConfig`] when any knob is zero, or when
+    /// history recording is requested in relaxed mode (which has no global
+    /// application order to record).
     pub fn validate(&self) -> Result<(), AmfError> {
         if self.shards == 0 {
             return Err(AmfError::InvalidConfig("shards must be >= 1".into()));
@@ -155,6 +221,16 @@ impl EngineOptions {
         if self.chunk_size == 0 || self.queue_capacity == 0 {
             return Err(AmfError::InvalidConfig(
                 "chunk_size and queue_capacity must be >= 1".into(),
+            ));
+        }
+        if self.relaxed_batch == 0 {
+            return Err(AmfError::InvalidConfig("relaxed_batch must be >= 1".into()));
+        }
+        if self.consistency == Consistency::Relaxed && self.record_history {
+            return Err(AmfError::InvalidConfig(
+                "record_history requires the parity engine (relaxed mode has no \
+                 global application order)"
+                    .into(),
             ));
         }
         Ok(())
@@ -599,16 +675,16 @@ impl Shared {
     }
 }
 
-/// Concurrent wrapper around the AMF model state: ingests a QoS stream with
-/// `K` worker threads while guaranteeing sequential-equivalent results, and
-/// survives worker crashes without losing accepted samples (see the module
-/// docs for the recovery protocol).
+/// The bitwise-parity threaded core: ingests a QoS stream with `K` worker
+/// threads while guaranteeing sequential-equivalent results, and survives
+/// worker crashes without losing accepted samples (see the module docs for
+/// the recovery protocol).
 ///
-/// The engine is a *dispatcher* handle: [`ShardedEngine::feed_batch`] stamps
-/// tickets and routes, workers own the hot loop. Reads go through
-/// [`ShardedEngine::snapshot`] (drains first), or [`ShardedEngine::into_model`]
-/// to finish ingestion and take the model out without cloning.
-pub struct ShardedEngine {
+/// The core is a *dispatcher* handle: `feed_batch` stamps tickets and
+/// routes, workers own the hot loop. [`ShardedEngine`] wraps it (alongside
+/// the in-thread fast path and the relaxed lane) and routes based on
+/// [`EngineOptions::consistency`].
+pub(crate) struct ParityCore {
     shared: Arc<Shared>,
     senders: Vec<SyncSender<Vec<Job>>>,
     workers: Vec<Option<JoinHandle<()>>>,
@@ -660,43 +736,17 @@ pub struct ShardedEngine {
     options: EngineOptions,
 }
 
-impl ShardedEngine {
-    /// Creates an empty engine.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AmfError::InvalidConfig`] for invalid hyperparameters or an
-    /// invalid `options.shards == 0`.
-    pub fn new(config: AmfConfig, options: EngineOptions) -> Result<Self, AmfError> {
-        Self::from_model(AmfModel::new(config)?, options)
-    }
-
-    /// Wraps an existing (possibly trained) model, taking ownership of its
-    /// entity state.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AmfError::InvalidConfig`] when `options.shards == 0` or the
-    /// chunk/queue sizes are zero.
-    pub fn from_model(model: AmfModel, options: EngineOptions) -> Result<Self, AmfError> {
-        Self::from_model_with_plan(model, options, None)
-    }
-
-    /// Like [`ShardedEngine::from_model`], with a deterministic fault script
-    /// attached: shard workers consult `plan` at every apply and crash or
-    /// stall where scripted. Attaching a plan forces
+impl ParityCore {
+    /// Wraps an existing (possibly trained) model with a deterministic fault
+    /// script attached: shard workers consult `plan` at every apply and
+    /// crash or stall where scripted. Attaching a plan forces
     /// [`EngineOptions::inflight_backup`] on, so mid-update kills recover
-    /// exactly.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AmfError::InvalidConfig`] for invalid options.
-    pub fn from_model_with_plan(
+    /// exactly. Options are assumed validated by the caller.
+    fn from_model_with_plan(
         model: AmfModel,
         mut options: EngineOptions,
         plan: Option<Arc<FaultPlan>>,
     ) -> Result<Self, AmfError> {
-        options.validate()?;
         if plan.is_some() {
             options.inflight_backup = true;
         }
@@ -851,12 +901,6 @@ impl ShardedEngine {
                 .cells
                 .iter()
                 .any(|c| !c.alive.load(Ordering::Acquire))
-    }
-
-    /// Queues one observation. Prefer [`ShardedEngine::feed_batch`] for
-    /// streams: single samples still flush a whole chunk dispatch.
-    pub fn feed(&mut self, user: usize, service: usize, raw: f64) {
-        self.feed_batch([(user, service, raw)]);
     }
 
     /// Stamps a sample with its ordering tickets and bookkeeping. Must be
@@ -1156,20 +1200,6 @@ impl ShardedEngine {
         }
     }
 
-    /// Global stream indices applied to `user`, as an owned vector; see
-    /// [`ShardedEngine::user_history_into`] for the allocation-free variant.
-    pub fn user_history(&self, user: usize) -> Option<Vec<u64>> {
-        let mut out = Vec::new();
-        self.user_history_into(user, &mut out).then_some(out)
-    }
-
-    /// Global stream indices applied to `service`; see
-    /// [`ShardedEngine::user_history`].
-    pub fn service_history(&self, service: usize) -> Option<Vec<u64>> {
-        let mut out = Vec::new();
-        self.service_history_into(service, &mut out).then_some(out)
-    }
-
     /// Journals a stamped chunk and hands it to the pump. Never blocks: a
     /// full channel leaves the chunk in the outbox, and the backpressure
     /// loop keeps pumping (recovery, cancellation) while it waits for the
@@ -1395,19 +1425,386 @@ impl ShardedEngine {
     }
 }
 
-impl Drop for ShardedEngine {
+impl Drop for ParityCore {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// In-thread fast path for `K = 1` under [`Consistency::Parity`]: a single
+/// shard has no cross-thread parallelism to win, so routing samples through
+/// a channel, a ticket check, and a stripe mutex only taxes the sequential
+/// kernel (~4× in `BENCH_CORE.json` before this path existed). The fast lane
+/// applies samples directly on the calling thread via [`AmfModel::observe`]
+/// — which *is* the sequential reference, so parity holds by definition.
+struct FastLane {
+    model: AmfModel,
+    /// Samples applied by this engine (excludes the wrapped model's
+    /// pre-existing updates).
+    applied: u64,
+    /// Per-entity applied stream indices, kept only under
+    /// [`EngineOptions::record_history`].
+    user_histories: Vec<Vec<u64>>,
+    service_histories: Vec<Vec<u64>>,
+    options: EngineOptions,
+}
+
+impl FastLane {
+    fn from_model(model: AmfModel, options: EngineOptions) -> Self {
+        Self {
+            model,
+            applied: 0,
+            user_histories: Vec::new(),
+            service_histories: Vec::new(),
+            options,
+        }
+    }
+
+    fn feed_batch<I>(&mut self, samples: I)
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        let mut n = 0u64;
+        for (user, service, raw) in samples {
+            if self.options.record_history {
+                let index = self.applied + n;
+                if self.user_histories.len() <= user {
+                    self.user_histories.resize_with(user + 1, Vec::new);
+                }
+                if self.service_histories.len() <= service {
+                    self.service_histories.resize_with(service + 1, Vec::new);
+                }
+                self.user_histories[user].push(index);
+                self.service_histories[service].push(index);
+            }
+            self.model.observe(user, service, raw);
+            n += 1;
+        }
+        self.applied += n;
+        if n > 0 {
+            // The fast lane has no dispatcher, but its ingestion still shows
+            // up on the engine counters (one "chunk" per feed call) so
+            // obs-level invariants — samples in means jobs dispatched — hold
+            // across every lane.
+            let metrics = crate::obs::engine_metrics();
+            metrics.chunks_dispatched.inc();
+            metrics.jobs_dispatched.add(n);
+        }
+    }
+
+    fn history_of(histories: &[Vec<u64>], id: usize, out: &mut Vec<u64>) -> bool {
+        match histories.get(id) {
+            Some(h) => {
+                out.extend_from_slice(h);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// The lane a [`ShardedEngine`] routed to at construction.
+enum Lane {
+    /// `K = 1`, parity, no fault plan: in-thread sequential fast path.
+    Fast(FastLane),
+    /// `K ≥ 2` (or any fault plan) under [`Consistency::Parity`]: the
+    /// ticketed, journaled, bitwise-exact threaded core.
+    Parity(ParityCore),
+    /// [`Consistency::Relaxed`]: the Hogwild-style epoch-claim lane.
+    Relaxed(crate::relaxed::RelaxedLane),
+}
+
+/// Concurrent wrapper around the AMF model state: ingests a QoS stream
+/// across `K` shards under a selectable [`Consistency`] contract, and
+/// survives worker crashes (see the module docs for the parity recovery
+/// protocol, and DESIGN.md §13 for the relaxed lane's weaker guarantee).
+///
+/// Construction routes to one of three lanes:
+///
+/// * [`Consistency::Parity`] with `shards == 1` and no fault plan — the
+///   in-thread fast lane: samples run through [`AmfModel::observe`] on the
+///   calling thread, which is bitwise-equal to sequential by definition and
+///   skips the channel/ticket/mutex tax entirely.
+/// * [`Consistency::Parity`] otherwise — the ticketed threaded core with
+///   journal replay and bitwise sequential equivalence.
+/// * [`Consistency::Relaxed`] — the lock-free fast lane: entity-striped
+///   atomic epoch claims, no ordering tickets, statistical (not bitwise)
+///   equivalence, enforced by `tests/relaxed_parity.rs`.
+///
+/// Reads go through [`ShardedEngine::snapshot`] (drains first), or
+/// [`ShardedEngine::into_model`] to finish ingestion and take the model out
+/// without cloning.
+pub struct ShardedEngine {
+    lane: Lane,
+}
+
+impl ShardedEngine {
+    /// Creates an empty engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmfError::InvalidConfig`] for invalid hyperparameters or
+    /// invalid options (see [`EngineOptions::validate`]).
+    pub fn new(config: AmfConfig, options: EngineOptions) -> Result<Self, AmfError> {
+        Self::from_model(AmfModel::new(config)?, options)
+    }
+
+    /// Wraps an existing (possibly trained) model, taking ownership of its
+    /// entity state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmfError::InvalidConfig`] for invalid options.
+    pub fn from_model(model: AmfModel, options: EngineOptions) -> Result<Self, AmfError> {
+        Self::from_model_with_plan(model, options, None)
+    }
+
+    /// Like [`ShardedEngine::from_model`], with a deterministic fault script
+    /// attached: workers consult `plan` at every apply and crash or stall
+    /// where scripted. In parity mode a plan forces
+    /// [`EngineOptions::inflight_backup`] on (mid-update kills roll back
+    /// exactly); in relaxed mode recovery re-applies the in-flight sample
+    /// instead (at-least-once — see [`Consistency::Relaxed`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AmfError::InvalidConfig`] for invalid options.
+    pub fn from_model_with_plan(
+        model: AmfModel,
+        options: EngineOptions,
+        plan: Option<Arc<FaultPlan>>,
+    ) -> Result<Self, AmfError> {
+        options.validate()?;
+        let lane = match options.consistency {
+            Consistency::Relaxed => Lane::Relaxed(crate::relaxed::RelaxedLane::from_model(
+                model, options, plan,
+            )),
+            // A fault plan needs a worker thread to kill: keep K = 1 on the
+            // threaded core when one is attached (the fault suites depend on
+            // it); collapse to the in-thread path otherwise.
+            Consistency::Parity if options.shards == 1 && plan.is_none() => {
+                Lane::Fast(FastLane::from_model(model, options))
+            }
+            Consistency::Parity => {
+                Lane::Parity(ParityCore::from_model_with_plan(model, options, plan)?)
+            }
+        };
+        Ok(Self { lane })
+    }
+
+    /// The engine's tuning options.
+    pub fn options(&self) -> &EngineOptions {
+        match &self.lane {
+            Lane::Fast(fast) => &fast.options,
+            Lane::Parity(core) => core.options(),
+            Lane::Relaxed(lane) => lane.options(),
+        }
+    }
+
+    /// The model hyperparameters.
+    pub fn config(&self) -> &AmfConfig {
+        match &self.lane {
+            Lane::Fast(fast) => fast.model.config(),
+            Lane::Parity(core) => core.config(),
+            Lane::Relaxed(lane) => lane.config(),
+        }
+    }
+
+    /// The consistency contract this engine runs under.
+    pub fn consistency(&self) -> Consistency {
+        self.options().consistency
+    }
+
+    /// Number of samples accepted by [`ShardedEngine::feed_batch`] /
+    /// queued by [`ShardedEngine::feed_batch_shedding`] so far.
+    pub fn submitted(&self) -> u64 {
+        match &self.lane {
+            Lane::Fast(fast) => fast.applied,
+            Lane::Parity(core) => core.submitted(),
+            Lane::Relaxed(lane) => lane.submitted(),
+        }
+    }
+
+    /// Number of samples fully applied so far.
+    pub fn processed(&self) -> u64 {
+        match &self.lane {
+            Lane::Fast(fast) => fast.applied,
+            Lane::Parity(core) => core.processed(),
+            Lane::Relaxed(lane) => lane.processed(),
+        }
+    }
+
+    /// Aggregate fault counters (all zero in a fault-free run).
+    pub fn fault_stats(&self) -> FaultStats {
+        match &self.lane {
+            Lane::Fast(_) => FaultStats::default(),
+            Lane::Parity(core) => core.fault_stats(),
+            Lane::Relaxed(lane) => lane.fault_stats(),
+        }
+    }
+
+    /// The recorded worker deaths, oldest first.
+    pub fn fault_events(&self) -> Vec<FaultEvent> {
+        match &self.lane {
+            Lane::Fast(_) => Vec::new(),
+            Lane::Parity(core) => core.fault_events(),
+            Lane::Relaxed(lane) => lane.fault_events(),
+        }
+    }
+
+    /// Whether any shard is currently dead or abandoned — predictions served
+    /// meanwhile should be treated as degraded.
+    pub fn is_degraded(&self) -> bool {
+        match &self.lane {
+            Lane::Fast(_) => false,
+            Lane::Parity(core) => core.is_degraded(),
+            Lane::Relaxed(lane) => lane.is_degraded(),
+        }
+    }
+
+    /// Queues one observation. Prefer [`ShardedEngine::feed_batch`] for
+    /// streams: single samples still flush a whole chunk dispatch.
+    pub fn feed(&mut self, user: usize, service: usize, raw: f64) {
+        self.feed_batch([(user, service, raw)]);
+    }
+
+    /// Queues a batch of `(user, service, raw QoS)` observations. Parity
+    /// lanes return once every sample is *queued* (bounded queues apply
+    /// backpressure); the relaxed lane returns once every buffered
+    /// micro-batch it filled has been applied. Use
+    /// [`ShardedEngine::drain`] to wait for full application.
+    pub fn feed_batch<I>(&mut self, samples: I)
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        match &mut self.lane {
+            Lane::Fast(fast) => fast.feed_batch(samples),
+            Lane::Parity(core) => core.feed_batch(samples),
+            Lane::Relaxed(lane) => lane.feed_batch(samples),
+        }
+    }
+
+    /// Load-shedding admission: like [`ShardedEngine::feed_batch`] but a
+    /// chunk that cannot be queued within `policy`'s attempt budget is
+    /// dropped instead of blocking, with exact queued/shed counts. The fast
+    /// and relaxed lanes apply samples synchronously and never shed.
+    pub fn feed_batch_shedding<I>(&mut self, samples: I, policy: ShedPolicy) -> FeedOutcome
+    where
+        I: IntoIterator<Item = (usize, usize, f64)>,
+    {
+        match &mut self.lane {
+            Lane::Fast(fast) => {
+                let before = fast.applied;
+                fast.feed_batch(samples);
+                FeedOutcome {
+                    queued: fast.applied - before,
+                    shed: 0,
+                }
+            }
+            Lane::Parity(core) => core.feed_batch_shedding(samples, policy),
+            Lane::Relaxed(lane) => lane.feed_batch_shedding(samples),
+        }
+    }
+
+    /// Registers a user eagerly (id and factors exist before any sample).
+    pub fn ensure_user(&mut self, user: usize) {
+        match &mut self.lane {
+            Lane::Fast(fast) => fast.model.ensure_user(user),
+            Lane::Parity(core) => core.ensure_user(user),
+            Lane::Relaxed(lane) => lane.ensure_user(user),
+        }
+    }
+
+    /// Registers a service eagerly; see [`ShardedEngine::ensure_user`].
+    pub fn ensure_service(&mut self, service: usize) {
+        match &mut self.lane {
+            Lane::Fast(fast) => fast.model.ensure_service(service),
+            Lane::Parity(core) => core.ensure_service(service),
+            Lane::Relaxed(lane) => lane.ensure_service(service),
+        }
+    }
+
+    /// Blocks until every queued sample has been applied, recovering any
+    /// workers that die along the way. Returns early only if a parity worker
+    /// exhausts its respawn budget (see [`FaultStats::samples_lost`]).
+    pub fn drain(&mut self) {
+        match &mut self.lane {
+            Lane::Fast(_) => {}
+            Lane::Parity(core) => core.drain(),
+            Lane::Relaxed(lane) => lane.drain(),
+        }
+    }
+
+    /// Drains, then assembles the current state into a standalone
+    /// [`AmfModel`] (cloning entity state; the engine keeps running).
+    pub fn snapshot(&mut self) -> AmfModel {
+        match &mut self.lane {
+            Lane::Fast(fast) => fast.model.clone(),
+            Lane::Parity(core) => core.snapshot(),
+            Lane::Relaxed(lane) => lane.snapshot(),
+        }
+    }
+
+    /// Drains, stops any workers, and returns the final model.
+    pub fn into_model(self) -> AmfModel {
+        match self.lane {
+            Lane::Fast(fast) => fast.model,
+            Lane::Parity(core) => core.into_model(),
+            Lane::Relaxed(lane) => lane.into_model(),
+        }
+    }
+
+    /// Copies the global stream indices applied to `user` (in application
+    /// order) into `out`, replacing its contents and reusing its capacity.
+    /// Returns `false` — with `out` cleared — unless
+    /// [`EngineOptions::record_history`] is on and the user has a slot.
+    /// Call [`ShardedEngine::drain`] first for a complete log.
+    pub fn user_history_into(&self, user: usize, out: &mut Vec<u64>) -> bool {
+        out.clear();
+        if !self.options().record_history {
+            return false;
+        }
+        match &self.lane {
+            Lane::Fast(fast) => FastLane::history_of(&fast.user_histories, user, out),
+            Lane::Parity(core) => core.user_history_into(user, out),
+            Lane::Relaxed(_) => false, // rejected by validate()
+        }
+    }
+
+    /// Like [`ShardedEngine::user_history_into`] for a service.
+    pub fn service_history_into(&self, service: usize, out: &mut Vec<u64>) -> bool {
+        out.clear();
+        if !self.options().record_history {
+            return false;
+        }
+        match &self.lane {
+            Lane::Fast(fast) => FastLane::history_of(&fast.service_histories, service, out),
+            Lane::Parity(core) => core.service_history_into(service, out),
+            Lane::Relaxed(_) => false,
+        }
+    }
+
+    /// Global stream indices applied to `user`, as an owned vector; see
+    /// [`ShardedEngine::user_history_into`] for the allocation-free variant.
+    pub fn user_history(&self, user: usize) -> Option<Vec<u64>> {
+        let mut out = Vec::new();
+        self.user_history_into(user, &mut out).then_some(out)
+    }
+
+    /// Global stream indices applied to `service`; see
+    /// [`ShardedEngine::user_history`].
+    pub fn service_history(&self, service: usize) -> Option<Vec<u64>> {
+        let mut out = Vec::new();
+        self.service_history_into(service, &mut out).then_some(out)
     }
 }
 
 impl std::fmt::Debug for ShardedEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedEngine")
-            .field("shards", &self.options.shards)
-            .field("submitted", &self.submitted)
-            .field("users", &self.num_users)
-            .field("services", &self.num_services)
+            .field("consistency", &self.consistency())
+            .field("shards", &self.options().shards)
+            .field("submitted", &self.submitted())
             .field("degraded", &self.is_degraded())
             .finish()
     }
@@ -1746,5 +2143,187 @@ mod tests {
             factors_equal(&expected, &got),
             "unshed run must keep parity"
         );
+    }
+
+    #[test]
+    fn consistency_parses_and_displays() {
+        assert_eq!("parity".parse::<Consistency>().unwrap(), Consistency::Parity);
+        assert_eq!(
+            "relaxed".parse::<Consistency>().unwrap(),
+            Consistency::Relaxed
+        );
+        assert_eq!(Consistency::Parity.to_string(), "parity");
+        assert_eq!(Consistency::Relaxed.to_string(), "relaxed");
+        let err = "eventual".parse::<Consistency>().unwrap_err();
+        assert!(err.contains("eventual"), "{err}");
+        assert_eq!(Consistency::default(), Consistency::Parity);
+    }
+
+    #[test]
+    fn relaxed_options_reject_history_and_zero_batch() {
+        let history = EngineOptions {
+            record_history: true,
+            ..EngineOptions::with_consistency(2, Consistency::Relaxed)
+        };
+        assert!(matches!(
+            ShardedEngine::new(AmfConfig::response_time(), history),
+            Err(AmfError::InvalidConfig(_))
+        ));
+        let zero_batch = EngineOptions {
+            relaxed_batch: 0,
+            ..EngineOptions::with_consistency(2, Consistency::Relaxed)
+        };
+        assert!(matches!(
+            ShardedEngine::new(AmfConfig::response_time(), zero_batch),
+            Err(AmfError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn fast_lane_records_history_at_single_shard() {
+        // K=1 without a plan routes to the in-thread fast lane, which must
+        // honor the history contract the threaded core provides.
+        let samples = stream(300, 4, 7);
+        let mut engine = ShardedEngine::new(
+            AmfConfig::response_time(),
+            EngineOptions {
+                shards: 1,
+                record_history: true,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        engine.feed_batch(samples.iter().copied());
+        for u in 0..4 {
+            let expected: Vec<u64> = samples
+                .iter()
+                .enumerate()
+                .filter(|(_, &(user, _, _))| user == u)
+                .map(|(i, _)| i as u64)
+                .collect();
+            assert_eq!(engine.user_history(u).unwrap(), expected, "user {u}");
+        }
+        let expected: Vec<u64> = samples
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, service, _))| service == 2)
+            .map(|(i, _)| i as u64)
+            .collect();
+        assert_eq!(engine.service_history(2).unwrap(), expected);
+    }
+
+    #[test]
+    fn relaxed_single_worker_matches_sequential_bitwise() {
+        // With one worker the relaxed lane applies the stream in order
+        // through the same kernel, so even the *bitwise* contract holds —
+        // the relaxation only starts to bite at K >= 2.
+        let samples = stream(2_000, 12, 30);
+        let expected = sequential(&samples);
+        let mut engine = ShardedEngine::new(
+            AmfConfig::response_time(),
+            EngineOptions {
+                relaxed_batch: 256, // exercise several micro-batch flushes
+                ..EngineOptions::with_consistency(1, Consistency::Relaxed)
+            },
+        )
+        .unwrap();
+        engine.feed_batch(samples.iter().copied());
+        let got = engine.into_model();
+        assert!(factors_equal(&expected, &got));
+        assert_eq!(got.update_count(), 2_000);
+    }
+
+    #[test]
+    fn relaxed_multi_shard_loses_nothing_and_stays_finite() {
+        let samples = stream(4_000, 16, 33);
+        let mut engine = ShardedEngine::new(
+            AmfConfig::response_time(),
+            EngineOptions {
+                relaxed_batch: 512,
+                ..EngineOptions::with_consistency(4, Consistency::Relaxed)
+            },
+        )
+        .unwrap();
+        engine.feed_batch(samples[..2_500].iter().copied());
+        let mid = engine.snapshot();
+        assert_eq!(mid.update_count(), 2_500, "snapshot must flush and count");
+        engine.feed_batch(samples[2_500..].iter().copied());
+        let got = engine.into_model();
+        // No lost updates: every accepted sample is counted exactly once.
+        assert_eq!(got.update_count(), 4_000);
+        assert_eq!(engine_stats_finite(&got), true);
+        // And the model actually learned: predictions exist for seen pairs.
+        assert!(got.predict(0, 0).is_some());
+    }
+
+    fn engine_stats_finite(model: &AmfModel) -> bool {
+        (0..model.num_users()).all(|u| {
+            model
+                .user_factors(u)
+                .is_some_and(|f| f.iter().all(|x| x.is_finite()))
+        }) && (0..model.num_services()).all(|s| {
+            model
+                .service_factors(s)
+                .is_some_and(|f| f.iter().all(|x| x.is_finite()))
+        })
+    }
+
+    #[test]
+    fn relaxed_injected_kill_reapplies_and_counts_once() {
+        let samples = stream(2_000, 9, 15);
+        let plan = Arc::new(FaultPlan::new(0).kill_worker(1, 40, KillPhase::Mid));
+        let mut engine = ShardedEngine::from_model_with_plan(
+            AmfModel::new(AmfConfig::response_time()).unwrap(),
+            EngineOptions {
+                relaxed_batch: 512,
+                ..EngineOptions::with_consistency(3, Consistency::Relaxed)
+            },
+            Some(plan),
+        )
+        .unwrap();
+        engine.feed_batch(samples.iter().copied());
+        engine.drain();
+        let stats = engine.fault_stats();
+        assert_eq!(stats.worker_panics, 1);
+        assert_eq!(stats.injected_panics, 1);
+        assert_eq!(stats.respawns, 1);
+        assert_eq!(stats.samples_lost, 0);
+        assert!(!engine.is_degraded());
+        let events = engine.fault_events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].injected);
+        let got = engine.into_model();
+        // At-least-once application, exactly-once *counting*.
+        assert_eq!(got.update_count(), samples.len() as u64);
+        assert!(engine_stats_finite(&got));
+    }
+
+    #[test]
+    fn relaxed_respawn_budget_degrades_instead_of_hanging() {
+        let mut plan = FaultPlan::new(0);
+        for _ in 0..50 {
+            plan = plan.kill_worker(0, 10, KillPhase::Before);
+        }
+        let plan = Arc::new(plan);
+        let samples = stream(400, 4, 6);
+        let mut engine = ShardedEngine::from_model_with_plan(
+            AmfModel::new(AmfConfig::response_time()).unwrap(),
+            EngineOptions {
+                relaxed_batch: 128,
+                max_respawns: 3,
+                ..EngineOptions::with_consistency(2, Consistency::Relaxed)
+            },
+            Some(plan),
+        )
+        .unwrap();
+        engine.feed_batch(samples.iter().copied());
+        engine.drain(); // must terminate
+        let stats = engine.fault_stats();
+        assert!(stats.samples_lost > 0);
+        assert!(engine.is_degraded());
+        let model = engine.into_model();
+        assert!(model.update_count() > 0);
+        assert!(model.update_count() < samples.len() as u64);
+        assert!(engine_stats_finite(&model));
     }
 }

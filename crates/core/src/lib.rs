@@ -55,13 +55,16 @@ pub mod model;
 pub(crate) mod obs;
 pub mod online;
 pub mod persistence;
+pub(crate) mod relaxed;
 pub mod stream;
 pub mod trainer;
 pub mod weights;
 
 pub use config::{AmfConfig, LossKind};
 pub use diagnostics::{ModelDiagnostics, QuarantineDiagnostics};
-pub use engine::{EngineOptions, FaultEvent, FaultStats, FeedOutcome, ShardedEngine, ShedPolicy};
+pub use engine::{
+    Consistency, EngineOptions, FaultEvent, FaultStats, FeedOutcome, ShardedEngine, ShedPolicy,
+};
 pub use expiry::ObservationStore;
 pub use fault::{FaultPlan, KillPhase};
 pub use guard::{GuardConfig, GuardStats, QuarantinedSample, RejectReason, SampleGuard};

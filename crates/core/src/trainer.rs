@@ -140,10 +140,15 @@ impl AmfTrainer {
 
     /// Batch variant of [`AmfTrainer::feed`] that applies the online updates
     /// through a [`crate::engine::ShardedEngine`] with `options.shards`
-    /// worker threads. Results are identical to feeding the samples one by
-    /// one (the engine preserves per-entity stream order, which pins down
-    /// the execution bit-for-bit); only the wall-clock differs. Returns the
-    /// number of samples applied.
+    /// worker threads. Under the default
+    /// [`Consistency::Parity`](crate::engine::Consistency) mode, results are
+    /// identical to feeding the samples one by one (the engine preserves
+    /// per-entity stream order, which pins down the execution bit-for-bit);
+    /// only the wall-clock differs. Under
+    /// [`Consistency::Relaxed`](crate::engine::Consistency) the lock-free
+    /// fast lane is statistically equivalent instead (windowed accuracy
+    /// within the ε pinned by `tests/relaxed_parity.rs`). Returns the number
+    /// of samples applied.
     ///
     /// # Errors
     ///

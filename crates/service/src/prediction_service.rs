@@ -74,6 +74,13 @@ pub struct ServiceConfig {
     /// calling thread; results are identical either way (the sharded engine
     /// preserves per-entity stream order).
     pub shards: usize,
+    /// Engine consistency mode for batched ingestion.
+    /// [`amf_core::Consistency::Parity`] (the default) is bitwise identical
+    /// to sequential submission; [`amf_core::Consistency::Relaxed`] routes
+    /// batches through the lock-free fast lane, trading bitwise equality for
+    /// throughput with a statistically bounded accuracy gap (see DESIGN.md
+    /// §13).
+    pub consistency: amf_core::Consistency,
     /// Input screening. `Some` quarantines invalid samples before they reach
     /// the database or the model; `None` disables screening entirely. The
     /// default matches the model's QoS range with the statistical outlier
@@ -98,6 +105,7 @@ impl Default for ServiceConfig {
             history_cap: 16,
             replay: amf_core::trainer::ReplayOptions::default(),
             shards: 1,
+            consistency: amf_core::Consistency::Parity,
             guard: Some(GuardConfig {
                 outlier_gate: false,
                 ..GuardConfig::for_amf(&amf)
@@ -423,8 +431,10 @@ impl QosPredictionService {
     /// Identities are registered and admitted records logged exactly like
     /// [`QosPredictionService::submit`]; the model updates are applied by a
     /// [`amf_core::ShardedEngine`] with `config.shards` workers (sequentially
-    /// when `shards <= 1`). Per-entity stream order is preserved, so the
-    /// resulting model is identical to one-by-one submission. Returns the
+    /// when `shards <= 1` in parity mode). Under the default parity
+    /// consistency, per-entity stream order is preserved and the resulting
+    /// model is identical to one-by-one submission; under relaxed
+    /// consistency it is statistically equivalent instead. Returns the
     /// number of records accepted for training (quarantined records are
     /// counted in [`ServiceStats::rejected`], not here).
     pub fn submit_batch(&self, records: Vec<QosRecord>) -> usize {
@@ -443,9 +453,10 @@ impl QosPredictionService {
             return 0;
         }
         let mut trainer = self.trainer.lock();
-        if self.config.shards > 1 {
+        if self.config.shards > 1 || self.config.consistency == amf_core::Consistency::Relaxed {
             let plan = self.fault_plan.lock().clone();
-            let options = amf_core::EngineOptions::with_shards(self.config.shards);
+            let options =
+                amf_core::EngineOptions::with_consistency(self.config.shards, self.config.consistency);
             match trainer.feed_batch_sharded_with(samples.clone(), options, plan) {
                 Ok((fed, faults)) => {
                     self.absorb_fault_stats(faults);
@@ -972,6 +983,34 @@ mod tests {
         for u in 0..6 {
             for s in 0..8 {
                 assert_eq!(seq.predict_ids(u, s), sharded.predict_ids(u, s));
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_batch_ingestion_counts_and_predicts() {
+        let records: Vec<QosRecord> = (0..200u64)
+            .map(|k| {
+                record(
+                    &format!("u{}", k % 6),
+                    &format!("s{}", k % 8),
+                    k,
+                    0.4 + (k % 5) as f64 * 0.7,
+                )
+            })
+            .collect();
+        let relaxed = QosPredictionService::new(ServiceConfig {
+            shards: 4,
+            consistency: amf_core::Consistency::Relaxed,
+            ..Default::default()
+        });
+        assert_eq!(relaxed.submit_batch(records), 200);
+        // No lost updates, and every touched pair is servable and finite.
+        assert_eq!(relaxed.stats().updates, 200);
+        for u in 0..6 {
+            for s in 0..8 {
+                let value = relaxed.predict_ids(u, s).expect("pair is known");
+                assert!(value.is_finite() && value > 0.0, "({u},{s}) -> {value}");
             }
         }
     }
