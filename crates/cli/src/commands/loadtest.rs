@@ -1,0 +1,302 @@
+//! `amf-qos loadtest` — fault-injecting load harness for a live
+//! `amf-qos serve` endpoint.
+//!
+//! Drives a mixed `observe`/`predict`/`rank` workload through
+//! [`qos_serve::LoadRunner`]: closed- or open-loop arrivals, per-request
+//! timeouts, bounded retry (idempotent requests only — `observe` is never
+//! retried), and client-side network faults from a [`FaultPlan`]'s
+//! `conn-reset`/`slow-read`/`blackhole` verbs.
+//!
+//! Without `--fault-plan` one clean pass runs; with it, a clean pass and a
+//! faulted pass run back-to-back so the report pairs baseline and
+//! under-fault behaviour. `--out` writes the `amf-bench-serve/v1` document
+//! (`BENCH_SERVE.json`); a degraded server health is reported but
+//! non-fatal, while server-side worker panics fail the command.
+
+use super::CliError;
+use crate::args::Args;
+use amf_core::FaultPlan;
+use qos_obs::Json;
+use qos_serve::{ClientConfig, LoadConfig, LoadMode, LoadReport, LoadRunner, BENCH_SERVE_SCHEMA};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "amf-qos loadtest (--addr HOST:PORT | --addr-file PATH) \
+[--requests N] [--concurrency N] [--mode closed|open] [--qps Q] \
+[--fault-plan SPEC] [--seed S] [--timeout-ms MS] [--retries N] \
+[--deadline-ms MS] [--batch N] [--out PATH] [--quick]";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for an unreachable endpoint, an invalid fault
+/// plan, server-side worker panics, or unwritable `--out`.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let addr = resolve_addr(args)?;
+    let quick = args.switch("quick");
+    let requests: u64 = args.parse_or("requests", if quick { 120 } else { 400 })?;
+    let concurrency: usize = args.parse_or("concurrency", 4)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+    let timeout_ms: u64 = args.parse_or("timeout-ms", if quick { 500 } else { 2000 })?;
+    let retries: u32 = args.parse_or("retries", 2)?;
+    let batch: usize = args.parse_or("batch", 8)?;
+    let deadline_ms: Option<u64> = match args.get("deadline-ms") {
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| CliError(format!("--deadline-ms: '{raw}' is not a number")))?,
+        ),
+        None => None,
+    };
+    let mode = match args.get_or("mode", "closed") {
+        "closed" => LoadMode::Closed { concurrency },
+        "open" => LoadMode::Open {
+            qps: args.parse_or("qps", 200.0)?,
+            concurrency,
+        },
+        other => {
+            return Err(CliError(format!(
+                "--mode: '{other}' (expected closed or open)"
+            )))
+        }
+    };
+    let fault_plan = match args.get("fault-plan") {
+        Some(spec) => {
+            let plan =
+                FaultPlan::parse(spec).map_err(|e| CliError(format!("--fault-plan: {e}")))?;
+            if !plan.mutates_network() {
+                return Err(CliError(format!(
+                    "--fault-plan '{spec}' has no network verbs \
+                     (conn-reset/slow-read/blackhole)"
+                )));
+            }
+            Some(plan)
+        }
+        None => None,
+    };
+
+    let base = LoadConfig {
+        mode,
+        requests,
+        seed,
+        fault_plan: None,
+        client: ClientConfig {
+            request_timeout: Duration::from_millis(timeout_ms.max(1)),
+            max_retries: retries,
+            deadline_ms,
+            ..ClientConfig::default()
+        },
+        batch,
+        ..LoadConfig::default()
+    };
+
+    let mut runs: Vec<LoadReport> = Vec::new();
+    runs.push(LoadRunner::new(base.clone()).run(addr, "clean"));
+    if let Some(plan) = fault_plan {
+        let faulted = LoadConfig {
+            fault_plan: Some(plan),
+            ..base
+        };
+        runs.push(LoadRunner::new(faulted).run(addr, "faulted"));
+    }
+
+    for report in &runs {
+        if report.server_worker_panics > 0 {
+            return Err(CliError(format!(
+                "run '{}': server reported {} worker panics",
+                report.label, report.server_worker_panics
+            )));
+        }
+    }
+    if runs[0].ok == 0 {
+        return Err(CliError(format!(
+            "clean run got no successful response from {addr} \
+             ({} transport errors)",
+            runs[0].transport_errors
+        )));
+    }
+
+    if let Some(path) = args.get("out") {
+        let mut doc = Json::obj();
+        doc.set("schema", Json::Str(BENCH_SERVE_SCHEMA.into()))
+            .set("generated_by", Json::Str("amf-qos loadtest".into()))
+            .set(
+                "runs",
+                Json::Arr(runs.iter().map(LoadReport::to_json).collect()),
+            );
+        std::fs::write(path, doc.to_string_pretty() + "\n")
+            .map_err(|e| CliError(format!("--out {path}: {e}")))?;
+    }
+
+    let mut out = String::new();
+    for report in &runs {
+        out.push_str(&format!(
+            "loadtest[{}]: {} requests -> {} ok, {} 4xx, {} 503, {} transport \
+             (error rate {:.1}%)\n\
+             latency         p50 {}us  p95 {}us  p99 {}us (n={})\n\
+             throughput      {:.1} ok/s sustained over {} ms\n\
+             faults          {} conn-reset, {} slow-read, {} blackhole; {} retries\n\
+             predictions     {} served, {} degraded ({:.1}%)\n\
+             server          health={} worker_panics={}\n",
+            report.label,
+            report.requests,
+            report.ok,
+            report.http_4xx,
+            report.http_503,
+            report.transport_errors,
+            report.error_rate() * 100.0,
+            report.percentile_us(50.0),
+            report.percentile_us(95.0),
+            report.percentile_us(99.0),
+            report.latencies_us.len(),
+            report.achieved_qps,
+            report.wall.as_millis(),
+            report.faults_conn_reset,
+            report.faults_slow_read,
+            report.faults_blackhole,
+            report.retries,
+            report.predictions,
+            report.degraded_answers,
+            report.degraded_rate() * 100.0,
+            report.server_health,
+            report.server_worker_panics,
+        ));
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// `--addr` directly, or poll `--addr-file` (written by `serve` post-bind)
+/// for up to ~5 s.
+fn resolve_addr(args: &Args) -> Result<SocketAddr, CliError> {
+    if let Some(raw) = args.get("addr") {
+        return raw
+            .parse()
+            .map_err(|_| CliError(format!("--addr: '{raw}' is not HOST:PORT")));
+    }
+    let path = args
+        .get("addr-file")
+        .ok_or_else(|| CliError("need --addr or --addr-file".into()))?;
+    for _ in 0..250 {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(addr) = text.trim().parse() {
+                return Ok(addr);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    Err(CliError(format!(
+        "--addr-file {path}: no parsable address after 5s"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_serve::{ServeConfig, ServePlane};
+    use qos_service::{QosPredictionService, ServiceConfig};
+    use std::sync::Arc;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn live_plane() -> ServePlane {
+        let service = Arc::new(QosPredictionService::new(ServiceConfig {
+            input_queue_capacity: 4096,
+            ..ServiceConfig::default()
+        }));
+        ServePlane::start("127.0.0.1:0", service, ServeConfig::default()).expect("bind")
+    }
+
+    #[test]
+    fn loadtest_against_live_plane_writes_report() {
+        let plane = live_plane();
+        let addr = plane.local_addr().to_string();
+        let dir = std::env::temp_dir().join("amf_cli_loadtest_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("bench_serve.json");
+        let _ = std::fs::remove_file(&out_path);
+
+        let out = run(&args(&[
+            "loadtest",
+            "--addr",
+            &addr,
+            "--quick",
+            "--requests",
+            "60",
+            "--concurrency",
+            "3",
+            "--timeout-ms",
+            "400",
+            "--fault-plan",
+            "conn-reset@0.1,slow-read@0.05",
+            "--out",
+            &out_path.to_string_lossy(),
+        ]))
+        .unwrap();
+        assert!(out.contains("loadtest[clean]"), "{out}");
+        assert!(out.contains("loadtest[faulted]"), "{out}");
+        assert!(out.contains("worker_panics=0"), "{out}");
+
+        let doc = Json::parse(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(BENCH_SERVE_SCHEMA)
+        );
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 2);
+        for run in runs {
+            assert!(run.get("error_rate").and_then(Json::as_f64).unwrap() < 1.0);
+            assert_eq!(
+                run.get("server_worker_panics").and_then(Json::as_u64),
+                Some(0)
+            );
+        }
+        let stats = plane.stop();
+        assert_eq!(stats.worker_panics, 0);
+        std::fs::remove_file(out_path).unwrap();
+    }
+
+    #[test]
+    fn fault_plan_without_network_verbs_rejected() {
+        let err = run(&args(&[
+            "loadtest",
+            "--addr",
+            "127.0.0.1:1",
+            "--fault-plan",
+            "seed=3;drop=0.5",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no network verbs"), "{err}");
+    }
+
+    #[test]
+    fn missing_addr_rejected() {
+        let err = run(&args(&["loadtest"])).unwrap_err();
+        assert!(err.to_string().contains("--addr"));
+    }
+
+    #[test]
+    fn unreachable_endpoint_fails_cleanly() {
+        // Bind-then-drop: nothing listens there.
+        let addr = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .to_string();
+        let err = run(&args(&[
+            "loadtest",
+            "--addr",
+            &addr,
+            "--requests",
+            "4",
+            "--retries",
+            "0",
+            "--timeout-ms",
+            "100",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("no successful response"), "{err}");
+    }
+}

@@ -6,6 +6,7 @@ pub mod diagnose;
 pub mod evaluate;
 pub mod experiment;
 pub mod generate;
+pub mod loadtest;
 pub mod predict;
 pub mod report;
 pub mod serve;

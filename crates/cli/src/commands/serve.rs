@@ -1,25 +1,34 @@
-//! `amf-qos serve` — run the prediction service with a live metrics
-//! endpoint and an optional JSONL telemetry recorder.
+//! `amf-qos serve` — run the hardened serving plane over the prediction
+//! service.
 //!
-//! This is the CLI face of the continuous-telemetry pipeline: a seeded (or
-//! file-fed) QoS workload streams through the full prediction service while
-//! a [`qos_service::MetricsServer`] answers `GET /metrics` (Prometheus
-//! 0.0.4), `/healthz`, and `/snapshot.json`, and a
-//! [`qos_obs::SnapshotRecorder`] appends `amf-obs-ts/v1` interval snapshots
-//! to a size-rotated log that `amf-qos report` can summarize afterwards.
+//! Earlier revisions only exposed the observability routes; this command
+//! now boots a full [`qos_serve::ServePlane`]: `POST /v1/observe`,
+//! `/v1/predict`, `/v1/rank` (newline-delimited JSON bodies, per-request
+//! deadlines via `x-amf-deadline-ms`, two-level admission control) next to
+//! `GET /metrics`, `/healthz`, and `/snapshot.json` — one listener, one
+//! graceful drain path. An optional seeded (or file-fed) workload warms
+//! the model before the port is published, and a
+//! [`qos_obs::SnapshotRecorder`] can append `amf-obs-ts/v1` interval
+//! snapshots for `amf-qos report`.
+//!
+//! `--metrics-addr` is kept as an alias of `--listen` for pre-plane
+//! supervisors and CI jobs.
 
 use super::CliError;
 use crate::args::Args;
 use qos_dataset::io;
 use qos_obs::{RecorderConfig, SnapshotRecorder};
-use qos_service::{MetricsServer, QosPredictionService, QosRecord, ServiceConfig};
+use qos_serve::{ServeConfig, ServePlane};
+use qos_service::{QosPredictionService, QosRecord, ServiceConfig};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Usage text for the subcommand.
-pub const USAGE: &str = "amf-qos serve [--metrics-addr HOST:PORT] [--addr-file PATH] \
-[--samples N] [--seed S] [--shards K] [--data TRIPLET_FILE] \
-[--telemetry-log PATH] [--interval-ms MS] [--max-log-bytes N] [--run-ms MS]";
+pub const USAGE: &str = "amf-qos serve [--listen HOST:PORT | --metrics-addr HOST:PORT] \
+[--addr-file PATH] [--workers N] [--max-pending N] [--deadline-ms MS] \
+[--io-timeout-ms MS] [--max-body-bytes N] [--samples N] [--seed S] [--shards K] \
+[--data TRIPLET_FILE] [--telemetry-log PATH] [--interval-ms MS] \
+[--max-log-bytes N] [--run-ms MS]";
 
 /// Runs the subcommand.
 ///
@@ -34,9 +43,22 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let run_ms: u64 = args.parse_or("run-ms", 0)?;
     let interval_ms: u64 = args.parse_or("interval-ms", 200)?;
     let max_log_bytes: u64 = args.parse_or("max-log-bytes", 4 * 1024 * 1024)?;
-    let metrics_addr = args.get_or("metrics-addr", "127.0.0.1:0");
+    let workers: usize = args.parse_or("workers", 4)?;
+    let max_pending: usize = args.parse_or("max-pending", 128)?;
+    let deadline_ms: u64 = args.parse_or("deadline-ms", 1000)?;
+    let io_timeout_ms: u64 = args.parse_or("io-timeout-ms", 2000)?;
+    let max_body_bytes: usize = args.parse_or("max-body-bytes", 1024 * 1024)?;
+    // `--metrics-addr` predates the serving plane; both spell the one
+    // listener that now carries every route.
+    let listen = args
+        .get("listen")
+        .or_else(|| args.get("metrics-addr"))
+        .unwrap_or("127.0.0.1:0");
     if shards == 0 {
         return Err(CliError("--shards must be at least 1".into()));
+    }
+    if workers == 0 {
+        return Err(CliError("--workers must be at least 1".into()));
     }
 
     let config = ServiceConfig {
@@ -47,10 +69,29 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         QosPredictionService::try_new(config).map_err(|e| CliError(format!("service: {e}")))?,
     );
 
-    let snapshot_service = Arc::clone(&service);
-    let server = MetricsServer::start(metrics_addr, move || snapshot_service.stats_snapshot())
-        .map_err(|e| CliError(format!("--metrics-addr {metrics_addr}: {e}")))?;
-    let addr = server.local_addr();
+    // Warm the model BEFORE publishing the port, so a supervisor that
+    // waits on --addr-file sees a plane that already answers above the
+    // bottom of the fallback ladder.
+    let fed = feed_workload(&service, args, samples, seed)?;
+    for u in 0..16 {
+        let _ = service.predict(&format!("user-{u}"), &format!("svc-{}", u % 32));
+        let _ = service.rank_candidates(&format!("user-{u}"), 5);
+    }
+
+    let plane = ServePlane::start(
+        listen,
+        Arc::clone(&service),
+        ServeConfig {
+            workers,
+            max_pending,
+            max_body_bytes,
+            io_timeout: Duration::from_millis(io_timeout_ms.max(1)),
+            default_deadline: Duration::from_millis(deadline_ms.max(1)),
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| CliError(format!("--listen {listen}: {e}")))?;
+    let addr = plane.local_addr();
     if let Some(path) = args.get("addr-file") {
         // Written post-bind so a supervisor (or the CI smoke job) can poll
         // this file to discover the ephemeral port.
@@ -76,17 +117,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         None => None,
     };
 
-    let fed = feed_workload(&service, args, samples, seed)?;
-
-    // Exercise the prediction surface so latency histograms and the
-    // fallback-ladder counters carry data.
-    for u in 0..16 {
-        let _ = service.predict(&format!("user-{u}"), &format!("svc-{}", u % 32));
-        let _ = service.rank_candidates(&format!("user-{u}"), 5);
-    }
-
-    // Hold the endpoint open for scrapes; the workload above has already
-    // been absorbed, so this is pure serving time.
+    // Hold the endpoint open for traffic; the warm-up workload has been
+    // absorbed, so this is pure serving time.
     let deadline = Instant::now() + Duration::from_millis(run_ms);
     while Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(20));
@@ -108,15 +140,29 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             .and_then(|g| g.get("model.mre_w"))
             .and_then(qos_obs::Json::as_f64)
     };
-    let requests = server.stop();
+    let serve = plane.stop();
     Ok(format!(
-        "serve: endpoint {addr} ({requests} requests)\n\
+        "serve: endpoint {addr} ({} requests, {} ok, {} rejected, {} panics)\n\
+         admission       {} overload, {} deadline, {} draining\n\
          workload        {fed} samples fed, {} accepted, {} rejected\n\
+         served          {} predictions ({} degraded), {} ranks, {} observed ({} shed)\n\
          model           {} users, {} services, {} updates\n\
          windowed MRE    {}\n\
          telemetry log   {lines} lines, {rotations} rotations",
+        serve.requests,
+        serve.ok,
+        serve.rejected_overload + serve.rejected_deadline + serve.rejected_draining,
+        serve.worker_panics,
+        serve.rejected_overload,
+        serve.rejected_deadline,
+        serve.rejected_draining,
         stats.accepted,
         stats.rejected,
+        serve.predictions,
+        serve.degraded_answers,
+        serve.ranks,
+        serve.observe_queued,
+        serve.observe_shed,
         stats.users,
         stats.services,
         stats.updates,
@@ -254,7 +300,8 @@ mod tests {
 
     #[test]
     fn serve_endpoint_answers_while_running() {
-        // Drive /metrics from a second thread while serve holds the port.
+        // Drive /metrics and /v1/predict from a second thread while serve
+        // holds the port.
         let dir = std::env::temp_dir().join("amf_cli_serve_tests");
         std::fs::create_dir_all(&dir).unwrap();
         let addr_file = dir.join("live-addr.txt");
@@ -263,7 +310,7 @@ mod tests {
 
         let probe_path = addr_path.clone();
         let probe = std::thread::spawn(move || {
-            // Poll for the addr file, then scrape once.
+            // Poll for the addr file, then exercise both route families.
             for _ in 0..200 {
                 if let Ok(text) = std::fs::read_to_string(&probe_path) {
                     if let Ok(addr) = text.trim().parse::<std::net::SocketAddr>() {
@@ -271,9 +318,24 @@ mod tests {
                         stream
                             .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
                             .unwrap();
-                        let mut response = String::new();
-                        stream.read_to_string(&mut response).unwrap();
-                        return response;
+                        let mut metrics = String::new();
+                        stream.read_to_string(&mut metrics).unwrap();
+
+                        let body = "{\"user\":\"user-0\",\"service\":\"svc-0\"}\n";
+                        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                        stream
+                            .write_all(
+                                format!(
+                                    "POST /v1/predict HTTP/1.1\r\nHost: x\r\n\
+                                     Content-Length: {}\r\n\r\n{body}",
+                                    body.len()
+                                )
+                                .as_bytes(),
+                            )
+                            .unwrap();
+                        let mut predict = String::new();
+                        stream.read_to_string(&mut predict).unwrap();
+                        return (metrics, predict);
                     }
                 }
                 std::thread::sleep(Duration::from_millis(10));
@@ -293,16 +355,25 @@ mod tests {
             "600",
         ]))
         .unwrap();
-        let response = probe.join().unwrap();
-        assert!(response.starts_with("HTTP/1.1 200"));
-        assert!(response.contains("amf_service_accepted_total"));
-        assert!(out.contains("requests)"));
+        let (metrics, predict) = probe.join().unwrap();
+        assert!(metrics.starts_with("HTTP/1.1 200"));
+        assert!(metrics.contains("amf_service_accepted_total"));
+        assert!(metrics.contains("amf_serve_requests_total"));
+        assert!(predict.starts_with("HTTP/1.1 200"), "{predict}");
+        assert!(predict.contains("\"source\""), "{predict}");
+        assert!(out.contains("requests"));
+        assert!(out.contains("0 panics"), "{out}");
         std::fs::remove_file(addr_file).unwrap();
     }
 
     #[test]
     fn zero_shards_rejected() {
         assert!(run(&args(&["serve", "--shards", "0"])).is_err());
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        assert!(run(&args(&["serve", "--workers", "0", "--samples", "10"])).is_err());
     }
 
     #[test]

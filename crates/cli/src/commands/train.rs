@@ -21,10 +21,15 @@ pub const USAGE: &str = "amf-qos train --data TRIPLETS --out MODEL [--attr rt|tp
 /// `--guard` screens the stream through a [`SampleGuard`] (quarantining
 /// NaN/∞, non-positive, and out-of-range values) and reports the quarantine
 /// diagnostics. `--fault-plan` parses a deterministic fault script
-/// (`seed=N;kill=W@J[:mid];stall=W@J:MS;drop=P;dup=P;reorder=N`): the stream
-/// mutations (drop/duplicate/reorder) are applied to the input, and with
+/// (`seed=N;kill=W@J[:mid];stall=W@J:MS;drop=P;dup=P;reorder=N;`
+/// `conn-reset=P;slow-read=P;blackhole=P` — entries split on `;` or `,`,
+/// and the network verbs also accept the `verb@rate` shorthand, e.g.
+/// `conn-reset@0.05,slow-read@0.02`): the stream mutations
+/// (drop/duplicate/reorder) are applied to the input, and with
 /// `--shards >= 2` the kill/stall script is injected into the shard workers
-/// to exercise crash recovery — training must still complete.
+/// to exercise crash recovery — training must still complete. The network
+/// verbs are inert here; they drive `amf-qos loadtest`'s client-side fault
+/// injection against a live `amf-qos serve` endpoint.
 ///
 /// # Errors
 ///
@@ -241,7 +246,7 @@ mod tests {
         let restored = persistence::load_file(&model).unwrap();
         assert_eq!(restored.num_users(), 5);
         assert_eq!(restored.num_services(), 8);
-        assert_eq!(restored.update_count() > 0, true);
+        assert!(restored.update_count() > 0);
         std::fs::remove_file(data).unwrap();
         std::fs::remove_file(model).unwrap();
     }

@@ -9,8 +9,10 @@
 //! amf-qos experiment  regenerate any paper artifact by id
 //! amf-qos stats       dataset statistics (Fig. 6), synthetic or from file;
 //!                     `--obs` emits an `amf-obs/v1` observability snapshot
-//! amf-qos serve       run the prediction service with a live /metrics
-//!                     endpoint and optional JSONL telemetry recording
+//! amf-qos serve       run the hardened serving plane (observe/predict/rank
+//!                     endpoint + /metrics, /healthz, /snapshot.json)
+//! amf-qos loadtest    drive a live serve endpoint with a fault-injecting
+//!                     load harness and emit an amf-bench-serve/v1 report
 //! amf-qos report      summarize a recorded telemetry log
 //! ```
 //!
@@ -33,7 +35,8 @@ experiment  regenerate a paper artifact (fig2..fig14, table1, ablations)\n  \
 stats       dataset statistics (Fig. 6); --obs for a runtime metrics snapshot\n  \
 diagnose    health snapshot of a saved model\n  \
 simulate    end-to-end runtime-adaptation simulation\n  \
-serve       run the prediction service with a live /metrics endpoint\n  \
+serve       run the hardened serving plane (predict/observe/rank + metrics)\n  \
+loadtest    fault-injecting load harness against a live serve endpoint\n  \
 report      summarize an amf-obs-ts/v1 telemetry JSONL log\n\
 \n\
 run a subcommand without flags to see its usage";
@@ -65,6 +68,9 @@ fn dispatch(args: &Args) -> Result<String, commands::CliError> {
         }
         Some("serve") => {
             commands::serve::run(args).map_err(|e| usage_hint(e, commands::serve::USAGE))
+        }
+        Some("loadtest") => {
+            commands::loadtest::run(args).map_err(|e| usage_hint(e, commands::loadtest::USAGE))
         }
         Some("report") => {
             commands::report::run(args).map_err(|e| usage_hint(e, commands::report::USAGE))

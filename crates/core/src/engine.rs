@@ -2147,7 +2147,10 @@ mod tests {
 
     #[test]
     fn consistency_parses_and_displays() {
-        assert_eq!("parity".parse::<Consistency>().unwrap(), Consistency::Parity);
+        assert_eq!(
+            "parity".parse::<Consistency>().unwrap(),
+            Consistency::Parity
+        );
         assert_eq!(
             "relaxed".parse::<Consistency>().unwrap(),
             Consistency::Relaxed
@@ -2251,7 +2254,7 @@ mod tests {
         let got = engine.into_model();
         // No lost updates: every accepted sample is counted exactly once.
         assert_eq!(got.update_count(), 4_000);
-        assert_eq!(engine_stats_finite(&got), true);
+        assert!(engine_stats_finite(&got));
         // And the model actually learned: predictions exist for seen pairs.
         assert!(got.predict(0, 0).is_some());
     }

@@ -17,6 +17,12 @@
 //!   the engine's in-flight state rollback);
 //! * **Stalls** — put a worker to sleep at a given job, forcing queue
 //!   backpressure so load-shedding paths can be driven deterministically.
+//! * **Network faults** ([`FaultPlan::net_fault`]) — per-request transport
+//!   misbehaviour for the serving plane's load harness (`amf-qos loadtest`):
+//!   connection resets mid-request, byte-trickled slow reads, and black-hole
+//!   connections that open but never speak. These are *client-side* verbs:
+//!   the engine ignores them; [`NetFault`] consumers (the loadtest client)
+//!   replay them deterministically against a live `amf-qos serve` endpoint.
 //!
 //! Each kill/stall fires exactly once (consumed atomically), so a respawned
 //! worker replaying the same job does not die again — exactly like a real
@@ -55,12 +61,34 @@ struct Kill {
     fired: AtomicBool,
 }
 
+impl Clone for Kill {
+    fn clone(&self) -> Self {
+        Self {
+            worker: self.worker,
+            at_job: self.at_job,
+            phase: self.phase,
+            fired: AtomicBool::new(self.fired.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Stall {
     worker: usize,
     at_job: u64,
     pause: Duration,
     fired: AtomicBool,
+}
+
+impl Clone for Stall {
+    fn clone(&self) -> Self {
+        Self {
+            worker: self.worker,
+            at_job: self.at_job,
+            pause: self.pause,
+            fired: AtomicBool::new(self.fired.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 /// Panic payload of an injected worker kill, so recovery code and panic
@@ -75,8 +103,34 @@ pub struct InjectedCrash {
     pub phase: KillPhase,
 }
 
+/// A network-level fault to inject on one request (client-side verbs used by
+/// the serving-plane load harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// Abort the connection mid-request: send a partial request, then close
+    /// abruptly (the server sees an early FIN / reset inside the request).
+    ConnReset,
+    /// Trickle the request bytes with delays between tiny chunks, driving
+    /// the server's read-timeout and partial-read handling.
+    SlowRead,
+    /// Open the connection and never send a byte, holding it until the
+    /// client's own timeout fires (server-side idle-read timeout exercise).
+    Blackhole,
+}
+
+impl NetFault {
+    /// Short spec-verb label (matches the [`FaultPlan::parse`] keys).
+    pub fn label(self) -> &'static str {
+        match self {
+            NetFault::ConnReset => "conn-reset",
+            NetFault::SlowRead => "slow-read",
+            NetFault::Blackhole => "blackhole",
+        }
+    }
+}
+
 /// A deterministic, seed-driven fault script. See the module docs.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct FaultPlan {
     seed: u64,
     kills: Vec<Kill>,
@@ -84,6 +138,9 @@ pub struct FaultPlan {
     drop_rate: f64,
     duplicate_rate: f64,
     reorder_window: usize,
+    conn_reset_rate: f64,
+    slow_read_rate: f64,
+    blackhole_rate: f64,
 }
 
 impl FaultPlan {
@@ -136,6 +193,54 @@ impl FaultPlan {
     pub fn reorder_window(mut self, window: usize) -> Self {
         self.reorder_window = window;
         self
+    }
+
+    /// Sets the per-request connection-reset probability (network verb).
+    pub fn conn_reset_rate(mut self, rate: f64) -> Self {
+        self.conn_reset_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-request slow-read (byte-trickle) probability.
+    pub fn slow_read_rate(mut self, rate: f64) -> Self {
+        self.slow_read_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-request black-hole probability.
+    pub fn blackhole_rate(mut self, rate: f64) -> Self {
+        self.blackhole_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Whether any network verb (conn-reset/slow-read/blackhole) is
+    /// configured.
+    pub fn mutates_network(&self) -> bool {
+        self.conn_reset_rate > 0.0 || self.slow_read_rate > 0.0 || self.blackhole_rate > 0.0
+    }
+
+    /// The network fault (if any) to inject on the `request`-th request.
+    /// Deterministic: same plan + same index → same verdict, so a fault-
+    /// injected load run is replayable. The three rates partition one
+    /// uniform draw (conn-reset first, then slow-read, then blackhole), so
+    /// at most one verb fires per request and each fires at its own rate.
+    pub fn net_fault(&self, request: u64) -> Option<NetFault> {
+        if !self.mutates_network() {
+            return None;
+        }
+        let mut rng = SplitMix64::new(
+            self.seed ^ 0x6E65_745F_6661_756C ^ request.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let roll = rng.next_f64();
+        if roll < self.conn_reset_rate {
+            Some(NetFault::ConnReset)
+        } else if roll < self.conn_reset_rate + self.slow_read_rate {
+            Some(NetFault::SlowRead)
+        } else if roll < self.conn_reset_rate + self.slow_read_rate + self.blackhole_rate {
+            Some(NetFault::Blackhole)
+        } else {
+            None
+        }
     }
 
     /// Number of scheduled kills.
@@ -227,26 +332,46 @@ impl FaultPlan {
         out
     }
 
-    /// Parses a compact plan spec: `;`-separated `key=value` entries.
+    /// Parses a compact plan spec: `;`- or `,`-separated entries, each
+    /// `key=value` — the three network verbs also accept the shorthand
+    /// `verb@rate` (e.g. `conn-reset@0.05,slow-read@0.02`).
     ///
     /// | key | value | meaning |
     /// |---|---|---|
-    /// | `seed` | integer | stream-fault RNG seed |
+    /// | `seed` | integer | stream/network-fault RNG seed |
     /// | `kill` | `W@N` or `W@N:mid` | kill worker `W` at its `N`-th job |
     /// | `stall` | `W@N:MS` | stall worker `W` for `MS` ms at job `N` |
     /// | `drop` | probability | per-sample drop rate |
     /// | `dup` | probability | per-sample duplication rate |
     /// | `reorder` | integer | local reorder window |
+    /// | `conn-reset` | probability | per-request connection reset (network) |
+    /// | `slow-read` | probability | per-request byte trickle (network) |
+    /// | `blackhole` | probability | per-request silent connection (network) |
     ///
     /// # Errors
     ///
     /// Returns a human-readable message naming the offending entry.
     pub fn parse(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::default();
-        for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
-            let (key, value) = entry
-                .split_once('=')
-                .ok_or_else(|| format!("fault-plan entry '{entry}': expected key=value"))?;
+        for entry in spec
+            .split([';', ','])
+            .map(str::trim)
+            .filter(|e| !e.is_empty())
+        {
+            // Network verbs allow `verb@rate` shorthand; everything (network
+            // verbs included) also parses as `key=value`.
+            let (key, value) = match entry.split_once('=') {
+                Some((key, value)) => (key, value),
+                None => match entry.split_once('@') {
+                    Some((key @ ("conn-reset" | "slow-read" | "blackhole"), value)) => (key, value),
+                    _ => {
+                        return Err(format!(
+                            "fault-plan entry '{entry}': expected key=value (or verb@rate \
+                             for conn-reset/slow-read/blackhole)"
+                        ))
+                    }
+                },
+            };
             match key.trim() {
                 "seed" => {
                     plan.seed = value
@@ -310,10 +435,68 @@ impl FaultPlan {
                         .parse()
                         .map_err(|_| format!("fault-plan reorder '{value}': not an integer"))?;
                 }
+                "conn-reset" => {
+                    plan.conn_reset_rate = parse_rate("conn-reset", value)?;
+                }
+                "slow-read" => {
+                    plan.slow_read_rate = parse_rate("slow-read", value)?;
+                }
+                "blackhole" => {
+                    plan.blackhole_rate = parse_rate("blackhole", value)?;
+                }
                 other => return Err(format!("fault-plan key '{other}': unknown")),
             }
         }
         Ok(plan)
+    }
+}
+
+/// Canonical spec rendering: `;`-separated `key=value` entries that
+/// [`FaultPlan::parse`] accepts back — `parse(display(p))` reproduces the
+/// plan's configuration exactly (fired-state of kills/stalls is runtime
+/// bookkeeping, not configuration, and is not rendered).
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut sep = "";
+        let mut item = |f: &mut std::fmt::Formatter<'_>, text: String| {
+            let r = write!(f, "{sep}{text}");
+            sep = ";";
+            r
+        };
+        item(f, format!("seed={}", self.seed))?;
+        for kill in &self.kills {
+            let phase = match kill.phase {
+                KillPhase::Before => "",
+                KillPhase::Mid => ":mid",
+            };
+            item(f, format!("kill={}@{}{phase}", kill.worker, kill.at_job))?;
+        }
+        for stall in &self.stalls {
+            item(
+                f,
+                format!(
+                    "stall={}@{}:{}",
+                    stall.worker,
+                    stall.at_job,
+                    stall.pause.as_millis()
+                ),
+            )?;
+        }
+        for (key, rate) in [
+            ("drop", self.drop_rate),
+            ("dup", self.duplicate_rate),
+            ("conn-reset", self.conn_reset_rate),
+            ("slow-read", self.slow_read_rate),
+            ("blackhole", self.blackhole_rate),
+        ] {
+            if rate > 0.0 {
+                item(f, format!("{key}={rate}"))?;
+            }
+        }
+        if self.reorder_window > 0 {
+            item(f, format!("reorder={}", self.reorder_window))?;
+        }
+        Ok(())
     }
 }
 
@@ -444,9 +627,85 @@ mod tests {
             "stall=1@2",
             "warp=9",
             "seed",
+            "conn-reset@2.0",
+            "conn-reset@x",
+            "blackhole@-0.1",
+            "jitter@0.5",
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad}");
         }
         assert!(FaultPlan::parse("").unwrap().kills.is_empty());
+    }
+
+    #[test]
+    fn parse_network_verbs_both_spellings() {
+        // The `@` shorthand (the loadtest idiom, comma-separated) and the
+        // canonical `=` form must agree.
+        let short = FaultPlan::parse("conn-reset@0.05,slow-read@0.02,blackhole@0.01").unwrap();
+        let long = FaultPlan::parse("conn-reset=0.05;slow-read=0.02;blackhole=0.01").unwrap();
+        for plan in [&short, &long] {
+            assert_eq!(plan.conn_reset_rate, 0.05);
+            assert_eq!(plan.slow_read_rate, 0.02);
+            assert_eq!(plan.blackhole_rate, 0.01);
+            assert!(plan.mutates_network());
+            assert!(!plan.mutates_stream());
+        }
+        assert_eq!(short.to_string(), long.to_string());
+    }
+
+    #[test]
+    fn display_parse_round_trips() {
+        let specs = [
+            "seed=7;kill=1@500;kill=0@900:mid;stall=2@100:250;drop=0.02;dup=0.01;reorder=8",
+            "seed=3;conn-reset=0.05;slow-read=0.02;blackhole=0.01",
+            "seed=0",
+            "seed=9;kill=0@1:mid;conn-reset=0.5",
+        ];
+        for spec in specs {
+            let plan = FaultPlan::parse(spec).unwrap();
+            let rendered = plan.to_string();
+            let reparsed = FaultPlan::parse(&rendered).unwrap();
+            assert_eq!(
+                reparsed.to_string(),
+                rendered,
+                "display must be a fixed point through parse for {spec:?}"
+            );
+            // And the canonical form equals the input for already-canonical
+            // specs (all of the above are written canonically).
+            assert_eq!(rendered, spec);
+        }
+    }
+
+    #[test]
+    fn net_fault_is_deterministic_and_rate_accurate() {
+        let plan =
+            FaultPlan::parse("seed=11;conn-reset=0.05;slow-read=0.02;blackhole=0.01").unwrap();
+        let n = 200_000u64;
+        let mut counts = [0u64; 3];
+        for i in 0..n {
+            // Determinism: two draws for the same index agree.
+            assert_eq!(plan.net_fault(i), plan.net_fault(i));
+            match plan.net_fault(i) {
+                Some(NetFault::ConnReset) => counts[0] += 1,
+                Some(NetFault::SlowRead) => counts[1] += 1,
+                Some(NetFault::Blackhole) => counts[2] += 1,
+                None => {}
+            }
+        }
+        let rates: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((rates[0] - 0.05).abs() < 0.005, "conn-reset rate {rates:?}");
+        assert!((rates[1] - 0.02).abs() < 0.005, "slow-read rate {rates:?}");
+        assert!((rates[2] - 0.01).abs() < 0.005, "blackhole rate {rates:?}");
+        // No network verbs configured → never a fault, regardless of index.
+        let clean = FaultPlan::parse("seed=11;drop=0.5").unwrap();
+        assert!((0..1000).all(|i| clean.net_fault(i).is_none()));
+        // Labels round-trip to the parse keys.
+        for (fault, label) in [
+            (NetFault::ConnReset, "conn-reset"),
+            (NetFault::SlowRead, "slow-read"),
+            (NetFault::Blackhole, "blackhole"),
+        ] {
+            assert_eq!(fault.label(), label);
+        }
     }
 }

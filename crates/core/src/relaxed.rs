@@ -89,7 +89,8 @@ pub(crate) struct EpochClaim<'a> {
 
 impl Drop for EpochClaim<'_> {
     fn drop(&mut self) {
-        self.epoch.store(self.odd.wrapping_add(1), Ordering::Release);
+        self.epoch
+            .store(self.odd.wrapping_add(1), Ordering::Release);
     }
 }
 
@@ -130,13 +131,10 @@ impl AtomicSlab {
                     .compare_exchange_weak(e, e + 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
-                return EpochClaim {
-                    epoch,
-                    odd: e + 1,
-                };
+                return EpochClaim { epoch, odd: e + 1 };
             }
             spins = spins.wrapping_add(1);
-            if spins % 64 == 0 {
+            if spins.is_multiple_of(64) {
                 std::thread::yield_now();
             } else {
                 std::hint::spin_loop();
@@ -208,8 +206,7 @@ struct WorkerTelemetry {
 
 impl WorkerTelemetry {
     fn push(&mut self, outcome: &UpdateOutcome, e_user: f64, e_service: f64) {
-        self.window
-            .push(outcome.r, outcome.g, outcome.sample_error);
+        self.window.push(outcome.r, outcome.g, outcome.sample_error);
         let verdict = self.sentinel.observe(e_user, e_service);
         if verdict.any() {
             let metrics = crate::obs::model_metrics();
@@ -500,7 +497,9 @@ impl RelaxedLane {
             parts[sample.0 % k].push(sample);
         }
         let metrics = crate::obs::engine_metrics();
-        metrics.chunks_dispatched.add(parts.iter().filter(|p| !p.is_empty()).count() as u64);
+        metrics
+            .chunks_dispatched
+            .add(parts.iter().filter(|p| !p.is_empty()).count() as u64);
         metrics.jobs_dispatched.add(batch.len() as u64);
 
         // Per-worker progress through its partition; persists across resume
@@ -568,9 +567,7 @@ impl RelaxedLane {
         let mut deaths = Vec::new();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(parts.len());
-            for ((w, part), telemetry) in
-                parts.iter().enumerate().zip(self.telemetry.iter_mut())
-            {
+            for ((w, part), telemetry) in parts.iter().enumerate().zip(self.telemetry.iter_mut()) {
                 if part.is_empty() || progress[w].load(Ordering::Acquire) as usize >= part.len() {
                     continue;
                 }
@@ -581,16 +578,14 @@ impl RelaxedLane {
                         let mut ubuf = vec![0.0; dim];
                         let mut sbuf = vec![0.0; dim];
                         let start = progress.load(Ordering::Acquire) as usize;
-                        for (idx, &(user, service, raw)) in
-                            part.iter().enumerate().skip(start)
-                        {
+                        for (idx, &(user, service, raw)) in part.iter().enumerate().skip(start) {
                             let seq = seq_base + idx as u64;
                             if let Some(plan) = plan {
                                 plan.crash_point(w, seq, KillPhase::Before);
                             }
                             let (outcome, e_user, e_service) = apply_relaxed(
-                                config, transform, users, services, user, service, raw,
-                                plan, w, seq, &mut ubuf, &mut sbuf,
+                                config, transform, users, services, user, service, raw, plan, w,
+                                seq, &mut ubuf, &mut sbuf,
                             );
                             telemetry.push(&outcome, e_user, e_service);
                             progress.store(idx as u64 + 1, Ordering::Release);

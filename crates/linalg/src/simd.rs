@@ -47,6 +47,10 @@ use std::sync::OnceLock;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct F64x4([f64; 4]);
 
+// Inherent `add`/`sub`/`mul` rather than the std ops traits: operator
+// syntax would read as ordinary arithmetic, while the method-call form
+// (matching `std::simd`) keeps lane-wise semantics visible at call sites.
+#[allow(clippy::should_implement_trait)]
 impl F64x4 {
     /// Loads four lanes from the first four elements of `src`.
     ///
@@ -78,33 +82,21 @@ impl F64x4 {
     #[inline(always)]
     #[must_use]
     pub fn add(self, rhs: Self) -> Self {
-        let mut out = [0.0; 4];
-        for k in 0..4 {
-            out[k] = self.0[k] + rhs.0[k];
-        }
-        Self(out)
+        Self(std::array::from_fn(|k| self.0[k] + rhs.0[k]))
     }
 
     /// Lane-wise subtraction.
     #[inline(always)]
     #[must_use]
     pub fn sub(self, rhs: Self) -> Self {
-        let mut out = [0.0; 4];
-        for k in 0..4 {
-            out[k] = self.0[k] - rhs.0[k];
-        }
-        Self(out)
+        Self(std::array::from_fn(|k| self.0[k] - rhs.0[k]))
     }
 
     /// Lane-wise multiplication.
     #[inline(always)]
     #[must_use]
     pub fn mul(self, rhs: Self) -> Self {
-        let mut out = [0.0; 4];
-        for k in 0..4 {
-            out[k] = self.0[k] * rhs.0[k];
-        }
-        Self(out)
+        Self(std::array::from_fn(|k| self.0[k] * rhs.0[k]))
     }
 
     /// Lane-wise `self * b + c` as **two** rounded operations (multiply,
@@ -113,11 +105,7 @@ impl F64x4 {
     #[inline(always)]
     #[must_use]
     pub fn mul_add_unfused(self, b: Self, c: Self) -> Self {
-        let mut out = [0.0; 4];
-        for k in 0..4 {
-            out[k] = self.0[k] * b.0[k] + c.0[k];
-        }
-        Self(out)
+        Self(std::array::from_fn(|k| self.0[k] * b.0[k] + c.0[k]))
     }
 
     /// Lane-wise [`f64::clamp`] — identical NaN propagation and edge
@@ -125,11 +113,7 @@ impl F64x4 {
     #[inline(always)]
     #[must_use]
     pub fn clamp(self, lo: f64, hi: f64) -> Self {
-        let mut out = [0.0; 4];
-        for k in 0..4 {
-            out[k] = self.0[k].clamp(lo, hi);
-        }
-        Self(out)
+        Self(std::array::from_fn(|k| self.0[k].clamp(lo, hi)))
     }
 
     /// The lanes as an array.

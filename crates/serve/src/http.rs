@@ -1,0 +1,364 @@
+//! Minimal, hardened HTTP/1.1 reader/writer for the serving plane.
+//!
+//! This is deliberately not a general HTTP implementation: one request per
+//! connection (`Connection: close`), no chunked transfer encoding, no
+//! keep-alive. What it *is* careful about is hostile input — every
+//! malformed shape the load harness can produce (truncated heads, bad
+//! `Content-Length`, oversized bodies, early FIN, header floods) maps to a
+//! typed [`HttpError`] and a clean `4xx`, never a panic and never an
+//! unbounded allocation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path with any query string still attached.
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (exactly `Content-Length` of them).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value by (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == &name.to_ascii_lowercase())
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Path without a query string.
+    pub fn route(&self) -> &str {
+        self.path.split('?').next().unwrap_or(&self.path)
+    }
+
+    /// Body as UTF-8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HttpError::BadRequest`] on invalid UTF-8.
+    pub fn body_str(&self) -> Result<&str, HttpError> {
+        std::str::from_utf8(&self.body).map_err(|_| HttpError::BadRequest("body is not UTF-8"))
+    }
+}
+
+/// A request-reading failure, each variant mapping to one response status.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request (`400`): the static message names the defect.
+    BadRequest(&'static str),
+    /// Request head exceeded [`MAX_HEAD_BYTES`] (`431`).
+    HeadTooLarge,
+    /// Declared body exceeds the configured cap (`413`).
+    BodyTooLarge,
+    /// The socket read timed out mid-request (`408`).
+    Timeout,
+    /// The peer closed before sending anything (no response owed).
+    CleanClose,
+    /// Transport failure mid-read (no response possible).
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The response status for this error, when one can still be written.
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            HttpError::BadRequest(_) => Some(400),
+            HttpError::HeadTooLarge => Some(431),
+            HttpError::BodyTooLarge => Some(413),
+            HttpError::Timeout => Some(408),
+            HttpError::CleanClose | HttpError::Io(_) => None,
+        }
+    }
+
+    /// Human-readable description for the error body.
+    pub fn message(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(msg) => msg,
+            HttpError::HeadTooLarge => "request head too large",
+            HttpError::BodyTooLarge => "request body too large",
+            HttpError::Timeout => "request read timed out",
+            HttpError::CleanClose => "connection closed",
+            HttpError::Io(_) => "i/o error",
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+            _ => HttpError::Io(e),
+        }
+    }
+}
+
+/// Reads one request from the stream, enforcing the head cap and
+/// `max_body_bytes`.
+///
+/// # Errors
+///
+/// Every malformed or hostile shape returns a typed [`HttpError`]; see the
+/// module docs.
+pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(end) = find_head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(HttpError::CleanClose);
+            }
+            return Err(HttpError::BadRequest("truncated request head"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end.start])
+        .map_err(|_| HttpError::BadRequest("request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => return Err(HttpError::BadRequest("malformed request line")),
+    };
+    if !version.starts_with("HTTP/") {
+        return Err(HttpError::BadRequest("malformed HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::BadRequest("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::BadRequest("transfer-encoding not supported"));
+    }
+
+    let content_length = match request.header("content-length") {
+        None => 0usize,
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| HttpError::BadRequest("bad content-length"))?,
+    };
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge);
+    }
+
+    // Bytes past the head terminator already read belong to the body.
+    let mut body = buf.split_off(head_end.end);
+    if body.len() > content_length {
+        // More bytes than declared: pipelining is unsupported, treat as a
+        // framing violation rather than silently discarding.
+        return Err(HttpError::BadRequest("body longer than content-length"));
+    }
+    while body.len() < content_length {
+        let want = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..want])?;
+        if n == 0 {
+            return Err(HttpError::BadRequest("truncated body (early close)"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    request.body = body;
+    Ok(request)
+}
+
+struct HeadEnd {
+    /// Offset of the first terminator byte (end of the head text).
+    start: usize,
+    /// Offset of the first body byte.
+    end: usize,
+}
+
+fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
+    if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+        return Some(HeadEnd {
+            start: i,
+            end: i + 4,
+        });
+    }
+    buf.windows(2).position(|w| w == b"\n\n").map(|i| HeadEnd {
+        start: i,
+        end: i + 2,
+    })
+}
+
+/// Writes a full response with `Connection: close`.
+///
+/// # Errors
+///
+/// Propagates socket write failures (the caller counts them; nothing more
+/// can be sent on this connection anyway).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = reason_phrase(status);
+    let retry = if status == 503 {
+        "Retry-After: 1\r\n"
+    } else {
+        ""
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\n{retry}Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Standard reason phrase for the statuses the plane emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Runs `read_request` against raw bytes written from a peer socket.
+    fn parse_raw(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(&raw).unwrap();
+            // Close (FIN) after writing everything we have.
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
+            .unwrap();
+        let out = read_request(&mut stream, max_body);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\
+                    X-Amf-Deadline-Ms: 250\r\n\r\nhello world";
+        let req = parse_raw(raw, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.route(), "/v1/predict");
+        assert_eq!(req.header("x-amf-deadline-ms"), Some("250"));
+        assert_eq!(req.body_str().unwrap(), "hello world");
+    }
+
+    #[test]
+    fn truncated_head_is_bad_request() {
+        let err = parse_raw(b"POST /v1/observe HTTP/1.1\r\nContent-Len", 1024).unwrap_err();
+        assert_eq!(err.status(), Some(400));
+    }
+
+    #[test]
+    fn early_fin_mid_body_is_bad_request() {
+        let raw = b"POST /v1/observe HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
+        let err = parse_raw(raw, 1024).unwrap_err();
+        assert_eq!(err.status(), Some(400));
+        assert!(err.message().contains("truncated body"));
+    }
+
+    #[test]
+    fn bad_content_length_is_bad_request() {
+        for bad in ["abc", "-5", "1e3", ""] {
+            let raw = format!("POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n");
+            let err = parse_raw(raw.as_bytes(), 1024).unwrap_err();
+            assert_eq!(err.status(), Some(400), "content-length {bad:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_payload_too_large() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
+        let err = parse_raw(raw, 64).unwrap_err();
+        assert_eq!(err.status(), Some(413));
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice("X-Junk: ".as_bytes());
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 1024));
+        let err = parse_raw(&raw, 1024).unwrap_err();
+        assert_eq!(err.status(), Some(431));
+    }
+
+    #[test]
+    fn immediate_close_is_clean() {
+        let err = parse_raw(b"", 1024).unwrap_err();
+        assert!(matches!(err, HttpError::CleanClose));
+        assert_eq!(err.status(), None);
+    }
+
+    #[test]
+    fn garbage_request_line_is_bad_request() {
+        for bad in &[
+            "\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /\r\n\r\n",
+            "GET / TELNET\r\n\r\n",
+        ] {
+            let err = parse_raw(bad.as_bytes(), 1024).unwrap_err();
+            assert_eq!(err.status(), Some(400), "line {bad:?}");
+        }
+    }
+
+    #[test]
+    fn chunked_encoding_rejected() {
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        let err = parse_raw(raw, 1024).unwrap_err();
+        assert_eq!(err.status(), Some(400));
+    }
+}

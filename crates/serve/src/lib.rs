@@ -1,0 +1,46 @@
+//! Hardened serving plane for the QoS prediction service (ROADMAP item 3).
+//!
+//! Everything before this crate assumed callers hold a
+//! [`qos_service::QosPredictionService`] in-process; a runtime-adaptation
+//! loop talks to the predictor over a socket, under real traffic, while
+//! parts of the system are unhealthy. This crate is that edge, std-only:
+//!
+//! * [`ServePlane`] — an HTTP/1.1 endpoint for `observe` / `predict` /
+//!   `rank` batches (newline-delimited JSON bodies, reusing [`qos_obs::Json`])
+//!   plus the observability routes (`/metrics`, `/healthz`,
+//!   `/snapshot.json`). A fixed worker pool feeds the prediction service; a
+//!   bounded accept queue gives **two-level admission control** (fast-reject
+//!   `503` when the queue is full, degraded-but-answered predictions via the
+//!   fallback ladder while the engine is unhealthy); **per-request
+//!   deadlines** (`x-amf-deadline-ms`) propagate as a budget — a request
+//!   whose queue wait already exceeds its budget is rejected on arrival
+//!   without touching the model, and batch handlers re-check the budget
+//!   between items. Connections are hardened: read/write timeouts, a head
+//!   cap, a body cap, and malformed-request `400`s that never panic.
+//!   Shutdown is a **graceful drain**: stop accepting, flush in-flight
+//!   requests, publish a final snapshot.
+//! * [`http`] — the minimal request reader / response writer behind it,
+//!   written for hostile input (truncated heads, bad `Content-Length`,
+//!   oversized bodies, early FIN).
+//! * [`client`] + [`loadgen`] — the load harness: a closed/open-loop
+//!   generator with per-request timeouts, bounded retry (idempotent
+//!   `predict`/`rank` only — `observe` is never retried) with exponential
+//!   backoff + jitter, and deterministic network-fault injection
+//!   ([`amf_core::NetFault`]: conn-reset, slow-read, black-hole) so the
+//!   hardening claims are measured, not asserted (`BENCH_SERVE.json`,
+//!   schema `amf-bench-serve/v1`).
+//!
+//! The protocol and its retry-safety rules are specified in DESIGN.md §14.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod plane;
+
+pub use client::{ClientConfig, ClientError, HttpResponse, ServeClient};
+pub use loadgen::{LoadConfig, LoadMode, LoadReport, LoadRunner, BENCH_SERVE_SCHEMA};
+pub use plane::{ServeConfig, ServePlane, ServeStats, SERVE_SCHEMA};

@@ -1,0 +1,887 @@
+//! The serving plane: acceptor + bounded queue + fixed worker pool over a
+//! [`QosPredictionService`], with deadlines, admission control, and a
+//! graceful drain.
+//!
+//! ## Request lifecycle
+//!
+//! 1. The **acceptor** thread accepts a connection, stamps its arrival
+//!    time, and `try_send`s it into a bounded queue. A full queue is the
+//!    first admission level: the acceptor answers `503 overloaded`
+//!    immediately (fast-reject) instead of letting a backlog build.
+//! 2. A **worker** pops the connection, reads the request (hardened parse,
+//!    see [`crate::http`]), and resolves the request's deadline budget
+//!    (`x-amf-deadline-ms` header, else the configured default). If the
+//!    time already spent queued exceeds the budget, the request is
+//!    rejected on arrival (`503 deadline`) without touching the model —
+//!    the client has given up; serving it would be wasted work.
+//! 3. Handlers re-check the remaining budget between batch items, so one
+//!    oversized batch cannot blow through its deadline silently.
+//! 4. Predictions always ride
+//!    [`QosPredictionService::predict_degraded`] — the second admission
+//!    level: while the engine is rebuilding or entities are cold, answers
+//!    degrade along the fallback ladder (tagged with their
+//!    [`qos_service::PredictionSource`]) instead of failing.
+//!
+//! ## Drain
+//!
+//! [`ServePlane::stop`] flips the draining flag (visible in `/healthz`),
+//! stops the acceptor (stop flag observed *before* blocking again, plus a
+//! non-blocking listener and a wake connection — no self-connect race),
+//! lets the workers flush every queued connection, joins them, and
+//! publishes a final metrics snapshot.
+
+use crate::http::{self, HttpError, Request};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use qos_obs::Json;
+use qos_service::telemetry::health_body_from;
+use qos_service::QosPredictionService;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Schema tag of every JSON body the plane emits.
+pub const SERVE_SCHEMA: &str = "amf-serve/v1";
+
+/// Serving-plane configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Fixed worker-pool size.
+    pub workers: usize,
+    /// Bounded accept-queue capacity; beyond it the acceptor fast-rejects.
+    pub max_pending: usize,
+    /// Per-request body cap (`413` beyond it).
+    pub max_body_bytes: usize,
+    /// Socket read/write timeout per connection.
+    pub io_timeout: Duration,
+    /// Deadline budget applied when a request carries no
+    /// `x-amf-deadline-ms` header.
+    pub default_deadline: Duration,
+    /// Hard cap on client-supplied deadlines (keeps one client from
+    /// pinning a worker arbitrarily long).
+    pub max_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_pending: 128,
+            max_body_bytes: 1024 * 1024,
+            io_timeout: Duration::from_secs(2),
+            default_deadline: Duration::from_secs(1),
+            max_deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Operational counters of a [`ServePlane`] (all cumulative).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Connections accepted into the queue.
+    pub accepted: u64,
+    /// Requests fully parsed and routed.
+    pub requests: u64,
+    /// `200` responses.
+    pub ok: u64,
+    /// `4xx` protocol-error responses (400/404/405/408/413/422/431).
+    pub client_errors: u64,
+    /// Fast-rejects: accept queue full (`503`).
+    pub rejected_overload: u64,
+    /// Reject-on-arrival: queue wait exceeded the deadline budget (`503`).
+    pub rejected_deadline: u64,
+    /// Rejected because the plane was draining (`503`).
+    pub rejected_draining: u64,
+    /// Worker panics caught by the pool (must stay 0; the pool survives).
+    pub worker_panics: u64,
+    /// Connections lost to transport errors before a response could be
+    /// written.
+    pub io_errors: u64,
+    /// Observation records queued for training.
+    pub observe_queued: u64,
+    /// Observation records shed by the bounded input queue.
+    pub observe_shed: u64,
+    /// Individual predictions served.
+    pub predictions: u64,
+    /// Predictions answered below the `model` rung (degraded answers).
+    pub degraded_answers: u64,
+    /// Rank queries served.
+    pub ranks: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    requests: AtomicU64,
+    ok: AtomicU64,
+    client_errors: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_deadline: AtomicU64,
+    rejected_draining: AtomicU64,
+    worker_panics: AtomicU64,
+    io_errors: AtomicU64,
+    observe_queued: AtomicU64,
+    observe_shed: AtomicU64,
+    predictions: AtomicU64,
+    degraded_answers: AtomicU64,
+    ranks: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServeStats {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServeStats {
+            accepted: get(&self.accepted),
+            requests: get(&self.requests),
+            ok: get(&self.ok),
+            client_errors: get(&self.client_errors),
+            rejected_overload: get(&self.rejected_overload),
+            rejected_deadline: get(&self.rejected_deadline),
+            rejected_draining: get(&self.rejected_draining),
+            worker_panics: get(&self.worker_panics),
+            io_errors: get(&self.io_errors),
+            observe_queued: get(&self.observe_queued),
+            observe_shed: get(&self.observe_shed),
+            predictions: get(&self.predictions),
+            degraded_answers: get(&self.degraded_answers),
+            ranks: get(&self.ranks),
+        }
+    }
+}
+
+struct PlaneState {
+    service: Arc<QosPredictionService>,
+    config: ServeConfig,
+    counters: Counters,
+    stop: AtomicBool,
+    draining: AtomicBool,
+}
+
+impl PlaneState {
+    /// Mirrors the plane's counters into the process-global registry so
+    /// `/metrics` scrapes and snapshots carry `serve.*` families alongside
+    /// the service/engine instrumentation.
+    fn publish_metrics(&self) {
+        let stats = self.counters.snapshot();
+        let global = qos_obs::global();
+        for (name, value) in [
+            ("serve.accepted", stats.accepted),
+            ("serve.requests", stats.requests),
+            ("serve.ok", stats.ok),
+            ("serve.client_errors", stats.client_errors),
+            ("serve.rejected_overload", stats.rejected_overload),
+            ("serve.rejected_deadline", stats.rejected_deadline),
+            ("serve.rejected_draining", stats.rejected_draining),
+            ("serve.worker_panics", stats.worker_panics),
+            ("serve.io_errors", stats.io_errors),
+            ("serve.observe_queued", stats.observe_queued),
+            ("serve.observe_shed", stats.observe_shed),
+            ("serve.predictions", stats.predictions),
+            ("serve.degraded_answers", stats.degraded_answers),
+            ("serve.ranks", stats.ranks),
+        ] {
+            global.counter(name).set(value);
+        }
+        global
+            .gauge("serve.draining")
+            .set(if self.draining.load(Ordering::Relaxed) {
+                1.0
+            } else {
+                0.0
+            });
+    }
+
+    fn snapshot(&self) -> Json {
+        self.publish_metrics();
+        self.service.stats_snapshot()
+    }
+}
+
+struct Pending {
+    stream: TcpStream,
+    arrived: Instant,
+}
+
+/// The serving plane. See the module docs for the request lifecycle.
+pub struct ServePlane {
+    state: Arc<PlaneState>,
+    addr: SocketAddr,
+    /// A clone of the listening socket, kept so shutdown can switch the
+    /// shared handle to non-blocking — the drain path does not depend on a
+    /// self-connect racing the accept loop.
+    listener: TcpListener,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServePlane {
+    /// Binds `addr` (port 0 for ephemeral) and starts the acceptor and the
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/spawn error.
+    pub fn start(
+        addr: &str,
+        service: Arc<QosPredictionService>,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        let shutdown_handle = listener.try_clone()?;
+        let state = Arc::new(PlaneState {
+            service,
+            config,
+            counters: Counters::default(),
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+        });
+
+        let (tx, rx) = bounded::<Pending>(config.max_pending.max(1));
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx: Receiver<Pending> = rx.clone();
+            let worker_state = Arc::clone(&state);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("amf-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &worker_state))?,
+            );
+        }
+        let accept_state = Arc::clone(&state);
+        let acceptor = std::thread::Builder::new()
+            .name("amf-serve-accept".into())
+            .spawn(move || accept_loop(&listener, tx, &accept_state))?;
+
+        qos_obs::global()
+            .trace()
+            .event("serve_plane_start", bound.to_string());
+        Ok(Self {
+            state,
+            addr: bound,
+            listener: shutdown_handle,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (the real port for port-0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current operational counters.
+    pub fn stats(&self) -> ServeStats {
+        self.state.counters.snapshot()
+    }
+
+    /// Whether the plane is draining (stop initiated).
+    pub fn draining(&self) -> bool {
+        self.state.draining.load(Ordering::Relaxed)
+    }
+
+    /// Graceful drain: stop accepting, flush every queued and in-flight
+    /// request, join all threads, publish a final snapshot. Returns the
+    /// final counters.
+    pub fn stop(mut self) -> ServeStats {
+        self.shutdown();
+        self.state.counters.snapshot()
+    }
+
+    fn shutdown(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        // Order matters: draining first (healthz flips to "draining" and
+        // late arrivals are answered 503), then stop + non-blocking so the
+        // accept loop observes the flag before it can block again. The wake
+        // connection is only a latency optimization — with the shared
+        // handle non-blocking the loop exits on its own regardless of
+        // whether the connect wins or loses the race.
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.stop.store(true, Ordering::SeqCst);
+        let _ = self.listener.set_nonblocking(true);
+        if let Ok(stream) = TcpStream::connect(self.addr) {
+            drop(stream);
+        }
+        let _ = acceptor.join();
+        // The acceptor owned the queue's only sender; once it exits the
+        // workers drain whatever is queued (in-flight flush) and then see
+        // the disconnect and stop.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.state.publish_metrics();
+        qos_obs::global()
+            .trace()
+            .event("serve_plane_stop", self.addr.to_string());
+    }
+}
+
+impl Drop for ServePlane {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for ServePlane {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServePlane")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: Sender<Pending>, state: &PlaneState) {
+    loop {
+        // The stop flag is observed BEFORE blocking again — combined with
+        // the non-blocking switch in shutdown this is what makes the drain
+        // race-free (a connection arriving concurrently with shutdown can
+        // consume the wake, but it cannot make this loop block forever).
+        if state.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if state.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(_) => continue,
+        };
+        if state.draining.load(Ordering::SeqCst) {
+            reject_inline(stream, state, 503, "draining");
+            state
+                .counters
+                .rejected_draining
+                .fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let pending = Pending {
+            stream,
+            arrived: Instant::now(),
+        };
+        match tx.try_send(pending) {
+            Ok(()) => {
+                state.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Full(pending)) => {
+                // First admission level: the queue is full, so by the time
+                // this connection reached a worker its budget would likely
+                // be gone anyway. Reject now, cheaply, from the acceptor.
+                reject_inline(pending.stream, state, 503, "overloaded");
+                state
+                    .counters
+                    .rejected_overload
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// Best-effort error response written straight from the acceptor thread
+/// (short write timeout so a slow peer cannot stall accepting).
+fn reject_inline(mut stream: TcpStream, state: &PlaneState, status: u16, error: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let body = error_body(error);
+    if http::write_response(&mut stream, status, "application/json", &body).is_err() {
+        state.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(rx: &Receiver<Pending>, state: &PlaneState) {
+    while let Ok(pending) = rx.recv() {
+        // A panic in one connection's handler must never take down the
+        // pool; it is counted and the worker moves on.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(pending, state);
+        }));
+        if outcome.is_err() {
+            state.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn handle_connection(pending: Pending, state: &PlaneState) {
+    let Pending {
+        mut stream,
+        arrived,
+    } = pending;
+    let config = &state.config;
+    let _ = stream.set_read_timeout(Some(config.io_timeout));
+    let _ = stream.set_write_timeout(Some(config.io_timeout));
+
+    let request = match http::read_request(&mut stream, config.max_body_bytes) {
+        Ok(request) => request,
+        Err(e) => {
+            match e.status() {
+                Some(status) => {
+                    state.counters.client_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = http::write_response(
+                        &mut stream,
+                        status,
+                        "application/json",
+                        &error_body(e.message()),
+                    );
+                }
+                None => {
+                    if !matches!(e, HttpError::CleanClose) {
+                        state.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            return;
+        }
+    };
+    state.counters.requests.fetch_add(1, Ordering::Relaxed);
+
+    // Deadline budget: header wins (capped), else the configured default.
+    let deadline = match request.header("x-amf-deadline-ms") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Duration::from_millis(ms).min(config.max_deadline),
+            Err(_) => {
+                state.counters.client_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = http::write_response(
+                    &mut stream,
+                    400,
+                    "application/json",
+                    &error_body("bad x-amf-deadline-ms"),
+                );
+                return;
+            }
+        },
+        None => config.default_deadline,
+    };
+    let expires = arrived + deadline;
+
+    // Reject-on-arrival: the queue wait (plus request read) already burned
+    // the whole budget — answering would be wasted work the client no
+    // longer waits for.
+    if Instant::now() > expires {
+        state
+            .counters
+            .rejected_deadline
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = http::write_response(
+            &mut stream,
+            503,
+            "application/json",
+            &error_body("deadline exceeded in queue"),
+        );
+        return;
+    }
+
+    let (status, content_type, body) = route(&request, state, expires);
+    match status {
+        200 => state.counters.ok.fetch_add(1, Ordering::Relaxed),
+        503 => state
+            .counters
+            .rejected_deadline
+            .fetch_add(1, Ordering::Relaxed),
+        _ => state.counters.client_errors.fetch_add(1, Ordering::Relaxed),
+    };
+    if http::write_response(&mut stream, status, &content_type, &body).is_err() {
+        state.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+type RouteResponse = (u16, String, String);
+
+fn route(request: &Request, state: &PlaneState, expires: Instant) -> RouteResponse {
+    let json = |status: u16, body: String| (status, "application/json".to_string(), body);
+    match (request.method.as_str(), request.route()) {
+        ("POST", "/v1/observe") => handle_observe(request, state),
+        ("POST", "/v1/predict") => handle_predict(request, state, expires),
+        ("POST", "/v1/rank") => handle_rank(request, state),
+        ("GET", "/metrics") => {
+            let snapshot = state.snapshot();
+            (
+                200,
+                qos_obs::CONTENT_TYPE.to_string(),
+                qos_obs::render_prometheus(&snapshot),
+            )
+        }
+        ("GET", "/snapshot.json") => json(200, state.snapshot().to_string_compact()),
+        ("GET", "/healthz") => json(200, health_body_from(&state.snapshot())),
+        ("GET" | "POST", _) => json(404, error_body("not found")),
+        _ => json(405, error_body("method not allowed")),
+    }
+}
+
+/// `POST /v1/observe` — newline-delimited JSON records. Not idempotent:
+/// clients must never retry (DESIGN.md §14 retry-safety table). Garbage
+/// lines are counted, never fatal; valid records ride the bounded input
+/// queue (load-shedding) and are applied in one batch drain.
+fn handle_observe(request: &Request, state: &PlaneState) -> RouteResponse {
+    let body = match request.body_str() {
+        Ok(body) => body,
+        Err(e) => return (400, "application/json".to_string(), error_body(e.message())),
+    };
+    let mut queued = 0u64;
+    let mut shed = 0u64;
+    let mut invalid = 0u64;
+    for line in body.lines().filter(|l| !l.trim().is_empty()) {
+        let Some(record) = parse_observe_line(line) else {
+            invalid += 1;
+            continue;
+        };
+        if state.service.offer(record) {
+            queued += 1;
+        } else {
+            shed += 1;
+        }
+    }
+    let applied = state.service.drain_inputs() as u64;
+    state
+        .counters
+        .observe_queued
+        .fetch_add(queued, Ordering::Relaxed);
+    state
+        .counters
+        .observe_shed
+        .fetch_add(shed, Ordering::Relaxed);
+    let mut out = Json::obj();
+    out.set("schema", Json::Str(SERVE_SCHEMA.into()))
+        .set("op", Json::Str("observe".into()))
+        .set("queued", Json::UInt(queued))
+        .set("shed", Json::UInt(shed))
+        .set("invalid", Json::UInt(invalid))
+        .set("applied", Json::UInt(applied));
+    (200, "application/json".to_string(), out.to_string_compact())
+}
+
+fn parse_observe_line(line: &str) -> Option<qos_service::QosRecord> {
+    let parsed = Json::parse(line).ok()?;
+    let user = parsed.get("user")?.as_str()?.to_string();
+    let service = parsed.get("service")?.as_str()?.to_string();
+    let timestamp = parsed.get("timestamp").and_then(Json::as_u64).unwrap_or(0);
+    // `null` (JSON's only spelling of a non-finite float) maps to NaN so
+    // the value still reaches the guard and is *counted* as quarantined
+    // garbage rather than silently vanishing at the protocol layer.
+    let value = match parsed.get("value") {
+        Some(Json::Null) => f64::NAN,
+        Some(v) => v.as_f64()?,
+        None => return None,
+    };
+    Some(qos_service::QosRecord {
+        user,
+        service,
+        timestamp,
+        value,
+    })
+}
+
+/// `POST /v1/predict` — newline-delimited `{"user","service"}` pairs.
+/// Idempotent (read-only): safe to retry. Every answer is a degraded-mode
+/// prediction tagged with its fallback-ladder source; the deadline budget
+/// is re-checked between items.
+fn handle_predict(request: &Request, state: &PlaneState, expires: Instant) -> RouteResponse {
+    let body = match request.body_str() {
+        Ok(body) => body,
+        Err(e) => return (400, "application/json".to_string(), error_body(e.message())),
+    };
+    let mut results = Vec::new();
+    let mut invalid = 0u64;
+    let mut degraded = 0u64;
+    for line in body.lines().filter(|l| !l.trim().is_empty()) {
+        if Instant::now() > expires {
+            // Budget burned mid-batch: a partial answer is not a valid
+            // prediction set, and predict is idempotent — fail cleanly and
+            // let the client retry with a fresh budget.
+            return (
+                503,
+                "application/json".to_string(),
+                error_body("deadline exceeded mid-batch"),
+            );
+        }
+        let pair = Json::parse(line).ok().and_then(|parsed| {
+            let user = parsed.get("user")?.as_str()?.to_string();
+            let service = parsed.get("service")?.as_str()?.to_string();
+            Some((user, service))
+        });
+        let Some((user, service)) = pair else {
+            invalid += 1;
+            continue;
+        };
+        let prediction = state.service.predict_degraded(&user, &service);
+        if !prediction.source.is_model() {
+            degraded += 1;
+        }
+        let mut entry = Json::obj();
+        entry
+            .set("user", Json::Str(user))
+            .set("service", Json::Str(service))
+            .set("value", Json::Num(prediction.value))
+            .set("source", Json::Str(prediction.source.label().into()));
+        results.push(entry);
+    }
+    state
+        .counters
+        .predictions
+        .fetch_add(results.len() as u64, Ordering::Relaxed);
+    state
+        .counters
+        .degraded_answers
+        .fetch_add(degraded, Ordering::Relaxed);
+    let mut out = Json::obj();
+    out.set("schema", Json::Str(SERVE_SCHEMA.into()))
+        .set("op", Json::Str("predict".into()))
+        .set("invalid", Json::UInt(invalid))
+        .set("degraded", Json::UInt(degraded))
+        .set("results", Json::Arr(results));
+    (200, "application/json".to_string(), out.to_string_compact())
+}
+
+/// `POST /v1/rank` — one JSON object `{"user": ..., "k": ...}`. Idempotent
+/// (read-only): safe to retry. An unknown user is a clean `422`, not a
+/// degraded guess — ranking candidates for nobody is a caller bug.
+fn handle_rank(request: &Request, state: &PlaneState) -> RouteResponse {
+    let json = |status: u16, body: String| (status, "application/json".to_string(), body);
+    let body = match request.body_str() {
+        Ok(body) => body,
+        Err(e) => return json(400, error_body(e.message())),
+    };
+    let Ok(parsed) = Json::parse(body.trim()) else {
+        return json(400, error_body("rank body is not valid JSON"));
+    };
+    let Some(user) = parsed.get("user").and_then(Json::as_str) else {
+        return json(400, error_body("rank body missing \"user\""));
+    };
+    let k = parsed
+        .get("k")
+        .and_then(Json::as_u64)
+        .unwrap_or(5)
+        .min(1000) as usize;
+    match state.service.rank_candidates(user, k) {
+        Ok(ranked) => {
+            state.counters.ranks.fetch_add(1, Ordering::Relaxed);
+            let results = ranked
+                .into_iter()
+                .map(|(service, value)| {
+                    let mut entry = Json::obj();
+                    entry
+                        .set("service", Json::Str(service))
+                        .set("value", Json::Num(value));
+                    entry
+                })
+                .collect();
+            let mut out = Json::obj();
+            out.set("schema", Json::Str(SERVE_SCHEMA.into()))
+                .set("op", Json::Str("rank".into()))
+                .set("user", Json::Str(user.to_string()))
+                .set("results", Json::Arr(results));
+            json(200, out.to_string_compact())
+        }
+        Err(e) => json(422, error_body_owned(e.to_string())),
+    }
+}
+
+fn error_body(message: &str) -> String {
+    error_body_owned(message.to_string())
+}
+
+fn error_body_owned(message: String) -> String {
+    let mut out = Json::obj();
+    out.set("schema", Json::Str(SERVE_SCHEMA.into()))
+        .set("error", Json::Str(message));
+    out.to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_service::ServiceConfig;
+    use std::io::{Read, Write};
+
+    fn test_plane(config: ServeConfig) -> ServePlane {
+        let service = Arc::new(QosPredictionService::new(ServiceConfig {
+            input_queue_capacity: 1024,
+            ..ServiceConfig::default()
+        }));
+        ServePlane::start("127.0.0.1:0", service, config).expect("bind")
+    }
+
+    fn raw_request(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(raw).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str, headers: &str) -> (u16, String) {
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n{headers}\r\n{body}",
+            body.len()
+        );
+        let response = raw_request(addr, raw.as_bytes());
+        let (head, body) = response.split_once("\r\n\r\n").expect("blank line");
+        let status = head
+            .split_whitespace()
+            .nth(1)
+            .expect("status")
+            .parse()
+            .unwrap();
+        (status, body.to_string())
+    }
+
+    #[test]
+    fn observe_predict_rank_round_trip() {
+        let plane = test_plane(ServeConfig::default());
+        let addr = plane.local_addr();
+        let mut observations = String::new();
+        for t in 0..60u64 {
+            observations.push_str(&format!(
+                "{{\"user\":\"u{}\",\"service\":\"s{}\",\"timestamp\":{t},\"value\":{}}}\n",
+                t % 3,
+                t % 4,
+                0.5 + (t % 5) as f64
+            ));
+        }
+        let (status, body) = post(addr, "/v1/observe", &observations, "");
+        assert_eq!(status, 200, "{body}");
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(parsed.get("queued").and_then(Json::as_u64), Some(60));
+        assert_eq!(parsed.get("applied").and_then(Json::as_u64), Some(60));
+        assert_eq!(parsed.get("shed").and_then(Json::as_u64), Some(0));
+
+        let (status, body) = post(
+            addr,
+            "/v1/predict",
+            "{\"user\":\"u0\",\"service\":\"s1\"}\n{\"user\":\"ghost\",\"service\":\"s1\"}\n",
+            "",
+        );
+        assert_eq!(status, 200, "{body}");
+        let parsed = Json::parse(&body).unwrap();
+        let results = parsed.get("results").and_then(Json::as_arr).unwrap();
+        assert_eq!(results.len(), 2);
+        for entry in results {
+            let value = entry.get("value").and_then(Json::as_f64).unwrap();
+            assert!(value.is_finite());
+            assert!(entry.get("source").and_then(Json::as_str).is_some());
+        }
+
+        let (status, body) = post(addr, "/v1/rank", "{\"user\":\"u0\",\"k\":2}", "");
+        assert_eq!(status, 200, "{body}");
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(
+            parsed
+                .get("results")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(2)
+        );
+
+        let stats = plane.stop();
+        assert_eq!(stats.worker_panics, 0);
+        assert_eq!(stats.ok, 3);
+        assert_eq!(stats.predictions, 2);
+        assert_eq!(stats.ranks, 1);
+        assert!(stats.degraded_answers >= 1, "ghost user degrades");
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected_on_arrival() {
+        let plane = test_plane(ServeConfig::default());
+        let addr = plane.local_addr();
+        let (status, body) = post(
+            addr,
+            "/v1/predict",
+            "{\"user\":\"u\",\"service\":\"s\"}\n",
+            "x-amf-deadline-ms: 0\r\n",
+        );
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("deadline"));
+        let stats = plane.stop();
+        assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.worker_panics, 0);
+    }
+
+    #[test]
+    fn bad_deadline_header_is_400() {
+        let plane = test_plane(ServeConfig::default());
+        let (status, body) = post(
+            plane.local_addr(),
+            "/v1/predict",
+            "{}",
+            "x-amf-deadline-ms: soon\r\n",
+        );
+        assert_eq!(status, 400, "{body}");
+        plane.stop();
+    }
+
+    #[test]
+    fn unknown_rank_user_is_422_and_routes_404_405() {
+        let plane = test_plane(ServeConfig::default());
+        let addr = plane.local_addr();
+        let (status, _) = post(addr, "/v1/rank", "{\"user\":\"nobody\"}", "");
+        assert_eq!(status, 422);
+        let (status, _) = post(addr, "/v1/unknown", "{}", "");
+        assert_eq!(status, 404);
+        let response = raw_request(addr, b"DELETE /v1/rank HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 405"));
+        let stats = plane.stop();
+        assert_eq!(stats.worker_panics, 0);
+    }
+
+    #[test]
+    fn health_metrics_snapshot_served() {
+        let plane = test_plane(ServeConfig::default());
+        let addr = plane.local_addr();
+        let health = raw_request(addr, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        let metrics = raw_request(addr, b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            metrics.contains("amf_serve_requests"),
+            "serve counters exported"
+        );
+        let snapshot = raw_request(addr, b"GET /snapshot.json HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(snapshot.contains(qos_obs::SCHEMA));
+        plane.stop();
+    }
+
+    #[test]
+    fn drain_is_graceful_and_port_released() {
+        let plane = test_plane(ServeConfig::default());
+        let addr = plane.local_addr();
+        let (status, _) = post(
+            addr,
+            "/v1/observe",
+            "{\"user\":\"u\",\"service\":\"s\",\"value\":1.0}\n",
+            "",
+        );
+        assert_eq!(status, 200);
+        let stats = plane.stop();
+        assert_eq!(stats.worker_panics, 0);
+        // Fully drained: the port rebinds immediately.
+        assert!(
+            TcpListener::bind(addr).is_ok(),
+            "port still held after stop"
+        );
+    }
+
+    #[test]
+    fn repeated_start_stop_never_hangs() {
+        // The drain-path regression pin (shared-listener shape): shutdown
+        // must terminate promptly every time, scrape or no scrape.
+        for round in 0..25 {
+            let plane = test_plane(ServeConfig {
+                workers: 2,
+                ..ServeConfig::default()
+            });
+            if round % 3 == 0 {
+                let health = raw_request(plane.local_addr(), b"GET /healthz HTTP/1.1\r\n\r\n");
+                assert!(health.starts_with("HTTP/1.1 200"));
+            }
+            let stats = plane.stop();
+            assert_eq!(stats.worker_panics, 0, "round {round}");
+        }
+    }
+}

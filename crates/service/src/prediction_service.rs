@@ -455,8 +455,10 @@ impl QosPredictionService {
         let mut trainer = self.trainer.lock();
         if self.config.shards > 1 || self.config.consistency == amf_core::Consistency::Relaxed {
             let plan = self.fault_plan.lock().clone();
-            let options =
-                amf_core::EngineOptions::with_consistency(self.config.shards, self.config.consistency);
+            let options = amf_core::EngineOptions::with_consistency(
+                self.config.shards,
+                self.config.consistency,
+            );
             match trainer.feed_batch_sharded_with(samples.clone(), options, plan) {
                 Ok((fed, faults)) => {
                     self.absorb_fault_stats(faults);

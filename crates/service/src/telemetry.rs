@@ -65,6 +65,10 @@ struct ServerState {
 pub struct MetricsServer {
     state: Arc<ServerState>,
     addr: SocketAddr,
+    /// Clone of the listening socket: shutdown flips the shared handle to
+    /// non-blocking so the accept loop cannot stay blocked even if the
+    /// wake connection loses a race to a concurrent scrape.
+    listener: TcpListener,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -82,6 +86,7 @@ impl MetricsServer {
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let bound = listener.local_addr()?;
+        let shutdown_handle = listener.try_clone()?;
         let state = Arc::new(ServerState {
             source: Arc::new(source),
             stop: AtomicBool::new(false),
@@ -98,6 +103,7 @@ impl MetricsServer {
         Ok(Self {
             state,
             addr: bound,
+            listener: shutdown_handle,
             accept_thread: Some(accept_thread),
         })
     }
@@ -129,8 +135,12 @@ impl MetricsServer {
             return;
         };
         self.state.stop.store(true, Ordering::Release);
-        // The accept loop blocks in `accept`; a throwaway connection to
-        // ourselves wakes it so it can observe the stop flag.
+        // Switch the shared listener handle to non-blocking *before* the
+        // wake connection: even if a concurrent scrape consumes the wake
+        // (the self-connect race), the accept loop's next `accept` returns
+        // `WouldBlock` instead of parking forever, re-reads the stop flag,
+        // and exits. The throwaway connection is only a latency shortcut.
+        let _ = self.listener.set_nonblocking(true);
         if let Ok(stream) = TcpStream::connect(self.addr) {
             drop(stream);
         }
@@ -159,14 +169,22 @@ impl std::fmt::Debug for MetricsServer {
 
 fn accept_loop(listener: &TcpListener, state: &ServerState) {
     loop {
+        // Observe the stop flag BEFORE blocking again. Without this check a
+        // scrape that raced the shutdown wake could consume the throwaway
+        // connection, leaving the loop to re-enter `accept` and block with
+        // the flag already set — `stop()` would then hang in `join`.
+        if state.stop.load(Ordering::Acquire) {
+            return;
+        }
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
-            Err(_) => {
-                if state.stop.load(Ordering::Acquire) {
-                    return;
-                }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                // Shutdown switched the shared handle to non-blocking; the
+                // flag re-check above (next iteration) terminates the loop.
+                std::thread::sleep(Duration::from_millis(2));
                 continue;
             }
+            Err(_) => continue,
         };
         if state.stop.load(Ordering::Acquire) {
             return;
@@ -235,16 +253,49 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Res
     }
 }
 
-/// Builds the `/healthz` body from a snapshot: always `"ok"` while the
-/// listener is serving (liveness), plus the drift sentinel's health and the
-/// degraded flag as observability hints.
-fn health_body(snapshot: &Json) -> String {
+/// Builds the `/healthz` body (`amf-health/v1`) from an `amf-obs/v1`
+/// snapshot. Three-state status, shared by [`MetricsServer`] and the
+/// serving plane so both report identical health:
+///
+/// * `"draining"` — the serving plane has begun its graceful drain
+///   (`serve.draining` gauge set);
+/// * `"degraded"` — answers are riding the fallback ladder: the service
+///   degraded flag is up, or the engine has exhausted its respawn budget
+///   and abandoned workers (`service.fault.abandoned_workers` counter);
+/// * `"ok"` — otherwise. Responding at all is the liveness signal.
+///
+/// Load harnesses and CI treat `"degraded"` as non-fatal but must surface
+/// it (DESIGN.md §14).
+pub fn health_body_from(snapshot: &Json) -> String {
     let drift_healthy = gauge_value(snapshot, "model.drift_healthy") != Some(0.0);
-    let degraded = gauge_value(snapshot, "service.degraded").is_some_and(|v| v != 0.0);
+    let degraded = gauge_value(snapshot, "service.degraded").is_some_and(|v| v != 0.0)
+        || counter_value(snapshot, "service.fault.abandoned_workers").is_some_and(|v| v > 0);
+    let draining = gauge_value(snapshot, "serve.draining").is_some_and(|v| v != 0.0);
+    let status = if draining {
+        "draining"
+    } else if degraded {
+        "degraded"
+    } else {
+        "ok"
+    };
     format!(
-        "{{\"schema\":\"{HEALTH_SCHEMA}\",\"status\":\"ok\",\
+        "{{\"schema\":\"{HEALTH_SCHEMA}\",\"status\":\"{status}\",\
          \"drift_healthy\":{drift_healthy},\"degraded\":{degraded}}}"
     )
+}
+
+fn health_body(snapshot: &Json) -> String {
+    health_body_from(snapshot)
+}
+
+fn counter_value(snapshot: &Json, key: &str) -> Option<u64> {
+    let Json::Obj(map) = snapshot else {
+        return None;
+    };
+    let Json::Obj(counters) = map.get("counters")? else {
+        return None;
+    };
+    counters.get(key)?.as_u64()
 }
 
 fn gauge_value(snapshot: &Json, key: &str) -> Option<f64> {
@@ -384,6 +435,49 @@ mod tests {
         let (status, _, _) = get(server.local_addr(), "/metrics?ts=1");
         assert_eq!(status, 200);
         assert_eq!(server.stop(), 3);
+    }
+
+    #[test]
+    fn health_status_is_three_state() {
+        // ok: nothing unhealthy in the snapshot.
+        let registry = MetricsRegistry::new();
+        registry.gauge("model.drift_healthy").set(1.0);
+        let body = health_body_from(&registry.snapshot_json(false));
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+        // degraded: the service flag is up.
+        registry.gauge("service.degraded").set(1.0);
+        let body = health_body_from(&registry.snapshot_json(false));
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+        assert!(body.contains("\"degraded\":true"), "{body}");
+
+        // degraded: flag clear but the engine abandoned workers (respawn
+        // budget exhausted).
+        registry.gauge("service.degraded").set(0.0);
+        registry.counter("service.fault.abandoned_workers").add(1);
+        let body = health_body_from(&registry.snapshot_json(false));
+        assert!(body.contains("\"status\":\"degraded\""), "{body}");
+
+        // draining wins over everything.
+        registry.gauge("serve.draining").set(1.0);
+        let body = health_body_from(&registry.snapshot_json(false));
+        assert!(body.contains("\"status\":\"draining\""), "{body}");
+    }
+
+    #[test]
+    fn repeated_start_stop_never_hangs() {
+        // Regression pin for the shutdown self-connect race: if the accept
+        // loop re-blocks without observing the stop flag, one of these
+        // iterations wedges in `join` and the test times out. Scraping on
+        // some rounds keeps connections racing the shutdown wake.
+        for round in 0..50 {
+            let server = MetricsServer::start("127.0.0.1:0", test_source()).unwrap();
+            if round % 2 == 0 {
+                let (status, _, _) = get(server.local_addr(), "/healthz");
+                assert_eq!(status, 200, "round {round}");
+            }
+            server.stop();
+        }
     }
 
     #[test]

@@ -234,8 +234,8 @@ fn relaxed_snapshot_mid_stream_is_consistent() {
     // the contract: counted, finite, and servable.
     let spec = StreamSpec::default_parity();
     let stream = qos_stream(spec);
-    let mut engine = ShardedEngine::new(AmfConfig::response_time(), relaxed_options(4))
-        .expect("valid options");
+    let mut engine =
+        ShardedEngine::new(AmfConfig::response_time(), relaxed_options(4)).expect("valid options");
     engine.feed_batch(stream[..3_000].iter().copied());
     let mid = engine.snapshot();
     assert_eq!(mid.update_count(), 3_000);

@@ -1,0 +1,363 @@
+//! Integration suite for the hardened serving plane (DESIGN.md §14):
+//! exact accept/shed accounting under concurrent producers, a
+//! malformed-HTTP corpus that must never panic a worker, admission-control
+//! fast-rejects under overload, and the load harness driven end-to-end
+//! against a live plane with the acceptance fault plan
+//! (`conn-reset@0.05,slow-read@0.02`).
+
+use amf_core::FaultPlan;
+use qos_serve::{ClientConfig, LoadConfig, LoadMode, LoadRunner, ServeConfig, ServePlane};
+use qos_service::{QosPredictionService, QosRecord, ServiceConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn service(queue_capacity: usize) -> Arc<QosPredictionService> {
+    Arc::new(QosPredictionService::new(ServiceConfig {
+        input_queue_capacity: queue_capacity,
+        ..ServiceConfig::default()
+    }))
+}
+
+fn plane(config: ServeConfig, queue_capacity: usize) -> ServePlane {
+    ServePlane::start("127.0.0.1:0", service(queue_capacity), config).expect("bind plane")
+}
+
+/// Sends raw bytes and reads whatever comes back (empty when the server
+/// just closes).
+fn raw_exchange(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(raw).expect("write");
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+/// Every sample offered by N concurrent producers against a bounded input
+/// queue is EXACTLY one of accepted or shed — nothing lost, nothing
+/// double-counted: the accepted total equals what the drain applies.
+#[test]
+fn offer_accounting_is_exact_under_concurrent_producers() {
+    const PRODUCERS: usize = 8;
+    const PER_PRODUCER: u64 = 400;
+    let svc = service(64); // capacity far below the offered volume
+
+    let accepted = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let drained = AtomicU64::new(0);
+    let (svc, accepted_ref, shed_ref, drained_ref) = (&svc, &accepted, &shed, &drained);
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            scope.spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    let record = QosRecord {
+                        user: format!("user-{}", p % 5),
+                        service: format!("svc-{}", i % 7),
+                        timestamp: i,
+                        value: 0.25 + (i % 13) as f64 * 0.1,
+                    };
+                    if svc.offer(record) {
+                        accepted_ref.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        shed_ref.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        // A concurrent consumer keeps the queue moving, like the serve
+        // workers do per-request.
+        scope.spawn(move || loop {
+            let n = svc.drain_inputs() as u64;
+            drained_ref.fetch_add(n, Ordering::Relaxed);
+            if n == 0
+                && accepted_ref.load(Ordering::Relaxed) + shed_ref.load(Ordering::Relaxed)
+                    == (PRODUCERS as u64) * PER_PRODUCER
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        });
+    });
+    // Producers are done; whatever is still queued drains now.
+    drained.fetch_add(svc.drain_inputs() as u64, Ordering::Relaxed);
+
+    let accepted = accepted.load(Ordering::Relaxed);
+    let shed = shed.load(Ordering::Relaxed);
+    let drained = drained.load(Ordering::Relaxed);
+    assert_eq!(
+        accepted + shed,
+        (PRODUCERS as u64) * PER_PRODUCER,
+        "every sample got exactly one verdict"
+    );
+    assert_eq!(
+        drained, accepted,
+        "every accepted sample was applied exactly once (no loss, no dup)"
+    );
+    assert!(
+        shed > 0,
+        "the bounded queue actually shed under this volume"
+    );
+}
+
+/// Malformed requests get clean 4xx answers — never a worker panic, on any
+/// corpus entry. (CI runs this in both the default and single-threaded
+/// test lanes.)
+#[test]
+fn malformed_http_corpus_gets_4xx_never_panics() {
+    let plane = plane(
+        ServeConfig {
+            max_body_bytes: 1024,
+            io_timeout: Duration::from_millis(500),
+            ..ServeConfig::default()
+        },
+        256,
+    );
+    let addr = plane.local_addr();
+
+    // (raw request bytes, expected status-line prefix or "" for
+    // connection-closed-without-response)
+    let corpus: Vec<(Vec<u8>, &str)> = vec![
+        // not HTTP at all
+        (b"GARBAGE\r\n\r\n".to_vec(), "HTTP/1.1 400"),
+        // request line with too few tokens
+        (b"POST /v1/predict\r\n\r\n".to_vec(), "HTTP/1.1 400"),
+        // truncated mid-headers (early FIN before the blank line)
+        (
+            b"POST /v1/predict HTTP/1.1\r\nContent-Le".to_vec(),
+            "HTTP/1.1 400",
+        ),
+        // header without a colon
+        (
+            b"POST /v1/predict HTTP/1.1\r\nNoColonHere\r\n\r\n".to_vec(),
+            "HTTP/1.1 400",
+        ),
+        // unparsable content-length
+        (
+            b"POST /v1/predict HTTP/1.1\r\nContent-Length: banana\r\n\r\n".to_vec(),
+            "HTTP/1.1 400",
+        ),
+        // declared body larger than the configured cap -> 413
+        (
+            b"POST /v1/observe HTTP/1.1\r\nContent-Length: 999999\r\n\r\n".to_vec(),
+            "HTTP/1.1 413",
+        ),
+        // body shorter than content-length, then FIN
+        (
+            b"POST /v1/predict HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"user\"".to_vec(),
+            "HTTP/1.1 400",
+        ),
+        // unsupported transfer-encoding
+        (
+            b"POST /v1/observe HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+            "HTTP/1.1 400",
+        ),
+        // unknown method
+        (b"BREW /v1/rank HTTP/1.1\r\n\r\n".to_vec(), "HTTP/1.1 405"),
+        // oversized head -> 431
+        (
+            {
+                let mut raw = b"GET /metrics HTTP/1.1\r\n".to_vec();
+                raw.extend(vec![b'a'; 10 * 1024]);
+                raw
+            },
+            "HTTP/1.1 431",
+        ),
+        // immediate FIN: a clean close, no response owed
+        (Vec::new(), ""),
+    ];
+
+    for (raw, expected) in &corpus {
+        let response = raw_exchange(addr, raw);
+        if expected.is_empty() {
+            assert!(
+                response.is_empty(),
+                "clean close should get no response, got: {response}"
+            );
+        } else {
+            assert!(
+                response.starts_with(expected),
+                "corpus entry {:?}... expected {expected}, got: {}",
+                String::from_utf8_lossy(&raw[..raw.len().min(40)]),
+                &response[..response.len().min(80)]
+            );
+        }
+    }
+
+    // A well-formed request still works after the hostile parade.
+    let body = "{\"user\":\"u\",\"service\":\"s\"}\n";
+    let ok = raw_exchange(
+        addr,
+        format!(
+            "POST /v1/predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+
+    let stats = plane.stop();
+    assert_eq!(stats.worker_panics, 0, "no corpus entry may panic a worker");
+    assert!(stats.client_errors >= 9, "4xx path exercised: {stats:?}");
+}
+
+/// With one worker and a one-slot queue, silent connections saturate the
+/// plane and later arrivals are fast-rejected 503 by the acceptor.
+#[test]
+fn overload_fast_rejects_from_the_acceptor() {
+    let plane = plane(
+        ServeConfig {
+            workers: 1,
+            max_pending: 1,
+            io_timeout: Duration::from_millis(600),
+            ..ServeConfig::default()
+        },
+        256,
+    );
+    let addr = plane.local_addr();
+
+    // Occupy the single worker with a connection that sends nothing (it
+    // blocks in read until its 600 ms timeout).
+    let holder = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Four CONCURRENT probes: the first to reach the acceptor takes the
+    // single queue slot (and waits for the worker — it cannot be dequeued
+    // before the 600 ms hold expires); the rest find the queue full and
+    // must be answered 503 inline by the acceptor.
+    let probes: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(move || raw_exchange(addr, b"GET /healthz HTTP/1.1\r\n\r\n")))
+        .collect();
+    let responses: Vec<String> = probes.into_iter().map(|p| p.join().unwrap()).collect();
+    let rejected = responses
+        .iter()
+        .filter(|r| r.starts_with("HTTP/1.1 503"))
+        .count();
+    let served = responses
+        .iter()
+        .filter(|r| r.starts_with("HTTP/1.1 200"))
+        .count();
+    for response in responses.iter().filter(|r| r.starts_with("HTTP/1.1 503")) {
+        assert!(response.contains("Retry-After"), "{response}");
+    }
+    drop(holder);
+    let stats = plane.stop();
+    assert!(
+        rejected >= 1,
+        "expected at least one overload fast-reject: {responses:?}"
+    );
+    assert!(
+        served >= 1,
+        "the queued probe is flushed, not dropped: {responses:?}"
+    );
+    assert!(stats.rejected_overload >= 1, "{stats:?}");
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// The acceptance gate: a mixed workload under
+/// `conn-reset@0.05,slow-read@0.02` completes with zero server panics and
+/// every logical request accounted for — a valid tagged prediction or a
+/// clean protocol error.
+#[test]
+fn loadtest_under_acceptance_fault_plan_is_clean() {
+    let plane = plane(ServeConfig::default(), 4096);
+    let addr = plane.local_addr();
+
+    let plan = FaultPlan::parse("conn-reset@0.05,slow-read@0.02").expect("acceptance spec parses");
+    let config = LoadConfig {
+        mode: LoadMode::Closed { concurrency: 4 },
+        requests: 160,
+        seed: 7,
+        fault_plan: Some(plan),
+        client: ClientConfig {
+            request_timeout: Duration::from_millis(800),
+            max_retries: 2,
+            ..ClientConfig::default()
+        },
+        ..LoadConfig::default()
+    };
+    let report = LoadRunner::new(config).run(addr, "acceptance");
+
+    // Exact outcome accounting: every request is ok, a clean HTTP error,
+    // or a transport failure (which includes the sacrificed fault
+    // injections) — nothing vanishes.
+    let accounted = report.ok
+        + report.http_4xx
+        + report.http_503
+        + report.http_5xx_other
+        + report.transport_errors;
+    assert_eq!(accounted, report.requests, "{report:?}");
+    assert!(report.ok > 0, "the plane answered under faults: {report:?}");
+    assert_eq!(report.server_worker_panics, 0, "{report:?}");
+    assert!(
+        report.faults_conn_reset + report.faults_slow_read > 0,
+        "the plan actually injected faults: {report:?}"
+    );
+    // Predictions that did come back were all tagged + finite (the runner
+    // only counts entries carrying a source label and value).
+    assert!(report.predictions > 0, "{report:?}");
+
+    let stats = plane.stop();
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// Graceful drain under live fire: stop() returns promptly while clients
+/// are mid-flight, flushing rather than dropping accepted work.
+#[test]
+fn drain_under_load_terminates_promptly() {
+    let plane = plane(ServeConfig::default(), 1024);
+    let addr = plane.local_addr();
+
+    let stop_flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let shooters: Vec<_> = (0..3)
+        .map(|_| {
+            let flag = Arc::clone(&stop_flag);
+            std::thread::spawn(move || {
+                let body = "{\"user\":\"u\",\"service\":\"s\"}\n";
+                let raw = format!(
+                    "POST /v1/predict HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                    body.len()
+                );
+                while !flag.load(Ordering::Relaxed) {
+                    // Responses may be 200 or 503 (draining); both are
+                    // clean. Connection errors once the listener closes are
+                    // expected too.
+                    if TcpStream::connect(addr)
+                        .map(|mut s| {
+                            let _ = s.write_all(raw.as_bytes());
+                            let mut out = String::new();
+                            let _ = s.read_to_string(&mut out);
+                        })
+                        .is_err()
+                    {
+                        break;
+                    }
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(150));
+    let started = std::time::Instant::now();
+    let stats = plane.stop();
+    let drain_time = started.elapsed();
+    stop_flag.store(true, Ordering::Relaxed);
+    for shooter in shooters {
+        let _ = shooter.join();
+    }
+
+    assert!(
+        drain_time < Duration::from_secs(10),
+        "drain took {drain_time:?}"
+    );
+    assert_eq!(stats.worker_panics, 0);
+    assert!(
+        stats.ok > 0,
+        "served real traffic before draining: {stats:?}"
+    );
+}
