@@ -7,11 +7,17 @@
 //! retried), and client-side network faults from a [`FaultPlan`]'s
 //! `conn-reset`/`slow-read`/`blackhole` verbs.
 //!
-//! Without `--fault-plan` one clean pass runs; with it, a clean pass and a
-//! faulted pass run back-to-back so the report pairs baseline and
-//! under-fault behaviour. `--out` writes the `amf-bench-serve/v1` document
-//! (`BENCH_SERVE.json`); a degraded server health is reported but
-//! non-fatal, while server-side worker panics fail the command.
+//! Transports: the baseline opens one connection per request; with
+//! `--keep-alive` a second clean pass runs over persistent connections
+//! (`--conns N` workers, optional `--pipeline D` requests per write) and
+//! the report gains a `comparison` block quantifying the reuse win.
+//!
+//! Without `--fault-plan` the clean pass(es) run; with it, a faulted pass
+//! runs back-to-back (over the keep-alive transport when enabled, so the
+//! reconnect path is exercised too). `--out` writes the
+//! `amf-bench-serve/v2` document (`BENCH_SERVE.json`); a degraded server
+//! health is reported but non-fatal, while server-side worker panics fail
+//! the command.
 
 use super::CliError;
 use crate::args::Args;
@@ -24,8 +30,9 @@ use std::time::Duration;
 /// Usage text for the subcommand.
 pub const USAGE: &str = "amf-qos loadtest (--addr HOST:PORT | --addr-file PATH) \
 [--requests N] [--concurrency N] [--mode closed|open] [--qps Q] \
-[--fault-plan SPEC] [--seed S] [--timeout-ms MS] [--retries N] \
-[--deadline-ms MS] [--batch N] [--out PATH] [--quick]";
+[--keep-alive] [--conns N] [--pipeline D] [--fault-plan SPEC] [--seed S] \
+[--timeout-ms MS] [--retries N] [--deadline-ms MS] [--batch N] [--out PATH] \
+[--quick]";
 
 /// Runs the subcommand.
 ///
@@ -42,6 +49,12 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let timeout_ms: u64 = args.parse_or("timeout-ms", if quick { 500 } else { 2000 })?;
     let retries: u32 = args.parse_or("retries", 2)?;
     let batch: usize = args.parse_or("batch", 8)?;
+    let keep_alive = args.switch("keep-alive");
+    let conns: usize = args.parse_or("conns", concurrency)?;
+    let pipeline: usize = args.parse_or("pipeline", 1)?;
+    if conns == 0 {
+        return Err(CliError("--conns must be at least 1".into()));
+    }
     let deadline_ms: Option<u64> = match args.get("deadline-ms") {
         Some(raw) => Some(
             raw.parse()
@@ -91,11 +104,35 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         ..LoadConfig::default()
     };
 
+    // Keep-alive runs re-shape the arrival model around `--conns`
+    // persistent connections (one per worker).
+    let keep_alive_mode = match mode {
+        LoadMode::Closed { .. } => LoadMode::Closed { concurrency: conns },
+        LoadMode::Open { qps, .. } => LoadMode::Open {
+            qps,
+            concurrency: conns,
+        },
+    };
+
     let mut runs: Vec<LoadReport> = Vec::new();
     runs.push(LoadRunner::new(base.clone()).run(addr, "clean"));
+    if keep_alive {
+        let reused = LoadConfig {
+            mode: keep_alive_mode,
+            keep_alive: true,
+            pipeline,
+            ..base.clone()
+        };
+        runs.push(LoadRunner::new(reused).run(addr, "clean-keepalive"));
+    }
     if let Some(plan) = fault_plan {
+        // Fault the richer transport when enabled: reconnect-after-reset is
+        // exactly the keep-alive path worth measuring under faults.
         let faulted = LoadConfig {
             fault_plan: Some(plan),
+            mode: if keep_alive { keep_alive_mode } else { mode },
+            keep_alive,
+            pipeline: if keep_alive { pipeline } else { 1 },
             ..base
         };
         runs.push(LoadRunner::new(faulted).run(addr, "faulted"));
@@ -109,12 +146,14 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             )));
         }
     }
-    if runs[0].ok == 0 {
-        return Err(CliError(format!(
-            "clean run got no successful response from {addr} \
-             ({} transport errors)",
-            runs[0].transport_errors
-        )));
+    for report in runs.iter().filter(|r| r.label.starts_with("clean")) {
+        if report.ok == 0 {
+            return Err(CliError(format!(
+                "run '{}' got no successful response from {addr} \
+                 ({} transport errors)",
+                report.label, report.transport_errors
+            )));
+        }
     }
 
     if let Some(path) = args.get("out") {
@@ -125,6 +164,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
                 "runs",
                 Json::Arr(runs.iter().map(LoadReport::to_json).collect()),
             );
+        if let Some(comparison) = comparison_block(&runs) {
+            doc.set("comparison", comparison);
+        }
         std::fs::write(path, doc.to_string_pretty() + "\n")
             .map_err(|e| CliError(format!("--out {path}: {e}")))?;
     }
@@ -136,6 +178,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
              (error rate {:.1}%)\n\
              latency         p50 {}us  p95 {}us  p99 {}us (n={})\n\
              throughput      {:.1} ok/s sustained over {} ms\n\
+             transport       {} (pipeline {}, {} connects, {} reuses, {:.1} req/conn)\n\
              faults          {} conn-reset, {} slow-read, {} blackhole; {} retries\n\
              predictions     {} served, {} degraded ({:.1}%)\n\
              server          health={} worker_panics={}\n",
@@ -152,6 +195,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             report.latencies_us.len(),
             report.achieved_qps,
             report.wall.as_millis(),
+            report.transport,
+            report.pipeline_depth,
+            report.connects,
+            report.conn_reuses,
+            report.requests_per_conn(),
             report.faults_conn_reset,
             report.faults_slow_read,
             report.faults_blackhole,
@@ -163,7 +211,51 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             report.server_worker_panics,
         ));
     }
+    if let Some(comparison) = comparison_block(&runs) {
+        out.push_str(&format!(
+            "comparison      keep-alive vs per-conn: p50 {:.2}x, ok/s {:.2}x\n",
+            comparison.get("p50_ratio").and_then(Json::as_f64).unwrap_or(0.0),
+            comparison
+                .get("ok_per_s_ratio")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+        ));
+    }
     Ok(out.trim_end().to_string())
+}
+
+/// Pairs the clean per-conn and clean keep-alive runs into the `comparison`
+/// object of the v2 document (`None` unless both ran). Ratios are
+/// keep-alive over per-conn: `p50_ratio < 1` and `ok_per_s_ratio > 1` mean
+/// connection reuse won.
+fn comparison_block(runs: &[LoadReport]) -> Option<Json> {
+    let per_conn = runs.iter().find(|r| r.label == "clean")?;
+    let keep_alive = runs.iter().find(|r| r.label == "clean-keepalive")?;
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let mut out = Json::obj();
+    out.set("per_conn_p50_us", Json::UInt(per_conn.percentile_us(50.0)))
+        .set(
+            "keep_alive_p50_us",
+            Json::UInt(keep_alive.percentile_us(50.0)),
+        )
+        .set(
+            "p50_ratio",
+            Json::Num(ratio(
+                keep_alive.percentile_us(50.0) as f64,
+                per_conn.percentile_us(50.0) as f64,
+            )),
+        )
+        .set("per_conn_ok_per_s", Json::Num(per_conn.achieved_qps))
+        .set("keep_alive_ok_per_s", Json::Num(keep_alive.achieved_qps))
+        .set(
+            "ok_per_s_ratio",
+            Json::Num(ratio(keep_alive.achieved_qps, per_conn.achieved_qps)),
+        )
+        .set(
+            "keep_alive_requests_per_conn",
+            Json::Num(keep_alive.requests_per_conn()),
+        );
+    Some(out)
 }
 
 /// `--addr` directly, or poll `--addr-file` (written by `serve` post-bind)
@@ -253,6 +345,77 @@ mod tests {
                 Some(0)
             );
         }
+        let stats = plane.stop();
+        assert_eq!(stats.worker_panics, 0);
+        std::fs::remove_file(out_path).unwrap();
+    }
+
+    #[test]
+    fn keep_alive_loadtest_pairs_runs_and_emits_comparison() {
+        let plane = live_plane();
+        let addr = plane.local_addr().to_string();
+        let dir = std::env::temp_dir().join("amf_cli_loadtest_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("bench_serve_keepalive.json");
+        let _ = std::fs::remove_file(&out_path);
+
+        let out = run(&args(&[
+            "loadtest",
+            "--addr",
+            &addr,
+            "--quick",
+            "--requests",
+            "60",
+            "--concurrency",
+            "3",
+            "--keep-alive",
+            "--conns",
+            "3",
+            "--pipeline",
+            "4",
+            "--timeout-ms",
+            "400",
+            "--out",
+            &out_path.to_string_lossy(),
+        ]))
+        .unwrap();
+        assert!(out.contains("loadtest[clean]"), "{out}");
+        assert!(out.contains("loadtest[clean-keepalive]"), "{out}");
+        assert!(out.contains("comparison      keep-alive vs per-conn"), "{out}");
+
+        let doc = Json::parse(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(BENCH_SERVE_SCHEMA)
+        );
+        let runs = doc.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 2);
+        let reused = runs
+            .iter()
+            .find(|r| r.get("label").and_then(Json::as_str) == Some("clean-keepalive"))
+            .unwrap();
+        assert_eq!(
+            reused.get("transport").and_then(Json::as_str),
+            Some("keep-alive")
+        );
+        // 60 requests over 3 persistent connections: far more than one
+        // request per connect.
+        assert!(
+            reused
+                .get("requests_per_conn")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 2.0,
+            "{reused:?}"
+        );
+        let comparison = doc.get("comparison").unwrap();
+        assert!(
+            comparison
+                .get("keep_alive_requests_per_conn")
+                .and_then(Json::as_f64)
+                .unwrap()
+                > 2.0
+        );
         let stats = plane.stop();
         assert_eq!(stats.worker_panics, 0);
         std::fs::remove_file(out_path).unwrap();

@@ -26,8 +26,9 @@ use std::time::{Duration, Instant};
 /// Usage text for the subcommand.
 pub const USAGE: &str = "amf-qos serve [--listen HOST:PORT | --metrics-addr HOST:PORT] \
 [--addr-file PATH] [--workers N] [--max-pending N] [--deadline-ms MS] \
-[--io-timeout-ms MS] [--max-body-bytes N] [--samples N] [--seed S] [--shards K] \
-[--data TRIPLET_FILE] [--telemetry-log PATH] [--interval-ms MS] \
+[--io-timeout-ms MS] [--max-body-bytes N] [--max-conns N] \
+[--max-requests-per-conn N] [--idle-timeout-ms MS] [--samples N] [--seed S] \
+[--shards K] [--data TRIPLET_FILE] [--telemetry-log PATH] [--interval-ms MS] \
 [--max-log-bytes N] [--run-ms MS]";
 
 /// Runs the subcommand.
@@ -48,6 +49,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let deadline_ms: u64 = args.parse_or("deadline-ms", 1000)?;
     let io_timeout_ms: u64 = args.parse_or("io-timeout-ms", 2000)?;
     let max_body_bytes: usize = args.parse_or("max-body-bytes", 1024 * 1024)?;
+    let max_connections: usize = args.parse_or("max-conns", 256)?;
+    let max_requests_per_conn: u64 = args.parse_or("max-requests-per-conn", 1024)?;
+    let idle_timeout_ms: u64 = args.parse_or("idle-timeout-ms", 30_000)?;
     // `--metrics-addr` predates the serving plane; both spell the one
     // listener that now carries every route.
     let listen = args
@@ -59,6 +63,12 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     }
     if workers == 0 {
         return Err(CliError("--workers must be at least 1".into()));
+    }
+    if max_connections == 0 {
+        return Err(CliError("--max-conns must be at least 1".into()));
+    }
+    if max_requests_per_conn == 0 {
+        return Err(CliError("--max-requests-per-conn must be at least 1".into()));
     }
 
     let config = ServiceConfig {
@@ -85,6 +95,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             workers,
             max_pending,
             max_body_bytes,
+            max_connections,
+            max_requests_per_conn,
+            idle_timeout: Duration::from_millis(idle_timeout_ms.max(1)),
             io_timeout: Duration::from_millis(io_timeout_ms.max(1)),
             default_deadline: Duration::from_millis(deadline_ms.max(1)),
             ..ServeConfig::default()
@@ -318,6 +331,9 @@ mod tests {
                         stream
                             .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
                             .unwrap();
+                        // Half-close so the keep-alive server answers with
+                        // Connection: close and read_to_string terminates.
+                        stream.shutdown(std::net::Shutdown::Write).unwrap();
                         let mut metrics = String::new();
                         stream.read_to_string(&mut metrics).unwrap();
 
@@ -333,6 +349,7 @@ mod tests {
                                 .as_bytes(),
                             )
                             .unwrap();
+                        stream.shutdown(std::net::Shutdown::Write).unwrap();
                         let mut predict = String::new();
                         stream.read_to_string(&mut predict).unwrap();
                         return (metrics, predict);

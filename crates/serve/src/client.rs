@@ -238,18 +238,325 @@ impl ServeClient {
         parse_response(&response)
     }
 
-    /// Exponential backoff with deterministic jitter: `base * 2^(n-1)` plus
-    /// up to 50% extra, so synchronized clients de-correlate their retries.
     fn backoff(&mut self, attempt: u32) {
-        let base = self.config.backoff_base.as_micros() as u64;
-        let exp = base.saturating_mul(1u64 << (attempt - 1).min(16));
-        // xorshift64* step for the jitter roll.
-        self.rng ^= self.rng << 13;
-        self.rng ^= self.rng >> 7;
-        self.rng ^= self.rng << 17;
-        let jitter = self.rng % (exp / 2).max(1);
-        std::thread::sleep(Duration::from_micros(exp + jitter));
+        backoff_sleep(&mut self.rng, self.config.backoff_base, attempt);
     }
+}
+
+/// Exponential backoff with deterministic jitter: `base * 2^(n-1)` plus
+/// up to 50% extra, so synchronized clients de-correlate their retries.
+fn backoff_sleep(rng: &mut u64, base: Duration, attempt: u32) {
+    let base = base.as_micros() as u64;
+    let exp = base.saturating_mul(1u64 << (attempt - 1).min(16));
+    // xorshift64* step for the jitter roll.
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    let jitter = *rng % (exp / 2).max(1);
+    std::thread::sleep(Duration::from_micros(exp + jitter));
+}
+
+/// Persistent-connection HTTP/1.1 client (PR 8): requests ride one
+/// keep-alive socket, responses are framed by `Content-Length` (leftover
+/// bytes stay buffered for the next response), and the connection is
+/// re-established transparently when the server closes it (`Connection:
+/// close`, max-requests budget, idle reap). Connection-reuse accounting
+/// ([`KeepAliveClient::connects`] / [`KeepAliveClient::reuses`]) feeds the
+/// loadtest's `BENCH_SERVE.json` v2 fields.
+///
+/// Retry semantics match [`ServeClient`]: idempotent requests only, faults
+/// hit the first attempt, 503 is retryable. A failed exchange always drops
+/// the connection — a half-read socket cannot be trusted for framing.
+#[derive(Debug)]
+pub struct KeepAliveClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+    connects: u64,
+    requests_sent: u64,
+    rng: u64,
+}
+
+impl KeepAliveClient {
+    /// Creates a client for `addr`; `seed` derives backoff jitter.
+    pub fn new(addr: SocketAddr, config: ClientConfig, seed: u64) -> Self {
+        Self {
+            addr,
+            config,
+            stream: None,
+            buf: Vec::new(),
+            connects: 0,
+            requests_sent: 0,
+            rng: seed | 1,
+        }
+    }
+
+    /// TCP connections opened so far.
+    pub fn connects(&self) -> u64 {
+        self.connects
+    }
+
+    /// Requests that reused an already-open connection.
+    pub fn reuses(&self) -> u64 {
+        self.requests_sent.saturating_sub(self.connects)
+    }
+
+    /// Issues `method path` with `body` over the persistent connection.
+    /// Same contract as [`ServeClient::request`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the last transport failure once attempts are exhausted.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        fault: Option<NetFault>,
+        idempotent: bool,
+    ) -> Result<HttpResponse, ClientError> {
+        let attempts = if idempotent {
+            1 + self.config.max_retries
+        } else {
+            1
+        };
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                backoff_sleep(&mut self.rng, self.config.backoff_base, attempt);
+            }
+            let injected = if attempt == 0 { fault } else { None };
+            match self.attempt(method, path, body, injected) {
+                Ok(mut response) => {
+                    if response.status == 503 && attempt + 1 < attempts {
+                        last_err = None;
+                        continue;
+                    }
+                    response.retries = attempt;
+                    return Ok(response);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or(ClientError::Faulted(fault.unwrap_or(NetFault::ConnReset))))
+    }
+
+    /// Writes `requests` back-to-back (HTTP pipelining) and reads the
+    /// responses in order. Clean path only — no fault injection or retry;
+    /// any transport failure drops the connection and surfaces as the
+    /// error for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first transport/protocol failure.
+    pub fn pipeline(
+        &mut self,
+        requests: &[(&str, &str, &str)],
+    ) -> Result<Vec<HttpResponse>, ClientError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.ensure_connected()?;
+        let Some(mut stream) = self.stream.take() else {
+            return Err(ClientError::Protocol("no connection"));
+        };
+        let mut raw = Vec::new();
+        for (method, path, body) in requests {
+            raw.extend_from_slice(self.render_request(method, path, body).as_bytes());
+        }
+        self.requests_sent += requests.len() as u64;
+        if let Err(e) = stream.write_all(&raw).and_then(|()| stream.flush()) {
+            self.buf.clear();
+            return Err(map_io(e));
+        }
+        let mut responses = Vec::with_capacity(requests.len());
+        let mut closed = false;
+        for _ in requests {
+            if closed {
+                self.buf.clear();
+                return Err(ClientError::Protocol("connection closed mid-pipeline"));
+            }
+            match read_framed_response(&mut stream, &mut self.buf) {
+                Ok((response, close)) => {
+                    closed = close;
+                    responses.push(response);
+                }
+                Err(e) => {
+                    self.buf.clear();
+                    return Err(e);
+                }
+            }
+        }
+        if !closed {
+            self.stream = Some(stream);
+        } else {
+            self.buf.clear();
+        }
+        Ok(responses)
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+            .map_err(ClientError::Connect)?;
+        stream
+            .set_read_timeout(Some(self.config.request_timeout))
+            .map_err(ClientError::Io)?;
+        stream
+            .set_write_timeout(Some(self.config.request_timeout))
+            .map_err(ClientError::Io)?;
+        let _ = stream.set_nodelay(true);
+        self.connects += 1;
+        self.buf.clear();
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    fn render_request(&self, method: &str, path: &str, body: &str) -> String {
+        let deadline_header = match self.config.deadline_ms {
+            Some(ms) => format!("x-amf-deadline-ms: {ms}\r\n"),
+            None => String::new(),
+        };
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: amf\r\nContent-Length: {}\r\n\
+             {deadline_header}\r\n{body}",
+            body.len()
+        )
+    }
+
+    fn attempt(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        fault: Option<NetFault>,
+    ) -> Result<HttpResponse, ClientError> {
+        self.ensure_connected()?;
+        let Some(mut stream) = self.stream.take() else {
+            return Err(ClientError::Protocol("no connection"));
+        };
+        self.requests_sent += 1;
+        let raw = self.render_request(method, path, body);
+        let raw = raw.as_bytes();
+
+        match fault {
+            Some(NetFault::ConnReset) => {
+                // Early FIN mid-request on a (possibly reused) keep-alive
+                // connection — the server must 400-and-close without
+                // poisoning other connections.
+                let cut = (raw.len() / 2).max(1).min(raw.len().saturating_sub(1));
+                let _ = stream.write_all(&raw[..cut]);
+                drop(stream);
+                self.buf.clear();
+                return Err(ClientError::Faulted(NetFault::ConnReset));
+            }
+            Some(NetFault::Blackhole) => {
+                let mut sink = [0u8; 16];
+                let _ = stream.read(&mut sink);
+                drop(stream);
+                self.buf.clear();
+                return Err(ClientError::Faulted(NetFault::Blackhole));
+            }
+            Some(NetFault::SlowRead) => {
+                for chunk in raw.chunks(8.max(raw.len() / 64)) {
+                    if let Err(e) = stream.write_all(chunk).and_then(|()| stream.flush()) {
+                        self.buf.clear();
+                        return Err(map_io(e));
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            None => {
+                if let Err(e) = stream.write_all(raw).and_then(|()| stream.flush()) {
+                    self.buf.clear();
+                    return Err(map_io(e));
+                }
+            }
+        }
+
+        match read_framed_response(&mut stream, &mut self.buf) {
+            Ok((response, close)) => {
+                if !close {
+                    self.stream = Some(stream);
+                } else {
+                    self.buf.clear();
+                }
+                Ok(response)
+            }
+            Err(e) => {
+                self.buf.clear();
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads exactly one `Content-Length`-framed response; bytes beyond it
+/// stay in `buf` for the next response. Returns the response and whether
+/// the server announced `Connection: close`.
+fn read_framed_response(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+) -> Result<(HttpResponse, bool), ClientError> {
+    let mut chunk = [0u8; 8 * 1024];
+    let (head_end, status, content_length, close) = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = std::str::from_utf8(&buf[..pos])
+                .map_err(|_| ClientError::Protocol("response head is not UTF-8"))?;
+            let mut lines = head.split("\r\n");
+            let status_line = lines.next().unwrap_or("");
+            if !status_line.starts_with("HTTP/") {
+                return Err(ClientError::Protocol("missing HTTP version"));
+            }
+            let status = status_line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse::<u16>().ok())
+                .ok_or(ClientError::Protocol("unparsable status code"))?;
+            let mut content_length = 0usize;
+            let mut close = false;
+            for line in lines {
+                let Some((name, value)) = line.split_once(':') else {
+                    continue;
+                };
+                let name = name.trim().to_ascii_lowercase();
+                let value = value.trim();
+                if name == "content-length" {
+                    content_length = value
+                        .parse()
+                        .map_err(|_| ClientError::Protocol("bad content-length"))?;
+                } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+                    close = true;
+                }
+            }
+            break (pos + 4, status, content_length, close);
+        }
+        let n = stream.read(&mut chunk).map_err(map_io)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("connection closed before response"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    while buf.len() < head_end + content_length {
+        let n = stream.read(&mut chunk).map_err(map_io)?;
+        if n == 0 {
+            return Err(ClientError::Protocol("connection closed mid-body"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let body = String::from_utf8_lossy(&buf[head_end..head_end + content_length]).to_string();
+    buf.drain(..head_end + content_length);
+    Ok((
+        HttpResponse {
+            status,
+            body,
+            retries: 0,
+        },
+        close,
+    ))
 }
 
 fn map_io(e: std::io::Error) -> ClientError {
@@ -364,6 +671,70 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ClientError::Faulted(NetFault::Blackhole)));
         assert!(started.elapsed() < Duration::from_secs(2), "bounded hold");
+    }
+
+    fn live_plane() -> crate::plane::ServePlane {
+        let service = std::sync::Arc::new(qos_service::QosPredictionService::new(
+            qos_service::ServiceConfig::default(),
+        ));
+        crate::plane::ServePlane::start("127.0.0.1:0", service, crate::plane::ServeConfig::default())
+            .expect("bind")
+    }
+
+    #[test]
+    fn keep_alive_client_reuses_the_connection() {
+        let plane = live_plane();
+        let mut client = KeepAliveClient::new(plane.local_addr(), ClientConfig::default(), 7);
+        for round in 0..5 {
+            let response = client.request("GET", "/healthz", "", None, true).unwrap();
+            assert_eq!(response.status, 200, "round {round}");
+        }
+        assert_eq!(client.connects(), 1, "one socket for the whole run");
+        assert_eq!(client.reuses(), 4);
+        let stats = plane.stop();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.ok, 5);
+    }
+
+    #[test]
+    fn keep_alive_pipeline_answers_in_order() {
+        let plane = live_plane();
+        let mut client = KeepAliveClient::new(plane.local_addr(), ClientConfig::default(), 7);
+        let responses = client
+            .pipeline(&[
+                ("GET", "/healthz", ""),
+                ("GET", "/snapshot.json", ""),
+                ("GET", "/healthz", ""),
+            ])
+            .unwrap();
+        assert_eq!(responses.len(), 3);
+        assert!(responses.iter().all(|r| r.status == 200));
+        assert!(responses[1].body.contains("schema"), "snapshot in slot 1");
+        assert_eq!(client.connects(), 1);
+        plane.stop();
+    }
+
+    #[test]
+    fn keep_alive_client_reconnects_after_server_close() {
+        let plane = live_plane();
+        let mut client = KeepAliveClient::new(plane.local_addr(), ClientConfig::default(), 7);
+        assert_eq!(
+            client.request("GET", "/healthz", "", None, true).unwrap().status,
+            200
+        );
+        // A conn-reset fault kills the persistent socket; the next request
+        // must transparently open a fresh one.
+        let err = client
+            .request("POST", "/v1/observe", "{}", Some(NetFault::ConnReset), false)
+            .unwrap_err();
+        assert!(matches!(err, ClientError::Faulted(NetFault::ConnReset)));
+        assert_eq!(
+            client.request("GET", "/healthz", "", None, true).unwrap().status,
+            200
+        );
+        assert!(client.connects() >= 2, "reconnected after the fault");
+        let stats = plane.stop();
+        assert_eq!(stats.worker_panics, 0);
     }
 
     #[test]

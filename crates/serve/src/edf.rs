@@ -1,0 +1,251 @@
+//! Earliest-deadline-first pending queue for the serving plane.
+//!
+//! PR 7's plane queued work FIFO, so a request with 50 ms of budget left
+//! could sit behind a convoy of 30 s-budget batches and die in the queue.
+//! This queue orders on each request's **deadline expiry**: workers always
+//! pop the request that will expire soonest, which minimizes deadline
+//! misses under transient overload (classic EDF optimality for a single
+//! resource). Ties break FIFO on an admission sequence number so equal
+//! deadlines keep arrival order and the ordering is total.
+//!
+//! The queue is bounded — [`EdfQueue::try_push`] refuses beyond capacity,
+//! which is what the poller turns into an inline `503 overloaded`
+//! fast-reject — and closable: after [`EdfQueue::close`], pushes fail and
+//! [`EdfQueue::pop`] drains whatever is left before returning `None`, so a
+//! graceful drain flushes every admitted request.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One queued entry: ordered by earliest `expires`, then admission order.
+struct Entry<T> {
+    expires: Instant,
+    seq: u64,
+    value: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.expires == other.expires && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap: reverse so the EARLIEST expiry (and,
+        // among equals, the lowest sequence number) is the root.
+        other
+            .expires
+            .cmp(&self.expires)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    closed: bool,
+}
+
+/// Bounded, closable earliest-deadline-first queue (see module docs).
+pub struct EdfQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the caller should fast-reject.
+    Full(T),
+    /// The queue is closed (plane draining); no new work is admitted.
+    Closed(T),
+}
+
+impl<T> EdfQueue<T> {
+    /// Creates a queue admitting at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            inner: Mutex::new(Inner {
+                heap: BinaryHeap::with_capacity(capacity.min(4096)),
+                seq: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Admits `value` keyed on its deadline expiry.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`EdfQueue::close`]; both return the value to the caller.
+    pub fn try_push(&self, expires: Instant, value: T) -> Result<(), PushError<T>> {
+        let mut inner = self.lock();
+        if inner.closed {
+            return Err(PushError::Closed(value));
+        }
+        if inner.heap.len() >= self.capacity {
+            return Err(PushError::Full(value));
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.heap.push(Entry {
+            expires,
+            seq,
+            value,
+        });
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the entry with the earliest deadline. Returns `None`
+    /// only once the queue is closed AND empty — admitted work is always
+    /// flushed before workers see the shutdown.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.lock();
+        loop {
+            if let Some(entry) = inner.heap.pop() {
+                return Some(entry.value);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = match self.available.wait(inner) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes the queue: future pushes fail, poppers drain the remainder
+    /// and then observe the close.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for EdfQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdfQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::time::Duration;
+
+    #[test]
+    fn pops_earliest_deadline_first() {
+        let queue = EdfQueue::new(8);
+        let base = Instant::now();
+        queue.try_push(base + Duration::from_millis(500), "slack").unwrap();
+        queue.try_push(base + Duration::from_millis(50), "tight").unwrap();
+        queue.try_push(base + Duration::from_millis(200), "middle").unwrap();
+        assert_eq!(queue.pop(), Some("tight"));
+        assert_eq!(queue.pop(), Some("middle"));
+        assert_eq!(queue.pop(), Some("slack"));
+    }
+
+    #[test]
+    fn equal_deadlines_keep_fifo_order() {
+        let queue = EdfQueue::new(8);
+        let expires = Instant::now() + Duration::from_millis(100);
+        for i in 0..5 {
+            queue.try_push(expires, i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(queue.pop(), Some(i), "FIFO among equal deadlines");
+        }
+    }
+
+    #[test]
+    fn full_and_closed_pushes_return_the_value() {
+        let queue = EdfQueue::new(1);
+        let t = Instant::now();
+        queue.try_push(t, 1).unwrap();
+        assert_eq!(queue.try_push(t, 2), Err(PushError::Full(2)));
+        queue.close();
+        assert_eq!(queue.try_push(t, 3), Err(PushError::Closed(3)));
+        // Close drains the remainder before poppers see None.
+        assert_eq!(queue.pop(), Some(1));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let queue = std::sync::Arc::new(EdfQueue::<u32>::new(4));
+        let popper = {
+            let queue = std::sync::Arc::clone(&queue);
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        queue.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+
+    proptest! {
+        /// Dequeue order is non-decreasing in deadline, whatever the
+        /// insertion order (the EDF satellite property).
+        #[test]
+        fn dequeue_order_is_non_decreasing_in_deadline(
+            offsets_ms in proptest::collection::vec(0u64..10_000, 1..128),
+        ) {
+            let queue = EdfQueue::new(offsets_ms.len());
+            let base = Instant::now();
+            for (i, ms) in offsets_ms.iter().enumerate() {
+                queue
+                    .try_push(base + Duration::from_millis(*ms), (i, *ms))
+                    .unwrap();
+            }
+            let mut last = 0u64;
+            for _ in 0..offsets_ms.len() {
+                let (_, ms) = queue.pop().expect("queued entry");
+                prop_assert!(
+                    ms >= last,
+                    "deadline went backwards: {ms} after {last}"
+                );
+                last = ms;
+            }
+            prop_assert!(queue.is_empty());
+        }
+    }
+}

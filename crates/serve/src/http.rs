@@ -1,15 +1,16 @@
-//! Minimal, hardened HTTP/1.1 reader/writer for the serving plane.
+//! Minimal, hardened HTTP/1.1 parser/renderer for the serving plane.
 //!
-//! This is deliberately not a general HTTP implementation: one request per
-//! connection (`Connection: close`), no chunked transfer encoding, no
-//! keep-alive. What it *is* careful about is hostile input — every
-//! malformed shape the load harness can produce (truncated heads, bad
-//! `Content-Length`, oversized bodies, early FIN, header floods) maps to a
-//! typed [`HttpError`] and a clean `4xx`, never a panic and never an
+//! Rewritten for the readiness-loop I/O model (DESIGN.md §15): parsing is
+//! **incremental and buffer-based** instead of stream-based. The poller
+//! accumulates whatever bytes `read(2)` produced into a per-connection
+//! buffer and calls [`parse_request`] — which either yields a complete
+//! request plus the number of bytes it consumed (leftover bytes are the
+//! *next* pipelined request), reports that more bytes are needed, or fails
+//! with a typed [`HttpError`]. Keep-alive and pipelining fall out of this
+//! shape for free; what stays from the original design is the hostility
+//! budget — truncated heads, bad `Content-Length`, oversized heads/bodies,
+//! and header floods all map to a clean `4xx`, never a panic and never an
 //! unbounded allocation.
-
-use std::io::{Read, Write};
-use std::net::TcpStream;
 
 /// Hard cap on the request head (request line + headers).
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
@@ -21,6 +22,8 @@ pub struct Request {
     pub method: String,
     /// Request path with any query string still attached.
     pub path: String,
+    /// HTTP minor version (`1` for `HTTP/1.1`, `0` for `HTTP/1.0`).
+    pub minor_version: u8,
     /// Headers with lowercased names, in arrival order.
     pub headers: Vec<(String, String)>,
     /// Raw body bytes (exactly `Content-Length` of them).
@@ -49,6 +52,18 @@ impl Request {
     pub fn body_str(&self) -> Result<&str, HttpError> {
         std::str::from_utf8(&self.body).map_err(|_| HttpError::BadRequest("body is not UTF-8"))
     }
+
+    /// Whether the client asked to keep the connection open after this
+    /// request: explicit `Connection: close` wins, explicit
+    /// `Connection: keep-alive` wins, else the HTTP/1.1 default is
+    /// keep-alive and the HTTP/1.0 default is close.
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.minor_version >= 1,
+        }
+    }
 }
 
 /// A request-reading failure, each variant mapping to one response status.
@@ -60,7 +75,8 @@ pub enum HttpError {
     HeadTooLarge,
     /// Declared body exceeds the configured cap (`413`).
     BodyTooLarge,
-    /// The socket read timed out mid-request (`408`).
+    /// The request stayed incomplete past the configured read window
+    /// (`408`).
     Timeout,
     /// The peer closed before sending anything (no response owed).
     CleanClose,
@@ -102,32 +118,43 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
-/// Reads one request from the stream, enforcing the head cap and
-/// `max_body_bytes`.
+/// Outcome of one [`parse_request`] attempt over a byte buffer.
+#[derive(Debug)]
+pub enum Parsed {
+    /// Not enough bytes yet for one full request; read more and retry.
+    Incomplete,
+    /// One complete request, plus how many buffer bytes it consumed
+    /// (anything after `consumed` is the next pipelined request).
+    Complete {
+        /// The parsed request.
+        request: Request,
+        /// Bytes of the buffer belonging to this request.
+        consumed: usize,
+    },
+}
+
+/// Tries to parse one request from the front of `buf`.
+///
+/// Incremental: returns [`Parsed::Incomplete`] until the head terminator
+/// and the declared body have both arrived. Never consumes bytes on its
+/// own — the caller drains `consumed` bytes on [`Parsed::Complete`].
 ///
 /// # Errors
 ///
 /// Every malformed or hostile shape returns a typed [`HttpError`]; see the
-/// module docs.
-pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Request, HttpError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(512);
-    let mut chunk = [0u8; 1024];
-    let head_end = loop {
-        if let Some(end) = find_head_end(&buf) {
-            break end;
-        }
+/// module docs. Errors are sticky for a connection: the buffer is in an
+/// unrecoverable framing state and the connection must close after the
+/// error response.
+pub fn parse_request(buf: &[u8], max_body_bytes: usize) -> Result<Parsed, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
             return Err(HttpError::HeadTooLarge);
         }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            if buf.is_empty() {
-                return Err(HttpError::CleanClose);
-            }
-            return Err(HttpError::BadRequest("truncated request head"));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(Parsed::Incomplete);
     };
+    if head_end.start > MAX_HEAD_BYTES {
+        return Err(HttpError::HeadTooLarge);
+    }
 
     let head = std::str::from_utf8(&buf[..head_end.start])
         .map_err(|_| HttpError::BadRequest("request head is not UTF-8"))?;
@@ -138,9 +165,12 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Req
         (Some(m), Some(p), Some(v)) => (m, p, v),
         _ => return Err(HttpError::BadRequest("malformed request line")),
     };
-    if !version.starts_with("HTTP/") {
-        return Err(HttpError::BadRequest("malformed HTTP version"));
-    }
+    let minor_version = match version {
+        "HTTP/1.1" => 1,
+        "HTTP/1.0" => 0,
+        v if v.starts_with("HTTP/") => 1,
+        _ => return Err(HttpError::BadRequest("malformed HTTP version")),
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -156,6 +186,7 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Req
     let mut request = Request {
         method: method.to_string(),
         path: path.to_string(),
+        minor_version,
         headers,
         body: Vec::new(),
     };
@@ -173,27 +204,21 @@ pub fn read_request(stream: &mut TcpStream, max_body_bytes: usize) -> Result<Req
             .parse::<usize>()
             .map_err(|_| HttpError::BadRequest("bad content-length"))?,
     };
+    // Rejected from the declared length, before the body arrives, so an
+    // attacker cannot make the plane buffer it first.
     if content_length > max_body_bytes {
         return Err(HttpError::BodyTooLarge);
     }
 
-    // Bytes past the head terminator already read belong to the body.
-    let mut body = buf.split_off(head_end.end);
-    if body.len() > content_length {
-        // More bytes than declared: pipelining is unsupported, treat as a
-        // framing violation rather than silently discarding.
-        return Err(HttpError::BadRequest("body longer than content-length"));
+    let body_start = head_end.end;
+    if buf.len() < body_start + content_length {
+        return Ok(Parsed::Incomplete);
     }
-    while body.len() < content_length {
-        let want = (content_length - body.len()).min(chunk.len());
-        let n = stream.read(&mut chunk[..want])?;
-        if n == 0 {
-            return Err(HttpError::BadRequest("truncated body (early close)"));
-        }
-        body.extend_from_slice(&chunk[..n]);
-    }
-    request.body = body;
-    Ok(request)
+    request.body = buf[body_start..body_start + content_length].to_vec();
+    Ok(Parsed::Complete {
+        request,
+        consumed: body_start + content_length,
+    })
 }
 
 struct HeadEnd {
@@ -204,44 +229,49 @@ struct HeadEnd {
 }
 
 fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
-    if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
-        return Some(HeadEnd {
-            start: i,
-            end: i + 4,
-        });
+    // Scan for whichever terminator comes FIRST — a bare-LF head followed
+    // by a pipelined CRLF request must not be framed by the later CRLFCRLF.
+    let crlf = buf.windows(4).position(|w| w == b"\r\n\r\n");
+    let lf = buf.windows(2).position(|w| w == b"\n\n");
+    match (crlf, lf) {
+        (Some(c), Some(l)) if l + 1 < c => Some(HeadEnd {
+            start: l,
+            end: l + 2,
+        }),
+        (Some(c), _) => Some(HeadEnd {
+            start: c,
+            end: c + 4,
+        }),
+        (None, Some(l)) => Some(HeadEnd {
+            start: l,
+            end: l + 2,
+        }),
+        (None, None) => None,
     }
-    buf.windows(2).position(|w| w == b"\n\n").map(|i| HeadEnd {
-        start: i,
-        end: i + 2,
-    })
 }
 
-/// Writes a full response with `Connection: close`.
-///
-/// # Errors
-///
-/// Propagates socket write failures (the caller counts them; nothing more
-/// can be sent on this connection anyway).
-pub fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
+/// Renders a full response. `keep_alive` selects the `Connection` header;
+/// 503s always carry `Retry-After: 1` (the promise the load harness's
+/// retry policy relies on).
+pub fn render_response(status: u16, content_type: &str, body: &str, keep_alive: bool) -> Vec<u8> {
     let reason = reason_phrase(status);
     let retry = if status == 503 {
         "Retry-After: 1\r\n"
     } else {
         ""
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\n{retry}Connection: close\r\n\r\n",
-        body.len()
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+             Content-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n",
+            body.len()
+        )
+        .as_bytes(),
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    out.extend_from_slice(body.as_bytes());
+    out
 }
 
 /// Standard reason phrase for the statuses the plane emits.
@@ -264,65 +294,93 @@ pub fn reason_phrase(status: u16) -> &'static str {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::TcpListener;
 
-    /// Runs `read_request` against raw bytes written from a peer socket.
-    fn parse_raw(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let raw = raw.to_vec();
-        let writer = std::thread::spawn(move || {
-            let mut stream = TcpStream::connect(addr).unwrap();
-            stream.write_all(&raw).unwrap();
-            // Close (FIN) after writing everything we have.
-        });
-        let (mut stream, _) = listener.accept().unwrap();
-        stream
-            .set_read_timeout(Some(std::time::Duration::from_secs(2)))
-            .unwrap();
-        let out = read_request(&mut stream, max_body);
-        writer.join().unwrap();
-        out
+    fn parse_one(raw: &[u8], max_body: usize) -> Result<Request, HttpError> {
+        match parse_request(raw, max_body)? {
+            Parsed::Complete { request, .. } => Ok(request),
+            Parsed::Incomplete => Err(HttpError::BadRequest("incomplete in test")),
+        }
     }
 
     #[test]
     fn parses_a_post_with_body() {
         let raw = b"POST /v1/predict HTTP/1.1\r\nHost: x\r\nContent-Length: 11\r\n\
                     X-Amf-Deadline-Ms: 250\r\n\r\nhello world";
-        let req = parse_raw(raw, 1024).unwrap();
+        let req = parse_one(raw, 1024).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.route(), "/v1/predict");
         assert_eq!(req.header("x-amf-deadline-ms"), Some("250"));
         assert_eq!(req.body_str().unwrap(), "hello world");
+        assert!(req.wants_keep_alive(), "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
-    fn truncated_head_is_bad_request() {
-        let err = parse_raw(b"POST /v1/observe HTTP/1.1\r\nContent-Len", 1024).unwrap_err();
-        assert_eq!(err.status(), Some(400));
+    fn connection_header_controls_keep_alive() {
+        let close = parse_one(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert!(!close.wants_keep_alive());
+        let ka10 = parse_one(
+            b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n",
+            1024,
+        )
+        .unwrap();
+        assert!(ka10.wants_keep_alive());
+        let plain10 = parse_one(b"GET / HTTP/1.0\r\n\r\n", 1024).unwrap();
+        assert!(!plain10.wants_keep_alive(), "HTTP/1.0 defaults to close");
     }
 
     #[test]
-    fn early_fin_mid_body_is_bad_request() {
-        let raw = b"POST /v1/observe HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort";
-        let err = parse_raw(raw, 1024).unwrap_err();
-        assert_eq!(err.status(), Some(400));
-        assert!(err.message().contains("truncated body"));
+    fn incremental_parse_reports_incomplete_until_whole() {
+        let raw = b"POST /v1/observe HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..raw.len() {
+            match parse_request(&raw[..cut], 1024) {
+                Ok(Parsed::Incomplete) => {}
+                other => panic!("prefix {cut} should be incomplete, got {other:?}"),
+            }
+        }
+        let Parsed::Complete { request, consumed } = parse_request(raw, 1024).unwrap() else {
+            panic!("full buffer parses");
+        };
+        assert_eq!(consumed, raw.len());
+        assert_eq!(request.body_str().unwrap(), "hello");
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_sequence() {
+        let raw = b"POST /v1/observe HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                    GET /healthz HTTP/1.1\r\n\r\n";
+        let Parsed::Complete { request, consumed } = parse_request(raw, 1024).unwrap() else {
+            panic!("first request parses");
+        };
+        assert_eq!(request.route(), "/v1/observe");
+        assert_eq!(request.body_str().unwrap(), "hi");
+        let Parsed::Complete {
+            request: second,
+            consumed: second_len,
+        } = parse_request(&raw[consumed..], 1024).unwrap()
+        else {
+            panic!("second pipelined request parses");
+        };
+        assert_eq!(second.route(), "/healthz");
+        assert_eq!(consumed + second_len, raw.len());
     }
 
     #[test]
     fn bad_content_length_is_bad_request() {
         for bad in ["abc", "-5", "1e3", ""] {
             let raw = format!("POST / HTTP/1.1\r\nContent-Length: {bad}\r\n\r\n");
-            let err = parse_raw(raw.as_bytes(), 1024).unwrap_err();
+            let err = parse_request(raw.as_bytes(), 1024).unwrap_err();
             assert_eq!(err.status(), Some(400), "content-length {bad:?}");
         }
     }
 
     #[test]
-    fn oversized_body_is_payload_too_large() {
+    fn oversized_body_is_payload_too_large_before_body_arrives() {
         let raw = b"POST / HTTP/1.1\r\nContent-Length: 4096\r\n\r\n";
-        let err = parse_raw(raw, 64).unwrap_err();
+        let err = parse_request(raw, 64).unwrap_err();
         assert_eq!(err.status(), Some(413));
     }
 
@@ -331,15 +389,8 @@ mod tests {
         let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
         raw.extend_from_slice("X-Junk: ".as_bytes());
         raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 1024));
-        let err = parse_raw(&raw, 1024).unwrap_err();
+        let err = parse_request(&raw, 1024).unwrap_err();
         assert_eq!(err.status(), Some(431));
-    }
-
-    #[test]
-    fn immediate_close_is_clean() {
-        let err = parse_raw(b"", 1024).unwrap_err();
-        assert!(matches!(err, HttpError::CleanClose));
-        assert_eq!(err.status(), None);
     }
 
     #[test]
@@ -350,7 +401,7 @@ mod tests {
             "GET /\r\n\r\n",
             "GET / TELNET\r\n\r\n",
         ] {
-            let err = parse_raw(bad.as_bytes(), 1024).unwrap_err();
+            let err = parse_request(bad.as_bytes(), 1024).unwrap_err();
             assert_eq!(err.status(), Some(400), "line {bad:?}");
         }
     }
@@ -358,7 +409,19 @@ mod tests {
     #[test]
     fn chunked_encoding_rejected() {
         let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
-        let err = parse_raw(raw, 1024).unwrap_err();
+        let err = parse_request(raw, 1024).unwrap_err();
         assert_eq!(err.status(), Some(400));
+    }
+
+    #[test]
+    fn render_sets_connection_and_retry_after() {
+        let ka = String::from_utf8(render_response(200, "application/json", "{}", true)).unwrap();
+        assert!(ka.contains("Connection: keep-alive\r\n"), "{ka}");
+        assert!(!ka.contains("Retry-After"), "{ka}");
+        let closed =
+            String::from_utf8(render_response(503, "application/json", "{}", false)).unwrap();
+        assert!(closed.contains("Connection: close\r\n"), "{closed}");
+        assert!(closed.contains("Retry-After: 1\r\n"), "{closed}");
+        assert!(closed.contains("Content-Length: 2\r\n"), "{closed}");
     }
 }

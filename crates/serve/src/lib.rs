@@ -19,28 +19,43 @@
 //!   cap, a body cap, and malformed-request `400`s that never panic.
 //!   Shutdown is a **graceful drain**: stop accepting, flush in-flight
 //!   requests, publish a final snapshot.
-//! * [`http`] — the minimal request reader / response writer behind it,
-//!   written for hostile input (truncated heads, bad `Content-Length`,
-//!   oversized bodies, early FIN).
+//! * [`http`] — the incremental, buffer-based request parser / response
+//!   renderer behind it, written for hostile input (truncated heads, bad
+//!   `Content-Length`, oversized bodies, early FIN) and for pipelining
+//!   (leftover bytes after one request are the next request).
+//! * [`poller`] + [`conn`] + [`edf`] — the readiness-loop machinery
+//!   (PR 8): a std-only `poll(2)` binding with a cross-thread waker, the
+//!   per-connection state machine (keep-alive, in-order pipelined
+//!   responses, read backpressure), and the earliest-deadline-first
+//!   pending queue that replaced FIFO ordering.
 //! * [`client`] + [`loadgen`] — the load harness: a closed/open-loop
-//!   generator with per-request timeouts, bounded retry (idempotent
-//!   `predict`/`rank` only — `observe` is never retried) with exponential
-//!   backoff + jitter, and deterministic network-fault injection
-//!   ([`amf_core::NetFault`]: conn-reset, slow-read, black-hole) so the
-//!   hardening claims are measured, not asserted (`BENCH_SERVE.json`,
-//!   schema `amf-bench-serve/v1`).
+//!   generator with per-connection and keep-alive transports, per-request
+//!   timeouts, bounded retry (idempotent `predict`/`rank` only —
+//!   `observe` is never retried) with exponential backoff + jitter, and
+//!   deterministic network-fault injection ([`amf_core::NetFault`]:
+//!   conn-reset, slow-read, black-hole) so the hardening claims are
+//!   measured, not asserted (`BENCH_SERVE.json`, schema
+//!   `amf-bench-serve/v2`).
 //!
-//! The protocol and its retry-safety rules are specified in DESIGN.md §14.
+//! The protocol and its retry-safety rules are specified in DESIGN.md §14;
+//! the connection state machine and EDF semantics in §15.
 
-#![forbid(unsafe_code)]
+// The only unsafe in the crate is the single `poll(2)` FFI call in
+// `poller::sys` (std offers no readiness API); everything else stays
+// forbidden by the deny + the module-scoped allow.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod client;
+pub mod conn;
+pub mod edf;
 pub mod http;
 pub mod loadgen;
 pub mod plane;
+pub mod poller;
 
-pub use client::{ClientConfig, ClientError, HttpResponse, ServeClient};
+pub use client::{ClientConfig, ClientError, HttpResponse, KeepAliveClient, ServeClient};
+pub use edf::{EdfQueue, PushError};
 pub use loadgen::{LoadConfig, LoadMode, LoadReport, LoadRunner, BENCH_SERVE_SCHEMA};
 pub use plane::{ServeConfig, ServePlane, ServeStats, SERVE_SCHEMA};

@@ -17,20 +17,32 @@
 //!   queue-wait deadline rejections: arrivals do not slow down just
 //!   because the server is struggling.
 //!
+//! Two transports (PR 8):
+//!
+//! * **per-conn** — one TCP connection per request (`Connection: close`),
+//!   the PR 7 baseline that prices the handshake tax.
+//! * **keep-alive** — each worker holds one persistent connection
+//!   ([`crate::client::KeepAliveClient`]) and may **pipeline** up to
+//!   `pipeline` requests per write; connection-reuse accounting
+//!   (`connects`, `conn_reuses`, `requests_per_conn`) lands in the
+//!   report. Pipelined batches record the batch's end-to-end latency for
+//!   each member (the wait of the last response — conservative).
+//!
 //! Every run ends with a `/healthz` probe and a `/snapshot.json` scrape so
 //! the report carries the server's own verdict (`server_health`,
 //! `server_worker_panics`) next to the client-side measurements. Reports
-//! serialize to the `amf-bench-serve/v1` schema committed in
-//! `BENCH_SERVE.json`.
+//! serialize to the `amf-bench-serve/v2` schema committed in
+//! `BENCH_SERVE.json` (v2 added the transport/reuse fields and the paired
+//! per-conn vs keep-alive run layout).
 
-use crate::client::{ClientConfig, ServeClient};
+use crate::client::{ClientConfig, ClientError, HttpResponse, KeepAliveClient, ServeClient};
 use amf_core::{FaultPlan, NetFault};
 use qos_obs::Json;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 /// Schema tag of a serialized [`LoadReport`].
-pub const BENCH_SERVE_SCHEMA: &str = "amf-bench-serve/v1";
+pub const BENCH_SERVE_SCHEMA: &str = "amf-bench-serve/v2";
 
 /// Arrival model for the generated load.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +94,14 @@ pub struct LoadConfig {
     pub services: usize,
     /// Records (lines) per observe/predict body.
     pub batch: usize,
+    /// Use one persistent connection per worker ([`KeepAliveClient`])
+    /// instead of one connection per request.
+    pub keep_alive: bool,
+    /// Pipeline depth for keep-alive workers (requests written back to
+    /// back before reading responses). `<= 1` disables pipelining; only
+    /// consecutive un-faulted requests are batched, so fault injection
+    /// still lands on the exact seeded request ids.
+    pub pipeline: usize,
 }
 
 impl Default for LoadConfig {
@@ -97,6 +117,8 @@ impl Default for LoadConfig {
             users: 24,
             services: 32,
             batch: 8,
+            keep_alive: false,
+            pipeline: 1,
         }
     }
 }
@@ -110,6 +132,16 @@ pub struct LoadReport {
     pub fault_plan: Option<String>,
     /// `"closed"` or `"open"`.
     pub mode: &'static str,
+    /// `"per-conn"` or `"keep-alive"`.
+    pub transport: &'static str,
+    /// Pipeline depth the workers ran with (1 = no pipelining).
+    pub pipeline_depth: u64,
+    /// TCP connections opened by the workers. Per-conn transport opens
+    /// one per logical request by construction (retries not counted);
+    /// keep-alive counts actual dials, including reconnects.
+    pub connects: u64,
+    /// Requests that reused an already-open connection (keep-alive only).
+    pub conn_reuses: u64,
     /// Worker count.
     pub concurrency: usize,
     /// Offered QPS for open-loop runs.
@@ -180,7 +212,15 @@ impl LoadReport {
         self.degraded_answers as f64 / self.predictions as f64
     }
 
-    /// Serializes to the `amf-bench-serve/v1` report object.
+    /// Mean requests served per opened connection (1.0 for per-conn).
+    pub fn requests_per_conn(&self) -> f64 {
+        if self.connects == 0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.connects as f64
+    }
+
+    /// Serializes to the `amf-bench-serve/v2` report object.
     pub fn to_json(&self) -> Json {
         let mean_us = if self.latencies_us.is_empty() {
             0.0
@@ -214,6 +254,11 @@ impl LoadReport {
                 },
             )
             .set("mode", Json::Str(self.mode.into()))
+            .set("transport", Json::Str(self.transport.into()))
+            .set("pipeline_depth", Json::UInt(self.pipeline_depth))
+            .set("connects", Json::UInt(self.connects))
+            .set("conn_reuses", Json::UInt(self.conn_reuses))
+            .set("requests_per_conn", Json::Num(self.requests_per_conn()))
             .set("concurrency", Json::UInt(self.concurrency as u64))
             .set(
                 "offered_qps",
@@ -266,6 +311,8 @@ struct ThreadTally {
     retries: u64,
     predictions: u64,
     degraded: u64,
+    connects: u64,
+    reuses: u64,
     latencies_us: Vec<u64>,
 }
 
@@ -316,6 +363,16 @@ impl LoadRunner {
                 LoadMode::Closed { .. } => "closed",
                 LoadMode::Open { .. } => "open",
             },
+            transport: if config.keep_alive {
+                "keep-alive"
+            } else {
+                "per-conn"
+            },
+            pipeline_depth: if config.keep_alive {
+                config.pipeline.max(1) as u64
+            } else {
+                1
+            },
             concurrency: threads,
             offered_qps: match config.mode {
                 LoadMode::Open { qps, .. } => Some(qps),
@@ -337,6 +394,8 @@ impl LoadRunner {
             report.retries += tally.retries;
             report.predictions += tally.predictions;
             report.degraded_answers += tally.degraded;
+            report.connects += tally.connects;
+            report.conn_reuses += tally.reuses;
             report.latencies_us.extend(tally.latencies_us);
         }
         report.latencies_us.sort_unstable();
@@ -369,6 +428,28 @@ impl LoadRunner {
     }
 }
 
+/// Either transport behind one request interface, so the issuing loop is
+/// shared between the per-conn baseline and the keep-alive mode.
+enum LoadClient {
+    PerConn(ServeClient),
+    KeepAlive(KeepAliveClient),
+}
+
+impl LoadClient {
+    fn request(
+        &mut self,
+        path: &str,
+        body: &str,
+        fault: Option<NetFault>,
+        idempotent: bool,
+    ) -> Result<HttpResponse, ClientError> {
+        match self {
+            LoadClient::PerConn(c) => c.request("POST", path, body, fault, idempotent),
+            LoadClient::KeepAlive(c) => c.request("POST", path, body, fault, idempotent),
+        }
+    }
+}
+
 fn run_thread(
     addr: SocketAddr,
     config: &LoadConfig,
@@ -378,9 +459,22 @@ fn run_thread(
     open_interval: Option<Duration>,
 ) -> ThreadTally {
     let mut tally = ThreadTally::default();
-    let mut client = ServeClient::new(addr, config.client, config.seed ^ (thread_id << 32));
+    let client_seed = config.seed ^ (thread_id << 32);
+    let mut client = if config.keep_alive {
+        LoadClient::KeepAlive(KeepAliveClient::new(addr, config.client, client_seed))
+    } else {
+        LoadClient::PerConn(ServeClient::new(addr, config.client, client_seed))
+    };
+    let depth = if config.keep_alive {
+        config.pipeline.max(1)
+    } else {
+        1
+    };
     let mut rng = Xorshift::new(config.seed ^ 0xC0FFEE ^ thread_id.wrapping_mul(0x9E37_79B9));
     let epoch = Instant::now();
+    // Consecutive un-faulted requests waiting to go out in one pipelined
+    // write (depth > 1 only).
+    let mut pending: Vec<(&'static str, String)> = Vec::new();
     for i in 0..count {
         if let Some(interval) = open_interval {
             // Open loop: pace the *start* time; a slow server does not slow
@@ -403,37 +497,97 @@ fn run_thread(
             None => {}
         }
         let (path, body, idempotent) = build_request(config, &mut rng);
+        if depth > 1 && fault.is_none() {
+            pending.push((path, body));
+            if pending.len() >= depth {
+                flush_pipeline(&mut client, &mut pending, &mut tally);
+            }
+            continue;
+        }
+        // A faulted request breaks the batch: flush what is queued so the
+        // fault hits the seeded request id, on its own exchange.
+        flush_pipeline(&mut client, &mut pending, &mut tally);
         let begun = Instant::now();
-        match client.request("POST", path, &body, fault, idempotent) {
+        match client.request(path, &body, fault, idempotent) {
             Ok(response) => {
                 tally.retries += u64::from(response.retries);
-                tally
-                    .latencies_us
-                    .push(begun.elapsed().as_micros().min(u64::MAX as u128) as u64);
-                match response.status {
-                    200..=299 => {
-                        tally.ok += 1;
-                        if path == "/v1/predict" {
-                            if let Ok(parsed) = Json::parse(&response.body) {
-                                let results = parsed
-                                    .get("results")
-                                    .and_then(Json::as_arr)
-                                    .map_or(0, <[Json]>::len);
-                                tally.predictions += results as u64;
-                                tally.degraded +=
-                                    parsed.get("degraded").and_then(Json::as_u64).unwrap_or(0);
-                            }
-                        }
-                    }
-                    400..=499 => tally.http_4xx += 1,
-                    503 => tally.http_503 += 1,
-                    _ => tally.http_5xx_other += 1,
-                }
+                tally.latencies_us.push(elapsed_us(begun));
+                classify_response(&mut tally, path, &response);
             }
             Err(_faulted_or_transport) => tally.transport_errors += 1,
         }
     }
+    flush_pipeline(&mut client, &mut pending, &mut tally);
+    if let LoadClient::KeepAlive(c) = &client {
+        tally.connects = c.connects();
+        tally.reuses = c.reuses();
+    } else {
+        // Per-conn opens one connection per logical request by
+        // construction (retries excluded — they are reported separately).
+        tally.connects = count;
+    }
     tally
+}
+
+/// Writes the queued batch in one pipelined exchange and tallies every
+/// response. Each member records the batch's end-to-end latency (the wait
+/// of the last response); a transport failure loses the whole batch.
+fn flush_pipeline(
+    client: &mut LoadClient,
+    pending: &mut Vec<(&'static str, String)>,
+    tally: &mut ThreadTally,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let LoadClient::KeepAlive(keep_alive) = client else {
+        debug_assert!(false, "pipelining requires the keep-alive transport");
+        pending.clear();
+        return;
+    };
+    let requests: Vec<(&str, &str, &str)> = pending
+        .iter()
+        .map(|(path, body)| ("POST", *path, body.as_str()))
+        .collect();
+    let begun = Instant::now();
+    match keep_alive.pipeline(&requests) {
+        Ok(responses) => {
+            let batch_us = elapsed_us(begun);
+            for (response, (path, _)) in responses.iter().zip(pending.iter()) {
+                tally.latencies_us.push(batch_us);
+                classify_response(tally, path, response);
+            }
+        }
+        Err(_) => tally.transport_errors += pending.len() as u64,
+    }
+    pending.clear();
+}
+
+/// Buckets one answered response into the tally, extracting prediction
+/// counts from `predict` bodies.
+fn classify_response(tally: &mut ThreadTally, path: &str, response: &HttpResponse) {
+    match response.status {
+        200..=299 => {
+            tally.ok += 1;
+            if path == "/v1/predict" {
+                if let Ok(parsed) = Json::parse(&response.body) {
+                    let results = parsed
+                        .get("results")
+                        .and_then(Json::as_arr)
+                        .map_or(0, <[Json]>::len);
+                    tally.predictions += results as u64;
+                    tally.degraded += parsed.get("degraded").and_then(Json::as_u64).unwrap_or(0);
+                }
+            }
+        }
+        400..=499 => tally.http_4xx += 1,
+        503 => tally.http_503 += 1,
+        _ => tally.http_5xx_other += 1,
+    }
+}
+
+fn elapsed_us(begun: Instant) -> u64 {
+    begun.elapsed().as_micros().min(u64::MAX as u128) as u64
 }
 
 /// Picks the next operation from the configured mix and renders its body.

@@ -1,59 +1,75 @@
-//! The serving plane: acceptor + bounded queue + fixed worker pool over a
-//! [`QosPredictionService`], with deadlines, admission control, and a
-//! graceful drain.
+//! The serving plane: a `poll(2)` readiness loop + EDF pending queue +
+//! fixed worker pool over a [`QosPredictionService`], with keep-alive,
+//! pipelining, deadlines, admission control, and a graceful drain.
 //!
-//! ## Request lifecycle
+//! ## Architecture (DESIGN.md §15)
 //!
-//! 1. The **acceptor** thread accepts a connection, stamps its arrival
-//!    time, and `try_send`s it into a bounded queue. A full queue is the
-//!    first admission level: the acceptor answers `503 overloaded`
-//!    immediately (fast-reject) instead of letting a backlog build.
-//! 2. A **worker** pops the connection, reads the request (hardened parse,
-//!    see [`crate::http`]), and resolves the request's deadline budget
-//!    (`x-amf-deadline-ms` header, else the configured default). If the
-//!    time already spent queued exceeds the budget, the request is
-//!    rejected on arrival (`503 deadline`) without touching the model —
-//!    the client has given up; serving it would be wasted work.
-//! 3. Handlers re-check the remaining budget between batch items, so one
-//!    oversized batch cannot blow through its deadline silently.
-//! 4. Predictions always ride
-//!    [`QosPredictionService::predict_degraded`] — the second admission
-//!    level: while the engine is rebuilding or entities are cold, answers
-//!    degrade along the fallback ladder (tagged with their
-//!    [`qos_service::PredictionSource`]) instead of failing.
+//! One **poller** thread owns every socket: the listener, a wake channel,
+//! and a bounded table of non-blocking client connections (each a
+//! [`crate::conn::ConnState`] state machine). Requests parsed off a
+//! connection are stamped with a deadline expiry and admitted into a
+//! bounded **earliest-deadline-first queue** ([`crate::edf::EdfQueue`]);
+//! a fixed pool of **workers** pops the soonest-to-expire request, routes
+//! it through the prediction service, and sends the completion back to the
+//! poller (wake channel), which flushes responses **in request order** per
+//! connection — pipelined clients get HTTP/1.1 semantics even though the
+//! work completes out of order.
+//!
+//! ## Admission control (three levels)
+//!
+//! 1. **Connection table full** — the poller stops polling the listener:
+//!    accept backpressure, new connections wait in the SYN backlog.
+//! 2. **EDF queue full** — the request is answered `503 overloaded`
+//!    inline, without touching a worker (fast-reject).
+//! 3. **Deadline** — a request whose `x-amf-deadline-ms` budget is already
+//!    zero fast-rejects inline; workers re-check expiry at pop (reject
+//!    after queue wait) and handlers re-check mid-batch.
+//!
+//! Per-connection fairness: a connection may have at most
+//! [`ServeConfig::max_inflight_per_conn`] requests in flight — beyond
+//! that the poller stops re-arming its reads (TCP backpressure), so one
+//! greedy pipelined peer cannot monopolize queue slots.
 //!
 //! ## Drain
 //!
 //! [`ServePlane::stop`] flips the draining flag (visible in `/healthz`),
-//! stops the acceptor (stop flag observed *before* blocking again, plus a
-//! non-blocking listener and a wake connection — no self-connect race),
-//! lets the workers flush every queued connection, joins them, and
-//! publishes a final metrics snapshot.
+//! closes the EDF queue (workers flush every admitted request, then
+//! exit), and wakes the poller, which stops re-arming reads, answers
+//! still-arriving connections `503 draining`, renders every in-flight
+//! response with `Connection: close`, and exits once the last connection
+//! flushes — an *idle* keep-alive client cannot hang the drain.
 
-use crate::http::{self, HttpError, Request};
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crate::conn::{CompletedResponse, ConnState, ReadEvent, ReadOutcome, RespKind};
+use crate::edf::{EdfQueue, PushError};
+use crate::http::{self, Request};
+use crate::poller::{self, PollFd, WakeReceiver, Waker, INTEREST_READ, INTEREST_WRITE};
 use qos_obs::Json;
 use qos_service::telemetry::health_body_from;
 use qos_service::QosPredictionService;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Schema tag of every JSON body the plane emits.
 pub const SERVE_SCHEMA: &str = "amf-serve/v1";
 
+/// Poller tick: upper bound on how long completions/timeouts wait when no
+/// socket readiness arrives (wakes cut it short).
+const TICK: Duration = Duration::from_millis(25);
+
 /// Serving-plane configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
     /// Fixed worker-pool size.
     pub workers: usize,
-    /// Bounded accept-queue capacity; beyond it the acceptor fast-rejects.
+    /// Bounded EDF-queue capacity; beyond it requests fast-reject `503`.
     pub max_pending: usize,
     /// Per-request body cap (`413` beyond it).
     pub max_body_bytes: usize,
-    /// Socket read/write timeout per connection.
+    /// Read window for a partial request (`408` + close past it) and the
+    /// write-stall bound for an unresponsive reader.
     pub io_timeout: Duration,
     /// Deadline budget applied when a request carries no
     /// `x-amf-deadline-ms` header.
@@ -61,6 +77,17 @@ pub struct ServeConfig {
     /// Hard cap on client-supplied deadlines (keeps one client from
     /// pinning a worker arbitrarily long).
     pub max_deadline: Duration,
+    /// Bounded connection-table size; at the cap the listener is not
+    /// polled (accept backpressure via the SYN backlog).
+    pub max_connections: usize,
+    /// Requests served per connection before it is closed
+    /// (`Connection: close` on the final response).
+    pub max_requests_per_conn: u64,
+    /// Idle keep-alive connections are closed after this long.
+    pub idle_timeout: Duration,
+    /// Per-connection in-flight quota: beyond it reads pause (TCP
+    /// backpressure) until responses flush.
+    pub max_inflight_per_conn: u64,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +99,10 @@ impl Default for ServeConfig {
             io_timeout: Duration::from_secs(2),
             default_deadline: Duration::from_secs(1),
             max_deadline: Duration::from_secs(30),
+            max_connections: 256,
+            max_requests_per_conn: 1024,
+            idle_timeout: Duration::from_secs(30),
+            max_inflight_per_conn: 32,
         }
     }
 }
@@ -79,25 +110,27 @@ impl Default for ServeConfig {
 /// Operational counters of a [`ServePlane`] (all cumulative).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeStats {
-    /// Connections accepted into the queue.
+    /// Connections admitted into the connection table.
     pub accepted: u64,
-    /// Requests fully parsed and routed.
+    /// Requests fully parsed and admitted for routing.
     pub requests: u64,
     /// `200` responses.
     pub ok: u64,
     /// `4xx` protocol-error responses (400/404/405/408/413/422/431).
     pub client_errors: u64,
-    /// Fast-rejects: accept queue full (`503`).
+    /// Fast-rejects: EDF pending queue full (`503`).
     pub rejected_overload: u64,
-    /// Reject-on-arrival: queue wait exceeded the deadline budget (`503`).
+    /// Deadline rejects: zero budget on arrival, budget burned in queue,
+    /// or mid-batch expiry (`503`).
     pub rejected_deadline: u64,
     /// Rejected because the plane was draining (`503`).
     pub rejected_draining: u64,
     /// Worker panics caught by the pool (must stay 0; the pool survives).
     pub worker_panics: u64,
-    /// Connections lost to transport errors before a response could be
-    /// written.
+    /// Connections lost to transport errors with work pending.
     pub io_errors: u64,
+    /// Keep-alive connections reaped by the idle timeout.
+    pub idle_closed: u64,
     /// Observation records queued for training.
     pub observe_queued: u64,
     /// Observation records shed by the bounded input queue.
@@ -121,6 +154,7 @@ struct Counters {
     rejected_draining: AtomicU64,
     worker_panics: AtomicU64,
     io_errors: AtomicU64,
+    idle_closed: AtomicU64,
     observe_queued: AtomicU64,
     observe_shed: AtomicU64,
     predictions: AtomicU64,
@@ -141,6 +175,7 @@ impl Counters {
             rejected_draining: get(&self.rejected_draining),
             worker_panics: get(&self.worker_panics),
             io_errors: get(&self.io_errors),
+            idle_closed: get(&self.idle_closed),
             observe_queued: get(&self.observe_queued),
             observe_shed: get(&self.observe_shed),
             predictions: get(&self.predictions),
@@ -150,12 +185,33 @@ impl Counters {
     }
 }
 
+/// One admitted request travelling to the worker pool.
+struct Job {
+    conn_id: usize,
+    gen: u64,
+    seq: u64,
+    request: Box<Request>,
+    expires: Instant,
+    enqueued: Instant,
+    keep_alive_wanted: bool,
+}
+
+/// A worker's answer travelling back to the poller.
+struct Completion {
+    conn_id: usize,
+    gen: u64,
+    seq: u64,
+    response: CompletedResponse,
+}
+
 struct PlaneState {
     service: Arc<QosPredictionService>,
     config: ServeConfig,
     counters: Counters,
     stop: AtomicBool,
     draining: AtomicBool,
+    open_connections: AtomicU64,
+    queue: EdfQueue<Job>,
 }
 
 impl PlaneState {
@@ -175,6 +231,7 @@ impl PlaneState {
             ("serve.rejected_draining", stats.rejected_draining),
             ("serve.worker_panics", stats.worker_panics),
             ("serve.io_errors", stats.io_errors),
+            ("serve.idle_closed", stats.idle_closed),
             ("serve.observe_queued", stats.observe_queued),
             ("serve.observe_shed", stats.observe_shed),
             ("serve.predictions", stats.predictions),
@@ -183,6 +240,17 @@ impl PlaneState {
         ] {
             global.counter(name).set(value);
         }
+        global
+            .gauge("serve.open_connections")
+            .set(self.open_connections.load(Ordering::Relaxed) as f64);
+        // Mean requests served per admitted connection: the keep-alive
+        // reuse signal (1.0 ≙ the old one-request-per-connection plane).
+        let per_conn = if stats.accepted > 0 {
+            stats.requests as f64 / stats.accepted as f64
+        } else {
+            0.0
+        };
+        global.gauge("serve.requests_per_conn").set(per_conn);
         global
             .gauge("serve.draining")
             .set(if self.draining.load(Ordering::Relaxed) {
@@ -198,25 +266,17 @@ impl PlaneState {
     }
 }
 
-struct Pending {
-    stream: TcpStream,
-    arrived: Instant,
-}
-
 /// The serving plane. See the module docs for the request lifecycle.
 pub struct ServePlane {
     state: Arc<PlaneState>,
     addr: SocketAddr,
-    /// A clone of the listening socket, kept so shutdown can switch the
-    /// shared handle to non-blocking — the drain path does not depend on a
-    /// self-connect racing the accept loop.
-    listener: TcpListener,
-    acceptor: Option<JoinHandle<()>>,
+    waker: Arc<Waker>,
+    poller: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl ServePlane {
-    /// Binds `addr` (port 0 for ephemeral) and starts the acceptor and the
+    /// Binds `addr` (port 0 for ephemeral) and starts the poller and the
     /// worker pool.
     ///
     /// # Errors
@@ -228,31 +288,39 @@ impl ServePlane {
         config: ServeConfig,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let bound = listener.local_addr()?;
-        let shutdown_handle = listener.try_clone()?;
         let state = Arc::new(PlaneState {
             service,
             config,
             counters: Counters::default(),
             stop: AtomicBool::new(false),
             draining: AtomicBool::new(false),
+            open_connections: AtomicU64::new(0),
+            queue: EdfQueue::new(config.max_pending.max(1)),
         });
 
-        let (tx, rx) = bounded::<Pending>(config.max_pending.max(1));
+        let (waker, wake_rx) = poller::wake_pair()?;
+        let waker = Arc::new(waker);
+        let (completion_tx, completion_rx) = mpsc::channel::<Completion>();
+
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for i in 0..config.workers.max(1) {
-            let rx: Receiver<Pending> = rx.clone();
             let worker_state = Arc::clone(&state);
+            let tx = completion_tx.clone();
+            let worker_waker = Arc::clone(&waker);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("amf-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &worker_state))?,
+                    .spawn(move || worker_loop(&worker_state, &tx, &worker_waker))?,
             );
         }
-        let accept_state = Arc::clone(&state);
-        let acceptor = std::thread::Builder::new()
-            .name("amf-serve-accept".into())
-            .spawn(move || accept_loop(&listener, tx, &accept_state))?;
+        drop(completion_tx);
+
+        let poll_state = Arc::clone(&state);
+        let poller = std::thread::Builder::new()
+            .name("amf-serve-poller".into())
+            .spawn(move || poller_loop(&poll_state, &listener, wake_rx, &completion_rx))?;
 
         qos_obs::global()
             .trace()
@@ -260,8 +328,8 @@ impl ServePlane {
         Ok(Self {
             state,
             addr: bound,
-            listener: shutdown_handle,
-            acceptor: Some(acceptor),
+            waker,
+            poller: Some(poller),
             workers,
         })
     }
@@ -276,42 +344,43 @@ impl ServePlane {
         self.state.counters.snapshot()
     }
 
+    /// Connections currently held in the table.
+    pub fn open_connections(&self) -> u64 {
+        self.state.open_connections.load(Ordering::Relaxed)
+    }
+
     /// Whether the plane is draining (stop initiated).
     pub fn draining(&self) -> bool {
         self.state.draining.load(Ordering::Relaxed)
     }
 
-    /// Graceful drain: stop accepting, flush every queued and in-flight
-    /// request, join all threads, publish a final snapshot. Returns the
-    /// final counters.
+    /// Graceful drain: stop admitting, flush every queued and in-flight
+    /// request (responses carry `Connection: close`), join all threads,
+    /// publish a final snapshot. Returns the final counters.
     pub fn stop(mut self) -> ServeStats {
         self.shutdown();
         self.state.counters.snapshot()
     }
 
     fn shutdown(&mut self) {
-        let Some(acceptor) = self.acceptor.take() else {
+        let Some(poller) = self.poller.take() else {
             return;
         };
-        // Order matters: draining first (healthz flips to "draining" and
-        // late arrivals are answered 503), then stop + non-blocking so the
-        // accept loop observes the flag before it can block again. The wake
-        // connection is only a latency optimization — with the shared
-        // handle non-blocking the loop exits on its own regardless of
-        // whether the connect wins or loses the race.
+        // Order matters: draining first (healthz flips, late requests get
+        // 503), then stop + queue close so workers flush every admitted
+        // job and exit, then wake the poller so it observes the flags
+        // without waiting out its tick.
         self.state.draining.store(true, Ordering::SeqCst);
         self.state.stop.store(true, Ordering::SeqCst);
-        let _ = self.listener.set_nonblocking(true);
-        if let Ok(stream) = TcpStream::connect(self.addr) {
-            drop(stream);
-        }
-        let _ = acceptor.join();
-        // The acceptor owned the queue's only sender; once it exits the
-        // workers drain whatever is queued (in-flight flush) and then see
-        // the disconnect and stop.
+        self.state.queue.close();
+        self.waker.wake();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Workers are gone; every completion is in the channel. Wake once
+        // more so the poller flushes them all and winds down.
+        self.waker.wake();
+        let _ = poller.join();
         self.state.publish_metrics();
         qos_obs::global()
             .trace()
@@ -334,162 +403,491 @@ impl std::fmt::Debug for ServePlane {
     }
 }
 
-fn accept_loop(listener: &TcpListener, tx: Sender<Pending>, state: &PlaneState) {
-    loop {
-        // The stop flag is observed BEFORE blocking again — combined with
-        // the non-blocking switch in shutdown this is what makes the drain
-        // race-free (a connection arriving concurrently with shutdown can
-        // consume the wake, but it cannot make this loop block forever).
-        if state.stop.load(Ordering::SeqCst) {
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+fn worker_loop(state: &PlaneState, completions: &mpsc::Sender<Completion>, waker: &Waker) {
+    while let Some(job) = state.queue.pop() {
+        let wait = job.enqueued.elapsed();
+        qos_obs::global()
+            .histogram("serve.queue_wait_us")
+            .record(u64::try_from(wait.as_micros()).unwrap_or(u64::MAX));
+
+        let response = if Instant::now() > job.expires {
+            // Reject-after-wait: the queue time burned the whole budget —
+            // the client has given up; serving it would be wasted work.
+            CompletedResponse {
+                status: 503,
+                content_type: "application/json".into(),
+                body: error_body("deadline exceeded in queue"),
+                keep_alive_wanted: job.keep_alive_wanted,
+                kind: RespKind::RejDeadline,
+            }
+        } else {
+            // A panic in one request's handler must never take down the
+            // pool; it is counted, answered 500, and the worker moves on.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                route(&job.request, state, job.expires)
+            }));
+            match outcome {
+                Ok((status, content_type, body)) => CompletedResponse {
+                    status,
+                    content_type,
+                    body,
+                    keep_alive_wanted: job.keep_alive_wanted,
+                    kind: RespKind::from_status(status),
+                },
+                Err(_) => {
+                    state.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    CompletedResponse {
+                        status: 500,
+                        content_type: "application/json".into(),
+                        body: error_body("internal error"),
+                        // A panicked handler leaves no framing doubt, but
+                        // trust is gone: close the connection.
+                        keep_alive_wanted: false,
+                        kind: RespKind::Panic,
+                    }
+                }
+            }
+        };
+        if completions
+            .send(Completion {
+                conn_id: job.conn_id,
+                gen: job.gen,
+                seq: job.seq,
+                response,
+            })
+            .is_err()
+        {
             return;
         }
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                if state.stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                std::thread::sleep(Duration::from_millis(2));
-                continue;
-            }
-            Err(_) => continue,
-        };
-        if state.draining.load(Ordering::SeqCst) {
-            reject_inline(stream, state, 503, "draining");
-            state
-                .counters
-                .rejected_draining
-                .fetch_add(1, Ordering::Relaxed);
-            continue;
+        waker.wake();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Poller (event loop)
+// ---------------------------------------------------------------------------
+
+enum Token {
+    Waker,
+    Listener,
+    Conn(usize),
+}
+
+struct ConnTable {
+    slots: Vec<Option<ConnState>>,
+    free: Vec<usize>,
+    open: usize,
+    next_gen: u64,
+}
+
+impl ConnTable {
+    fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            open: 0,
+            next_gen: 1,
         }
-        let pending = Pending {
-            stream,
-            arrived: Instant::now(),
-        };
-        match tx.try_send(pending) {
-            Ok(()) => {
-                state.counters.accepted.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(TrySendError::Full(pending)) => {
-                // First admission level: the queue is full, so by the time
-                // this connection reached a worker its budget would likely
-                // be gone anyway. Reject now, cheaply, from the acceptor.
-                reject_inline(pending.stream, state, 503, "overloaded");
-                state
-                    .counters
-                    .rejected_overload
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            Err(TrySendError::Disconnected(_)) => return,
+    }
+
+    fn insert(&mut self, stream: TcpStream, peer: SocketAddr, now: Instant) -> usize {
+        let gen = self.next_gen;
+        self.next_gen += 1;
+        let conn = ConnState::new(stream, peer, gen, now);
+        self.open += 1;
+        if let Some(id) = self.free.pop() {
+            self.slots[id] = Some(conn);
+            id
+        } else {
+            self.slots.push(Some(conn));
+            self.slots.len() - 1
+        }
+    }
+
+    fn close(&mut self, id: usize) {
+        if self.slots[id].take().is_some() {
+            self.free.push(id);
+            self.open -= 1;
         }
     }
 }
 
-/// Best-effort error response written straight from the acceptor thread
-/// (short write timeout so a slow peer cannot stall accepting).
-fn reject_inline(mut stream: TcpStream, state: &PlaneState, status: u16, error: &str) {
+fn poller_loop(
+    state: &PlaneState,
+    listener: &TcpListener,
+    mut wake_rx: WakeReceiver,
+    completions: &mpsc::Receiver<Completion>,
+) {
+    let config = state.config;
+    let mut table = ConnTable::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut ready_reads: Vec<usize> = Vec::new();
+    let mut drain_started: Option<Instant> = None;
+    let drain_grace = config.io_timeout.max(Duration::from_millis(250)) + Duration::from_secs(2);
+
+    loop {
+        let draining = state.draining.load(Ordering::SeqCst);
+        let stop = state.stop.load(Ordering::SeqCst);
+        if stop {
+            if drain_started.is_none() {
+                drain_started = Some(Instant::now());
+            }
+            let grace_over = drain_started.is_some_and(|t| t.elapsed() > drain_grace);
+            if table.open == 0 || grace_over {
+                break; // remaining connections (if any) drop force-closed
+            }
+        }
+
+        fds.clear();
+        tokens.clear();
+        fds.push(PollFd::new(&wake_rx, INTEREST_READ));
+        tokens.push(Token::Waker);
+        // Accept backpressure: at the table cap the listener is simply not
+        // polled — new connections queue in the kernel backlog. During a
+        // drain the listener stays polled so late arrivals get a prompt
+        // `503 draining` instead of a hang.
+        if draining || table.open < config.max_connections {
+            fds.push(PollFd::new(listener, INTEREST_READ));
+            tokens.push(Token::Listener);
+        }
+        for (id, slot) in table.slots.iter().enumerate() {
+            let Some(conn) = slot else { continue };
+            let mut interest = 0i16;
+            if conn.wants_read(config.max_inflight_per_conn, request_budget(conn, &config)) {
+                interest |= INTEREST_READ;
+            }
+            if conn.wants_write() {
+                interest |= INTEREST_WRITE;
+            }
+            if interest != 0 {
+                fds.push(PollFd::new(&conn.stream, interest));
+                tokens.push(Token::Conn(id));
+            }
+        }
+
+        let _ = poller::poll(&mut fds, TICK);
+        let now = Instant::now();
+
+        let mut accept_ready = false;
+        ready_reads.clear();
+        for (fd, token) in fds.iter().zip(tokens.iter()) {
+            match token {
+                Token::Waker => {
+                    if fd.readable() {
+                        wake_rx.drain();
+                    }
+                }
+                Token::Listener => accept_ready = fd.readable(),
+                Token::Conn(id) => {
+                    if fd.readable() {
+                        ready_reads.push(*id);
+                    }
+                }
+            }
+        }
+
+        // 1. Worker completions — park each response on its connection
+        //    (generation-checked so a recycled slot never gets a stale
+        //    response).
+        while let Ok(completion) = completions.try_recv() {
+            if let Some(conn) = table
+                .slots
+                .get_mut(completion.conn_id)
+                .and_then(Option::as_mut)
+            {
+                if conn.gen == completion.gen {
+                    conn.complete(completion.seq, completion.response);
+                }
+            }
+        }
+
+        // 2. New connections.
+        if accept_ready {
+            accept_burst(state, listener, &mut table, draining, now);
+        }
+
+        // 3. Reads: sockets that turned readable, plus buffered pipelines
+        //    whose quota freed up.
+        for id in 0..table.slots.len() {
+            let Some(conn) = table.slots[id].as_mut() else {
+                continue;
+            };
+            let readable = ready_reads.contains(&id);
+            let budget = request_budget(conn, &config);
+            if !readable && !conn.wants_parse(config.max_inflight_per_conn, budget) {
+                continue;
+            }
+            let (events, outcome) = conn.read_and_parse(
+                config.max_body_bytes,
+                config.max_inflight_per_conn,
+                budget,
+                now,
+            );
+            for event in events {
+                match event {
+                    ReadEvent::Request(request, seq) => {
+                        admit_request(state, conn, id, seq, request, now);
+                    }
+                    ReadEvent::Error(e, seq) => {
+                        state.counters.requests.fetch_add(1, Ordering::Relaxed);
+                        conn.complete(
+                            seq,
+                            reject(e.status().unwrap_or(400), e.message(), RespKind::ClientError),
+                        );
+                    }
+                }
+            }
+            if outcome == ReadOutcome::HardClose {
+                if conn.outstanding() > 0 || conn.wants_write() || conn.has_buffered() {
+                    state.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                table.close(id);
+            }
+        }
+
+        // 4. Flush + write + sweep every connection.
+        for id in 0..table.slots.len() {
+            let Some(conn) = table.slots[id].as_mut() else {
+                continue;
+            };
+            if draining {
+                conn.reads_stopped = true;
+            }
+            for (_, kind) in conn.flush_ready(draining, config.max_requests_per_conn) {
+                count_response(state, kind);
+            }
+            if conn.wants_write() && conn.write_some(now).is_err() {
+                state.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                table.close(id);
+                continue;
+            }
+            let Some(conn) = table.slots[id].as_mut() else {
+                continue;
+            };
+            if conn.done() {
+                table.close(id);
+                continue;
+            }
+            // Slowloris guard: a request mid-arrival past the read window
+            // is answered 408 and the connection winds down.
+            if conn
+                .partial_since
+                .is_some_and(|t| now.duration_since(t) > config.io_timeout)
+            {
+                let seq = conn.fail_partial();
+                state.counters.requests.fetch_add(1, Ordering::Relaxed);
+                conn.complete(
+                    seq,
+                    reject(408, "request read timed out", RespKind::ClientError),
+                );
+                for (_, kind) in conn.flush_ready(draining, config.max_requests_per_conn) {
+                    count_response(state, kind);
+                }
+                let _ = conn.write_some(now);
+                continue;
+            }
+            // Write stall: pending bytes but no progress for a full read
+            // window — the peer stopped reading; drop it.
+            if conn.wants_write() && now.duration_since(conn.last_activity) > config.io_timeout {
+                state.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                table.close(id);
+                continue;
+            }
+            // Idle keep-alive reap (drain closes idles immediately).
+            let idle_for = now.duration_since(conn.last_activity);
+            let idle = conn.outstanding() == 0 && !conn.wants_write() && !conn.has_buffered();
+            if idle && (draining || idle_for > config.idle_timeout) {
+                if !draining {
+                    state.counters.idle_closed.fetch_add(1, Ordering::Relaxed);
+                }
+                table.close(id);
+            }
+        }
+
+        state
+            .open_connections
+            .store(table.open as u64, Ordering::Relaxed);
+    }
+    state.open_connections.store(0, Ordering::Relaxed);
+}
+
+/// Remaining request budget before `max_requests_per_conn` closes `conn`.
+fn request_budget(conn: &ConnState, config: &ServeConfig) -> u64 {
+    config
+        .max_requests_per_conn
+        .saturating_sub(conn.served + conn.outstanding())
+}
+
+fn accept_burst(
+    state: &PlaneState,
+    listener: &TcpListener,
+    table: &mut ConnTable,
+    draining: bool,
+    now: Instant,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                if draining {
+                    state
+                        .counters
+                        .rejected_draining
+                        .fetch_add(1, Ordering::Relaxed);
+                    reject_inline(state, stream, "draining");
+                    continue;
+                }
+                if table.open >= state.config.max_connections {
+                    // Raced past the backpressure gate (burst within one
+                    // poll round): shed instead of overfilling the table.
+                    state
+                        .counters
+                        .rejected_overload
+                        .fetch_add(1, Ordering::Relaxed);
+                    reject_inline(state, stream, "overloaded");
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    state.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                state.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                table.insert(stream, peer, now);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(_) => return,
+        }
+    }
+}
+
+/// Best-effort `503` written synchronously from the poller (short write
+/// timeout so a slow peer cannot stall the event loop).
+fn reject_inline(state: &PlaneState, mut stream: TcpStream, error: &str) {
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
-    let body = error_body(error);
-    if http::write_response(&mut stream, status, "application/json", &body).is_err() {
+    let bytes = http::render_response(503, "application/json", &error_body(error), false);
+    if std::io::Write::write_all(&mut stream, &bytes).is_err() {
         state.counters.io_errors.fetch_add(1, Ordering::Relaxed);
     }
 }
 
-fn worker_loop(rx: &Receiver<Pending>, state: &PlaneState) {
-    while let Ok(pending) = rx.recv() {
-        // A panic in one connection's handler must never take down the
-        // pool; it is counted and the worker moves on.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            handle_connection(pending, state);
-        }));
-        if outcome.is_err() {
-            state.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-}
-
-fn handle_connection(pending: Pending, state: &PlaneState) {
-    let Pending {
-        mut stream,
-        arrived,
-    } = pending;
-    let config = &state.config;
-    let _ = stream.set_read_timeout(Some(config.io_timeout));
-    let _ = stream.set_write_timeout(Some(config.io_timeout));
-
-    let request = match http::read_request(&mut stream, config.max_body_bytes) {
-        Ok(request) => request,
-        Err(e) => {
-            match e.status() {
-                Some(status) => {
-                    state.counters.client_errors.fetch_add(1, Ordering::Relaxed);
-                    let _ = http::write_response(
-                        &mut stream,
-                        status,
-                        "application/json",
-                        &error_body(e.message()),
-                    );
-                }
-                None => {
-                    if !matches!(e, HttpError::CleanClose) {
-                        state.counters.io_errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            return;
-        }
-    };
+/// Parses the deadline header and either fast-rejects inline (bad header,
+/// zero budget, queue full, draining) or admits the request into the EDF
+/// queue.
+fn admit_request(
+    state: &PlaneState,
+    conn: &mut ConnState,
+    conn_id: usize,
+    seq: u64,
+    request: Box<Request>,
+    now: Instant,
+) {
     state.counters.requests.fetch_add(1, Ordering::Relaxed);
-
-    // Deadline budget: header wins (capped), else the configured default.
+    let keep_alive_wanted = request.wants_keep_alive();
     let deadline = match request.header("x-amf-deadline-ms") {
         Some(raw) => match raw.parse::<u64>() {
-            Ok(ms) => Duration::from_millis(ms).min(config.max_deadline),
+            Ok(ms) => Duration::from_millis(ms).min(state.config.max_deadline),
             Err(_) => {
-                state.counters.client_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = http::write_response(
-                    &mut stream,
-                    400,
-                    "application/json",
-                    &error_body("bad x-amf-deadline-ms"),
+                conn.complete(
+                    seq,
+                    respond(
+                        400,
+                        error_body("bad x-amf-deadline-ms"),
+                        RespKind::ClientError,
+                        keep_alive_wanted,
+                    ),
                 );
                 return;
             }
         },
-        None => config.default_deadline,
+        None => state.config.default_deadline,
     };
-    let expires = arrived + deadline;
-
-    // Reject-on-arrival: the queue wait (plus request read) already burned
-    // the whole budget — answering would be wasted work the client no
-    // longer waits for.
-    if Instant::now() > expires {
-        state
-            .counters
-            .rejected_deadline
-            .fetch_add(1, Ordering::Relaxed);
-        let _ = http::write_response(
-            &mut stream,
-            503,
-            "application/json",
-            &error_body("deadline exceeded in queue"),
+    // Reject-on-arrival: a zero budget can never be met — answer from the
+    // poller without spending a queue slot or a worker.
+    if deadline.is_zero() {
+        conn.complete(
+            seq,
+            respond(
+                503,
+                error_body("deadline exceeded in queue"),
+                RespKind::RejDeadline,
+                keep_alive_wanted,
+            ),
         );
         return;
     }
-
-    let (status, content_type, body) = route(&request, state, expires);
-    match status {
-        200 => state.counters.ok.fetch_add(1, Ordering::Relaxed),
-        503 => state
-            .counters
-            .rejected_deadline
-            .fetch_add(1, Ordering::Relaxed),
-        _ => state.counters.client_errors.fetch_add(1, Ordering::Relaxed),
+    let expires = now + deadline;
+    let job = Job {
+        conn_id,
+        gen: conn.gen,
+        seq,
+        request,
+        expires,
+        enqueued: now,
+        keep_alive_wanted,
     };
-    if http::write_response(&mut stream, status, &content_type, &body).is_err() {
-        state.counters.io_errors.fetch_add(1, Ordering::Relaxed);
+    match state.queue.try_push(expires, job) {
+        Ok(()) => {}
+        Err(PushError::Full(_)) => conn.complete(
+            seq,
+            respond(
+                503,
+                error_body("overloaded"),
+                RespKind::RejOverload,
+                keep_alive_wanted,
+            ),
+        ),
+        Err(PushError::Closed(_)) => conn.complete(
+            seq,
+            respond(
+                503,
+                error_body("draining"),
+                RespKind::RejDraining,
+                keep_alive_wanted,
+            ),
+        ),
     }
 }
+
+fn respond(status: u16, body: String, kind: RespKind, keep_alive_wanted: bool) -> CompletedResponse {
+    CompletedResponse {
+        status,
+        content_type: "application/json".into(),
+        body,
+        keep_alive_wanted,
+        kind,
+    }
+}
+
+/// An error response that also ends the connection (protocol trust gone).
+fn reject(status: u16, message: &str, kind: RespKind) -> CompletedResponse {
+    respond(status, error_body(message), kind, false)
+}
+
+/// Status-class accounting, applied exactly once per response at render
+/// time (handler-level counters live in the handlers).
+fn count_response(state: &PlaneState, kind: RespKind) {
+    let counter = match kind {
+        RespKind::Ok => &state.counters.ok,
+        RespKind::ClientError => &state.counters.client_errors,
+        RespKind::RejOverload => &state.counters.rejected_overload,
+        RespKind::RejDeadline => &state.counters.rejected_deadline,
+        RespKind::RejDraining => &state.counters.rejected_draining,
+        // The panic itself was counted by the worker; the 500 is not an
+        // ok/client-error/reject.
+        RespKind::Panic => return,
+    };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Routing (unchanged protocol semantics from the blocking plane)
+// ---------------------------------------------------------------------------
 
 type RouteResponse = (u16, String, String);
 
@@ -707,9 +1105,12 @@ mod tests {
         ServePlane::start("127.0.0.1:0", service, config).expect("bind")
     }
 
+    /// Writes `raw`, half-closes, and reads everything the server sends
+    /// (the EOF makes the keep-alive server flush and close).
     fn raw_request(addr: SocketAddr, raw: &[u8]) -> String {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream.write_all(raw).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         response
@@ -729,6 +1130,35 @@ mod tests {
             .parse()
             .unwrap();
         (status, body.to_string())
+    }
+
+    /// Reads exactly one response off an open keep-alive stream.
+    fn read_one_response(stream: &mut TcpStream) -> (u16, String) {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 4096];
+        let (head_end, body_len) = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = std::str::from_utf8(&buf[..pos]).unwrap();
+                let len = head
+                    .lines()
+                    .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string))
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                    .unwrap_or(0);
+                break (pos + 4, len);
+            }
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "EOF before response head");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        while buf.len() < head_end + body_len {
+            let n = stream.read(&mut chunk).unwrap();
+            assert!(n > 0, "EOF before response body");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let head = std::str::from_utf8(&buf[..head_end]).unwrap();
+        let status = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let body = String::from_utf8(buf[head_end..head_end + body_len].to_vec()).unwrap();
+        (status, body)
     }
 
     #[test]
@@ -787,6 +1217,22 @@ mod tests {
     }
 
     #[test]
+    fn keep_alive_serves_many_requests_on_one_connection() {
+        let plane = test_plane(ServeConfig::default());
+        let mut stream = TcpStream::connect(plane.local_addr()).unwrap();
+        for round in 0..5 {
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let (status, body) = read_one_response(&mut stream);
+            assert_eq!(status, 200, "round {round}: {body}");
+        }
+        let stats = plane.stop();
+        assert_eq!(stats.accepted, 1, "one connection served every request");
+        assert_eq!(stats.ok, 5);
+    }
+
+    #[test]
     fn zero_deadline_is_rejected_on_arrival() {
         let plane = test_plane(ServeConfig::default());
         let addr = plane.local_addr();
@@ -842,6 +1288,11 @@ mod tests {
             metrics.contains("amf_serve_requests"),
             "serve counters exported"
         );
+        assert!(
+            metrics.contains("amf_serve_open_connections"),
+            "connection gauge exported: {}",
+            &metrics[..metrics.len().min(400)]
+        );
         let snapshot = raw_request(addr, b"GET /snapshot.json HTTP/1.1\r\nHost: x\r\n\r\n");
         assert!(snapshot.contains(qos_obs::SCHEMA));
         plane.stop();
@@ -868,9 +1319,37 @@ mod tests {
     }
 
     #[test]
+    fn drain_does_not_hang_on_idle_keep_alive_client() {
+        // The PR 8 drain regression: an idle persistent connection (no
+        // request in flight, no EOF) must not block stop().
+        let plane = test_plane(ServeConfig::default());
+        let mut stream = TcpStream::connect(plane.local_addr()).unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let (status, _) = read_one_response(&mut stream);
+        assert_eq!(status, 200);
+        // The connection now sits idle; stop() must still return promptly.
+        let started = Instant::now();
+        let stats = plane.stop();
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "drain hung on an idle keep-alive client: {:?}",
+            started.elapsed()
+        );
+        assert_eq!(stats.worker_panics, 0);
+        // And the idle client observes the close.
+        let mut rest = Vec::new();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let _ = stream.read_to_end(&mut rest);
+    }
+
+    #[test]
     fn repeated_start_stop_never_hangs() {
-        // The drain-path regression pin (shared-listener shape): shutdown
-        // must terminate promptly every time, scrape or no scrape.
+        // The drain-path regression pin (poller shape): shutdown must
+        // terminate promptly every time, scrape or no scrape.
         for round in 0..25 {
             let plane = test_plane(ServeConfig {
                 workers: 2,

@@ -1,8 +1,10 @@
-//! Integration suite for the hardened serving plane (DESIGN.md §14):
+//! Integration suite for the hardened serving plane (DESIGN.md §14–15):
 //! exact accept/shed accounting under concurrent producers, a
 //! malformed-HTTP corpus that must never panic a worker, admission-control
-//! fast-rejects under overload, and the load harness driven end-to-end
-//! against a live plane with the acceptance fault plan
+//! fast-rejects under overload, earliest-deadline-first queue ordering,
+//! the keep-alive connection lifecycle (pipelining, idle timeout,
+//! per-connection request caps, drain), and the load harness driven
+//! end-to-end against a live plane with the acceptance fault plan
 //! (`conn-reset@0.05,slow-read@0.02`).
 
 use amf_core::FaultPlan;
@@ -26,7 +28,8 @@ fn plane(config: ServeConfig, queue_capacity: usize) -> ServePlane {
 }
 
 /// Sends raw bytes and reads whatever comes back (empty when the server
-/// just closes).
+/// just closes). Half-closes the write side so the keep-alive server
+/// answers with `Connection: close` and `read_to_string` terminates.
 fn raw_exchange(addr: SocketAddr, raw: &[u8]) -> String {
     let mut stream = TcpStream::connect(addr).expect("connect");
     stream
@@ -37,6 +40,72 @@ fn raw_exchange(addr: SocketAddr, raw: &[u8]) -> String {
     let mut response = String::new();
     let _ = stream.read_to_string(&mut response);
     response
+}
+
+/// Renders a POST with optional extra header lines (e.g. the deadline).
+fn post_raw(path: &str, body: &str, extra_headers: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\n{extra_headers}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Reads exactly one `Content-Length`-framed response off a live
+/// keep-alive connection; `buf` carries leftover pipelined bytes between
+/// calls. Returns `(head, body)` or `None` on EOF / timeout.
+fn read_framed_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Option<(String, String)> {
+    loop {
+        if let Some(head_end) = find_head_end(buf) {
+            let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+            let content_length = head
+                .lines()
+                .find_map(|line| {
+                    let (name, value) = line.split_once(':')?;
+                    if name.trim().eq_ignore_ascii_case("content-length") {
+                        value.trim().parse::<usize>().ok()
+                    } else {
+                        None
+                    }
+                })
+                .unwrap_or(0);
+            while buf.len() < head_end + content_length {
+                let mut chunk = [0u8; 4096];
+                let n = stream.read(&mut chunk).ok()?;
+                if n == 0 {
+                    return None;
+                }
+                buf.extend_from_slice(&chunk[..n]);
+            }
+            let body = String::from_utf8_lossy(&buf[head_end..head_end + content_length]).to_string();
+            buf.drain(..head_end + content_length);
+            return Some((head, body));
+        }
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// A predict body big enough to occupy a worker for a while (the lines are
+/// parsed and predicted one by one).
+fn slow_predict_body(lines: usize) -> String {
+    let mut body = String::with_capacity(lines * 40);
+    for i in 0..lines {
+        body.push_str(&format!(
+            "{{\"user\":\"user-{}\",\"service\":\"svc-{}\"}}\n",
+            i % 24,
+            i % 32
+        ));
+    }
+    body
 }
 
 /// Every sample offered by N concurrent producers against a bounded input
@@ -206,32 +275,41 @@ fn malformed_http_corpus_gets_4xx_never_panics() {
     assert!(stats.client_errors >= 9, "4xx path exercised: {stats:?}");
 }
 
-/// With one worker and a one-slot queue, silent connections saturate the
-/// plane and later arrivals are fast-rejected 503 by the acceptor.
+/// With one worker and a one-slot queue, a long-running batch saturates
+/// the plane and later arrivals are fast-rejected 503 by the acceptor.
 #[test]
 fn overload_fast_rejects_from_the_acceptor() {
     let plane = plane(
         ServeConfig {
             workers: 1,
             max_pending: 1,
-            io_timeout: Duration::from_millis(600),
+            max_body_bytes: 8 * 1024 * 1024,
+            io_timeout: Duration::from_secs(10),
+            default_deadline: Duration::from_secs(30),
+            max_deadline: Duration::from_secs(30),
             ..ServeConfig::default()
         },
         256,
     );
     let addr = plane.local_addr();
 
-    // Occupy the single worker with a connection that sends nothing (it
-    // blocks in read until its 600 ms timeout).
-    let holder = TcpStream::connect(addr).unwrap();
-    std::thread::sleep(Duration::from_millis(100));
+    // Occupy the single worker with a batch that takes real time to churn
+    // through (each line is parsed and predicted individually).
+    let holder_body = slow_predict_body(100_000);
+    let holder = std::thread::spawn(move || {
+        raw_exchange(addr, &post_raw("/v1/predict", &holder_body, ""))
+    });
+    std::thread::sleep(Duration::from_millis(150));
 
     // Four CONCURRENT probes: the first to reach the acceptor takes the
-    // single queue slot (and waits for the worker — it cannot be dequeued
-    // before the 600 ms hold expires); the rest find the queue full and
-    // must be answered 503 inline by the acceptor.
+    // single queue slot (and waits for the worker); the rest find the
+    // queue full and must be answered 503 inline by the acceptor.
     let probes: Vec<_> = (0..4)
-        .map(|_| std::thread::spawn(move || raw_exchange(addr, b"GET /healthz HTTP/1.1\r\n\r\n")))
+        .map(|_| {
+            std::thread::spawn(move || {
+                raw_exchange(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            })
+        })
         .collect();
     let responses: Vec<String> = probes.into_iter().map(|p| p.join().unwrap()).collect();
     let rejected = responses
@@ -245,7 +323,10 @@ fn overload_fast_rejects_from_the_acceptor() {
     for response in responses.iter().filter(|r| r.starts_with("HTTP/1.1 503")) {
         assert!(response.contains("Retry-After"), "{response}");
     }
-    drop(holder);
+    let holder_response = holder.join().unwrap();
+    assert!(holder_response.starts_with("HTTP/1.1 200"), "holder: {}", {
+        &holder_response[..holder_response.len().min(80)]
+    });
     let stats = plane.stop();
     assert!(
         rejected >= 1,
@@ -256,6 +337,257 @@ fn overload_fast_rejects_from_the_acceptor() {
         "the queued probe is flushed, not dropped: {responses:?}"
     );
     assert!(stats.rejected_overload >= 1, "{stats:?}");
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// EDF ordering end-to-end: while the single worker is pinned, a
+/// later-arriving tight-deadline request overtakes an earlier
+/// slack-deadline request in the queue and is answered first. The probes
+/// carry multi-thousand-line bodies so that worker processing order (the
+/// thing EDF controls) dominates response-delivery jitter through the
+/// shared poller thread — with one-line probes the two completions land
+/// ~100 us apart and the client-side clocks cannot resolve queue order.
+#[test]
+fn tight_deadline_overtakes_slack_in_the_edf_queue() {
+    let plane = plane(
+        ServeConfig {
+            workers: 1,
+            max_pending: 8,
+            max_body_bytes: 8 * 1024 * 1024,
+            io_timeout: Duration::from_secs(10),
+            default_deadline: Duration::from_secs(30),
+            max_deadline: Duration::from_secs(60),
+            ..ServeConfig::default()
+        },
+        256,
+    );
+    let addr = plane.local_addr();
+
+    // Pin the worker long enough for both probes to be queued.
+    let holder_body = slow_predict_body(100_000);
+    let holder = std::thread::spawn(move || {
+        raw_exchange(addr, &post_raw("/v1/predict", &holder_body, ""))
+    });
+    // Wait until the holder's multi-MiB body is fully parsed and admitted
+    // (the free worker pops it immediately after). A fixed sleep is not
+    // enough: on a loaded host the upload alone can outlast it, and a
+    // probe that beats the holder to the worker voids the scenario.
+    let begun = std::time::Instant::now();
+    while plane.stats().requests < 1 {
+        assert!(
+            begun.elapsed() < Duration::from_secs(30),
+            "holder request never parsed"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    let probe_body = slow_predict_body(20_000);
+    // Slack (30 s budget) enqueues FIRST...
+    let slack = {
+        let body = probe_body.clone();
+        std::thread::spawn(move || {
+            let response = raw_exchange(
+                addr,
+                &post_raw("/v1/predict", &body, "x-amf-deadline-ms: 30000\r\n"),
+            );
+            (std::time::Instant::now(), response)
+        })
+    };
+    // Same admission handshake for the slack probe before tight is sent.
+    let begun = std::time::Instant::now();
+    while plane.stats().requests < 2 {
+        assert!(
+            begun.elapsed() < Duration::from_secs(30),
+            "slack request never parsed"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    // ...then tight (8 s budget) arrives second but must pop first.
+    let tight = {
+        let body = probe_body;
+        std::thread::spawn(move || {
+            let response = raw_exchange(
+                addr,
+                &post_raw("/v1/predict", &body, "x-amf-deadline-ms: 8000\r\n"),
+            );
+            (std::time::Instant::now(), response)
+        })
+    };
+
+    let (tight_done, tight_response) = tight.join().unwrap();
+    let (slack_done, slack_response) = slack.join().unwrap();
+    let _ = holder.join();
+    let stats = plane.stop();
+
+    assert!(tight_response.starts_with("HTTP/1.1 200"), "{tight_response}");
+    assert!(slack_response.starts_with("HTTP/1.1 200"), "{slack_response}");
+    assert!(
+        tight_done < slack_done,
+        "tight deadline must be served before slack despite arriving later"
+    );
+    assert_eq!(stats.worker_panics, 0);
+}
+
+#[test]
+fn zero_deadline_is_fast_rejected_on_arrival() {
+    let plane = plane(ServeConfig::default(), 256);
+    let addr = plane.local_addr();
+    let body = "{\"user\":\"u\",\"service\":\"s\"}\n";
+    let response = raw_exchange(
+        addr,
+        &post_raw("/v1/predict", body, "x-amf-deadline-ms: 0\r\n"),
+    );
+    assert!(response.starts_with("HTTP/1.1 503"), "{response}");
+    assert!(response.contains("deadline exceeded"), "{response}");
+    let stats = plane.stop();
+    assert_eq!(stats.rejected_deadline, 1, "{stats:?}");
+    assert_eq!(stats.predictions, 0, "no model work for a dead request");
+}
+
+/// Keep-alive lifecycle: three requests pipelined in one write come back
+/// in order on the same connection, each framed by Content-Length.
+#[test]
+fn pipelined_requests_are_answered_in_order_on_one_connection() {
+    let plane = plane(ServeConfig::default(), 256);
+    let addr = plane.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut batch = Vec::new();
+    for user in ["alpha", "beta", "gamma"] {
+        let body = format!("{{\"user\":\"{user}\",\"service\":\"s\"}}\n");
+        batch.extend_from_slice(&post_raw("/v1/predict", &body, ""));
+    }
+    stream.write_all(&batch).unwrap();
+
+    let mut buf = Vec::new();
+    for user in ["alpha", "beta", "gamma"] {
+        let (head, body) = read_framed_response(&mut stream, &mut buf)
+            .unwrap_or_else(|| panic!("missing response for {user}"));
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains(user), "out of order: wanted {user} in {body}");
+    }
+
+    let stats = plane.stop();
+    assert_eq!(stats.accepted, 1, "one connection served all three");
+    assert_eq!(stats.ok, 3, "{stats:?}");
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// An idle persistent connection is closed by the server once
+/// `idle_timeout` elapses, and counted as such.
+#[test]
+fn idle_keep_alive_connection_is_reaped() {
+    let plane = plane(
+        ServeConfig {
+            idle_timeout: Duration::from_millis(200),
+            ..ServeConfig::default()
+        },
+        256,
+    );
+    let addr = plane.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut buf = Vec::new();
+    let (head, _) = read_framed_response(&mut stream, &mut buf).expect("first response");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+
+    // Now go quiet: the server must close the connection, observed as EOF.
+    let mut probe = [0u8; 64];
+    let n = stream.read(&mut probe).expect("EOF, not a read error");
+    assert_eq!(n, 0, "server should close the idle connection");
+
+    let stats = plane.stop();
+    assert!(stats.idle_closed >= 1, "{stats:?}");
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// `max_requests_per_conn` bounds one connection's lifetime: the last
+/// budgeted response carries `Connection: close` and the socket closes,
+/// requests beyond the budget on that connection are never served.
+#[test]
+fn max_requests_per_conn_is_enforced() {
+    let plane = plane(
+        ServeConfig {
+            max_requests_per_conn: 2,
+            ..ServeConfig::default()
+        },
+        256,
+    );
+    let addr = plane.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut batch = Vec::new();
+    for _ in 0..3 {
+        batch.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    }
+    stream.write_all(&batch).unwrap();
+
+    let mut buf = Vec::new();
+    let (first, _) = read_framed_response(&mut stream, &mut buf).expect("first");
+    assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+    let (second, _) = read_framed_response(&mut stream, &mut buf).expect("second");
+    assert!(second.starts_with("HTTP/1.1 200"), "{second}");
+    assert!(
+        second.to_ascii_lowercase().contains("connection: close"),
+        "budget-exhausting response must announce the close: {second}"
+    );
+    assert!(
+        read_framed_response(&mut stream, &mut buf).is_none(),
+        "third request is beyond the per-connection budget"
+    );
+
+    let stats = plane.stop();
+    assert_eq!(stats.ok, 2, "{stats:?}");
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// A malformed second request on a reused connection gets a clean 400 and
+/// closes that connection — without poisoning a worker: the next
+/// connection is served normally.
+#[test]
+fn malformed_second_request_on_reused_connection_is_contained() {
+    let plane = plane(ServeConfig::default(), 256);
+    let addr = plane.local_addr();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        .unwrap();
+    let mut buf = Vec::new();
+    let (first, _) = read_framed_response(&mut stream, &mut buf).expect("first response");
+    assert!(first.starts_with("HTTP/1.1 200"), "{first}");
+
+    stream.write_all(b"GARBAGE SECOND REQUEST\r\n\r\n").unwrap();
+    let (second, _) = read_framed_response(&mut stream, &mut buf).expect("error response");
+    assert!(second.starts_with("HTTP/1.1 400"), "{second}");
+    assert!(
+        read_framed_response(&mut stream, &mut buf).is_none(),
+        "framing is sticky: the connection closes after the 400"
+    );
+
+    // The plane is still healthy for fresh connections.
+    let after = raw_exchange(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(after.starts_with("HTTP/1.1 200"), "{after}");
+
+    let stats = plane.stop();
+    assert_eq!(stats.ok, 2, "{stats:?}");
+    assert_eq!(stats.client_errors, 1, "{stats:?}");
     assert_eq!(stats.worker_panics, 0);
 }
 
@@ -301,6 +633,52 @@ fn loadtest_under_acceptance_fault_plan_is_clean() {
     // Predictions that did come back were all tagged + finite (the runner
     // only counts entries carrying a source label and value).
     assert!(report.predictions > 0, "{report:?}");
+
+    let stats = plane.stop();
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// The acceptance fault plan over the keep-alive transport: resets force
+/// reconnects, pipelined batches survive around the faulted requests, and
+/// the server stays panic-free with every request accounted for.
+#[test]
+fn keep_alive_loadtest_under_fault_plan_is_clean() {
+    let plane = plane(ServeConfig::default(), 4096);
+    let addr = plane.local_addr();
+
+    let plan = FaultPlan::parse("conn-reset@0.05,slow-read@0.02").expect("acceptance spec parses");
+    let config = LoadConfig {
+        mode: LoadMode::Closed { concurrency: 4 },
+        requests: 160,
+        seed: 7,
+        fault_plan: Some(plan),
+        keep_alive: true,
+        pipeline: 4,
+        client: ClientConfig {
+            request_timeout: Duration::from_millis(800),
+            max_retries: 2,
+            ..ClientConfig::default()
+        },
+        ..LoadConfig::default()
+    };
+    let report = LoadRunner::new(config).run(addr, "acceptance-keepalive");
+
+    let accounted = report.ok
+        + report.http_4xx
+        + report.http_503
+        + report.http_5xx_other
+        + report.transport_errors;
+    assert_eq!(accounted, report.requests, "{report:?}");
+    assert!(report.ok > 0, "{report:?}");
+    assert_eq!(report.server_worker_panics, 0, "{report:?}");
+    assert_eq!(report.transport, "keep-alive");
+    assert!(
+        report.conn_reuses > 0,
+        "persistent connections were actually reused: {report:?}"
+    );
+    // Faults force reconnects, so connects > workers but far fewer than
+    // one per request.
+    assert!(report.connects < report.requests, "{report:?}");
 
     let stats = plane.stop();
     assert_eq!(stats.worker_panics, 0);
