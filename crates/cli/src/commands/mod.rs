@@ -9,6 +9,7 @@ pub mod generate;
 pub mod loadtest;
 pub mod predict;
 pub mod report;
+pub mod scenario;
 pub mod serve;
 pub mod simulate;
 pub mod stats;

@@ -3,7 +3,8 @@
 use super::{amf_config_from, parse_attribute, CliError};
 use crate::args::Args;
 use amf_core::{
-    persistence, AmfTrainer, FaultPlan, GuardConfig, QuarantineDiagnostics, SampleGuard,
+    persistence, AmfTrainer, FaultContext, FaultPlan, GuardConfig, QuarantineDiagnostics,
+    SampleGuard,
 };
 use qos_dataset::io;
 use std::sync::Arc;
@@ -28,8 +29,10 @@ pub const USAGE: &str = "amf-qos train --data TRIPLETS --out MODEL [--attr rt|tp
 /// (drop/duplicate/reorder) are applied to the input, and with
 /// `--shards >= 2` the kill/stall script is injected into the shard workers
 /// to exercise crash recovery — training must still complete. The network
-/// verbs are inert here; they drive `amf-qos loadtest`'s client-side fault
-/// injection against a live `amf-qos serve` endpoint.
+/// verbs are *rejected* here: they only fire in `amf-qos loadtest`'s
+/// client-side fault injection against a live `amf-qos serve` endpoint, and
+/// silently accepting them would make a training run look fault-hardened
+/// when nothing was injected.
 ///
 /// # Errors
 ///
@@ -52,7 +55,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     };
     let fault_plan = match args.get("fault-plan") {
         Some(spec) => Some(Arc::new(
-            FaultPlan::parse(spec).map_err(|e| CliError(format!("--fault-plan: {e}")))?,
+            FaultPlan::parse_in(spec, FaultContext::Training)
+                .map_err(|e| CliError(format!("--fault-plan: {e}")))?,
         )),
         None => None,
     };
@@ -399,6 +403,24 @@ mod tests {
         assert!(summary.contains("stream mutated 100 ->"), "{summary}");
         std::fs::remove_file(data).unwrap();
         std::fs::remove_file(model).unwrap();
+    }
+
+    #[test]
+    fn rejects_network_fault_verbs() {
+        let data = temp_path("data10.txt");
+        write_samples(&data, 10);
+        let err = run(&args(&[
+            "--data",
+            &data,
+            "--out",
+            &temp_path("never5.amf"),
+            "--fault-plan",
+            "seed=1;drop=0.1;conn-reset=0.05",
+        ]))
+        .unwrap_err();
+        assert!(err.0.contains("conn-reset"), "{}", err.0);
+        assert!(err.0.contains("inert in the train context"), "{}", err.0);
+        std::fs::remove_file(data).unwrap();
     }
 
     #[test]

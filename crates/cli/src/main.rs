@@ -13,6 +13,8 @@
 //!                     endpoint + /metrics, /healthz, /snapshot.json)
 //! amf-qos loadtest    drive a live serve endpoint with a fault-injecting
 //!                     load harness and emit an amf-bench-serve/v1 report
+//! amf-qos scenario    closed-loop adaptation scenarios (adaptive vs static)
+//!                     over seeded phase-regime worlds
 //! amf-qos report      summarize a recorded telemetry log
 //! ```
 //!
@@ -37,6 +39,7 @@ diagnose    health snapshot of a saved model\n  \
 simulate    end-to-end runtime-adaptation simulation\n  \
 serve       run the hardened serving plane (predict/observe/rank + metrics)\n  \
 loadtest    fault-injecting load harness against a live serve endpoint\n  \
+scenario    closed-loop adaptation scenarios, amf-scenario/v1 reports\n  \
 report      summarize an amf-obs-ts/v1 telemetry JSONL log\n\
 \n\
 run a subcommand without flags to see its usage";
@@ -71,6 +74,9 @@ fn dispatch(args: &Args) -> Result<String, commands::CliError> {
         }
         Some("loadtest") => {
             commands::loadtest::run(args).map_err(|e| usage_hint(e, commands::loadtest::USAGE))
+        }
+        Some("scenario") => {
+            commands::scenario::run(args).map_err(|e| usage_hint(e, commands::scenario::USAGE))
         }
         Some("report") => {
             commands::report::run(args).map_err(|e| usage_hint(e, commands::report::USAGE))

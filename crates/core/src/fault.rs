@@ -129,6 +129,43 @@ impl NetFault {
     }
 }
 
+/// Where a parsed [`FaultPlan`] will be applied — used by
+/// [`FaultPlan::parse_in`] to reject verbs that would be silently inert in
+/// that context.
+///
+/// The network verbs (`conn-reset`/`slow-read`/`blackhole`) are client-side:
+/// only the serving-plane load harness replays them. Accepting them in a
+/// `train` or scenario spec used to succeed and then inject *nothing*, which
+/// reads as "the run survived the faults" when no fault ever fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultContext {
+    /// Offline/online training ingestion (`amf-qos train`): stream verbs and
+    /// worker kill/stall scripts apply; network verbs are inert.
+    Training,
+    /// Scenario/regime harnesses driving a prediction service in-process:
+    /// same engine-side surface as training, no live transport.
+    Scenario,
+    /// The serving-plane load harness (`amf-qos loadtest`): every verb,
+    /// including the client-side network faults, is live.
+    Serving,
+}
+
+impl FaultContext {
+    /// Human-readable context name for error messages.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultContext::Training => "train",
+            FaultContext::Scenario => "scenario",
+            FaultContext::Serving => "serving",
+        }
+    }
+
+    /// Whether network verbs actually fire in this context.
+    pub fn allows_network(self) -> bool {
+        matches!(self, FaultContext::Serving)
+    }
+}
+
 /// A deterministic, seed-driven fault script. See the module docs.
 #[derive(Debug, Default, Clone)]
 pub struct FaultPlan {
@@ -449,6 +486,39 @@ impl FaultPlan {
         }
         Ok(plan)
     }
+
+    /// Like [`FaultPlan::parse`], but validated against the context the plan
+    /// will run in: network verbs in a context where they cannot fire are a
+    /// hard error naming the offending verbs, not a silent no-op.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`FaultPlan::parse`] rejects, plus any of
+    /// `conn-reset`/`slow-read`/`blackhole` outside
+    /// [`FaultContext::Serving`].
+    pub fn parse_in(spec: &str, context: FaultContext) -> Result<Self, String> {
+        let plan = Self::parse(spec)?;
+        if !context.allows_network() && plan.mutates_network() {
+            let offending: Vec<&str> = [
+                ("conn-reset", plan.conn_reset_rate),
+                ("slow-read", plan.slow_read_rate),
+                ("blackhole", plan.blackhole_rate),
+            ]
+            .iter()
+            .filter(|&&(_, rate)| rate > 0.0)
+            .map(|&(verb, _)| verb)
+            .collect();
+            return Err(format!(
+                "fault-plan: network verb(s) {} are inert in the {} context — they only \
+                 fire in `amf-qos loadtest`'s client-side injection against a live serve \
+                 endpoint; remove them or use stream verbs (drop/dup/reorder) and worker \
+                 kill/stall scripts instead",
+                offending.join(", "),
+                context.label()
+            ));
+        }
+        Ok(plan)
+    }
 }
 
 /// Canonical spec rendering: `;`-separated `key=value` entries that
@@ -651,6 +721,44 @@ mod tests {
             assert!(!plan.mutates_stream());
         }
         assert_eq!(short.to_string(), long.to_string());
+    }
+
+    #[test]
+    fn parse_in_rejects_network_verbs_outside_serving() {
+        for context in [FaultContext::Training, FaultContext::Scenario] {
+            // Engine-side verbs stay accepted.
+            let plan =
+                FaultPlan::parse_in("seed=7;kill=1@500;drop=0.02;reorder=4", context).unwrap();
+            assert_eq!(plan.kill_count(), 1);
+            assert!(plan.mutates_stream());
+            // Every network verb, alone or mixed in, is a hard error that
+            // names the offending verbs and the context.
+            for spec in [
+                "conn-reset=0.05",
+                "slow-read@0.02",
+                "blackhole=0.01",
+                "seed=7;drop=0.1;conn-reset=0.05;blackhole=0.01",
+            ] {
+                let err = FaultPlan::parse_in(spec, context).unwrap_err();
+                assert!(err.contains("inert"), "{err}");
+                assert!(err.contains(context.label()), "{err}");
+                for verb in ["conn-reset", "slow-read", "blackhole"] {
+                    if spec.contains(verb) {
+                        assert!(err.contains(verb), "{err} must name {verb}");
+                    }
+                }
+            }
+        }
+        // The serving context keeps accepting them unchanged.
+        let plan = FaultPlan::parse_in(
+            "seed=3;conn-reset=0.05;slow-read=0.02;blackhole=0.01",
+            FaultContext::Serving,
+        )
+        .unwrap();
+        assert!(plan.mutates_network());
+        assert!(FaultContext::Serving.allows_network());
+        assert!(!FaultContext::Training.allows_network());
+        assert!(!FaultContext::Scenario.allows_network());
     }
 
     #[test]

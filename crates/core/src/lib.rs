@@ -66,7 +66,7 @@ pub use engine::{
     Consistency, EngineOptions, FaultEvent, FaultStats, FeedOutcome, ShardedEngine, ShedPolicy,
 };
 pub use expiry::ObservationStore;
-pub use fault::{FaultPlan, KillPhase, NetFault};
+pub use fault::{FaultContext, FaultPlan, KillPhase, NetFault};
 pub use guard::{GuardConfig, GuardStats, QuarantinedSample, RejectReason, SampleGuard};
 pub use model::AmfModel;
 pub use stream::{

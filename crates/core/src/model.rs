@@ -430,6 +430,14 @@ impl AmfModel {
         &self.sentinel
     }
 
+    /// Resets the drift sentinel — detector state and alarm counters — so a
+    /// new scenario or regime run starts with a clean drift baseline instead
+    /// of inheriting alarms merged in from previous shard runs. See
+    /// [`DriftSentinel::reset`].
+    pub fn reset_drift_sentinel(&mut self) {
+        self.sentinel.reset();
+    }
+
     /// Refreshes the windowed-accuracy and drift-health gauges on the
     /// global registry from current state. Runs automatically every
     /// `ACCURACY_GAUGE_MASK + 1` updates; serving-layer snapshot paths call

@@ -406,6 +406,21 @@ impl DriftSentinel {
         self.user.alarms += other.user.alarms;
         self.service.alarms += other.service.alarms;
     }
+
+    /// Clears all detector state *and* the alarm counters, returning the
+    /// sentinel to its freshly-constructed state (tuning is kept).
+    ///
+    /// The engine merges per-shard alarm counts into the model's sentinel in
+    /// worker order, so a long-lived sentinel accumulates history across
+    /// runs. Scenario harnesses that replay several regimes back to back
+    /// must call this between runs — otherwise the second scenario starts
+    /// with the first one's alarms and a half-charged Page–Hinkley
+    /// accumulator, and its planner reacts to drift that never happened.
+    pub fn reset(&mut self) {
+        self.tick = 0;
+        self.user = Side::new(self.config);
+        self.service = Side::new(self.config);
+    }
 }
 
 #[cfg(test)]
@@ -585,6 +600,41 @@ mod tests {
             sentinel.healthy(),
             "stable tail must restore health: {sentinel:?}"
         );
+    }
+
+    #[test]
+    fn reset_clears_alarms_and_detector_state() {
+        let config = DriftConfig {
+            stride: 1,
+            min_offers: 4,
+            delta: 0.0,
+            lambda: 0.2,
+        };
+        let mut sentinel = DriftSentinel::new(config);
+        // Drive both sides into alarm, then poison the running means.
+        for t in 0..100 {
+            let e = 0.01 * f64::from(t);
+            sentinel.observe(e, e);
+        }
+        assert!(sentinel.alarms().0 >= 1);
+        // Merged-in shard counts accumulate too (the engine idiom).
+        let mut shard = DriftSentinel::new(config);
+        shard.user.alarms = 2;
+        sentinel.merge_counts(&shard);
+
+        sentinel.reset();
+        assert_eq!(sentinel.alarms(), (0, 0), "counters must clear");
+        assert!(sentinel.healthy(), "fresh sentinel is healthy");
+        assert_eq!(sentinel.tick, 0);
+        // Back-to-back runs do not inherit state: a reset sentinel behaves
+        // bit-for-bit like a new one on the same stream.
+        let mut fresh = DriftSentinel::new(config);
+        for t in 0..200 {
+            let e = if t < 150 { 0.05 } else { 0.5 };
+            assert_eq!(sentinel.observe(e, 0.05), fresh.observe(e, 0.05));
+        }
+        assert_eq!(sentinel.alarms(), fresh.alarms());
+        assert_eq!(sentinel, fresh);
     }
 
     #[test]

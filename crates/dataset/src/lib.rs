@@ -42,6 +42,7 @@ pub mod config;
 pub mod generator;
 pub mod io;
 pub mod latent;
+pub mod regime;
 pub mod sampling;
 pub mod stats;
 pub mod stream;
@@ -49,6 +50,10 @@ pub mod temporal;
 
 pub use config::{AttributeModel, DatasetConfig};
 pub use generator::{Attribute, QosDataset};
+pub use regime::{
+    phase_profile, PhaseProfile, PhaseSpan, RegimeObservation, RegimePhase, RegimeTimeline,
+    RegimeWorld, RegimeWorldConfig,
+};
 pub use sampling::{split_matrix, MatrixSplit};
 pub use stats::DatasetStatistics;
 pub use stream::{QosSample, SliceStream};

@@ -1,0 +1,356 @@
+//! MAPE-K style adaptation planner.
+//!
+//! The paper positions AMF as the *knowledge* component of a runtime
+//! adaptation loop (Fig. 1): the system **M**onitors QoS, **A**nalyzes
+//! predicted accuracy and drift, **P**lans a reconfiguration, and
+//! **E**xecutes it via candidate re-ranking. This module supplies the
+//! Analyze/Plan stages: a [`Planner`] consumes windowed accuracy
+//! ([`amf_core::WindowedAccuracy`]), drift-sentinel alarms, and the fleet's
+//! observed SLO-violation rate, and decides each tick whether to trigger a
+//! re-ranking pass.
+//!
+//! The planner grades health into tiers — healthy / warning / unhealthy /
+//! self-heal — and acts with *hysteresis*: warnings must dwell before a plan
+//! fires, and consecutive plans are separated by a cooldown. A stationary
+//! stream therefore never flaps, while a drift alarm (the model itself
+//! saying its error distribution shifted) bypasses the cooldown entirely.
+
+use amf_core::WindowedAccuracy;
+
+use crate::ServiceError;
+
+/// Health grade of the prediction/adaptation plane at one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlannerTier {
+    /// Accuracy and violations within bounds; no action ever.
+    Healthy,
+    /// Degradation visible but tolerable; act only after dwelling.
+    Warning,
+    /// Degradation past the hard thresholds; act when cooldown allows.
+    Unhealthy,
+    /// Drift alarm from the model itself; act immediately, ignore cooldown.
+    SelfHeal,
+}
+
+impl PlannerTier {
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlannerTier::Healthy => "healthy",
+            PlannerTier::Warning => "warning",
+            PlannerTier::Unhealthy => "unhealthy",
+            PlannerTier::SelfHeal => "self-heal",
+        }
+    }
+}
+
+/// Thresholds and hysteresis tuning for a [`Planner`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// Windowed MRE at which the plane enters [`PlannerTier::Warning`].
+    pub mre_warning: f64,
+    /// Windowed MRE at which the plane is [`PlannerTier::Unhealthy`].
+    pub mre_unhealthy: f64,
+    /// Fleet SLO-violation rate (per tick) for [`PlannerTier::Warning`].
+    pub violation_warning: f64,
+    /// Fleet SLO-violation rate for [`PlannerTier::Unhealthy`].
+    pub violation_unhealthy: f64,
+    /// Minimum windowed samples before MRE/NMAE are trusted at all.
+    pub min_samples: usize,
+    /// Ticks a warning must persist before it may trigger a plan.
+    pub dwell: u32,
+    /// Minimum ticks between consecutive plans (self-heal ignores this).
+    pub cooldown: u32,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            mre_warning: 0.6,
+            mre_unhealthy: 1.2,
+            violation_warning: 0.10,
+            violation_unhealthy: 0.30,
+            min_samples: 32,
+            dwell: 3,
+            cooldown: 8,
+        }
+    }
+}
+
+impl PlannerConfig {
+    fn validate(&self) -> Result<(), ServiceError> {
+        let ordered = |lo: f64, hi: f64| lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi;
+        if !ordered(self.mre_warning, self.mre_unhealthy) {
+            return Err(ServiceError::InvalidConfig(
+                "planner: need 0 < mre_warning < mre_unhealthy".into(),
+            ));
+        }
+        if !ordered(self.violation_warning, self.violation_unhealthy)
+            || self.violation_unhealthy > 1.0
+        {
+            return Err(ServiceError::InvalidConfig(
+                "planner: need 0 < violation_warning < violation_unhealthy <= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What the Monitor stage hands the planner each tick.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerObservation {
+    /// Windowed accuracy of the prediction model.
+    pub accuracy: WindowedAccuracy,
+    /// Whether the drift sentinel raised a *new* alarm since the last tick.
+    pub drift_alarm: bool,
+    /// Fraction of this tick's workflow executions that violated their SLO.
+    pub violation_rate: f64,
+}
+
+/// The planner's verdict for one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannerDecision {
+    /// Health grade assigned this tick.
+    pub tier: PlannerTier,
+    /// Whether the Execute stage should re-rank candidates now.
+    pub act: bool,
+    /// Human-readable cause (stable strings, usable in reports).
+    pub reason: &'static str,
+}
+
+/// MAPE-K Plan stage with dwell + cooldown hysteresis.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    config: PlannerConfig,
+    tick: u32,
+    warning_streak: u32,
+    last_plan: Option<u32>,
+    plans: u64,
+}
+
+impl Planner {
+    /// Builds a planner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::InvalidConfig`] when thresholds are not
+    /// strictly ordered.
+    pub fn new(config: PlannerConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            tick: 0,
+            warning_streak: 0,
+            last_plan: None,
+            plans: 0,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Number of plans issued (ticks where `act` was true).
+    pub fn plans(&self) -> u64 {
+        self.plans
+    }
+
+    /// Ticks observed so far.
+    pub fn ticks(&self) -> u32 {
+        self.tick
+    }
+
+    /// Returns the planner to its freshly-constructed state (config kept).
+    pub fn reset(&mut self) {
+        self.tick = 0;
+        self.warning_streak = 0;
+        self.last_plan = None;
+        self.plans = 0;
+    }
+
+    fn cooled_down(&self) -> bool {
+        match self.last_plan {
+            None => true,
+            Some(t) => self.tick.saturating_sub(t) >= self.config.cooldown,
+        }
+    }
+
+    /// Consumes one tick's monitoring data and decides whether to plan.
+    pub fn observe(&mut self, obs: &PlannerObservation) -> PlannerDecision {
+        let c = self.config;
+        let mre = if obs.accuracy.samples >= c.min_samples as u64 {
+            obs.accuracy.mre.filter(|m| m.is_finite()).unwrap_or(0.0)
+        } else {
+            0.0
+        };
+
+        let (tier, reason) = if obs.drift_alarm {
+            (PlannerTier::SelfHeal, "drift-alarm")
+        } else if obs.violation_rate >= c.violation_unhealthy {
+            (PlannerTier::Unhealthy, "violation-rate-unhealthy")
+        } else if mre >= c.mre_unhealthy {
+            (PlannerTier::Unhealthy, "mre-unhealthy")
+        } else if obs.violation_rate >= c.violation_warning {
+            (PlannerTier::Warning, "violation-rate-warning")
+        } else if mre >= c.mre_warning {
+            (PlannerTier::Warning, "mre-warning")
+        } else {
+            (PlannerTier::Healthy, "healthy")
+        };
+
+        let act = match tier {
+            // The model itself reported a distribution shift: stale rankings
+            // are worse than a spurious re-rank, so bypass the cooldown.
+            PlannerTier::SelfHeal => true,
+            PlannerTier::Unhealthy => self.cooled_down(),
+            PlannerTier::Warning => {
+                self.warning_streak += 1;
+                self.warning_streak >= c.dwell && self.cooled_down()
+            }
+            PlannerTier::Healthy => false,
+        };
+        if tier != PlannerTier::Warning {
+            self.warning_streak = 0;
+        }
+        if act {
+            self.last_plan = Some(self.tick);
+            self.plans += 1;
+        }
+        self.tick += 1;
+        PlannerDecision { tier, act, reason }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(mre: f64, samples: usize) -> WindowedAccuracy {
+        WindowedAccuracy {
+            mre: Some(mre),
+            nmae: Some(mre),
+            window_len: samples,
+            samples: samples as u64,
+        }
+    }
+
+    fn obs(mre: f64, violation_rate: f64) -> PlannerObservation {
+        PlannerObservation {
+            accuracy: acc(mre, 100),
+            drift_alarm: false,
+            violation_rate,
+        }
+    }
+
+    #[test]
+    fn stationary_stream_never_plans() {
+        let mut planner = Planner::new(PlannerConfig::default()).unwrap();
+        for _ in 0..500 {
+            let d = planner.observe(&obs(0.2, 0.0));
+            assert_eq!(d.tier, PlannerTier::Healthy);
+            assert!(!d.act);
+        }
+        assert_eq!(planner.plans(), 0);
+    }
+
+    #[test]
+    fn warning_requires_dwell_then_cooldown() {
+        let cfg = PlannerConfig {
+            dwell: 3,
+            cooldown: 8,
+            ..Default::default()
+        };
+        let mut planner = Planner::new(cfg).unwrap();
+        // Two warning ticks, then healthy: the streak resets, no plan.
+        assert!(!planner.observe(&obs(0.8, 0.0)).act);
+        assert!(!planner.observe(&obs(0.8, 0.0)).act);
+        assert!(!planner.observe(&obs(0.2, 0.0)).act);
+        // Three consecutive warnings: the third plans.
+        assert!(!planner.observe(&obs(0.8, 0.0)).act);
+        assert!(!planner.observe(&obs(0.8, 0.0)).act);
+        let d = planner.observe(&obs(0.8, 0.0));
+        assert_eq!(d.tier, PlannerTier::Warning);
+        assert!(d.act);
+        // Warnings continue but the cooldown gates further plans.
+        for _ in 0..(cfg.cooldown - 1) {
+            assert!(!planner.observe(&obs(0.8, 0.0)).act);
+        }
+        assert!(planner.observe(&obs(0.8, 0.0)).act);
+        assert_eq!(planner.plans(), 2);
+    }
+
+    #[test]
+    fn unhealthy_acts_without_dwell_but_respects_cooldown() {
+        let mut planner = Planner::new(PlannerConfig::default()).unwrap();
+        let d = planner.observe(&obs(0.2, 0.5));
+        assert_eq!(d.tier, PlannerTier::Unhealthy);
+        assert_eq!(d.reason, "violation-rate-unhealthy");
+        assert!(d.act);
+        assert!(!planner.observe(&obs(0.2, 0.5)).act, "cooldown holds");
+    }
+
+    #[test]
+    fn self_heal_bypasses_cooldown() {
+        let mut planner = Planner::new(PlannerConfig::default()).unwrap();
+        assert!(planner.observe(&obs(2.0, 0.0)).act); // unhealthy MRE
+        let alarm = PlannerObservation {
+            accuracy: acc(0.1, 100),
+            drift_alarm: true,
+            violation_rate: 0.0,
+        };
+        let d = planner.observe(&alarm);
+        assert_eq!(d.tier, PlannerTier::SelfHeal);
+        assert!(d.act, "drift alarms must not be gated by cooldown");
+    }
+
+    #[test]
+    fn cold_window_mre_is_ignored() {
+        let mut planner = Planner::new(PlannerConfig::default()).unwrap();
+        let cold = PlannerObservation {
+            accuracy: acc(5.0, 3), // huge MRE but far below min_samples
+            drift_alarm: false,
+            violation_rate: 0.0,
+        };
+        let d = planner.observe(&cold);
+        assert_eq!(d.tier, PlannerTier::Healthy);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        for cfg in [
+            PlannerConfig {
+                mre_warning: 2.0,
+                mre_unhealthy: 1.0,
+                ..Default::default()
+            },
+            PlannerConfig {
+                violation_warning: 0.0,
+                ..Default::default()
+            },
+            PlannerConfig {
+                violation_unhealthy: 1.5,
+                ..Default::default()
+            },
+        ] {
+            assert!(Planner::new(cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut planner = Planner::new(PlannerConfig::default()).unwrap();
+        planner.observe(&obs(2.0, 0.9));
+        assert_eq!(planner.plans(), 1);
+        planner.reset();
+        assert_eq!(planner.plans(), 0);
+        assert_eq!(planner.ticks(), 0);
+        assert!(planner.observe(&obs(2.0, 0.9)).act, "cooldown cleared");
+    }
+
+    #[test]
+    fn tier_labels_are_stable() {
+        assert_eq!(PlannerTier::Healthy.label(), "healthy");
+        assert_eq!(PlannerTier::SelfHeal.label(), "self-heal");
+    }
+}

@@ -26,16 +26,19 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod adapt;
 pub mod database;
 pub mod managers;
 pub mod middleware;
 pub mod monitor;
 pub mod policy;
 pub mod prediction_service;
+pub mod scenario;
 pub mod simulation;
 pub mod telemetry;
 pub mod workflow;
 
+pub use adapt::{Planner, PlannerConfig, PlannerDecision, PlannerObservation, PlannerTier};
 pub use database::QosDatabase;
 pub use managers::{EntityId, Registry};
 pub use middleware::ExecutionMiddleware;
@@ -44,6 +47,10 @@ pub use policy::{AdaptationPolicy, BestPredictedPolicy, ThresholdPolicy};
 pub use prediction_service::{
     Prediction, PredictionSource, QosPredictionService, QosRecord, ServiceConfig, ServiceStats,
     SourceCounts,
+};
+pub use scenario::{
+    catalog, find_scenario, report_json, RunMetrics, ScenarioConfig, ScenarioEngine,
+    ScenarioOutcome, ScenarioSpec, SCENARIO_SCHEMA,
 };
 pub use simulation::{AdaptationSimulation, SimulationConfig, SimulationReport};
 pub use telemetry::{MetricsServer, HEALTH_SCHEMA};

@@ -506,6 +506,30 @@ impl QosPredictionService {
         self.trainer.lock().advance_clock(now);
     }
 
+    /// Windowed accuracy (MRE/NMAE over the sliding observation window) —
+    /// the planner's *Analyze* input.
+    pub fn windowed_accuracy(&self) -> amf_core::WindowedAccuracy {
+        self.trainer.lock().model().windowed_accuracy()
+    }
+
+    /// Cumulative `(user, service)` drift-alarm counts from the model's
+    /// Page–Hinkley sentinel.
+    pub fn drift_alarms(&self) -> (u64, u64) {
+        self.trainer.lock().model().drift_sentinel().alarms()
+    }
+
+    /// Whether the drift sentinel currently considers both error streams
+    /// stationary.
+    pub fn drift_healthy(&self) -> bool {
+        self.trainer.lock().model().drift_sentinel().healthy()
+    }
+
+    /// Clears drift-detector state *and* alarm counters so back-to-back
+    /// scenario runs never inherit alarms from a previous regime.
+    pub fn reset_drift_sentinel(&self) {
+        self.trainer.lock().model_mut().reset_drift_sentinel();
+    }
+
     /// Predicts the QoS between a user and a (candidate) service.
     ///
     /// # Errors
