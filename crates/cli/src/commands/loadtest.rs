@@ -14,8 +14,12 @@
 //!
 //! Without `--fault-plan` the clean pass(es) run; with it, a faulted pass
 //! runs back-to-back (over the keep-alive transport when enabled, so the
-//! reconnect path is exercised too). `--out` writes the
-//! `amf-bench-serve/v2` document (`BENCH_SERVE.json`); a degraded server
+//! reconnect path is exercised too) and a manual flight dump
+//! (`POST /debug/dump`) is requested afterwards so the incident lands in
+//! the server's `--flight-log`. Every run reconciles the server's
+//! `x-amf-stage-us` breakdowns and tail exemplars against the client's
+//! own clock (the `reconciliation` block). `--out` writes the
+//! `amf-bench-serve/v3` document (`BENCH_SERVE.json`); a degraded server
 //! health is reported but non-fatal, while server-side worker panics fail
 //! the command.
 
@@ -23,7 +27,9 @@ use super::CliError;
 use crate::args::Args;
 use amf_core::FaultPlan;
 use qos_obs::Json;
-use qos_serve::{ClientConfig, LoadConfig, LoadMode, LoadReport, LoadRunner, BENCH_SERVE_SCHEMA};
+use qos_serve::{
+    ClientConfig, LoadConfig, LoadMode, LoadReport, LoadRunner, ServeClient, BENCH_SERVE_SCHEMA,
+};
 use std::net::SocketAddr;
 use std::time::Duration;
 
@@ -114,6 +120,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         },
     };
 
+    let probe_client = base.client;
     let mut runs: Vec<LoadReport> = Vec::new();
     runs.push(LoadRunner::new(base.clone()).run(addr, "clean"));
     if keep_alive {
@@ -137,6 +144,16 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         };
         runs.push(LoadRunner::new(faulted).run(addr, "faulted"));
     }
+    // After a faulted pass, ask the server to flight-record the incident:
+    // a manual dump is forced (no cooldown), so a `--flight-log` server
+    // persists the window this harness just disturbed.
+    let flight_dumped = runs.iter().any(|r| r.label == "faulted") && {
+        let mut probe = ServeClient::new(addr, probe_client, seed ^ 0x51EF);
+        probe
+            .request("POST", "/debug/dump", "", None, false)
+            .map(|r| r.status == 200)
+            .unwrap_or(false)
+    };
 
     for report in &runs {
         if report.server_worker_panics > 0 {
@@ -210,11 +227,28 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             report.server_health,
             report.server_worker_panics,
         ));
+        if let Some(recon) = &report.reconciliation {
+            out.push_str(&format!(
+                "tracing         {} stage samples; exemplars {} ({} matched), \
+                 median server/client {:.2} (within 10%: {})\n",
+                report.stage_samples,
+                recon.exemplars,
+                recon.matched,
+                recon.median_ratio,
+                if recon.within(0.10) { "yes" } else { "no" },
+            ));
+        }
+    }
+    if flight_dumped {
+        out.push_str("flight          manual dump recorded (POST /debug/dump)\n");
     }
     if let Some(comparison) = comparison_block(&runs) {
         out.push_str(&format!(
             "comparison      keep-alive vs per-conn: p50 {:.2}x, ok/s {:.2}x\n",
-            comparison.get("p50_ratio").and_then(Json::as_f64).unwrap_or(0.0),
+            comparison
+                .get("p50_ratio")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
             comparison
                 .get("ok_per_s_ratio")
                 .and_then(Json::as_f64)
@@ -330,6 +364,11 @@ mod tests {
         assert!(out.contains("loadtest[clean]"), "{out}");
         assert!(out.contains("loadtest[faulted]"), "{out}");
         assert!(out.contains("worker_panics=0"), "{out}");
+        assert!(out.contains("tracing"), "{out}");
+        assert!(
+            out.contains("flight          manual dump recorded"),
+            "{out}"
+        );
 
         let doc = Json::parse(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
         assert_eq!(
@@ -344,6 +383,11 @@ mod tests {
                 run.get("server_worker_panics").and_then(Json::as_u64),
                 Some(0)
             );
+            // v3: every answered request carried a parseable stage header,
+            // and the exemplar fetch produced a reconciliation verdict.
+            assert!(run.get("stage_samples").and_then(Json::as_u64).unwrap() > 0);
+            let recon = run.get("reconciliation").expect("reconciliation block");
+            assert!(recon.get("exemplars").and_then(Json::as_u64).unwrap() > 0);
         }
         let stats = plane.stop();
         assert_eq!(stats.worker_panics, 0);
@@ -381,7 +425,10 @@ mod tests {
         .unwrap();
         assert!(out.contains("loadtest[clean]"), "{out}");
         assert!(out.contains("loadtest[clean-keepalive]"), "{out}");
-        assert!(out.contains("comparison      keep-alive vs per-conn"), "{out}");
+        assert!(
+            out.contains("comparison      keep-alive vs per-conn"),
+            "{out}"
+        );
 
         let doc = Json::parse(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
         assert_eq!(

@@ -13,6 +13,7 @@ pub mod scenario;
 pub mod serve;
 pub mod simulate;
 pub mod stats;
+pub mod trace;
 pub mod train;
 
 use crate::args::{Args, ArgsError};

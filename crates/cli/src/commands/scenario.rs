@@ -7,7 +7,7 @@ use qos_service::{catalog, find_scenario, report_json, ScenarioConfig, ScenarioE
 
 /// Usage text for the subcommand.
 pub const USAGE: &str = "amf-qos scenario <run|list> [--name NAME|all] [--seed S] \
-[--quick] [--slo SECONDS] [--out FILE]";
+[--quick] [--slo SECONDS] [--out FILE] [--flight-dir DIR]";
 
 /// Runs the subcommand.
 ///
@@ -58,7 +58,13 @@ fn run_scenarios(args: &Args) -> Result<String, CliError> {
         slo,
         ..Default::default()
     };
-    let engine = ScenarioEngine::new(config).map_err(|e| CliError(e.to_string()))?;
+    let mut engine = ScenarioEngine::new(config).map_err(|e| CliError(e.to_string()))?;
+    if let Some(dir) = args.get("flight-dir") {
+        // One amf-flight/v1 dump per scenario (<dir>/<name>.flight.jsonl),
+        // readable with `amf-qos trace`.
+        std::fs::create_dir_all(dir)?;
+        engine = engine.with_flight_dir(dir.into());
+    }
 
     let name = args.get_or("name", "all");
     let specs = if name == "all" {

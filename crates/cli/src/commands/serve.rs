@@ -17,7 +17,7 @@
 use super::CliError;
 use crate::args::Args;
 use qos_dataset::io;
-use qos_obs::{RecorderConfig, SnapshotRecorder};
+use qos_obs::{FlightConfig, RecorderConfig, SnapshotRecorder};
 use qos_serve::{ServeConfig, ServePlane};
 use qos_service::{QosPredictionService, QosRecord, ServiceConfig};
 use std::sync::Arc;
@@ -29,7 +29,7 @@ pub const USAGE: &str = "amf-qos serve [--listen HOST:PORT | --metrics-addr HOST
 [--io-timeout-ms MS] [--max-body-bytes N] [--max-conns N] \
 [--max-requests-per-conn N] [--idle-timeout-ms MS] [--samples N] [--seed S] \
 [--shards K] [--data TRIPLET_FILE] [--telemetry-log PATH] [--interval-ms MS] \
-[--max-log-bytes N] [--run-ms MS]";
+[--max-log-bytes N] [--flight-log PATH] [--run-ms MS]";
 
 /// Runs the subcommand.
 ///
@@ -68,7 +68,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         return Err(CliError("--max-conns must be at least 1".into()));
     }
     if max_requests_per_conn == 0 {
-        return Err(CliError("--max-requests-per-conn must be at least 1".into()));
+        return Err(CliError(
+            "--max-requests-per-conn must be at least 1".into(),
+        ));
     }
 
     let config = ServiceConfig {
@@ -88,7 +90,14 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         let _ = service.rank_candidates(&format!("user-{u}"), 5);
     }
 
-    let plane = ServePlane::start(
+    // Black-box flight recorder: panic / drift / SLO-burst / manual dumps
+    // land in this JSONL file (readable with `amf-qos trace`).
+    let flight = FlightConfig {
+        path: args.get("flight-log").map(Into::into),
+        max_bytes: max_log_bytes,
+        max_rotated: 2,
+    };
+    let plane = ServePlane::start_with_flight(
         listen,
         Arc::clone(&service),
         ServeConfig {
@@ -102,6 +111,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             default_deadline: Duration::from_millis(deadline_ms.max(1)),
             ..ServeConfig::default()
         },
+        flight,
     )
     .map_err(|e| CliError(format!("--listen {listen}: {e}")))?;
     let addr = plane.local_addr();

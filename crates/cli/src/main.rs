@@ -15,6 +15,7 @@
 //!                     load harness and emit an amf-bench-serve/v1 report
 //! amf-qos scenario    closed-loop adaptation scenarios (adaptive vs static)
 //!                     over seeded phase-regime worlds
+//! amf-qos trace       summarize an amf-flight/v1 flight-recorder dump
 //! amf-qos report      summarize a recorded telemetry log
 //! ```
 //!
@@ -40,6 +41,7 @@ simulate    end-to-end runtime-adaptation simulation\n  \
 serve       run the hardened serving plane (predict/observe/rank + metrics)\n  \
 loadtest    fault-injecting load harness against a live serve endpoint\n  \
 scenario    closed-loop adaptation scenarios, amf-scenario/v1 reports\n  \
+trace       summarize an amf-flight/v1 flight-recorder dump\n  \
 report      summarize an amf-obs-ts/v1 telemetry JSONL log\n\
 \n\
 run a subcommand without flags to see its usage";
@@ -77,6 +79,9 @@ fn dispatch(args: &Args) -> Result<String, commands::CliError> {
         }
         Some("scenario") => {
             commands::scenario::run(args).map_err(|e| usage_hint(e, commands::scenario::USAGE))
+        }
+        Some("trace") => {
+            commands::trace::run(args).map_err(|e| usage_hint(e, commands::trace::USAGE))
         }
         Some("report") => {
             commands::report::run(args).map_err(|e| usage_hint(e, commands::report::USAGE))

@@ -310,6 +310,17 @@ impl SampleGuard {
         if let Err(reason) = self.screen(service, raw) {
             self.stats.bump(reason);
             crate::obs::guard_metrics().rejected(reason).inc();
+            // Quarantine verdicts feed the global trace ring so a flight
+            // dump taken after an alarm shows *which* samples the guard
+            // was rejecting in the moments before (rejects only — the
+            // admit path stays off the ring).
+            qos_obs::global().trace().event(
+                "guard_quarantine",
+                format!(
+                    "user={user} service={service} value={raw} reason={}",
+                    reason.label()
+                ),
+            );
             *self.per_service_rejects.entry(service).or_insert(0) += 1;
             if self.config.quarantine_cap > 0 {
                 if self.quarantine.len() >= self.config.quarantine_cap {
@@ -586,6 +597,20 @@ mod tests {
         assert_eq!((q[0].user, q[0].service), (2, 5));
         assert!(q[0].raw.is_nan());
         assert_eq!(q[0].reason, RejectReason::NotFinite);
+    }
+
+    #[test]
+    fn quarantine_verdicts_land_in_the_trace_ring() {
+        let mut g = guard();
+        g.admit(41, 17, f64::INFINITY).unwrap_err();
+        let events = qos_obs::global().trace().events();
+        assert!(
+            events.iter().any(|e| e.name == "guard_quarantine"
+                && e.detail.contains("user=41")
+                && e.detail.contains("service=17")
+                && e.detail.contains("reason=not-finite")),
+            "quarantine verdict traced: {events:?}"
+        );
     }
 
     #[test]

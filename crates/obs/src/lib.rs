@@ -24,6 +24,9 @@
 //! - [`SnapshotRecorder`] — a background interval scraper appending
 //!   `amf-obs-ts/v1` JSONL telemetry lines to a size-rotated log plus a
 //!   bounded in-memory ring.
+//! - [`flight`] — request-scoped tracing ([`StageClock`], [`TraceRecord`],
+//!   [`TailExemplars`]) and the incident-triggered [`FlightRecorder`]
+//!   dumping versioned `amf-flight/v1` JSONL.
 //!
 //! Deliberately dependency-free (std only).
 
@@ -31,6 +34,7 @@
 #![deny(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod prom;
@@ -38,6 +42,10 @@ pub mod recorder;
 pub mod registry;
 pub mod trace;
 
+pub use flight::{
+    mint_trace_id, valid_trace_id, FlightConfig, FlightRecorder, FlightRing, StageClock,
+    TailExemplars, TraceRecord, FLIGHT_SCHEMA, MAX_TRACE_ID_LEN, STAGES,
+};
 pub use json::{Json, ParseError, MAX_PARSE_DEPTH};
 pub use metrics::{bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, BUCKETS};
 pub use prom::{is_valid_metric_name, parse_exposition, render_prometheus, CONTENT_TYPE};

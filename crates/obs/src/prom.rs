@@ -458,6 +458,40 @@ mod tests {
     }
 
     #[test]
+    fn deadline_slack_histogram_round_trips_through_exposition() {
+        // The serving plane records every well-formed request's deadline
+        // slack at admission (`serve.deadline_slack_us`, PR 10); a scraper
+        // must get the family back as a parseable histogram.
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("serve.deadline_slack_us");
+        h.record(250);
+        h.record(1_000);
+        h.record(24_000);
+        let text = render_prometheus(&reg.snapshot_json(false));
+        let samples = parse_exposition(&text).expect("output parses");
+        assert!(text.contains("# TYPE amf_serve_deadline_slack_us histogram"));
+        assert_eq!(
+            sample(&samples, "amf_serve_deadline_slack_us_count"),
+            Some(3.0)
+        );
+        assert_eq!(
+            sample(&samples, "amf_serve_deadline_slack_us_sum"),
+            Some(25_250.0)
+        );
+        assert_eq!(
+            sample(&samples, "amf_serve_deadline_slack_us_bucket{le=\"+Inf\"}"),
+            Some(3.0)
+        );
+        let buckets: Vec<f64> = samples
+            .iter()
+            .filter(|(k, _)| k.starts_with("amf_serve_deadline_slack_us_bucket{"))
+            .map(|&(_, value)| value)
+            .collect();
+        assert_eq!(buckets.len(), BUCKETS);
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
     fn names_collide_deterministically_instead_of_duplicating() {
         let reg = MetricsRegistry::new();
         reg.counter("model.hits").add(1);

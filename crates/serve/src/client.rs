@@ -66,12 +66,22 @@ pub struct HttpResponse {
     pub body: String,
     /// Attempts spent beyond the first (0 = first try succeeded).
     pub retries: u32,
+    /// `x-amf-trace-id` echoed by the server (empty when absent).
+    pub trace_id: String,
+    /// Raw `x-amf-stage-us` breakdown from the server (empty when absent).
+    pub stage_us: String,
 }
 
 impl HttpResponse {
     /// Whether the status is 2xx.
     pub fn is_ok(&self) -> bool {
         (200..300).contains(&self.status)
+    }
+
+    /// Sum of the server-reported stage breakdown in µs (`None` when the
+    /// response carried no parsable `x-amf-stage-us` header).
+    pub fn stage_total_us(&self) -> Option<u64> {
+        qos_obs::StageClock::parse_header_us(&self.stage_us).map(|us| us.iter().sum())
     }
 }
 
@@ -502,7 +512,7 @@ fn read_framed_response(
     buf: &mut Vec<u8>,
 ) -> Result<(HttpResponse, bool), ClientError> {
     let mut chunk = [0u8; 8 * 1024];
-    let (head_end, status, content_length, close) = loop {
+    let (head_end, status, content_length, close, trace_id, stage_us) = loop {
         if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
             let head = std::str::from_utf8(&buf[..pos])
                 .map_err(|_| ClientError::Protocol("response head is not UTF-8"))?;
@@ -518,6 +528,8 @@ fn read_framed_response(
                 .ok_or(ClientError::Protocol("unparsable status code"))?;
             let mut content_length = 0usize;
             let mut close = false;
+            let mut trace_id = String::new();
+            let mut stage_us = String::new();
             for line in lines {
                 let Some((name, value)) = line.split_once(':') else {
                     continue;
@@ -530,9 +542,13 @@ fn read_framed_response(
                         .map_err(|_| ClientError::Protocol("bad content-length"))?;
                 } else if name == "connection" && value.eq_ignore_ascii_case("close") {
                     close = true;
+                } else if name == "x-amf-trace-id" {
+                    trace_id = value.to_string();
+                } else if name == "x-amf-stage-us" {
+                    stage_us = value.to_string();
                 }
             }
-            break (pos + 4, status, content_length, close);
+            break (pos + 4, status, content_length, close, trace_id, stage_us);
         }
         let n = stream.read(&mut chunk).map_err(map_io)?;
         if n == 0 {
@@ -554,6 +570,8 @@ fn read_framed_response(
             status,
             body,
             retries: 0,
+            trace_id,
+            stage_us,
         },
         close,
     ))
@@ -583,10 +601,20 @@ fn parse_response(raw: &[u8]) -> Result<HttpResponse, ClientError> {
         .next()
         .and_then(|s| s.parse::<u16>().ok())
         .ok_or(ClientError::Protocol("unparsable status code"))?;
+    let header_value = |name: &str| {
+        head.split("\r\n").skip(1).find_map(|line| {
+            let (n, v) = line.split_once(':')?;
+            n.trim()
+                .eq_ignore_ascii_case(name)
+                .then(|| v.trim().to_string())
+        })
+    };
     Ok(HttpResponse {
         status,
         body: body.to_string(),
         retries: 0,
+        trace_id: header_value("x-amf-trace-id").unwrap_or_default(),
+        stage_us: header_value("x-amf-stage-us").unwrap_or_default(),
     })
 }
 
@@ -677,8 +705,12 @@ mod tests {
         let service = std::sync::Arc::new(qos_service::QosPredictionService::new(
             qos_service::ServiceConfig::default(),
         ));
-        crate::plane::ServePlane::start("127.0.0.1:0", service, crate::plane::ServeConfig::default())
-            .expect("bind")
+        crate::plane::ServePlane::start(
+            "127.0.0.1:0",
+            service,
+            crate::plane::ServeConfig::default(),
+        )
+        .expect("bind")
     }
 
     #[test]
@@ -719,17 +751,29 @@ mod tests {
         let plane = live_plane();
         let mut client = KeepAliveClient::new(plane.local_addr(), ClientConfig::default(), 7);
         assert_eq!(
-            client.request("GET", "/healthz", "", None, true).unwrap().status,
+            client
+                .request("GET", "/healthz", "", None, true)
+                .unwrap()
+                .status,
             200
         );
         // A conn-reset fault kills the persistent socket; the next request
         // must transparently open a fresh one.
         let err = client
-            .request("POST", "/v1/observe", "{}", Some(NetFault::ConnReset), false)
+            .request(
+                "POST",
+                "/v1/observe",
+                "{}",
+                Some(NetFault::ConnReset),
+                false,
+            )
             .unwrap_err();
         assert!(matches!(err, ClientError::Faulted(NetFault::ConnReset)));
         assert_eq!(
-            client.request("GET", "/healthz", "", None, true).unwrap().status,
+            client
+                .request("GET", "/healthz", "", None, true)
+                .unwrap()
+                .status,
             200
         );
         assert!(client.connects() >= 2, "reconnected after the fault");

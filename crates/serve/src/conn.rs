@@ -24,6 +24,7 @@
 //!   peer cannot monopolize queue slots or memory.
 
 use crate::http::{self, HttpError, Parsed, Request};
+use qos_obs::{StageClock, TraceRecord};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -32,6 +33,11 @@ use std::time::Instant;
 /// Pause reads once this much unparsed input is buffered on one
 /// connection (≈ 8 pipelined max-size heads; bodies count too).
 pub const READ_HIGH_WATER: usize = 256 * 1024;
+
+/// Saturating `later - earlier` in nanoseconds (0 when out of order).
+fn duration_ns(earlier: Instant, later: Instant) -> u64 {
+    u64::try_from(later.saturating_duration_since(earlier).as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// What a finished response should be counted as by the plane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,13 +83,60 @@ pub struct CompletedResponse {
     pub keep_alive_wanted: bool,
     /// Counting bucket.
     pub kind: RespKind,
+    /// Trace context, when the request got far enough to be stamped. The
+    /// flush stage and final status are filled in at render time.
+    pub trace: Option<TraceRecord>,
+    /// When the response was parked via [`ConnState::complete`] (start of
+    /// the flush stage).
+    parked_at: Option<Instant>,
+}
+
+impl CompletedResponse {
+    /// An untraced response (inline protocol errors, tests).
+    pub fn new(
+        status: u16,
+        content_type: impl Into<String>,
+        body: impl Into<String>,
+        keep_alive_wanted: bool,
+        kind: RespKind,
+    ) -> Self {
+        Self {
+            status,
+            content_type: content_type.into(),
+            body: body.into(),
+            keep_alive_wanted,
+            kind,
+            trace: None,
+            parked_at: None,
+        }
+    }
+
+    /// Attaches the request's trace context; the response will carry
+    /// `x-amf-trace-id` / `x-amf-stage-us` headers when flushed.
+    pub fn with_trace(mut self, trace: TraceRecord) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+}
+
+/// Read-side timing of one parsed request, measured by the connection
+/// state machine and carried into the request's [`StageClock`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReqTiming {
+    /// Connection accept → first byte of this request (non-zero only for a
+    /// connection's first request; later requests ride an open socket).
+    pub accept_ns: u64,
+    /// First buffered byte of this request → parse completion (spans a
+    /// slow-trickled arrival).
+    pub parse_ns: u64,
 }
 
 /// Events produced by feeding freshly-read bytes through the parser.
 #[derive(Debug)]
 pub enum ReadEvent {
-    /// A complete request, with its per-connection sequence number.
-    Request(Box<Request>, u64),
+    /// A complete request, with its per-connection sequence number and
+    /// read-side stage timing.
+    Request(Box<Request>, u64, ReqTiming),
     /// A framing/protocol error; a response slot `seq` was reserved for
     /// the error answer and the connection is now closing.
     Error(HttpError, u64),
@@ -141,6 +194,9 @@ pub struct ConnState {
     /// (slowloris guard: the plane 408s it past the io timeout).
     pub partial_since: Option<Instant>,
     eof_seen: bool,
+    /// When the first byte of the request currently at the front of
+    /// `read_buf` arrived (drives the parse-stage timing).
+    read_started: Option<Instant>,
 }
 
 impl ConnState {
@@ -163,6 +219,7 @@ impl ConnState {
             next_flush: 0,
             partial_since: None,
             eof_seen: false,
+            read_started: None,
         }
     }
 
@@ -295,6 +352,9 @@ impl ConnState {
                     return true;
                 }
                 Ok(n) => {
+                    if self.read_buf.is_empty() {
+                        self.read_started = Some(now);
+                    }
                     self.read_buf.extend_from_slice(&chunk[..n]);
                     self.last_activity = now;
                 }
@@ -326,11 +386,27 @@ impl ConnState {
             }
             match http::parse_request(&self.read_buf, max_body_bytes) {
                 Ok(Parsed::Complete { request, consumed }) => {
+                    let started = self.read_started.unwrap_or(now);
+                    let timing = ReqTiming {
+                        accept_ns: if self.next_seq == 0 {
+                            duration_ns(self.opened, started)
+                        } else {
+                            0
+                        },
+                        parse_ns: duration_ns(started, now),
+                    };
                     self.read_buf.drain(..consumed);
                     self.partial_since = None;
+                    // A pipelined successor already buffered starts its
+                    // parse clock now; otherwise wait for the next byte.
+                    self.read_started = if self.read_buf.is_empty() {
+                        None
+                    } else {
+                        Some(now)
+                    };
                     let seq = self.alloc_seq();
                     budget_left -= 1;
-                    events.push(ReadEvent::Request(Box::new(request), seq));
+                    events.push(ReadEvent::Request(Box::new(request), seq, timing));
                 }
                 Ok(Parsed::Incomplete) => {
                     if self.partial_since.is_none() {
@@ -378,20 +454,25 @@ impl ConnState {
         seq
     }
 
-    /// Parks a finished response until its in-order flush slot comes up.
-    pub fn complete(&mut self, seq: u64, response: CompletedResponse) {
+    /// Parks a finished response until its in-order flush slot comes up
+    /// (starts the flush-stage clock).
+    pub fn complete(&mut self, seq: u64, mut response: CompletedResponse) {
+        response.parked_at = Some(Instant::now());
         self.completed.insert(seq, response);
     }
 
     /// Moves every response whose turn has come into the write queue,
     /// rendering headers with the keep-alive decision made *now* (drain
-    /// state, request budget, read health). Returns the (status, kind) of
-    /// each rendered response for the plane's counters.
+    /// state, request budget, read health). Traced responses pick up their
+    /// flush-stage time and final status here and carry the
+    /// `x-amf-trace-id` / `x-amf-stage-us` headers. Returns the
+    /// (status, kind, trace) of each rendered response for the plane's
+    /// counters and flight recorder.
     pub fn flush_ready(
         &mut self,
         draining: bool,
         max_requests_per_conn: u64,
-    ) -> Vec<(u16, RespKind)> {
+    ) -> Vec<(u16, RespKind, Option<TraceRecord>)> {
         let mut rendered = Vec::new();
         while let Some(response) = self.completed.remove(&self.next_flush) {
             self.next_flush += 1;
@@ -405,13 +486,34 @@ impl ConnState {
                 self.close_after_flush = true;
                 self.reads_stopped = true;
             }
-            self.write_bufs.push_back(http::render_response(
-                response.status,
-                &response.content_type,
-                &response.body,
-                keep_alive,
-            ));
-            rendered.push((response.status, response.kind));
+            let mut trace = response.trace;
+            if let Some(record) = trace.as_mut() {
+                if let Some(parked) = response.parked_at {
+                    let flush_ns = u64::try_from(parked.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    record.stages.set(StageClock::FLUSH, flush_ns);
+                }
+                record.status = response.status;
+            }
+            let bytes = match trace.as_ref().filter(|t| !t.trace_id.is_empty()) {
+                Some(record) => http::render_response_with(
+                    response.status,
+                    &response.content_type,
+                    &response.body,
+                    keep_alive,
+                    &[
+                        ("x-amf-trace-id", record.trace_id.as_str()),
+                        ("x-amf-stage-us", record.stages.header_us().as_str()),
+                    ],
+                ),
+                None => http::render_response(
+                    response.status,
+                    &response.content_type,
+                    &response.body,
+                    keep_alive,
+                ),
+            };
+            self.write_bufs.push_back(bytes);
+            rendered.push((response.status, response.kind, trace));
         }
         rendered
     }
@@ -481,7 +583,7 @@ mod tests {
         let seqs: Vec<u64> = events
             .iter()
             .map(|e| match e {
-                ReadEvent::Request(_, seq) => *seq,
+                ReadEvent::Request(_, seq, _) => *seq,
                 ReadEvent::Error(e, _) => panic!("unexpected error {e:?}"),
             })
             .collect();
@@ -499,13 +601,7 @@ mod tests {
         let (events, _) = conn.read_and_parse(1024, 32, 1024, Instant::now());
         assert_eq!(events.len(), 2);
 
-        let make = |body: &str| CompletedResponse {
-            status: 200,
-            content_type: "text/plain".into(),
-            body: body.into(),
-            keep_alive_wanted: true,
-            kind: RespKind::Ok,
-        };
+        let make = |body: &str| CompletedResponse::new(200, "text/plain", body, true, RespKind::Ok);
         // Second request finishes first; nothing may flush yet.
         conn.complete(1, make("second"));
         assert!(conn.flush_ready(false, 1024).is_empty());
@@ -540,19 +636,56 @@ mod tests {
         assert_eq!(events.len(), 1);
         conn.complete(
             0,
-            CompletedResponse {
-                status: 200,
-                content_type: "text/plain".into(),
-                body: "x".into(),
-                keep_alive_wanted: true,
-                kind: RespKind::Ok,
-            },
+            CompletedResponse::new(200, "text/plain", "x", true, RespKind::Ok),
         );
         // Budget of 1 request per connection: response must close.
         conn.flush_ready(false, 1);
         assert!(conn.close_after_flush);
         conn.write_some(Instant::now()).unwrap();
         assert!(conn.done());
+    }
+
+    #[test]
+    fn traced_response_carries_trace_headers_at_flush() {
+        let (mut client, mut conn) = pair();
+        send(&mut client, b"GET /healthz HTTP/1.1\r\n\r\n");
+        let (events, _) = conn.read_and_parse(1024, 32, 1024, Instant::now());
+        assert_eq!(events.len(), 1);
+        let mut stages = StageClock::new();
+        stages.set(StageClock::EXECUTE, 5_000);
+        let trace = TraceRecord {
+            trace_id: "req-7".into(),
+            endpoint: "/healthz",
+            status: 0,
+            stages,
+            deadline_slack_us: 100,
+        };
+        conn.complete(
+            0,
+            CompletedResponse::new(200, "text/plain", "ok", true, RespKind::Ok).with_trace(trace),
+        );
+        let rendered = conn.flush_ready(false, 1024);
+        assert_eq!(rendered.len(), 1);
+        let record = rendered[0].2.as_ref().expect("trace record returned");
+        assert_eq!(record.status, 200, "status bound at flush");
+        conn.write_some(Instant::now()).unwrap();
+
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 4096];
+        while !out.windows(4).any(|w| w == b"\r\n\r\n") {
+            let n = client.read(&mut chunk).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&chunk[..n]);
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("x-amf-trace-id: req-7\r\n"), "{text}");
+        assert!(text.contains("x-amf-stage-us: "), "{text}");
+        assert!(text.contains("execute=5"), "{text}");
     }
 
     #[test]
@@ -614,7 +747,7 @@ mod tests {
         }
         writer.join().unwrap();
         match parsed.first() {
-            Some(ReadEvent::Request(request, 0)) => {
+            Some(ReadEvent::Request(request, 0, _)) => {
                 assert_eq!(request.body.len(), body.len());
             }
             other => panic!("expected the oversized request to parse: {other:?}"),
@@ -638,13 +771,7 @@ mod tests {
         for seq in 0..2 {
             conn.complete(
                 seq,
-                CompletedResponse {
-                    status: 200,
-                    content_type: "text/plain".into(),
-                    body: String::new(),
-                    keep_alive_wanted: true,
-                    kind: RespKind::Ok,
-                },
+                CompletedResponse::new(200, "text/plain", "", true, RespKind::Ok),
             );
         }
         conn.flush_ready(false, 1024);

@@ -177,9 +177,15 @@ mod tests {
     fn pops_earliest_deadline_first() {
         let queue = EdfQueue::new(8);
         let base = Instant::now();
-        queue.try_push(base + Duration::from_millis(500), "slack").unwrap();
-        queue.try_push(base + Duration::from_millis(50), "tight").unwrap();
-        queue.try_push(base + Duration::from_millis(200), "middle").unwrap();
+        queue
+            .try_push(base + Duration::from_millis(500), "slack")
+            .unwrap();
+        queue
+            .try_push(base + Duration::from_millis(50), "tight")
+            .unwrap();
+        queue
+            .try_push(base + Duration::from_millis(200), "middle")
+            .unwrap();
         assert_eq!(queue.pop(), Some("tight"));
         assert_eq!(queue.pop(), Some("middle"));
         assert_eq!(queue.pop(), Some("slack"));

@@ -254,6 +254,19 @@ fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
 /// 503s always carry `Retry-After: 1` (the promise the load harness's
 /// retry policy relies on).
 pub fn render_response(status: u16, content_type: &str, body: &str, keep_alive: bool) -> Vec<u8> {
+    render_response_with(status, content_type, body, keep_alive, &[])
+}
+
+/// [`render_response`] with extra response headers (trace id, stage
+/// breakdown, ...) inserted before the `Connection` header. Header names
+/// must be well-formed tokens; values must not contain CR/LF.
+pub fn render_response_with(
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> Vec<u8> {
     let reason = reason_phrase(status);
     let retry = if status == 503 {
         "Retry-After: 1\r\n"
@@ -261,15 +274,20 @@ pub fn render_response(status: u16, content_type: &str, body: &str, keep_alive: 
         ""
     };
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let mut out = Vec::with_capacity(128 + body.len());
-    out.extend_from_slice(
-        format!(
-            "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-             Content-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n",
-            body.len()
-        )
-        .as_bytes(),
+    // Formatted straight into the output buffer: response rendering is
+    // per-request work, so no intermediate head/extras Strings.
+    use std::io::Write as _;
+    let mut out = Vec::with_capacity(192 + body.len());
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\n{retry}",
+        body.len()
     );
+    for (name, value) in extra_headers {
+        let _ = write!(out, "{name}: {value}\r\n");
+    }
+    let _ = write!(out, "Connection: {connection}\r\n\r\n");
     out.extend_from_slice(body.as_bytes());
     out
 }
@@ -316,17 +334,9 @@ mod tests {
 
     #[test]
     fn connection_header_controls_keep_alive() {
-        let close = parse_one(
-            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
-            1024,
-        )
-        .unwrap();
+        let close = parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", 1024).unwrap();
         assert!(!close.wants_keep_alive());
-        let ka10 = parse_one(
-            b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n",
-            1024,
-        )
-        .unwrap();
+        let ka10 = parse_one(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", 1024).unwrap();
         assert!(ka10.wants_keep_alive());
         let plain10 = parse_one(b"GET / HTTP/1.0\r\n\r\n", 1024).unwrap();
         assert!(!plain10.wants_keep_alive(), "HTTP/1.0 defaults to close");
@@ -423,5 +433,37 @@ mod tests {
         assert!(closed.contains("Connection: close\r\n"), "{closed}");
         assert!(closed.contains("Retry-After: 1\r\n"), "{closed}");
         assert!(closed.contains("Content-Length: 2\r\n"), "{closed}");
+    }
+
+    #[test]
+    fn render_with_extra_headers_places_them_before_connection() {
+        let extras = [
+            ("x-amf-trace-id", "amf-0000000000000001"),
+            ("x-amf-stage-us", "accept=0;parse=3"),
+        ];
+        let raw = String::from_utf8(render_response_with(
+            200,
+            "application/json",
+            "{}",
+            true,
+            &extras,
+        ))
+        .unwrap();
+        assert!(
+            raw.contains("x-amf-trace-id: amf-0000000000000001\r\n"),
+            "{raw}"
+        );
+        assert!(
+            raw.contains("x-amf-stage-us: accept=0;parse=3\r\n"),
+            "{raw}"
+        );
+        let head_end = raw.find("\r\n\r\n").unwrap();
+        assert!(raw.find("x-amf-trace-id").unwrap() < head_end);
+        assert!(raw.find("x-amf-trace-id").unwrap() < raw.find("Connection:").unwrap());
+        // The parameterless variant stays byte-identical to the old output.
+        assert_eq!(
+            render_response(200, "application/json", "{}", true),
+            render_response_with(200, "application/json", "{}", true, &[])
+        );
     }
 }

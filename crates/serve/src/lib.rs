@@ -35,10 +35,18 @@
 //!   deterministic network-fault injection ([`amf_core::NetFault`]:
 //!   conn-reset, slow-read, black-hole) so the hardening claims are
 //!   measured, not asserted (`BENCH_SERVE.json`, schema
-//!   `amf-bench-serve/v2`).
+//!   `amf-bench-serve/v3`).
+//!
+//! Every request carries a trace id (client-supplied `x-amf-trace-id` or
+//! minted) and a per-stage [`qos_obs::StageClock`] breakdown echoed as
+//! `x-amf-stage-us`; the slowest requests per interval surface as tail
+//! exemplars (`/debug/exemplars`), and a black-box flight recorder dumps
+//! recent traces + metrics as `amf-flight/v1` JSONL on worker panic, drift
+//! alarm, SLO bursts, or `POST /debug/dump` (DESIGN.md §17).
 //!
 //! The protocol and its retry-safety rules are specified in DESIGN.md §14;
-//! the connection state machine and EDF semantics in §15.
+//! the connection state machine and EDF semantics in §15; the trace model
+//! in §17.
 
 // The only unsafe in the crate is the single `poll(2)` FFI call in
 // `poller::sys` (std offers no readiness API); everything else stays
@@ -57,5 +65,7 @@ pub mod poller;
 
 pub use client::{ClientConfig, ClientError, HttpResponse, KeepAliveClient, ServeClient};
 pub use edf::{EdfQueue, PushError};
-pub use loadgen::{LoadConfig, LoadMode, LoadReport, LoadRunner, BENCH_SERVE_SCHEMA};
+pub use loadgen::{
+    LoadConfig, LoadMode, LoadReport, LoadRunner, StageReconciliation, BENCH_SERVE_SCHEMA,
+};
 pub use plane::{ServeConfig, ServePlane, ServeStats, SERVE_SCHEMA};

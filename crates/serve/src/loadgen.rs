@@ -30,19 +30,23 @@
 //!
 //! Every run ends with a `/healthz` probe and a `/snapshot.json` scrape so
 //! the report carries the server's own verdict (`server_health`,
-//! `server_worker_panics`) next to the client-side measurements. Reports
-//! serialize to the `amf-bench-serve/v2` schema committed in
-//! `BENCH_SERVE.json` (v2 added the transport/reuse fields and the paired
-//! per-conn vs keep-alive run layout).
+//! `server_worker_panics`) next to the client-side measurements, plus a
+//! `/debug/exemplars` fetch that reconciles the server's tail exemplars
+//! against the client's own clock by trace id. Reports serialize to the
+//! `amf-bench-serve/v3` schema committed in `BENCH_SERVE.json` (v2 added
+//! the transport/reuse fields and the paired per-conn vs keep-alive run
+//! layout; v3 added the per-stage breakdown and the client/server
+//! reconciliation block).
 
 use crate::client::{ClientConfig, ClientError, HttpResponse, KeepAliveClient, ServeClient};
 use amf_core::{FaultPlan, NetFault};
 use qos_obs::Json;
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 /// Schema tag of a serialized [`LoadReport`].
-pub const BENCH_SERVE_SCHEMA: &str = "amf-bench-serve/v2";
+pub const BENCH_SERVE_SCHEMA: &str = "amf-bench-serve/v3";
 
 /// Arrival model for the generated load.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -180,6 +184,38 @@ pub struct LoadReport {
     pub server_health: String,
     /// Server-side `serve.worker_panics` counter after the run (must be 0).
     pub server_worker_panics: u64,
+    /// Per-request (trace id, client-measured µs) for individually-timed
+    /// answered requests (pipelined batch members are excluded — their
+    /// client clock measures the batch, not the request).
+    pub traced: Vec<(String, u64)>,
+    /// Sum of server-reported stage µs across answered requests, indexed
+    /// like [`qos_obs::STAGES`].
+    pub stage_us_sum: [u64; 6],
+    /// Responses whose `x-amf-stage-us` header parsed.
+    pub stage_samples: u64,
+    /// Client/server tail reconciliation (`None` when the exemplar fetch
+    /// failed or the server predates tracing).
+    pub reconciliation: Option<StageReconciliation>,
+}
+
+/// How the server's tail exemplars line up with the client's own clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageReconciliation {
+    /// Exemplars the server exposed.
+    pub exemplars: u64,
+    /// Exemplars matched (by trace id) to a client-timed request.
+    pub matched: u64,
+    /// Median of per-request `server stage sum / client latency` over the
+    /// matches (0 when nothing matched).
+    pub median_ratio: f64,
+}
+
+impl StageReconciliation {
+    /// Whether the median ratio is within `tolerance` of 1.0 (and at
+    /// least one exemplar matched).
+    pub fn within(&self, tolerance: f64) -> bool {
+        self.matched > 0 && (self.median_ratio - 1.0).abs() <= tolerance
+    }
 }
 
 impl LoadReport {
@@ -220,7 +256,7 @@ impl LoadReport {
         self.requests as f64 / self.connects as f64
     }
 
-    /// Serializes to the `amf-bench-serve/v2` report object.
+    /// Serializes to the `amf-bench-serve/v3` report object.
     pub fn to_json(&self) -> Json {
         let mean_us = if self.latencies_us.is_empty() {
             0.0
@@ -287,6 +323,28 @@ impl LoadReport {
                 "server_worker_panics",
                 Json::UInt(self.server_worker_panics),
             );
+        let mut stage_mean = Json::obj();
+        if self.stage_samples > 0 {
+            for (name, sum) in qos_obs::STAGES.iter().zip(self.stage_us_sum) {
+                stage_mean.set(name, Json::Num(sum as f64 / self.stage_samples as f64));
+            }
+        }
+        out.set("stage_samples", Json::UInt(self.stage_samples))
+            .set("stage_mean_us", stage_mean)
+            .set(
+                "reconciliation",
+                match &self.reconciliation {
+                    Some(r) => {
+                        let mut obj = Json::obj();
+                        obj.set("exemplars", Json::UInt(r.exemplars))
+                            .set("matched", Json::UInt(r.matched))
+                            .set("median_ratio", Json::Num(r.median_ratio))
+                            .set("within_10pct", Json::Bool(r.within(0.10)));
+                        obj
+                    }
+                    None => Json::Null,
+                },
+            );
         out
     }
 }
@@ -314,6 +372,20 @@ struct ThreadTally {
     connects: u64,
     reuses: u64,
     latencies_us: Vec<u64>,
+    traced: Vec<(String, u64)>,
+    stage_us_sum: [u64; 6],
+    stage_samples: u64,
+}
+
+/// Folds a response's `x-amf-stage-us` breakdown into the tally and
+/// returns the server-reported stage sum when the header parsed.
+fn note_stages(tally: &mut ThreadTally, response: &HttpResponse) -> Option<u64> {
+    let us = qos_obs::StageClock::parse_header_us(&response.stage_us)?;
+    tally.stage_samples += 1;
+    for (slot, v) in tally.stage_us_sum.iter_mut().zip(us) {
+        *slot += v;
+    }
+    Some(us.iter().sum())
 }
 
 impl LoadRunner {
@@ -397,6 +469,11 @@ impl LoadRunner {
             report.connects += tally.connects;
             report.conn_reuses += tally.reuses;
             report.latencies_us.extend(tally.latencies_us);
+            report.traced.extend(tally.traced);
+            report.stage_samples += tally.stage_samples;
+            for (slot, v) in report.stage_us_sum.iter_mut().zip(tally.stage_us_sum) {
+                *slot += v;
+            }
         }
         report.latencies_us.sort_unstable();
         report.achieved_qps = if wall.as_secs_f64() > 0.0 {
@@ -424,6 +501,42 @@ impl LoadRunner {
                     .as_u64()
             })
             .unwrap_or(0);
+
+        // Reconcile the server's tail exemplars against this run's client
+        // clocks: exemplars carry the trace id the client saw echoed back,
+        // so a by-id join compares the server's stage sum with the
+        // client-measured end-to-end latency of the same request.
+        let by_id: HashMap<&str, u64> = report
+            .traced
+            .iter()
+            .map(|(id, us)| (id.as_str(), *us))
+            .collect();
+        report.reconciliation = probe
+            .request("GET", "/debug/exemplars", "", None, true)
+            .ok()
+            .and_then(|r| Json::parse(&r.body).ok())
+            .map(|doc| {
+                let exemplars = doc
+                    .get("exemplars")
+                    .and_then(Json::as_arr)
+                    .map(<[Json]>::to_vec)
+                    .unwrap_or_default();
+                let mut ratios: Vec<f64> = exemplars
+                    .iter()
+                    .filter_map(|ex| {
+                        let id = ex.get("trace_id").and_then(Json::as_str)?;
+                        let server_us = ex.get("total_us").and_then(Json::as_u64)?;
+                        let client_us = *by_id.get(id)?;
+                        (client_us > 0).then(|| server_us as f64 / client_us as f64)
+                    })
+                    .collect();
+                ratios.sort_by(f64::total_cmp);
+                StageReconciliation {
+                    exemplars: exemplars.len() as u64,
+                    matched: ratios.len() as u64,
+                    median_ratio: ratios.get(ratios.len() / 2).copied().unwrap_or(0.0),
+                }
+            });
         report
     }
 }
@@ -511,7 +624,13 @@ fn run_thread(
         match client.request(path, &body, fault, idempotent) {
             Ok(response) => {
                 tally.retries += u64::from(response.retries);
-                tally.latencies_us.push(elapsed_us(begun));
+                let client_us = elapsed_us(begun);
+                tally.latencies_us.push(client_us);
+                // Individually-timed exchange: eligible for client/server
+                // reconciliation by trace id.
+                if note_stages(&mut tally, &response).is_some() && !response.trace_id.is_empty() {
+                    tally.traced.push((response.trace_id.clone(), client_us));
+                }
                 classify_response(&mut tally, path, &response);
             }
             Err(_faulted_or_transport) => tally.transport_errors += 1,
@@ -555,6 +674,10 @@ fn flush_pipeline(
             let batch_us = elapsed_us(begun);
             for (response, (path, _)) in responses.iter().zip(pending.iter()) {
                 tally.latencies_us.push(batch_us);
+                // Server-side stage breakdowns stay valid per request, but
+                // the client clock measured the batch — so no `traced`
+                // entry (it would skew reconciliation).
+                note_stages(tally, response);
                 classify_response(tally, path, response);
             }
         }
@@ -695,6 +818,43 @@ mod tests {
         );
         // Round-trips through the strict parser (no NaN/Inf leakage).
         assert!(Json::parse(&json.to_string_compact()).is_ok());
+    }
+
+    #[test]
+    fn reconciliation_serializes_and_gates_on_tolerance() {
+        let mut report = LoadReport {
+            label: "traced".into(),
+            mode: "closed",
+            stage_samples: 2,
+            stage_us_sum: [2, 4, 6, 8, 10, 12],
+            ..LoadReport::default()
+        };
+        report.reconciliation = Some(StageReconciliation {
+            exemplars: 4,
+            matched: 3,
+            median_ratio: 0.97,
+        });
+        let json = report.to_json();
+        let recon = json.get("reconciliation").expect("reconciliation block");
+        assert_eq!(recon.get("matched").and_then(Json::as_u64), Some(3));
+        assert_eq!(recon.get("within_10pct"), Some(&Json::Bool(true)));
+        assert_eq!(
+            json.get("stage_mean_us")
+                .and_then(|s| s.get("execute"))
+                .and_then(Json::as_f64),
+            Some(5.0)
+        );
+        assert!(StageReconciliation {
+            exemplars: 1,
+            matched: 1,
+            median_ratio: 1.09,
+        }
+        .within(0.10));
+        // No matches means no verdict, however good the ratio looks.
+        assert!(!StageReconciliation::default().within(0.10));
+        // An unreconciled report serializes the block as null.
+        report.reconciliation = None;
+        assert_eq!(report.to_json().get("reconciliation"), Some(&Json::Null));
     }
 
     #[test]

@@ -39,16 +39,18 @@
 //! response with `Connection: close`, and exits once the last connection
 //! flushes — an *idle* keep-alive client cannot hang the drain.
 
-use crate::conn::{CompletedResponse, ConnState, ReadEvent, ReadOutcome, RespKind};
+use crate::conn::{CompletedResponse, ConnState, ReadEvent, ReadOutcome, ReqTiming, RespKind};
 use crate::edf::{EdfQueue, PushError};
 use crate::http::{self, Request};
 use crate::poller::{self, PollFd, WakeReceiver, Waker, INTEREST_READ, INTEREST_WRITE};
-use qos_obs::Json;
+use qos_obs::{
+    FlightConfig, FlightRecorder, FlightRing, Json, StageClock, TailExemplars, TraceRecord,
+};
 use qos_service::telemetry::health_body_from;
 use qos_service::QosPredictionService;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -88,6 +90,19 @@ pub struct ServeConfig {
     /// Per-connection in-flight quota: beyond it reads pause (TCP
     /// backpressure) until responses flush.
     pub max_inflight_per_conn: u64,
+    /// Seed of the minted-trace-id counter (ids are `amf-<16 hex>`);
+    /// distinct planes in one process should use distinct seeds.
+    pub trace_seed: u64,
+    /// Slowest-N requests kept per interval as tail exemplars.
+    pub exemplar_capacity: usize,
+    /// Recent trace records retained for flight dumps.
+    pub flight_ring_capacity: usize,
+    /// Deadline-reject fraction per interval that triggers an automatic
+    /// flight dump (with a minimum sample floor).
+    pub slo_dump_threshold: f64,
+    /// Minimum spacing between automatic flight dumps (manual
+    /// `POST /debug/dump` bypasses it).
+    pub flight_cooldown: Duration,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +118,11 @@ impl Default for ServeConfig {
             max_requests_per_conn: 1024,
             idle_timeout: Duration::from_secs(30),
             max_inflight_per_conn: 32,
+            trace_seed: 1,
+            exemplar_capacity: 8,
+            flight_ring_capacity: 256,
+            slo_dump_threshold: 0.5,
+            flight_cooldown: Duration::from_millis(500),
         }
     }
 }
@@ -194,6 +214,9 @@ struct Job {
     expires: Instant,
     enqueued: Instant,
     keep_alive_wanted: bool,
+    trace_id: String,
+    endpoint: &'static str,
+    stages: StageClock,
 }
 
 /// A worker's answer travelling back to the poller.
@@ -212,6 +235,20 @@ struct PlaneState {
     draining: AtomicBool,
     open_connections: AtomicU64,
     queue: EdfQueue<Job>,
+    /// Minted-trace-id counter (seeded by [`ServeConfig::trace_seed`]).
+    trace_seq: AtomicU64,
+    /// Slowest-N requests of the current/previous interval.
+    exemplars: TailExemplars,
+    /// Last-N completed requests, whatever their latency.
+    flight_ring: FlightRing,
+    /// Hot-path histograms, resolved once: the registry's by-name lookup
+    /// (lock + string scan) is too heavy to repeat per request.
+    queue_wait_us: std::sync::Arc<qos_obs::Histogram>,
+    deadline_slack_us: std::sync::Arc<qos_obs::Histogram>,
+    /// Incident dump sink (file-backed when started with a flight config).
+    flight: FlightRecorder,
+    /// Cooldown clock for automatic dumps.
+    last_dump: Mutex<Option<Instant>>,
 }
 
 impl PlaneState {
@@ -237,6 +274,8 @@ impl PlaneState {
             ("serve.predictions", stats.predictions),
             ("serve.degraded_answers", stats.degraded_answers),
             ("serve.ranks", stats.ranks),
+            ("serve.flight_dumps", self.flight.dumps()),
+            ("serve.flight_write_errors", self.flight.write_errors()),
         ] {
             global.counter(name).set(value);
         }
@@ -262,7 +301,56 @@ impl PlaneState {
 
     fn snapshot(&self) -> Json {
         self.publish_metrics();
-        self.service.stats_snapshot()
+        let mut snap = self.service.stats_snapshot();
+        snap.set(
+            "exemplars",
+            Json::Arr(
+                self.exemplars
+                    .snapshot()
+                    .iter()
+                    .map(TraceRecord::to_json)
+                    .collect(),
+            ),
+        );
+        snap
+    }
+
+    /// Extracts (or mints) the trace id for a parsed request. A malformed
+    /// client id is *replaced*, never rejected.
+    fn trace_id_for(&self, request: &Request) -> String {
+        match request.header("x-amf-trace-id") {
+            Some(id) if qos_obs::valid_trace_id(id) => id.to_string(),
+            _ => qos_obs::mint_trace_id(&self.trace_seq),
+        }
+    }
+
+    /// Captures the flight recorder's context window (recent records, tail
+    /// exemplars, trace events, metrics snapshot) and dumps it. Automatic
+    /// triggers (`force == false`) respect the cooldown and return `None`
+    /// when suppressed; the manual poke always dumps.
+    fn flight_dump(&self, reason: &str, force: bool) -> Option<Json> {
+        {
+            let mut last = match self.last_dump.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if !force {
+                if let Some(at) = *last {
+                    if at.elapsed() < self.config.flight_cooldown {
+                        return None;
+                    }
+                }
+            }
+            *last = Some(Instant::now());
+        }
+        let records = self.flight_ring.recent();
+        let exemplars = self.exemplars.snapshot();
+        let events = qos_obs::global().trace().events();
+        let metrics = self.snapshot();
+        Some(
+            self.flight
+                .dump(reason, &records, &exemplars, &events, &metrics),
+        )
     }
 }
 
@@ -287,6 +375,22 @@ impl ServePlane {
         service: Arc<QosPredictionService>,
         config: ServeConfig,
     ) -> std::io::Result<Self> {
+        Self::start_with_flight(addr, service, config, FlightConfig::default())
+    }
+
+    /// [`ServePlane::start`] with a file-backed flight recorder: incident
+    /// dumps (worker panic, drift alarm, SLO burst, `POST /debug/dump`)
+    /// are appended as `amf-flight/v1` JSONL to `flight.path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/spawn error.
+    pub fn start_with_flight(
+        addr: &str,
+        service: Arc<QosPredictionService>,
+        config: ServeConfig,
+        flight: FlightConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let bound = listener.local_addr()?;
@@ -298,6 +402,13 @@ impl ServePlane {
             draining: AtomicBool::new(false),
             open_connections: AtomicU64::new(0),
             queue: EdfQueue::new(config.max_pending.max(1)),
+            trace_seq: AtomicU64::new(config.trace_seed),
+            exemplars: TailExemplars::new(config.exemplar_capacity),
+            flight_ring: FlightRing::new(config.flight_ring_capacity),
+            queue_wait_us: qos_obs::global().histogram("serve.queue_wait_us"),
+            deadline_slack_us: qos_obs::global().histogram("serve.deadline_slack_us"),
+            flight: FlightRecorder::new(flight),
+            last_dump: Mutex::new(None),
         });
 
         let (waker, wake_rx) = poller::wake_pair()?;
@@ -408,50 +519,87 @@ impl std::fmt::Debug for ServePlane {
 // ---------------------------------------------------------------------------
 
 fn worker_loop(state: &PlaneState, completions: &mpsc::Sender<Completion>, waker: &Waker) {
-    while let Some(job) = state.queue.pop() {
+    while let Some(mut job) = state.queue.pop() {
         let wait = job.enqueued.elapsed();
-        qos_obs::global()
-            .histogram("serve.queue_wait_us")
+        state
+            .queue_wait_us
             .record(u64::try_from(wait.as_micros()).unwrap_or(u64::MAX));
+        job.stages.set(
+            StageClock::QUEUE,
+            u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX),
+        );
 
-        let response = if Instant::now() > job.expires {
+        let mut now = Instant::now();
+        let response = if now > job.expires {
             // Reject-after-wait: the queue time burned the whole budget —
             // the client has given up; serving it would be wasted work.
-            CompletedResponse {
-                status: 503,
-                content_type: "application/json".into(),
-                body: error_body("deadline exceeded in queue"),
-                keep_alive_wanted: job.keep_alive_wanted,
-                kind: RespKind::RejDeadline,
-            }
+            CompletedResponse::new(
+                503,
+                "application/json",
+                error_body("deadline exceeded in queue"),
+                job.keep_alive_wanted,
+                RespKind::RejDeadline,
+            )
         } else {
             // A panic in one request's handler must never take down the
             // pool; it is counted, answered 500, and the worker moves on.
+            let started = now;
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 route(&job.request, state, job.expires)
             }));
+            now = Instant::now();
+            job.stages.set(
+                StageClock::EXECUTE,
+                u64::try_from(
+                    now.checked_duration_since(started)
+                        .unwrap_or(Duration::ZERO)
+                        .as_nanos(),
+                )
+                .unwrap_or(u64::MAX),
+            );
             match outcome {
-                Ok((status, content_type, body)) => CompletedResponse {
+                Ok((status, content_type, body)) => CompletedResponse::new(
                     status,
                     content_type,
                     body,
-                    keep_alive_wanted: job.keep_alive_wanted,
-                    kind: RespKind::from_status(status),
-                },
+                    job.keep_alive_wanted,
+                    RespKind::from_status(status),
+                ),
                 Err(_) => {
                     state.counters.worker_panics.fetch_add(1, Ordering::Relaxed);
-                    CompletedResponse {
-                        status: 500,
-                        content_type: "application/json".into(),
-                        body: error_body("internal error"),
+                    qos_obs::global().trace().event(
+                        "serve_worker_panic",
+                        format!("endpoint={} trace_id={}", job.endpoint, job.trace_id),
+                    );
+                    // A handler panic is exactly the incident the flight
+                    // recorder exists for: capture the context window now.
+                    state.flight_dump("worker_panic", false);
+                    CompletedResponse::new(
+                        500,
+                        "application/json",
+                        error_body("internal error"),
                         // A panicked handler leaves no framing doubt, but
                         // trust is gone: close the connection.
-                        keep_alive_wanted: false,
-                        kind: RespKind::Panic,
-                    }
+                        false,
+                        RespKind::Panic,
+                    )
                 }
             }
         };
+        let slack_us = match job.expires.checked_duration_since(now) {
+            Some(left) => i64::try_from(left.as_micros()).unwrap_or(i64::MAX),
+            None => now
+                .checked_duration_since(job.expires)
+                .and_then(|over| i64::try_from(over.as_micros()).ok())
+                .map_or(i64::MIN, |over| -over),
+        };
+        let response = response.with_trace(TraceRecord {
+            trace_id: std::mem::take(&mut job.trace_id),
+            endpoint: job.endpoint,
+            status: 0, // bound at flush
+            stages: job.stages,
+            deadline_slack_us: slack_us,
+        });
         if completions
             .send(Completion {
                 conn_id: job.conn_id,
@@ -529,6 +677,16 @@ fn poller_loop(
     let mut ready_reads: Vec<usize> = Vec::new();
     let mut drain_started: Option<Instant> = None;
     let drain_grace = config.io_timeout.max(Duration::from_millis(250)) + Duration::from_secs(2);
+    // Flight-recorder maintenance cadence: exemplar-window rotation plus
+    // the drift-alarm and SLO-burst triggers, once per interval.
+    const FLIGHT_INTERVAL: Duration = Duration::from_secs(1);
+    let mut last_interval = Instant::now();
+    let mut prev_drift = {
+        let (user_alarms, service_alarms) = state.service.drift_alarms();
+        user_alarms + service_alarms
+    };
+    let mut prev_requests = 0u64;
+    let mut prev_deadline_rejects = 0u64;
 
     loop {
         let draining = state.draining.load(Ordering::SeqCst);
@@ -630,14 +788,18 @@ fn poller_loop(
             );
             for event in events {
                 match event {
-                    ReadEvent::Request(request, seq) => {
-                        admit_request(state, conn, id, seq, request, now);
+                    ReadEvent::Request(request, seq, timing) => {
+                        admit_request(state, conn, id, seq, request, timing, now);
                     }
                     ReadEvent::Error(e, seq) => {
                         state.counters.requests.fetch_add(1, Ordering::Relaxed);
                         conn.complete(
                             seq,
-                            reject(e.status().unwrap_or(400), e.message(), RespKind::ClientError),
+                            reject(
+                                e.status().unwrap_or(400),
+                                e.message(),
+                                RespKind::ClientError,
+                            ),
                         );
                     }
                 }
@@ -658,9 +820,10 @@ fn poller_loop(
             if draining {
                 conn.reads_stopped = true;
             }
-            for (_, kind) in conn.flush_ready(draining, config.max_requests_per_conn) {
-                count_response(state, kind);
-            }
+            absorb_flushed(
+                state,
+                conn.flush_ready(draining, config.max_requests_per_conn),
+            );
             if conn.wants_write() && conn.write_some(now).is_err() {
                 state.counters.io_errors.fetch_add(1, Ordering::Relaxed);
                 table.close(id);
@@ -685,9 +848,10 @@ fn poller_loop(
                     seq,
                     reject(408, "request read timed out", RespKind::ClientError),
                 );
-                for (_, kind) in conn.flush_ready(draining, config.max_requests_per_conn) {
-                    count_response(state, kind);
-                }
+                absorb_flushed(
+                    state,
+                    conn.flush_ready(draining, config.max_requests_per_conn),
+                );
                 let _ = conn.write_some(now);
                 continue;
             }
@@ -709,11 +873,48 @@ fn poller_loop(
             }
         }
 
+        // 5. Flight-recorder maintenance: rotate the exemplar window and
+        //    evaluate the automatic dump triggers once per interval.
+        if now.duration_since(last_interval) >= FLIGHT_INTERVAL {
+            last_interval = now;
+            state.exemplars.rotate();
+            let (user_alarms, service_alarms) = state.service.drift_alarms();
+            let drift = user_alarms + service_alarms;
+            if drift > prev_drift {
+                state.flight_dump("drift_alarm", false);
+            }
+            prev_drift = drift;
+            let requests = state.counters.requests.load(Ordering::Relaxed);
+            let deadline_rejects = state.counters.rejected_deadline.load(Ordering::Relaxed);
+            let d_requests = requests.saturating_sub(prev_requests);
+            let d_rejects = deadline_rejects.saturating_sub(prev_deadline_rejects);
+            // Minimum sample floor so a lone reject on a quiet plane does
+            // not read as an SLO incident.
+            if d_requests >= 20 && d_rejects as f64 / d_requests as f64 > config.slo_dump_threshold
+            {
+                state.flight_dump("slo_violation", false);
+            }
+            prev_requests = requests;
+            prev_deadline_rejects = deadline_rejects;
+        }
+
         state
             .open_connections
             .store(table.open as u64, Ordering::Relaxed);
     }
     state.open_connections.store(0, Ordering::Relaxed);
+}
+
+/// Counts each rendered response and feeds its trace record (when present)
+/// into the flight ring and the tail exemplars.
+fn absorb_flushed(state: &PlaneState, rendered: Vec<(u16, RespKind, Option<TraceRecord>)>) {
+    for (_, kind, trace) in rendered {
+        count_response(state, kind);
+        if let Some(record) = trace {
+            state.exemplars.offer(&record);
+            state.flight_ring.push(record);
+        }
+    }
 }
 
 /// Remaining request budget before `max_requests_per_conn` closes `conn`.
@@ -778,17 +979,41 @@ fn reject_inline(state: &PlaneState, mut stream: TcpStream, error: &str) {
 
 /// Parses the deadline header and either fast-rejects inline (bad header,
 /// zero budget, queue full, draining) or admits the request into the EDF
-/// queue.
+/// queue. Every path stamps the request's trace: inline rejects finish
+/// their stage clock here; admitted jobs carry it to the worker.
 fn admit_request(
     state: &PlaneState,
     conn: &mut ConnState,
     conn_id: usize,
     seq: u64,
     request: Box<Request>,
+    timing: ReqTiming,
     now: Instant,
 ) {
     state.counters.requests.fetch_add(1, Ordering::Relaxed);
     let keep_alive_wanted = request.wants_keep_alive();
+    let trace_id = state.trace_id_for(&request);
+    let endpoint = endpoint_label(&request);
+    let admit_started = Instant::now();
+    let mut stages = StageClock::new();
+    stages.set(StageClock::ACCEPT, timing.accept_ns);
+    stages.set(StageClock::PARSE, timing.parse_ns);
+    // Finishes the stage clock for a request answered inline from the
+    // poller (never queued, never executed).
+    let inline_trace =
+        |trace_id: String, endpoint: &'static str, mut stages: StageClock, slack_us: i64| {
+            stages.set(
+                StageClock::ADMISSION,
+                u64::try_from(admit_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            TraceRecord {
+                trace_id,
+                endpoint,
+                status: 0, // bound at flush
+                stages,
+                deadline_slack_us: slack_us,
+            }
+        };
     let deadline = match request.header("x-amf-deadline-ms") {
         Some(raw) => match raw.parse::<u64>() {
             Ok(ms) => Duration::from_millis(ms).min(state.config.max_deadline),
@@ -800,13 +1025,22 @@ fn admit_request(
                         error_body("bad x-amf-deadline-ms"),
                         RespKind::ClientError,
                         keep_alive_wanted,
-                    ),
+                    )
+                    .with_trace(inline_trace(trace_id, endpoint, stages, 0)),
                 );
                 return;
             }
         },
         None => state.config.default_deadline,
     };
+    // Slack available at admission: the whole remaining budget. Observed
+    // for every request with a well-formed deadline (including the zero
+    // budgets below) so reject-on-arrival tuning sees the full
+    // distribution.
+    let slack_us = i64::try_from(deadline.as_micros()).unwrap_or(i64::MAX);
+    state
+        .deadline_slack_us
+        .record(u64::try_from(deadline.as_micros()).unwrap_or(u64::MAX));
     // Reject-on-arrival: a zero budget can never be met — answer from the
     // poller without spending a queue slot or a worker.
     if deadline.is_zero() {
@@ -817,10 +1051,15 @@ fn admit_request(
                 error_body("deadline exceeded in queue"),
                 RespKind::RejDeadline,
                 keep_alive_wanted,
-            ),
+            )
+            .with_trace(inline_trace(trace_id, endpoint, stages, 0)),
         );
         return;
     }
+    stages.set(
+        StageClock::ADMISSION,
+        u64::try_from(admit_started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+    );
     let expires = now + deadline;
     let job = Job {
         conn_id,
@@ -830,38 +1069,52 @@ fn admit_request(
         expires,
         enqueued: now,
         keep_alive_wanted,
+        trace_id,
+        endpoint,
+        stages,
     };
     match state.queue.try_push(expires, job) {
         Ok(()) => {}
-        Err(PushError::Full(_)) => conn.complete(
+        Err(PushError::Full(job)) => conn.complete(
             seq,
             respond(
                 503,
                 error_body("overloaded"),
                 RespKind::RejOverload,
                 keep_alive_wanted,
-            ),
+            )
+            .with_trace(inline_trace(
+                job.trace_id,
+                job.endpoint,
+                job.stages,
+                slack_us,
+            )),
         ),
-        Err(PushError::Closed(_)) => conn.complete(
+        Err(PushError::Closed(job)) => conn.complete(
             seq,
             respond(
                 503,
                 error_body("draining"),
                 RespKind::RejDraining,
                 keep_alive_wanted,
-            ),
+            )
+            .with_trace(inline_trace(
+                job.trace_id,
+                job.endpoint,
+                job.stages,
+                slack_us,
+            )),
         ),
     }
 }
 
-fn respond(status: u16, body: String, kind: RespKind, keep_alive_wanted: bool) -> CompletedResponse {
-    CompletedResponse {
-        status,
-        content_type: "application/json".into(),
-        body,
-        keep_alive_wanted,
-        kind,
-    }
+fn respond(
+    status: u16,
+    body: String,
+    kind: RespKind,
+    keep_alive_wanted: bool,
+) -> CompletedResponse {
+    CompletedResponse::new(status, "application/json", body, keep_alive_wanted, kind)
 }
 
 /// An error response that also ends the connection (protocol trust gone).
@@ -891,6 +1144,23 @@ fn count_response(state: &PlaneState, kind: RespKind) {
 
 type RouteResponse = (u16, String, String);
 
+/// Static trace label for a request's route. Known paths get themselves;
+/// everything else shares one label so trace storage never allocates on
+/// the hot path and dump cardinality cannot be driven by client paths.
+fn endpoint_label(request: &Request) -> &'static str {
+    match request.route() {
+        "/v1/observe" => "/v1/observe",
+        "/v1/predict" => "/v1/predict",
+        "/v1/rank" => "/v1/rank",
+        "/metrics" => "/metrics",
+        "/snapshot.json" => "/snapshot.json",
+        "/healthz" => "/healthz",
+        "/debug/exemplars" => "/debug/exemplars",
+        "/debug/dump" => "/debug/dump",
+        _ => "other",
+    }
+}
+
 fn route(request: &Request, state: &PlaneState, expires: Instant) -> RouteResponse {
     let json = |status: u16, body: String| (status, "application/json".to_string(), body);
     match (request.method.as_str(), request.route()) {
@@ -907,6 +1177,30 @@ fn route(request: &Request, state: &PlaneState, expires: Instant) -> RouteRespon
         }
         ("GET", "/snapshot.json") => json(200, state.snapshot().to_string_compact()),
         ("GET", "/healthz") => json(200, health_body_from(&state.snapshot())),
+        ("GET", "/debug/exemplars") => {
+            let mut out = Json::obj();
+            out.set("schema", Json::Str(SERVE_SCHEMA.into()))
+                .set("op", Json::Str("exemplars".into()))
+                .set(
+                    "exemplars",
+                    Json::Arr(
+                        state
+                            .exemplars
+                            .snapshot()
+                            .iter()
+                            .map(TraceRecord::to_json)
+                            .collect(),
+                    ),
+                );
+            json(200, out.to_string_compact())
+        }
+        ("POST", "/debug/dump") => {
+            // The manual flight-recorder poke: always dumps (no cooldown)
+            // and answers with the dump document itself so callers can
+            // inspect it without file access.
+            let doc = state.flight_dump("manual", true).unwrap_or_else(Json::obj);
+            json(200, doc.to_string_compact())
+        }
         ("GET" | "POST", _) => json(404, error_body("not found")),
         _ => json(405, error_body("method not allowed")),
     }
@@ -1117,6 +1411,16 @@ mod tests {
     }
 
     fn post(addr: SocketAddr, path: &str, body: &str, headers: &str) -> (u16, String) {
+        let (status, _, body) = post_with_head(addr, path, body, headers);
+        (status, body)
+    }
+
+    fn post_with_head(
+        addr: SocketAddr,
+        path: &str,
+        body: &str,
+        headers: &str,
+    ) -> (u16, String, String) {
         let raw = format!(
             "POST {path} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n{headers}\r\n{body}",
             body.len()
@@ -1129,11 +1433,27 @@ mod tests {
             .expect("status")
             .parse()
             .unwrap();
-        (status, body.to_string())
+        (status, head.to_string(), body.to_string())
+    }
+
+    /// Case-insensitive header lookup in a raw response head.
+    fn header_value(head: &str, name: &str) -> Option<String> {
+        head.lines().find_map(|line| {
+            let (key, value) = line.split_once(':')?;
+            key.trim()
+                .eq_ignore_ascii_case(name)
+                .then(|| value.trim().to_string())
+        })
     }
 
     /// Reads exactly one response off an open keep-alive stream.
     fn read_one_response(stream: &mut TcpStream) -> (u16, String) {
+        let (status, _, body) = read_one_response_full(stream);
+        (status, body)
+    }
+
+    /// Like [`read_one_response`], also returning the raw head.
+    fn read_one_response_full(stream: &mut TcpStream) -> (u16, String, String) {
         let mut buf = Vec::new();
         let mut chunk = [0u8; 4096];
         let (head_end, body_len) = loop {
@@ -1141,7 +1461,11 @@ mod tests {
                 let head = std::str::from_utf8(&buf[..pos]).unwrap();
                 let len = head
                     .lines()
-                    .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string))
+                    .find_map(|l| {
+                        l.to_ascii_lowercase()
+                            .strip_prefix("content-length:")
+                            .map(str::to_string)
+                    })
                     .and_then(|v| v.trim().parse::<usize>().ok())
                     .unwrap_or(0);
                 break (pos + 4, len);
@@ -1155,10 +1479,10 @@ mod tests {
             assert!(n > 0, "EOF before response body");
             buf.extend_from_slice(&chunk[..n]);
         }
-        let head = std::str::from_utf8(&buf[..head_end]).unwrap();
+        let head = std::str::from_utf8(&buf[..head_end]).unwrap().to_string();
         let status = head.split_whitespace().nth(1).unwrap().parse().unwrap();
         let body = String::from_utf8(buf[head_end..head_end + body_len].to_vec()).unwrap();
-        (status, body)
+        (status, head, body)
     }
 
     #[test]
@@ -1214,6 +1538,151 @@ mod tests {
         assert_eq!(stats.predictions, 2);
         assert_eq!(stats.ranks, 1);
         assert!(stats.degraded_answers >= 1, "ghost user degrades");
+    }
+
+    #[test]
+    fn client_trace_ids_echo_and_minted_ids_are_stable_format() {
+        let plane = test_plane(ServeConfig::default());
+        let addr = plane.local_addr();
+
+        // A well-formed client id is echoed verbatim.
+        let observe = "{\"user\":\"u0\",\"service\":\"s0\",\"timestamp\":1,\"value\":0.5}\n";
+        let (status, head, _) = post_with_head(
+            addr,
+            "/v1/observe",
+            observe,
+            "x-amf-trace-id: my-trace.01\r\n",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(
+            header_value(&head, "x-amf-trace-id").as_deref(),
+            Some("my-trace.01")
+        );
+        // The stage breakdown header parses back through the shared codec.
+        let stage_us = header_value(&head, "x-amf-stage-us").expect("stage header");
+        let parsed = qos_obs::StageClock::parse_header_us(&stage_us).expect("parseable stages");
+        assert!(parsed.iter().sum::<u64>() > 0, "{stage_us}");
+
+        // Without a client id the server mints one (amf-<16 hex>).
+        let (status, head, _) = post_with_head(addr, "/v1/observe", observe, "");
+        assert_eq!(status, 200);
+        let minted = header_value(&head, "x-amf-trace-id").expect("minted id");
+        assert!(minted.starts_with("amf-"), "{minted}");
+        assert_eq!(minted.len(), 4 + 16, "{minted}");
+
+        plane.stop();
+    }
+
+    #[test]
+    fn malformed_trace_ids_are_replaced_not_rejected() {
+        let plane = test_plane(ServeConfig::default());
+        let addr = plane.local_addr();
+        for bad in ["has space", "semi;colon", &"x".repeat(65)] {
+            let (status, head, body) = post_with_head(
+                addr,
+                "/v1/observe",
+                "{\"user\":\"u0\",\"service\":\"s0\",\"timestamp\":1,\"value\":0.5}\n",
+                &format!("x-amf-trace-id: {bad}\r\n"),
+            );
+            assert_eq!(status, 200, "'{bad}' must not 400: {body}");
+            let echoed = header_value(&head, "x-amf-trace-id").expect("id header");
+            assert_ne!(echoed, bad, "malformed id must be replaced");
+            assert!(echoed.starts_with("amf-"), "{echoed}");
+        }
+        plane.stop();
+    }
+
+    #[test]
+    fn pipelined_trace_ids_come_back_in_request_order() {
+        let plane = test_plane(ServeConfig::default());
+        // Three pipelined requests in one write, distinct trace ids.
+        let mut batch = String::new();
+        for id in ["t-a", "t-b", "t-c"] {
+            batch.push_str(&format!(
+                "GET /healthz HTTP/1.1\r\nHost: x\r\nx-amf-trace-id: {id}\r\n\r\n"
+            ));
+        }
+        let raw = raw_request(plane.local_addr(), batch.as_bytes());
+        // Walk the concatenated responses in arrival order.
+        let mut rest = raw.as_str();
+        for id in ["t-a", "t-b", "t-c"] {
+            let (head, tail) = rest.split_once("\r\n\r\n").expect("response head");
+            assert!(head.contains(" 200 "), "{head}");
+            assert_eq!(
+                header_value(head, "x-amf-trace-id").as_deref(),
+                Some(id),
+                "responses must flush in request order"
+            );
+            let body_len: usize = header_value(head, "content-length")
+                .and_then(|v| v.parse().ok())
+                .expect("content-length");
+            rest = &tail[body_len..];
+        }
+        let stats = plane.stop();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.ok, 3);
+    }
+
+    #[test]
+    fn exemplars_and_slack_histogram_surface_after_traffic() {
+        let plane = test_plane(ServeConfig::default());
+        let addr = plane.local_addr();
+        for i in 0..6 {
+            let (status, _) = post(
+                addr,
+                "/v1/observe",
+                &format!(
+                    "{{\"user\":\"u{i}\",\"service\":\"s0\",\"timestamp\":1,\"value\":0.5}}\n"
+                ),
+                "x-amf-deadline-ms: 400\r\n",
+            );
+            assert_eq!(status, 200);
+        }
+        // /debug/exemplars exposes the slowest recent requests with ids.
+        let response = raw_request(addr, b"GET /debug/exemplars HTTP/1.1\r\nHost: x\r\n\r\n");
+        let (_, body) = response.split_once("\r\n\r\n").unwrap();
+        let parsed = Json::parse(body).unwrap();
+        let exemplars = parsed.get("exemplars").and_then(Json::as_arr).unwrap();
+        assert!(!exemplars.is_empty());
+        for ex in exemplars {
+            assert!(ex.get("trace_id").and_then(Json::as_str).is_some());
+            assert!(ex.get("total_us").and_then(Json::as_u64).is_some());
+            assert!(ex.get("stages_us").is_some());
+        }
+        // The deadline-slack histogram rendered into /metrics.
+        let metrics = raw_request(addr, b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(
+            metrics.contains("amf_serve_deadline_slack_us_bucket"),
+            "slack histogram missing from exposition"
+        );
+        plane.stop();
+    }
+
+    #[test]
+    fn manual_dump_returns_inline_flight_document() {
+        let plane = test_plane(ServeConfig::default());
+        let addr = plane.local_addr();
+        let (status, body) = post(
+            addr,
+            "/v1/observe",
+            "{\"user\":\"u0\",\"service\":\"s0\",\"timestamp\":1,\"value\":0.5}\n",
+            "",
+        );
+        assert_eq!(status, 200, "{body}");
+        let (status, body) = post(addr, "/debug/dump", "", "");
+        assert_eq!(status, 200, "{body}");
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("amf-flight/v1")
+        );
+        assert_eq!(parsed.get("reason").and_then(Json::as_str), Some("manual"));
+        assert!(!parsed
+            .get("records")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .is_empty());
+        plane.stop();
     }
 
     #[test]

@@ -153,8 +153,13 @@ mod sys {
         // and length describe exactly its elements, whose layout matches
         // `struct pollfd` via `#[repr(C)]`. The kernel writes only the
         // `revents` fields within those bounds.
-        let rc =
-            unsafe { libc_poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms) };
+        let rc = unsafe {
+            libc_poll(
+                fds.as_mut_ptr(),
+                fds.len() as core::ffi::c_ulong,
+                timeout_ms,
+            )
+        };
         if rc < 0 {
             Err(std::io::Error::last_os_error())
         } else {
@@ -192,7 +197,10 @@ mod tests {
         let (n, readable, waited, mut rx) = handle.join().unwrap();
         assert_eq!(n, 1);
         assert!(readable);
-        assert!(waited < Duration::from_secs(2), "woke early, not by timeout");
+        assert!(
+            waited < Duration::from_secs(2),
+            "woke early, not by timeout"
+        );
         rx.drain();
     }
 

@@ -20,10 +20,11 @@
 //! byte.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use amf_core::{FaultContext, FaultPlan};
 use qos_dataset::{RegimePhase, RegimeTimeline, RegimeWorld, RegimeWorldConfig};
-use qos_obs::Json;
+use qos_obs::{FlightConfig, FlightRecorder, Json};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -266,6 +267,7 @@ enum Mode {
 #[derive(Debug, Clone)]
 pub struct ScenarioEngine {
     config: ScenarioConfig,
+    flight_dir: Option<PathBuf>,
 }
 
 impl ScenarioEngine {
@@ -277,7 +279,21 @@ impl ScenarioEngine {
     pub fn new(config: ScenarioConfig) -> Result<Self, ServiceError> {
         config.validate()?;
         Planner::new(config.planner)?;
-        Ok(Self { config })
+        Ok(Self {
+            config,
+            flight_dir: None,
+        })
+    }
+
+    /// Writes a per-scenario `amf-flight/v1` dump (`<dir>/<name>.flight.jsonl`)
+    /// after each run: the global trace ring (engine panics, respawns, guard
+    /// quarantines, drift alarms) plus the run's outcome metrics — the same
+    /// black-box format the serving plane dumps, so `amf-qos trace` reads
+    /// both.
+    #[must_use]
+    pub fn with_flight_dir(mut self, dir: PathBuf) -> Self {
+        self.flight_dir = Some(dir);
+        self
     }
 
     /// The active configuration.
@@ -328,13 +344,54 @@ impl ScenarioEngine {
         let fault_plans = self.phase_fault_plans(spec)?;
         let adaptive = self.run_mode(spec, &world, &fault_plans, Mode::Adaptive);
         let baseline = self.run_mode(spec, &world, &fault_plans, Mode::Static);
-        Ok(ScenarioOutcome {
+        let outcome = ScenarioOutcome {
             name: spec.name.to_string(),
             spans: spec.spans.clone(),
             ticks: world.timeline().total_ticks(),
             adaptive,
             baseline,
-        })
+        };
+        self.dump_flight(&outcome);
+        Ok(outcome)
+    }
+
+    /// Flight-records one finished scenario when a dump directory is set.
+    fn dump_flight(&self, outcome: &ScenarioOutcome) {
+        let Some(dir) = &self.flight_dir else {
+            return;
+        };
+        let recorder = FlightRecorder::new(FlightConfig {
+            path: Some(dir.join(format!("{}.flight.jsonl", outcome.name))),
+            ..FlightConfig::default()
+        });
+        let events = qos_obs::global().trace().events();
+        let mut metrics = Json::obj();
+        metrics
+            .set("scenario", Json::Str(outcome.name.clone()))
+            .set("ticks", Json::UInt(u64::from(outcome.ticks)))
+            .set("adaptation_gain", Json::Num(outcome.adaptation_gain()))
+            .set(
+                "adaptive_slo_violation_rate",
+                Json::Num(outcome.adaptive.slo_violation_rate),
+            )
+            .set(
+                "static_slo_violation_rate",
+                Json::Num(outcome.baseline.slo_violation_rate),
+            )
+            .set("rebinds", Json::UInt(outcome.adaptive.rebinds))
+            .set("flaps", Json::UInt(outcome.adaptive.flaps))
+            .set("planner_plans", Json::UInt(outcome.adaptive.planner_plans))
+            .set(
+                "drift_alarms",
+                Json::UInt(outcome.adaptive.drift_alarms.0 + outcome.adaptive.drift_alarms.1),
+            );
+        recorder.dump(
+            &format!("scenario:{}", outcome.name),
+            &[],
+            &[],
+            &events,
+            &metrics,
+        );
     }
 
     /// Runs every spec in order.
@@ -836,6 +893,44 @@ mod tests {
             }
             other => panic!("expected object, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn flight_dir_gets_a_per_scenario_dump() {
+        let dir = std::env::temp_dir().join(format!(
+            "amf_scenario_flight_{}_{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = ScenarioEngine::new(quick_config())
+            .unwrap()
+            .with_flight_dir(dir.clone());
+        let spec = find_scenario("good", true).unwrap();
+        engine.run_scenario(&spec).unwrap();
+        let dump = std::fs::read_to_string(dir.join("good.flight.jsonl")).unwrap();
+        let header = Json::parse(dump.lines().next().unwrap()).unwrap();
+        assert_eq!(
+            header.get("schema").and_then(Json::as_str),
+            Some("amf-flight/v1")
+        );
+        assert_eq!(
+            header.get("reason").and_then(Json::as_str),
+            Some("scenario:good")
+        );
+        // The header line carries the run outcome metrics.
+        assert_eq!(header.get("kind").and_then(Json::as_str), Some("header"));
+        assert_eq!(
+            header
+                .get("metrics")
+                .and_then(|m| m.get("scenario"))
+                .and_then(Json::as_str),
+            Some("good")
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

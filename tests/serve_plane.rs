@@ -81,7 +81,8 @@ fn read_framed_response(stream: &mut TcpStream, buf: &mut Vec<u8>) -> Option<(St
                 }
                 buf.extend_from_slice(&chunk[..n]);
             }
-            let body = String::from_utf8_lossy(&buf[head_end..head_end + content_length]).to_string();
+            let body =
+                String::from_utf8_lossy(&buf[head_end..head_end + content_length]).to_string();
             buf.drain(..head_end + content_length);
             return Some((head, body));
         }
@@ -296,9 +297,8 @@ fn overload_fast_rejects_from_the_acceptor() {
     // Occupy the single worker with a batch that takes real time to churn
     // through (each line is parsed and predicted individually).
     let holder_body = slow_predict_body(100_000);
-    let holder = std::thread::spawn(move || {
-        raw_exchange(addr, &post_raw("/v1/predict", &holder_body, ""))
-    });
+    let holder =
+        std::thread::spawn(move || raw_exchange(addr, &post_raw("/v1/predict", &holder_body, "")));
     std::thread::sleep(Duration::from_millis(150));
 
     // Four CONCURRENT probes: the first to reach the acceptor takes the
@@ -365,9 +365,8 @@ fn tight_deadline_overtakes_slack_in_the_edf_queue() {
 
     // Pin the worker long enough for both probes to be queued.
     let holder_body = slow_predict_body(100_000);
-    let holder = std::thread::spawn(move || {
-        raw_exchange(addr, &post_raw("/v1/predict", &holder_body, ""))
-    });
+    let holder =
+        std::thread::spawn(move || raw_exchange(addr, &post_raw("/v1/predict", &holder_body, "")));
     // Wait until the holder's multi-MiB body is fully parsed and admitted
     // (the free worker pops it immediately after). A fixed sleep is not
     // enough: on a loaded host the upload alone can outlast it, and a
@@ -420,8 +419,14 @@ fn tight_deadline_overtakes_slack_in_the_edf_queue() {
     let _ = holder.join();
     let stats = plane.stop();
 
-    assert!(tight_response.starts_with("HTTP/1.1 200"), "{tight_response}");
-    assert!(slack_response.starts_with("HTTP/1.1 200"), "{slack_response}");
+    assert!(
+        tight_response.starts_with("HTTP/1.1 200"),
+        "{tight_response}"
+    );
+    assert!(
+        slack_response.starts_with("HTTP/1.1 200"),
+        "{slack_response}"
+    );
     assert!(
         tight_done < slack_done,
         "tight deadline must be served before slack despite arriving later"
